@@ -1,0 +1,156 @@
+//! Hybrid optimization methodologies (paper §B): Explainable-DSE's
+//! quickly-found efficient solutions serve as high-quality initial points
+//! for further black-box refinement, and black-box techniques can be
+//! chained with each other.
+
+use crate::{random_point, step, DseTechnique};
+use edse_core::bottleneck::dnn_latency_model;
+use edse_core::cost::Trace;
+use edse_core::dse::{DseConfig, ExplainableDse};
+use edse_core::evaluate::Evaluator;
+use edse_core::space::DesignPoint;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Chains two phases: any warm-up technique followed by a refinement
+/// technique whose exploration is biased around the warm-up's best point.
+///
+/// The refinement is a seeded local random search: each sample re-draws a
+/// few parameters of the incumbent (the common "basin hopping around a
+/// good initial point" pattern the paper's hybrid-methodology note
+/// alludes to).
+pub struct WarmStartHybrid {
+    warmup: Box<dyn DseTechnique>,
+    warmup_share: f64,
+    rng: StdRng,
+}
+
+impl WarmStartHybrid {
+    /// A hybrid spending `warmup_share` (0..1) of the budget on `warmup`
+    /// and the rest refining around its best point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warmup_share` is not within `(0, 1)`.
+    pub fn new(warmup: Box<dyn DseTechnique>, warmup_share: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&warmup_share) && warmup_share > 0.0);
+        Self { warmup, warmup_share, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl DseTechnique for WarmStartHybrid {
+    fn name(&self) -> String {
+        format!("{}+refine", self.warmup.name())
+    }
+
+    fn run(&mut self, evaluator: &mut dyn Evaluator, budget: usize) -> Trace {
+        let start = Instant::now();
+        let space = evaluator.space().clone();
+        let warm_budget = ((budget as f64 * self.warmup_share) as usize).max(1).min(budget);
+        let mut trace = self.warmup.run(evaluator, warm_budget);
+        trace.technique = self.name();
+
+        let mut incumbent = trace
+            .best_feasible()
+            .map(|s| s.point.clone())
+            .unwrap_or_else(|| random_point(&space, &mut self.rng));
+        let mut incumbent_cost = f64::INFINITY;
+
+        while trace.evaluations() < budget {
+            // Redraw 1-3 parameters of the incumbent.
+            let mut cand = incumbent.clone();
+            let moves = self.rng.gen_range(1..=3usize);
+            for _ in 0..moves {
+                let p = self.rng.gen_range(0..space.len());
+                let idx = self.rng.gen_range(0..space.param(p).len());
+                cand = cand.with_index(p, idx);
+            }
+            let cost = step(evaluator, &mut trace, &cand);
+            if cost < incumbent_cost {
+                incumbent_cost = cost;
+                incumbent = cand;
+            }
+        }
+        trace.wall_seconds = start.elapsed().as_secs_f64();
+        trace
+    }
+}
+
+/// Explainable-DSE as a [`DseTechnique`], so it can warm-start hybrids and
+/// participate in any baseline-style harness. Uses the standard DNN
+/// latency bottleneck model.
+pub struct ExplainableTechnique {
+    config: DseConfig,
+}
+
+impl ExplainableTechnique {
+    /// Wraps Explainable-DSE with the given seed (other knobs default).
+    pub fn new(seed: u64) -> Self {
+        Self { config: DseConfig { seed, ..DseConfig::default() } }
+    }
+
+    /// Wraps Explainable-DSE with an explicit configuration.
+    pub fn with_config(config: DseConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl DseTechnique for ExplainableTechnique {
+    fn name(&self) -> String {
+        "explainable".into()
+    }
+
+    fn run(&mut self, mut evaluator: &mut dyn Evaluator, budget: usize) -> Trace {
+        let dse = ExplainableDse::new(
+            dnn_latency_model(),
+            DseConfig { budget, ..self.config.clone() },
+        );
+        let initial: DesignPoint = evaluator.space().minimum_point();
+        dse.run_dnn(&mut evaluator, initial).trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RandomSearch;
+    use edse_core::evaluate::CodesignEvaluator;
+    use edse_core::space::edge_space;
+    use mapper::FixedMapper;
+    use workloads::zoo;
+
+    fn evaluator() -> CodesignEvaluator<FixedMapper> {
+        CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper)
+    }
+
+    #[test]
+    fn hybrid_respects_total_budget() {
+        let mut h = WarmStartHybrid::new(Box::new(RandomSearch::new(3)), 0.4, 3);
+        let trace = h.run(&mut evaluator(), 30);
+        assert_eq!(trace.evaluations(), 30);
+        assert_eq!(trace.technique, "random+refine");
+    }
+
+    #[test]
+    fn explainable_warmup_hands_off_a_feasible_incumbent() {
+        // §B: the explainable phase lands a feasible point quickly; the
+        // refinement phase may only improve on it.
+        let mut h = WarmStartHybrid::new(Box::new(ExplainableTechnique::new(1)), 0.5, 1);
+        let mut ev = evaluator();
+        let trace = h.run(&mut ev, 160);
+        let best = trace.best_feasible().expect("hybrid finds a feasible design");
+        // Compare with warmup-only at the same share of budget.
+        let mut ev2 = evaluator();
+        let warm_only = ExplainableTechnique::new(1).run(&mut ev2, 80);
+        if let Some(w) = warm_only.best_feasible() {
+            assert!(best.objective <= w.objective + 1e-9, "refinement must not lose the incumbent");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup_share")]
+    fn invalid_share_rejected() {
+        let _ = WarmStartHybrid::new(Box::new(RandomSearch::new(0)), 1.5, 0);
+    }
+}

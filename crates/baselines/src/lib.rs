@@ -1,0 +1,142 @@
+#![warn(missing_docs)]
+//! Non-explainable DSE baselines, reimplementing the comparison set of the
+//! Explainable-DSE paper's §5: grid search, random search, simulated
+//! annealing (SciPy-style), a genetic algorithm (scikit-opt style),
+//! Bayesian optimization, HyperMapper-2.0-style constrained Bayesian
+//! optimization, and Confuciux-style constrained reinforcement learning.
+//!
+//! All techniques run against the same [`edse_core::evaluate::Evaluator`]
+//! and report the same [`edse_core::cost::Trace`] format as the explainable
+//! DSE, so every figure compares like with like.
+//!
+//! # Example
+//!
+//! ```
+//! use baselines::{DseTechnique, RandomSearch};
+//! use edse_core::evaluate::CodesignEvaluator;
+//! use edse_core::space::edge_space;
+//! use mapper::FixedMapper;
+//! use workloads::zoo;
+//!
+//! let mut evaluator =
+//!     CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+//! let trace = RandomSearch::new(7).run(&mut evaluator, 20);
+//! assert_eq!(trace.evaluations(), 20);
+//! ```
+
+pub mod bo;
+pub mod hybrid;
+pub mod rl;
+pub mod sensitivity;
+pub mod simple;
+
+pub use bo::{BayesianOpt, HyperMapperLike};
+pub use hybrid::{ExplainableTechnique, WarmStartHybrid};
+pub use rl::ConfuciuxRl;
+pub use sensitivity::SensitivityGuided;
+pub use simple::{GeneticAlgorithm, GridSearch, RandomSearch, SimulatedAnnealing};
+
+use edse_core::cost::{Sample, Trace};
+use edse_core::evaluate::Evaluator;
+use edse_core::space::DesignPoint;
+
+/// A DSE technique: explores for `budget` unique evaluations and returns
+/// the full trace.
+pub trait DseTechnique {
+    /// Technique name for reports, e.g. `"random"`.
+    fn name(&self) -> String;
+
+    /// Runs the exploration against an evaluator.
+    fn run(&mut self, evaluator: &mut dyn Evaluator, budget: usize) -> Trace;
+}
+
+/// Evaluates a point, appends it to the trace, and returns its penalized
+/// scalar cost (shared by all baselines): the objective for feasible
+/// points; a large violation-scaled penalty otherwise, so unconstrained
+/// optimizers still feel constraint pressure the way the paper's penalized
+/// baselines do.
+pub(crate) fn step(
+    evaluator: &mut dyn Evaluator,
+    trace: &mut Trace,
+    point: &DesignPoint,
+) -> f64 {
+    let constraints = evaluator.constraints().to_vec();
+    let eval = evaluator.evaluate(point);
+    let feasible = eval.feasible(&constraints);
+    trace.samples.push(Sample {
+        point: point.clone(),
+        objective: eval.objective,
+        constraint_values: eval.constraint_values.clone(),
+        feasible,
+    });
+    if feasible {
+        eval.objective
+    } else {
+        let budget = eval.constraint_budget(&constraints);
+        // Infeasible points rank strictly worse than any feasible one and
+        // worse the deeper the violation.
+        if budget.is_finite() {
+            1e12 * (1.0 + budget)
+        } else {
+            1e15
+        }
+    }
+}
+
+/// Uniformly random point in a space.
+pub(crate) fn random_point(
+    space: &edse_core::space::DesignSpace,
+    rng: &mut rand::rngs::StdRng,
+) -> DesignPoint {
+    use rand::Rng;
+    DesignPoint::new(space.params().iter().map(|p| rng.gen_range(0..p.len())).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edse_core::evaluate::CodesignEvaluator;
+    use edse_core::space::edge_space;
+    use mapper::FixedMapper;
+    use workloads::zoo;
+
+    fn evaluator() -> CodesignEvaluator<FixedMapper> {
+        CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper)
+    }
+
+    #[test]
+    fn every_technique_respects_budget_and_reports_samples() {
+        let budget = 15;
+        let mut techs: Vec<Box<dyn DseTechnique>> = vec![
+            Box::new(GridSearch),
+            Box::new(RandomSearch::new(1)),
+            Box::new(SimulatedAnnealing::new(1)),
+            Box::new(GeneticAlgorithm::new(6, 1)),
+            Box::new(BayesianOpt::new(1)),
+            Box::new(HyperMapperLike::new(1)),
+            Box::new(ConfuciuxRl::new(1)),
+        ];
+        for t in &mut techs {
+            let mut ev = evaluator();
+            let trace = t.run(&mut ev, budget);
+            assert!(
+                trace.evaluations() <= budget,
+                "{} overshot: {}",
+                t.name(),
+                trace.evaluations()
+            );
+            assert!(trace.evaluations() > 0, "{} did nothing", t.name());
+            assert!(!trace.technique.is_empty());
+        }
+    }
+
+    #[test]
+    fn penalized_cost_orders_infeasible_below_feasible() {
+        let mut ev = evaluator();
+        let mut trace = Trace::new("test");
+        // Minimum point: infeasible (violates the throughput floor).
+        let bad = ev.space().minimum_point();
+        let cost = step(&mut ev, &mut trace, &bad);
+        assert!(cost >= 1e12);
+    }
+}

@@ -1,0 +1,280 @@
+//! Non-feedback and classic stochastic baselines: grid search, random
+//! search, simulated annealing, genetic algorithm.
+
+use crate::{random_point, step, DseTechnique};
+use edse_core::cost::Trace;
+use edse_core::evaluate::Evaluator;
+use edse_core::space::DesignPoint;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Grid search: strides each parameter so the grid's size roughly matches
+/// the budget, then sweeps it (a non-feedback technique, Fig. 1a).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GridSearch;
+
+impl DseTechnique for GridSearch {
+    fn name(&self) -> String {
+        "grid".into()
+    }
+
+    fn run(&mut self, evaluator: &mut dyn Evaluator, budget: usize) -> Trace {
+        let start = Instant::now();
+        let space = evaluator.space().clone();
+        let mut trace = Trace::new(self.name());
+
+        // Choose per-parameter sample counts so the product ~ budget:
+        // repeatedly double the count of the parameter with the largest
+        // remaining domain while the grid still fits the budget.
+        let mut counts: Vec<usize> = vec![1; space.len()];
+        loop {
+            let grid: usize = counts.iter().product();
+            let candidate = (0..space.len())
+                .filter(|&i| counts[i] * 2 <= space.param(i).len().max(2))
+                .max_by_key(|&i| space.param(i).len() / counts[i]);
+            match candidate {
+                Some(i) if grid * 2 <= budget => counts[i] = (counts[i] * 2).min(space.param(i).len()),
+                _ => break,
+            }
+        }
+
+        let mut counter = vec![0usize; space.len()];
+        'outer: loop {
+            if trace.evaluations() >= budget {
+                break;
+            }
+            // Map counter to spread indices across each domain.
+            let indices: Vec<usize> = counter
+                .iter()
+                .zip(space.params())
+                .zip(&counts)
+                .map(|((&c, p), &cnt)| {
+                    if cnt <= 1 {
+                        0
+                    } else {
+                        c * (p.len() - 1) / (cnt - 1)
+                    }
+                })
+                .collect();
+            step(evaluator, &mut trace, &DesignPoint::new(indices));
+
+            // Mixed-radix increment.
+            for i in 0..counter.len() {
+                counter[i] += 1;
+                if counter[i] < counts[i] {
+                    continue 'outer;
+                }
+                counter[i] = 0;
+            }
+            break;
+        }
+        trace.wall_seconds = start.elapsed().as_secs_f64();
+        trace
+    }
+}
+
+/// Uniform random search (non-feedback).
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    rng: StdRng,
+}
+
+impl RandomSearch {
+    /// A random search with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl DseTechnique for RandomSearch {
+    fn name(&self) -> String {
+        "random".into()
+    }
+
+    fn run(&mut self, evaluator: &mut dyn Evaluator, budget: usize) -> Trace {
+        let start = Instant::now();
+        let space = evaluator.space().clone();
+        let mut trace = Trace::new(self.name());
+        for _ in 0..budget {
+            let p = random_point(&space, &mut self.rng);
+            step(evaluator, &mut trace, &p);
+        }
+        trace.wall_seconds = start.elapsed().as_secs_f64();
+        trace
+    }
+}
+
+/// Simulated annealing with a linear temperature schedule and single-index
+/// neighborhood moves (the SciPy-style baseline).
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    rng: StdRng,
+    initial_temp: f64,
+}
+
+impl SimulatedAnnealing {
+    /// An annealer with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), initial_temp: 1.0 }
+    }
+}
+
+impl DseTechnique for SimulatedAnnealing {
+    fn name(&self) -> String {
+        "annealing".into()
+    }
+
+    fn run(&mut self, evaluator: &mut dyn Evaluator, budget: usize) -> Trace {
+        let start = Instant::now();
+        let space = evaluator.space().clone();
+        let mut trace = Trace::new(self.name());
+
+        let mut current = random_point(&space, &mut self.rng);
+        let mut current_cost = step(evaluator, &mut trace, &current);
+        while trace.evaluations() < budget {
+            let temp = self.initial_temp
+                * (1.0 - trace.evaluations() as f64 / budget as f64).max(1e-3);
+            // Neighbor: move one random parameter by +-1 index.
+            let p = self.rng.gen_range(0..space.len());
+            let len = space.param(p).len();
+            let idx = current.index(p);
+            let next = if self.rng.gen::<bool>() && idx + 1 < len {
+                idx + 1
+            } else {
+                idx.saturating_sub(1)
+            };
+            let cand = current.with_index(p, next);
+            let cost = step(evaluator, &mut trace, &cand);
+            let accept = cost <= current_cost || {
+                let ratio = (current_cost - cost) / (current_cost.abs().max(1e-9) * temp);
+                self.rng.gen::<f64>() < ratio.exp()
+            };
+            if accept {
+                current = cand;
+                current_cost = cost;
+            }
+        }
+        trace.wall_seconds = start.elapsed().as_secs_f64();
+        trace
+    }
+}
+
+/// Genetic algorithm with tournament selection, uniform crossover, and
+/// per-index mutation (the scikit-opt-style baseline).
+#[derive(Debug, Clone)]
+pub struct GeneticAlgorithm {
+    population: usize,
+    rng: StdRng,
+}
+
+impl GeneticAlgorithm {
+    /// A GA with the given population size and seed.
+    pub fn new(population: usize, seed: u64) -> Self {
+        Self { population: population.max(4), rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl DseTechnique for GeneticAlgorithm {
+    fn name(&self) -> String {
+        "genetic".into()
+    }
+
+    fn run(&mut self, evaluator: &mut dyn Evaluator, budget: usize) -> Trace {
+        let start = Instant::now();
+        let space = evaluator.space().clone();
+        let mut trace = Trace::new(self.name());
+
+        let mut pop: Vec<(DesignPoint, f64)> = (0..self.population.min(budget))
+            .map(|_| {
+                let p = random_point(&space, &mut self.rng);
+                let c = step(evaluator, &mut trace, &p);
+                (p, c)
+            })
+            .collect();
+
+        while trace.evaluations() < budget {
+            let pick = |rng: &mut StdRng, pop: &[(DesignPoint, f64)]| {
+                let a = rng.gen_range(0..pop.len());
+                let b = rng.gen_range(0..pop.len());
+                if pop[a].1 <= pop[b].1 {
+                    pop[a].0.clone()
+                } else {
+                    pop[b].0.clone()
+                }
+            };
+            let pa = pick(&mut self.rng, &pop);
+            let pb = pick(&mut self.rng, &pop);
+            // Uniform crossover + mutation.
+            let mut child: Vec<usize> = (0..space.len())
+                .map(|i| if self.rng.gen::<bool>() { pa.index(i) } else { pb.index(i) })
+                .collect();
+            for (i, gene) in child.iter_mut().enumerate() {
+                if self.rng.gen::<f64>() < 0.1 {
+                    *gene = self.rng.gen_range(0..space.param(i).len());
+                }
+            }
+            let cand = DesignPoint::new(child);
+            let cost = step(evaluator, &mut trace, &cand);
+            // Replace the worst member if the child is better.
+            if let Some(worst) = pop
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())
+                .map(|(i, _)| i)
+            {
+                if cost < pop[worst].1 {
+                    pop[worst] = (cand, cost);
+                }
+            }
+        }
+        trace.wall_seconds = start.elapsed().as_secs_f64();
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edse_core::evaluate::CodesignEvaluator;
+    use edse_core::space::edge_space;
+    use mapper::FixedMapper;
+    use workloads::zoo;
+
+    fn evaluator() -> CodesignEvaluator<FixedMapper> {
+        CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper)
+    }
+
+    #[test]
+    fn grid_covers_distinct_points() {
+        let mut ev = evaluator();
+        let t = GridSearch.run(&mut ev, 30);
+        let mut pts: Vec<_> = t.samples.iter().map(|s| s.point.clone()).collect();
+        pts.sort_by_key(|p| p.indices().to_vec());
+        pts.dedup();
+        assert!(pts.len() > 1, "grid should visit distinct points");
+    }
+
+    #[test]
+    fn random_search_is_reproducible() {
+        let a = RandomSearch::new(5).run(&mut evaluator(), 10);
+        let b = RandomSearch::new(5).run(&mut evaluator(), 10);
+        let pa: Vec<_> = a.samples.iter().map(|s| s.point.clone()).collect();
+        let pb: Vec<_> = b.samples.iter().map(|s| s.point.clone()).collect();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn annealing_neighbors_differ_by_one_index() {
+        let mut ev = evaluator();
+        let t = SimulatedAnnealing::new(3).run(&mut ev, 12);
+        assert_eq!(t.evaluations(), 12);
+    }
+
+    #[test]
+    fn ga_population_larger_than_budget_is_clipped() {
+        let mut ev = evaluator();
+        let t = GeneticAlgorithm::new(64, 2).run(&mut ev, 10);
+        assert_eq!(t.evaluations(), 10);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the baseline optimizers against a synthetic
+//! evaluator (fast, no DNN machinery): every technique must respect its
+//! budget, stay within parameter domains, and be seed-reproducible.
+
+use baselines::{
+    BayesianOpt, ConfuciuxRl, DseTechnique, GeneticAlgorithm, GridSearch, HyperMapperLike,
+    RandomSearch, SimulatedAnnealing,
+};
+use edse_core::cost::{Constraint, Evaluation};
+use edse_core::evaluate::Evaluator;
+use edse_core::space::{DesignPoint, DesignSpace, ParamDef};
+use proptest::prelude::*;
+
+/// A cheap synthetic problem: quadratic bowl objective with one synthetic
+/// constraint, over an arbitrary discrete space.
+struct Bowl {
+    space: DesignSpace,
+    constraints: Vec<Constraint>,
+    evals: usize,
+}
+
+impl Bowl {
+    fn new(sizes: &[usize]) -> Self {
+        let params = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                ParamDef::new(format!("p{i}"), (0..n).map(|v| v as f64 + 1.0).collect())
+            })
+            .collect();
+        Self {
+            space: DesignSpace::new(params),
+            constraints: vec![Constraint::new("sum", 1e9)],
+            evals: 0,
+        }
+    }
+}
+
+impl Evaluator for Bowl {
+    fn evaluate(&mut self, point: &DesignPoint) -> Evaluation {
+        self.evals += 1;
+        let obj: f64 = point
+            .indices()
+            .iter()
+            .enumerate()
+            .map(|(i, &idx)| {
+                let center = self.space.param(i).len() as f64 / 2.0;
+                (idx as f64 - center).powi(2)
+            })
+            .sum::<f64>()
+            + 1.0;
+        Evaluation {
+            objective: obj,
+            mappable: true,
+            constraint_values: vec![obj],
+            layers: vec![],
+            area_mm2: 0.0,
+            power_w: 0.0,
+            energy_mj: 0.0,
+        }
+    }
+
+    fn space(&self) -> &DesignSpace {
+        &self.space
+    }
+
+    fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    fn unique_evaluations(&self) -> usize {
+        self.evals
+    }
+
+    fn decode(&self, _point: &DesignPoint) -> accel_model::AcceleratorConfig {
+        accel_model::AcceleratorConfig::edge_baseline()
+    }
+}
+
+fn techniques(seed: u64) -> Vec<Box<dyn DseTechnique>> {
+    vec![
+        Box::new(GridSearch),
+        Box::new(RandomSearch::new(seed)),
+        Box::new(SimulatedAnnealing::new(seed)),
+        Box::new(GeneticAlgorithm::new(8, seed)),
+        Box::new(BayesianOpt::new(seed)),
+        Box::new(HyperMapperLike::new(seed)),
+        Box::new(ConfuciuxRl::new(seed)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Budget discipline and in-domain sampling on arbitrary spaces.
+    #[test]
+    fn budget_and_domains_hold(
+        sizes in proptest::collection::vec(2usize..9, 2..6),
+        budget in 5usize..40,
+        seed in 0u64..100,
+    ) {
+        for mut t in techniques(seed) {
+            let mut bowl = Bowl::new(&sizes);
+            let trace = t.run(&mut bowl, budget);
+            prop_assert!(trace.evaluations() <= budget, "{}", t.name());
+            prop_assert!(trace.evaluations() > 0);
+            for s in &trace.samples {
+                prop_assert_eq!(s.point.indices().len(), sizes.len());
+                for (i, &idx) in s.point.indices().iter().enumerate() {
+                    prop_assert!(idx < sizes[i], "{} out of domain", t.name());
+                }
+            }
+        }
+    }
+
+    /// Seeded runs are exactly reproducible.
+    #[test]
+    fn reproducibility(seed in 0u64..50) {
+        let sizes = [5usize, 7, 3];
+        for (mut a, mut b) in techniques(seed).into_iter().zip(techniques(seed)) {
+            let ta = a.run(&mut Bowl::new(&sizes), 20);
+            let tb = b.run(&mut Bowl::new(&sizes), 20);
+            let pa: Vec<_> = ta.samples.iter().map(|s| s.point.clone()).collect();
+            let pb: Vec<_> = tb.samples.iter().map(|s| s.point.clone()).collect();
+            prop_assert_eq!(pa, pb, "{} not reproducible", a.name());
+        }
+    }
+
+    /// On the easy bowl, every feedback technique improves over its first
+    /// sample given a moderate budget.
+    #[test]
+    fn feedback_techniques_improve_on_the_bowl(seed in 0u64..20) {
+        let sizes = [9usize, 9, 9];
+        for mut t in techniques(seed) {
+            if t.name() == "grid" {
+                continue; // non-feedback; coverage, not improvement
+            }
+            let trace = t.run(&mut Bowl::new(&sizes), 60);
+            let first = trace.samples.first().unwrap().objective;
+            let best = trace.best_feasible().unwrap().objective;
+            prop_assert!(best <= first, "{} got worse", t.name());
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks for the building blocks the experiments
+//! lean on: cost-model evaluation, mapping-space construction, mapping
+//! optimization, bottleneck analysis, and one full DSE acquisition step.
+
+use accel_model::{AcceleratorConfig, Mapping};
+use criterion::{criterion_group, criterion_main, Criterion};
+use edse_core::bottleneck::{dnn_latency_model, LayerCtx};
+use edse_core::dse::{DseConfig, ExplainableDse};
+use edse_core::evaluate::{CodesignEvaluator, Evaluator};
+use edse_core::space::edge_space;
+use mapper::{FixedMapper, LinearMapper, MappingOptimizer, MappingSpace, SpaceBudget};
+use std::hint::black_box;
+use workloads::{zoo, LayerShape};
+
+fn layer() -> LayerShape {
+    LayerShape::conv(1, 64, 64, 56, 56, 3, 3, 1)
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let cfg = AcceleratorConfig::edge_baseline();
+    let l = layer();
+    let m = Mapping::fixed_output_stationary(&l, &cfg);
+    c.bench_function("cost_model/execute_layer", |b| {
+        b.iter(|| black_box(cfg.execute(black_box(&l), black_box(&m))).unwrap())
+    });
+}
+
+fn bench_mapping_space(c: &mut Criterion) {
+    let cfg = AcceleratorConfig::edge_baseline();
+    let l = layer();
+    c.bench_function("mapper/space_build_top100", |b| {
+        b.iter(|| black_box(MappingSpace::build(&l, &cfg, SpaceBudget::top(100))))
+    });
+    c.bench_function("mapper/linear_optimize_top50", |b| {
+        let mut m = LinearMapper::new(50);
+        b.iter(|| black_box(m.optimize(&l, &cfg)))
+    });
+}
+
+fn bench_bottleneck(c: &mut Criterion) {
+    let cfg = AcceleratorConfig::edge_baseline();
+    let l = layer();
+    let m = Mapping::fixed_output_stationary(&l, &cfg);
+    let profile = cfg.execute(&l, &m).unwrap();
+    let model = dnn_latency_model();
+    let ctx = LayerCtx { cfg, profile };
+    c.bench_function("bottleneck/analyze_layer", |b| {
+        b.iter(|| black_box(model.analyze(black_box(&ctx), 2)))
+    });
+}
+
+fn bench_dse(c: &mut Criterion) {
+    c.bench_function("dse/point_evaluation_fixdf", |b| {
+        let mut ev = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+        let p = ev.space().minimum_point();
+        let mut bump = 0usize;
+        b.iter(|| {
+            // Vary the point so caching does not trivialize the benchmark.
+            bump = (bump + 1) % 7;
+            let q = p.with_index(0, bump);
+            black_box(ev.evaluate(&q))
+        })
+    });
+    c.bench_function("dse/explainable_20_evals", |b| {
+        b.iter(|| {
+            let mut ev =
+                CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+            let dse = ExplainableDse::new(
+                dnn_latency_model(),
+                DseConfig { budget: 20, ..DseConfig::default() },
+            );
+            let initial = ev.space().minimum_point();
+            black_box(dse.run_dnn(&mut ev, initial))
+        })
+    });
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let cfg = AcceleratorConfig::edge_baseline();
+    let l = LayerShape::conv(1, 64, 32, 14, 14, 3, 3, 1);
+    let m = Mapping::fixed_output_stationary(&l, &cfg);
+    c.bench_function("sim/tile_pipeline_small_conv", |b| {
+        b.iter(|| accel_model::simulate(&cfg, black_box(&l), black_box(&m), 2_000_000).unwrap())
+    });
+}
+
+fn bench_space_size(c: &mut Criterion) {
+    let l = LayerShape::conv(1, 64, 64, 224, 224, 3, 3, 1);
+    let reference = AcceleratorConfig::edge_minimum();
+    c.bench_function("mapper/table7_space_size", |b| {
+        b.iter(|| black_box(mapper::layer_space_size(&l, &reference, 200, 0)))
+    });
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    c.bench_function("workloads/unique_shapes_bert", |b| {
+        let m = zoo::bert_base();
+        b.iter(|| black_box(m.unique_shapes()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cost_model,
+    bench_mapping_space,
+    bench_bottleneck,
+    bench_dse,
+    bench_sim,
+    bench_space_size,
+    bench_workloads
+);
+criterion_main!(benches);

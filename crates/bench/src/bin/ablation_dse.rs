@@ -1,0 +1,80 @@
+//! Ablations of Explainable-DSE's design choices (DESIGN.md §6):
+//!
+//! * **aggregation** — minimum vs maximum over conflicting per-layer
+//!   predictions (§4.4 argues max exhausts the constraints budget early);
+//! * **budget-awareness** — the §4.6 objective x budget update vs plain
+//!   objective minimization;
+//! * **top-K** — how many cost-critical sub-functions contribute
+//!   predictions per attempt (paper: 5);
+//! * **mapping coupling** — fixed dataflow vs tightly coupled codesign
+//!   (§6.2's 4.24x claim).
+//!
+//! Usage: `ablation_dse [--iters N] [--models a,b] [--seed N]`
+
+use bench::{print_table, Args};
+use edse_core::bottleneck::dnn_latency_model;
+use edse_core::dse::{Aggregation, DseConfig, ExplainableDse};
+use edse_core::evaluate::{CodesignEvaluator, Evaluator};
+use edse_core::space::edge_space;
+use mapper::{FixedMapper, LinearMapper, MappingOptimizer};
+use workloads::{zoo, DnnModel};
+
+fn run<M: MappingOptimizer>(
+    model: &DnnModel,
+    mapper: M,
+    config: DseConfig,
+) -> (String, String, String) {
+    let mut ev = CodesignEvaluator::new(edge_space(), vec![model.clone()], mapper);
+    let dse = ExplainableDse::new(dnn_latency_model(), config);
+    let initial = ev.space().minimum_point();
+    let r = dse.run_dnn(&mut ev, initial);
+    let best = r
+        .best
+        .as_ref()
+        .map(|(_, e)| format!("{:.2}", e.objective))
+        .unwrap_or_else(|| "-".into());
+    let budget = r
+        .best
+        .as_ref()
+        .map(|(_, e)| {
+            format!("{:.2}", e.constraint_budget(ev.constraints()))
+        })
+        .unwrap_or_else(|| "-".into());
+    (best, r.trace.evaluations().to_string(), budget)
+}
+
+fn main() {
+    let mut args = Args::parse(250);
+    // Convergence comparisons need room even in quick mode.
+    args.iters = args.iters.max(150);
+    let models = args.models_or(vec![zoo::resnet18(), zoo::efficientnet_b0()]);
+    let base = DseConfig { budget: args.iters, ..DseConfig::default() };
+
+    for model in &models {
+        println!("== ablations for {} (budget {}) ==", model.name(), args.iters);
+        let variants: Vec<(&str, DseConfig, bool)> = vec![
+            ("paper defaults (min agg, budget-aware, K=5)", base.clone(), false),
+            ("max aggregation", DseConfig { aggregation: Aggregation::Max, ..base.clone() }, false),
+            ("budget-awareness off", DseConfig { budget_aware: false, ..base.clone() }, false),
+            ("top-K = 1", DseConfig { top_k: 1, ..base.clone() }, false),
+            ("top-K = 20", DseConfig { top_k: 20, ..base.clone() }, false),
+            ("codesign (linear mapper)", base.clone(), true),
+        ];
+        let mut rows = Vec::new();
+        for (name, config, codesign) in variants {
+            let (best, evals, budget) = if codesign {
+                run(model, LinearMapper::new(args.map_trials), config)
+            } else {
+                run(model, FixedMapper, config)
+            };
+            rows.push(vec![name.to_string(), best, evals, budget]);
+        }
+        print_table(&["variant", "best latency (ms)", "evals", "budget used"], &rows);
+        println!();
+    }
+    println!(
+        "paper shape: max aggregation converges faster but exhausts the budget on\n\
+         over-provisioned designs; removing budget-awareness chases marginal\n\
+         objective reductions; codesign reduces latency a further ~4.24x."
+    );
+}

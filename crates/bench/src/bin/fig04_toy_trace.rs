@@ -1,0 +1,97 @@
+//! Fig. 4 — Toy two-parameter exploration (#PEs x shared-memory size) for a
+//! late ResNet convolution (CONV5_2-class layer), tracing the acquisitions
+//! of a HyperMapper-2.0-style optimizer against Explainable-DSE. All other
+//! parameters are frozen mid-range, exactly the setting of the paper's
+//! illustration.
+//!
+//! Usage: `fig04_toy_trace [--iters N] [--seed N]`
+
+use baselines::{DseTechnique, HyperMapperLike};
+use bench::Args;
+use edse_core::bottleneck::dnn_latency_model;
+use edse_core::dse::{DseConfig, ExplainableDse};
+use edse_core::evaluate::{CodesignEvaluator, Evaluator};
+use edse_core::space::{edge, DesignSpace, ParamDef};
+use edse_core::Trace;
+use workloads::constraints::ThroughputTarget;
+use workloads::model::{DnnModel, Layer};
+use workloads::LayerShape;
+
+/// The edge space with every parameter except #PEs and L2 frozen to a
+/// workable mid value (single-option domains).
+fn toy_space() -> DesignSpace {
+    let full = edse_core::space::edge_space();
+    let params = full
+        .params()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            if i == edge::PES || i == edge::L2_KB {
+                p.clone()
+            } else {
+                let values = p.values();
+                let mid = values[values.len() - 1];
+                ParamDef::new(p.name().to_string(), vec![mid])
+            }
+        })
+        .collect();
+    DesignSpace::new(params)
+}
+
+fn single_layer_model() -> DnnModel {
+    DnnModel::new(
+        "ResNet-CONV5_2",
+        vec![Layer::new("conv5_2b", LayerShape::conv(1, 512, 512, 7, 7, 3, 3, 1), 1)],
+        ThroughputTarget::fps(40.0),
+    )
+}
+
+fn print_trace(title: &str, space: &DesignSpace, trace: &Trace) {
+    println!("\n--- {title} ---");
+    println!("{:>4} {:>6} {:>8} {:>12} {:>5}", "iter", "PEs", "L2 (kB)", "latency (ms)", "ok");
+    for (i, s) in trace.samples.iter().enumerate() {
+        println!(
+            "{:>4} {:>6} {:>8} {:>12} {:>5}",
+            i + 1,
+            space.value(&s.point, edge::PES),
+            space.value(&s.point, edge::L2_KB),
+            if s.objective.is_finite() { format!("{:.3}", s.objective) } else { "inf".into() },
+            if s.feasible { "yes" } else { "no" }
+        );
+    }
+    match trace.best_feasible() {
+        Some(b) => println!("best feasible: {:.3} ms", b.objective),
+        None => println!("no feasible point found"),
+    }
+}
+
+fn main() {
+    let args = Args::parse(25);
+    let space = toy_space();
+    let model = single_layer_model();
+
+    // HyperMapper-2.0-style exploration (Fig. 4a).
+    let mut ev =
+        CodesignEvaluator::new(space.clone(), vec![model.clone()], mapper::FixedMapper);
+    let hm = HyperMapperLike::new(args.seed).run(&mut ev, args.iters);
+    print_trace("HyperMapper 2.0 (black-box)", &space, &hm);
+
+    // Explainable-DSE (Fig. 4b).
+    let mut ev =
+        CodesignEvaluator::new(space.clone(), vec![model], mapper::FixedMapper);
+    let dse = ExplainableDse::new(
+        dnn_latency_model(),
+        DseConfig { budget: args.iters, ..DseConfig::default() },
+    );
+    let initial = ev.space().minimum_point();
+    let result = dse.run_dnn(&mut ev, initial);
+    print_trace("Explainable-DSE (bottleneck-guided)", &space, &result.trace);
+    println!("\nexplanations:");
+    for a in result.attempts.iter().take(6) {
+        println!("  attempt {}: {}", a.index, a.decision);
+        if let Some(line) = a.analyses.first() {
+            let short: String = line.chars().take(120).collect();
+            println!("    {short}");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Fig. 6 — The paper's walkthrough, end to end: exploring a ResNet-18
+//! accelerator with every step narrated — (b) per-layer bottleneck
+//! analysis, (c) aggregation across layers, (d) bottleneck-mitigating
+//! acquisitions, (e) constraints-aware update — rendered as the markdown
+//! report the framework produces for any run.
+//!
+//! Usage: `fig06_walkthrough [--iters N]`
+
+use bench::Args;
+use edse_core::bottleneck::dnn_latency_model;
+use edse_core::dse::{DseConfig, ExplainableDse};
+use edse_core::evaluate::{CodesignEvaluator, Evaluator};
+use edse_core::space::edge_space;
+use mapper::FixedMapper;
+use workloads::zoo;
+
+fn main() {
+    let args = Args::parse(80);
+    let mut evaluator =
+        CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+    let dse = ExplainableDse::new(
+        dnn_latency_model(),
+        DseConfig { budget: args.iters.max(60), restarts: 0, ..DseConfig::default() },
+    );
+    let initial = evaluator.space().minimum_point();
+    let result = dse.run_dnn(&mut evaluator, initial);
+    println!("{}", result.report(evaluator.space(), evaluator.constraints()));
+}

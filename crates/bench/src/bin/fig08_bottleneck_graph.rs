@@ -1,0 +1,61 @@
+//! Fig. 8 — The populated bottleneck model of one DNN-layer execution,
+//! rendered with per-node contributions, plus the analyzer's conclusions
+//! (primary bottleneck, required scaling `s`, parameter predictions).
+//!
+//! Usage: `fig08_bottleneck_graph`
+
+use accel_model::{AcceleratorConfig, Mapping};
+use edse_core::bottleneck::{dnn_latency_model, LayerCtx};
+use workloads::LayerShape;
+
+fn main() {
+    // A bandwidth-starved configuration so DMA dominates, as in the figure.
+    let cfg = AcceleratorConfig {
+        pes: 1024,
+        noc_width_bits: 128,
+        noc_phys_links: [64, 64, 64, 64],
+        noc_virt_links: [64, 64, 64, 64],
+        offchip_bw_mbps: 2048,
+        ..AcceleratorConfig::edge_baseline()
+    };
+    let layer = LayerShape::conv(1, 128, 128, 28, 28, 3, 3, 1);
+    let mapping = Mapping::fixed_output_stationary(&layer, &cfg);
+    let profile = cfg.execute(&layer, &mapping).expect("feasible mapping");
+
+    println!("layer: {}", layer.describe());
+    println!(
+        "config: {} PEs, {} B RF, {} kB SPM, {} MB/s off-chip, {}-bit NoCs\n",
+        cfg.pes,
+        cfg.l1_bytes,
+        cfg.l2_bytes / 1024,
+        cfg.offchip_bw_mbps,
+        cfg.noc_width_bits
+    );
+
+    let model = dnn_latency_model();
+    let ctx = LayerCtx { cfg, profile };
+    let analysis = model.analyze(&ctx, 3);
+
+    println!("populated bottleneck graph (value, contribution):\n");
+    print!("{}", analysis.tree.render());
+
+    println!("\nanalyzer conclusions:");
+    println!("  primary bottleneck factor : {}", analysis.bottleneck);
+    println!("  required scaling s        : {:.2}x", analysis.scaling);
+    let path: Vec<&str> = analysis
+        .tree
+        .bottleneck_path()
+        .iter()
+        .map(|&id| analysis.tree.node(id).name.as_str())
+        .collect();
+    println!("  dominant path             : {}", path.join(" -> "));
+    println!("\nmitigation predictions:");
+    for p in &analysis.predictions {
+        println!("  param {:>2}: {}", p.param, p.rationale);
+    }
+    println!(
+        "\npaper shape: DMA time dominates; computation and on-chip communication\n\
+         contribute ~24-26% each, so balancing requires scaling DMA down ~3.9x\n\
+         via off-chip bandwidth or scratchpad reuse (Fig. 8's walkthrough)."
+    );
+}

@@ -1,0 +1,85 @@
+//! Fig. 11 — Latency reduced over iterations for (a) EfficientNet-B0 and
+//! (b) Transformer: the running best-feasible objective per technique,
+//! printed as aligned series.
+//!
+//! Usage: `fig11_convergence [--full] [--iters N] [--models a,b]`
+
+use bench::{print_table, run_technique, Args, MapperKind, TechniqueKind};
+use edse_core::Trace;
+use workloads::zoo;
+
+fn fmt(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.2}")
+    } else {
+        "-".into()
+    }
+}
+
+fn main() {
+    let args = Args::parse(2500);
+    let models = args.models_or(vec![zoo::efficientnet_b0(), zoo::transformer()]);
+
+    let settings = [
+        (TechniqueKind::Random, MapperKind::FixedDataflow),
+        (TechniqueKind::HyperMapper, MapperKind::FixedDataflow),
+        (TechniqueKind::Rl, MapperKind::FixedDataflow),
+        (TechniqueKind::Explainable, MapperKind::FixedDataflow),
+        (TechniqueKind::Random, MapperKind::Random(args.map_trials)),
+        (TechniqueKind::Explainable, MapperKind::Linear(args.map_trials)),
+    ];
+
+    for model in &models {
+        println!("== Fig. 11: convergence for {} ==\n", model.name());
+        let traces: Vec<(String, Trace)> = settings
+            .iter()
+            .map(|(kind, mapper)| {
+                let t = run_technique(
+                    *kind,
+                    *mapper,
+                    vec![model.clone()],
+                    args.iters,
+                    args.seed,
+                );
+                (format!("{}{}", kind.label(), mapper.suffix()), t)
+            })
+            .collect();
+
+        // Sample the running-best curves at ~12 points.
+        let max_len = traces.iter().map(|(_, t)| t.evaluations()).max().unwrap_or(0);
+        let step = (max_len / 12).max(1);
+        let mut headers = vec!["iteration".to_string()];
+        headers.extend(traces.iter().map(|(n, _)| n.clone()));
+        let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+
+        let curves: Vec<Vec<f64>> =
+            traces.iter().map(|(_, t)| t.convergence_curve()).collect();
+        let mut rows = Vec::new();
+        let mut i = step - 1;
+        while i < max_len {
+            let mut row = vec![(i + 1).to_string()];
+            for c in &curves {
+                row.push(fmt(*c.get(i.min(c.len().saturating_sub(1))).unwrap_or(&f64::INFINITY)));
+            }
+            rows.push(row);
+            i += step;
+        }
+        print_table(&header_refs, &rows);
+        println!(
+            "\nfinal best: {}\n",
+            traces
+                .iter()
+                .map(|(n, t)| format!(
+                    "{n}={}",
+                    t.best_feasible().map(|s| format!("{:.2}", s.objective)).unwrap_or("-".into())
+                ))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+    }
+    println!(
+        "paper shape: Explainable-DSE reduces the objective at almost every\n\
+         acquisition and converges within tens of iterations; black-box curves\n\
+         plateau far higher."
+    );
+}

@@ -1,0 +1,95 @@
+//! Fig. 14 / Table 4 case study (§E) — efficiency of the DSE-obtained
+//! codesigns against published edge accelerators: Google Coral Edge TPU
+//! and Eyeriss.
+//!
+//! **Substitution note (DESIGN.md §3):** the silicon reference points are
+//! the published benchmark numbers the paper itself cites (Edge TPU
+//! performance benchmarks \[11\] scaled to 16-bit as in Table 4; the Eyeriss
+//! ISCA'16 evaluation), encoded as constants — no silicon is simulated.
+//! Our DSE numbers come from this reproduction's models, so *ratios*, not
+//! absolute values, are the comparison target.
+//!
+//! Usage: `fig14_casestudy [--full] [--iters N]`
+
+use bench::{print_table, run_technique, Args, MapperKind, TechniqueKind};
+use edse_core::evaluate::{CodesignEvaluator, Evaluator};
+use edse_core::space::edge_space;
+use mapper::LinearMapper;
+use workloads::zoo;
+
+/// Published reference points: (model, FPS, area mm^2, power W).
+struct Reference {
+    name: &'static str,
+    model: &'static str,
+    fps: f64,
+    area_mm2: f64,
+    power_w: f64,
+}
+
+fn references() -> Vec<Reference> {
+    vec![
+        // Edge TPU benchmark FPS scaled for 16-bit precision (paper Table 4
+        // scales the published 8-bit numbers); ~1.4 W per the datasheet
+        // figure the paper cites, area from die estimates (~25 mm^2).
+        Reference { name: "EdgeTPU", model: "MobileNetV2", fps: 200.0, area_mm2: 25.0, power_w: 1.4 },
+        Reference { name: "EdgeTPU", model: "ResNet50", fps: 28.0, area_mm2: 25.0, power_w: 1.4 },
+        // Eyeriss (ISCA'16): AlexNet 35 FPS at 278 mW, 12.25 mm^2 at 65 nm;
+        // VGG16 0.7 FPS. We compare on VGG16.
+        Reference { name: "Eyeriss", model: "VGG16", fps: 0.7, area_mm2: 12.25, power_w: 0.278 },
+    ]
+}
+
+fn main() {
+    let args = Args::parse(400);
+    println!("Fig. 14: DSE codesigns vs published edge accelerators\n");
+
+    let mut rows = Vec::new();
+    for r in references() {
+        let Some(model) = zoo::by_name(r.model) else { continue };
+        let trace = run_technique(
+            TechniqueKind::Explainable,
+            MapperKind::Linear(args.map_trials),
+            vec![model.clone()],
+            args.iters,
+            args.seed,
+        );
+        let Some(best) = trace.best_feasible() else {
+            rows.push(vec![r.model.into(), "no feasible design".into(), String::new(), String::new(), String::new(), String::new()]);
+            continue;
+        };
+        // Re-evaluate the best point for area/power/energy.
+        let mut ev = CodesignEvaluator::new(
+            edge_space(),
+            vec![model.clone()],
+            LinearMapper::new(args.map_trials),
+        );
+        let eval = ev.evaluate(&best.point);
+        let fps = 1000.0 / best.objective;
+        let fps_per_mm2 = fps / eval.area_mm2;
+        // Energy per inference (J) from the execution model.
+        let fps_per_j = if eval.energy_mj > 0.0 { 1000.0 / eval.energy_mj } else { 0.0 };
+
+        let ref_fps_per_mm2 = r.fps / r.area_mm2;
+        let ref_fps_per_w = r.fps / r.power_w;
+        rows.push(vec![
+            r.model.to_string(),
+            format!(
+                "{} ({:.1} FPS, {:.1} FPS/mm2, {:.0} FPS/W)",
+                r.name, r.fps, ref_fps_per_mm2, ref_fps_per_w
+            ),
+            format!("{fps:.1}"),
+            format!("{fps_per_mm2:.1}"),
+            format!("{fps_per_j:.0}"),
+            format!("{:.1}x / {:.1}x", fps / r.fps, fps_per_mm2 / ref_fps_per_mm2),
+        ]);
+    }
+    print_table(
+        &["model", "reference (published)", "DSE FPS", "DSE FPS/mm2", "DSE FPS/J", "speedup / area-eff gain"],
+        &rows,
+    );
+    println!(
+        "\npaper shape: DSE codesigns reach ~3.7x the Edge TPU's throughput and\n\
+         ~49x its area efficiency on average (an order of magnitude less silicon),\n\
+         with energy efficiency comparable to the EfficientNet-EdgeTPU codesign."
+    );
+}

@@ -1,0 +1,78 @@
+//! Workload ingestion demo: import a model from its JSON description and
+//! run a quick explainable exploration for it — the end-to-end path a
+//! downstream user takes for a network that is not in the built-in zoo.
+//!
+//! Usage: `import_model <path/to/model.json> [--iters N]`
+//! (default path: `assets/custom_model.json`)
+
+use bench::Args;
+use edse_core::bottleneck::dnn_latency_model;
+use edse_core::dse::{DseConfig, ExplainableDse};
+use edse_core::evaluate::{CodesignEvaluator, Evaluator};
+use edse_core::space::edge_space;
+use mapper::LinearMapper;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "assets/custom_model.json".into());
+    let args = Args::parse(150);
+
+    let json = match std::fs::read_to_string(&path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let model = match workloads::from_json_str(&json) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("import failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "imported {}: {} layers ({} unique shapes), {:.2} GMACs, floor {:.1} inf/s",
+        model.name(),
+        model.layer_count(),
+        model.unique_shape_count(),
+        model.total_macs() as f64 / 1e9,
+        model.target().inferences_per_second()
+    );
+    for u in model.unique_shapes().iter().take(8) {
+        println!("  {:>14} x{:<3} {}", u.name, u.count, u.shape.describe());
+    }
+
+    let mut evaluator =
+        CodesignEvaluator::new(edge_space(), vec![model], LinearMapper::new(args.map_trials));
+    let dse = ExplainableDse::new(
+        dnn_latency_model(),
+        DseConfig { budget: args.iters, ..DseConfig::default() },
+    );
+    let initial = evaluator.space().minimum_point();
+    let result = dse.run_dnn(&mut evaluator, initial);
+    println!(
+        "\nexplored {} designs ({})",
+        result.trace.evaluations(),
+        result.termination
+    );
+    match &result.best {
+        Some((point, eval)) => {
+            let cfg = evaluator.decode(point);
+            println!(
+                "best codesign: {} PEs, {} B RF, {} kB SPM, {} MB/s -> {:.3} ms, {:.1} mm^2, {:.2} W",
+                cfg.pes,
+                cfg.l1_bytes,
+                cfg.l2_bytes / 1024,
+                cfg.offchip_bw_mbps,
+                eval.objective,
+                eval.area_mm2,
+                eval.power_w
+            );
+        }
+        None => println!("no feasible design within the budget"),
+    }
+}

@@ -1,0 +1,60 @@
+//! Table 3 — Per-acquisition objective reduction: the geometric-mean ratio
+//! between successive feasible objective values along each technique's
+//! trajectory, reported as the percentage reduction per acquisition
+//! (`N/A` when a technique never found two feasible samples).
+//!
+//! Usage: `tab03_objective_reduction [--full] [--iters N] [--models a,b]`
+
+use bench::{print_table, run_technique, Args, MapperKind, TechniqueKind};
+use workloads::zoo;
+
+fn cell(g: Option<f64>) -> String {
+    match g {
+        Some(g) => format!("{:+.2}%", (g - 1.0) * 100.0),
+        None => "N/A".into(),
+    }
+}
+
+fn main() {
+    let args = Args::parse(2500);
+    let default = vec![zoo::resnet18(), zoo::efficientnet_b0(), zoo::bert_base()];
+    let models = args.models_or(default);
+    println!(
+        "Table 3: geometric-mean objective reduction per acquisition\n\
+         ({} evaluations budget)\n",
+        args.iters
+    );
+
+    let settings: Vec<(TechniqueKind, MapperKind, String)> = {
+        let mut v: Vec<(TechniqueKind, MapperKind, String)> = TechniqueKind::ALL
+            .iter()
+            .map(|k| (*k, MapperKind::FixedDataflow, format!("{}-FixDF", k.label())))
+            .collect();
+        v.push((
+            TechniqueKind::Explainable,
+            MapperKind::Linear(args.map_trials),
+            "ExplainableDSE-Codesign".into(),
+        ));
+        v
+    };
+
+    let mut headers: Vec<String> = vec!["technique".into()];
+    headers.extend(models.iter().map(|m| m.name().to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+
+    let mut rows = Vec::new();
+    for (kind, mapper, label) in &settings {
+        let mut row = vec![label.clone()];
+        for model in &models {
+            let trace =
+                run_technique(*kind, *mapper, vec![model.clone()], args.iters, args.seed);
+            row.push(cell(trace.geomean_reduction()));
+        }
+        rows.push(row);
+    }
+    print_table(&header_refs, &rows);
+    println!(
+        "\npaper shape: Explainable-DSE reduces the objective ~30% per acquisition\n\
+         on average; non-explainable techniques hover near ~1% (or negative)."
+    );
+}

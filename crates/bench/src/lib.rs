@@ -1,0 +1,356 @@
+//! Experiment harness shared by the figure/table-regenerating binaries.
+//!
+//! Every binary in `src/bin/` reproduces one table or figure of the
+//! paper's evaluation (see DESIGN.md's experiment index). This library
+//! provides the common pieces: CLI argument handling with a `--quick`
+//! preset, the technique registry (every baseline plus Explainable-DSE,
+//! each in the fixed-dataflow and codesign settings), and plain-text table
+//! rendering so each binary prints the same rows/series the paper reports.
+
+use baselines::{
+    BayesianOpt, ConfuciuxRl, DseTechnique, GeneticAlgorithm, GridSearch, HyperMapperLike,
+    RandomSearch, SimulatedAnnealing,
+};
+use edse_core::bottleneck::dnn_latency_model;
+use edse_core::cost::Trace;
+use edse_core::dse::{DseConfig, ExplainableDse};
+use edse_core::evaluate::{CodesignEvaluator, Evaluator};
+use edse_core::space::edge_space;
+use mapper::{FixedMapper, LinearMapper, MappingOptimizer, RandomMapper};
+use workloads::{zoo, DnnModel};
+
+/// Common experiment options parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Hardware-DSE evaluation budget (paper: 2500 static / 100 dynamic).
+    pub iters: usize,
+    /// Mapping trials per layer for black-box codesign mappers
+    /// (paper: 10000).
+    pub map_trials: usize,
+    /// Random seed.
+    pub seed: u64,
+    /// Selected model names (empty = the experiment's default set).
+    pub models: Vec<String>,
+    /// Whether the `--quick` preset was chosen.
+    pub quick: bool,
+}
+
+impl Args {
+    /// Parses `--iters N --trials N --seed N --models a,b --quick --full`.
+    ///
+    /// `default_iters` applies to the full setting; `--quick` divides the
+    /// budgets so every experiment finishes in minutes on a laptop. Quick
+    /// is the default; pass `--full` for paper-scale budgets.
+    pub fn parse(default_iters: usize) -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut args = Self {
+            iters: default_iters,
+            map_trials: 10_000,
+            seed: 1,
+            models: Vec::new(),
+            quick: true,
+        };
+        let mut explicit_iters = None;
+        let mut explicit_trials = None;
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--iters" => {
+                    explicit_iters = argv.get(i + 1).and_then(|v| v.parse().ok());
+                    i += 1;
+                }
+                "--trials" => {
+                    explicit_trials = argv.get(i + 1).and_then(|v| v.parse().ok());
+                    i += 1;
+                }
+                "--seed" => {
+                    args.seed = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(1);
+                    i += 1;
+                }
+                "--models" => {
+                    args.models = argv
+                        .get(i + 1)
+                        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
+                        .unwrap_or_default();
+                    i += 1;
+                }
+                "--full" => args.quick = false,
+                "--quick" => args.quick = true,
+                other => eprintln!("ignoring unknown argument {other}"),
+            }
+            i += 1;
+        }
+        if args.quick {
+            args.iters = default_iters.div_ceil(10).max(30);
+            args.map_trials = 300;
+        }
+        if let Some(v) = explicit_iters {
+            args.iters = v;
+        }
+        if let Some(v) = explicit_trials {
+            args.map_trials = v;
+        }
+        args
+    }
+
+    /// The models this run targets: `--models` if given, else `fallback`.
+    pub fn models_or(&self, fallback: Vec<DnnModel>) -> Vec<DnnModel> {
+        if self.models.is_empty() {
+            return fallback;
+        }
+        self.models
+            .iter()
+            .filter_map(|name| {
+                let m = zoo::by_name(name);
+                if m.is_none() {
+                    eprintln!("unknown model {name}, skipping");
+                }
+                m
+            })
+            .collect()
+    }
+}
+
+/// How mappings are obtained during hardware exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapperKind {
+    /// The fixed optimized output-stationary dataflow (the paper's
+    /// "-FixDF" setting).
+    FixedDataflow,
+    /// Tightly coupled codesign via the pruned-space linear mapper with a
+    /// top-`N` budget.
+    Linear(usize),
+    /// Timeloop-style random mapping search with the given trials (the
+    /// paper's black-box codesign setting).
+    Random(usize),
+}
+
+impl MapperKind {
+    fn build(self, seed: u64) -> Box<dyn MappingOptimizer + Send> {
+        match self {
+            MapperKind::FixedDataflow => Box::new(FixedMapper),
+            MapperKind::Linear(n) => Box::new(LinearMapper::new(n)),
+            MapperKind::Random(trials) => Box::new(RandomMapper::new(trials, seed)),
+        }
+    }
+
+    /// Suffix used in technique labels (`-fixdf` / `-codesign`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            MapperKind::FixedDataflow => "-fixdf",
+            _ => "-codesign",
+        }
+    }
+}
+
+/// The DSE techniques of the paper's comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TechniqueKind {
+    /// Grid search (non-feedback).
+    Grid,
+    /// Random search (non-feedback).
+    Random,
+    /// Simulated annealing.
+    Annealing,
+    /// Genetic algorithm.
+    Genetic,
+    /// Vanilla Bayesian optimization.
+    Bayesian,
+    /// HyperMapper-2.0-style constrained Bayesian optimization.
+    HyperMapper,
+    /// Confuciux-style constrained RL.
+    Rl,
+    /// Explainable-DSE (this paper).
+    Explainable,
+}
+
+impl TechniqueKind {
+    /// All techniques in the paper's row order.
+    pub const ALL: [TechniqueKind; 8] = [
+        TechniqueKind::Grid,
+        TechniqueKind::Random,
+        TechniqueKind::Annealing,
+        TechniqueKind::Genetic,
+        TechniqueKind::Bayesian,
+        TechniqueKind::HyperMapper,
+        TechniqueKind::Rl,
+        TechniqueKind::Explainable,
+    ];
+
+    /// Paper-style row label, e.g. `"HyperMapper 2.0"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            TechniqueKind::Grid => "Grid Search",
+            TechniqueKind::Random => "Random Search",
+            TechniqueKind::Annealing => "Simulated Annealing",
+            TechniqueKind::Genetic => "Genetic Algorithm",
+            TechniqueKind::Bayesian => "Bayesian Optimization",
+            TechniqueKind::HyperMapper => "HyperMapper 2.0",
+            TechniqueKind::Rl => "Reinforcement Learning",
+            TechniqueKind::Explainable => "Explainable-DSE",
+        }
+    }
+}
+
+/// Runs Explainable-DSE and returns its trace together with the
+/// evaluation counts at which each exploration phase converged (the first
+/// entry is the paper's "iterations to converge").
+pub fn run_explainable_detailed(
+    mapper: MapperKind,
+    models: Vec<DnnModel>,
+    budget: usize,
+    seed: u64,
+) -> (Trace, Vec<usize>) {
+    let mut evaluator = CodesignEvaluator::new(edge_space(), models, mapper.build(seed));
+    let dse = ExplainableDse::new(
+        dnn_latency_model(),
+        DseConfig { budget, seed, ..DseConfig::default() },
+    );
+    let initial = evaluator.space().minimum_point();
+    let result = dse.run_dnn(&mut evaluator, initial);
+    let mut trace = result.trace;
+    trace.technique = format!("{}{}", trace.technique, mapper.suffix());
+    (trace, result.converged_after)
+}
+
+/// Runs one technique on one workload set and returns the trace.
+pub fn run_technique(
+    kind: TechniqueKind,
+    mapper: MapperKind,
+    models: Vec<DnnModel>,
+    budget: usize,
+    seed: u64,
+) -> Trace {
+    let mut evaluator =
+        CodesignEvaluator::new(edge_space(), models, mapper.build(seed));
+    let mut trace = match kind {
+        TechniqueKind::Explainable => {
+            let dse = ExplainableDse::new(
+                dnn_latency_model(),
+                DseConfig { budget, seed, ..DseConfig::default() },
+            );
+            let initial = evaluator.space().minimum_point();
+            dse.run_dnn(&mut evaluator, initial).trace
+        }
+        other => {
+            let mut technique: Box<dyn DseTechnique> = match other {
+                TechniqueKind::Grid => Box::new(GridSearch),
+                TechniqueKind::Random => Box::new(RandomSearch::new(seed)),
+                TechniqueKind::Annealing => Box::new(SimulatedAnnealing::new(seed)),
+                TechniqueKind::Genetic => Box::new(GeneticAlgorithm::new(16, seed)),
+                TechniqueKind::Bayesian => Box::new(BayesianOpt::new(seed)),
+                TechniqueKind::HyperMapper => Box::new(HyperMapperLike::new(seed)),
+                TechniqueKind::Rl => Box::new(ConfuciuxRl::new(seed)),
+                TechniqueKind::Explainable => unreachable!("handled above"),
+            };
+            technique.run(&mut evaluator, budget)
+        }
+    };
+    trace.technique = format!(
+        "{}{}",
+        trace.technique,
+        mapper.suffix()
+    );
+    trace
+}
+
+/// Formats a latency cell the way Table 2 does: the value, `-` when no
+/// feasible design was found, and `-*` when not even area/power were met.
+pub fn latency_cell(trace: &Trace, constraints: &[edse_core::Constraint]) -> String {
+    match trace.best_feasible() {
+        Some(s) => format!("{:.1}", s.objective),
+        None => {
+            let any_area_power = trace.samples.iter().any(|s| {
+                s.constraint_values
+                    .iter()
+                    .zip(constraints)
+                    .take(2)
+                    .all(|(v, c)| c.satisfied(*v))
+            });
+            if any_area_power {
+                "-".into()
+            } else {
+                "-*".into()
+            }
+        }
+    }
+}
+
+/// Prints a plain-text table: header row then aligned data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let parts: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>width$}", width = w))
+            .collect();
+        println!("{}", parts.join("  "));
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// The paper's edge constraints for a workload set (used for reporting).
+pub fn constraints_for(models: &[DnnModel]) -> Vec<edse_core::Constraint> {
+    let evaluator = CodesignEvaluator::new(edge_space(), models.to_vec(), FixedMapper);
+    evaluator.constraints().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn technique_registry_runs_every_kind_briefly() {
+        for kind in TechniqueKind::ALL {
+            let t = run_technique(
+                kind,
+                MapperKind::FixedDataflow,
+                vec![zoo::resnet18()],
+                8,
+                3,
+            );
+            assert!(t.evaluations() <= 8, "{:?}", kind);
+            assert!(t.technique.ends_with("-fixdf"));
+        }
+    }
+
+    #[test]
+    fn latency_cell_distinguishes_failure_modes() {
+        let t = run_technique(
+            TechniqueKind::Explainable,
+            MapperKind::FixedDataflow,
+            vec![zoo::resnet18()],
+            60,
+            3,
+        );
+        let constraints = constraints_for(&[zoo::resnet18()]);
+        let cell = latency_cell(&t, &constraints);
+        assert!(!cell.is_empty());
+    }
+
+    #[test]
+    fn args_quick_preset_scales_down() {
+        // parse() reads real argv; just verify the default construction
+        // logic via a synthetic struct.
+        let a = Args {
+            iters: 2500,
+            map_trials: 10_000,
+            seed: 1,
+            models: vec![],
+            quick: true,
+        };
+        assert!(a.models_or(vec![zoo::resnet18()]).len() == 1);
+    }
+}

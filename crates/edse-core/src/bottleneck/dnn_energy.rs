@@ -1,0 +1,251 @@
+//! A second concrete bottleneck model over the same context: **inference
+//! energy** instead of latency. The paper's §B argues the bottleneck-model
+//! API is cost-agnostic; this module demonstrates it end to end — the same
+//! analyzer and DSE loop minimize energy under the same constraints when
+//! driven by this model.
+//!
+//! The tree decomposes energy additively:
+//!
+//! ```text
+//! energy = e_comp + e_rf + e_noc + e_spm + e_dram(sum over operands)
+//! ```
+//!
+//! Mitigations target data movement: scratchpad sizing exploits remaining
+//! DRAM-level reuse of the dominant operand; register-file sizing exploits
+//! remaining NoC-level reuse. (More PEs do not reduce energy, so no
+//! compute mitigation is registered — the analyzer simply never finds one
+//! and the DSE leaves the parameter alone.)
+
+use crate::bottleneck::dnn::{dnn_latency_model, LayerCtx};
+use crate::bottleneck::model::BottleneckModel;
+use crate::bottleneck::tree::{BottleneckTree, TreeBuilder};
+use crate::space::edge;
+use energy_area::Tech;
+use workloads::Tensor;
+
+/// Builds the populated energy tree for one layer execution.
+pub fn energy_tree(ctx: &LayerCtx) -> BottleneckTree {
+    let tech = Tech::n45();
+    let e = tech.energy_table(&ctx.cfg.resources());
+    let p = &ctx.profile;
+    let mut b = TreeBuilder::new();
+
+    let comp = b.leaf("e_comp", p.macs * e.mac_pj);
+    let noc_total: f64 = Tensor::ALL.iter().map(|op| p.operand(*op).noc_bytes).sum();
+    let rf = b.leaf(
+        "e_rf",
+        (p.macs * tech.rf_accesses_per_mac * ctx.cfg.elem_bytes as f64 + noc_total)
+            * e.rf_pj_per_byte,
+    );
+    let noc = b.leaf("e_noc", noc_total * e.noc_pj_per_byte);
+    let offchip_total: f64 =
+        Tensor::ALL.iter().map(|op| p.operand(*op).offchip_bytes).sum();
+    let spm = b.leaf("e_spm", (noc_total + offchip_total) * e.spm_pj_per_byte);
+    let dram_children: Vec<_> = Tensor::ALL
+        .iter()
+        .map(|op| {
+            b.leaf(
+                format!("e_dram:{}", op.tag()),
+                p.operand(*op).offchip_bytes * e.dram_pj_per_byte,
+            )
+        })
+        .collect();
+    let dram = b.sum("e_dram", dram_children);
+
+    let root = b.sum("energy", vec![comp, rf, noc, spm, dram]);
+    b.build(root)
+}
+
+/// The DNN-accelerator **energy** bottleneck model over the Table-1 space.
+pub fn dnn_energy_model() -> BottleneckModel<LayerCtx> {
+    BottleneckModel::new(energy_tree)
+        // Dictionary: DRAM energy is governed by scratchpad reuse; NoC and
+        // SPM transport energy by register-file reuse.
+        .relate("e_dram", vec![edge::L2_KB])
+        .relate("e_noc", vec![edge::L1_BYTES])
+        .relate("e_spm", vec![edge::L1_BYTES])
+        // Scratchpad: grow toward the dominant operand's remaining
+        // DRAM-level reuse (same residency-growth sizing as the latency
+        // model, targeting traffic rather than time).
+        .mitigation(edge::L2_KB, |ctx: &LayerCtx, m| {
+            let op = op_from_leaf(&m.leaf)?;
+            let stats = ctx.profile.operand(op);
+            if stats.reuse_remaining_spm <= 1.0 {
+                return None;
+            }
+            let target = m.scaling.min(stats.reuse_remaining_spm).max(1.0);
+            let bytes: f64 = Tensor::ALL
+                .iter()
+                .map(|o| {
+                    let st = ctx.profile.operand(*o);
+                    st.spm_tile_bytes * (target / st.reuse_remaining_spm.max(1.0)).max(1.0)
+                })
+                .sum();
+            Some(bytes / 1024.0)
+        })
+        // Register file: grow toward the dominant NoC operand's remaining
+        // reuse, shrinking transport energy.
+        .mitigation(edge::L1_BYTES, |ctx: &LayerCtx, m| {
+            let op = Tensor::ALL
+                .iter()
+                .copied()
+                .max_by(|a, b| {
+                    ctx.profile
+                        .operand(*a)
+                        .noc_bytes
+                        .partial_cmp(&ctx.profile.operand(*b).noc_bytes)
+                        .unwrap()
+                })
+                .expect("four operands");
+            let stats = ctx.profile.operand(op);
+            if stats.reuse_remaining_rf <= 1.0 {
+                return None;
+            }
+            let target = m.scaling.min(stats.reuse_remaining_rf).max(1.0);
+            let bytes: f64 = Tensor::ALL
+                .iter()
+                .map(|o| {
+                    let st = ctx.profile.operand(*o);
+                    st.rf_tile_bytes * (target / st.reuse_remaining_rf.max(1.0)).max(1.0)
+                })
+                .sum();
+            Some(bytes)
+        })
+}
+
+/// A composed bottleneck model for the §4.2 weighted multi-objective
+/// `alpha_ms * latency + beta_mj * energy`: a *sum* root over the latency
+/// subtree (converted to milliseconds) and the energy subtree (converted
+/// to millijoules), each scaled by its weight — the analyzer then descends
+/// into whichever cost's factor dominates the weighted total.
+///
+/// Pair with
+/// [`Objective::Weighted`](crate::evaluate::Objective::Weighted) using the
+/// same weights.
+pub fn dnn_weighted_model(alpha_ms: f64, beta_mj: f64) -> BottleneckModel<LayerCtx> {
+    assert!(
+        alpha_ms >= 0.0 && beta_mj >= 0.0 && alpha_ms + beta_mj > 0.0,
+        "weights must be non-negative and not both zero"
+    );
+    let tree_fn = move |ctx: &LayerCtx| {
+        use crate::bottleneck::dnn::latency_tree;
+        let lat = latency_tree(ctx);
+        let en = energy_tree(ctx);
+        let mut b = TreeBuilder::new();
+        // Full-depth grafts: every latency/energy factor, operand tag, and
+        // leaf survives, so the parts' dictionaries and mitigation
+        // subroutines keep working on the composed tree. Leaf values are
+        // converted to the weighted-cost unit (ms / mJ times weight).
+        let lat_id = b.graft(&lat, lat.root(), alpha_ms / ctx.cfg.cycles_per_ms());
+        let en_id = b.graft(&en, en.root(), beta_mj * 1e-9);
+        let root = b.sum("weighted_cost", vec![lat_id, en_id]);
+        b.build(root)
+    };
+    BottleneckModel::compose(tree_fn, vec![dnn_latency_model(), dnn_energy_model()])
+}
+
+fn op_from_leaf(leaf: &str) -> Option<Tensor> {
+    match leaf.rsplit_once(':')?.1 {
+        "in" => Some(Tensor::Input),
+        "wt" => Some(Tensor::Weight),
+        "out_rd" => Some(Tensor::OutputRead),
+        "out_wr" => Some(Tensor::OutputWrite),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accel_model::{AcceleratorConfig, Mapping};
+    use workloads::LayerShape;
+
+    fn ctx(cfg: AcceleratorConfig) -> LayerCtx {
+        let layer = LayerShape::conv(1, 128, 128, 28, 28, 3, 3, 1);
+        let m = Mapping::fixed_output_stationary(&layer, &cfg);
+        let profile = cfg.execute(&layer, &m).expect("feasible");
+        LayerCtx { cfg, profile }
+    }
+
+    #[test]
+    fn tree_total_matches_profile_energy_scale() {
+        let c = ctx(AcceleratorConfig::edge_baseline());
+        let t = energy_tree(&c);
+        let total = t.value(t.root());
+        // The energy tree mirrors the cost model's accounting, so it must
+        // agree with the profile's energy to within a few percent.
+        let rel = (total - c.profile.energy_pj).abs() / c.profile.energy_pj;
+        assert!(rel < 0.05, "tree {total} vs profile {} ({rel:.3})", c.profile.energy_pj);
+    }
+
+    #[test]
+    fn movement_heavy_config_predicts_memory_growth() {
+        // A reuse-starved config: tiny RF and SPM make DRAM dominate.
+        let cfg = AcceleratorConfig {
+            l1_bytes: 16,
+            l2_bytes: 64 * 1024,
+            ..AcceleratorConfig::edge_baseline()
+        };
+        let c = ctx(cfg);
+        let model = dnn_energy_model();
+        let a = model.analyze(&c, 2);
+        assert!(
+            a.bottleneck.starts_with("e_dram")
+                || a.bottleneck.starts_with("e_spm")
+                || a.bottleneck.starts_with("e_comp"),
+            "bottleneck {}",
+            a.bottleneck
+        );
+        // Some memory-sizing prediction must exist for a data-bound layer.
+        if a.bottleneck.starts_with("e_dram") {
+            assert!(a.predictions.iter().any(|p| p.param == edge::L2_KB));
+        }
+    }
+
+    #[test]
+    fn weighted_tree_sums_both_costs() {
+        let c = ctx(AcceleratorConfig::edge_baseline());
+        let (alpha, beta) = (1.0, 0.5);
+        let model = dnn_weighted_model(alpha, beta);
+        let t = model.tree(&c);
+        let expected = alpha * c.profile.latency_ms(c.cfg.freq_mhz)
+            + beta * c.profile.energy_mj();
+        let total = t.value(t.root());
+        assert!(
+            (total - expected).abs() / expected < 0.05,
+            "weighted total {total} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn weighted_model_predicts_for_the_dominant_cost() {
+        let c = ctx(AcceleratorConfig::edge_baseline());
+        // Latency-only weighting must descend into the latency subtree.
+        let lat = dnn_weighted_model(1.0, 0.0).analyze(&c, 2);
+        assert_eq!(lat.bottleneck, "latency", "{}", lat.bottleneck);
+        // Energy-only weighting must descend into the energy subtree.
+        let en = dnn_weighted_model(0.0, 1.0).analyze(&c, 2);
+        assert_eq!(en.bottleneck, "energy", "{}", en.bottleneck);
+        assert!(!lat.predictions.is_empty());
+        // The energy subtree's dominant factor at this config is compute
+        // energy, which legitimately has no mitigation — the analyzer must
+        // not invent one.
+        let _ = en.predictions;
+    }
+
+    #[test]
+    #[should_panic]
+    fn weighted_model_rejects_zero_weights() {
+        let _ = dnn_weighted_model(0.0, 0.0);
+    }
+
+    #[test]
+    fn energy_model_predictions_have_rationales() {
+        let c = ctx(AcceleratorConfig::edge_baseline());
+        let model = dnn_energy_model();
+        let a = model.analyze(&c, 3);
+        for p in &a.predictions {
+            assert!(!p.rationale.is_empty());
+        }
+    }
+}

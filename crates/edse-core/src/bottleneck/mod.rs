@@ -1,0 +1,19 @@
+//! Bottleneck models: the explicitly analyzable cost representation that
+//! makes the DSE explainable.
+//!
+//! * [`tree`] — the graph representation and its analysis (contributions,
+//!   dominant paths, required scaling);
+//! * [`model`] — the domain-decoupling API of the paper's Fig. 7 (tree
+//!   builder + parameter dictionary + mitigation subroutines), generic over
+//!   the sub-function context type;
+//! * [`dnn`] — the concrete DNN-accelerator latency model of §4.7.
+
+pub mod dnn;
+pub mod dnn_energy;
+pub mod model;
+pub mod tree;
+
+pub use dnn::{dnn_latency_model, latency_tree, LayerCtx};
+pub use dnn_energy::{dnn_energy_model, dnn_weighted_model, energy_tree};
+pub use model::{Analysis, BottleneckModel, MitigationFn, MitigationInputs, Prediction};
+pub use tree::{BottleneckTree, Node, NodeId, NodeKind, TreeBuilder};

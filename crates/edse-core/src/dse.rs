@@ -1,0 +1,879 @@
+//! The Explainable-DSE framework (§4): constraints-aware exploration driven
+//! by per-sub-function bottleneck analysis.
+//!
+//! Each *acquisition attempt* (1) analyzes the current solution's
+//! execution, sub-function by sub-function, through the bottleneck model;
+//! (2) aggregates the per-sub-function parameter predictions (top-K
+//! sub-functions over a contribution threshold, minimum value per
+//! parameter, §4.4); (3) acquires one candidate per predicted parameter
+//! value (§4.5); and (4) updates the incumbent solution with the
+//! constraints-budget rule (§4.6). Every step is recorded as a
+//! human-readable explanation.
+
+use crate::bottleneck::model::BottleneckModel;
+use crate::cost::{Evaluation, Sample, Trace};
+use crate::evaluate::Evaluator;
+use crate::space::{DesignPoint, ParamId};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// How multiple per-sub-function predictions for the same parameter are
+/// aggregated (§4.4): the paper argues for the minimum — the maximum
+/// favors single sub-functions and exhausts the constraints budget early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Aggregation {
+    /// The paper's choice: the smallest predicted value.
+    #[default]
+    Min,
+    /// The ablation alternative: the largest predicted value.
+    Max,
+}
+
+/// Tunable knobs of the DSE (defaults follow the paper).
+#[derive(Debug, Clone)]
+pub struct DseConfig {
+    /// Evaluation budget (unique cost-model invocations).
+    pub budget: usize,
+    /// Consider predictions from at most this many sub-functions per
+    /// attempt (the paper sets K = 5).
+    pub top_k: usize,
+    /// Contribution threshold scale: a sub-function participates when its
+    /// fraction of the total cost exceeds `threshold_scale / l` for `l`
+    /// sub-functions (the paper uses 0.5).
+    pub threshold_scale: f64,
+    /// Maximum candidates acquired per attempt.
+    pub max_candidates: usize,
+    /// How many ranked bottleneck factors each analysis contributes once
+    /// the search stalls (1 before the first stall).
+    pub stall_factors: usize,
+    /// Consecutive non-improving attempts tolerated before terminating.
+    pub max_stalls: usize,
+    /// Random seed (used only by the black-box fallback stepping).
+    pub seed: u64,
+    /// Aggregation rule for conflicting per-layer predictions (§4.4).
+    pub aggregation: Aggregation,
+    /// Additional exploration phases from perturbed initial points after
+    /// convergence, while budget remains (the §C "pool of initial points"
+    /// workaround for bottleneck-oriented greediness). The first
+    /// convergence point is still reported via `DseResult::converged_after`.
+    pub restarts: usize,
+    /// Whether solution updates weigh the constraints budget (§4.6).
+    /// Disabling reduces the update to plain objective minimization — the
+    /// ablation of the paper's budget-awareness.
+    pub budget_aware: bool,
+}
+
+impl Default for DseConfig {
+    fn default() -> Self {
+        Self {
+            budget: 2500,
+            top_k: 5,
+            threshold_scale: 0.5,
+            max_candidates: 10,
+            stall_factors: 3,
+            max_stalls: 3,
+            seed: 0,
+            aggregation: Aggregation::Min,
+            restarts: 8,
+            budget_aware: true,
+        }
+    }
+}
+
+/// One acquisition attempt's record: what was analyzed, predicted,
+/// acquired, and decided — the DSE's explanation artifact.
+#[derive(Debug, Clone)]
+pub struct Attempt {
+    /// Attempt number (0-based).
+    pub index: usize,
+    /// Human-readable per-layer bottleneck summaries.
+    pub analyses: Vec<String>,
+    /// Acquired candidates as `(param, new index)` changes from the
+    /// incumbent.
+    pub acquisitions: Vec<(ParamId, usize)>,
+    /// What the update rule decided.
+    pub decision: String,
+}
+
+/// The result of a DSE run.
+#[derive(Debug, Clone)]
+pub struct DseResult {
+    /// Every evaluated sample in order.
+    pub trace: Trace,
+    /// Best feasible point and its evaluation, if any was found.
+    pub best: Option<(DesignPoint, Evaluation)>,
+    /// Per-attempt explanations.
+    pub attempts: Vec<Attempt>,
+    /// Evaluation counts at which each exploration phase converged or
+    /// terminated; the first entry is the paper's "iterations to converge".
+    pub converged_after: Vec<usize>,
+    /// Why the exploration ended.
+    pub termination: String,
+}
+
+/// The Explainable-DSE engine, generic over the sub-function context type
+/// consumed by the bottleneck model.
+pub struct ExplainableDse<C> {
+    model: BottleneckModel<C>,
+    config: DseConfig,
+}
+
+impl<C> ExplainableDse<C> {
+    /// Creates the engine from a domain-specific bottleneck model.
+    pub fn new(model: BottleneckModel<C>, config: DseConfig) -> Self {
+        Self { model, config }
+    }
+
+    /// Runs the exploration.
+    ///
+    /// `ctx_fn` builds the bottleneck-analysis context for one sub-function
+    /// of an evaluated point; it receives the point and the sub-function's
+    /// [`crate::cost::LayerEval`] and returns `None` when the sub-function
+    /// cannot be analyzed (e.g. no feasible mapping).
+    pub fn run<E, F>(&self, evaluator: &mut E, initial: DesignPoint, ctx_fn: F) -> DseResult
+    where
+        E: Evaluator,
+        F: Fn(&E, &DesignPoint, &crate::cost::LayerEval) -> Option<C>,
+    {
+        use rand::{Rng, SeedableRng};
+        let start = Instant::now();
+        let constraints = evaluator.constraints().to_vec();
+        let mut trace = Trace::new("explainable");
+        let mut attempts = Vec::new();
+        let mut best: Option<(DesignPoint, Evaluation)> = None;
+        let mut seen: HashSet<DesignPoint> = HashSet::new();
+        let mut converged_after = Vec::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
+
+        let mut phase_start = initial;
+        let mut termination = String::new();
+        for phase in 0..=self.config.restarts {
+            termination = self.explore_phase(
+                evaluator,
+                phase_start.clone(),
+                &ctx_fn,
+                &constraints,
+                &mut trace,
+                &mut attempts,
+                &mut best,
+                &mut seen,
+            );
+            converged_after.push(trace.evaluations());
+            if evaluator.unique_evaluations() >= self.config.budget
+                || phase == self.config.restarts
+            {
+                break;
+            }
+            // §C: restart from a perturbation of the best (or last) point —
+            // a few parameters re-drawn at random — to escape the
+            // bottleneck-greedy local optimum.
+            let space = evaluator.space().clone();
+            let base =
+                best.as_ref().map(|(p, _)| p.clone()).unwrap_or_else(|| phase_start.clone());
+            let mut next = base;
+            for _ in 0..3 {
+                let param = rng.gen_range(0..space.len());
+                let idx = rng.gen_range(0..space.param(param).len());
+                next = next.with_index(param, idx);
+            }
+            phase_start = next;
+        }
+        if !termination.is_empty() && self.config.restarts > 0 {
+            termination = format!("{termination} (after {} phases)", converged_after.len());
+        }
+
+        trace.wall_seconds = start.elapsed().as_secs_f64();
+        DseResult { trace, best, attempts, converged_after, termination }
+    }
+
+    /// One exploration phase: the §4 acquisition loop from a start point
+    /// until convergence or budget exhaustion.
+    #[allow(clippy::too_many_arguments)]
+    fn explore_phase<E, F>(
+        &self,
+        evaluator: &mut E,
+        initial: DesignPoint,
+        ctx_fn: &F,
+        constraints: &[crate::cost::Constraint],
+        trace: &mut Trace,
+        attempts: &mut Vec<Attempt>,
+        best: &mut Option<(DesignPoint, Evaluation)>,
+        seen: &mut HashSet<DesignPoint>,
+    ) -> String
+    where
+        E: Evaluator,
+        F: Fn(&E, &DesignPoint, &crate::cost::LayerEval) -> Option<C>,
+    {
+        let record = |trace: &mut Trace, point: &DesignPoint, eval: &Evaluation| {
+            trace.samples.push(Sample {
+                point: point.clone(),
+                objective: eval.objective,
+                constraint_values: eval.constraint_values.clone(),
+                feasible: eval.feasible(constraints),
+            });
+        };
+
+        let mut current = initial;
+        let mut current_eval = evaluator.evaluate(&current);
+        record(trace, &current, &current_eval);
+        if current_eval.feasible(constraints)
+            && best.as_ref().is_none_or(|(_, b)| current_eval.objective < b.objective)
+        {
+            *best = Some((current.clone(), current_eval.clone()));
+        }
+
+        let mut frozen: HashSet<ParamId> = HashSet::new();
+        seen.insert(current.clone());
+        let mut stalls = 0usize;
+        let attempt_base = attempts.len();
+
+        for attempt_offset in 0.. {
+            let attempt_index = attempt_base + attempt_offset;
+            if evaluator.unique_evaluations() >= self.config.budget {
+                return format!("budget of {} evaluations exhausted", self.config.budget);
+            }
+
+            // ---- (1) + (2): per-sub-function analysis and aggregation.
+            let factors = if stalls > 0 { self.config.stall_factors } else { 1 };
+            let (predictions, analyses) =
+                self.analyze_subfunctions(evaluator, &current, &current_eval, factors, &ctx_fn);
+
+            // ---- (3): acquisition — one candidate per aggregated value,
+            // plus one combined candidate applying every prediction at once
+            // (coupled parameters like the per-operand link counts cannot
+            // show progress one at a time).
+            let space = evaluator.space().clone();
+            let mut moves: Vec<(ParamId, usize)> = Vec::new();
+            for (param, target) in predictions {
+                if frozen.contains(&param) {
+                    continue;
+                }
+                let cur_idx = current.index(param);
+                let def = space.param(param);
+                let new_idx = match target {
+                    Some(v) => {
+                        let idx = def.round_up_index(v);
+                        if idx <= cur_idx {
+                            // The paper rounds up to the closest value in
+                            // the space; when the prediction lands on the
+                            // current value, step to keep making progress.
+                            cur_idx + 1
+                        } else {
+                            idx
+                        }
+                    }
+                    // Black-box counterpart: neighboring value.
+                    None => cur_idx + 1,
+                };
+                if new_idx >= def.len() || new_idx == cur_idx {
+                    continue;
+                }
+                if !moves.iter().any(|(p, _)| *p == param) {
+                    moves.push((param, new_idx));
+                }
+            }
+
+            let mut acquisitions: Vec<(Option<ParamId>, DesignPoint)> = Vec::new();
+            for (param, idx) in moves.iter().take(self.config.max_candidates) {
+                let cand = current.with_index(*param, *idx);
+                if !seen.contains(&cand) {
+                    acquisitions.push((Some(*param), cand));
+                }
+            }
+            if moves.len() > 1 {
+                let mut combo = current.clone();
+                for (param, idx) in &moves {
+                    combo = combo.with_index(*param, *idx);
+                }
+                if !seen.contains(&combo) {
+                    acquisitions.push((None, combo));
+                }
+            }
+
+            // Unmet-constraint escape hatch (§4.6 footnote): when the
+            // incumbent is infeasible and no upward move exists, also probe
+            // downward steps to shed constraint pressure.
+            if acquisitions.is_empty() && !current_eval.feasible(constraints) {
+                for param in 0..space.len() {
+                    let cur_idx = current.index(param);
+                    if cur_idx > 0 && !frozen.contains(&param) {
+                        let cand = current.with_index(param, cur_idx - 1);
+                        if !seen.contains(&cand) {
+                            acquisitions.push((Some(param), cand));
+                        }
+                    }
+                    if acquisitions.len() >= self.config.max_candidates {
+                        break;
+                    }
+                }
+            }
+
+            if acquisitions.is_empty() {
+                attempts.push(Attempt {
+                    index: attempt_index,
+                    analyses,
+                    acquisitions: vec![],
+                    decision: "no unexplored candidates".into(),
+                });
+                return "converged: no bottleneck-mitigating acquisitions remain".into();
+            }
+            let acquisition_log: Vec<(ParamId, usize)> = acquisitions
+                .iter()
+                .filter_map(|(p, cand)| p.map(|p| (p, cand.index(p))))
+                .collect();
+
+            // ---- evaluate the candidate set.
+            let mut candidates: Vec<(DesignPoint, Evaluation, Option<ParamId>)> = Vec::new();
+            for (param, cand) in &acquisitions {
+                if evaluator.unique_evaluations() >= self.config.budget {
+                    break;
+                }
+                let eval = evaluator.evaluate(cand);
+                seen.insert(cand.clone());
+                record(trace, cand, &eval);
+                if eval.feasible(constraints)
+                    && best
+                        .as_ref()
+                        .is_none_or(|(_, b)| eval.objective < b.objective)
+                {
+                    *best = Some((cand.clone(), eval.clone()));
+                }
+                candidates.push((cand.clone(), eval, *param));
+            }
+            if candidates.is_empty() {
+                attempts.push(Attempt {
+                    index: attempt_index,
+                    analyses,
+                    acquisitions: acquisition_log,
+                    decision: "budget exhausted before evaluation".into(),
+                });
+                return format!("budget of {} evaluations exhausted", self.config.budget);
+            }
+
+            // ---- (4): constraints-budget-aware update (§4.6).
+            let decision = self.update_solution(
+                constraints,
+                &mut current,
+                &mut current_eval,
+                &candidates,
+                &mut frozen,
+                &mut stalls,
+            );
+            attempts.push(Attempt {
+                index: attempt_index,
+                analyses,
+                acquisitions: acquisition_log,
+                decision,
+            });
+
+            if stalls > self.config.max_stalls {
+                return format!("converged after {} stalled attempts", self.config.max_stalls);
+            }
+        }
+        unreachable!("the attempt loop only exits via return")
+    }
+
+    /// Steps (1)-(2): bottleneck analysis per execution-critical
+    /// sub-function, then aggregation to `(param, min predicted value)`.
+    fn analyze_subfunctions<E, F>(
+        &self,
+        evaluator: &E,
+        point: &DesignPoint,
+        eval: &Evaluation,
+        factors: usize,
+        ctx_fn: &F,
+    ) -> (Vec<(ParamId, Option<f64>)>, Vec<String>)
+    where
+        E: Evaluator,
+        F: Fn(&E, &DesignPoint, &crate::cost::LayerEval) -> Option<C>,
+    {
+        let total: f64 =
+            eval.layers.iter().map(|l| l.latency_ms).filter(|v| v.is_finite()).sum();
+        let l = eval.layers.len().max(1);
+        let threshold = self.config.threshold_scale / l as f64;
+
+        // Rank sub-functions by cost contribution. Layers without a
+        // feasible mapping gate feasibility outright, so they are always
+        // analyzed first regardless of their (diagnostic) cost share.
+        let mut ranked: Vec<(usize, f64, bool)> = eval
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, layer)| {
+                let contribution = if layer.latency_ms.is_finite() && total > 0.0 {
+                    layer.latency_ms / total
+                } else {
+                    1.0
+                };
+                (i, contribution, layer.mappable)
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            a.2.cmp(&b.2).then(b.1.partial_cmp(&a.1).unwrap())
+        });
+
+        let mut merged: Vec<(ParamId, Option<f64>)> = Vec::new();
+        let mut analyses = Vec::new();
+        for (layer_idx, contribution, mappable) in ranked.into_iter().take(self.config.top_k)
+        {
+            if mappable && contribution < threshold {
+                break;
+            }
+            let Some(ctx) = ctx_fn(evaluator, point, &eval.layers[layer_idx]) else {
+                continue;
+            };
+            let analysis = self.model.analyze(&ctx, factors);
+            analyses.push(format!(
+                "{} ({:.1}% of cost): bottleneck {} needs {:.2}x; {}",
+                eval.layers[layer_idx].name,
+                contribution * 100.0,
+                analysis.bottleneck,
+                analysis.scaling,
+                analysis
+                    .predictions
+                    .iter()
+                    .map(|p| p.rationale.clone())
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            ));
+            for p in analysis.predictions {
+                match merged.iter_mut().find(|(id, _)| *id == p.param) {
+                    Some((_, existing)) => {
+                        // §4.4(i): aggregate across sub-function
+                        // predictions (minimum by default, avoiding
+                        // over-aggressive scaling).
+                        *existing = match (*existing, p.value) {
+                            (Some(a), Some(b)) => Some(match self.config.aggregation {
+                                Aggregation::Min => a.min(b),
+                                Aggregation::Max => a.max(b),
+                            }),
+                            (Some(a), None) | (None, Some(a)) => Some(a),
+                            (None, None) => None,
+                        };
+                    }
+                    None => merged.push((p.param, p.value)),
+                }
+            }
+        }
+        (merged, analyses)
+    }
+
+    /// Step (4): the §4.6 update rule.
+    fn update_solution(
+        &self,
+        constraints: &[crate::cost::Constraint],
+        current: &mut DesignPoint,
+        current_eval: &mut Evaluation,
+        candidates: &[(DesignPoint, Evaluation, Option<ParamId>)],
+        frozen: &mut HashSet<ParamId>,
+        stalls: &mut usize,
+    ) -> String {
+        let feasible: Vec<&(DesignPoint, Evaluation, Option<ParamId>)> =
+            candidates.iter().filter(|(_, e, _)| e.feasible(constraints)).collect();
+        let cur_feasible = current_eval.feasible(constraints);
+
+        if !feasible.is_empty() {
+            // Scenario 2: pick the lowest objective x budget (or plain
+            // objective when budget-awareness is ablated).
+            let budget_aware = self.config.budget_aware;
+            let score = move |e: &Evaluation| {
+                if budget_aware {
+                    e.objective * e.constraint_budget(constraints).max(1e-9)
+                } else {
+                    e.objective
+                }
+            };
+            let bestc = feasible
+                .iter()
+                .min_by(|a, b| score(&a.1).partial_cmp(&score(&b.1)).unwrap())
+                .expect("nonempty");
+            if !cur_feasible || score(&bestc.1) < score(current_eval) {
+                *current = bestc.0.clone();
+                *current_eval = bestc.1.clone();
+                *stalls = 0;
+                return format!(
+                    "moved to feasible candidate ({}): objective {:.3} ms, budget {:.2}",
+                    describe_move(bestc.2),
+                    bestc.1.objective,
+                    bestc.1.constraint_budget(constraints)
+                );
+            }
+            *stalls += 1;
+            return "stall: no feasible candidate beat the incumbent".into();
+        }
+
+        // Scenario 1: nothing feasible among the candidates.
+        if !cur_feasible {
+            // Mappability dominates: a candidate with feasible mappings
+            // always beats a hardware/dataflow-incompatible incumbent.
+            if !current_eval.mappable {
+                if let Some(bestc) = candidates
+                    .iter()
+                    .filter(|(_, e, _)| e.mappable)
+                    .min_by(|a, b| {
+                        a.1.constraint_budget(constraints)
+                            .partial_cmp(&b.1.constraint_budget(constraints))
+                            .unwrap()
+                    })
+                {
+                    *current = bestc.0.clone();
+                    *current_eval = bestc.1.clone();
+                    *stalls = 0;
+                    return format!(
+                        "moved to a mappable design ({})",
+                        describe_move(bestc.2)
+                    );
+                }
+            }
+            // Otherwise reduce pressure on the *violated* constraints
+            // first (total budget only breaks ties), so e.g. shedding
+            // power cannot mask a worsening latency violation.
+            let violated: Vec<usize> = current_eval
+                .constraint_values
+                .iter()
+                .zip(constraints)
+                .enumerate()
+                .filter(|(_, (v, c))| !c.satisfied(**v))
+                .map(|(i, _)| i)
+                .collect();
+            let score = |e: &Evaluation| {
+                let violated_util: f64 = violated
+                    .iter()
+                    .map(|&i| constraints[i].utilization(e.constraint_values[i]))
+                    .sum::<f64>()
+                    / violated.len().max(1) as f64;
+                let base = if e.mappable { 0.0 } else { 1e6 };
+                base + violated_util + 1e-3 * e.constraint_budget(constraints)
+            };
+            let bestc = candidates
+                .iter()
+                .min_by(|a, b| score(&a.1).partial_cmp(&score(&b.1)).unwrap())
+                .expect("nonempty");
+            if score(&bestc.1) < score(current_eval) {
+                *current = bestc.0.clone();
+                *current_eval = bestc.1.clone();
+                *stalls = 0;
+                return format!(
+                    "moved toward feasibility ({}): budget {:.2}",
+                    describe_move(bestc.2),
+                    bestc.1.constraint_budget(constraints)
+                );
+            }
+            *stalls += 1;
+            return "stall: no candidate reduced the violated constraints".into();
+        }
+
+        // Incumbent feasible, candidates all infeasible: freeze parameter
+        // directions that added violations (the §4.6 monomodal rule).
+        let cur_violations = current_eval.violations(constraints);
+        let mut newly_frozen = Vec::new();
+        for (_, e, param) in candidates {
+            if let Some(param) = param {
+                if e.violations(constraints) > cur_violations {
+                    frozen.insert(*param);
+                    newly_frozen.push(*param);
+                }
+            }
+        }
+        *stalls += 1;
+        format!("stall: all candidates infeasible; froze params {newly_frozen:?}")
+    }
+}
+
+fn describe_move(param: Option<ParamId>) -> String {
+    match param {
+        Some(p) => format!("param {p}"),
+        None => "combined prediction".into(),
+    }
+}
+
+impl ExplainableDse<crate::bottleneck::dnn::LayerCtx> {
+    /// Convenience runner for the standard DNN-accelerator latency model:
+    /// the context of each sub-function is its execution profile on the
+    /// decoded hardware configuration.
+    pub fn run_dnn<E: Evaluator>(&self, evaluator: &mut E, initial: DesignPoint) -> DseResult {
+        self.run(evaluator, initial, |ev, point, layer| {
+            layer
+                .profile
+                .map(|profile| crate::bottleneck::dnn::LayerCtx { cfg: ev.decode(point), profile })
+        })
+    }
+}
+
+#[cfg(test)]
+mod update_rule_tests {
+    use super::*;
+    use crate::cost::Constraint;
+
+    fn dse() -> ExplainableDse<()> {
+        ExplainableDse::new(
+            crate::bottleneck::model::BottleneckModel::new(|_: &()| {
+                let mut b = crate::bottleneck::tree::TreeBuilder::new();
+                let l = b.leaf("x", 1.0);
+                b.build(l)
+            }),
+            DseConfig::default(),
+        )
+    }
+
+    fn eval(objective: f64, area: f64, mappable: bool) -> Evaluation {
+        Evaluation {
+            objective,
+            mappable,
+            constraint_values: vec![area, objective],
+            layers: vec![],
+            area_mm2: area,
+            power_w: 0.0,
+            energy_mj: 0.0,
+        }
+    }
+
+    fn constraints() -> Vec<Constraint> {
+        vec![Constraint::new("area", 10.0), Constraint::new("latency", 100.0)]
+    }
+
+    fn point(x: usize) -> DesignPoint {
+        DesignPoint::new(vec![x])
+    }
+
+    #[test]
+    fn scenario2_picks_lowest_objective_times_budget() {
+        let d = dse();
+        let cs = constraints();
+        let mut current = point(0);
+        let mut current_eval = eval(90.0, 5.0, true);
+        // Candidate A: lower objective but near the area budget;
+        // candidate B: slightly higher objective, ample margin.
+        let a = (point(1), eval(50.0, 9.9, true), Some(0usize));
+        let b = (point(2), eval(55.0, 1.0, true), Some(1usize));
+        let mut frozen = HashSet::new();
+        let mut stalls = 0;
+        let scored_a = 50.0 * ((9.9 / 10.0 + 0.5) / 2.0);
+        let scored_b = 55.0 * ((1.0 / 10.0 + 0.55) / 2.0);
+        assert!(scored_b < scored_a, "test setup: B must win on obj x budget");
+        let decision = d.update_solution(
+            &cs,
+            &mut current,
+            &mut current_eval,
+            &[a, b],
+            &mut frozen,
+            &mut stalls,
+        );
+        assert_eq!(current, point(2), "{decision}");
+        assert_eq!(stalls, 0);
+    }
+
+    #[test]
+    fn scenario2_without_budget_awareness_picks_lowest_objective() {
+        let config = DseConfig { budget_aware: false, ..DseConfig::default() };
+        let d = ExplainableDse::new(
+            crate::bottleneck::model::BottleneckModel::new(|_: &()| {
+                let mut b = crate::bottleneck::tree::TreeBuilder::new();
+                let l = b.leaf("x", 1.0);
+                b.build(l)
+            }),
+            config,
+        );
+        let cs = constraints();
+        let mut current = point(0);
+        let mut current_eval = eval(90.0, 5.0, true);
+        let a = (point(1), eval(50.0, 9.9, true), Some(0usize));
+        let b = (point(2), eval(55.0, 1.0, true), Some(1usize));
+        let _ = d.update_solution(
+            &cs,
+            &mut current,
+            &mut current_eval,
+            &[a, b],
+            &mut frozen_set(),
+            &mut 0,
+        );
+        assert_eq!(current, point(1), "plain objective picks A");
+    }
+
+    fn frozen_set() -> HashSet<ParamId> {
+        HashSet::new()
+    }
+
+    #[test]
+    fn feasible_incumbent_rejects_worse_candidates() {
+        let d = dse();
+        let cs = constraints();
+        let mut current = point(0);
+        let mut current_eval = eval(10.0, 1.0, true);
+        let worse = (point(1), eval(50.0, 5.0, true), Some(0usize));
+        let mut stalls = 0;
+        let _ = d.update_solution(
+            &cs,
+            &mut current,
+            &mut current_eval,
+            &[worse],
+            &mut frozen_set(),
+            &mut stalls,
+        );
+        assert_eq!(current, point(0), "incumbent must not regress");
+        assert_eq!(stalls, 1);
+    }
+
+    #[test]
+    fn scenario1_moves_toward_reduced_violation() {
+        let d = dse();
+        let cs = constraints();
+        // Incumbent violates latency (150 > 100).
+        let mut current = point(0);
+        let mut current_eval = eval(150.0, 2.0, true);
+        // Candidate halves the latency violation but is still infeasible.
+        let closer = (point(1), eval(120.0, 3.0, true), Some(0usize));
+        let mut stalls = 0;
+        let _ = d.update_solution(
+            &cs,
+            &mut current,
+            &mut current_eval,
+            &[closer],
+            &mut frozen_set(),
+            &mut stalls,
+        );
+        assert_eq!(current, point(1));
+        assert_eq!(stalls, 0);
+    }
+
+    #[test]
+    fn scenario1_ignores_satisfied_constraint_shedding() {
+        let d = dse();
+        let cs = constraints();
+        let mut current = point(0);
+        let mut current_eval = eval(150.0, 2.0, true);
+        // Candidate reduces area (already satisfied) while latency worsens:
+        // the violated-first rule must reject it.
+        let shed = (point(1), eval(151.0, 0.5, true), Some(0usize));
+        let mut stalls = 0;
+        let _ = d.update_solution(
+            &cs,
+            &mut current,
+            &mut current_eval,
+            &[shed],
+            &mut frozen_set(),
+            &mut stalls,
+        );
+        assert_eq!(current, point(0), "shedding satisfied constraints is not progress");
+        assert_eq!(stalls, 1);
+    }
+
+    #[test]
+    fn mappable_candidate_beats_unmappable_incumbent() {
+        let d = dse();
+        let cs = constraints();
+        let mut current = point(0);
+        // Unmappable incumbent with a *better* surrogate objective.
+        let mut current_eval = eval(50.0, 2.0, false);
+        let mappable = (point(1), eval(120.0, 2.0, true), Some(0usize));
+        let mut stalls = 0;
+        let decision = d.update_solution(
+            &cs,
+            &mut current,
+            &mut current_eval,
+            &[mappable],
+            &mut frozen_set(),
+            &mut stalls,
+        );
+        assert_eq!(current, point(1), "{decision}");
+        assert!(decision.contains("mappable"));
+    }
+
+    #[test]
+    fn infeasible_candidates_freeze_their_parameters() {
+        let d = dse();
+        let cs = constraints();
+        let mut current = point(0);
+        let mut current_eval = eval(10.0, 1.0, true); // feasible incumbent
+        // Candidate on param 3 violates area.
+        let violator = (point(1), eval(9.0, 20.0, true), Some(3usize));
+        let mut frozen = frozen_set();
+        let mut stalls = 0;
+        let _ = d.update_solution(
+            &cs,
+            &mut current,
+            &mut current_eval,
+            &[violator],
+            &mut frozen,
+            &mut stalls,
+        );
+        assert!(frozen.contains(&3), "param 3 must be frozen");
+        assert_eq!(current, point(0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bottleneck::dnn::dnn_latency_model;
+    use crate::evaluate::CodesignEvaluator;
+    use crate::space::edge_space;
+    use mapper::FixedMapper;
+    use workloads::zoo;
+
+    fn run_small() -> DseResult {
+        let mut evaluator =
+            CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+        let dse = ExplainableDse::new(
+            dnn_latency_model(),
+            DseConfig { budget: 120, ..DseConfig::default() },
+        );
+        let initial = evaluator.space().minimum_point();
+        dse.run_dnn(&mut evaluator, initial)
+    }
+
+    #[test]
+    fn dse_terminates_within_budget() {
+        let r = run_small();
+        assert!(r.trace.evaluations() <= 120);
+        assert!(!r.termination.is_empty());
+    }
+
+    #[test]
+    fn dse_finds_a_feasible_solution_quickly() {
+        let r = run_small();
+        let (_, best) = r.best.as_ref().expect("a feasible codesign exists");
+        assert!(best.objective.is_finite());
+        // The paper converges in some tens of evaluations: the *first*
+        // exploration phase must end well before the budget (later restart
+        // phases may use the remainder, §C).
+        let first_phase = *r.converged_after.first().expect("at least one phase");
+        assert!(first_phase < 120, "first phase took {first_phase}");
+    }
+
+    #[test]
+    fn dse_improves_over_initial_point() {
+        let r = run_small();
+        let first_feasible = r
+            .trace
+            .samples
+            .iter()
+            .find(|s| s.feasible)
+            .map(|s| s.objective);
+        let best = r.best.as_ref().map(|(_, e)| e.objective);
+        if let (Some(first), Some(best)) = (first_feasible, best) {
+            assert!(best <= first, "best {best} vs first feasible {first}");
+        }
+    }
+
+    #[test]
+    fn attempts_carry_explanations() {
+        let r = run_small();
+        assert!(!r.attempts.is_empty());
+        let explained = r.attempts.iter().any(|a| !a.analyses.is_empty());
+        assert!(explained, "attempts should carry bottleneck explanations");
+        for a in &r.attempts {
+            assert!(!a.decision.is_empty());
+        }
+    }
+
+    #[test]
+    fn trace_objective_mostly_decreases() {
+        // Table 3: the explainable DSE reduces the objective at almost
+        // every acquisition; the geomean reduction must be > 1.
+        let r = run_small();
+        if let Some(g) = r.trace.geomean_reduction() {
+            assert!(g > 1.0, "geomean reduction {g}");
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Rendering DSE results as human-readable reports — the paper's central
+//! promise is that the exploration can *explain itself*; this module turns
+//! a [`DseResult`] into that explanation.
+
+use crate::cost::Constraint;
+use crate::dse::DseResult;
+use crate::space::DesignSpace;
+use std::fmt::Write as _;
+
+impl DseResult {
+    /// Renders the exploration as a markdown report: the outcome, the
+    /// convergence story, and every acquisition attempt's reasoning.
+    ///
+    /// `space` and `constraints` must be the ones the exploration ran
+    /// against (used to decode parameter names and budgets).
+    pub fn report(&self, space: &DesignSpace, constraints: &[Constraint]) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# Explainable-DSE report\n");
+        let _ = writeln!(
+            out,
+            "- evaluations: {} (converged after {:?})",
+            self.trace.evaluations(),
+            self.converged_after
+        );
+        let _ = writeln!(out, "- wall time: {:.2} s", self.trace.wall_seconds);
+        let _ = writeln!(out, "- termination: {}", self.termination);
+        match &self.best {
+            Some((point, eval)) => {
+                let _ = writeln!(out, "\n## Best feasible design\n");
+                let _ = writeln!(out, "- objective: {:.4}", eval.objective);
+                for (i, c) in constraints.iter().enumerate() {
+                    let v = eval.constraint_values.get(i).copied().unwrap_or(f64::NAN);
+                    let _ = writeln!(
+                        out,
+                        "- {}: {:.3} / {:.3} ({:.0}% of budget)",
+                        c.name,
+                        v,
+                        c.threshold,
+                        c.utilization(v) * 100.0
+                    );
+                }
+                let _ = writeln!(out, "\n| parameter | value |");
+                let _ = writeln!(out, "|---|---|");
+                for (i, def) in space.params().iter().enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "| {} | {} |",
+                        def.name(),
+                        def.values()[point.index(i)]
+                    );
+                }
+            }
+            None => {
+                let _ = writeln!(out, "\n## No feasible design found\n");
+            }
+        }
+
+        let _ = writeln!(out, "\n## Acquisition attempts\n");
+        for a in &self.attempts {
+            let _ = writeln!(out, "### Attempt {}\n", a.index);
+            for line in &a.analyses {
+                let _ = writeln!(out, "- {line}");
+            }
+            if !a.acquisitions.is_empty() {
+                let names: Vec<String> = a
+                    .acquisitions
+                    .iter()
+                    .map(|(p, idx)| {
+                        let def = space.param(*p);
+                        format!("{} -> {}", def.name(), def.values()[*idx])
+                    })
+                    .collect();
+                let _ = writeln!(out, "- acquired: {}", names.join(", "));
+            }
+            let _ = writeln!(out, "- decision: {}\n", a.decision);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::bottleneck::dnn_latency_model;
+    use crate::dse::{DseConfig, ExplainableDse};
+    use crate::evaluate::{CodesignEvaluator, Evaluator};
+    use crate::space::edge_space;
+    use mapper::FixedMapper;
+    use workloads::zoo;
+
+    #[test]
+    fn report_mentions_outcome_parameters_and_reasoning() {
+        let mut evaluator =
+            CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+        let dse = ExplainableDse::new(
+            dnn_latency_model(),
+            DseConfig { budget: 80, restarts: 0, ..DseConfig::default() },
+        );
+        let initial = evaluator.space().minimum_point();
+        let result = dse.run_dnn(&mut evaluator, initial);
+        let report =
+            result.report(evaluator.space(), evaluator.constraints());
+        assert!(report.contains("# Explainable-DSE report"));
+        assert!(report.contains("Acquisition attempts"));
+        assert!(report.contains("pes"), "parameter table expected");
+        assert!(report.contains("decision:"));
+        if result.best.is_some() {
+            assert!(report.contains("Best feasible design"));
+            assert!(report.contains("area_mm2"));
+        }
+    }
+}

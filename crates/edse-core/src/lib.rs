@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+//! Explainable-DSE: agile, explainable design-space exploration of DNN
+//! accelerator hardware/software codesigns using bottleneck analysis.
+//!
+//! This crate is the primary contribution of the reproduced ASPLOS 2023
+//! paper. It provides:
+//!
+//! * [`space`] — design-space descriptions and the paper's Table-1 edge
+//!   accelerator space;
+//! * [`cost`] — constraints, evaluations, and exploration traces shared by
+//!   all DSE techniques;
+//! * [`evaluate`] — codesign evaluators that pair hardware decoding with
+//!   per-layer mapping optimization and the technology model;
+//! * [`bottleneck`] — the bottleneck-model API (tree + parameter
+//!   dictionary + mitigation subroutines) and the concrete DNN-accelerator
+//!   latency model;
+//! * [`dse`] — the constraints-aware, bottleneck-guided exploration loop.
+//!
+//! # Quick start
+//!
+//! ```
+//! use edse_core::bottleneck::dnn_latency_model;
+//! use edse_core::dse::{DseConfig, ExplainableDse};
+//! use edse_core::evaluate::{CodesignEvaluator, Evaluator};
+//! use edse_core::space::edge_space;
+//! use mapper::FixedMapper;
+//! use workloads::zoo;
+//!
+//! let mut evaluator =
+//!     CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+//! let dse = ExplainableDse::new(
+//!     dnn_latency_model(),
+//!     DseConfig { budget: 40, ..DseConfig::default() },
+//! );
+//! let initial = evaluator.space().minimum_point();
+//! let result = dse.run_dnn(&mut evaluator, initial);
+//! assert!(result.trace.evaluations() <= 40);
+//! ```
+
+pub mod bottleneck;
+pub mod cost;
+pub mod dse;
+pub mod evaluate;
+pub mod explain;
+pub mod space;
+
+pub use bottleneck::{dnn_latency_model, BottleneckModel, BottleneckTree, LayerCtx, TreeBuilder};
+pub use cost::{Constraint, Evaluation, LayerEval, Sample, Trace};
+pub use dse::{Attempt, DseConfig, DseResult, ExplainableDse};
+pub use evaluate::{CodesignEvaluator, Evaluator};
+pub use space::{
+    datacenter_space, decode_edge_point, edge, edge_space, space_from_json, DesignPoint,
+    DesignSpace, ParamDef, ParamId,
+};

@@ -1,0 +1,177 @@
+//! Property-based tests for the bottleneck trees, the design space, and
+//! the trace/constraint utilities.
+
+use edse_core::bottleneck::tree::{NodeKind, TreeBuilder};
+use edse_core::cost::{Constraint, Sample, Trace};
+use edse_core::space::{DesignPoint, ParamDef};
+use proptest::prelude::*;
+
+/// A random three-level tree: root max over sums of leaves.
+fn arb_tree_values() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0.0f64..1e6, 1..5),
+        1..5,
+    )
+}
+
+proptest! {
+    /// Interior values follow the node semantics; the root contribution is
+    /// exactly 1 and every contribution lies in [0, 1].
+    #[test]
+    fn contributions_bounded_and_root_total(groups in arb_tree_values()) {
+        let mut b = TreeBuilder::new();
+        let mut sums = Vec::new();
+        for (i, leaves) in groups.iter().enumerate() {
+            let ids: Vec<_> = leaves
+                .iter()
+                .enumerate()
+                .map(|(j, v)| b.leaf(format!("l{i}_{j}"), *v))
+                .collect();
+            sums.push(b.sum(format!("s{i}"), ids));
+        }
+        let root = b.max("root", sums.clone());
+        let tree = b.build(root);
+
+        // Root = max of group sums.
+        let expected: f64 = groups
+            .iter()
+            .map(|g| g.iter().sum::<f64>())
+            .fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((tree.value(tree.root()) - expected).abs() < 1e-9);
+
+        let contrib = tree.contributions();
+        prop_assert!((contrib[tree.root()] - 1.0).abs() < 1e-12);
+        for c in &contrib {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(c), "contribution {c}");
+        }
+
+        // Sum-node children contributions add up to the parent's when the
+        // parent value is positive.
+        for &sid in &sums {
+            let node = tree.node(sid);
+            prop_assert_eq!(node.kind, NodeKind::Sum);
+            if node.value > 0.0 {
+                let child_total: f64 =
+                    node.children.iter().map(|&c| contrib[c]).sum();
+                prop_assert!(
+                    (child_total - contrib[sid]).abs() < 1e-9,
+                    "sum children {child_total} != parent {}", contrib[sid]
+                );
+            }
+        }
+    }
+
+    /// The dominant path always ends at a leaf and never leaves the tree.
+    #[test]
+    fn bottleneck_path_reaches_leaf(groups in arb_tree_values()) {
+        let mut b = TreeBuilder::new();
+        let mut sums = Vec::new();
+        for (i, leaves) in groups.iter().enumerate() {
+            let ids: Vec<_> = leaves
+                .iter()
+                .enumerate()
+                .map(|(j, v)| b.leaf(format!("l{i}_{j}"), *v))
+                .collect();
+            sums.push(b.sum(format!("s{i}"), ids));
+        }
+        let root = b.max("root", sums);
+        let tree = b.build(root);
+        let path = tree.bottleneck_path();
+        prop_assert_eq!(path[0], tree.root());
+        let last = *path.last().unwrap();
+        prop_assert!(tree.node(last).children.is_empty(), "path must end at a leaf");
+        // Consecutive path elements are parent/child.
+        for w in path.windows(2) {
+            prop_assert!(tree.node(w[0]).children.contains(&w[1]));
+        }
+    }
+
+    /// Required scaling is always at least the requested floor.
+    #[test]
+    fn required_scaling_floor(groups in arb_tree_values(), floor in 1.01f64..3.0) {
+        let mut b = TreeBuilder::new();
+        let ids: Vec<_> = groups
+            .concat()
+            .iter()
+            .enumerate()
+            .map(|(j, v)| b.leaf(format!("l{j}"), *v))
+            .collect();
+        let root = b.max("root", ids);
+        let tree = b.build(root);
+        prop_assert!(tree.required_scaling(floor) >= floor - 1e-12);
+    }
+
+    /// `round_up_index` returns the first domain value >= the target, or
+    /// the last index when none is.
+    #[test]
+    fn round_up_index_correct(
+        mut values in proptest::collection::vec(1.0f64..1e6, 1..30),
+        target in 0.0f64..2e6,
+    ) {
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.dedup();
+        let p = ParamDef::new("x", values.clone());
+        let idx = p.round_up_index(target);
+        match values.iter().position(|&v| v >= target) {
+            Some(expected) => prop_assert_eq!(idx, expected),
+            None => prop_assert_eq!(idx, values.len() - 1),
+        }
+    }
+
+    /// The convergence curve is monotonically non-increasing and reflects
+    /// only feasible samples.
+    #[test]
+    fn convergence_curve_monotone(
+        objs in proptest::collection::vec((0.1f64..1e4, any::<bool>()), 1..50),
+    ) {
+        let mut t = Trace::new("prop");
+        for (o, feasible) in &objs {
+            t.samples.push(Sample {
+                point: DesignPoint::new(vec![0]),
+                objective: *o,
+                constraint_values: vec![],
+                feasible: *feasible,
+            });
+        }
+        let curve = t.convergence_curve();
+        prop_assert_eq!(curve.len(), objs.len());
+        for w in curve.windows(2) {
+            prop_assert!(w[1] <= w[0]);
+        }
+        let best_feasible = objs
+            .iter()
+            .filter(|(_, f)| *f)
+            .map(|(o, _)| *o)
+            .fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(*curve.last().unwrap(), best_feasible);
+    }
+
+    /// Constraint utilization scales linearly and feasibility matches the
+    /// threshold comparison.
+    #[test]
+    fn constraint_semantics(threshold in 0.1f64..1e6, value in 0.0f64..2e6) {
+        let c = Constraint::new("x", threshold);
+        prop_assert_eq!(c.satisfied(value), value <= threshold);
+        prop_assert!((c.utilization(value) - value / threshold).abs() < 1e-12);
+    }
+
+    /// Geometric-mean reduction of a strictly improving sequence is > 1 and
+    /// of a flat sequence is 1.
+    #[test]
+    fn geomean_reduction_semantics(start in 10.0f64..1e4, steps in 2usize..20) {
+        let mut improving = Trace::new("imp");
+        let mut flat = Trace::new("flat");
+        for i in 0..steps {
+            let sample = |o: f64| Sample {
+                point: DesignPoint::new(vec![0]),
+                objective: o,
+                constraint_values: vec![],
+                feasible: true,
+            };
+            improving.samples.push(sample(start / (i as f64 + 1.0)));
+            flat.samples.push(sample(start));
+        }
+        prop_assert!(improving.geomean_reduction().unwrap() > 1.0);
+        prop_assert!((flat.geomean_reduction().unwrap() - 1.0).abs() < 1e-9);
+    }
+}

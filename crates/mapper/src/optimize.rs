@@ -1,0 +1,490 @@
+//! Mapping optimizers: the dMazeRunner-style linear explorer over the
+//! pruned space, and the black-box mappers (random / simulated annealing /
+//! genetic) the paper compares in §F and Fig. 15.
+
+use crate::space::{MappingSpace, SpaceBudget};
+use accel_model::mapping::prime_factors;
+use accel_model::{AcceleratorConfig, ExecutionProfile, Mapping, Stationarity, Tiling};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use workloads::layer::Dim;
+use workloads::LayerShape;
+
+/// An optimized mapping with its evaluated execution profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MappedLayer {
+    /// The chosen mapping.
+    pub mapping: Mapping,
+    /// Its execution profile on the target configuration.
+    pub profile: ExecutionProfile,
+}
+
+/// A mapping optimizer: finds a low-latency mapping of a layer onto a
+/// hardware configuration.
+pub trait MappingOptimizer {
+    /// Optimizes the mapping of `layer` on `cfg`.
+    ///
+    /// Returns `None` when no feasible mapping was found within the
+    /// optimizer's budget.
+    fn optimize(&mut self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<MappedLayer>;
+
+    /// Short name for reports, e.g. `"linear"` or `"random-10000"`.
+    fn name(&self) -> String;
+
+    /// Diagnostic fallback for designs where [`Self::optimize`] finds no
+    /// feasible mapping: the greedy fixed-dataflow mapping executed with
+    /// the NoC-capacity check relaxed. The profile reflects the time-shared
+    /// serialization the design *would* need, letting bottleneck analysis
+    /// explain the hardware/dataflow incompatibility and predict the link
+    /// counts that would repair it.
+    fn diagnose(
+        &mut self,
+        layer: &LayerShape,
+        cfg: &AcceleratorConfig,
+    ) -> Option<ExecutionProfile> {
+        let m = Mapping::fixed_output_stationary(layer, cfg);
+        cfg.execute_relaxed(layer, &m).ok()
+    }
+}
+
+impl MappingOptimizer for Box<dyn MappingOptimizer + Send> {
+    fn optimize(&mut self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<MappedLayer> {
+        (**self).optimize(layer, cfg)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn diagnose(
+        &mut self,
+        layer: &LayerShape,
+        cfg: &AcceleratorConfig,
+    ) -> Option<ExecutionProfile> {
+        (**self).diagnose(layer, cfg)
+    }
+}
+
+/// Evaluates one tiling under all nine maximal-reuse loop-order
+/// combinations and returns the feasible mapping with the lowest latency.
+pub fn best_ordering(
+    layer: &LayerShape,
+    cfg: &AcceleratorConfig,
+    tiling: &Tiling,
+) -> Option<MappedLayer> {
+    let mut best: Option<MappedLayer> = None;
+    for spm in Stationarity::ALL {
+        for dram in Stationarity::ALL {
+            let m = Mapping::new(*tiling, spm, dram);
+            if let Ok(profile) = cfg.execute(layer, &m) {
+                if best.is_none_or(|b| profile.latency_cycles < b.profile.latency_cycles) {
+                    best = Some(MappedLayer { mapping: m, profile });
+                }
+            }
+        }
+    }
+    best
+}
+
+/// The paper's fixed "SOC-MOP" optimized output-stationary dataflow: one
+/// deterministic mapping per layer, no search. Returns `None` when that
+/// mapping is incompatible with the hardware — precisely the
+/// hardware/dataflow incompatibility the paper reports for fixed-dataflow
+/// DSEs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FixedMapper;
+
+impl MappingOptimizer for FixedMapper {
+    fn optimize(&mut self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<MappedLayer> {
+        let m = Mapping::fixed_output_stationary(layer, cfg);
+        cfg.execute(layer, &m).ok().map(|profile| MappedLayer { mapping: m, profile })
+    }
+
+    fn name(&self) -> String {
+        "fixed-os".into()
+    }
+}
+
+/// Linear exploration of the pruned top-`N` space (dMazeRunner style):
+/// every tiling in the space is evaluated under all nine orderings.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearMapper {
+    budget: SpaceBudget,
+}
+
+impl LinearMapper {
+    /// A linear mapper over the top-`n` pruned tilings.
+    pub fn new(n: usize) -> Self {
+        Self { budget: SpaceBudget::top(n) }
+    }
+
+    /// A linear mapper with an explicit budget.
+    pub fn with_budget(budget: SpaceBudget) -> Self {
+        Self { budget }
+    }
+}
+
+impl MappingOptimizer for LinearMapper {
+    fn optimize(&mut self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<MappedLayer> {
+        let space = MappingSpace::build(layer, cfg, self.budget);
+        let mut best: Option<MappedLayer> = None;
+        for t in space.tilings() {
+            if let Some(c) = best_ordering(layer, cfg, t) {
+                if best.is_none_or(|b| c.profile.latency_cycles < b.profile.latency_cycles) {
+                    best = Some(c);
+                }
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> String {
+        format!("linear-{}", self.budget.n_max)
+    }
+}
+
+/// Interstellar-style mapper (the paper's Table-6 comparison point):
+/// linear exploration of the utilization-pruned tiling space like
+/// [`LinearMapper`], but with a single *fixed* loop-order class per memory
+/// boundary instead of exploring all maximal-reuse orderings.
+#[derive(Debug, Clone, Copy)]
+pub struct InterstellarMapper {
+    budget: SpaceBudget,
+    spm_order: Stationarity,
+    dram_order: Stationarity,
+}
+
+impl InterstellarMapper {
+    /// A fixed-ordering mapper over the top-`n` pruned tilings.
+    pub fn new(n: usize, spm_order: Stationarity, dram_order: Stationarity) -> Self {
+        Self { budget: SpaceBudget::top(n), spm_order, dram_order }
+    }
+}
+
+impl MappingOptimizer for InterstellarMapper {
+    fn optimize(&mut self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<MappedLayer> {
+        let space = MappingSpace::build(layer, cfg, self.budget);
+        let mut best: Option<MappedLayer> = None;
+        for t in space.tilings() {
+            let m = Mapping::new(*t, self.spm_order, self.dram_order);
+            if let Ok(profile) = cfg.execute(layer, &m) {
+                if best.is_none_or(|b| profile.latency_cycles < b.profile.latency_cycles) {
+                    best = Some(MappedLayer { mapping: m, profile });
+                }
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> String {
+        format!("interstellar-{}", self.budget.n_max)
+    }
+}
+
+/// Samples a uniformly random *valid factorization* tiling: every prime
+/// factor of every dimension is assigned to a uniformly random level.
+pub fn random_tiling(layer: &LayerShape, rng: &mut StdRng) -> Tiling {
+    let mut factors = [[1u64; 4]; 7];
+    for d in Dim::ALL {
+        for p in prime_factors(layer.dim(d)) {
+            let level = rng.gen_range(0..4usize);
+            factors[d.index()][level] *= p;
+        }
+    }
+    Tiling::from_factors(layer, factors).expect("prime distribution preserves products")
+}
+
+/// Timeloop-style random search: samples `trials` random valid-factorization
+/// tilings; each sampled tiling is evaluated under all nine orderings.
+#[derive(Debug, Clone)]
+pub struct RandomMapper {
+    trials: usize,
+    rng: StdRng,
+}
+
+impl RandomMapper {
+    /// A random mapper with the given trial budget and seed.
+    pub fn new(trials: usize, seed: u64) -> Self {
+        Self { trials, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl MappingOptimizer for RandomMapper {
+    fn optimize(&mut self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<MappedLayer> {
+        let mut best: Option<MappedLayer> = None;
+        for _ in 0..self.trials {
+            let t = random_tiling(layer, &mut self.rng);
+            if let Some(c) = best_ordering(layer, cfg, &t) {
+                if best.is_none_or(|b| c.profile.latency_cycles < b.profile.latency_cycles) {
+                    best = Some(c);
+                }
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> String {
+        format!("random-{}", self.trials)
+    }
+}
+
+/// Simulated-annealing mapper (SciPy-style Metropolis schedule): the state
+/// is a tiling; a move reassigns one prime factor of one dimension to a
+/// different level.
+#[derive(Debug, Clone)]
+pub struct AnnealingMapper {
+    trials: usize,
+    initial_temp: f64,
+    rng: StdRng,
+}
+
+impl AnnealingMapper {
+    /// An annealing mapper with the given move budget and seed.
+    pub fn new(trials: usize, seed: u64) -> Self {
+        Self { trials, initial_temp: 2.0, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    fn neighbor(&mut self, layer: &LayerShape, t: &Tiling) -> Tiling {
+        let mut factors = *t.factors();
+        // Pick a dimension with a non-trivial extent.
+        let dims: Vec<Dim> = Dim::ALL.into_iter().filter(|d| layer.dim(*d) > 1).collect();
+        if dims.is_empty() {
+            return *t;
+        }
+        let d = dims[self.rng.gen_range(0..dims.len())];
+        let i = d.index();
+        // Move one prime factor from a random non-unit level to another.
+        let from_candidates: Vec<usize> =
+            (0..4).filter(|&l| factors[i][l] > 1).collect();
+        if from_candidates.is_empty() {
+            return *t;
+        }
+        let from = from_candidates[self.rng.gen_range(0..from_candidates.len())];
+        let primes = prime_factors(factors[i][from]);
+        let p = primes[self.rng.gen_range(0..primes.len())];
+        let mut to = self.rng.gen_range(0..4usize);
+        if to == from {
+            to = (to + 1) % 4;
+        }
+        factors[i][from] /= p;
+        factors[i][to] *= p;
+        Tiling::from_factors(layer, factors).expect("move preserves products")
+    }
+}
+
+impl MappingOptimizer for AnnealingMapper {
+    fn optimize(&mut self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<MappedLayer> {
+        let mut current = random_tiling(layer, &mut self.rng);
+        let mut current_cost = best_ordering(layer, cfg, &current)
+            .map(|c| c.profile.latency_cycles)
+            .unwrap_or(f64::INFINITY);
+        let mut best: Option<MappedLayer> = best_ordering(layer, cfg, &current);
+        for step in 0..self.trials {
+            let temp = self.initial_temp * (1.0 - step as f64 / self.trials as f64).max(1e-3);
+            let cand = self.neighbor(layer, &current);
+            let eval = best_ordering(layer, cfg, &cand);
+            let cost = eval.map(|c| c.profile.latency_cycles).unwrap_or(f64::INFINITY);
+            let accept = if cost <= current_cost {
+                true
+            } else if current_cost.is_finite() {
+                let ratio = (current_cost - cost) / (current_cost * temp);
+                self.rng.gen::<f64>() < ratio.exp()
+            } else {
+                true
+            };
+            if accept {
+                current = cand;
+                current_cost = cost;
+            }
+            if let Some(c) = eval {
+                if best.is_none_or(|b| c.profile.latency_cycles < b.profile.latency_cycles) {
+                    best = Some(c);
+                }
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> String {
+        format!("annealing-{}", self.trials)
+    }
+}
+
+/// Genetic-algorithm mapper (scikit-opt style): tournament selection,
+/// per-dimension crossover of factor rows, prime-move mutation.
+#[derive(Debug, Clone)]
+pub struct GeneticMapper {
+    population: usize,
+    generations: usize,
+    rng: StdRng,
+}
+
+impl GeneticMapper {
+    /// A GA mapper; total evaluations ~ `population * generations`.
+    pub fn new(population: usize, generations: usize, seed: u64) -> Self {
+        Self { population: population.max(4), generations, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    fn crossover(&mut self, layer: &LayerShape, a: &Tiling, b: &Tiling) -> Tiling {
+        let mut factors = *a.factors();
+        for d in Dim::ALL {
+            if self.rng.gen::<bool>() {
+                factors[d.index()] = b.factors()[d.index()];
+            }
+        }
+        Tiling::from_factors(layer, factors).expect("rows are valid per dimension")
+    }
+
+    fn mutate(&mut self, layer: &LayerShape, t: &Tiling) -> Tiling {
+        // Reuse the annealing move: relocate one prime factor.
+        let mut helper = AnnealingMapper {
+            trials: 0,
+            initial_temp: 1.0,
+            rng: StdRng::seed_from_u64(self.rng.gen()),
+        };
+        helper.neighbor(layer, t)
+    }
+}
+
+impl MappingOptimizer for GeneticMapper {
+    fn optimize(&mut self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<MappedLayer> {
+        let mut pop: Vec<Tiling> =
+            (0..self.population).map(|_| random_tiling(layer, &mut self.rng)).collect();
+        let mut best: Option<MappedLayer> = None;
+        for _ in 0..self.generations {
+            let scored: Vec<(Tiling, f64)> = pop
+                .iter()
+                .map(|t| {
+                    let eval = best_ordering(layer, cfg, t);
+                    if let Some(c) = eval {
+                        if best
+                            .is_none_or(|b| c.profile.latency_cycles < b.profile.latency_cycles)
+                        {
+                            best = Some(c);
+                        }
+                    }
+                    (*t, eval.map(|c| c.profile.latency_cycles).unwrap_or(f64::INFINITY))
+                })
+                .collect();
+            // Tournament selection + variation.
+            let mut next = Vec::with_capacity(self.population);
+            while next.len() < self.population {
+                let pick = |rng: &mut StdRng| {
+                    let a = rng.gen_range(0..scored.len());
+                    let b = rng.gen_range(0..scored.len());
+                    if scored[a].1 <= scored[b].1 {
+                        scored[a].0
+                    } else {
+                        scored[b].0
+                    }
+                };
+                let pa = pick(&mut self.rng);
+                let pb = pick(&mut self.rng);
+                let child = self.crossover(layer, &pa, &pb);
+                let child = if self.rng.gen::<f64>() < 0.3 {
+                    self.mutate(layer, &child)
+                } else {
+                    child
+                };
+                next.push(child);
+            }
+            pop = next;
+        }
+        best
+    }
+
+    fn name(&self) -> String {
+        format!("genetic-{}x{}", self.population, self.generations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> LayerShape {
+        LayerShape::conv(1, 64, 64, 56, 56, 3, 3, 1)
+    }
+
+    #[test]
+    fn linear_beats_or_matches_fixed_dataflow() {
+        let cfg = AcceleratorConfig::edge_baseline();
+        let fixed = FixedMapper.optimize(&layer(), &cfg).expect("fixed feasible");
+        let lin = LinearMapper::new(200).optimize(&layer(), &cfg).expect("linear feasible");
+        assert!(lin.profile.latency_cycles <= fixed.profile.latency_cycles * 1.001);
+    }
+
+    #[test]
+    fn random_tiling_is_always_valid() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let l = layer();
+        for _ in 0..100 {
+            let t = random_tiling(&l, &mut rng);
+            assert!(Tiling::from_factors(&l, *t.factors()).is_ok());
+        }
+    }
+
+    #[test]
+    fn random_mapper_finds_feasible_mapping() {
+        let cfg = AcceleratorConfig::edge_baseline();
+        let got = RandomMapper::new(300, 42).optimize(&layer(), &cfg);
+        assert!(got.is_some());
+    }
+
+    #[test]
+    fn random_mapper_is_deterministic_per_seed() {
+        let cfg = AcceleratorConfig::edge_baseline();
+        let a = RandomMapper::new(100, 1).optimize(&layer(), &cfg).unwrap();
+        let b = RandomMapper::new(100, 1).optimize(&layer(), &cfg).unwrap();
+        assert_eq!(a.mapping, b.mapping);
+    }
+
+    #[test]
+    fn annealing_improves_over_first_sample() {
+        let cfg = AcceleratorConfig::edge_baseline();
+        let first = {
+            let mut rng = StdRng::seed_from_u64(5);
+            let t = random_tiling(&layer(), &mut rng);
+            best_ordering(&layer(), &cfg, &t)
+        };
+        let sa = AnnealingMapper::new(200, 5).optimize(&layer(), &cfg);
+        if let (Some(f), Some(s)) = (first, sa) {
+            assert!(s.profile.latency_cycles <= f.profile.latency_cycles);
+        }
+    }
+
+    #[test]
+    fn genetic_finds_feasible_mapping() {
+        let cfg = AcceleratorConfig::edge_baseline();
+        let got = GeneticMapper::new(8, 5, 3).optimize(&layer(), &cfg);
+        assert!(got.is_some());
+    }
+
+    #[test]
+    fn full_ordering_search_never_loses_to_fixed_ordering() {
+        let cfg = AcceleratorConfig::edge_baseline();
+        let lin = LinearMapper::new(100).optimize(&layer(), &cfg).expect("linear");
+        let fixed = InterstellarMapper::new(
+            100,
+            Stationarity::OutputStationary,
+            Stationarity::OutputStationary,
+        )
+        .optimize(&layer(), &cfg)
+        .expect("interstellar");
+        assert!(lin.profile.latency_cycles <= fixed.profile.latency_cycles * 1.001);
+    }
+
+    #[test]
+    fn names_encode_budgets() {
+        assert_eq!(LinearMapper::new(100).name(), "linear-100");
+        assert_eq!(RandomMapper::new(10, 0).name(), "random-10");
+    }
+
+    #[test]
+    fn more_random_trials_never_hurt() {
+        let cfg = AcceleratorConfig::edge_baseline();
+        let small = RandomMapper::new(50, 9).optimize(&layer(), &cfg).unwrap();
+        let large = RandomMapper::new(500, 9).optimize(&layer(), &cfg).unwrap();
+        assert!(large.profile.latency_cycles <= small.profile.latency_cycles);
+    }
+}

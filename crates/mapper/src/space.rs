@@ -1,0 +1,472 @@
+//! Pruned mapping-space construction (dMazeRunner/Interstellar style).
+//!
+//! The space of valid tilings is constructed stage by stage — spatial
+//! factors, register-file factors, scratchpad factors; the DRAM level takes
+//! the remainder — with utilization-threshold pruning at every stage.
+//! Thresholds are adjusted automatically (paper §4.8) so the resulting
+//! space contains between `n_min` and `n_max` tilings whenever the layer
+//! admits that many: starting from aggressive thresholds, the builder
+//! relaxes them until the space is large enough, mirroring the paper's
+//! "top-N mappings by iteratively adjusting pruning thresholds".
+
+use accel_model::{AcceleratorConfig, Level, Mapping, Stationarity, Tiling};
+use serde::{Deserialize, Serialize};
+use workloads::layer::Dim;
+use workloads::{LayerShape, Tensor};
+
+/// Utilization floors used to prune ineffectual tilings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// Minimum PE-array utilization.
+    pub pe: f64,
+    /// Minimum register-file utilization.
+    pub rf: f64,
+    /// Minimum scratchpad utilization.
+    pub spm: f64,
+}
+
+impl Thresholds {
+    /// The aggressive starting point of the auto-adjustment loop.
+    pub fn aggressive() -> Self {
+        Self { pe: 0.75, rf: 0.50, spm: 0.25 }
+    }
+
+    /// Relaxes every threshold by half (one adjustment round).
+    pub fn relaxed(self) -> Self {
+        Self { pe: self.pe * 0.5, rf: self.rf * 0.5, spm: self.spm * 0.5 }
+    }
+}
+
+/// Size limits for the constructed space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpaceBudget {
+    /// Lower bound on the space size before thresholds are relaxed.
+    pub n_min: usize,
+    /// Upper bound: the space is truncated to the `n_max` highest-scoring
+    /// tilings (utilization product).
+    pub n_max: usize,
+}
+
+impl SpaceBudget {
+    /// The paper's default range `[10, 10000]`.
+    pub fn paper_default() -> Self {
+        Self { n_min: 10, n_max: 10_000 }
+    }
+
+    /// A budget capped at `n` tilings (for quick explorations).
+    pub fn top(n: usize) -> Self {
+        Self { n_min: n.min(10), n_max: n }
+    }
+}
+
+impl Default for SpaceBudget {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// A constructed mapping space: pruned valid tilings for one layer on one
+/// hardware configuration, plus the loop-order classes to pair them with.
+#[derive(Debug, Clone)]
+pub struct MappingSpace {
+    tilings: Vec<Tiling>,
+    thresholds: Thresholds,
+}
+
+impl MappingSpace {
+    /// Builds the pruned space.
+    ///
+    /// Always returns at least one tiling when the layer fits the hardware
+    /// at all (the all-DRAM tiling with one PE is valid whenever the unit
+    /// working set fits the register file).
+    pub fn build(layer: &LayerShape, cfg: &AcceleratorConfig, budget: SpaceBudget) -> Self {
+        let mut thresholds = Thresholds::aggressive();
+        let mut tilings = enumerate(layer, cfg, thresholds, budget);
+        let mut rounds = 0;
+        while tilings.len() < budget.n_min && rounds < 5 {
+            thresholds = thresholds.relaxed();
+            tilings = enumerate(layer, cfg, thresholds, budget);
+            rounds += 1;
+        }
+        if tilings.is_empty() {
+            // Last resort: serial execution on one PE if it validates.
+            let t = fallback_serial(layer, cfg);
+            tilings.extend(t);
+        }
+        Self { tilings, thresholds }
+    }
+
+    /// The pruned tilings, highest utilization score first.
+    pub fn tilings(&self) -> &[Tiling] {
+        &self.tilings
+    }
+
+    /// The thresholds the auto-adjustment settled on.
+    pub fn thresholds(&self) -> Thresholds {
+        self.thresholds
+    }
+
+    /// Number of tilings in the space.
+    pub fn len(&self) -> usize {
+        self.tilings.len()
+    }
+
+    /// Whether the space is empty (no feasible tiling at all).
+    pub fn is_empty(&self) -> bool {
+        self.tilings.is_empty()
+    }
+
+    /// All candidate mappings: each tiling paired with every combination of
+    /// the three maximal-reuse loop-order classes at both memory levels.
+    pub fn mappings(&self) -> impl Iterator<Item = Mapping> + '_ {
+        self.tilings.iter().flat_map(|t| {
+            Stationarity::ALL.into_iter().flat_map(move |spm| {
+                Stationarity::ALL.into_iter().map(move |dram| Mapping::new(*t, spm, dram))
+            })
+        })
+    }
+}
+
+/// Extents chosen so far at one level, indexed by `Dim::index`.
+type Extents = [u64; 7];
+
+fn volume(layer: &LayerShape, ext: &Extents, op: Tensor) -> u64 {
+    let get = |d: Dim| ext[d.index()];
+    match op {
+        Tensor::Weight => get(Dim::M) * get(Dim::C) * get(Dim::Fy) * get(Dim::Fx),
+        Tensor::Input => {
+            let ch = match layer.kind() {
+                workloads::OpKind::DepthwiseConv => get(Dim::M),
+                _ => get(Dim::C),
+            };
+            let iy = (get(Dim::Oy) - 1) * layer.stride() + get(Dim::Fy);
+            let ix = (get(Dim::Ox) - 1) * layer.stride() + get(Dim::Fx);
+            get(Dim::N) * ch * iy * ix
+        }
+        Tensor::OutputRead | Tensor::OutputWrite => {
+            get(Dim::N) * get(Dim::M) * get(Dim::Oy) * get(Dim::Ox)
+        }
+    }
+}
+
+fn working_set_bytes(layer: &LayerShape, ext: &Extents, elem: u64) -> u64 {
+    (volume(layer, ext, Tensor::Input)
+        + volume(layer, ext, Tensor::Weight)
+        + volume(layer, ext, Tensor::OutputWrite))
+        * elem
+}
+
+fn divisors(n: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut i = 1;
+    while i * i <= n {
+        if n.is_multiple_of(i) {
+            out.push(i);
+            if i != n / i {
+                out.push(n / i);
+            }
+        }
+        i += 1;
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Stage caps keep each stage's fan-out bounded; they scale with the
+/// requested space size.
+fn stage_caps(budget: SpaceBudget) -> (usize, usize, usize) {
+    let n = budget.n_max.max(10);
+    let spatial = (n / 16).clamp(8, 128);
+    let rf = (n / 64).clamp(4, 32);
+    let l2 = (n / 128).clamp(4, 24);
+    (spatial, rf, l2)
+}
+
+fn enumerate(
+    layer: &LayerShape,
+    cfg: &AcceleratorConfig,
+    th: Thresholds,
+    budget: SpaceBudget,
+) -> Vec<Tiling> {
+    let (spatial_cap, rf_cap, l2_cap) = stage_caps(budget);
+    let elem = cfg.elem_bytes;
+
+    // ---------------------------------------------------- spatial stage
+    // Candidate spatial dims: channels and output pixels (classic spatial
+    // unrolling targets); depthwise layers spatialize M/Oy/Ox.
+    let spatial_dims = [Dim::M, Dim::C, Dim::Oy, Dim::Ox];
+    let mut spatial_choices: Vec<(Extents, f64)> = Vec::new();
+    let mut sp = [1u64; 7];
+    dfs_spatial(layer, cfg, &spatial_dims, 0, &mut sp, &mut spatial_choices, 4096);
+    // Highest PE utilization first; keep the cap.
+    spatial_choices.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let min_util = th.pe;
+    let mut kept_spatial: Vec<Extents> = spatial_choices
+        .iter()
+        .filter(|(_, u)| *u >= min_util)
+        .map(|(e, _)| *e)
+        .take(spatial_cap)
+        .collect();
+    if kept_spatial.is_empty() {
+        // Keep the best few even when the threshold is unreachable.
+        kept_spatial = spatial_choices.iter().map(|(e, _)| *e).take(4.min(spatial_cap)).collect();
+    }
+
+    let mut result: Vec<(Tiling, f64)> = Vec::new();
+
+    for sp in &kept_spatial {
+        // ------------------------------------------------ register-file stage
+        // RF loops draw from reduction dims plus output columns (enough to
+        // express the classic stationarities).
+        let rf_dims = [Dim::C, Dim::Fy, Dim::Fx, Dim::Ox];
+        let mut rf_choices: Vec<(Extents, f64)> = Vec::new();
+        let mut rf = [1u64; 7];
+        dfs_fill(
+            layer,
+            &rf_dims,
+            0,
+            &mut rf,
+            &|d| layer.dim(d) / sp[d.index()],
+            &|ext| working_set_bytes(layer, ext, elem) <= cfg.l1_bytes,
+            &mut rf_choices,
+            &|ext| working_set_bytes(layer, ext, elem) as f64 / cfg.l1_bytes as f64,
+            1024,
+        );
+        rf_choices.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let mut kept_rf: Vec<Extents> = rf_choices
+            .iter()
+            .filter(|(_, u)| *u >= th.rf)
+            .map(|(e, _)| *e)
+            .take(rf_cap)
+            .collect();
+        if kept_rf.is_empty() {
+            kept_rf = rf_choices.iter().map(|(e, _)| *e).take(2.min(rf_cap)).collect();
+        }
+
+        for rf in &kept_rf {
+            // ------------------------------------------------ scratchpad stage
+            let l2_dims = Dim::ALL;
+            let mut l2_choices: Vec<(Extents, f64)> = Vec::new();
+            let mut l2 = [1u64; 7];
+            // SPM tile extents include RF and spatial factors.
+            let spm_ext = |l2e: &Extents| {
+                let mut e = [1u64; 7];
+                for d in Dim::ALL {
+                    let i = d.index();
+                    e[i] = rf[i] * sp[i] * l2e[i];
+                }
+                e
+            };
+            dfs_fill(
+                layer,
+                &l2_dims,
+                0,
+                &mut l2,
+                &|d| layer.dim(d) / (sp[d.index()] * rf[d.index()]),
+                &|ext| working_set_bytes(layer, &spm_ext(ext), elem) <= cfg.l2_bytes,
+                &mut l2_choices,
+                &|ext| {
+                    working_set_bytes(layer, &spm_ext(ext), elem) as f64 / cfg.l2_bytes as f64
+                },
+                512,
+            );
+            l2_choices.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            let mut kept_l2: Vec<(Extents, f64)> = l2_choices
+                .iter()
+                .filter(|(_, u)| *u >= th.spm)
+                .take(l2_cap)
+                .cloned()
+                .collect();
+            if kept_l2.is_empty() {
+                kept_l2 = l2_choices.into_iter().take(2.min(l2_cap)).collect();
+            }
+
+            let pe_util = sp.iter().product::<u64>() as f64 / cfg.pes as f64;
+            for (l2, spm_util) in kept_l2 {
+                let mut factors = [[1u64; 4]; 7];
+                let mut ok = true;
+                for d in Dim::ALL {
+                    let i = d.index();
+                    let product = rf[i] * sp[i] * l2[i];
+                    if !layer.dim(d).is_multiple_of(product) {
+                        ok = false;
+                        break;
+                    }
+                    factors[i][Level::Rf.index()] = rf[i];
+                    factors[i][Level::Spatial.index()] = sp[i];
+                    factors[i][Level::Spm.index()] = l2[i];
+                    factors[i][Level::Dram.index()] = layer.dim(d) / product;
+                }
+                if !ok {
+                    continue;
+                }
+                if let Ok(t) = Tiling::from_factors(layer, factors) {
+                    result.push((t, pe_util * (1.0 + spm_util)));
+                }
+            }
+        }
+        if result.len() >= budget.n_max * 2 {
+            break;
+        }
+    }
+
+    result.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    result.dedup_by(|a, b| a.0 == b.0);
+    result.truncate(budget.n_max);
+    result.into_iter().map(|(t, _)| t).collect()
+}
+
+/// DFS over spatial factor choices with PE-budget and NoC-capacity pruning.
+/// Divisors are visited in descending order and enumeration stops at
+/// `max_leaves`, so the highest-parallelism choices are collected first.
+fn dfs_spatial(
+    layer: &LayerShape,
+    cfg: &AcceleratorConfig,
+    dims: &[Dim],
+    i: usize,
+    sp: &mut Extents,
+    out: &mut Vec<(Extents, f64)>,
+    max_leaves: usize,
+) {
+    if out.len() >= max_leaves {
+        return;
+    }
+    let pes_used: u64 = sp.iter().product();
+    if pes_used > cfg.pes {
+        return;
+    }
+    // NoC capacity: groups per operand only grow with more spatial factors.
+    for op in Tensor::ALL {
+        let groups: u64 = Dim::ALL
+            .iter()
+            .filter(|d| layer.relevant(op, **d))
+            .map(|d| sp[d.index()])
+            .product();
+        let cap = cfg.noc_phys_links[op.index()] * cfg.noc_virt_links[op.index()];
+        if groups > cap {
+            return;
+        }
+    }
+    if i == dims.len() {
+        out.push((*sp, pes_used as f64 / cfg.pes as f64));
+        return;
+    }
+    let d = dims[i];
+    for f in divisors(layer.dim(d)).into_iter().rev() {
+        sp[d.index()] = f;
+        dfs_spatial(layer, cfg, dims, i + 1, sp, out, max_leaves);
+    }
+    sp[d.index()] = 1;
+}
+
+/// Generic DFS over per-dimension divisor choices with a monotone capacity
+/// predicate; every feasible leaf is recorded with its utilization score.
+#[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
+fn dfs_fill(
+    layer: &LayerShape,
+    dims: &[Dim],
+    i: usize,
+    ext: &mut Extents,
+    quota: &dyn Fn(Dim) -> u64,
+    fits: &dyn Fn(&Extents) -> bool,
+    out: &mut Vec<(Extents, f64)>,
+    score: &dyn Fn(&Extents) -> f64,
+    max_leaves: usize,
+) {
+    if out.len() >= max_leaves || !fits(ext) {
+        return;
+    }
+    if i == dims.len() {
+        out.push((*ext, score(ext)));
+        return;
+    }
+    let d = dims[i];
+    for f in divisors(quota(d)).into_iter().rev() {
+        ext[d.index()] = f;
+        dfs_fill(layer, dims, i + 1, ext, quota, fits, out, score, max_leaves);
+    }
+    ext[d.index()] = 1;
+}
+
+/// Serial single-PE execution, valid whenever a unit working set fits L1.
+fn fallback_serial(layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<Tiling> {
+    let mut factors = [[1u64; 4]; 7];
+    for d in Dim::ALL {
+        factors[d.index()][Level::Dram.index()] = layer.dim(d);
+    }
+    let t = Tiling::from_factors(layer, factors).ok()?;
+    let unit = working_set_bytes(layer, &[1; 7], cfg.elem_bytes);
+    (unit <= cfg.l1_bytes).then_some(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accel_model::Validity;
+
+    fn layer() -> LayerShape {
+        LayerShape::conv(1, 64, 64, 56, 56, 3, 3, 1)
+    }
+
+    #[test]
+    fn space_is_nonempty_and_valid() {
+        let cfg = AcceleratorConfig::edge_baseline();
+        let space = MappingSpace::build(&layer(), &cfg, SpaceBudget::top(200));
+        assert!(!space.is_empty());
+        assert!(space.len() <= 200);
+        // Every tiling validates against layer and hardware.
+        let l = layer();
+        for t in space.tilings() {
+            let m = Mapping::new(*t, Stationarity::OutputStationary, Stationarity::OutputStationary);
+            Validity::check(&cfg, &l, &m).expect("space must only contain feasible tilings");
+        }
+    }
+
+    #[test]
+    fn mappings_are_nine_per_tiling() {
+        let cfg = AcceleratorConfig::edge_baseline();
+        let space = MappingSpace::build(&layer(), &cfg, SpaceBudget::top(20));
+        assert_eq!(space.mappings().count(), space.len() * 9);
+    }
+
+    #[test]
+    fn thresholds_relax_for_tiny_hardware() {
+        // The minimum config can't reach aggressive utilization for a big
+        // layer, so the builder must relax thresholds rather than fail.
+        let cfg = AcceleratorConfig::edge_minimum();
+        let space = MappingSpace::build(&layer(), &cfg, SpaceBudget::paper_default());
+        assert!(!space.is_empty());
+        assert!(space.thresholds().pe <= Thresholds::aggressive().pe);
+    }
+
+    #[test]
+    fn gemm_space_builds() {
+        let g = LayerShape::gemm(1000, 1, 512);
+        let cfg = AcceleratorConfig::edge_baseline();
+        let space = MappingSpace::build(&g, &cfg, SpaceBudget::top(100));
+        assert!(!space.is_empty());
+    }
+
+    #[test]
+    fn depthwise_space_builds() {
+        let d = LayerShape::dwconv(1, 96, 56, 56, 3, 3, 1);
+        let cfg = AcceleratorConfig::edge_baseline();
+        let space = MappingSpace::build(&d, &cfg, SpaceBudget::top(100));
+        assert!(!space.is_empty());
+    }
+
+    #[test]
+    fn larger_budget_yields_no_smaller_space() {
+        let cfg = AcceleratorConfig::edge_baseline();
+        let small = MappingSpace::build(&layer(), &cfg, SpaceBudget::top(20));
+        let large = MappingSpace::build(&layer(), &cfg, SpaceBudget::top(500));
+        assert!(large.len() >= small.len());
+    }
+
+    #[test]
+    fn divisors_helper() {
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(1), vec![1]);
+        assert_eq!(divisors(7), vec![1, 7]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for mapping-space construction and the mapping
+//! optimizers.
+
+use accel_model::{AcceleratorConfig, Mapping, Stationarity, Validity};
+use mapper::optimize::{best_ordering, random_tiling};
+use mapper::size::ordered_factorizations_4;
+use mapper::{LinearMapper, MappingOptimizer, MappingSpace, RandomMapper, SpaceBudget};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workloads::LayerShape;
+
+fn arb_layer() -> impl Strategy<Value = LayerShape> {
+    (
+        prop_oneof![Just(8u64), Just(16), Just(32), Just(64)],
+        prop_oneof![Just(3u64), Just(8), Just(16), Just(64)],
+        prop_oneof![Just(4u64), Just(8), Just(14), Just(28)],
+        prop_oneof![Just(1u64), Just(3), Just(5)],
+        1u64..=2,
+    )
+        .prop_map(|(m, c, hw, f, s)| LayerShape::conv(1, m, c, hw, hw, f, f, s))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every tiling in a constructed space validates against the hardware.
+    #[test]
+    fn space_contains_only_feasible_tilings(layer in arb_layer()) {
+        let cfg = AcceleratorConfig::edge_baseline();
+        let space = MappingSpace::build(&layer, &cfg, SpaceBudget::top(64));
+        for t in space.tilings() {
+            let m = Mapping::new(
+                *t,
+                Stationarity::OutputStationary,
+                Stationarity::OutputStationary,
+            );
+            prop_assert!(Validity::check(&cfg, &layer, &m).is_ok());
+        }
+    }
+
+    /// Spaces are deduplicated.
+    #[test]
+    fn space_has_no_duplicates(layer in arb_layer()) {
+        let cfg = AcceleratorConfig::edge_baseline();
+        let space = MappingSpace::build(&layer, &cfg, SpaceBudget::top(64));
+        let mut seen = std::collections::HashSet::new();
+        for t in space.tilings() {
+            prop_assert!(seen.insert(*t.factors()), "duplicate tiling in space");
+        }
+    }
+
+    /// Random tilings always preserve the per-dimension factor products.
+    #[test]
+    fn random_tilings_valid(layer in arb_layer(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = random_tiling(&layer, &mut rng);
+        let prod: u64 = (0..7)
+            .map(|i| t.factors()[i].iter().product::<u64>())
+            .product();
+        prop_assert_eq!(prod, layer.dims().iter().product::<u64>());
+    }
+
+    /// `best_ordering` returns the minimum over the nine combinations.
+    #[test]
+    fn best_ordering_is_minimum(layer in arb_layer(), seed in 0u64..100) {
+        let cfg = AcceleratorConfig {
+            noc_phys_links: [64; 4],
+            noc_virt_links: [512; 4],
+            l1_bytes: 1024,
+            l2_bytes: 1024 * 1024,
+            ..AcceleratorConfig::edge_baseline()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = random_tiling(&layer, &mut rng);
+        if let Some(best) = best_ordering(&layer, &cfg, &t) {
+            for spm in Stationarity::ALL {
+                for dram in Stationarity::ALL {
+                    let m = Mapping::new(t, spm, dram);
+                    if let Ok(p) = cfg.execute(&layer, &m) {
+                        prop_assert!(
+                            best.profile.latency_cycles <= p.latency_cycles + 1e-6
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The linear mapper never does worse than the first tiling it visits.
+    #[test]
+    fn linear_mapper_returns_space_optimum(layer in arb_layer()) {
+        let cfg = AcceleratorConfig::edge_baseline();
+        let space = MappingSpace::build(&layer, &cfg, SpaceBudget::top(32));
+        let mut m = LinearMapper::new(32);
+        if let Some(best) = m.optimize(&layer, &cfg) {
+            for t in space.tilings() {
+                if let Some(c) = best_ordering(&layer, &cfg, t) {
+                    prop_assert!(
+                        best.profile.latency_cycles <= c.profile.latency_cycles + 1e-6
+                    );
+                }
+            }
+        }
+    }
+
+    /// Random-mapper results are reproducible and within valid hardware.
+    #[test]
+    fn random_mapper_deterministic(layer in arb_layer(), seed in 0u64..50) {
+        let cfg = AcceleratorConfig::edge_baseline();
+        let a = RandomMapper::new(40, seed).optimize(&layer, &cfg);
+        let b = RandomMapper::new(40, seed).optimize(&layer, &cfg);
+        prop_assert_eq!(a.map(|x| x.mapping), b.map(|x| x.mapping));
+    }
+
+    /// The closed-form ordered-factorization count is multiplicative over
+    /// coprime arguments.
+    #[test]
+    fn factorization_count_multiplicative(a in 1u64..64, b in 1u64..64) {
+        let g = gcd(a, b);
+        if g == 1 {
+            prop_assert_eq!(
+                ordered_factorizations_4(a * b),
+                ordered_factorizations_4(a) * ordered_factorizations_4(b)
+            );
+        }
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}

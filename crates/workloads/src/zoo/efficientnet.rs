@@ -1,0 +1,105 @@
+//! EfficientNet-B0 for ImageNet classification (224x224 input).
+
+use crate::constraints::ThroughputTarget;
+use crate::layer::LayerShape;
+use crate::model::{DnnModel, Layer};
+
+/// One MBConv block with squeeze-and-excitation: optional expand 1x1,
+/// depthwise kxk, SE reduce/expand (1x1 over pooled activations), project
+/// 1x1. SE ratio is 0.25 of the block *input* channels as in the reference
+/// implementation.
+#[allow(clippy::too_many_arguments)]
+fn mbconv(
+    layers: &mut Vec<Layer>,
+    tag: &str,
+    c_in: u64,
+    c_out: u64,
+    expand: u64,
+    k: u64,
+    hw_in: u64,
+    s: u64,
+) {
+    let c_mid = c_in * expand;
+    let c_se = (c_in / 4).max(1);
+    let hw_out = hw_in / s;
+    if expand != 1 {
+        layers.push(Layer::new(
+            format!("{tag}.expand"),
+            LayerShape::conv(1, c_mid, c_in, hw_in, hw_in, 1, 1, 1),
+            1,
+        ));
+    }
+    layers.push(Layer::new(
+        format!("{tag}.dw"),
+        LayerShape::dwconv(1, c_mid, hw_out, hw_out, k, k, s),
+        1,
+    ));
+    // SE operates on globally pooled activations: 1x1 spatial extent.
+    layers.push(Layer::new(
+        format!("{tag}.se_reduce"),
+        LayerShape::conv(1, c_se, c_mid, 1, 1, 1, 1, 1),
+        1,
+    ));
+    layers.push(Layer::new(
+        format!("{tag}.se_expand"),
+        LayerShape::conv(1, c_mid, c_se, 1, 1, 1, 1, 1),
+        1,
+    ));
+    layers.push(Layer::new(
+        format!("{tag}.project"),
+        LayerShape::conv(1, c_out, c_mid, hw_out, hw_out, 1, 1, 1),
+        1,
+    ));
+}
+
+/// EfficientNet-B0: stem, 16 MBConv blocks (first without expansion, each
+/// with an SE pair), head conv, classifier — 82 weighted layers, matching
+/// the paper's count. Light vision model: 40 FPS floor.
+pub fn efficientnet_b0() -> DnnModel {
+    let mut layers =
+        vec![Layer::new("stem", LayerShape::conv(1, 32, 3, 112, 112, 3, 3, 2), 1)];
+    // (expand, c_out, repeats, first_stride, kernel); input 32ch at 112x112.
+    let cfg: [(u64, u64, u64, u64, u64); 7] = [
+        (1, 16, 1, 1, 3),
+        (6, 24, 2, 2, 3),
+        (6, 40, 2, 2, 5),
+        (6, 80, 3, 2, 3),
+        (6, 112, 3, 1, 5),
+        (6, 192, 4, 2, 5),
+        (6, 320, 1, 1, 3),
+    ];
+    let mut c_in = 32;
+    let mut hw = 112;
+    let mut idx = 0;
+    for (expand, c_out, repeats, first_stride, k) in cfg {
+        for r in 0..repeats {
+            let s = if r == 0 { first_stride } else { 1 };
+            mbconv(&mut layers, &format!("blocks.{idx}"), c_in, c_out, expand, k, hw, s);
+            hw /= s;
+            c_in = c_out;
+            idx += 1;
+        }
+    }
+    layers.push(Layer::new("head", LayerShape::conv(1, 1280, 320, 7, 7, 1, 1, 1), 1));
+    layers.push(Layer::new("fc", LayerShape::gemm(1000, 1, 1280), 1));
+    DnnModel::new("EfficientNetB0", layers, ThroughputTarget::fps(40.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_blocks_with_se_pairs() {
+        let m = efficientnet_b0();
+        let se = m.layers().iter().filter(|l| l.name.contains("se_reduce")).count();
+        assert_eq!(se, 16);
+    }
+
+    #[test]
+    fn mixed_kernel_sizes_present() {
+        let m = efficientnet_b0();
+        let has_k5 = m.layers().iter().any(|l| l.shape.dims()[5] == 5);
+        assert!(has_k5, "EfficientNet uses 5x5 depthwise kernels");
+    }
+}

@@ -1,0 +1,102 @@
+//! MobileNetV2 for ImageNet classification (224x224 input).
+
+use crate::constraints::ThroughputTarget;
+use crate::layer::LayerShape;
+use crate::model::{DnnModel, Layer};
+
+/// One inverted-residual block: optional expand 1x1, depthwise 3x3, project
+/// 1x1. `hw_in` is the input feature-map size, `s` the depthwise stride.
+fn inverted_residual(
+    layers: &mut Vec<Layer>,
+    tag: &str,
+    c_in: u64,
+    c_out: u64,
+    expand: u64,
+    hw_in: u64,
+    s: u64,
+) {
+    let c_mid = c_in * expand;
+    let hw_out = hw_in / s;
+    if expand != 1 {
+        layers.push(Layer::new(
+            format!("{tag}.expand"),
+            LayerShape::conv(1, c_mid, c_in, hw_in, hw_in, 1, 1, 1),
+            1,
+        ));
+    }
+    layers.push(Layer::new(
+        format!("{tag}.dw"),
+        LayerShape::dwconv(1, c_mid, hw_out, hw_out, 3, 3, s),
+        1,
+    ));
+    layers.push(Layer::new(
+        format!("{tag}.project"),
+        LayerShape::conv(1, c_out, c_mid, hw_out, hw_out, 1, 1, 1),
+        1,
+    ));
+}
+
+/// MobileNetV2: stem conv, 17 inverted-residual blocks (the first without
+/// expansion), final 1280-channel conv and classifier — 53 weighted layers,
+/// matching the paper's count. Light vision model: 40 FPS floor.
+pub fn mobilenet_v2() -> DnnModel {
+    let mut layers =
+        vec![Layer::new("stem", LayerShape::conv(1, 32, 3, 112, 112, 3, 3, 2), 1)];
+    // (expand, c_out, repeats, first_stride), input starts at 32ch 112x112.
+    let cfg: [(u64, u64, u64, u64); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let mut c_in = 32;
+    let mut hw = 112;
+    let mut idx = 0;
+    for (expand, c_out, repeats, first_stride) in cfg {
+        for r in 0..repeats {
+            let s = if r == 0 { first_stride } else { 1 };
+            inverted_residual(
+                &mut layers,
+                &format!("block{idx}"),
+                c_in,
+                c_out,
+                expand,
+                hw,
+                s,
+            );
+            hw /= s;
+            c_in = c_out;
+            idx += 1;
+        }
+    }
+    layers.push(Layer::new("head", LayerShape::conv(1, 1280, 320, 7, 7, 1, 1, 1), 1));
+    layers.push(Layer::new("fc", LayerShape::gemm(1000, 1, 1280), 1));
+    DnnModel::new("MobileNetV2", layers, ThroughputTarget::fps(40.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::OpKind;
+
+    #[test]
+    fn has_seventeen_depthwise_convs() {
+        let m = mobilenet_v2();
+        let dws = m
+            .layers()
+            .iter()
+            .filter(|l| l.shape.kind() == OpKind::DepthwiseConv)
+            .count();
+        assert_eq!(dws, 17);
+    }
+
+    #[test]
+    fn feature_map_ends_at_seven() {
+        let m = mobilenet_v2();
+        let head = m.layers().iter().find(|l| l.name == "head").unwrap();
+        assert_eq!(head.shape.dims()[3], 7);
+    }
+}

@@ -1,0 +1,139 @@
+//! The eleven DNNs evaluated by the paper, encoded as operator tables.
+//!
+//! Shapes follow the published architectures (torchvision / Hugging Face
+//! reference implementations). Where the paper's layer counting merges or
+//! splits operators differently than we do (e.g. attention batched matmuls),
+//! the deviation is noted on the model constructor; EXPERIMENTS.md records
+//! the achieved counts next to the paper's.
+
+mod detection;
+mod efficientnet;
+mod mobilenet;
+mod nlp;
+mod resnet;
+mod vgg;
+mod vit;
+
+pub use detection::{fasterrcnn_mobilenetv3, yolov5};
+pub use efficientnet::efficientnet_b0;
+pub use mobilenet::mobilenet_v2;
+pub use nlp::{bert_base, transformer, wav2vec2};
+pub use resnet::{resnet18, resnet50};
+pub use vgg::vgg16;
+pub use vit::vit_b16;
+
+use crate::model::DnnModel;
+
+/// All eleven models in the paper's order (Fig. 9 / Table 2 columns).
+pub fn all_models() -> Vec<DnnModel> {
+    vec![
+        resnet18(),
+        mobilenet_v2(),
+        efficientnet_b0(),
+        vgg16(),
+        resnet50(),
+        vit_b16(),
+        fasterrcnn_mobilenetv3(),
+        yolov5(),
+        transformer(),
+        bert_base(),
+        wav2vec2(),
+    ]
+}
+
+/// Looks a model up by its (case-insensitive) name.
+///
+/// Returns `None` for unknown names. Accepted names are the `name()` values
+/// of [`all_models`], e.g. `"ResNet18"`, `"BERT"`.
+pub fn by_name(name: &str) -> Option<DnnModel> {
+    let lower = name.to_ascii_lowercase();
+    all_models().into_iter().find(|m| m.name().to_ascii_lowercase() == lower)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_models_with_unique_names() {
+        let models = all_models();
+        assert_eq!(models.len(), 11);
+        let mut names: Vec<_> = models.iter().map(|m| m.name().to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive() {
+        assert!(by_name("resnet18").is_some());
+        assert!(by_name("ReSNet18").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn all_models_have_positive_macs_and_targets() {
+        for m in all_models() {
+            assert!(m.total_macs() > 0, "{} has zero MACs", m.name());
+            assert!(m.target().inferences_per_second() > 0.0);
+            assert!(m.unique_shape_count() >= 3, "{} suspiciously few shapes", m.name());
+        }
+    }
+
+    #[test]
+    fn resnet18_matches_paper_structure() {
+        let m = resnet18();
+        assert_eq!(m.layer_count(), 18, "paper counts 18 layers for ResNet18");
+        assert_eq!(m.unique_shape_count(), 9, "paper: nine unique tensor shapes");
+        // ~1.8 GMACs for ResNet18 at 224x224.
+        let gmacs = m.total_macs() as f64 / 1e9;
+        assert!((1.5..2.2).contains(&gmacs), "ResNet18 GMACs {gmacs}");
+    }
+
+    #[test]
+    fn vgg16_macs_are_in_published_range() {
+        let m = vgg16();
+        assert_eq!(m.layer_count(), 16);
+        let gmacs = m.total_macs() as f64 / 1e9;
+        assert!((14.0..16.5).contains(&gmacs), "VGG16 GMACs {gmacs}");
+    }
+
+    #[test]
+    fn resnet50_layer_count() {
+        assert_eq!(resnet50().layer_count(), 54, "conv1 + 48 block convs + 4 downsamples + fc");
+    }
+
+    #[test]
+    fn mobilenet_v2_layer_count_and_macs() {
+        let m = mobilenet_v2();
+        assert_eq!(m.layer_count(), 53);
+        let gmacs = m.total_macs() as f64 / 1e9;
+        assert!((0.25..0.40).contains(&gmacs), "MobileNetV2 GMACs {gmacs}");
+    }
+
+    #[test]
+    fn efficientnet_b0_layer_count_and_macs() {
+        let m = efficientnet_b0();
+        assert_eq!(m.layer_count(), 82);
+        let gmacs = m.total_macs() as f64 / 1e9;
+        assert!((0.3..0.5).contains(&gmacs), "EfficientNetB0 GMACs {gmacs}");
+    }
+
+    #[test]
+    fn bert_layer_count_matches_paper() {
+        assert_eq!(bert_base().layer_count(), 85, "12 x 7 encoder ops + QA head");
+    }
+
+    #[test]
+    fn vit_layer_count_matches_paper() {
+        assert_eq!(vit_b16().layer_count(), 86, "patch embed + 12 x 7 + head");
+    }
+
+    #[test]
+    fn nlp_models_have_language_targets() {
+        use crate::constraints::ModelClass;
+        for m in [transformer(), bert_base(), wav2vec2()] {
+            assert_eq!(m.target().class(), ModelClass::Language, "{}", m.name());
+        }
+    }
+}

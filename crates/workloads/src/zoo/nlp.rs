@@ -1,0 +1,169 @@
+//! Language models: Transformer (En-De translation), BERT-base (SQuAD Q&A),
+//! and wav2vec 2.0 (speech recognition).
+
+use crate::constraints::ThroughputTarget;
+use crate::layer::LayerShape;
+use crate::model::{DnnModel, Layer};
+use crate::zoo::vit::encoder_block;
+
+/// Appends a decoder block: self-attention (5 ops), cross-attention (5 ops),
+/// and the two FFN GEMMs. `src` / `tgt` are source and target sequence
+/// lengths.
+fn decoder_block(layers: &mut Vec<Layer>, tag: &str, src: u64, tgt: u64, d: u64, ffn: u64) {
+    let l = |name: String, s| Layer::new(name, s, 1);
+    // Self-attention over the target sequence.
+    layers.push(l(format!("{tag}.self.q"), LayerShape::gemm(d, tgt, d)));
+    layers.push(l(format!("{tag}.self.k"), LayerShape::gemm(d, tgt, d)));
+    layers.push(l(format!("{tag}.self.v"), LayerShape::gemm(d, tgt, d)));
+    layers.push(l(format!("{tag}.self.attn"), LayerShape::gemm(tgt, tgt, 2 * d)));
+    layers.push(l(format!("{tag}.self.proj"), LayerShape::gemm(d, tgt, d)));
+    // Cross-attention: queries from target, keys/values from source.
+    layers.push(l(format!("{tag}.cross.q"), LayerShape::gemm(d, tgt, d)));
+    layers.push(l(format!("{tag}.cross.k"), LayerShape::gemm(d, src, d)));
+    layers.push(l(format!("{tag}.cross.v"), LayerShape::gemm(d, src, d)));
+    layers.push(l(format!("{tag}.cross.attn"), LayerShape::gemm(tgt, src, 2 * d)));
+    layers.push(l(format!("{tag}.cross.proj"), LayerShape::gemm(d, tgt, d)));
+    layers.push(l(format!("{tag}.ffn1"), LayerShape::gemm(ffn, tgt, d)));
+    layers.push(l(format!("{tag}.ffn2"), LayerShape::gemm(d, tgt, ffn)));
+}
+
+/// Transformer-base for English-German sentence translation: 6 encoder
+/// blocks (7 ops each), 6 decoder blocks (12 ops each), and the vocabulary
+/// output projection. d=512, FFN 2048, heads 8, sequence length 64.
+///
+/// The vocabulary is rounded from the 37k BPE merges of the original model
+/// to 36864 (= 2^12 * 9) so the projection has a rich divisor structure for
+/// tiling; the paper's own Table 7 analyzes this `decoder.output_projection`
+/// layer.
+///
+/// Throughput floor: 120 samples/second, interpreted at token granularity
+/// (one forward pass produces 64 target tokens). The paper's own reported
+/// Transformer latencies (~76 ms) are only consistent with its 120/s floor
+/// under this interpretation.
+pub fn transformer() -> DnnModel {
+    let (src, tgt, d, ffn) = (64, 64, 512, 2048);
+    let mut layers = Vec::new();
+    for b in 0..6 {
+        encoder_block(&mut layers, &format!("encoder.{b}"), src, d, ffn);
+    }
+    for b in 0..6 {
+        decoder_block(&mut layers, &format!("decoder.{b}"), src, tgt, d, ffn);
+    }
+    layers.push(Layer::new(
+        "decoder.output_projection",
+        LayerShape::gemm(36864, tgt, d),
+        1,
+    ));
+    // 120 token-level samples/s over 64 tokens per pass.
+    DnnModel::new("Transformer", layers, ThroughputTarget::qps(120.0 / tgt as f64))
+}
+
+/// BERT-base-uncased for Q&A on SQuAD: 12 encoder blocks of seven ops plus
+/// the span-prediction head — 85 layers, matching the paper's count.
+/// d=768, FFN 3072, sequence length 384.
+///
+/// Throughput floor: 530 samples/second at token granularity (one pass
+/// covers a 384-token sequence); the paper's reported BERT latencies
+/// (~121 ms) are only consistent with its floor under this interpretation.
+pub fn bert_base() -> DnnModel {
+    let (seq, d, ffn) = (384, 768, 3072);
+    let mut layers = Vec::new();
+    for b in 0..12 {
+        encoder_block(&mut layers, &format!("encoder.layer.{b}"), seq, d, ffn);
+    }
+    layers.push(Layer::new("qa_outputs", LayerShape::gemm(2, seq, d), 1));
+    // 530 token-level samples/s over a 384-token sequence per pass.
+    DnnModel::new("BERT", layers, ThroughputTarget::qps(530.0 / seq as f64))
+}
+
+/// wav2vec 2.0 (base) for automatic speech recognition over one second of
+/// 16 kHz audio: a seven-layer 1-D convolutional feature extractor
+/// (sequence lengths rounded to divisor-rich values), feature projection,
+/// positional convolution, 12 transformer blocks, and the character LM
+/// head. Throughput floor: 176 000 audio samples/second at 16 000 samples
+/// per inference (= 11 inferences/s).
+pub fn wav2vec2() -> DnnModel {
+    let mut layers = Vec::new();
+    // 1-D convolutions expressed with OY=1. (channels, k, stride, out_len);
+    // nominal 16 kHz input rounded so lengths stay divisor-rich.
+    let fe: [(u64, u64, u64, u64); 7] = [
+        (512, 10, 5, 3200),
+        (512, 3, 2, 1600),
+        (512, 3, 2, 800),
+        (512, 3, 2, 400),
+        (512, 3, 2, 200),
+        (512, 2, 2, 100),
+        (512, 2, 2, 50),
+    ];
+    let mut c_in = 1;
+    for (i, (c, k, s, out)) in fe.into_iter().enumerate() {
+        layers.push(Layer::new(
+            format!("feature_extractor.conv{i}"),
+            LayerShape::conv(1, c, c_in, 1, out, 1, k, s),
+            1,
+        ));
+        c_in = c;
+    }
+    let (seq, d, ffn) = (50, 768, 3072);
+    layers.push(Layer::new("feature_projection", LayerShape::gemm(d, seq, 512), 1));
+    // Grouped positional convolution (16 groups, kernel 128) approximated as
+    // a depthwise-style conv over the embedding channels.
+    layers.push(Layer::new(
+        "pos_conv",
+        LayerShape::conv(1, d, d / 16, 1, seq, 1, 128, 1),
+        1,
+    ));
+    for b in 0..12 {
+        encoder_block(&mut layers, &format!("encoder.layers.{b}"), seq, d, ffn);
+    }
+    layers.push(Layer::new("lm_head", LayerShape::gemm(32, seq, d), 1));
+    DnnModel::new(
+        "Wav2Vec2",
+        layers,
+        ThroughputTarget::audio_samples_per_second(176_000.0, 16_000.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transformer_output_projection_dominates() {
+        let m = transformer();
+        let proj = m.layers().iter().find(|l| l.name == "decoder.output_projection").unwrap();
+        // The vocabulary projection is the single largest GEMM.
+        let max_macs = m.layers().iter().map(|l| l.shape.macs()).max().unwrap();
+        assert_eq!(proj.shape.macs(), max_macs);
+    }
+
+    #[test]
+    fn transformer_layer_count_is_recorded() {
+        // 6*7 + 6*12 + 1 = 115 ops at our attention-fused granularity
+        // (paper counts 163 with per-head/batched ops split out).
+        assert_eq!(transformer().layer_count(), 115);
+    }
+
+    #[test]
+    fn wav2vec2_feature_extractor_shrinks_sequence() {
+        let m = wav2vec2();
+        let first = &m.layers()[0];
+        let last_fe = &m.layers()[6];
+        assert!(first.shape.dims()[4] > last_fe.shape.dims()[4]);
+        assert_eq!(last_fe.shape.dims()[4], 50);
+    }
+
+    #[test]
+    fn wav2vec2_layer_count_is_recorded() {
+        // 7 FE convs + projection + pos conv + 12*7 + head = 94 ops at our
+        // granularity (paper counts 109).
+        assert_eq!(wav2vec2().layer_count(), 94);
+    }
+
+    #[test]
+    fn bert_sequence_is_squad_length() {
+        let m = bert_base();
+        let q = m.layers().iter().find(|l| l.name.ends_with(".q")).unwrap();
+        assert_eq!(q.shape.dims()[4], 384);
+    }
+}

@@ -1,0 +1,53 @@
+//! VGG-16 for ImageNet classification (224x224 input): 13 convolutions and
+//! three fully-connected layers.
+
+use crate::constraints::ThroughputTarget;
+use crate::layer::LayerShape;
+use crate::model::{DnnModel, Layer};
+
+/// VGG-16: 16 weighted layers. Large vision model: 10 FPS floor.
+pub fn vgg16() -> DnnModel {
+    let l = |name: &str, s, r| Layer::new(name, s, r);
+    DnnModel::new(
+        "VGG16",
+        vec![
+            l("conv1_1", LayerShape::conv(1, 64, 3, 224, 224, 3, 3, 1), 1),
+            l("conv1_2", LayerShape::conv(1, 64, 64, 224, 224, 3, 3, 1), 1),
+            l("conv2_1", LayerShape::conv(1, 128, 64, 112, 112, 3, 3, 1), 1),
+            l("conv2_2", LayerShape::conv(1, 128, 128, 112, 112, 3, 3, 1), 1),
+            l("conv3_1", LayerShape::conv(1, 256, 128, 56, 56, 3, 3, 1), 1),
+            l("conv3_2", LayerShape::conv(1, 256, 256, 56, 56, 3, 3, 1), 2),
+            l("conv4_1", LayerShape::conv(1, 512, 256, 28, 28, 3, 3, 1), 1),
+            l("conv4_2", LayerShape::conv(1, 512, 512, 28, 28, 3, 3, 1), 2),
+            l("conv5_x", LayerShape::conv(1, 512, 512, 14, 14, 3, 3, 1), 3),
+            l("fc6", LayerShape::gemm(4096, 1, 25088), 1),
+            l("fc7", LayerShape::gemm(4096, 1, 4096), 1),
+            l("fc8", LayerShape::gemm(1000, 1, 4096), 1),
+        ],
+        ThroughputTarget::fps(10.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_convs_three_fcs() {
+        let m = vgg16();
+        use crate::layer::OpKind;
+        let convs: u64 = m
+            .layers()
+            .iter()
+            .filter(|l| l.shape.kind() == OpKind::Conv)
+            .map(|l| l.repeat)
+            .sum();
+        let gemms: u64 = m
+            .layers()
+            .iter()
+            .filter(|l| l.shape.kind() == OpKind::Gemm)
+            .map(|l| l.repeat)
+            .sum();
+        assert_eq!((convs, gemms), (13, 3));
+    }
+}

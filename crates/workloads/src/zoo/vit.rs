@@ -1,0 +1,61 @@
+//! Vision Transformer ViT-B/16 for ImageNet classification (224x224 input).
+
+use crate::constraints::ThroughputTarget;
+use crate::layer::LayerShape;
+use crate::model::{DnnModel, Layer};
+
+/// Appends the seven execution-critical operators of one transformer
+/// encoder block: Q/K/V projections, one fused attention matmul (the
+/// `QKᵀ` and `A·V` batched matmuls have identical total MACs, so they are
+/// expressed as a single GEMM with doubled reduction depth, keeping one op
+/// per attention as in the paper's layer counting), output projection, and
+/// the two MLP GEMMs.
+pub(crate) fn encoder_block(layers: &mut Vec<Layer>, tag: &str, seq: u64, d: u64, ffn: u64) {
+    let l = |name: String, s| Layer::new(name, s, 1);
+    layers.push(l(format!("{tag}.q"), LayerShape::gemm(d, seq, d)));
+    layers.push(l(format!("{tag}.k"), LayerShape::gemm(d, seq, d)));
+    layers.push(l(format!("{tag}.v"), LayerShape::gemm(d, seq, d)));
+    layers.push(l(format!("{tag}.attn"), LayerShape::gemm(seq, seq, 2 * d)));
+    layers.push(l(format!("{tag}.proj"), LayerShape::gemm(d, seq, d)));
+    layers.push(l(format!("{tag}.mlp1"), LayerShape::gemm(ffn, seq, d)));
+    layers.push(l(format!("{tag}.mlp2"), LayerShape::gemm(d, seq, ffn)));
+}
+
+/// ViT-B/16: 16x16 patch-embedding convolution, 12 encoder blocks of seven
+/// ops each, classification head — 86 layers, matching the paper's count.
+/// Large vision model: 10 FPS floor.
+///
+/// Sequence length is 197 (196 patches + class token); embedding dim 768,
+/// MLP dim 3072.
+pub fn vit_b16() -> DnnModel {
+    let mut layers = vec![Layer::new(
+        "patch_embed",
+        LayerShape::conv(1, 768, 3, 14, 14, 16, 16, 16),
+        1,
+    )];
+    for b in 0..12 {
+        encoder_block(&mut layers, &format!("blocks.{b}"), 197, 768, 3072);
+    }
+    layers.push(Layer::new("head", LayerShape::gemm(1000, 1, 768), 1));
+    DnnModel::new("VisionTransformer", layers, ThroughputTarget::fps(10.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attention_macs_equal_two_bmms() {
+        let m = vit_b16();
+        let attn = m.layers().iter().find(|l| l.name.ends_with(".attn")).unwrap();
+        // 12 heads x (197x197x64) per BMM, two BMMs.
+        assert_eq!(attn.shape.macs(), 2 * 12 * 197 * 197 * 64);
+    }
+
+    #[test]
+    fn macs_in_published_range() {
+        let gmacs = vit_b16().total_macs() as f64 / 1e9;
+        // ViT-B/16 is ~17.6 GMACs.
+        assert!((15.0..20.0).contains(&gmacs), "ViT GMACs {gmacs}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Expressing a *custom* domain-specific bottleneck model through the
+//! paper's Fig. 7 API — here an **energy** bottleneck model instead of the
+//! built-in latency one, demonstrating that the tree/dictionary/mitigation
+//! interface is cost- and domain-agnostic.
+//!
+//! The tree decomposes inference energy into compute, on-chip movement, and
+//! DRAM traffic; the mitigation subroutines grow the scratchpad when DRAM
+//! energy dominates and shrink over-provisioned bandwidth.
+//!
+//! Run with: `cargo run --release --example custom_bottleneck_model`
+
+use explainable_dse::core::bottleneck::{BottleneckModel, TreeBuilder};
+use explainable_dse::core::space::edge;
+use explainable_dse::prelude::*;
+use explainable_dse::tech::Tech;
+use workloads::Tensor;
+
+/// Context for the energy analysis: profile + config, same shape as the
+/// built-in latency context but consumed by a different tree.
+#[derive(Clone, Copy)]
+struct EnergyCtx {
+    cfg: AcceleratorConfig,
+    profile: ExecutionProfile,
+}
+
+/// Builds an energy bottleneck model: `E = E_comp + E_noc + E_spm + E_dram`
+/// with per-operand DRAM leaves.
+fn energy_model() -> BottleneckModel<EnergyCtx> {
+    BottleneckModel::new(|ctx: &EnergyCtx| {
+        let tech = Tech::n45();
+        let e = tech.energy_table(&ctx.cfg.resources());
+        let p = &ctx.profile;
+        let mut b = TreeBuilder::new();
+        let comp = b.leaf("e_comp", p.macs * e.mac_pj);
+        let noc_total: f64 = Tensor::ALL.iter().map(|op| p.operand(*op).noc_bytes).sum();
+        let noc = b.leaf("e_noc", noc_total * (e.noc_pj_per_byte + e.spm_pj_per_byte));
+        let dram_children: Vec<_> = Tensor::ALL
+            .iter()
+            .map(|op| {
+                b.leaf(
+                    format!("e_dram:{}", op.tag()),
+                    p.operand(*op).offchip_bytes * e.dram_pj_per_byte,
+                )
+            })
+            .collect();
+        let dram = b.sum("e_dram", dram_children);
+        let root = b.sum("energy", vec![comp, noc, dram]);
+        b.build(root)
+    })
+    // Dictionary: DRAM energy is governed by the scratchpad (reuse) and
+    // NoC energy by the register file.
+    .relate("e_dram", vec![edge::L2_KB])
+    .relate("e_noc", vec![edge::L1_BYTES])
+    // Mitigations: target the remaining reuse of the dominant operand.
+    .mitigation(edge::L2_KB, |ctx: &EnergyCtx, m| {
+        let current_kb = ctx.cfg.l2_bytes as f64 / 1024.0;
+        let op = Tensor::ALL
+            .iter()
+            .copied()
+            .max_by(|a, b| {
+                ctx.profile
+                    .operand(*a)
+                    .offchip_bytes
+                    .partial_cmp(&ctx.profile.operand(*b).offchip_bytes)
+                    .unwrap()
+            })
+            .expect("four operands");
+        let remaining = ctx.profile.operand(op).reuse_remaining_spm;
+        (remaining > 1.0).then(|| current_kb * m.scaling.min(remaining))
+    })
+    .mitigation(edge::L1_BYTES, |ctx: &EnergyCtx, m| {
+        Some(ctx.cfg.l1_bytes as f64 * m.scaling.min(4.0))
+    })
+}
+
+fn main() {
+    let layer = LayerShape::conv(1, 128, 128, 28, 28, 3, 3, 1);
+    let cfg = AcceleratorConfig::edge_baseline();
+    let mapping = Mapping::fixed_output_stationary(&layer, &cfg);
+    let profile = cfg.execute(&layer, &mapping).expect("feasible mapping");
+    let ctx = EnergyCtx { cfg, profile };
+
+    let model = energy_model();
+    let analysis = model.analyze(&ctx, 2);
+
+    println!("populated energy bottleneck tree for {}:", layer.describe());
+    println!("{}", analysis.tree.render());
+    println!("primary bottleneck: {} (scale {:.2}x)", analysis.bottleneck, analysis.scaling);
+    for p in &analysis.predictions {
+        println!("prediction for param {}: {}", p.param, p.rationale);
+    }
+
+    // The same generic analyzer, driven by an entirely different tree —
+    // this is the decoupling the paper's API section argues for.
+    assert!(analysis.tree.value(analysis.tree.root()) > 0.0);
+}

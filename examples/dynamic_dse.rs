@@ -1,0 +1,64 @@
+//! Dynamic DSE: the 100-iteration budget of the paper's Table 2, e.g. for
+//! deploying an accelerator overlay onto an FPGA right before launch. The
+//! explainable DSE lands a feasible, efficient design inside the budget
+//! while a random search typically cannot.
+//!
+//! Run with: `cargo run --release --example dynamic_dse`
+
+use explainable_dse::opt::{DseTechnique, RandomSearch};
+use explainable_dse::prelude::*;
+
+fn main() {
+    let budget = 100;
+    let model = zoo::efficientnet_b0();
+    println!("dynamic exploration for {} within {budget} iterations", model.name());
+
+    // Explainable DSE.
+    let mut evaluator =
+        CodesignEvaluator::new(edge_space(), vec![model.clone()], FixedMapper);
+    let dse =
+        ExplainableDse::new(dnn_latency_model(), DseConfig { budget, ..DseConfig::default() });
+    let initial = evaluator.space().minimum_point();
+    let explainable = dse.run_dnn(&mut evaluator, initial);
+
+    // Random-search baseline under the identical budget.
+    let mut evaluator2 =
+        CodesignEvaluator::new(edge_space(), vec![model.clone()], FixedMapper);
+    let random = RandomSearch::new(1).run(&mut evaluator2, budget);
+
+    let describe = |name: &str, trace: &Trace| match trace.best_feasible() {
+        Some(best) => println!(
+            "{name:>14}: best feasible latency {:.3} ms after {} evaluations ({:.1}% feasible)",
+            best.objective,
+            trace.evaluations(),
+            trace.feasibility_rate() * 100.0
+        ),
+        None => println!(
+            "{name:>14}: NO feasible design in {} evaluations ({:.1}% met constraints)",
+            trace.evaluations(),
+            trace.feasibility_rate() * 100.0
+        ),
+    };
+    describe("explainable", &explainable.trace);
+    describe("random", &random);
+
+    // Convergence sketch: running best every 20 evaluations.
+    println!("\nrunning best feasible latency (ms) over the budget:");
+    println!("{:>6} {:>14} {:>14}", "iter", "explainable", "random");
+    let e_curve = explainable.trace.convergence_curve();
+    let r_curve = random.convergence_curve();
+    for i in (19..budget).step_by(20) {
+        let fmt = |c: &Vec<f64>| {
+            c.get(i.min(c.len().saturating_sub(1)))
+                .map(|v| {
+                    if v.is_finite() {
+                        format!("{v:.2}")
+                    } else {
+                        "-".to_string()
+                    }
+                })
+                .unwrap_or_else(|| "-".into())
+        };
+        println!("{:>6} {:>14} {:>14}", i + 1, fmt(&e_curve), fmt(&r_curve));
+    }
+}

@@ -1,0 +1,71 @@
+//! Multi-workload codesign: one accelerator for a vision model *and* a
+//! language model at once (§4.4's aggregation across sub-functions of
+//! multiple workloads). The DSE must satisfy both throughput floors while
+//! minimizing their combined latency.
+//!
+//! Run with: `cargo run --release --example multi_workload`
+
+use explainable_dse::prelude::*;
+
+fn main() {
+    let vision = zoo::mobilenet_v2();
+    let language = zoo::bert_base();
+    println!(
+        "co-designing one accelerator for {} ({} unique shapes) and {} ({} unique shapes)",
+        vision.name(),
+        vision.unique_shape_count(),
+        language.name(),
+        language.unique_shape_count()
+    );
+
+    let mut evaluator = CodesignEvaluator::new(
+        edge_space(),
+        vec![vision.clone(), language.clone()],
+        FixedMapper,
+    );
+    let dse = ExplainableDse::new(
+        dnn_latency_model(),
+        DseConfig { budget: 200, ..DseConfig::default() },
+    );
+    let initial = evaluator.space().minimum_point();
+    let result = dse.run_dnn(&mut evaluator, initial);
+
+    println!(
+        "explored {} designs ({})",
+        result.trace.evaluations(),
+        result.termination
+    );
+    let Some((point, eval)) = &result.best else {
+        println!("no design satisfied both workloads' constraints in this budget");
+        return;
+    };
+    let cfg = evaluator.decode(point);
+    println!(
+        "best shared design: {} PEs, {} kB SPM, {} MB/s (area {:.1} mm^2, power {:.2} W)",
+        cfg.pes,
+        cfg.l2_bytes / 1024,
+        cfg.offchip_bw_mbps,
+        eval.area_mm2,
+        eval.power_w
+    );
+
+    // Per-workload breakdown: the latency constraints sit after area/power.
+    for (i, model) in [&vision, &language].iter().enumerate() {
+        let latency = eval.constraint_values[2 + i];
+        println!(
+            "  {}: {:.3} ms (ceiling {:.3} ms)",
+            model.name(),
+            latency,
+            model.target().latency_ceiling_ms()
+        );
+    }
+
+    // Which layers dominate the shared cost? The top entries are what the
+    // aggregation (top-K with threshold) focused its mitigation on.
+    let mut layers = eval.layers.clone();
+    layers.sort_by(|a, b| b.latency_ms.partial_cmp(&a.latency_ms).unwrap());
+    println!("\ncost-critical sub-functions across both workloads:");
+    for l in layers.iter().take(5) {
+        println!("  {:>22} [{}] {:.3} ms (x{})", l.name, l.model, l.latency_ms, l.count);
+    }
+}

@@ -1,0 +1,113 @@
+//! Broad sweep: every unique layer of all eleven evaluated models must be
+//! representable, mappable on a reasonable configuration, and yield sane
+//! execution profiles — the "workload ingestion" surface of the paper.
+
+use explainable_dse::prelude::*;
+use workloads::Tensor;
+
+/// A roomy configuration every sane layer should map onto.
+fn roomy() -> AcceleratorConfig {
+    AcceleratorConfig {
+        pes: 1024,
+        l1_bytes: 512,
+        l2_bytes: 2 * 1024 * 1024,
+        noc_phys_links: [1024; 4],
+        noc_virt_links: [512; 4],
+        offchip_bw_mbps: 25_600,
+        noc_width_bits: 128,
+        ..AcceleratorConfig::edge_baseline()
+    }
+}
+
+#[test]
+fn every_layer_of_every_model_maps_and_executes() {
+    let cfg = roomy();
+    let mut mapper = LinearMapper::new(30);
+    for model in zoo::all_models() {
+        for u in model.unique_shapes() {
+            let mapped = mapper
+                .optimize(&u.shape, &cfg)
+                .unwrap_or_else(|| panic!("{}/{} has no feasible mapping", model.name(), u.name));
+            let p = &mapped.profile;
+            assert!(p.latency_cycles > 0.0, "{}/{}", model.name(), u.name);
+            assert!(p.latency_cycles.is_finite());
+            assert!(p.energy_pj > 0.0);
+            assert_eq!(p.macs as u64, u.shape.macs(), "{}/{}", model.name(), u.name);
+            // Weights always travel off-chip at least once.
+            let wt = (u.shape.tensor_elems(Tensor::Weight) * cfg.elem_bytes) as f64;
+            assert!(
+                p.operand(Tensor::Weight).offchip_bytes >= wt * 0.999,
+                "{}/{}: weight traffic {} < {}",
+                model.name(),
+                u.name,
+                p.operand(Tensor::Weight).offchip_bytes,
+                wt
+            );
+        }
+    }
+}
+
+#[test]
+fn model_level_latency_is_sum_of_weighted_layers() {
+    let mut evaluator =
+        CodesignEvaluator::new(edge_space(), vec![zoo::mobilenet_v2()], FixedMapper);
+    let point = {
+        use explainable_dse::core::space::edge;
+        evaluator
+            .space()
+            .minimum_point()
+            .with_index(edge::PES, 2)
+            .with_index(edge::L1_BYTES, 4)
+            .with_index(edge::virt_links(1), 2)
+            .with_index(edge::virt_links(3), 2)
+            .with_index(edge::phys_links(1), 31)
+            .with_index(edge::phys_links(3), 31)
+    };
+    let eval = evaluator.evaluate(&point);
+    if eval.mappable {
+        let sum: f64 = eval.layers.iter().map(|l| l.latency_ms).sum();
+        assert!((sum - eval.objective).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn batched_models_scale_compute() {
+    let base = zoo::resnet18();
+    let batched = base.with_batch(4);
+    assert_eq!(batched.total_macs(), 4 * base.total_macs());
+    assert_eq!(batched.layer_count(), base.layer_count());
+    assert!(batched.name().contains("@b4"));
+
+    // A batched layer still maps and takes longer than batch-1.
+    let cfg = roomy();
+    let mut mapper = LinearMapper::new(20);
+    let l1 = base.unique_shapes()[1].shape;
+    let l4 = l1.with_batch(4);
+    let t1 = mapper.optimize(&l1, &cfg).expect("b1 maps").profile.latency_cycles;
+    let t4 = mapper.optimize(&l4, &cfg).expect("b4 maps").profile.latency_cycles;
+    assert!(t4 > t1, "batch-4 {t4} should exceed batch-1 {t1}");
+}
+
+#[test]
+fn gemm_heavy_and_conv_heavy_models_have_distinct_bottleneck_mixes() {
+    use explainable_dse::core::bottleneck::{dnn_latency_model, LayerCtx};
+    let cfg = roomy();
+    let model = dnn_latency_model();
+    let mut mapper = LinearMapper::new(20);
+
+    let mut mix = |m: &DnnModel| -> std::collections::BTreeMap<String, usize> {
+        let mut counts = std::collections::BTreeMap::new();
+        for u in m.unique_shapes() {
+            if let Some(mapped) = mapper.optimize(&u.shape, &cfg) {
+                let a = model.analyze(&LayerCtx { cfg, profile: mapped.profile }, 1);
+                *counts
+                    .entry(a.bottleneck.split(':').next().unwrap_or("").to_string())
+                    .or_insert(0) += 1;
+            }
+        }
+        counts
+    };
+    let vision = mix(&zoo::vgg16());
+    let language = mix(&zoo::bert_base());
+    assert!(!vision.is_empty() && !language.is_empty());
+}
