@@ -1,0 +1,141 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The execution environment has no network access to crates.io, so the
+//! workspace vendors the benchmarking surface it uses: `Criterion`,
+//! `bench_function`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a plain wall-clock loop — a
+//! short warm-up, then batches until a time budget is spent — reporting
+//! mean ns/iteration. No statistics, plots, or baselines.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+pub struct Criterion {
+    /// Substring filters from the CLI (non-flag args); empty = run all.
+    filters: Vec<String>,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion { filters, measurement_time: Duration::from_millis(600) }
+    }
+}
+
+impl Criterion {
+    /// Lower the per-benchmark time budget (used to keep CI quick).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.filters.is_empty() && !self.filters.iter().any(|pat| name.contains(pat.as_str()))
+        {
+            return self;
+        }
+        let mut b = Bencher { total: Duration::ZERO, iters: 0, budget: self.measurement_time };
+        f(&mut b);
+        let mean_ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.total.as_nanos() as f64 / b.iters as f64
+        };
+        println!("{name:<44} time: {} ({} iterations)", format_ns(mean_ns), b.iters);
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:9.3} s  ", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:9.3} ms ", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:9.3} µs ", ns / 1e3)
+    } else {
+        format!("{ns:9.1} ns ")
+    }
+}
+
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration: grow the batch until one
+        // batch takes ~1/10 of the budget.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed * 10 >= self.budget || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        // Measurement.
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            self.total += start.elapsed();
+            self.iters += batch;
+        }
+        if self.iters == 0 {
+            // Budget exhausted during calibration (slow body): record the
+            // single calibration batch instead of reporting nothing.
+            let start = Instant::now();
+            std_black_box(f());
+            self.total = start.elapsed();
+            self.iters = 1;
+        }
+    }
+}
+
+/// `criterion_group!(name, target1, target2, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// `criterion_main!(group1, group2, ...)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,462 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The execution environment has no network access to crates.io, so the
+//! workspace vendors the slice of proptest it uses: the [`Strategy`] trait
+//! with `prop_map`/`prop_flat_map`, range and `Just` strategies,
+//! `prop_oneof!`, tuple composition, `proptest::collection::vec`, and the
+//! `proptest!`/`prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! Differences from upstream: inputs are sampled from a deterministic
+//! per-test stream (seeded from the test's module path and name), there is
+//! **no shrinking** on failure, and no regression-file persistence. A
+//! failing case panics with the assertion message like a normal test.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    trait DynStrategy {
+        type Value;
+        fn sample_dyn(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    /// Type-erased strategy, produced by [`Strategy::boxed`] and
+    /// `prop_oneof!`.
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample_dyn(rng)
+        }
+    }
+
+    /// Uniform choice between alternatives (the `prop_oneof!` backend).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].sample(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + rng.below((self.end - self.start) as u64) as $t
+                }
+            }
+            impl Strategy for ::core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    lo + rng.below((hi - lo) as u64 + 1) as $t
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(usize, u64, u32, u16, u8);
+
+    impl Strategy for ::core::ops::Range<i64> {
+        type Value = i64;
+        fn sample(&self, rng: &mut TestRng) -> i64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start
+                .wrapping_add(rng.below(self.end.wrapping_sub(self.start) as u64) as i64)
+        }
+    }
+
+    impl Strategy for ::core::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for ::core::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            lo + rng.unit_f64() * (hi - lo)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+    /// Full-range strategy for `any::<T>()`.
+    pub struct Any<T>(::core::marker::PhantomData<T>);
+
+    pub fn any<T>() -> Any<T> {
+        Any(::core::marker::PhantomData)
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.below(2) == 1
+        }
+    }
+
+    impl Strategy for Any<u64> {
+        type Value = u64;
+        fn sample(&self, rng: &mut TestRng) -> u64 {
+            rng.next()
+        }
+    }
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            rng.unit_f64()
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Sizes accepted by [`vec`]: a fixed `usize` or a `Range<usize>`.
+    pub trait IntoSizeRange {
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for ::core::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for ::core::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// `proptest::collection::vec(strategy, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.min + rng.below((self.max - self.min) as u64 + 1) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-test deterministic generator (SplitMix64 stream).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Derive the RNG for one test case from the test's identity and
+        /// the case index, so runs are reproducible without any persisted
+        /// seed files.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+        }
+
+        pub fn next(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform integer in `[0, span)`.
+        pub fn below(&mut self, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            ((self.next() as u128 * span as u128) >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Runner configuration; only `cases` is honored by this stub.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Each `fn name(binding in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($binding:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $binding = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assert inside a property test (no shrinking: behaves like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::core::assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::core::assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { ::core::assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u64, u64)> {
+        (1u64..=10, prop_oneof![Just(2u64), Just(4), Just(8)])
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..9, y in 1u64..=4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+        }
+
+        #[test]
+        fn maps_compose(v in arb_pair().prop_map(|(a, b)| a * b)) {
+            prop_assert!(v >= 2 && v <= 80);
+        }
+
+        #[test]
+        fn flat_map_uses_inner(v in (1usize..4).prop_flat_map(|n| collection::vec(0u64..5, n))) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            for x in v {
+                prop_assert!(x < 5);
+            }
+        }
+
+        #[test]
+        fn mut_bindings_work(mut v in collection::vec(0u64..100, 2..6), b in any::<bool>()) {
+            v.sort();
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let strat = (0u64..1000, 0.0f64..1.0);
+        let mut r1 = TestRng::for_case("t", 3);
+        let mut r2 = TestRng::for_case("t", 3);
+        assert_eq!(strat.sample(&mut r1), strat.sample(&mut r2));
+    }
+}

@@ -1,0 +1,505 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde subset (see `vendor/serde`). No `syn`/`quote` — the input
+//! item is parsed with a small token-tree walker and the impls are emitted
+//! as source strings, which keeps this crate dependency-free (the execution
+//! environment cannot reach crates.io).
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - structs with named fields, honoring `#[serde(default)]`,
+//!   `#[serde(default = "path")]` and implicit `Option` defaulting;
+//! - newtype / tuple structs;
+//! - enums with unit, newtype, tuple and struct variants (externally
+//!   tagged, serde's default representation);
+//! - the container attribute `#[serde(try_from = "Type")]`.
+//!
+//! Unsupported serde attributes produce a `compile_error!` instead of
+//! silently wrong behavior. Generics are not supported (nothing in the
+//! workspace derives on a generic type).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let src = match parse_item(input) {
+        Ok(item) => match mode {
+            Mode::Serialize => gen_serialize(&item),
+            Mode::Deserialize => gen_deserialize(&item),
+        },
+        Err(msg) => format!("::core::compile_error!({msg:?});"),
+    };
+    src.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed representation
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// `#[serde(try_from = "Type")]` container attribute, if present.
+    try_from: Option<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    /// Tuple struct with this many fields.
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+#[derive(Clone, PartialEq)]
+enum FieldDefault {
+    /// Absent field is an error (unless the type overrides `absent()`).
+    Required,
+    /// `#[serde(default)]` — use `Default::default()`.
+    DefaultTrait,
+    /// `#[serde(default = "path")]` — call `path()`.
+    DefaultFn(String),
+}
+
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+enum VariantData {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Attrs {
+    try_from: Option<String>,
+    default: FieldDefault,
+}
+
+/// Consume leading attributes (including doc comments) from `toks` starting
+/// at `*i`, returning any recognized serde attributes.
+fn parse_attrs(toks: &[TokenTree], i: &mut usize) -> Result<Attrs, String> {
+    let mut attrs = Attrs { try_from: None, default: FieldDefault::Required };
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                *i += 1;
+                let TokenTree::Group(g) = &toks[*i] else {
+                    return Err("expected attribute group after `#`".into());
+                };
+                parse_one_attr(&g.stream(), &mut attrs)?;
+                *i += 1;
+            }
+            _ => break,
+        }
+    }
+    Ok(attrs)
+}
+
+fn parse_one_attr(stream: &TokenStream, attrs: &mut Attrs) -> Result<(), String> {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let Some(TokenTree::Ident(head)) = toks.first() else {
+        return Ok(());
+    };
+    if head.to_string() != "serde" {
+        return Ok(()); // doc comments, cfg, other derives' helpers, ...
+    }
+    let Some(TokenTree::Group(args)) = toks.get(1) else {
+        return Ok(());
+    };
+    let arg_toks: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < arg_toks.len() {
+        let TokenTree::Ident(key) = &arg_toks[j] else {
+            return Err(format!("unsupported serde attribute syntax: {}", args.stream()));
+        };
+        let key = key.to_string();
+        let eq_value = matches!(arg_toks.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+        match (key.as_str(), eq_value) {
+            ("default", false) => {
+                attrs.default = FieldDefault::DefaultTrait;
+                j += 1;
+            }
+            ("default", true) => {
+                attrs.default = FieldDefault::DefaultFn(string_literal(&arg_toks[j + 2])?);
+                j += 3;
+            }
+            ("try_from", true) => {
+                attrs.try_from = Some(string_literal(&arg_toks[j + 2])?);
+                j += 3;
+            }
+            (other, _) => {
+                return Err(format!("vendored serde_derive does not support `#[serde({other} ...)]`"));
+            }
+        }
+        if matches!(arg_toks.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            j += 1;
+        }
+    }
+    Ok(())
+}
+
+fn string_literal(tok: &TokenTree) -> Result<String, String> {
+    let text = tok.to_string();
+    if text.len() >= 2 && text.starts_with('"') && text.ends_with('"') {
+        Ok(text[1..text.len() - 1].to_string())
+    } else {
+        Err(format!("expected string literal, found `{text}`"))
+    }
+}
+
+/// Consume an optional `pub` / `pub(...)` visibility.
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(&toks[*i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Skip a type (or any expression) up to a top-level `,`, tracking `<...>`
+/// nesting so generic-argument commas don't terminate early.
+fn skip_to_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let attrs = parse_attrs(&toks, &mut i)?;
+    skip_visibility(&toks, &mut i);
+
+    let TokenTree::Ident(kw) = &toks[i] else {
+        return Err("expected `struct` or `enum`".into());
+    };
+    let kw = kw.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &toks[i] else {
+        return Err("expected type name".into());
+    };
+    let name = name.to_string();
+    i += 1;
+
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("vendored serde_derive does not support generics (on `{name}`)"));
+    }
+
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(&g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(&g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(&g.stream())?)
+            }
+            _ => return Err(format!("enum `{name}` has no body")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+
+    Ok(Item { name, try_from: attrs.try_from, kind })
+}
+
+fn parse_named_fields(stream: &TokenStream) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let attrs = parse_attrs(&toks, &mut i)?;
+        skip_visibility(&toks, &mut i);
+        let TokenTree::Ident(fname) = &toks[i] else {
+            return Err(format!("expected field name, found `{}`", toks[i]));
+        };
+        fields.push(Field { name: fname.to_string(), default: attrs.default });
+        i += 1; // field name
+        i += 1; // `:`
+        skip_to_comma(&toks, &mut i);
+        i += 1; // `,` (or one past the end)
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        // Leading attrs/visibility on tuple fields are skipped by the
+        // comma scanner, which only cares about top-level separators.
+        skip_to_comma(&toks, &mut i);
+        count += 1;
+        i += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: &TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let _attrs = parse_attrs(&toks, &mut i)?;
+        let TokenTree::Ident(vname) = &toks[i] else {
+            return Err(format!("expected variant name, found `{}`", toks[i]));
+        };
+        let name = vname.to_string();
+        i += 1;
+        let data = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantData::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantData::Struct(parse_named_fields(&g.stream())?)
+            }
+            _ => VariantData::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        skip_to_comma(&toks, &mut i);
+        i += 1;
+        variants.push(Variant { name, data });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+const IMPL_ATTRS: &str = "#[automatically_derived]\n#[allow(warnings, clippy::all)]\n";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from("let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n");
+            for f in fields {
+                let fname = &f.name;
+                s.push_str(&format!(
+                    "entries.push((::std::string::String::from(\"{fname}\"), ::serde::Serialize::to_value(&self.{fname})));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Map(entries)");
+            s
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|k| format!("::serde::Serialize::to_value(&self.{k})")).collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.data {
+                    VariantData::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    VariantData::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantData::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Map(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+/// The expression producing one named field's value from map `{src}`.
+fn field_expr(f: &Field, src: &str) -> String {
+    let fname = &f.name;
+    let absent = match &f.default {
+        FieldDefault::Required => format!("::serde::missing_field(\"{fname}\")?"),
+        FieldDefault::DefaultTrait => "::core::default::Default::default()".to_string(),
+        FieldDefault::DefaultFn(path) => format!("{path}()"),
+    };
+    format!(
+        "{fname}: match ::serde::Value::get({src}, \"{fname}\") {{\n\
+         ::core::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+         ::core::option::Option::None => {absent},\n}},\n"
+    )
+}
+
+fn named_struct_body(path: &str, fields: &[Field], src: &str) -> String {
+    let mut s = format!(
+        "if !::core::matches!({src}, ::serde::Value::Map(_)) {{\n\
+         return ::core::result::Result::Err(::std::format!(\"invalid type: expected map for `{path}`, found {{}}\", ::serde::Value::kind({src})));\n}}\n\
+         ::core::result::Result::Ok({path} {{\n"
+    );
+    for f in fields {
+        s.push_str(&field_expr(f, src));
+    }
+    s.push_str("})");
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+
+    if let Some(via) = &item.try_from {
+        return format!(
+            "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+             let raw: {via} = ::serde::Deserialize::from_value(v)?;\n\
+             ::core::result::Result::Ok(::core::convert::TryFrom::try_from(raw).map_err(|e| ::std::string::ToString::to_string(&e))?)\n\
+             }}\n}}\n"
+        );
+    }
+
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => named_struct_body(name, fields, "v"),
+        Kind::TupleStruct(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let mut s = format!(
+                "let items = match v {{\n\
+                 ::serde::Value::Seq(items) if items.len() == {n} => items,\n\
+                 other => return ::core::result::Result::Err(::std::format!(\"invalid type: expected sequence of {n} for `{name}`, found {{}}\", ::serde::Value::kind(other))),\n}};\n\
+                 ::core::result::Result::Ok({name}(\n"
+            );
+            for k in 0..*n {
+                s.push_str(&format!("::serde::Deserialize::from_value(&items[{k}])?,\n"));
+            }
+            s.push_str("))");
+            s
+        }
+        Kind::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.data, VariantData::Unit))
+                .map(|v| format!("\"{0}\" => ::core::result::Result::Ok({name}::{0}),\n", v.name))
+                .collect();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.data {
+                    VariantData::Unit => {}
+                    VariantData::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    VariantData::Tuple(n) => {
+                        let mut s = format!(
+                            "\"{vname}\" => {{\nlet items = match inner {{\n\
+                             ::serde::Value::Seq(items) if items.len() == {n} => items,\n\
+                             other => return ::core::result::Result::Err(::std::format!(\"invalid data for variant `{vname}`: {{}}\", ::serde::Value::kind(other))),\n}};\n\
+                             ::core::result::Result::Ok({name}::{vname}(\n"
+                        );
+                        for k in 0..*n {
+                            s.push_str(&format!("::serde::Deserialize::from_value(&items[{k}])?,\n"));
+                        }
+                        s.push_str("))\n}\n");
+                        data_arms.push_str(&s);
+                    }
+                    VariantData::Struct(fields) => {
+                        let body = named_struct_body(&format!("{name}::{vname}"), fields, "inner");
+                        data_arms.push_str(&format!("\"{vname}\" => {{\n{body}\n}}\n"));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::core::result::Result::Err(::std::format!(\"unknown variant `{{other}}` for `{name}`\")),\n}},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (key, inner) = &entries[0];\n\
+                 let _ = inner;\n\
+                 match key.as_str() {{\n\
+                 {data_arms}\
+                 other => ::core::result::Result::Err(::std::format!(\"unknown variant `{{other}}` for `{name}`\")),\n}}\n}},\n\
+                 other => ::core::result::Result::Err(::std::format!(\"invalid type for enum `{name}`: {{}}\", ::serde::Value::kind(other))),\n}}"
+            )
+        }
+    };
+
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
