@@ -53,15 +53,28 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::InvalidTiling(msg) => write!(f, "invalid tiling: {msg}"),
             ExecError::PesExceeded { used, available } => {
-                write!(f, "spatial factors need {used} PEs, only {available} available")
+                write!(
+                    f,
+                    "spatial factors need {used} PEs, only {available} available"
+                )
             }
             ExecError::RfOverflow { needed, available } => {
-                write!(f, "register file overflow: {needed} B needed, {available} B available")
+                write!(
+                    f,
+                    "register file overflow: {needed} B needed, {available} B available"
+                )
             }
             ExecError::SpmOverflow { needed, available } => {
-                write!(f, "scratchpad overflow: {needed} B needed, {available} B available")
+                write!(
+                    f,
+                    "scratchpad overflow: {needed} B needed, {available} B available"
+                )
             }
-            ExecError::NocInfeasible { operand, groups, capacity } => write!(
+            ExecError::NocInfeasible {
+                operand,
+                groups,
+                capacity,
+            } => write!(
                 f,
                 "NoC for {} cannot serve {groups} PE groups (capacity {capacity})",
                 operand.tag()
@@ -115,15 +128,24 @@ impl Validity {
 
         let used = t.pes_used();
         if used > cfg.pes {
-            return Err(ExecError::PesExceeded { used, available: cfg.pes });
+            return Err(ExecError::PesExceeded {
+                used,
+                available: cfg.pes,
+            });
         }
         let rf = rf_bytes(layer, t, cfg.elem_bytes);
         if rf > cfg.l1_bytes {
-            return Err(ExecError::RfOverflow { needed: rf, available: cfg.l1_bytes });
+            return Err(ExecError::RfOverflow {
+                needed: rf,
+                available: cfg.l1_bytes,
+            });
         }
         let spm = spm_bytes(layer, t, cfg.elem_bytes);
         if spm > cfg.l2_bytes {
-            return Err(ExecError::SpmOverflow { needed: spm, available: cfg.l2_bytes });
+            return Err(ExecError::SpmOverflow {
+                needed: spm,
+                available: cfg.l2_bytes,
+            });
         }
         if !relax_noc {
             for op in Tensor::ALL {
@@ -134,10 +156,13 @@ impl Validity {
                     continue;
                 }
                 let groups = noc_groups(layer, t, op);
-                let capacity =
-                    cfg.noc_phys_links[op.index()] * cfg.noc_virt_links[op.index()];
+                let capacity = cfg.noc_phys_links[op.index()] * cfg.noc_virt_links[op.index()];
                 if groups > capacity {
-                    return Err(ExecError::NocInfeasible { operand: op, groups, capacity });
+                    return Err(ExecError::NocInfeasible {
+                        operand: op,
+                        groups,
+                        capacity,
+                    });
                 }
             }
         }
@@ -176,13 +201,7 @@ pub(crate) fn noc_groups(layer: &LayerShape, t: &Tiling, op: Tensor) -> u64 {
 /// `order`: the product of that level's factors over dimensions irrelevant
 /// to both `op` and the stationary tensor (those loops sit innermost, so
 /// `op` stays resident across them).
-fn reuse_at(
-    layer: &LayerShape,
-    t: &Tiling,
-    level: Level,
-    order: Stationarity,
-    op: Tensor,
-) -> f64 {
+fn reuse_at(layer: &LayerShape, t: &Tiling, level: Level, order: Stationarity, op: Tensor) -> f64 {
     let st = order.tensor();
     Dim::ALL
         .iter()
@@ -301,8 +320,7 @@ impl AcceleratorConfig {
 
             // Tile volumes at each level.
             let rf_tile = tile_volume(layer, |d| t.tile_extent(d, Level::Rf), op) as f64;
-            let spatial_tile =
-                tile_volume(layer, |d| t.tile_extent(d, Level::Spatial), op) as f64;
+            let spatial_tile = tile_volume(layer, |d| t.tile_extent(d, Level::Spatial), op) as f64;
             let spm_tile = tile_volume(layer, |d| t.tile_extent(d, Level::Spm), op) as f64;
             stats.rf_tile_bytes = rf_tile * elem;
             stats.spm_tile_bytes = spm_tile * elem;
@@ -340,16 +358,14 @@ impl AcceleratorConfig {
             let transmitted_per_delivery = (groups as f64) * rf_tile * elem;
             let _ = spatial_tile; // spatial tile = unique bytes; kept for clarity
             stats.noc_bytes = deliveries * transmitted_per_delivery;
-            let cycles_per_delivery =
-                stats.noc_rounds as f64 * (rf_tile * elem / noc_bpc).ceil();
+            let cycles_per_delivery = stats.noc_rounds as f64 * (rf_tile * elem / noc_bpc).ceil();
             stats.t_noc = deliveries * cycles_per_delivery;
 
             // --- remaining (unexploited) reuse, for bottleneck mitigation.
             let irr_l2 = irrelevant_iters(layer, t, Level::Spm, op);
             let irr_dram = irrelevant_iters(layer, t, Level::Dram, op);
             stats.reuse_remaining_spm = (irr_dram / reuse_dram).max(1.0);
-            stats.reuse_remaining_rf =
-                ((irr_l2 / reuse_l2) * stats.reuse_remaining_spm).max(1.0);
+            stats.reuse_remaining_rf = ((irr_l2 / reuse_l2) * stats.reuse_remaining_spm).max(1.0);
         }
 
         // ----------------------------------------------------- DMA time
@@ -428,7 +444,10 @@ mod tests {
     #[test]
     fn more_bandwidth_reduces_dma_time() {
         let base = AcceleratorConfig::edge_baseline();
-        let fast = AcceleratorConfig { offchip_bw_mbps: 51_200, ..base };
+        let fast = AcceleratorConfig {
+            offchip_bw_mbps: 51_200,
+            ..base
+        };
         assert!(eval(&fast).t_dma < eval(&base).t_dma);
     }
 
@@ -477,7 +496,11 @@ mod tests {
         f[Dim::Fx.index()] = [1, 1, 1, 3];
         f[Dim::N.index()] = [1, 1, 1, 1];
         let tiling = Tiling::from_factors(&l, f).unwrap();
-        let m = Mapping::new(tiling, Stationarity::OutputStationary, Stationarity::OutputStationary);
+        let m = Mapping::new(
+            tiling,
+            Stationarity::OutputStationary,
+            Stationarity::OutputStationary,
+        );
         let err = cfg.execute(&l, &m).unwrap_err();
         assert!(matches!(err, ExecError::NocInfeasible { .. }), "{err}");
     }
@@ -531,14 +554,27 @@ mod tests {
         f[Dim::Fx.index()] = [3, 1, 1, 1];
         let tiling = Tiling::from_factors(&l, f).unwrap();
         let ws = cfg
-            .execute(&l, &Mapping::new(tiling, Stationarity::OutputStationary, Stationarity::WeightStationary))
+            .execute(
+                &l,
+                &Mapping::new(
+                    tiling,
+                    Stationarity::OutputStationary,
+                    Stationarity::WeightStationary,
+                ),
+            )
             .unwrap();
         let is = cfg
-            .execute(&l, &Mapping::new(tiling, Stationarity::OutputStationary, Stationarity::InputStationary))
+            .execute(
+                &l,
+                &Mapping::new(
+                    tiling,
+                    Stationarity::OutputStationary,
+                    Stationarity::InputStationary,
+                ),
+            )
             .unwrap();
         assert!(
-            ws.operand(Tensor::Weight).offchip_bytes
-                < is.operand(Tensor::Weight).offchip_bytes
+            ws.operand(Tensor::Weight).offchip_bytes < is.operand(Tensor::Weight).offchip_bytes
         );
     }
 }

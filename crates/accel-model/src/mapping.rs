@@ -145,7 +145,10 @@ impl Tiling {
 
     /// Number of PEs used: product of spatial factors over all dims.
     pub fn pes_used(&self) -> u64 {
-        Dim::ALL.iter().map(|d| self.factor(*d, Level::Spatial)).product()
+        Dim::ALL
+            .iter()
+            .map(|d| self.factor(*d, Level::Spatial))
+            .product()
     }
 
     /// Iterations at one temporal level (product over dims).
@@ -169,7 +172,11 @@ pub struct Mapping {
 impl Mapping {
     /// Builds a mapping from parts.
     pub fn new(tiling: Tiling, spm_order: Stationarity, dram_order: Stationarity) -> Self {
-        Self { tiling, spm_order, dram_order }
+        Self {
+            tiling,
+            spm_order,
+            dram_order,
+        }
     }
 
     /// A deterministic optimized **output-stationary** mapping (the paper's
@@ -231,7 +238,11 @@ impl Mapping {
             });
         }
 
-        Self::new(t, Stationarity::OutputStationary, Stationarity::OutputStationary)
+        Self::new(
+            t,
+            Stationarity::OutputStationary,
+            Stationarity::OutputStationary,
+        )
     }
 }
 
@@ -257,11 +268,7 @@ pub(crate) fn spm_bytes(layer: &LayerShape, t: &Tiling, elem_bytes: u64) -> u64 
 ///
 /// Inputs account for the stride/filter halo; depthwise convolutions index
 /// the input by the output channel.
-pub(crate) fn tile_volume(
-    layer: &LayerShape,
-    ext: impl Fn(Dim) -> u64,
-    t: Tensor,
-) -> u64 {
+pub(crate) fn tile_volume(layer: &LayerShape, ext: impl Fn(Dim) -> u64, t: Tensor) -> u64 {
     match t {
         Tensor::Weight => ext(Dim::M) * ext(Dim::C) * ext(Dim::Fy) * ext(Dim::Fx),
         Tensor::Input => {
@@ -398,7 +405,10 @@ mod tests {
     fn fixed_mapping_uses_spatial_parallelism() {
         let cfg = AcceleratorConfig::edge_baseline();
         let m = Mapping::fixed_output_stationary(&layer(), &cfg);
-        assert!(m.tiling.pes_used() > cfg.pes / 4, "should fill most of the array");
+        assert!(
+            m.tiling.pes_used() > cfg.pes / 4,
+            "should fill most of the array"
+        );
     }
 
     #[test]

@@ -129,7 +129,10 @@ mod tests {
 
     #[test]
     fn dominant_factor_picks_maximum() {
-        assert_eq!(profile(3.0, 1.0, 2.0).dominant_factor(), LatencyFactor::Compute);
+        assert_eq!(
+            profile(3.0, 1.0, 2.0).dominant_factor(),
+            LatencyFactor::Compute
+        );
         assert_eq!(profile(1.0, 3.0, 2.0).dominant_factor(), LatencyFactor::Noc);
         assert_eq!(profile(1.0, 2.0, 3.0).dominant_factor(), LatencyFactor::Dma);
     }

@@ -77,7 +77,10 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::Infeasible(e) => write!(f, "infeasible mapping: {e}"),
             SimError::TooLarge { steps, limit } => {
-                write!(f, "nest of {steps} steps exceeds the simulation limit {limit}")
+                write!(
+                    f,
+                    "nest of {steps} steps exceeds the simulation limit {limit}"
+                )
             }
         }
     }
@@ -108,9 +111,19 @@ impl NestWalker {
             .copied()
             .filter(|d| layer.relevant(stationary, *d))
             .collect();
-        dims.extend(Dim::ALL.iter().copied().filter(|d| !layer.relevant(stationary, *d)));
+        dims.extend(
+            Dim::ALL
+                .iter()
+                .copied()
+                .filter(|d| !layer.relevant(stationary, *d)),
+        );
         let extents = dims.iter().map(|d| t.factor(*d, level)).collect();
-        Self { dims, extents, idx: vec![0; 7], done: false }
+        Self {
+            dims,
+            extents,
+            idx: vec![0; 7],
+            done: false,
+        }
     }
 
     fn steps(&self) -> u64 {
@@ -169,7 +182,10 @@ pub fn simulate(
     let l2_steps = t.steps(Level::Spm);
     let total = dram_steps.saturating_mul(l2_steps);
     if total > max_steps {
-        return Err(SimError::TooLarge { steps: total, limit: max_steps });
+        return Err(SimError::TooLarge {
+            steps: total,
+            limit: max_steps,
+        });
     }
 
     // --- static per-event costs.
@@ -221,8 +237,7 @@ pub fn simulate(
         match inner.advance() {
             Some(changed) => {
                 for op in Tensor::ALL {
-                    reload[op.index()] =
-                        changed.iter().any(|d| layer.relevant(op, *d));
+                    reload[op.index()] = changed.iter().any(|d| layer.relevant(op, *d));
                 }
             }
             None => break,
@@ -247,8 +262,7 @@ pub fn simulate(
         match outer.advance() {
             Some(changed) => {
                 for op in Tensor::ALL {
-                    outer_reload[op.index()] =
-                        changed.iter().any(|d| layer.relevant(op, *d));
+                    outer_reload[op.index()] = changed.iter().any(|d| layer.relevant(op, *d));
                 }
             }
             None => break,
@@ -298,7 +312,11 @@ mod tests {
             analytical.latency_cycles
         );
         // Overlap inefficiency is bounded for sane mappings.
-        assert!(sim.overlap_inefficiency() < 4.0, "{}", sim.overlap_inefficiency());
+        assert!(
+            sim.overlap_inefficiency() < 4.0,
+            "{}",
+            sim.overlap_inefficiency()
+        );
     }
 
     #[test]

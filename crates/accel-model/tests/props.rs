@@ -25,8 +25,10 @@ fn arb_layer() -> impl Strategy<Value = LayerShape> {
 /// A random valid tiling: each prime factor of each dimension lands on a
 /// uniformly chosen level.
 fn arb_tiling(layer: LayerShape) -> impl Strategy<Value = (LayerShape, Tiling)> {
-    let total_primes: usize =
-        Dim::ALL.iter().map(|d| prime_factors(layer.dim(*d)).len()).sum();
+    let total_primes: usize = Dim::ALL
+        .iter()
+        .map(|d| prime_factors(layer.dim(*d)).len())
+        .sum();
     proptest::collection::vec(0usize..4, total_primes.max(1)).prop_map(move |levels| {
         let mut factors = [[1u64; 4]; 7];
         let mut i = 0;
@@ -36,14 +38,20 @@ fn arb_tiling(layer: LayerShape) -> impl Strategy<Value = (LayerShape, Tiling)> 
                 i += 1;
             }
         }
-        (layer, Tiling::from_factors(&layer, factors).expect("valid by construction"))
+        (
+            layer,
+            Tiling::from_factors(&layer, factors).expect("valid by construction"),
+        )
     })
 }
 
 fn arb_mapping() -> impl Strategy<Value = (LayerShape, Mapping)> {
     (arb_layer().prop_flat_map(arb_tiling), 0usize..3, 0usize..3).prop_map(
         |((layer, tiling), a, b)| {
-            (layer, Mapping::new(tiling, Stationarity::ALL[a], Stationarity::ALL[b]))
+            (
+                layer,
+                Mapping::new(tiling, Stationarity::ALL[a], Stationarity::ALL[b]),
+            )
         },
     )
 }

@@ -2,7 +2,7 @@
 //! HyperMapper-2.0-style constrained variant whose acquisition multiplies
 //! expected improvement by a feasibility probability.
 
-use crate::{random_point, step, DseTechnique};
+use crate::{random_point, step, step_batch, DseTechnique};
 use edse_core::cost::Trace;
 use edse_core::evaluate::Evaluator;
 use edse_core::space::{DesignPoint, DesignSpace};
@@ -51,13 +51,24 @@ impl Gp {
         }
         let chol = cholesky(&k)?;
         let alpha = chol_solve(&chol, &yn);
-        Some(Gp { x, alpha, chol, length_scale, noise, y_mean, y_std })
+        Some(Gp {
+            x,
+            alpha,
+            chol,
+            length_scale,
+            noise,
+            y_mean,
+            y_std,
+        })
     }
 
     /// Posterior mean and standard deviation at a point.
     fn predict(&self, q: &[f64]) -> (f64, f64) {
-        let kstar: Vec<f64> =
-            self.x.iter().map(|xi| rbf(xi, q, self.length_scale)).collect();
+        let kstar: Vec<f64> = self
+            .x
+            .iter()
+            .map(|xi| rbf(xi, q, self.length_scale))
+            .collect();
         let mean_n: f64 = kstar.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
         // v = L^-1 k*; var = k(q,q) + noise - v.v
         let v = forward_sub(&self.chol, &kstar);
@@ -171,7 +182,7 @@ fn expected_improvement(mean: f64, std: f64, best: f64) -> f64 {
 /// Shared BO skeleton: initial random design, then GP-EI acquisition over a
 /// random candidate pool, with optional feasibility weighting.
 fn run_bo(
-    evaluator: &mut dyn Evaluator,
+    evaluator: &dyn Evaluator,
     budget: usize,
     rng: &mut StdRng,
     name: &str,
@@ -186,10 +197,13 @@ fn run_bo(
     let mut ys: Vec<f64> = Vec::new();
     let mut feas: Vec<bool> = Vec::new();
 
-    for _ in 0..init {
-        let p = random_point(&space, rng);
-        let cost = step(evaluator, &mut trace, &p);
-        xs.push(normalize(&space, &p));
+    // Initial design: feedback-free, evaluated as one batch.
+    let design: Vec<DesignPoint> = (0..init).map(|_| random_point(&space, rng)).collect();
+    for (p, cost) in design
+        .iter()
+        .zip(step_batch(evaluator, &mut trace, &design))
+    {
+        xs.push(normalize(&space, p));
         // Fit the GP on log cost: the penalized range spans orders of
         // magnitude.
         ys.push(cost.max(1e-12).ln());
@@ -224,15 +238,14 @@ fn run_bo(
                             .iter()
                             .zip(&feas)
                             .map(|(x, f)| {
-                                let d: f64 =
-                                    x.iter().zip(&q).map(|(a, b)| (a - b).powi(2)).sum();
+                                let d: f64 = x.iter().zip(&q).map(|(a, b)| (a - b).powi(2)).sum();
                                 (d, *f)
                             })
                             .collect();
                         dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
                         let k = dists.len().min(7);
-                        let p_feas = dists[..k].iter().filter(|(_, f)| *f).count() as f64
-                            / k as f64;
+                        let p_feas =
+                            dists[..k].iter().filter(|(_, f)| *f).count() as f64 / k as f64;
                         ei *= p_feas.max(0.05);
                     }
                     ei
@@ -263,7 +276,9 @@ pub struct BayesianOpt {
 impl BayesianOpt {
     /// A BO run with the given seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -272,7 +287,7 @@ impl DseTechnique for BayesianOpt {
         "bayesian".into()
     }
 
-    fn run(&mut self, evaluator: &mut dyn Evaluator, budget: usize) -> Trace {
+    fn run(&mut self, evaluator: &dyn Evaluator, budget: usize) -> Trace {
         run_bo(evaluator, budget, &mut self.rng, "bayesian", false)
     }
 }
@@ -287,7 +302,9 @@ pub struct HyperMapperLike {
 impl HyperMapperLike {
     /// A constrained-BO run with the given seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -296,7 +313,7 @@ impl DseTechnique for HyperMapperLike {
         "hypermapper".into()
     }
 
-    fn run(&mut self, evaluator: &mut dyn Evaluator, budget: usize) -> Trace {
+    fn run(&mut self, evaluator: &dyn Evaluator, budget: usize) -> Trace {
         run_bo(evaluator, budget, &mut self.rng, "hypermapper", true)
     }
 }

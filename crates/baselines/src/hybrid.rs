@@ -35,7 +35,11 @@ impl WarmStartHybrid {
     /// Panics if `warmup_share` is not within `(0, 1)`.
     pub fn new(warmup: Box<dyn DseTechnique>, warmup_share: f64, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&warmup_share) && warmup_share > 0.0);
-        Self { warmup, warmup_share, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            warmup,
+            warmup_share,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -44,10 +48,12 @@ impl DseTechnique for WarmStartHybrid {
         format!("{}+refine", self.warmup.name())
     }
 
-    fn run(&mut self, evaluator: &mut dyn Evaluator, budget: usize) -> Trace {
+    fn run(&mut self, evaluator: &dyn Evaluator, budget: usize) -> Trace {
         let start = Instant::now();
         let space = evaluator.space().clone();
-        let warm_budget = ((budget as f64 * self.warmup_share) as usize).max(1).min(budget);
+        let warm_budget = ((budget as f64 * self.warmup_share) as usize)
+            .max(1)
+            .min(budget);
         let mut trace = self.warmup.run(evaluator, warm_budget);
         trace.technique = self.name();
 
@@ -87,7 +93,12 @@ pub struct ExplainableTechnique {
 impl ExplainableTechnique {
     /// Wraps Explainable-DSE with the given seed (other knobs default).
     pub fn new(seed: u64) -> Self {
-        Self { config: DseConfig { seed, ..DseConfig::default() } }
+        Self {
+            config: DseConfig {
+                seed,
+                ..DseConfig::default()
+            },
+        }
     }
 
     /// Wraps Explainable-DSE with an explicit configuration.
@@ -101,13 +112,16 @@ impl DseTechnique for ExplainableTechnique {
         "explainable".into()
     }
 
-    fn run(&mut self, mut evaluator: &mut dyn Evaluator, budget: usize) -> Trace {
+    fn run(&mut self, evaluator: &dyn Evaluator, budget: usize) -> Trace {
         let dse = ExplainableDse::new(
             dnn_latency_model(),
-            DseConfig { budget, ..self.config.clone() },
+            DseConfig {
+                budget,
+                ..self.config.clone()
+            },
         );
         let initial: DesignPoint = evaluator.space().minimum_point();
-        dse.run_dnn(&mut evaluator, initial).trace
+        dse.run_dnn(&evaluator, initial).trace
     }
 }
 
@@ -127,7 +141,7 @@ mod tests {
     #[test]
     fn hybrid_respects_total_budget() {
         let mut h = WarmStartHybrid::new(Box::new(RandomSearch::new(3)), 0.4, 3);
-        let trace = h.run(&mut evaluator(), 30);
+        let trace = h.run(&evaluator(), 30);
         assert_eq!(trace.evaluations(), 30);
         assert_eq!(trace.technique, "random+refine");
     }
@@ -137,14 +151,19 @@ mod tests {
         // §B: the explainable phase lands a feasible point quickly; the
         // refinement phase may only improve on it.
         let mut h = WarmStartHybrid::new(Box::new(ExplainableTechnique::new(1)), 0.5, 1);
-        let mut ev = evaluator();
-        let trace = h.run(&mut ev, 160);
-        let best = trace.best_feasible().expect("hybrid finds a feasible design");
+        let ev = evaluator();
+        let trace = h.run(&ev, 160);
+        let best = trace
+            .best_feasible()
+            .expect("hybrid finds a feasible design");
         // Compare with warmup-only at the same share of budget.
-        let mut ev2 = evaluator();
-        let warm_only = ExplainableTechnique::new(1).run(&mut ev2, 80);
+        let ev2 = evaluator();
+        let warm_only = ExplainableTechnique::new(1).run(&ev2, 80);
         if let Some(w) = warm_only.best_feasible() {
-            assert!(best.objective <= w.objective + 1e-9, "refinement must not lose the incumbent");
+            assert!(
+                best.objective <= w.objective + 1e-9,
+                "refinement must not lose the incumbent"
+            );
         }
     }
 

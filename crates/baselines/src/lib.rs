@@ -18,9 +18,9 @@
 //! use mapper::FixedMapper;
 //! use workloads::zoo;
 //!
-//! let mut evaluator =
+//! let evaluator =
 //!     CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
-//! let trace = RandomSearch::new(7).run(&mut evaluator, 20);
+//! let trace = RandomSearch::new(7).run(&evaluator, 20);
 //! assert_eq!(trace.evaluations(), 20);
 //! ```
 
@@ -46,8 +46,11 @@ pub trait DseTechnique {
     /// Technique name for reports, e.g. `"random"`.
     fn name(&self) -> String;
 
-    /// Runs the exploration against an evaluator.
-    fn run(&mut self, evaluator: &mut dyn Evaluator, budget: usize) -> Trace;
+    /// Runs the exploration against an evaluator. Feedback-free stages
+    /// (initial designs, whole non-adaptive sweeps) go through
+    /// [`Evaluator::evaluate_batch`], so a parallel evaluator speeds them
+    /// up without changing any result.
+    fn run(&mut self, evaluator: &dyn Evaluator, budget: usize) -> Trace;
 }
 
 /// Evaluates a point, appends it to the trace, and returns its penalized
@@ -55,32 +58,45 @@ pub trait DseTechnique {
 /// points; a large violation-scaled penalty otherwise, so unconstrained
 /// optimizers still feel constraint pressure the way the paper's penalized
 /// baselines do.
-pub(crate) fn step(
-    evaluator: &mut dyn Evaluator,
+pub(crate) fn step(evaluator: &dyn Evaluator, trace: &mut Trace, point: &DesignPoint) -> f64 {
+    step_batch(evaluator, trace, std::slice::from_ref(point))[0]
+}
+
+/// Batch counterpart of [`step`]: evaluates all points through
+/// [`Evaluator::evaluate_batch`], records them in input order, and returns
+/// their penalized costs. Identical results to calling [`step`] per point.
+pub(crate) fn step_batch(
+    evaluator: &dyn Evaluator,
     trace: &mut Trace,
-    point: &DesignPoint,
-) -> f64 {
+    points: &[DesignPoint],
+) -> Vec<f64> {
     let constraints = evaluator.constraints().to_vec();
-    let eval = evaluator.evaluate(point);
-    let feasible = eval.feasible(&constraints);
-    trace.samples.push(Sample {
-        point: point.clone(),
-        objective: eval.objective,
-        constraint_values: eval.constraint_values.clone(),
-        feasible,
-    });
-    if feasible {
-        eval.objective
-    } else {
-        let budget = eval.constraint_budget(&constraints);
-        // Infeasible points rank strictly worse than any feasible one and
-        // worse the deeper the violation.
-        if budget.is_finite() {
-            1e12 * (1.0 + budget)
-        } else {
-            1e15
-        }
-    }
+    let evals = evaluator.evaluate_batch(points);
+    points
+        .iter()
+        .zip(evals)
+        .map(|(point, eval)| {
+            let feasible = eval.feasible(&constraints);
+            trace.samples.push(Sample {
+                point: point.clone(),
+                objective: eval.objective,
+                constraint_values: eval.constraint_values.clone(),
+                feasible,
+            });
+            if feasible {
+                eval.objective
+            } else {
+                let budget = eval.constraint_budget(&constraints);
+                // Infeasible points rank strictly worse than any feasible
+                // one and worse the deeper the violation.
+                if budget.is_finite() {
+                    1e12 * (1.0 + budget)
+                } else {
+                    1e15
+                }
+            }
+        })
+        .collect()
 }
 
 /// Uniformly random point in a space.
@@ -89,7 +105,13 @@ pub(crate) fn random_point(
     rng: &mut rand::rngs::StdRng,
 ) -> DesignPoint {
     use rand::Rng;
-    DesignPoint::new(space.params().iter().map(|p| rng.gen_range(0..p.len())).collect())
+    DesignPoint::new(
+        space
+            .params()
+            .iter()
+            .map(|p| rng.gen_range(0..p.len()))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -117,8 +139,8 @@ mod tests {
             Box::new(ConfuciuxRl::new(1)),
         ];
         for t in &mut techs {
-            let mut ev = evaluator();
-            let trace = t.run(&mut ev, budget);
+            let ev = evaluator();
+            let trace = t.run(&ev, budget);
             assert!(
                 trace.evaluations() <= budget,
                 "{} overshot: {}",
@@ -132,11 +154,11 @@ mod tests {
 
     #[test]
     fn penalized_cost_orders_infeasible_below_feasible() {
-        let mut ev = evaluator();
+        let ev = evaluator();
         let mut trace = Trace::new("test");
         // Minimum point: infeasible (violates the throughput floor).
         let bad = ev.space().minimum_point();
-        let cost = step(&mut ev, &mut trace, &bad);
+        let cost = step(&ev, &mut trace, &bad);
         assert!(cost >= 1e12);
     }
 }

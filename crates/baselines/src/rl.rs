@@ -22,7 +22,10 @@ pub struct ConfuciuxRl {
 impl ConfuciuxRl {
     /// An RL run with the given seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), learning_rate: 0.2 }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            learning_rate: 0.2,
+        }
     }
 
     fn sample(&mut self, logits: &[Vec<f64>]) -> DesignPoint {
@@ -51,14 +54,13 @@ impl DseTechnique for ConfuciuxRl {
         "rl".into()
     }
 
-    fn run(&mut self, evaluator: &mut dyn Evaluator, budget: usize) -> Trace {
+    fn run(&mut self, evaluator: &dyn Evaluator, budget: usize) -> Trace {
         let start = Instant::now();
         let space = evaluator.space().clone();
         let constraints = evaluator.constraints().to_vec();
         let mut trace = Trace::new(self.name());
 
-        let mut logits: Vec<Vec<f64>> =
-            space.params().iter().map(|p| vec![0.0; p.len()]).collect();
+        let mut logits: Vec<Vec<f64>> = space.params().iter().map(|p| vec![0.0; p.len()]).collect();
         let mut baseline = 0.0f64;
         let mut episodes = 0usize;
 
@@ -75,7 +77,12 @@ impl DseTechnique for ConfuciuxRl {
                 -eval.objective.max(1e-9).ln()
             } else {
                 let over = eval.constraint_budget(&constraints);
-                -10.0 - if over.is_finite() { over.min(100.0) } else { 100.0 }
+                -10.0
+                    - if over.is_finite() {
+                        over.min(100.0)
+                    } else {
+                        100.0
+                    }
             };
 
             episodes += 1;
@@ -110,8 +117,8 @@ mod tests {
 
     #[test]
     fn rl_runs_and_samples_within_domains() {
-        let mut ev = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
-        let trace = ConfuciuxRl::new(11).run(&mut ev, 12);
+        let ev = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+        let trace = ConfuciuxRl::new(11).run(&ev, 12);
         assert_eq!(trace.evaluations(), 12);
         for s in &trace.samples {
             for (i, &idx) in s.point.indices().iter().enumerate() {
@@ -123,15 +130,20 @@ mod tests {
     #[test]
     fn rl_is_reproducible() {
         let run = |seed| {
-            let mut ev =
-                CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
-            ConfuciuxRl::new(seed).run(&mut ev, 8)
+            let ev = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+            ConfuciuxRl::new(seed).run(&ev, 8)
         };
         let a = run(4);
         let b = run(4);
         assert_eq!(
-            a.samples.iter().map(|s| s.point.clone()).collect::<Vec<_>>(),
-            b.samples.iter().map(|s| s.point.clone()).collect::<Vec<_>>()
+            a.samples
+                .iter()
+                .map(|s| s.point.clone())
+                .collect::<Vec<_>>(),
+            b.samples
+                .iter()
+                .map(|s| s.point.clone())
+                .collect::<Vec<_>>()
         );
     }
 }

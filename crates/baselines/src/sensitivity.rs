@@ -29,7 +29,11 @@ pub struct SensitivityGuided {
 impl SensitivityGuided {
     /// A sensitivity-guided run with the given seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), explore_prob: 0.2, alpha: 0.5 }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            explore_prob: 0.2,
+            alpha: 0.5,
+        }
     }
 }
 
@@ -38,7 +42,7 @@ impl DseTechnique for SensitivityGuided {
         "sensitivity".into()
     }
 
-    fn run(&mut self, evaluator: &mut dyn Evaluator, budget: usize) -> Trace {
+    fn run(&mut self, evaluator: &dyn Evaluator, budget: usize) -> Trace {
         let start = Instant::now();
         let space = evaluator.space().clone();
         let mut trace = Trace::new(self.name());
@@ -118,8 +122,8 @@ mod tests {
 
     #[test]
     fn sensitivity_guided_improves_within_budget() {
-        let mut ev = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
-        let trace = SensitivityGuided::new(5).run(&mut ev, 120);
+        let ev = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+        let trace = SensitivityGuided::new(5).run(&ev, 120);
         assert!(trace.evaluations() <= 120);
         // The first sample is the (infeasible) minimum point; the explorer
         // must make progress on the penalized cost.
@@ -135,15 +139,20 @@ mod tests {
     #[test]
     fn sensitivity_guided_is_reproducible() {
         let run = |seed| {
-            let mut ev =
-                CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
-            SensitivityGuided::new(seed).run(&mut ev, 30)
+            let ev = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+            SensitivityGuided::new(seed).run(&ev, 30)
         };
         let a = run(9);
         let b = run(9);
         assert_eq!(
-            a.samples.iter().map(|s| s.point.clone()).collect::<Vec<_>>(),
-            b.samples.iter().map(|s| s.point.clone()).collect::<Vec<_>>()
+            a.samples
+                .iter()
+                .map(|s| s.point.clone())
+                .collect::<Vec<_>>(),
+            b.samples
+                .iter()
+                .map(|s| s.point.clone())
+                .collect::<Vec<_>>()
         );
     }
 }

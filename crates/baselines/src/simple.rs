@@ -1,7 +1,7 @@
 //! Non-feedback and classic stochastic baselines: grid search, random
 //! search, simulated annealing, genetic algorithm.
 
-use crate::{random_point, step, DseTechnique};
+use crate::{random_point, step, step_batch, DseTechnique};
 use edse_core::cost::Trace;
 use edse_core::evaluate::Evaluator;
 use edse_core::space::DesignPoint;
@@ -19,7 +19,7 @@ impl DseTechnique for GridSearch {
         "grid".into()
     }
 
-    fn run(&mut self, evaluator: &mut dyn Evaluator, budget: usize) -> Trace {
+    fn run(&mut self, evaluator: &dyn Evaluator, budget: usize) -> Trace {
         let start = Instant::now();
         let space = evaluator.space().clone();
         let mut trace = Trace::new(self.name());
@@ -34,14 +34,19 @@ impl DseTechnique for GridSearch {
                 .filter(|&i| counts[i] * 2 <= space.param(i).len().max(2))
                 .max_by_key(|&i| space.param(i).len() / counts[i]);
             match candidate {
-                Some(i) if grid * 2 <= budget => counts[i] = (counts[i] * 2).min(space.param(i).len()),
+                Some(i) if grid * 2 <= budget => {
+                    counts[i] = (counts[i] * 2).min(space.param(i).len())
+                }
                 _ => break,
             }
         }
 
+        // The sweep has no feedback: enumerate every grid point first, then
+        // evaluate the whole set as one batch.
+        let mut points = Vec::new();
         let mut counter = vec![0usize; space.len()];
         'outer: loop {
-            if trace.evaluations() >= budget {
+            if points.len() >= budget {
                 break;
             }
             // Map counter to spread indices across each domain.
@@ -57,7 +62,7 @@ impl DseTechnique for GridSearch {
                     }
                 })
                 .collect();
-            step(evaluator, &mut trace, &DesignPoint::new(indices));
+            points.push(DesignPoint::new(indices));
 
             // Mixed-radix increment.
             for i in 0..counter.len() {
@@ -69,6 +74,7 @@ impl DseTechnique for GridSearch {
             }
             break;
         }
+        step_batch(evaluator, &mut trace, &points);
         trace.wall_seconds = start.elapsed().as_secs_f64();
         trace
     }
@@ -83,7 +89,9 @@ pub struct RandomSearch {
 impl RandomSearch {
     /// A random search with the given seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -92,14 +100,15 @@ impl DseTechnique for RandomSearch {
         "random".into()
     }
 
-    fn run(&mut self, evaluator: &mut dyn Evaluator, budget: usize) -> Trace {
+    fn run(&mut self, evaluator: &dyn Evaluator, budget: usize) -> Trace {
         let start = Instant::now();
         let space = evaluator.space().clone();
         let mut trace = Trace::new(self.name());
-        for _ in 0..budget {
-            let p = random_point(&space, &mut self.rng);
-            step(evaluator, &mut trace, &p);
-        }
+        // No feedback: draw every point up front, evaluate as one batch.
+        let points: Vec<DesignPoint> = (0..budget)
+            .map(|_| random_point(&space, &mut self.rng))
+            .collect();
+        step_batch(evaluator, &mut trace, &points);
         trace.wall_seconds = start.elapsed().as_secs_f64();
         trace
     }
@@ -116,7 +125,10 @@ pub struct SimulatedAnnealing {
 impl SimulatedAnnealing {
     /// An annealer with the given seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), initial_temp: 1.0 }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            initial_temp: 1.0,
+        }
     }
 }
 
@@ -125,7 +137,7 @@ impl DseTechnique for SimulatedAnnealing {
         "annealing".into()
     }
 
-    fn run(&mut self, evaluator: &mut dyn Evaluator, budget: usize) -> Trace {
+    fn run(&mut self, evaluator: &dyn Evaluator, budget: usize) -> Trace {
         let start = Instant::now();
         let space = evaluator.space().clone();
         let mut trace = Trace::new(self.name());
@@ -133,8 +145,8 @@ impl DseTechnique for SimulatedAnnealing {
         let mut current = random_point(&space, &mut self.rng);
         let mut current_cost = step(evaluator, &mut trace, &current);
         while trace.evaluations() < budget {
-            let temp = self.initial_temp
-                * (1.0 - trace.evaluations() as f64 / budget as f64).max(1e-3);
+            let temp =
+                self.initial_temp * (1.0 - trace.evaluations() as f64 / budget as f64).max(1e-3);
             // Neighbor: move one random parameter by +-1 index.
             let p = self.rng.gen_range(0..space.len());
             let len = space.param(p).len();
@@ -171,7 +183,10 @@ pub struct GeneticAlgorithm {
 impl GeneticAlgorithm {
     /// A GA with the given population size and seed.
     pub fn new(population: usize, seed: u64) -> Self {
-        Self { population: population.max(4), rng: StdRng::seed_from_u64(seed) }
+        Self {
+            population: population.max(4),
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -180,18 +195,17 @@ impl DseTechnique for GeneticAlgorithm {
         "genetic".into()
     }
 
-    fn run(&mut self, evaluator: &mut dyn Evaluator, budget: usize) -> Trace {
+    fn run(&mut self, evaluator: &dyn Evaluator, budget: usize) -> Trace {
         let start = Instant::now();
         let space = evaluator.space().clone();
         let mut trace = Trace::new(self.name());
 
-        let mut pop: Vec<(DesignPoint, f64)> = (0..self.population.min(budget))
-            .map(|_| {
-                let p = random_point(&space, &mut self.rng);
-                let c = step(evaluator, &mut trace, &p);
-                (p, c)
-            })
+        // Initial population: no feedback between members, one batch.
+        let seeds: Vec<DesignPoint> = (0..self.population.min(budget))
+            .map(|_| random_point(&space, &mut self.rng))
             .collect();
+        let costs = step_batch(evaluator, &mut trace, &seeds);
+        let mut pop: Vec<(DesignPoint, f64)> = seeds.into_iter().zip(costs).collect();
 
         while trace.evaluations() < budget {
             let pick = |rng: &mut StdRng, pop: &[(DesignPoint, f64)]| {
@@ -207,7 +221,13 @@ impl DseTechnique for GeneticAlgorithm {
             let pb = pick(&mut self.rng, &pop);
             // Uniform crossover + mutation.
             let mut child: Vec<usize> = (0..space.len())
-                .map(|i| if self.rng.gen::<bool>() { pa.index(i) } else { pb.index(i) })
+                .map(|i| {
+                    if self.rng.gen::<bool>() {
+                        pa.index(i)
+                    } else {
+                        pb.index(i)
+                    }
+                })
                 .collect();
             for (i, gene) in child.iter_mut().enumerate() {
                 if self.rng.gen::<f64>() < 0.1 {
@@ -247,8 +267,8 @@ mod tests {
 
     #[test]
     fn grid_covers_distinct_points() {
-        let mut ev = evaluator();
-        let t = GridSearch.run(&mut ev, 30);
+        let ev = evaluator();
+        let t = GridSearch.run(&ev, 30);
         let mut pts: Vec<_> = t.samples.iter().map(|s| s.point.clone()).collect();
         pts.sort_by_key(|p| p.indices().to_vec());
         pts.dedup();
@@ -257,8 +277,8 @@ mod tests {
 
     #[test]
     fn random_search_is_reproducible() {
-        let a = RandomSearch::new(5).run(&mut evaluator(), 10);
-        let b = RandomSearch::new(5).run(&mut evaluator(), 10);
+        let a = RandomSearch::new(5).run(&evaluator(), 10);
+        let b = RandomSearch::new(5).run(&evaluator(), 10);
         let pa: Vec<_> = a.samples.iter().map(|s| s.point.clone()).collect();
         let pb: Vec<_> = b.samples.iter().map(|s| s.point.clone()).collect();
         assert_eq!(pa, pb);
@@ -266,15 +286,15 @@ mod tests {
 
     #[test]
     fn annealing_neighbors_differ_by_one_index() {
-        let mut ev = evaluator();
-        let t = SimulatedAnnealing::new(3).run(&mut ev, 12);
+        let ev = evaluator();
+        let t = SimulatedAnnealing::new(3).run(&ev, 12);
         assert_eq!(t.evaluations(), 12);
     }
 
     #[test]
     fn ga_population_larger_than_budget_is_clipped() {
-        let mut ev = evaluator();
-        let t = GeneticAlgorithm::new(64, 2).run(&mut ev, 10);
+        let ev = evaluator();
+        let t = GeneticAlgorithm::new(64, 2).run(&ev, 10);
         assert_eq!(t.evaluations(), 10);
     }
 }

@@ -10,13 +10,15 @@ use edse_core::cost::{Constraint, Evaluation};
 use edse_core::evaluate::Evaluator;
 use edse_core::space::{DesignPoint, DesignSpace, ParamDef};
 use proptest::prelude::*;
+use std::cell::Cell;
 
 /// A cheap synthetic problem: quadratic bowl objective with one synthetic
-/// constraint, over an arbitrary discrete space.
+/// constraint, over an arbitrary discrete space. The call counter uses a
+/// `Cell` because [`Evaluator::evaluate`] takes `&self`.
 struct Bowl {
     space: DesignSpace,
     constraints: Vec<Constraint>,
-    evals: usize,
+    evals: Cell<usize>,
 }
 
 impl Bowl {
@@ -24,21 +26,19 @@ impl Bowl {
         let params = sizes
             .iter()
             .enumerate()
-            .map(|(i, &n)| {
-                ParamDef::new(format!("p{i}"), (0..n).map(|v| v as f64 + 1.0).collect())
-            })
+            .map(|(i, &n)| ParamDef::new(format!("p{i}"), (0..n).map(|v| v as f64 + 1.0).collect()))
             .collect();
         Self {
             space: DesignSpace::new(params),
             constraints: vec![Constraint::new("sum", 1e9)],
-            evals: 0,
+            evals: Cell::new(0),
         }
     }
 }
 
 impl Evaluator for Bowl {
-    fn evaluate(&mut self, point: &DesignPoint) -> Evaluation {
-        self.evals += 1;
+    fn evaluate(&self, point: &DesignPoint) -> Evaluation {
+        self.evals.set(self.evals.get() + 1);
         let obj: f64 = point
             .indices()
             .iter()
@@ -69,7 +69,7 @@ impl Evaluator for Bowl {
     }
 
     fn unique_evaluations(&self) -> usize {
-        self.evals
+        self.evals.get()
     }
 
     fn decode(&self, _point: &DesignPoint) -> accel_model::AcceleratorConfig {
@@ -100,8 +100,8 @@ proptest! {
         seed in 0u64..100,
     ) {
         for mut t in techniques(seed) {
-            let mut bowl = Bowl::new(&sizes);
-            let trace = t.run(&mut bowl, budget);
+            let bowl = Bowl::new(&sizes);
+            let trace = t.run(&bowl, budget);
             prop_assert!(trace.evaluations() <= budget, "{}", t.name());
             prop_assert!(trace.evaluations() > 0);
             for s in &trace.samples {
@@ -118,8 +118,8 @@ proptest! {
     fn reproducibility(seed in 0u64..50) {
         let sizes = [5usize, 7, 3];
         for (mut a, mut b) in techniques(seed).into_iter().zip(techniques(seed)) {
-            let ta = a.run(&mut Bowl::new(&sizes), 20);
-            let tb = b.run(&mut Bowl::new(&sizes), 20);
+            let ta = a.run(&Bowl::new(&sizes), 20);
+            let tb = b.run(&Bowl::new(&sizes), 20);
             let pa: Vec<_> = ta.samples.iter().map(|s| s.point.clone()).collect();
             let pb: Vec<_> = tb.samples.iter().map(|s| s.point.clone()).collect();
             prop_assert_eq!(pa, pb, "{} not reproducible", a.name());
@@ -135,10 +135,55 @@ proptest! {
             if t.name() == "grid" {
                 continue; // non-feedback; coverage, not improvement
             }
-            let trace = t.run(&mut Bowl::new(&sizes), 60);
+            let trace = t.run(&Bowl::new(&sizes), 60);
             let first = trace.samples.first().unwrap().objective;
             let best = trace.best_feasible().unwrap().objective;
             prop_assert!(best <= first, "{} got worse", t.name());
+        }
+    }
+
+    /// Whole-DSE determinism across the evaluation engine: the explainable
+    /// DSE over a parallel codesign evaluator reproduces the serial run's
+    /// incumbent trace (points, objectives, best) exactly, for any seed.
+    #[test]
+    fn dse_batch_matches_serial_incumbent_trace(seed in 0u64..12) {
+        use edse_core::evaluate::{CodesignEvaluator, EvalEngine};
+        use edse_core::space::edge_space;
+        use edse_core::dse::{DseConfig, ExplainableDse};
+        use edse_core::bottleneck::dnn_latency_model;
+
+        let run = |engine: EvalEngine| {
+            let ev = CodesignEvaluator::new(
+                edge_space(),
+                vec![workloads::zoo::resnet18()],
+                mapper::FixedMapper,
+            )
+            .with_engine(engine);
+            let dse = ExplainableDse::new(
+                dnn_latency_model(),
+                DseConfig { budget: 40, seed, ..DseConfig::default() },
+            );
+            let initial = ev.space().minimum_point();
+            let result = dse.run_dnn(&ev, initial);
+            (result, ev.unique_evaluations())
+        };
+        let (serial, serial_uniques) = run(EvalEngine::serial());
+        let (parallel, parallel_uniques) = run(EvalEngine::with_threads(4));
+
+        prop_assert_eq!(serial_uniques, parallel_uniques);
+        prop_assert_eq!(serial.trace.samples.len(), parallel.trace.samples.len());
+        for (a, b) in serial.trace.samples.iter().zip(&parallel.trace.samples) {
+            prop_assert_eq!(&a.point, &b.point);
+            prop_assert_eq!(a.objective, b.objective);
+            prop_assert_eq!(&a.constraint_values, &b.constraint_values);
+            prop_assert_eq!(a.feasible, b.feasible);
+        }
+        match (&serial.best, &parallel.best) {
+            (Some((pa, ea)), Some((pb, eb))) => {
+                prop_assert_eq!(pa, pb);
+                prop_assert_eq!(ea, eb);
+            }
+            (a, b) => prop_assert_eq!(a.is_some(), b.is_some()),
         }
     }
 }

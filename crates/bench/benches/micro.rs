@@ -6,8 +6,8 @@ use accel_model::{AcceleratorConfig, Mapping};
 use criterion::{criterion_group, criterion_main, Criterion};
 use edse_core::bottleneck::{dnn_latency_model, LayerCtx};
 use edse_core::dse::{DseConfig, ExplainableDse};
-use edse_core::evaluate::{CodesignEvaluator, Evaluator};
-use edse_core::space::edge_space;
+use edse_core::evaluate::{CodesignEvaluator, EvalEngine, Evaluator};
+use edse_core::space::{edge, edge_space};
 use mapper::{FixedMapper, LinearMapper, MappingOptimizer, MappingSpace, SpaceBudget};
 use std::hint::black_box;
 use workloads::{zoo, LayerShape};
@@ -32,7 +32,7 @@ fn bench_mapping_space(c: &mut Criterion) {
         b.iter(|| black_box(MappingSpace::build(&l, &cfg, SpaceBudget::top(100))))
     });
     c.bench_function("mapper/linear_optimize_top50", |b| {
-        let mut m = LinearMapper::new(50);
+        let m = LinearMapper::new(50);
         b.iter(|| black_box(m.optimize(&l, &cfg)))
     });
 }
@@ -51,7 +51,7 @@ fn bench_bottleneck(c: &mut Criterion) {
 
 fn bench_dse(c: &mut Criterion) {
     c.bench_function("dse/point_evaluation_fixdf", |b| {
-        let mut ev = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+        let ev = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
         let p = ev.space().minimum_point();
         let mut bump = 0usize;
         b.iter(|| {
@@ -63,14 +63,50 @@ fn bench_dse(c: &mut Criterion) {
     });
     c.bench_function("dse/explainable_20_evals", |b| {
         b.iter(|| {
-            let mut ev =
-                CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+            let ev = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
             let dse = ExplainableDse::new(
                 dnn_latency_model(),
-                DseConfig { budget: 20, ..DseConfig::default() },
+                DseConfig {
+                    budget: 20,
+                    ..DseConfig::default()
+                },
             );
             let initial = ev.space().minimum_point();
-            black_box(dse.run_dnn(&mut ev, initial))
+            black_box(dse.run_dnn(&ev, initial))
+        })
+    });
+}
+
+/// The evaluation engine's headline number: a 16-candidate batch through
+/// `evaluate_batch`, serial vs. all-cores. Each iteration uses a fresh
+/// evaluator so the caches start cold and the mapping work is real; the
+/// parallel run must produce identical evaluations, just faster (the
+/// speedup only shows on multi-core hosts — with one CPU the engine
+/// resolves to a single thread and the two series coincide).
+fn bench_batch_engine(c: &mut Criterion) {
+    let space = edge_space();
+    // 16 distinct configs: each point changes a NoC and a memory parameter,
+    // so no layer-mapping work is shared between candidates.
+    let points: Vec<_> = (0..16)
+        .map(|i| {
+            space
+                .minimum_point()
+                .with_index(edge::phys_links(1), 2 * i)
+                .with_index(edge::PES, i % 4)
+        })
+        .collect();
+    let make =
+        || CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], LinearMapper::new(24));
+    c.bench_function("engine/batch16_serial", |b| {
+        b.iter(|| {
+            let ev = make().with_engine(EvalEngine::serial());
+            black_box(ev.evaluate_batch(&points))
+        })
+    });
+    c.bench_function("engine/batch16_parallel", |b| {
+        b.iter(|| {
+            let ev = make();
+            black_box(ev.evaluate_batch(&points))
         })
     });
 }
@@ -105,6 +141,7 @@ criterion_group!(
     bench_mapping_space,
     bench_bottleneck,
     bench_dse,
+    bench_batch_engine,
     bench_sim,
     bench_space_size,
     bench_workloads

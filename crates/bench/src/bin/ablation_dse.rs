@@ -24,10 +24,10 @@ fn run<M: MappingOptimizer>(
     mapper: M,
     config: DseConfig,
 ) -> (String, String, String) {
-    let mut ev = CodesignEvaluator::new(edge_space(), vec![model.clone()], mapper);
+    let ev = CodesignEvaluator::new(edge_space(), vec![model.clone()], mapper);
     let dse = ExplainableDse::new(dnn_latency_model(), config);
     let initial = ev.space().minimum_point();
-    let r = dse.run_dnn(&mut ev, initial);
+    let r = dse.run_dnn(&ev, initial);
     let best = r
         .best
         .as_ref()
@@ -36,9 +36,7 @@ fn run<M: MappingOptimizer>(
     let budget = r
         .best
         .as_ref()
-        .map(|(_, e)| {
-            format!("{:.2}", e.constraint_budget(ev.constraints()))
-        })
+        .map(|(_, e)| format!("{:.2}", e.constraint_budget(ev.constraints())))
         .unwrap_or_else(|| "-".into());
     (best, r.trace.evaluations().to_string(), budget)
 }
@@ -48,16 +46,55 @@ fn main() {
     // Convergence comparisons need room even in quick mode.
     args.iters = args.iters.max(150);
     let models = args.models_or(vec![zoo::resnet18(), zoo::efficientnet_b0()]);
-    let base = DseConfig { budget: args.iters, ..DseConfig::default() };
+    let base = DseConfig {
+        budget: args.iters,
+        ..DseConfig::default()
+    };
 
     for model in &models {
-        println!("== ablations for {} (budget {}) ==", model.name(), args.iters);
+        println!(
+            "== ablations for {} (budget {}) ==",
+            model.name(),
+            args.iters
+        );
         let variants: Vec<(&str, DseConfig, bool)> = vec![
-            ("paper defaults (min agg, budget-aware, K=5)", base.clone(), false),
-            ("max aggregation", DseConfig { aggregation: Aggregation::Max, ..base.clone() }, false),
-            ("budget-awareness off", DseConfig { budget_aware: false, ..base.clone() }, false),
-            ("top-K = 1", DseConfig { top_k: 1, ..base.clone() }, false),
-            ("top-K = 20", DseConfig { top_k: 20, ..base.clone() }, false),
+            (
+                "paper defaults (min agg, budget-aware, K=5)",
+                base.clone(),
+                false,
+            ),
+            (
+                "max aggregation",
+                DseConfig {
+                    aggregation: Aggregation::Max,
+                    ..base.clone()
+                },
+                false,
+            ),
+            (
+                "budget-awareness off",
+                DseConfig {
+                    budget_aware: false,
+                    ..base.clone()
+                },
+                false,
+            ),
+            (
+                "top-K = 1",
+                DseConfig {
+                    top_k: 1,
+                    ..base.clone()
+                },
+                false,
+            ),
+            (
+                "top-K = 20",
+                DseConfig {
+                    top_k: 20,
+                    ..base.clone()
+                },
+                false,
+            ),
             ("codesign (linear mapper)", base.clone(), true),
         ];
         let mut rows = Vec::new();
@@ -69,7 +106,10 @@ fn main() {
             };
             rows.push(vec![name.to_string(), best, evals, budget]);
         }
-        print_table(&["variant", "best latency (ms)", "evals", "budget used"], &rows);
+        print_table(
+            &["variant", "best latency (ms)", "evals", "budget used"],
+            &rows,
+        );
         println!();
     }
     println!(

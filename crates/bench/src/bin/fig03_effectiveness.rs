@@ -36,7 +36,10 @@ fn main() {
             trace.evaluations().to_string(),
             best,
             format!("{:.1}%", trace.feasibility_rate() * 100.0),
-            format!("{:.1}%", trace.feasibility_rate_first(2, &constraints) * 100.0),
+            format!(
+                "{:.1}%",
+                trace.feasibility_rate_first(2, &constraints) * 100.0
+            ),
             format!("{:.2}", trace.wall_seconds / 60.0),
         ]);
     }

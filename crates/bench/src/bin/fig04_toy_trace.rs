@@ -41,21 +41,32 @@ fn toy_space() -> DesignSpace {
 fn single_layer_model() -> DnnModel {
     DnnModel::new(
         "ResNet-CONV5_2",
-        vec![Layer::new("conv5_2b", LayerShape::conv(1, 512, 512, 7, 7, 3, 3, 1), 1)],
+        vec![Layer::new(
+            "conv5_2b",
+            LayerShape::conv(1, 512, 512, 7, 7, 3, 3, 1),
+            1,
+        )],
         ThroughputTarget::fps(40.0),
     )
 }
 
 fn print_trace(title: &str, space: &DesignSpace, trace: &Trace) {
     println!("\n--- {title} ---");
-    println!("{:>4} {:>6} {:>8} {:>12} {:>5}", "iter", "PEs", "L2 (kB)", "latency (ms)", "ok");
+    println!(
+        "{:>4} {:>6} {:>8} {:>12} {:>5}",
+        "iter", "PEs", "L2 (kB)", "latency (ms)", "ok"
+    );
     for (i, s) in trace.samples.iter().enumerate() {
         println!(
             "{:>4} {:>6} {:>8} {:>12} {:>5}",
             i + 1,
             space.value(&s.point, edge::PES),
             space.value(&s.point, edge::L2_KB),
-            if s.objective.is_finite() { format!("{:.3}", s.objective) } else { "inf".into() },
+            if s.objective.is_finite() {
+                format!("{:.3}", s.objective)
+            } else {
+                "inf".into()
+            },
             if s.feasible { "yes" } else { "no" }
         );
     }
@@ -71,20 +82,21 @@ fn main() {
     let model = single_layer_model();
 
     // HyperMapper-2.0-style exploration (Fig. 4a).
-    let mut ev =
-        CodesignEvaluator::new(space.clone(), vec![model.clone()], mapper::FixedMapper);
-    let hm = HyperMapperLike::new(args.seed).run(&mut ev, args.iters);
+    let ev = CodesignEvaluator::new(space.clone(), vec![model.clone()], mapper::FixedMapper);
+    let hm = HyperMapperLike::new(args.seed).run(&ev, args.iters);
     print_trace("HyperMapper 2.0 (black-box)", &space, &hm);
 
     // Explainable-DSE (Fig. 4b).
-    let mut ev =
-        CodesignEvaluator::new(space.clone(), vec![model], mapper::FixedMapper);
+    let ev = CodesignEvaluator::new(space.clone(), vec![model], mapper::FixedMapper);
     let dse = ExplainableDse::new(
         dnn_latency_model(),
-        DseConfig { budget: args.iters, ..DseConfig::default() },
+        DseConfig {
+            budget: args.iters,
+            ..DseConfig::default()
+        },
     );
     let initial = ev.space().minimum_point();
-    let result = dse.run_dnn(&mut ev, initial);
+    let result = dse.run_dnn(&ev, initial);
     print_trace("Explainable-DSE (bottleneck-guided)", &space, &result.trace);
     println!("\nexplanations:");
     for a in result.attempts.iter().take(6) {

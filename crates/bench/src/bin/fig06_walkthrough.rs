@@ -16,13 +16,19 @@ use workloads::zoo;
 
 fn main() {
     let args = Args::parse(80);
-    let mut evaluator =
-        CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+    let evaluator = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
     let dse = ExplainableDse::new(
         dnn_latency_model(),
-        DseConfig { budget: args.iters.max(60), restarts: 0, ..DseConfig::default() },
+        DseConfig {
+            budget: args.iters.max(60),
+            restarts: 0,
+            ..DseConfig::default()
+        },
     );
     let initial = evaluator.space().minimum_point();
-    let result = dse.run_dnn(&mut evaluator, initial);
-    println!("{}", result.report(evaluator.space(), evaluator.constraints()));
+    let result = dse.run_dnn(&evaluator, initial);
+    println!(
+        "{}",
+        result.report(evaluator.space(), evaluator.constraints())
+    );
 }

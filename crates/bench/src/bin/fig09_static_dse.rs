@@ -6,7 +6,9 @@
 //!
 //! Usage: `fig09_static_dse [--full] [--iters N] [--trials N] [--models a,b] [--seed N]`
 
-use bench::{constraints_for, latency_cell, print_table, run_technique, Args, MapperKind, TechniqueKind};
+use bench::{
+    constraints_for, latency_cell, print_table, run_technique, Args, MapperKind, TechniqueKind,
+};
 use workloads::zoo;
 
 fn main() {
@@ -22,11 +24,19 @@ fn main() {
         let mut v: Vec<(TechniqueKind, MapperKind, String)> = TechniqueKind::ALL
             .iter()
             .map(|k| {
-                (*k, MapperKind::FixedDataflow, format!("{}-FixDF", k.label()))
+                (
+                    *k,
+                    MapperKind::FixedDataflow,
+                    format!("{}-FixDF", k.label()),
+                )
             })
             .collect();
         for k in [TechniqueKind::Random, TechniqueKind::HyperMapper] {
-            v.push((k, MapperKind::Random(args.map_trials), format!("{}-Codesign", k.label())));
+            v.push((
+                k,
+                MapperKind::Random(args.map_trials),
+                format!("{}-Codesign", k.label()),
+            ));
         }
         v.push((
             TechniqueKind::Explainable,
@@ -45,8 +55,7 @@ fn main() {
         let mut row = vec![label.clone()];
         for model in &models {
             let constraints = constraints_for(std::slice::from_ref(model));
-            let trace =
-                run_technique(*kind, *mapper, vec![model.clone()], args.iters, args.seed);
+            let trace = run_technique(*kind, *mapper, vec![model.clone()], args.iters, args.seed);
             row.push(latency_cell(&trace, &constraints));
             eprintln!(
                 "[{label} / {}] best={} evals={} {:.1}s",

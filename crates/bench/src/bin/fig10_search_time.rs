@@ -6,7 +6,9 @@
 //!
 //! Usage: `fig10_search_time [--full] [--iters N] [--trials N] [--models a,b]`
 
-use bench::{print_table, run_explainable_detailed, run_technique, Args, MapperKind, TechniqueKind};
+use bench::{
+    print_table, run_explainable_detailed, run_technique, Args, MapperKind, TechniqueKind,
+};
 use workloads::zoo;
 
 fn main() {
@@ -26,8 +28,14 @@ fn main() {
         (TechniqueKind::Rl, MapperKind::FixedDataflow),
         (TechniqueKind::Explainable, MapperKind::FixedDataflow),
         (TechniqueKind::Random, MapperKind::Random(args.map_trials)),
-        (TechniqueKind::HyperMapper, MapperKind::Random(args.map_trials)),
-        (TechniqueKind::Explainable, MapperKind::Linear(args.map_trials)),
+        (
+            TechniqueKind::HyperMapper,
+            MapperKind::Random(args.map_trials),
+        ),
+        (
+            TechniqueKind::Explainable,
+            MapperKind::Linear(args.map_trials),
+        ),
     ];
 
     for model in &models {
@@ -39,8 +47,7 @@ fn main() {
             let (trace, converged) = if kind == TechniqueKind::Explainable {
                 run_explainable_detailed(mapper, vec![model.clone()], args.iters, args.seed)
             } else {
-                let t =
-                    run_technique(kind, mapper, vec![model.clone()], args.iters, args.seed);
+                let t = run_technique(kind, mapper, vec![model.clone()], args.iters, args.seed);
                 (t, vec![])
             };
             if kind == TechniqueKind::Explainable {
@@ -62,11 +69,17 @@ fn main() {
                     .unwrap_or_else(|| "-".into()),
             ]);
         }
-        print_table(&["technique", "designs evaluated", "time (s)", "best (ms)"], &rows);
+        print_table(
+            &["technique", "designs evaluated", "time (s)", "best (ms)"],
+            &rows,
+        );
         if let Some(es) = explainable_seconds {
             let avg: f64 =
                 blackbox_seconds.iter().sum::<f64>() / blackbox_seconds.len().max(1) as f64;
-            println!("search-time reduction vs mean black-box: {:.0}x\n", avg / es);
+            println!(
+                "search-time reduction vs mean black-box: {:.0}x\n",
+                avg / es
+            );
         }
     }
     println!(

@@ -26,7 +26,10 @@ fn main() {
         (TechniqueKind::Rl, MapperKind::FixedDataflow),
         (TechniqueKind::Explainable, MapperKind::FixedDataflow),
         (TechniqueKind::Random, MapperKind::Random(args.map_trials)),
-        (TechniqueKind::Explainable, MapperKind::Linear(args.map_trials)),
+        (
+            TechniqueKind::Explainable,
+            MapperKind::Linear(args.map_trials),
+        ),
     ];
 
     for model in &models {
@@ -34,32 +37,31 @@ fn main() {
         let traces: Vec<(String, Trace)> = settings
             .iter()
             .map(|(kind, mapper)| {
-                let t = run_technique(
-                    *kind,
-                    *mapper,
-                    vec![model.clone()],
-                    args.iters,
-                    args.seed,
-                );
+                let t = run_technique(*kind, *mapper, vec![model.clone()], args.iters, args.seed);
                 (format!("{}{}", kind.label(), mapper.suffix()), t)
             })
             .collect();
 
         // Sample the running-best curves at ~12 points.
-        let max_len = traces.iter().map(|(_, t)| t.evaluations()).max().unwrap_or(0);
+        let max_len = traces
+            .iter()
+            .map(|(_, t)| t.evaluations())
+            .max()
+            .unwrap_or(0);
         let step = (max_len / 12).max(1);
         let mut headers = vec!["iteration".to_string()];
         headers.extend(traces.iter().map(|(n, _)| n.clone()));
         let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
 
-        let curves: Vec<Vec<f64>> =
-            traces.iter().map(|(_, t)| t.convergence_curve()).collect();
+        let curves: Vec<Vec<f64>> = traces.iter().map(|(_, t)| t.convergence_curve()).collect();
         let mut rows = Vec::new();
         let mut i = step - 1;
         while i < max_len {
             let mut row = vec![(i + 1).to_string()];
             for c in &curves {
-                row.push(fmt(*c.get(i.min(c.len().saturating_sub(1))).unwrap_or(&f64::INFINITY)));
+                row.push(fmt(*c
+                    .get(i.min(c.len().saturating_sub(1)))
+                    .unwrap_or(&f64::INFINITY)));
             }
             rows.push(row);
             i += step;
@@ -71,7 +73,9 @@ fn main() {
                 .iter()
                 .map(|(n, t)| format!(
                     "{n}={}",
-                    t.best_feasible().map(|s| format!("{:.2}", s.objective)).unwrap_or("-".into())
+                    t.best_feasible()
+                        .map(|s| format!("{:.2}", s.objective))
+                        .unwrap_or("-".into())
                 ))
                 .collect::<Vec<_>>()
                 .join("  ")

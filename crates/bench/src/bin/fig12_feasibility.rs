@@ -26,8 +26,14 @@ fn main() {
         (TechniqueKind::Rl, MapperKind::FixedDataflow),
         (TechniqueKind::Explainable, MapperKind::FixedDataflow),
         (TechniqueKind::Random, MapperKind::Random(args.map_trials)),
-        (TechniqueKind::HyperMapper, MapperKind::Random(args.map_trials)),
-        (TechniqueKind::Explainable, MapperKind::Linear(args.map_trials)),
+        (
+            TechniqueKind::HyperMapper,
+            MapperKind::Random(args.map_trials),
+        ),
+        (
+            TechniqueKind::Explainable,
+            MapperKind::Linear(args.map_trials),
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -36,8 +42,7 @@ fn main() {
         let mut all = 0.0;
         for model in &models {
             let constraints = constraints_for(std::slice::from_ref(model));
-            let trace =
-                run_technique(kind, mapper, vec![model.clone()], args.iters, args.seed);
+            let trace = run_technique(kind, mapper, vec![model.clone()], args.iters, args.seed);
             area_power += trace.feasibility_rate_first(2, &constraints);
             all += trace.feasibility_rate();
         }
@@ -48,7 +53,14 @@ fn main() {
             format!("{:.1}%", 100.0 * all / n),
         ]);
     }
-    print_table(&["technique", "area+power feasible", "all constraints feasible"], &rows);
+    print_table(
+        &[
+            "technique",
+            "area+power feasible",
+            "all constraints feasible",
+        ],
+        &rows,
+    );
     println!(
         "\npaper shape: black-box acquisitions are ~0.1-0.6% feasible once the\n\
          throughput floor counts; Explainable-DSE reaches 87% (area+power) and\n\

@@ -31,11 +31,29 @@ fn references() -> Vec<Reference> {
         // Edge TPU benchmark FPS scaled for 16-bit precision (paper Table 4
         // scales the published 8-bit numbers); ~1.4 W per the datasheet
         // figure the paper cites, area from die estimates (~25 mm^2).
-        Reference { name: "EdgeTPU", model: "MobileNetV2", fps: 200.0, area_mm2: 25.0, power_w: 1.4 },
-        Reference { name: "EdgeTPU", model: "ResNet50", fps: 28.0, area_mm2: 25.0, power_w: 1.4 },
+        Reference {
+            name: "EdgeTPU",
+            model: "MobileNetV2",
+            fps: 200.0,
+            area_mm2: 25.0,
+            power_w: 1.4,
+        },
+        Reference {
+            name: "EdgeTPU",
+            model: "ResNet50",
+            fps: 28.0,
+            area_mm2: 25.0,
+            power_w: 1.4,
+        },
         // Eyeriss (ISCA'16): AlexNet 35 FPS at 278 mW, 12.25 mm^2 at 65 nm;
         // VGG16 0.7 FPS. We compare on VGG16.
-        Reference { name: "Eyeriss", model: "VGG16", fps: 0.7, area_mm2: 12.25, power_w: 0.278 },
+        Reference {
+            name: "Eyeriss",
+            model: "VGG16",
+            fps: 0.7,
+            area_mm2: 12.25,
+            power_w: 0.278,
+        },
     ]
 }
 
@@ -45,7 +63,9 @@ fn main() {
 
     let mut rows = Vec::new();
     for r in references() {
-        let Some(model) = zoo::by_name(r.model) else { continue };
+        let Some(model) = zoo::by_name(r.model) else {
+            continue;
+        };
         let trace = run_technique(
             TechniqueKind::Explainable,
             MapperKind::Linear(args.map_trials),
@@ -54,11 +74,18 @@ fn main() {
             args.seed,
         );
         let Some(best) = trace.best_feasible() else {
-            rows.push(vec![r.model.into(), "no feasible design".into(), String::new(), String::new(), String::new(), String::new()]);
+            rows.push(vec![
+                r.model.into(),
+                "no feasible design".into(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]);
             continue;
         };
         // Re-evaluate the best point for area/power/energy.
-        let mut ev = CodesignEvaluator::new(
+        let ev = CodesignEvaluator::new(
             edge_space(),
             vec![model.clone()],
             LinearMapper::new(args.map_trials),
@@ -67,7 +94,11 @@ fn main() {
         let fps = 1000.0 / best.objective;
         let fps_per_mm2 = fps / eval.area_mm2;
         // Energy per inference (J) from the execution model.
-        let fps_per_j = if eval.energy_mj > 0.0 { 1000.0 / eval.energy_mj } else { 0.0 };
+        let fps_per_j = if eval.energy_mj > 0.0 {
+            1000.0 / eval.energy_mj
+        } else {
+            0.0
+        };
 
         let ref_fps_per_mm2 = r.fps / r.area_mm2;
         let ref_fps_per_w = r.fps / r.power_w;
@@ -80,11 +111,22 @@ fn main() {
             format!("{fps:.1}"),
             format!("{fps_per_mm2:.1}"),
             format!("{fps_per_j:.0}"),
-            format!("{:.1}x / {:.1}x", fps / r.fps, fps_per_mm2 / ref_fps_per_mm2),
+            format!(
+                "{:.1}x / {:.1}x",
+                fps / r.fps,
+                fps_per_mm2 / ref_fps_per_mm2
+            ),
         ]);
     }
     print_table(
-        &["model", "reference (published)", "DSE FPS", "DSE FPS/mm2", "DSE FPS/J", "speedup / area-eff gain"],
+        &[
+            "model",
+            "reference (published)",
+            "DSE FPS",
+            "DSE FPS/mm2",
+            "DSE FPS/J",
+            "speedup / area-eff gain",
+        ],
         &rows,
     );
     println!(

@@ -71,7 +71,11 @@ fn main() {
     }
     let mut total_row = vec!["TOTAL (weighted ms)".to_string()];
     for (t, f) in totals.iter().zip(&failures) {
-        total_row.push(if *f > 0 { format!("{t:.2} ({f} fail)") } else { format!("{t:.2}") });
+        total_row.push(if *f > 0 {
+            format!("{t:.2} ({f} fail)")
+        } else {
+            format!("{t:.2}")
+        });
     }
     rows.push(total_row);
     print_table(&header_refs, &rows);

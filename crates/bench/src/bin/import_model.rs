@@ -46,14 +46,20 @@ fn main() {
         println!("  {:>14} x{:<3} {}", u.name, u.count, u.shape.describe());
     }
 
-    let mut evaluator =
-        CodesignEvaluator::new(edge_space(), vec![model], LinearMapper::new(args.map_trials));
+    let evaluator = CodesignEvaluator::new(
+        edge_space(),
+        vec![model],
+        LinearMapper::new(args.map_trials),
+    );
     let dse = ExplainableDse::new(
         dnn_latency_model(),
-        DseConfig { budget: args.iters, ..DseConfig::default() },
+        DseConfig {
+            budget: args.iters,
+            ..DseConfig::default()
+        },
     );
     let initial = evaluator.space().minimum_point();
-    let result = dse.run_dnn(&mut evaluator, initial);
+    let result = dse.run_dnn(&evaluator, initial);
     println!(
         "\nexplored {} designs ({})",
         result.trace.evaluations(),

@@ -6,7 +6,9 @@
 //!
 //! Usage: `tab02_dynamic_dse [--iters N] [--models a,b] [--seed N]`
 
-use bench::{constraints_for, latency_cell, print_table, run_technique, Args, MapperKind, TechniqueKind};
+use bench::{
+    constraints_for, latency_cell, print_table, run_technique, Args, MapperKind, TechniqueKind,
+};
 use workloads::zoo;
 
 fn main() {
@@ -15,16 +17,29 @@ fn main() {
         args.iters = 100; // Table 2's budget *is* the dynamic budget.
     }
     let models = args.models_or(zoo::all_models());
-    println!("Table 2: best feasible latency (ms) within {} iterations\n", args.iters);
+    println!(
+        "Table 2: best feasible latency (ms) within {} iterations\n",
+        args.iters
+    );
 
     let settings: Vec<(TechniqueKind, MapperKind, String)> = {
         let mut v: Vec<(TechniqueKind, MapperKind, String)> = TechniqueKind::ALL
             .iter()
             .filter(|k| **k != TechniqueKind::Explainable)
-            .map(|k| (*k, MapperKind::FixedDataflow, format!("{}-FixDF", k.label())))
+            .map(|k| {
+                (
+                    *k,
+                    MapperKind::FixedDataflow,
+                    format!("{}-FixDF", k.label()),
+                )
+            })
             .collect();
         for k in [TechniqueKind::Random, TechniqueKind::HyperMapper] {
-            v.push((k, MapperKind::Random(args.map_trials), format!("{}-Codesign", k.label())));
+            v.push((
+                k,
+                MapperKind::Random(args.map_trials),
+                format!("{}-Codesign", k.label()),
+            ));
         }
         v.push((
             TechniqueKind::Explainable,
@@ -44,8 +59,7 @@ fn main() {
         let mut row = vec![label.clone()];
         for model in &models {
             let constraints = constraints_for(std::slice::from_ref(model));
-            let trace =
-                run_technique(*kind, *mapper, vec![model.clone()], args.iters, args.seed);
+            let trace = run_technique(*kind, *mapper, vec![model.clone()], args.iters, args.seed);
             if *kind == TechniqueKind::Explainable {
                 explainable_evals.push(trace.evaluations());
             }
@@ -55,8 +69,8 @@ fn main() {
     }
     print_table(&header_refs, &rows);
     if !explainable_evals.is_empty() {
-        let mean: f64 = explainable_evals.iter().sum::<usize>() as f64
-            / explainable_evals.len() as f64;
+        let mean: f64 =
+            explainable_evals.iter().sum::<usize>() as f64 / explainable_evals.len() as f64;
         println!("\nExplainable-DSE evaluated ~{mean:.0} designs (paper: ~54).");
     }
     println!(

@@ -28,7 +28,13 @@ fn main() {
     let settings: Vec<(TechniqueKind, MapperKind, String)> = {
         let mut v: Vec<(TechniqueKind, MapperKind, String)> = TechniqueKind::ALL
             .iter()
-            .map(|k| (*k, MapperKind::FixedDataflow, format!("{}-FixDF", k.label())))
+            .map(|k| {
+                (
+                    *k,
+                    MapperKind::FixedDataflow,
+                    format!("{}-FixDF", k.label()),
+                )
+            })
             .collect();
         v.push((
             TechniqueKind::Explainable,
@@ -46,8 +52,7 @@ fn main() {
     for (kind, mapper, label) in &settings {
         let mut row = vec![label.clone()];
         for model in &models {
-            let trace =
-                run_technique(*kind, *mapper, vec![model.clone()], args.iters, args.seed);
+            let trace = run_technique(*kind, *mapper, vec![model.clone()], args.iters, args.seed);
             row.push(cell(trace.geomean_reduction()));
         }
         rows.push(row);

@@ -59,7 +59,10 @@ fn main() {
             pow(s.log10_free_tilings),
             pow(s.log10_valid_factorizations),
             s.log10_hw_valid.map(pow).unwrap_or_else(|| {
-                format!("<10^{:.1}", s.log10_valid_factorizations - (samples as f64).log10())
+                format!(
+                    "<10^{:.1}",
+                    s.log10_valid_factorizations - (samples as f64).log10()
+                )
             }),
             pow(s.log10_orderings_per_level),
             format!("{}/{}", s.unique_reuse_orderings, s.max_reuse_orderings),
@@ -69,7 +72,17 @@ fn main() {
         ]);
     }
     print_table(
-        &["layer", "A: tilings", "B: valid", "C: hw-valid", "D: orders", "E: reuse", "F=A*D^2", "G=B*D^2", "H=B*E^2"],
+        &[
+            "layer",
+            "A: tilings",
+            "B: valid",
+            "C: hw-valid",
+            "D: orders",
+            "E: reuse",
+            "F=A*D^2",
+            "G=B*D^2",
+            "H=B*E^2",
+        ],
         &rows,
     );
     println!(

@@ -62,7 +62,14 @@ fn main() {
         }
     }
     print_table(
-        &["layer", "mapping", "analytical (cyc)", "simulated (cyc)", "sim/analytical", "overlap ineff."],
+        &[
+            "layer",
+            "mapping",
+            "analytical (cyc)",
+            "simulated (cyc)",
+            "sim/analytical",
+            "overlap ineff.",
+        ],
         &rows,
     );
     if !ineffs.is_empty() {

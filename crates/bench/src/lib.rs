@@ -126,7 +126,7 @@ pub enum MapperKind {
 }
 
 impl MapperKind {
-    fn build(self, seed: u64) -> Box<dyn MappingOptimizer + Send> {
+    fn build(self, seed: u64) -> Box<dyn MappingOptimizer> {
         match self {
             MapperKind::FixedDataflow => Box::new(FixedMapper),
             MapperKind::Linear(n) => Box::new(LinearMapper::new(n)),
@@ -201,13 +201,17 @@ pub fn run_explainable_detailed(
     budget: usize,
     seed: u64,
 ) -> (Trace, Vec<usize>) {
-    let mut evaluator = CodesignEvaluator::new(edge_space(), models, mapper.build(seed));
+    let evaluator = CodesignEvaluator::new(edge_space(), models, mapper.build(seed));
     let dse = ExplainableDse::new(
         dnn_latency_model(),
-        DseConfig { budget, seed, ..DseConfig::default() },
+        DseConfig {
+            budget,
+            seed,
+            ..DseConfig::default()
+        },
     );
     let initial = evaluator.space().minimum_point();
-    let result = dse.run_dnn(&mut evaluator, initial);
+    let result = dse.run_dnn(&evaluator, initial);
     let mut trace = result.trace;
     trace.technique = format!("{}{}", trace.technique, mapper.suffix());
     (trace, result.converged_after)
@@ -221,16 +225,19 @@ pub fn run_technique(
     budget: usize,
     seed: u64,
 ) -> Trace {
-    let mut evaluator =
-        CodesignEvaluator::new(edge_space(), models, mapper.build(seed));
+    let evaluator = CodesignEvaluator::new(edge_space(), models, mapper.build(seed));
     let mut trace = match kind {
         TechniqueKind::Explainable => {
             let dse = ExplainableDse::new(
                 dnn_latency_model(),
-                DseConfig { budget, seed, ..DseConfig::default() },
+                DseConfig {
+                    budget,
+                    seed,
+                    ..DseConfig::default()
+                },
             );
             let initial = evaluator.space().minimum_point();
-            dse.run_dnn(&mut evaluator, initial).trace
+            dse.run_dnn(&evaluator, initial).trace
         }
         other => {
             let mut technique: Box<dyn DseTechnique> = match other {
@@ -243,14 +250,10 @@ pub fn run_technique(
                 TechniqueKind::Rl => Box::new(ConfuciuxRl::new(seed)),
                 TechniqueKind::Explainable => unreachable!("handled above"),
             };
-            technique.run(&mut evaluator, budget)
+            technique.run(&evaluator, budget)
         }
     };
-    trace.technique = format!(
-        "{}{}",
-        trace.technique,
-        mapper.suffix()
-    );
+    trace.technique = format!("{}{}", trace.technique, mapper.suffix());
     trace
 }
 
@@ -314,13 +317,7 @@ mod tests {
     #[test]
     fn technique_registry_runs_every_kind_briefly() {
         for kind in TechniqueKind::ALL {
-            let t = run_technique(
-                kind,
-                MapperKind::FixedDataflow,
-                vec![zoo::resnet18()],
-                8,
-                3,
-            );
+            let t = run_technique(kind, MapperKind::FixedDataflow, vec![zoo::resnet18()], 8, 3);
             assert!(t.evaluations() <= 8, "{:?}", kind);
             assert!(t.technique.ends_with("-fixdf"));
         }

@@ -72,9 +72,16 @@ pub fn latency_tree(ctx: &LayerCtx) -> BottleneckTree {
     let noc = b.max("t_noc", noc_children);
 
     let bw = ctx.cfg.offchip_bytes_per_cycle();
-    let raw: Vec<f64> = Tensor::ALL.iter().map(|op| p.operand(*op).offchip_bytes / bw).collect();
+    let raw: Vec<f64> = Tensor::ALL
+        .iter()
+        .map(|op| p.operand(*op).offchip_bytes / bw)
+        .collect();
     let raw_sum: f64 = raw.iter().sum();
-    let scale = if raw_sum > 0.0 { p.t_dma / raw_sum } else { 1.0 };
+    let scale = if raw_sum > 0.0 {
+        p.t_dma / raw_sum
+    } else {
+        1.0
+    };
     let dma_children: Vec<_> = Tensor::ALL
         .iter()
         .zip(&raw)
@@ -95,7 +102,9 @@ fn resize_memory(
     allocations: impl Iterator<Item = (f64, f64)>, // (bytes, remaining reuse)
     target: f64,
 ) -> f64 {
-    allocations.map(|(bytes, reuse)| bytes * (target / reuse.max(1.0)).max(1.0)).sum()
+    allocations
+        .map(|(bytes, reuse)| bytes * (target / reuse.max(1.0)).max(1.0))
+        .sum()
 }
 
 /// The full DNN-accelerator latency bottleneck model over the Table-1 edge
@@ -115,7 +124,10 @@ pub fn dnn_latency_model() -> BottleneckModel<LayerCtx> {
         .relate("t_noc", vec![edge::NOC_WIDTH, edge::L1_BYTES]);
     for op in 0..4 {
         let tag = Tensor::ALL[op].tag();
-        model = model.relate(format!("t_noc:{tag}"), vec![edge::phys_links(op), edge::virt_links(op)]);
+        model = model.relate(
+            format!("t_noc:{tag}"),
+            vec![edge::phys_links(op), edge::virt_links(op)],
+        );
     }
 
     // Fig. 7c: mitigation subroutines.
@@ -149,15 +161,17 @@ pub fn dnn_latency_model() -> BottleneckModel<LayerCtx> {
             let f = stats.offchip_bytes / footprint;
             let s = m.scaling;
             let denom = 1.0 - s + s * f;
-            let amdahl = if denom <= 0.0 { f64::INFINITY } else { (s * f) / denom };
+            let amdahl = if denom <= 0.0 {
+                f64::INFINITY
+            } else {
+                (s * f) / denom
+            };
             let target = amdahl.min(stats.reuse_remaining_spm).max(1.0);
             let bytes = resize_memory(
-                Tensor::ALL
-                    .iter()
-                    .map(|o| {
-                        let st = ctx.profile.operand(*o);
-                        (st.spm_tile_bytes, st.reuse_remaining_spm)
-                    }),
+                Tensor::ALL.iter().map(|o| {
+                    let st = ctx.profile.operand(*o);
+                    (st.spm_tile_bytes, st.reuse_remaining_spm)
+                }),
                 target,
             );
             Some(bytes / 1024.0) // the parameter domain is kilobytes
@@ -290,7 +304,10 @@ mod tests {
             ..AcceleratorConfig::edge_baseline()
         };
         let c = ctx(cfg);
-        assert!(c.profile.t_dma >= c.profile.t_comp, "setup should be DMA bound");
+        assert!(
+            c.profile.t_dma >= c.profile.t_comp,
+            "setup should be DMA bound"
+        );
         let model = dnn_latency_model();
         let a = model.analyze(&c, 1);
         assert_eq!(a.bottleneck, "t_dma");
@@ -324,9 +341,10 @@ mod tests {
         // Force a NoC analysis by asking for enough factors to reach t_noc.
         let a = model.analyze(&c, 3);
         // Some prediction for a virtual/physical link parameter exists.
-        let has_link_pred = a.predictions.iter().any(|p| {
-            (edge::phys_links(0)..=edge::virt_links(3)).contains(&p.param)
-        });
+        let has_link_pred = a
+            .predictions
+            .iter()
+            .any(|p| (edge::phys_links(0)..=edge::virt_links(3)).contains(&p.param));
         assert!(has_link_pred, "predictions: {:?}", a.predictions);
     }
 

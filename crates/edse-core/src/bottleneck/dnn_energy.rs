@@ -38,8 +38,10 @@ pub fn energy_tree(ctx: &LayerCtx) -> BottleneckTree {
             * e.rf_pj_per_byte,
     );
     let noc = b.leaf("e_noc", noc_total * e.noc_pj_per_byte);
-    let offchip_total: f64 =
-        Tensor::ALL.iter().map(|op| p.operand(*op).offchip_bytes).sum();
+    let offchip_total: f64 = Tensor::ALL
+        .iter()
+        .map(|op| p.operand(*op).offchip_bytes)
+        .sum();
     let spm = b.leaf("e_spm", (noc_total + offchip_total) * e.spm_pj_per_byte);
     let dram_children: Vec<_> = Tensor::ALL
         .iter()
@@ -175,7 +177,11 @@ mod tests {
         // The energy tree mirrors the cost model's accounting, so it must
         // agree with the profile's energy to within a few percent.
         let rel = (total - c.profile.energy_pj).abs() / c.profile.energy_pj;
-        assert!(rel < 0.05, "tree {total} vs profile {} ({rel:.3})", c.profile.energy_pj);
+        assert!(
+            rel < 0.05,
+            "tree {total} vs profile {} ({rel:.3})",
+            c.profile.energy_pj
+        );
     }
 
     #[test]
@@ -208,8 +214,7 @@ mod tests {
         let (alpha, beta) = (1.0, 0.5);
         let model = dnn_weighted_model(alpha, beta);
         let t = model.tree(&c);
-        let expected = alpha * c.profile.latency_ms(c.cfg.freq_mhz)
-            + beta * c.profile.energy_mj();
+        let expected = alpha * c.profile.latency_ms(c.cfg.freq_mhz) + beta * c.profile.energy_mj();
         let total = t.value(t.root());
         assert!(
             (total - expected).abs() / expected < 0.05,

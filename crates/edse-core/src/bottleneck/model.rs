@@ -166,8 +166,7 @@ impl<C> BottleneckModel<C> {
 
         let mut predictions = Vec::new();
         let mut seen: Vec<ParamId> = Vec::new();
-        for (rank, (factor_id, contribution)) in
-            ranked.iter().take(top_factors.max(1)).enumerate()
+        for (rank, (factor_id, contribution)) in ranked.iter().take(top_factors.max(1)).enumerate()
         {
             let factor_value = tree.value(*factor_id);
             if factor_value <= 0.0 {
@@ -181,10 +180,16 @@ impl<C> BottleneckModel<C> {
                 (root_value / factor_value).max(self.min_scaling)
             };
             let path = tree.dominant_path_from(*factor_id);
-            let leaf = tree.node(*path.last().expect("path non-empty")).name.clone();
+            let leaf = tree
+                .node(*path.last().expect("path non-empty"))
+                .name
+                .clone();
             let factor_name = tree.node(*factor_id).name.clone();
-            let inputs =
-                MitigationInputs { scaling: s, factor: factor_name.clone(), leaf: leaf.clone() };
+            let inputs = MitigationInputs {
+                scaling: s,
+                factor: factor_name.clone(),
+                leaf: leaf.clone(),
+            };
 
             // Collect parameters along the dominant sub-path.
             let mut params: Vec<ParamId> = Vec::new();
@@ -222,7 +227,12 @@ impl<C> BottleneckModel<C> {
             .first()
             .map(|(id, _)| tree.node(*id).name.clone())
             .unwrap_or_else(|| tree.node(tree.root()).name.clone());
-        Analysis { tree, bottleneck, scaling, predictions }
+        Analysis {
+            tree,
+            bottleneck,
+            scaling,
+            predictions,
+        }
     }
 }
 
@@ -258,7 +268,14 @@ mod tests {
     #[test]
     fn compute_bound_predicts_pe_scaling() {
         let model = toy_model();
-        let a = model.analyze(&Ctx { comp: 414.0, dma: 100.0, pes: 64.0 }, 1);
+        let a = model.analyze(
+            &Ctx {
+                comp: 414.0,
+                dma: 100.0,
+                pes: 64.0,
+            },
+            1,
+        );
         assert_eq!(a.bottleneck, "t_comp");
         assert!((a.scaling - 4.14).abs() < 1e-9);
         let p = &a.predictions[0];
@@ -270,7 +287,14 @@ mod tests {
     #[test]
     fn dma_bound_falls_back_to_stepping() {
         let model = toy_model();
-        let a = model.analyze(&Ctx { comp: 100.0, dma: 414.0, pes: 64.0 }, 1);
+        let a = model.analyze(
+            &Ctx {
+                comp: 100.0,
+                dma: 414.0,
+                pes: 64.0,
+            },
+            1,
+        );
         assert_eq!(a.bottleneck, "t_dma:a");
         // Param 1 has no registered subroutine => step prediction.
         assert_eq!(a.predictions[0].param, 1);
@@ -280,7 +304,14 @@ mod tests {
     #[test]
     fn secondary_factors_add_predictions() {
         let model = toy_model();
-        let a = model.analyze(&Ctx { comp: 100.0, dma: 414.0, pes: 64.0 }, 2);
+        let a = model.analyze(
+            &Ctx {
+                comp: 100.0,
+                dma: 414.0,
+                pes: 64.0,
+            },
+            2,
+        );
         let params: Vec<ParamId> = a.predictions.iter().map(|p| p.param).collect();
         assert!(params.contains(&1) && params.contains(&0));
     }
@@ -289,15 +320,32 @@ mod tests {
     fn tag_matching_relates_prefixed_nodes() {
         // "t_dma:a" matches the dictionary entry for "t_dma".
         let model = toy_model();
-        let a = model.analyze(&Ctx { comp: 1.0, dma: 2.0, pes: 64.0 }, 1);
+        let a = model.analyze(
+            &Ctx {
+                comp: 1.0,
+                dma: 2.0,
+                pes: 64.0,
+            },
+            1,
+        );
         assert_eq!(a.predictions[0].param, 1);
     }
 
     #[test]
     fn rationales_are_explanations() {
         let model = toy_model();
-        let a = model.analyze(&Ctx { comp: 414.0, dma: 100.0, pes: 64.0 }, 1);
+        let a = model.analyze(
+            &Ctx {
+                comp: 414.0,
+                dma: 100.0,
+                pes: 64.0,
+            },
+            1,
+        );
         let r = &a.predictions[0].rationale;
-        assert!(r.contains('%') && r.contains('x'), "rationale should explain: {r}");
+        assert!(
+            r.contains('%') && r.contains('x'),
+            "rationale should explain: {r}"
+        );
     }
 }

@@ -94,7 +94,12 @@ impl TreeBuilder {
             kind == NodeKind::Leaf || !children.is_empty(),
             "interior nodes need children"
         );
-        self.nodes.push(Node { name: name.into(), kind, children, value: 0.0 });
+        self.nodes.push(Node {
+            name: name.into(),
+            kind,
+            children,
+            value: 0.0,
+        });
         self.nodes.len() - 1
     }
 
@@ -122,7 +127,10 @@ impl TreeBuilder {
 
     /// Adds a division node (first child over the product of the rest).
     pub fn div(&mut self, name: impl Into<String>, children: Vec<NodeId>) -> NodeId {
-        assert!(children.len() >= 2, "division needs numerator and denominator");
+        assert!(
+            children.len() >= 2,
+            "division needs numerator and denominator"
+        );
         self.push(name, NodeKind::Div, children)
     }
 
@@ -142,8 +150,11 @@ impl TreeBuilder {
         if n.kind == NodeKind::Leaf {
             return self.leaf(n.name.clone(), n.value * leaf_scale);
         }
-        let children: Vec<NodeId> =
-            n.children.iter().map(|&c| self.graft(tree, c, leaf_scale)).collect();
+        let children: Vec<NodeId> = n
+            .children
+            .iter()
+            .map(|&c| self.graft(tree, c, leaf_scale))
+            .collect();
         self.push(n.name.clone(), n.kind, children)
     }
 
@@ -154,7 +165,10 @@ impl TreeBuilder {
     /// Panics if `root` is not a node of this builder.
     pub fn build(self, root: NodeId) -> BottleneckTree {
         assert!(root < self.nodes.len(), "root does not exist");
-        let mut tree = BottleneckTree { nodes: self.nodes, root };
+        let mut tree = BottleneckTree {
+            nodes: self.nodes,
+            root,
+        };
         tree.evaluate();
         tree
     }
@@ -198,9 +212,10 @@ impl BottleneckTree {
                     .iter()
                     .map(|&c| eval(nodes, c))
                     .fold(f64::NEG_INFINITY, f64::max),
-                NodeKind::Min => {
-                    children.iter().map(|&c| eval(nodes, c)).fold(f64::INFINITY, f64::min)
-                }
+                NodeKind::Min => children
+                    .iter()
+                    .map(|&c| eval(nodes, c))
+                    .fold(f64::INFINITY, f64::min),
                 NodeKind::Sum => children.iter().map(|&c| eval(nodes, c)).sum(),
                 NodeKind::Product => children.iter().map(|&c| eval(nodes, c)).product(),
                 NodeKind::Div => {
@@ -283,16 +298,18 @@ impl BottleneckTree {
     fn selected_child(&self, id: NodeId) -> Option<NodeId> {
         let node = &self.nodes[id];
         match node.kind {
-            NodeKind::Min => node
-                .children
-                .iter()
-                .copied()
-                .min_by(|&a, &b| self.nodes[a].value.partial_cmp(&self.nodes[b].value).unwrap()),
-            _ => node
-                .children
-                .iter()
-                .copied()
-                .max_by(|&a, &b| self.nodes[a].value.partial_cmp(&self.nodes[b].value).unwrap()),
+            NodeKind::Min => node.children.iter().copied().min_by(|&a, &b| {
+                self.nodes[a]
+                    .value
+                    .partial_cmp(&self.nodes[b].value)
+                    .unwrap()
+            }),
+            _ => node.children.iter().copied().max_by(|&a, &b| {
+                self.nodes[a]
+                    .value
+                    .partial_cmp(&self.nodes[b].value)
+                    .unwrap()
+            }),
         }
     }
 
@@ -309,7 +326,9 @@ impl BottleneckTree {
         while !self.nodes[id].children.is_empty() {
             let next = match self.nodes[id].kind {
                 NodeKind::Div => self.nodes[id].children[0],
-                _ => self.selected_child(id).expect("interior nodes have children"),
+                _ => self
+                    .selected_child(id)
+                    .expect("interior nodes have children"),
             };
             path.push(next);
             id = next;
@@ -449,7 +468,9 @@ mod tests {
         let tree = b.build(time);
         assert_eq!(tree.value(tree.root()), 100.0);
         assert_eq!(
-            tree.bottleneck_path().last().map(|&id| tree.node(id).name.as_str()),
+            tree.bottleneck_path()
+                .last()
+                .map(|&id| tree.node(id).name.as_str()),
             Some("bytes")
         );
     }

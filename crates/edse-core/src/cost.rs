@@ -23,7 +23,10 @@ impl Constraint {
     /// Panics if `threshold` is not positive.
     pub fn new(name: impl Into<String>, threshold: f64) -> Self {
         assert!(threshold > 0.0, "constraint thresholds must be positive");
-        Self { name: name.into(), threshold }
+        Self {
+            name: name.into(),
+            threshold,
+        }
     }
 
     /// Fraction of the budget a value consumes (`value / threshold`; can
@@ -149,7 +152,11 @@ pub struct Trace {
 impl Trace {
     /// Creates an empty trace for a technique.
     pub fn new(technique: impl Into<String>) -> Self {
-        Self { technique: technique.into(), samples: Vec::new(), wall_seconds: 0.0 }
+        Self {
+            technique: technique.into(),
+            samples: Vec::new(),
+            wall_seconds: 0.0,
+        }
     }
 
     /// Number of evaluations performed.
@@ -258,10 +265,11 @@ impl Trace {
             .filter(|s| s.feasible && s.constraint_values.len() > axis)
             .collect();
         feasible.sort_by(|a, b| {
-            a.objective
-                .partial_cmp(&b.objective)
-                .unwrap()
-                .then(a.constraint_values[axis].partial_cmp(&b.constraint_values[axis]).unwrap())
+            a.objective.partial_cmp(&b.objective).unwrap().then(
+                a.constraint_values[axis]
+                    .partial_cmp(&b.constraint_values[axis])
+                    .unwrap(),
+            )
         });
         let mut front: Vec<&Sample> = Vec::new();
         let mut best_axis = f64::INFINITY;
@@ -328,7 +336,13 @@ mod tests {
     #[test]
     fn convergence_curve_is_monotone() {
         let mut t = Trace::new("test");
-        for (o, f) in [(9.0, true), (7.0, true), (8.0, true), (2.0, false), (3.0, true)] {
+        for (o, f) in [
+            (9.0, true),
+            (7.0, true),
+            (8.0, true),
+            (2.0, false),
+            (3.0, true),
+        ] {
             t.samples.push(sample(o, f));
         }
         let c = t.convergence_curve();
@@ -397,8 +411,8 @@ mod tests {
                 if std::ptr::eq(*a, *b) {
                     continue;
                 }
-                let dominates = a.objective <= b.objective
-                    && a.constraint_values[0] <= b.constraint_values[0];
+                let dominates =
+                    a.objective <= b.objective && a.constraint_values[0] <= b.constraint_values[0];
                 assert!(!dominates, "front member dominated");
             }
         }

@@ -130,7 +130,12 @@ impl<C> ExplainableDse<C> {
     /// of an evaluated point; it receives the point and the sub-function's
     /// [`crate::cost::LayerEval`] and returns `None` when the sub-function
     /// cannot be analyzed (e.g. no feasible mapping).
-    pub fn run<E, F>(&self, evaluator: &mut E, initial: DesignPoint, ctx_fn: F) -> DseResult
+    ///
+    /// Each attempt's candidate set is evaluated through
+    /// [`Evaluator::evaluate_batch`], so a parallel evaluator overlaps the
+    /// per-candidate mapping work; results are identical to serial
+    /// evaluation regardless of thread count.
+    pub fn run<E, F>(&self, evaluator: &E, initial: DesignPoint, ctx_fn: F) -> DseResult
     where
         E: Evaluator,
         F: Fn(&E, &DesignPoint, &crate::cost::LayerEval) -> Option<C>,
@@ -159,8 +164,7 @@ impl<C> ExplainableDse<C> {
                 &mut seen,
             );
             converged_after.push(trace.evaluations());
-            if evaluator.unique_evaluations() >= self.config.budget
-                || phase == self.config.restarts
+            if evaluator.unique_evaluations() >= self.config.budget || phase == self.config.restarts
             {
                 break;
             }
@@ -168,8 +172,10 @@ impl<C> ExplainableDse<C> {
             // a few parameters re-drawn at random — to escape the
             // bottleneck-greedy local optimum.
             let space = evaluator.space().clone();
-            let base =
-                best.as_ref().map(|(p, _)| p.clone()).unwrap_or_else(|| phase_start.clone());
+            let base = best
+                .as_ref()
+                .map(|(p, _)| p.clone())
+                .unwrap_or_else(|| phase_start.clone());
             let mut next = base;
             for _ in 0..3 {
                 let param = rng.gen_range(0..space.len());
@@ -183,7 +189,13 @@ impl<C> ExplainableDse<C> {
         }
 
         trace.wall_seconds = start.elapsed().as_secs_f64();
-        DseResult { trace, best, attempts, converged_after, termination }
+        DseResult {
+            trace,
+            best,
+            attempts,
+            converged_after,
+            termination,
+        }
     }
 
     /// One exploration phase: the §4 acquisition loop from a start point
@@ -191,7 +203,7 @@ impl<C> ExplainableDse<C> {
     #[allow(clippy::too_many_arguments)]
     fn explore_phase<E, F>(
         &self,
-        evaluator: &mut E,
+        evaluator: &E,
         initial: DesignPoint,
         ctx_fn: &F,
         constraints: &[crate::cost::Constraint],
@@ -217,7 +229,9 @@ impl<C> ExplainableDse<C> {
         let mut current_eval = evaluator.evaluate(&current);
         record(trace, &current, &current_eval);
         if current_eval.feasible(constraints)
-            && best.as_ref().is_none_or(|(_, b)| current_eval.objective < b.objective)
+            && best
+                .as_ref()
+                .is_none_or(|(_, b)| current_eval.objective < b.objective)
         {
             *best = Some((current.clone(), current_eval.clone()));
         }
@@ -234,7 +248,11 @@ impl<C> ExplainableDse<C> {
             }
 
             // ---- (1) + (2): per-sub-function analysis and aggregation.
-            let factors = if stalls > 0 { self.config.stall_factors } else { 1 };
+            let factors = if stalls > 0 {
+                self.config.stall_factors
+            } else {
+                1
+            };
             let (predictions, analyses) =
                 self.analyze_subfunctions(evaluator, &current, &current_eval, factors, &ctx_fn);
 
@@ -322,23 +340,38 @@ impl<C> ExplainableDse<C> {
                 .filter_map(|(p, cand)| p.map(|p| (p, cand.index(p))))
                 .collect();
 
-            // ---- evaluate the candidate set.
+            // ---- evaluate the candidate set, batched. Chunk size equals
+            // the remaining unique-evaluation budget: every candidate adds
+            // at most one unique evaluation, so each chunk fits, and the
+            // boundary where the budget runs out is identical to checking
+            // before every single evaluation (cache hits consume nothing
+            // and simply roll the slack into the next chunk).
             let mut candidates: Vec<(DesignPoint, Evaluation, Option<ParamId>)> = Vec::new();
-            for (param, cand) in &acquisitions {
-                if evaluator.unique_evaluations() >= self.config.budget {
+            let mut pending = acquisitions.as_slice();
+            while !pending.is_empty() {
+                let remaining = self
+                    .config
+                    .budget
+                    .saturating_sub(evaluator.unique_evaluations());
+                if remaining == 0 {
                     break;
                 }
-                let eval = evaluator.evaluate(cand);
-                seen.insert(cand.clone());
-                record(trace, cand, &eval);
-                if eval.feasible(constraints)
-                    && best
-                        .as_ref()
-                        .is_none_or(|(_, b)| eval.objective < b.objective)
-                {
-                    *best = Some((cand.clone(), eval.clone()));
+                let (chunk, rest) = pending.split_at(remaining.min(pending.len()));
+                pending = rest;
+                let points: Vec<DesignPoint> = chunk.iter().map(|(_, cand)| cand.clone()).collect();
+                let evals = evaluator.evaluate_batch(&points);
+                for ((param, cand), eval) in chunk.iter().zip(evals) {
+                    seen.insert(cand.clone());
+                    record(trace, cand, &eval);
+                    if eval.feasible(constraints)
+                        && best
+                            .as_ref()
+                            .is_none_or(|(_, b)| eval.objective < b.objective)
+                    {
+                        *best = Some((cand.clone(), eval.clone()));
+                    }
+                    candidates.push((cand.clone(), eval, *param));
                 }
-                candidates.push((cand.clone(), eval, *param));
             }
             if candidates.is_empty() {
                 attempts.push(Attempt {
@@ -367,7 +400,10 @@ impl<C> ExplainableDse<C> {
             });
 
             if stalls > self.config.max_stalls {
-                return format!("converged after {} stalled attempts", self.config.max_stalls);
+                return format!(
+                    "converged after {} stalled attempts",
+                    self.config.max_stalls
+                );
             }
         }
         unreachable!("the attempt loop only exits via return")
@@ -387,8 +423,12 @@ impl<C> ExplainableDse<C> {
         E: Evaluator,
         F: Fn(&E, &DesignPoint, &crate::cost::LayerEval) -> Option<C>,
     {
-        let total: f64 =
-            eval.layers.iter().map(|l| l.latency_ms).filter(|v| v.is_finite()).sum();
+        let total: f64 = eval
+            .layers
+            .iter()
+            .map(|l| l.latency_ms)
+            .filter(|v| v.is_finite())
+            .sum();
         let l = eval.layers.len().max(1);
         let threshold = self.config.threshold_scale / l as f64;
 
@@ -408,14 +448,11 @@ impl<C> ExplainableDse<C> {
                 (i, contribution, layer.mappable)
             })
             .collect();
-        ranked.sort_by(|a, b| {
-            a.2.cmp(&b.2).then(b.1.partial_cmp(&a.1).unwrap())
-        });
+        ranked.sort_by(|a, b| a.2.cmp(&b.2).then(b.1.partial_cmp(&a.1).unwrap()));
 
         let mut merged: Vec<(ParamId, Option<f64>)> = Vec::new();
         let mut analyses = Vec::new();
-        for (layer_idx, contribution, mappable) in ranked.into_iter().take(self.config.top_k)
-        {
+        for (layer_idx, contribution, mappable) in ranked.into_iter().take(self.config.top_k) {
             if mappable && contribution < threshold {
                 break;
             }
@@ -468,8 +505,10 @@ impl<C> ExplainableDse<C> {
         frozen: &mut HashSet<ParamId>,
         stalls: &mut usize,
     ) -> String {
-        let feasible: Vec<&(DesignPoint, Evaluation, Option<ParamId>)> =
-            candidates.iter().filter(|(_, e, _)| e.feasible(constraints)).collect();
+        let feasible: Vec<&(DesignPoint, Evaluation, Option<ParamId>)> = candidates
+            .iter()
+            .filter(|(_, e, _)| e.feasible(constraints))
+            .collect();
         let cur_feasible = current_eval.feasible(constraints);
 
         if !feasible.is_empty() {
@@ -507,22 +546,20 @@ impl<C> ExplainableDse<C> {
             // Mappability dominates: a candidate with feasible mappings
             // always beats a hardware/dataflow-incompatible incumbent.
             if !current_eval.mappable {
-                if let Some(bestc) = candidates
-                    .iter()
-                    .filter(|(_, e, _)| e.mappable)
-                    .min_by(|a, b| {
-                        a.1.constraint_budget(constraints)
-                            .partial_cmp(&b.1.constraint_budget(constraints))
-                            .unwrap()
-                    })
+                if let Some(bestc) =
+                    candidates
+                        .iter()
+                        .filter(|(_, e, _)| e.mappable)
+                        .min_by(|a, b| {
+                            a.1.constraint_budget(constraints)
+                                .partial_cmp(&b.1.constraint_budget(constraints))
+                                .unwrap()
+                        })
                 {
                     *current = bestc.0.clone();
                     *current_eval = bestc.1.clone();
                     *stalls = 0;
-                    return format!(
-                        "moved to a mappable design ({})",
-                        describe_move(bestc.2)
-                    );
+                    return format!("moved to a mappable design ({})", describe_move(bestc.2));
                 }
             }
             // Otherwise reduce pressure on the *violated* constraints
@@ -591,11 +628,14 @@ impl ExplainableDse<crate::bottleneck::dnn::LayerCtx> {
     /// Convenience runner for the standard DNN-accelerator latency model:
     /// the context of each sub-function is its execution profile on the
     /// decoded hardware configuration.
-    pub fn run_dnn<E: Evaluator>(&self, evaluator: &mut E, initial: DesignPoint) -> DseResult {
+    pub fn run_dnn<E: Evaluator>(&self, evaluator: &E, initial: DesignPoint) -> DseResult {
         self.run(evaluator, initial, |ev, point, layer| {
             layer
                 .profile
-                .map(|profile| crate::bottleneck::dnn::LayerCtx { cfg: ev.decode(point), profile })
+                .map(|profile| crate::bottleneck::dnn::LayerCtx {
+                    cfg: ev.decode(point),
+                    profile,
+                })
         })
     }
 }
@@ -629,7 +669,10 @@ mod update_rule_tests {
     }
 
     fn constraints() -> Vec<Constraint> {
-        vec![Constraint::new("area", 10.0), Constraint::new("latency", 100.0)]
+        vec![
+            Constraint::new("area", 10.0),
+            Constraint::new("latency", 100.0),
+        ]
     }
 
     fn point(x: usize) -> DesignPoint {
@@ -650,7 +693,10 @@ mod update_rule_tests {
         let mut stalls = 0;
         let scored_a = 50.0 * ((9.9 / 10.0 + 0.5) / 2.0);
         let scored_b = 55.0 * ((1.0 / 10.0 + 0.55) / 2.0);
-        assert!(scored_b < scored_a, "test setup: B must win on obj x budget");
+        assert!(
+            scored_b < scored_a,
+            "test setup: B must win on obj x budget"
+        );
         let decision = d.update_solution(
             &cs,
             &mut current,
@@ -665,7 +711,10 @@ mod update_rule_tests {
 
     #[test]
     fn scenario2_without_budget_awareness_picks_lowest_objective() {
-        let config = DseConfig { budget_aware: false, ..DseConfig::default() };
+        let config = DseConfig {
+            budget_aware: false,
+            ..DseConfig::default()
+        };
         let d = ExplainableDse::new(
             crate::bottleneck::model::BottleneckModel::new(|_: &()| {
                 let mut b = crate::bottleneck::tree::TreeBuilder::new();
@@ -754,7 +803,11 @@ mod update_rule_tests {
             &mut frozen_set(),
             &mut stalls,
         );
-        assert_eq!(current, point(0), "shedding satisfied constraints is not progress");
+        assert_eq!(
+            current,
+            point(0),
+            "shedding satisfied constraints is not progress"
+        );
         assert_eq!(stalls, 1);
     }
 
@@ -785,7 +838,7 @@ mod update_rule_tests {
         let cs = constraints();
         let mut current = point(0);
         let mut current_eval = eval(10.0, 1.0, true); // feasible incumbent
-        // Candidate on param 3 violates area.
+                                                      // Candidate on param 3 violates area.
         let violator = (point(1), eval(9.0, 20.0, true), Some(3usize));
         let mut frozen = frozen_set();
         let mut stalls = 0;
@@ -812,14 +865,16 @@ mod tests {
     use workloads::zoo;
 
     fn run_small() -> DseResult {
-        let mut evaluator =
-            CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+        let evaluator = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
         let dse = ExplainableDse::new(
             dnn_latency_model(),
-            DseConfig { budget: 120, ..DseConfig::default() },
+            DseConfig {
+                budget: 120,
+                ..DseConfig::default()
+            },
         );
         let initial = evaluator.space().minimum_point();
-        dse.run_dnn(&mut evaluator, initial)
+        dse.run_dnn(&evaluator, initial)
     }
 
     #[test]

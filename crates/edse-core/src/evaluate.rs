@@ -1,21 +1,45 @@
 //! Codesign evaluators: turn a design point into costs by decoding the
 //! hardware configuration, optimizing (or fixing) the mapping of every
 //! unique layer, and applying the technology model.
+//!
+//! Evaluation is **shared-state free at the API level**: [`Evaluator`]
+//! takes `&self`, and [`CodesignEvaluator`] keeps its caches behind
+//! interior mutability (sharded mutex maps of [`OnceLock`] slots), so one
+//! evaluator can serve an arbitrary number of threads concurrently. The
+//! parallel entry point is [`Evaluator::evaluate_batch`]; its thread count
+//! is controlled by [`EvalEngine`], and `threads = 1` reproduces the serial
+//! path bit-for-bit.
 
 use crate::cost::{Constraint, Evaluation, LayerEval};
 use crate::space::{decode_edge_point, DesignPoint, DesignSpace};
 use accel_model::{AcceleratorConfig, ExecutionProfile};
 use energy_area::Tech;
 use mapper::{MappedLayer, MappingOptimizer};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use workloads::{DnnModel, LayerShape};
 
 /// Evaluates design points to full [`Evaluation`]s. Implementations cache,
 /// so repeated evaluation of a point is free and does not count as a new
 /// cost-model invocation.
+///
+/// All methods take `&self`: an evaluator is safe to share. Implementations
+/// with caches use interior mutability (see [`CodesignEvaluator`]).
 pub trait Evaluator {
     /// Evaluates one point (cached).
-    fn evaluate(&mut self, point: &DesignPoint) -> Evaluation;
+    fn evaluate(&self, point: &DesignPoint) -> Evaluation;
+
+    /// Evaluates a batch of points, returning evaluations in input order.
+    ///
+    /// The default implementation is the serial loop; implementations may
+    /// parallelize as long as results (including
+    /// [`Self::unique_evaluations`] accounting) are identical to the
+    /// serial path.
+    fn evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Evaluation> {
+        points.iter().map(|p| self.evaluate(p)).collect()
+    }
 
     /// The design space this evaluator understands.
     fn space(&self) -> &DesignSpace;
@@ -54,9 +78,13 @@ pub enum Objective {
     },
 }
 
-impl<T: Evaluator + ?Sized> Evaluator for &mut T {
-    fn evaluate(&mut self, point: &DesignPoint) -> Evaluation {
+impl<T: Evaluator + ?Sized> Evaluator for &T {
+    fn evaluate(&self, point: &DesignPoint) -> Evaluation {
         (**self).evaluate(point)
+    }
+
+    fn evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Evaluation> {
+        (**self).evaluate_batch(points)
     }
 
     fn space(&self) -> &DesignSpace {
@@ -76,11 +104,105 @@ impl<T: Evaluator + ?Sized> Evaluator for &mut T {
     }
 }
 
+/// Parallelism policy for [`Evaluator::evaluate_batch`].
+///
+/// `threads: None` (the default) uses all available hardware parallelism;
+/// `Some(1)` forces the serial path, which is guaranteed bit-for-bit
+/// identical to any parallel run — batch results never depend on the
+/// thread count, only wall-clock time does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalEngine {
+    /// Worker threads per batch; `None` = available parallelism.
+    pub threads: Option<usize>,
+}
+
+impl EvalEngine {
+    /// The serial engine (`threads = 1`): today's single-threaded behavior.
+    pub fn serial() -> Self {
+        EvalEngine { threads: Some(1) }
+    }
+
+    /// An engine with an explicit worker count (0 is treated as 1).
+    pub fn with_threads(threads: usize) -> Self {
+        EvalEngine {
+            threads: Some(threads.max(1)),
+        }
+    }
+
+    /// The concrete worker count this engine resolves to on this host.
+    pub fn resolved_threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+            .max(1)
+    }
+}
+
+/// Number of lock shards per cache: enough to make contention negligible at
+/// the thread counts `evaluate_batch` fans out to, small enough that
+/// clearing stays trivial.
+const CACHE_SHARDS: usize = 16;
+
+/// A sharded concurrent memo table: each key owns a [`OnceLock`] slot, so
+/// concurrent requests for the same key compute it exactly once (the loser
+/// blocks on the winner instead of duplicating work) while requests for
+/// different keys proceed in parallel. Shard mutexes are only held for the
+/// map lookup, never during computation.
+struct ShardedCache<K, V> {
+    shards: [Mutex<HashMap<K, Arc<OnceLock<V>>>>; CACHE_SHARDS],
+}
+
+impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
+    fn new() -> Self {
+        ShardedCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, Arc<OnceLock<V>>>> {
+        let mut h = std::hash::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[h.finish() as usize % CACHE_SHARDS]
+    }
+
+    /// The slot for `key`, inserting an empty one if absent.
+    fn slot(&self, key: &K) -> Arc<OnceLock<V>> {
+        let mut map = self.shard(key).lock().expect("cache shard poisoned");
+        map.entry(key.clone())
+            .or_insert_with(|| Arc::new(OnceLock::new()))
+            .clone()
+    }
+
+    /// Whether `key` has a *completed* entry (an in-flight computation does
+    /// not count).
+    fn is_cached(&self, key: &K) -> bool {
+        let map = self.shard(key).lock().expect("cache shard poisoned");
+        map.get(key).is_some_and(|slot| slot.get().is_some())
+    }
+
+    /// Computes-or-returns the memoized value. `init` runs at most once per
+    /// key across all threads.
+    fn get_or_init(&self, key: &K, init: impl FnOnce() -> V) -> Arc<OnceLock<V>> {
+        let slot = self.slot(key);
+        slot.get_or_init(init);
+        slot
+    }
+
+    fn clear(&mut self) {
+        for shard in &mut self.shards {
+            shard.get_mut().expect("cache shard poisoned").clear();
+        }
+    }
+}
+
 /// The standard DNN codesign evaluator: Table-1 edge space, area and power
 /// constraints, and one throughput (latency-ceiling) constraint per target
 /// workload. Generic over the mapping optimizer: [`mapper::FixedMapper`]
 /// reproduces the fixed-dataflow setting; [`mapper::LinearMapper`] the
 /// tightly coupled codesign.
+///
+/// Thread-safe: all evaluation state (the point/layer memo tables and the
+/// unique-evaluation counter) lives behind interior mutability, and
+/// [`Evaluator::evaluate_batch`] fans work out over [`EvalEngine`] threads.
 pub struct CodesignEvaluator<M> {
     space: DesignSpace,
     constraints: Vec<Constraint>,
@@ -88,9 +210,10 @@ pub struct CodesignEvaluator<M> {
     tech: Tech,
     objective: Objective,
     mapper: M,
-    point_cache: HashMap<DesignPoint, Evaluation>,
-    layer_cache: HashMap<(LayerShape, AcceleratorConfig), MapOutcome>,
-    unique_evals: usize,
+    engine: EvalEngine,
+    point_cache: ShardedCache<DesignPoint, Evaluation>,
+    layer_cache: ShardedCache<(LayerShape, AcceleratorConfig), MapOutcome>,
+    unique_evals: AtomicUsize,
 }
 
 /// Outcome of mapping one layer: the optimized mapping when one is
@@ -111,8 +234,10 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
     /// Panics if `models` is empty.
     pub fn new(space: DesignSpace, models: Vec<DnnModel>, mapper: M) -> Self {
         assert!(!models.is_empty(), "need at least one target workload");
-        let mut constraints =
-            vec![Constraint::new("area_mm2", 75.0), Constraint::new("power_w", 4.0)];
+        let mut constraints = vec![
+            Constraint::new("area_mm2", 75.0),
+            Constraint::new("power_w", 4.0),
+        ];
         for m in &models {
             constraints.push(Constraint::new(
                 format!("latency_ms:{}", m.name()),
@@ -126,37 +251,86 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
             tech: Tech::n45(),
             objective: Objective::Latency,
             mapper,
-            point_cache: HashMap::new(),
-            layer_cache: HashMap::new(),
-            unique_evals: 0,
+            engine: EvalEngine::default(),
+            point_cache: ShardedCache::new(),
+            layer_cache: ShardedCache::new(),
+            unique_evals: AtomicUsize::new(0),
         }
     }
 
+    /// Selects the batch-evaluation engine (default: all available
+    /// parallelism). [`EvalEngine::serial`] forces single-threaded batches.
+    ///
+    /// Changing the engine never invalidates caches: results are identical
+    /// for every thread count by construction.
+    pub fn with_engine(mut self, engine: EvalEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Replaces the technology model (default: 45 nm).
+    ///
+    /// Invalidates the point cache (and resets
+    /// [`Evaluator::unique_evaluations`]): area and power are baked into
+    /// every cached [`Evaluation`]. The layer-mapping cache is kept — the
+    /// mapping optimizers evaluate candidate mappings with the fixed 45 nm
+    /// energy model regardless of the evaluator's tech (a pre-existing
+    /// modeling simplification of the mapper crate), so layer outcomes do
+    /// not depend on this setting.
     pub fn with_tech(mut self, tech: Tech) -> Self {
         self.tech = tech;
+        self.point_cache.clear();
+        *self.unique_evals.get_mut() = 0;
         self
     }
 
     /// Replaces the area/power budgets (defaults: the paper's 75 mm^2 and
     /// 4 W edge limits). Use e.g. 400 mm^2 / 250 W with
-    /// [`crate::space::datacenter_space`]. Clears the evaluation cache.
+    /// [`crate::space::datacenter_space`].
+    ///
+    /// Invalidates nothing: thresholds live in [`Self::constraints`] and
+    /// are compared against raw `constraint_values` at feasibility-check
+    /// time, never baked into cached evaluations.
     ///
     /// # Panics
     ///
-    /// Panics if either limit is non-positive.
-    pub fn with_limits(mut self, area_mm2: f64, power_w: f64) -> Self {
-        self.constraints[0] = Constraint::new("area_mm2", area_mm2);
-        self.constraints[1] = Constraint::new("power_w", power_w);
-        self.point_cache.clear();
-        self
+    /// Panics if either limit is non-positive (see
+    /// [`Self::try_with_limits`] for the fallible form).
+    pub fn with_limits(self, area_mm2: f64, power_w: f64) -> Self {
+        self.try_with_limits(area_mm2, power_w)
+            .expect("invalid limits")
     }
 
-    /// Selects the minimized objective (default: latency). Clears the
-    /// evaluation cache so objectives are consistent.
+    /// Fallible [`Self::with_limits`]: rejects non-positive, NaN, or
+    /// infinite budgets instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the offending limit.
+    pub fn try_with_limits(mut self, area_mm2: f64, power_w: f64) -> Result<Self, String> {
+        for (name, v) in [("area_mm2", area_mm2), ("power_w", power_w)] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!(
+                    "limit {name} must be a positive finite number, got {v}"
+                ));
+            }
+        }
+        self.constraints[0] = Constraint::new("area_mm2", area_mm2);
+        self.constraints[1] = Constraint::new("power_w", power_w);
+        Ok(self)
+    }
+
+    /// Selects the minimized objective (default: latency).
+    ///
+    /// Invalidates the point cache and resets
+    /// [`Evaluator::unique_evaluations`] (the objective is baked into every
+    /// cached [`Evaluation`], and the counter always equals the number of
+    /// live cache entries). The layer-mapping cache is kept: mapping search
+    /// minimizes latency regardless of the DSE objective.
     pub fn with_objective(mut self, objective: Objective) -> Self {
         self.objective = objective;
         self.point_cache.clear();
+        *self.unique_evals.get_mut() = 0;
         self
     }
 
@@ -170,19 +344,25 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
         &self.tech
     }
 
-    fn map_layer(&mut self, shape: &LayerShape, cfg: &AcceleratorConfig) -> MapOutcome {
-        if let Some(hit) = self.layer_cache.get(&(*shape, *cfg)) {
-            return *hit;
-        }
-        let mapped = self.mapper.optimize(shape, cfg);
-        let diagnostic =
-            if mapped.is_none() { self.mapper.diagnose(shape, cfg) } else { None };
-        let outcome = MapOutcome { mapped, diagnostic };
-        self.layer_cache.insert((*shape, *cfg), outcome);
-        outcome
+    /// The batch-evaluation engine in use.
+    pub fn engine(&self) -> EvalEngine {
+        self.engine
     }
 
-    fn compute(&mut self, point: &DesignPoint) -> Evaluation {
+    fn map_layer(&self, shape: &LayerShape, cfg: &AcceleratorConfig) -> MapOutcome {
+        let slot = self.layer_cache.get_or_init(&(*shape, *cfg), || {
+            let mapped = self.mapper.optimize(shape, cfg);
+            let diagnostic = if mapped.is_none() {
+                self.mapper.diagnose(shape, cfg)
+            } else {
+                None
+            };
+            MapOutcome { mapped, diagnostic }
+        });
+        *slot.get().expect("initialized above")
+    }
+
+    fn compute(&self, point: &DesignPoint) -> Evaluation {
         let cfg = decode_edge_point(&self.space, point);
         let area = cfg.area_mm2(&self.tech);
         let power = cfg.max_power_w(&self.tech);
@@ -191,8 +371,7 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
         let mut per_model_latency = Vec::with_capacity(self.models.len());
         let mut energy_mj = 0.0;
         let mut mappable = true;
-        let models = self.models.clone();
-        for model in &models {
+        for model in &self.models {
             let mut model_latency = 0.0f64;
             for u in model.unique_shapes() {
                 let outcome = self.map_layer(&u.shape, &cfg);
@@ -252,17 +431,82 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
             energy_mj,
         }
     }
+
+    /// The unique `(layer, config)` mapping tasks this batch would need
+    /// that are not yet in the layer cache, in first-appearance order.
+    fn pending_layer_tasks(&self, points: &[DesignPoint]) -> Vec<(LayerShape, AcceleratorConfig)> {
+        let mut seen = HashSet::new();
+        let mut tasks = Vec::new();
+        for p in points {
+            let cfg = decode_edge_point(&self.space, p);
+            for model in &self.models {
+                for u in model.unique_shapes() {
+                    let key = (u.shape, cfg);
+                    if seen.insert(key) && !self.layer_cache.is_cached(&key) {
+                        tasks.push(key);
+                    }
+                }
+            }
+        }
+        tasks
+    }
+}
+
+/// Fan `work(i)` for `i in 0..n` out over `threads` scoped workers pulling
+/// from a shared atomic index.
+fn fan_out<F: Fn(usize) + Sync>(n: usize, threads: usize, work: F) {
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                work(i);
+            });
+        }
+    });
 }
 
 impl<M: MappingOptimizer> Evaluator for CodesignEvaluator<M> {
-    fn evaluate(&mut self, point: &DesignPoint) -> Evaluation {
-        if let Some(hit) = self.point_cache.get(point) {
-            return hit.clone();
+    fn evaluate(&self, point: &DesignPoint) -> Evaluation {
+        let slot = self.point_cache.get_or_init(point, || {
+            let eval = self.compute(point);
+            // Inside the once-guard: a point racing in two threads (or
+            // appearing twice in one batch) counts exactly once.
+            self.unique_evals.fetch_add(1, Ordering::Relaxed);
+            eval
+        });
+        slot.get().expect("initialized above").clone()
+    }
+
+    /// Parallel batch evaluation. Two fan-out phases over
+    /// [`EvalEngine::resolved_threads`] scoped workers: first the unique
+    /// uncached `(layer, config)` mapping tasks (the expensive part,
+    /// deduplicated so no two workers ever optimize the same pair), then
+    /// the per-point cost assembly. Results are position-aligned with
+    /// `points` and bit-for-bit identical to the serial path.
+    fn evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Evaluation> {
+        let threads = self.engine.resolved_threads();
+        if threads <= 1 || points.len() <= 1 {
+            return points.iter().map(|p| self.evaluate(p)).collect();
         }
-        let eval = self.compute(point);
-        self.unique_evals += 1;
-        self.point_cache.insert(point.clone(), eval.clone());
-        eval
+        let tasks = self.pending_layer_tasks(points);
+        fan_out(tasks.len(), threads, |i| {
+            let (shape, cfg) = &tasks[i];
+            self.map_layer(shape, cfg);
+        });
+        let results: Vec<OnceLock<Evaluation>> = points.iter().map(|_| OnceLock::new()).collect();
+        fan_out(points.len(), threads, |i| {
+            results[i]
+                .set(self.evaluate(&points[i]))
+                .expect("each index visited once");
+        });
+        results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("all slots filled"))
+            .collect()
     }
 
     fn space(&self) -> &DesignSpace {
@@ -274,7 +518,7 @@ impl<M: MappingOptimizer> Evaluator for CodesignEvaluator<M> {
     }
 
     fn unique_evaluations(&self) -> usize {
-        self.unique_evals
+        self.unique_evals.load(Ordering::Relaxed)
     }
 
     fn decode(&self, point: &DesignPoint) -> AcceleratorConfig {
@@ -295,7 +539,7 @@ mod tests {
 
     #[test]
     fn minimum_point_evaluates() {
-        let mut ev = evaluator();
+        let ev = evaluator();
         let p = ev.space().minimum_point();
         let e = ev.evaluate(&p);
         assert!(e.area_mm2 > 0.0 && e.power_w > 0.0);
@@ -305,7 +549,7 @@ mod tests {
 
     #[test]
     fn caching_counts_unique_points_once() {
-        let mut ev = evaluator();
+        let ev = evaluator();
         let p = ev.space().minimum_point();
         let a = ev.evaluate(&p);
         let b = ev.evaluate(&p);
@@ -317,9 +561,8 @@ mod tests {
     fn codesign_mapper_beats_fixed_dataflow() {
         let space = edge_space();
         let p = space.minimum_point().with_index(crate::space::edge::PES, 2);
-        let mut fixed = CodesignEvaluator::new(space.clone(), vec![zoo::resnet18()], FixedMapper);
-        let mut codesign =
-            CodesignEvaluator::new(space, vec![zoo::resnet18()], LinearMapper::new(100));
+        let fixed = CodesignEvaluator::new(space.clone(), vec![zoo::resnet18()], FixedMapper);
+        let codesign = CodesignEvaluator::new(space, vec![zoo::resnet18()], LinearMapper::new(100));
         let ef = fixed.evaluate(&p);
         let ec = codesign.evaluate(&p);
         if ef.objective.is_finite() {
@@ -339,12 +582,8 @@ mod tests {
         use crate::space::datacenter_space;
         // A 400 mm^2 / 250 W budget over the TPU-like space: the decode
         // path and constraints compose without edge-specific assumptions.
-        let mut ev = CodesignEvaluator::new(
-            datacenter_space(),
-            vec![zoo::resnet18()],
-            FixedMapper,
-        )
-        .with_limits(400.0, 250.0);
+        let ev = CodesignEvaluator::new(datacenter_space(), vec![zoo::resnet18()], FixedMapper)
+            .with_limits(400.0, 250.0);
         assert_eq!(ev.constraints()[0].threshold, 400.0);
         let p = ev.space().minimum_point();
         let e = ev.evaluate(&p);
@@ -363,8 +602,8 @@ mod tests {
             .with_index(crate::space::edge::virt_links(3), 2)
             .with_index(crate::space::edge::phys_links(1), 31)
             .with_index(crate::space::edge::phys_links(3), 31);
-        let mut lat = CodesignEvaluator::new(space.clone(), vec![zoo::resnet18()], FixedMapper);
-        let mut en = CodesignEvaluator::new(space, vec![zoo::resnet18()], FixedMapper)
+        let lat = CodesignEvaluator::new(space.clone(), vec![zoo::resnet18()], FixedMapper);
+        let en = CodesignEvaluator::new(space, vec![zoo::resnet18()], FixedMapper)
             .with_objective(Objective::Energy);
         let el = lat.evaluate(&p);
         let ee = en.evaluate(&p);
@@ -387,5 +626,140 @@ mod tests {
         );
         // area + power + one latency ceiling per model.
         assert_eq!(ev.constraints().len(), 4);
+    }
+
+    #[test]
+    fn with_limits_validates_inputs() {
+        assert!(evaluator().try_with_limits(75.0, 4.0).is_ok());
+        assert!(evaluator().try_with_limits(0.0, 4.0).is_err());
+        assert!(evaluator().try_with_limits(75.0, -1.0).is_err());
+        assert!(evaluator().try_with_limits(f64::NAN, 4.0).is_err());
+        assert!(evaluator().try_with_limits(f64::INFINITY, 4.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid limits")]
+    fn with_limits_panics_on_non_positive_budget() {
+        let _ = evaluator().with_limits(-5.0, 4.0);
+    }
+
+    /// The builder-method cache-invalidation matrix:
+    ///
+    /// | method           | point cache | layer cache | unique counter |
+    /// |------------------|-------------|-------------|----------------|
+    /// | `with_limits`    | kept        | kept        | kept           |
+    /// | `with_objective` | cleared     | kept        | reset          |
+    /// | `with_tech`      | cleared     | kept        | reset          |
+    /// | `with_engine`    | kept        | kept        | kept           |
+    #[test]
+    fn builder_cache_invalidation_matrix() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        /// A mapper that counts optimize calls, to observe the layer cache.
+        struct CountingMapper(AtomicUsize);
+        impl MappingOptimizer for CountingMapper {
+            fn optimize(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<MappedLayer> {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                FixedMapper.optimize(layer, cfg)
+            }
+            fn name(&self) -> String {
+                "counting".into()
+            }
+        }
+
+        let ev = CodesignEvaluator::new(
+            edge_space(),
+            vec![zoo::resnet18()],
+            CountingMapper(AtomicUsize::new(0)),
+        );
+        let p = ev.space().minimum_point();
+        let before = ev.evaluate(&p);
+        assert_eq!(ev.unique_evaluations(), 1);
+        let mapper_calls = ev.mapper.0.load(Ordering::Relaxed);
+        assert!(mapper_calls > 0);
+
+        // with_limits: nothing invalidated — the cached evaluation and the
+        // unique counter survive, and re-evaluating is a pure cache hit.
+        let ev = ev.with_limits(400.0, 250.0);
+        assert_eq!(ev.unique_evaluations(), 1);
+        let after_limits = ev.evaluate(&p);
+        assert_eq!(before, after_limits);
+        assert_eq!(ev.unique_evaluations(), 1);
+        assert_eq!(ev.mapper.0.load(Ordering::Relaxed), mapper_calls);
+
+        // with_engine: nothing invalidated (results are thread-count
+        // independent by construction).
+        let ev = ev.with_engine(EvalEngine::serial());
+        assert_eq!(ev.unique_evaluations(), 1);
+
+        // with_objective: point cache cleared + counter reset (objective is
+        // baked into Evaluation), layer cache kept (no new mapper calls).
+        let ev = ev.with_objective(Objective::Energy);
+        assert_eq!(ev.unique_evaluations(), 0);
+        let after_objective = ev.evaluate(&p);
+        assert_eq!(ev.unique_evaluations(), 1);
+        assert_eq!(
+            ev.mapper.0.load(Ordering::Relaxed),
+            mapper_calls,
+            "layer cache kept"
+        );
+        if after_objective.mappable {
+            assert_ne!(before.objective, after_objective.objective);
+        }
+
+        // with_tech: point cache cleared + counter reset (area/power are
+        // baked in), layer cache kept (mapping search is tech-independent).
+        let denser = energy_area::Tech {
+            mac_area_mm2: energy_area::Tech::n45().mac_area_mm2 * 0.5,
+            ..energy_area::Tech::n45()
+        };
+        let ev = ev.with_tech(denser);
+        assert_eq!(ev.unique_evaluations(), 0);
+        let after_tech = ev.evaluate(&p);
+        assert_eq!(ev.unique_evaluations(), 1);
+        assert_eq!(
+            ev.mapper.0.load(Ordering::Relaxed),
+            mapper_calls,
+            "layer cache kept"
+        );
+        assert_ne!(before.area_mm2, after_tech.area_mm2);
+    }
+
+    #[test]
+    fn batch_matches_serial_bit_for_bit() {
+        let space = edge_space();
+        let points: Vec<DesignPoint> = (0..12)
+            .map(|i| {
+                space
+                    .minimum_point()
+                    .with_index(crate::space::edge::PES, i % 4)
+                    .with_index(2, i % 3)
+            })
+            .collect();
+        let serial = CodesignEvaluator::new(space.clone(), vec![zoo::resnet18()], FixedMapper)
+            .with_engine(EvalEngine::serial());
+        let parallel = CodesignEvaluator::new(space, vec![zoo::resnet18()], FixedMapper)
+            .with_engine(EvalEngine::with_threads(4));
+        let a = serial.evaluate_batch(&points);
+        let b = parallel.evaluate_batch(&points);
+        assert_eq!(a, b);
+        assert_eq!(serial.unique_evaluations(), parallel.unique_evaluations());
+    }
+
+    #[test]
+    fn batch_counts_in_batch_duplicates_once() {
+        let ev = evaluator().with_engine(EvalEngine::with_threads(8));
+        let p = ev.space().minimum_point();
+        let q = p.with_index(crate::space::edge::PES, 1);
+        // The same two points, many times, submitted concurrently.
+        let points: Vec<DesignPoint> = (0..32)
+            .map(|i| if i % 2 == 0 { p.clone() } else { q.clone() })
+            .collect();
+        let evals = ev.evaluate_batch(&points);
+        assert_eq!(evals.len(), 32);
+        assert_eq!(ev.unique_evaluations(), 2);
+        for (i, e) in evals.iter().enumerate() {
+            assert_eq!(e, &evals[i % 2], "duplicates must be identical");
+        }
     }
 }

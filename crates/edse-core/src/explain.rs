@@ -42,12 +42,7 @@ impl DseResult {
                 let _ = writeln!(out, "\n| parameter | value |");
                 let _ = writeln!(out, "|---|---|");
                 for (i, def) in space.params().iter().enumerate() {
-                    let _ = writeln!(
-                        out,
-                        "| {} | {} |",
-                        def.name(),
-                        def.values()[point.index(i)]
-                    );
+                    let _ = writeln!(out, "| {} | {} |", def.name(), def.values()[point.index(i)]);
                 }
             }
             None => {
@@ -89,16 +84,18 @@ mod tests {
 
     #[test]
     fn report_mentions_outcome_parameters_and_reasoning() {
-        let mut evaluator =
-            CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+        let evaluator = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
         let dse = ExplainableDse::new(
             dnn_latency_model(),
-            DseConfig { budget: 80, restarts: 0, ..DseConfig::default() },
+            DseConfig {
+                budget: 80,
+                restarts: 0,
+                ..DseConfig::default()
+            },
         );
         let initial = evaluator.space().minimum_point();
-        let result = dse.run_dnn(&mut evaluator, initial);
-        let report =
-            result.report(evaluator.space(), evaluator.constraints());
+        let result = dse.run_dnn(&evaluator, initial);
+        let report = result.report(evaluator.space(), evaluator.constraints());
         assert!(report.contains("# Explainable-DSE report"));
         assert!(report.contains("Acquisition attempts"));
         assert!(report.contains("pes"), "parameter table expected");

@@ -26,14 +26,14 @@
 //! use mapper::FixedMapper;
 //! use workloads::zoo;
 //!
-//! let mut evaluator =
+//! let evaluator =
 //!     CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
 //! let dse = ExplainableDse::new(
 //!     dnn_latency_model(),
 //!     DseConfig { budget: 40, ..DseConfig::default() },
 //! );
 //! let initial = evaluator.space().minimum_point();
-//! let result = dse.run_dnn(&mut evaluator, initial);
+//! let result = dse.run_dnn(&evaluator, initial);
 //! assert!(result.trace.evaluations() <= 40);
 //! ```
 
@@ -47,7 +47,7 @@ pub mod space;
 pub use bottleneck::{dnn_latency_model, BottleneckModel, BottleneckTree, LayerCtx, TreeBuilder};
 pub use cost::{Constraint, Evaluation, LayerEval, Sample, Trace};
 pub use dse::{Attempt, DseConfig, DseResult, ExplainableDse};
-pub use evaluate::{CodesignEvaluator, Evaluator};
+pub use evaluate::{CodesignEvaluator, EvalEngine, Evaluator};
 pub use space::{
     datacenter_space, decode_edge_point, edge, edge_space, space_from_json, DesignPoint,
     DesignSpace, ParamDef, ParamId,

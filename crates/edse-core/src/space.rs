@@ -37,7 +37,10 @@ impl TryFrom<RawParamDef> for ParamDef {
                 raw.name
             ));
         }
-        Ok(ParamDef { name: raw.name, values: raw.values })
+        Ok(ParamDef {
+            name: raw.name,
+            values: raw.values,
+        })
     }
 }
 
@@ -53,7 +56,10 @@ impl ParamDef {
             values.windows(2).all(|w| w[0] < w[1]),
             "parameter values must be strictly ascending"
         );
-        Self { name: name.into(), values }
+        Self {
+            name: name.into(),
+            values,
+        }
     }
 
     /// Parameter name.
@@ -242,11 +248,13 @@ pub fn edge_space() -> DesignSpace {
         ParamDef::new(
             "offchip_bw_mbps",
             vec![
-                1024.0, 2048.0, 4096.0, 6400.0, 8192.0, 12800.0, 19200.0, 25600.0, 38400.0,
-                51200.0,
+                1024.0, 2048.0, 4096.0, 6400.0, 8192.0, 12800.0, 19200.0, 25600.0, 38400.0, 51200.0,
             ],
         ),
-        ParamDef::new("noc_width_bits", (1..=16).map(|i| (16 * i) as f64).collect()),
+        ParamDef::new(
+            "noc_width_bits",
+            (1..=16).map(|i| (16 * i) as f64).collect(),
+        ),
     ];
     for op in ["in", "wt", "out_rd", "out_wr"] {
         params.push(ParamDef::new(
@@ -283,7 +291,10 @@ pub fn datacenter_space() -> DesignSpace {
         ParamDef::new("l1_bytes", pow2(32, 4096)),
         ParamDef::new("l2_kb", pow2(1024, 131_072)),
         ParamDef::new("offchip_bw_mbps", pow2(25_600, 3_276_800)),
-        ParamDef::new("noc_width_bits", (1..=16).map(|i| (32 * i) as f64).collect()),
+        ParamDef::new(
+            "noc_width_bits",
+            (1..=16).map(|i| (32 * i) as f64).collect(),
+        ),
     ];
     for op in ["in", "wt", "out_rd", "out_wr"] {
         params.push(ParamDef::new(
@@ -345,7 +356,11 @@ mod tests {
         }
         // ~10^14 hardware configurations (the paper quotes 10^14 for a
         // TPU-like space with modest options).
-        assert!((12.0..15.0).contains(&s.log10_size()), "10^{:.1}", s.log10_size());
+        assert!(
+            (12.0..15.0).contains(&s.log10_size()),
+            "10^{:.1}",
+            s.log10_size()
+        );
     }
 
     #[test]
@@ -375,14 +390,22 @@ mod tests {
         let p = s.minimum_point();
         let q = p.with_index(edge::PES, 3);
         assert_eq!(q.index(edge::PES), 3);
-        let diffs = p.indices().iter().zip(q.indices()).filter(|(a, b)| a != b).count();
+        let diffs = p
+            .indices()
+            .iter()
+            .zip(q.indices())
+            .filter(|(a, b)| a != b)
+            .count();
         assert_eq!(diffs, 1);
     }
 
     #[test]
     fn virtual_links_are_powers_of_eight() {
         let s = edge_space();
-        assert_eq!(s.param(edge::virt_links(0)).values(), &[1.0, 8.0, 64.0, 512.0]);
+        assert_eq!(
+            s.param(edge::virt_links(0)).values(),
+            &[1.0, 8.0, 64.0, 512.0]
+        );
     }
 
     #[test]
@@ -401,10 +424,8 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert_eq!(s.param(0).round_up_index(90.0), 1);
 
-        let err = space_from_json(
-            r#"{ "params": [ { "name": "bad", "values": [2, 1] } ] }"#,
-        )
-        .unwrap_err();
+        let err = space_from_json(r#"{ "params": [ { "name": "bad", "values": [2, 1] } ] }"#)
+            .unwrap_err();
         assert!(err.contains("bad"), "{err}");
 
         let err = space_from_json(r#"{ "params": [] }"#).unwrap_err();

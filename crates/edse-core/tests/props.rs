@@ -8,10 +8,7 @@ use proptest::prelude::*;
 
 /// A random three-level tree: root max over sums of leaves.
 fn arb_tree_values() -> impl Strategy<Value = Vec<Vec<f64>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(0.0f64..1e6, 1..5),
-        1..5,
-    )
+    proptest::collection::vec(proptest::collection::vec(0.0f64..1e6, 1..5), 1..5)
 }
 
 proptest! {

@@ -21,8 +21,7 @@ impl AreaBreakdown {
     /// Evaluates the area model for a configuration.
     pub fn compute(tech: &Tech, r: &AcceleratorResources) -> Self {
         let rf_per_pe = r.l1_bytes as f64 * tech.rf_area_mm2_per_byte;
-        let pe_array_mm2 =
-            r.pes as f64 * (tech.mac_area_mm2 + tech.pe_ctrl_area_mm2 + rf_per_pe);
+        let pe_array_mm2 = r.pes as f64 * (tech.mac_area_mm2 + tech.pe_ctrl_area_mm2 + rf_per_pe);
         let spm_mm2 = r.l2_bytes as f64 * tech.spm_area_mm2_per_byte;
         let link_bits: f64 = r
             .noc_phys_links
@@ -30,9 +29,14 @@ impl AreaBreakdown {
             .map(|&l| l as f64 * r.noc_width_bits as f64)
             .sum();
         let noc_mm2 = link_bits * tech.noc_area_mm2_per_link_bit;
-        let dma_mm2 = tech.dma_base_area_mm2
-            + r.offchip_bytes_per_cycle() * tech.dma_area_mm2_per_byte_cycle;
-        Self { pe_array_mm2, spm_mm2, noc_mm2, dma_mm2 }
+        let dma_mm2 =
+            tech.dma_base_area_mm2 + r.offchip_bytes_per_cycle() * tech.dma_area_mm2_per_byte_cycle;
+        Self {
+            pe_array_mm2,
+            spm_mm2,
+            noc_mm2,
+            dma_mm2,
+        }
     }
 
     /// Total die area in mm^2.
@@ -65,10 +69,22 @@ mod tests {
         for grow in [
             AcceleratorResources { pes: 512, ..b },
             AcceleratorResources { l1_bytes: 128, ..b },
-            AcceleratorResources { l2_bytes: 512 * 1024, ..b },
-            AcceleratorResources { noc_width_bits: 64, ..b },
-            AcceleratorResources { noc_phys_links: [16; 4], ..b },
-            AcceleratorResources { offchip_bw_mbps: 16384, ..b },
+            AcceleratorResources {
+                l2_bytes: 512 * 1024,
+                ..b
+            },
+            AcceleratorResources {
+                noc_width_bits: 64,
+                ..b
+            },
+            AcceleratorResources {
+                noc_phys_links: [16; 4],
+                ..b
+            },
+            AcceleratorResources {
+                offchip_bw_mbps: 16384,
+                ..b
+            },
         ] {
             assert!(t.area(&grow).total_mm2() > total, "{grow:?}");
         }
@@ -85,25 +101,35 @@ mod tests {
     #[test]
     fn noc_area_counts_all_four_operand_networks() {
         let t = Tech::n45();
-        let one = AcceleratorResources { noc_phys_links: [8, 0, 0, 0], ..base() };
-        let four = AcceleratorResources { noc_phys_links: [2, 2, 2, 2], ..base() };
+        let one = AcceleratorResources {
+            noc_phys_links: [8, 0, 0, 0],
+            ..base()
+        };
+        let four = AcceleratorResources {
+            noc_phys_links: [2, 2, 2, 2],
+            ..base()
+        };
         // Same total link-bits => same NoC area.
-        assert!(
-            (t.area(&one).noc_mm2 - t.area(&four).noc_mm2).abs() < 1e-12
-        );
+        assert!((t.area(&one).noc_mm2 - t.area(&four).noc_mm2).abs() < 1e-12);
     }
 
     #[test]
     fn dma_area_has_a_fixed_floor() {
         let t = Tech::n45();
-        let tiny = AcceleratorResources { offchip_bw_mbps: 500, ..base() };
+        let tiny = AcceleratorResources {
+            offchip_bw_mbps: 500,
+            ..base()
+        };
         assert!(t.area(&tiny).dma_mm2 >= t.dma_base_area_mm2);
     }
 
     #[test]
     fn pe_array_dominates_compute_heavy_configs() {
         let t = Tech::n45();
-        let big_pes = AcceleratorResources { pes: 4096, ..base() };
+        let big_pes = AcceleratorResources {
+            pes: 4096,
+            ..base()
+        };
         let a = t.area(&big_pes);
         assert!(a.pe_array_mm2 > a.spm_mm2 + a.noc_mm2 + a.dma_mm2);
     }

@@ -81,7 +81,10 @@ mod tests {
         let t = Tech::n45();
         let p1 = t.max_power(&cfg(256, 8192));
         let p2 = t.max_power(&cfg(1024, 8192));
-        assert!((p2.pe_array_w / p1.pe_array_w - 4.0).abs() < 1e-9, "PE power scales linearly");
+        assert!(
+            (p2.pe_array_w / p1.pe_array_w - 4.0).abs() < 1e-9,
+            "PE power scales linearly"
+        );
         assert!(p2.total_w() > 2.0 * p1.total_w());
     }
 
@@ -114,8 +117,14 @@ mod tests {
     #[test]
     fn wider_nocs_draw_more_power() {
         let t = Tech::n45();
-        let narrow = t.max_power(&AcceleratorResources { noc_width_bits: 16, ..cfg(256, 8192) });
-        let wide = t.max_power(&AcceleratorResources { noc_width_bits: 256, ..cfg(256, 8192) });
+        let narrow = t.max_power(&AcceleratorResources {
+            noc_width_bits: 16,
+            ..cfg(256, 8192)
+        });
+        let wide = t.max_power(&AcceleratorResources {
+            noc_width_bits: 256,
+            ..cfg(256, 8192)
+        });
         assert!(wide.noc_w > narrow.noc_w);
         assert!(wide.spm_w > narrow.spm_w, "SPM serves the NoCs");
     }

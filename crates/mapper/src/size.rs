@@ -146,8 +146,11 @@ pub fn layer_space_size(
     let dims: Vec<u64> = Dim::ALL.iter().map(|d| layer.dim(*d)).collect();
 
     // A: three levels free in [1, D] each, fourth the remainder.
-    let log10_free: f64 =
-        dims.iter().filter(|&&d| d > 1).map(|&d| 3.0 * (d as f64).log10()).sum();
+    let log10_free: f64 = dims
+        .iter()
+        .filter(|&&d| d > 1)
+        .map(|&d| 3.0 * (d as f64).log10())
+        .sum();
 
     // B: valid ordered factorizations.
     let log10_b: f64 = dims
@@ -160,8 +163,7 @@ pub fn layer_space_size(
     // black-box mappers prune on (PE count and scratchpad capacity, §F);
     // register-file and NoC-link compatibility are checked at evaluation
     // time by the optimizers themselves.
-    let per_dim: Vec<Vec<[u64; 4]>> =
-        dims.iter().map(|&d| enumerate_factorizations(d)).collect();
+    let per_dim: Vec<Vec<[u64; 4]>> = dims.iter().map(|&d| enumerate_factorizations(d)).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut feasible = 0usize;
     for _ in 0..samples {
@@ -176,8 +178,7 @@ pub fn layer_space_size(
             }
         }
     }
-    let log10_c = (feasible > 0)
-        .then(|| log10_b + (feasible as f64 / samples as f64).log10());
+    let log10_c = (feasible > 0).then(|| log10_b + (feasible as f64 / samples as f64).log10());
 
     // D: orderings at one memory level over non-unit loops.
     let non_unit = dims.iter().filter(|&&d| d > 1).count() as u64;

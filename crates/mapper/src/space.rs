@@ -28,12 +28,20 @@ pub struct Thresholds {
 impl Thresholds {
     /// The aggressive starting point of the auto-adjustment loop.
     pub fn aggressive() -> Self {
-        Self { pe: 0.75, rf: 0.50, spm: 0.25 }
+        Self {
+            pe: 0.75,
+            rf: 0.50,
+            spm: 0.25,
+        }
     }
 
     /// Relaxes every threshold by half (one adjustment round).
     pub fn relaxed(self) -> Self {
-        Self { pe: self.pe * 0.5, rf: self.rf * 0.5, spm: self.spm * 0.5 }
+        Self {
+            pe: self.pe * 0.5,
+            rf: self.rf * 0.5,
+            spm: self.spm * 0.5,
+        }
     }
 }
 
@@ -50,12 +58,18 @@ pub struct SpaceBudget {
 impl SpaceBudget {
     /// The paper's default range `[10, 10000]`.
     pub fn paper_default() -> Self {
-        Self { n_min: 10, n_max: 10_000 }
+        Self {
+            n_min: 10,
+            n_max: 10_000,
+        }
     }
 
     /// A budget capped at `n` tilings (for quick explorations).
     pub fn top(n: usize) -> Self {
-        Self { n_min: n.min(10), n_max: n }
+        Self {
+            n_min: n.min(10),
+            n_max: n,
+        }
     }
 }
 
@@ -93,7 +107,10 @@ impl MappingSpace {
             let t = fallback_serial(layer, cfg);
             tilings.extend(t);
         }
-        Self { tilings, thresholds }
+        Self {
+            tilings,
+            thresholds,
+        }
     }
 
     /// The pruned tilings, highest utilization score first.
@@ -121,7 +138,9 @@ impl MappingSpace {
     pub fn mappings(&self) -> impl Iterator<Item = Mapping> + '_ {
         self.tilings.iter().flat_map(|t| {
             Stationarity::ALL.into_iter().flat_map(move |spm| {
-                Stationarity::ALL.into_iter().map(move |dram| Mapping::new(*t, spm, dram))
+                Stationarity::ALL
+                    .into_iter()
+                    .map(move |dram| Mapping::new(*t, spm, dram))
             })
         })
     }
@@ -197,7 +216,15 @@ fn enumerate(
     let spatial_dims = [Dim::M, Dim::C, Dim::Oy, Dim::Ox];
     let mut spatial_choices: Vec<(Extents, f64)> = Vec::new();
     let mut sp = [1u64; 7];
-    dfs_spatial(layer, cfg, &spatial_dims, 0, &mut sp, &mut spatial_choices, 4096);
+    dfs_spatial(
+        layer,
+        cfg,
+        &spatial_dims,
+        0,
+        &mut sp,
+        &mut spatial_choices,
+        4096,
+    );
     // Highest PE utilization first; keep the cap.
     spatial_choices.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     let min_util = th.pe;
@@ -209,7 +236,11 @@ fn enumerate(
         .collect();
     if kept_spatial.is_empty() {
         // Keep the best few even when the threshold is unreachable.
-        kept_spatial = spatial_choices.iter().map(|(e, _)| *e).take(4.min(spatial_cap)).collect();
+        kept_spatial = spatial_choices
+            .iter()
+            .map(|(e, _)| *e)
+            .take(4.min(spatial_cap))
+            .collect();
     }
 
     let mut result: Vec<(Tiling, f64)> = Vec::new();
@@ -240,7 +271,11 @@ fn enumerate(
             .take(rf_cap)
             .collect();
         if kept_rf.is_empty() {
-            kept_rf = rf_choices.iter().map(|(e, _)| *e).take(2.min(rf_cap)).collect();
+            kept_rf = rf_choices
+                .iter()
+                .map(|(e, _)| *e)
+                .take(2.min(rf_cap))
+                .collect();
         }
 
         for rf in &kept_rf {
@@ -265,9 +300,7 @@ fn enumerate(
                 &|d| layer.dim(d) / (sp[d.index()] * rf[d.index()]),
                 &|ext| working_set_bytes(layer, &spm_ext(ext), elem) <= cfg.l2_bytes,
                 &mut l2_choices,
-                &|ext| {
-                    working_set_bytes(layer, &spm_ext(ext), elem) as f64 / cfg.l2_bytes as f64
-                },
+                &|ext| working_set_bytes(layer, &spm_ext(ext), elem) as f64 / cfg.l2_bytes as f64,
                 512,
             );
             l2_choices.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
@@ -417,7 +450,11 @@ mod tests {
         // Every tiling validates against layer and hardware.
         let l = layer();
         for t in space.tilings() {
-            let m = Mapping::new(*t, Stationarity::OutputStationary, Stationarity::OutputStationary);
+            let m = Mapping::new(
+                *t,
+                Stationarity::OutputStationary,
+                Stationarity::OutputStationary,
+            );
             Validity::check(&cfg, &l, &m).expect("space must only contain feasible tilings");
         }
     }

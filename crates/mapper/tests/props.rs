@@ -92,7 +92,7 @@ proptest! {
     fn linear_mapper_returns_space_optimum(layer in arb_layer()) {
         let cfg = AcceleratorConfig::edge_baseline();
         let space = MappingSpace::build(&layer, &cfg, SpaceBudget::top(32));
-        let mut m = LinearMapper::new(32);
+        let m = LinearMapper::new(32);
         if let Some(best) = m.optimize(&layer, &cfg) {
             for t in space.tilings() {
                 if let Some(c) = best_ordering(&layer, &cfg, t) {

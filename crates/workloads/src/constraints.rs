@@ -35,14 +35,24 @@ impl ThroughputTarget {
     /// A frames-per-second floor for a vision model (light if >= 40 FPS).
     pub fn fps(fps: f64) -> Self {
         assert!(fps > 0.0, "throughput floor must be positive");
-        let class = if fps >= 40.0 { ModelClass::VisionLight } else { ModelClass::VisionLarge };
-        Self { inferences_per_second: fps, class }
+        let class = if fps >= 40.0 {
+            ModelClass::VisionLight
+        } else {
+            ModelClass::VisionLarge
+        };
+        Self {
+            inferences_per_second: fps,
+            class,
+        }
     }
 
     /// A queries/sentences-per-second floor for a language model.
     pub fn qps(qps: f64) -> Self {
         assert!(qps > 0.0, "throughput floor must be positive");
-        Self { inferences_per_second: qps, class: ModelClass::Language }
+        Self {
+            inferences_per_second: qps,
+            class: ModelClass::Language,
+        }
     }
 
     /// An audio-samples-per-second floor; `samples_per_inference` is how many

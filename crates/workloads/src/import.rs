@@ -131,7 +131,11 @@ pub fn from_json_str(json: &str) -> Result<DnnModel, ImportError> {
         return Err(ImportError::Model("at least one layer is required".into()));
     }
 
-    let target = match (&doc.target.fps, &doc.target.qps, &doc.target.audio_samples_per_second) {
+    let target = match (
+        &doc.target.fps,
+        &doc.target.qps,
+        &doc.target.audio_samples_per_second,
+    ) {
         (Some(fps), None, None) if *fps > 0.0 => ThroughputTarget::fps(*fps),
         (None, Some(qps), None) if *qps > 0.0 => ThroughputTarget::qps(*qps),
         (None, None, Some(sps)) if *sps > 0.0 => {
@@ -155,7 +159,10 @@ pub fn from_json_str(json: &str) -> Result<DnnModel, ImportError> {
     let mut layers = Vec::with_capacity(doc.layers.len());
     for (i, l) in doc.layers.iter().enumerate() {
         let name = l.name.clone().unwrap_or_else(|| format!("layer{i}"));
-        let err = |reason: &str| ImportError::Layer { layer: name.clone(), reason: reason.into() };
+        let err = |reason: &str| ImportError::Layer {
+            layer: name.clone(),
+            reason: reason.into(),
+        };
         let nonzero = [l.n, l.m, l.c, l.oy, l.ox, l.fy, l.fx, l.stride, l.repeat];
         if nonzero.contains(&0) {
             return Err(err("extents, stride and repeat must be non-zero"));
@@ -164,7 +171,9 @@ pub fn from_json_str(json: &str) -> Result<DnnModel, ImportError> {
             "conv" => LayerShape::conv(l.n, l.m, l.c, l.oy, l.ox, l.fy, l.fx, l.stride),
             "dwconv" => {
                 if l.c != 1 {
-                    return Err(err("depthwise layers must not set c (channels come from m)"));
+                    return Err(err(
+                        "depthwise layers must not set c (channels come from m)",
+                    ));
                 }
                 LayerShape::dwconv(l.n, l.m, l.oy, l.ox, l.fy, l.fx, l.stride)
             }

@@ -173,7 +173,17 @@ impl LayerShape {
     /// Panics if any extent or the stride is zero.
     #[allow(clippy::too_many_arguments)] // the seven canonical extents + stride
     pub fn conv(n: u64, m: u64, c: u64, oy: u64, ox: u64, fy: u64, fx: u64, stride: u64) -> Self {
-        let s = Self { n, m, c, oy, ox, fy, fx, stride, kind: OpKind::Conv };
+        let s = Self {
+            n,
+            m,
+            c,
+            oy,
+            ox,
+            fy,
+            fx,
+            stride,
+            kind: OpKind::Conv,
+        };
         s.validate();
         s
     }
@@ -184,7 +194,17 @@ impl LayerShape {
     ///
     /// Panics if any extent or the stride is zero.
     pub fn dwconv(n: u64, m: u64, oy: u64, ox: u64, fy: u64, fx: u64, stride: u64) -> Self {
-        let s = Self { n, m, c: 1, oy, ox, fy, fx, stride, kind: OpKind::DepthwiseConv };
+        let s = Self {
+            n,
+            m,
+            c: 1,
+            oy,
+            ox,
+            fy,
+            fx,
+            stride,
+            kind: OpKind::DepthwiseConv,
+        };
         s.validate();
         s
     }
@@ -400,6 +420,8 @@ mod tests {
     #[test]
     fn describe_is_nonempty_and_tagged() {
         assert!(LayerShape::gemm(2, 3, 4).describe().starts_with("gemm"));
-        assert!(LayerShape::dwconv(1, 8, 4, 4, 3, 3, 1).describe().starts_with("dwconv"));
+        assert!(LayerShape::dwconv(1, 8, 4, 4, 3, 3, 1)
+            .describe()
+            .starts_with("dwconv"));
     }
 }

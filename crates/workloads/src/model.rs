@@ -24,7 +24,11 @@ impl Layer {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, shape: LayerShape, repeat: u64) -> Self {
         assert!(repeat > 0, "layer repeat count must be non-zero");
-        Self { name: name.into(), shape, repeat }
+        Self {
+            name: name.into(),
+            shape,
+            repeat,
+        }
     }
 }
 
@@ -53,13 +57,13 @@ impl DnnModel {
     /// # Panics
     ///
     /// Panics if `layers` is empty.
-    pub fn new(
-        name: impl Into<String>,
-        layers: Vec<Layer>,
-        target: ThroughputTarget,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, layers: Vec<Layer>, target: ThroughputTarget) -> Self {
         assert!(!layers.is_empty(), "a model needs at least one layer");
-        Self { name: name.into(), layers, target }
+        Self {
+            name: name.into(),
+            layers,
+            target,
+        }
     }
 
     /// Model name, e.g. `"ResNet18"`.
@@ -121,9 +125,17 @@ impl DnnModel {
         let layers = self
             .layers
             .iter()
-            .map(|l| Layer { name: l.name.clone(), shape: l.shape.with_batch(n), repeat: l.repeat })
+            .map(|l| Layer {
+                name: l.name.clone(),
+                shape: l.shape.with_batch(n),
+                repeat: l.repeat,
+            })
             .collect();
-        Self { name: format!("{}@b{n}", self.name), layers, target: self.target }
+        Self {
+            name: format!("{}@b{n}", self.name),
+            layers,
+            target: self.target,
+        }
     }
 
     /// The `l` used for the paper's aggregation threshold

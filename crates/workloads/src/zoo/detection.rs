@@ -55,8 +55,11 @@ fn mnv3_block(
 /// lateral/output convolutions, RPN head, and the box head — 78 weighted
 /// layers (paper counts 79). Light vision model: 40 FPS floor.
 pub fn fasterrcnn_mobilenetv3() -> DnnModel {
-    let mut layers =
-        vec![Layer::new("backbone.stem", LayerShape::conv(1, 16, 3, 160, 160, 3, 3, 2), 1)];
+    let mut layers = vec![Layer::new(
+        "backbone.stem",
+        LayerShape::conv(1, 16, 3, 160, 160, 3, 3, 2),
+        1,
+    )];
     // (exp, c_out, k, se, stride) — MobileNetV3-Large at 320 input.
     let cfg: [(u64, u64, u64, bool, u64); 15] = [
         (16, 16, 3, false, 1),
@@ -78,7 +81,17 @@ pub fn fasterrcnn_mobilenetv3() -> DnnModel {
     let mut c_in = 16;
     let mut hw = 160;
     for (i, (exp, c_out, k, se, s)) in cfg.into_iter().enumerate() {
-        mnv3_block(&mut layers, &format!("backbone.block{i}"), c_in, exp, c_out, k, se, hw, s);
+        mnv3_block(
+            &mut layers,
+            &format!("backbone.block{i}"),
+            c_in,
+            exp,
+            c_out,
+            k,
+            se,
+            hw,
+            s,
+        );
         hw /= s;
         c_in = c_out;
     }
@@ -89,20 +102,64 @@ pub fn fasterrcnn_mobilenetv3() -> DnnModel {
     ));
     // FPN: two lateral 1x1 convs (C4 at 20x20 with 112ch, C5 at 10x10 with
     // 960ch) and two 3x3 output convs at 256 channels.
-    layers.push(Layer::new("fpn.lateral_c4", LayerShape::conv(1, 256, 112, 20, 20, 1, 1, 1), 1));
-    layers.push(Layer::new("fpn.lateral_c5", LayerShape::conv(1, 256, 960, 10, 10, 1, 1, 1), 1));
-    layers.push(Layer::new("fpn.out_p4", LayerShape::conv(1, 256, 256, 20, 20, 3, 3, 1), 1));
-    layers.push(Layer::new("fpn.out_p5", LayerShape::conv(1, 256, 256, 10, 10, 3, 3, 1), 1));
+    layers.push(Layer::new(
+        "fpn.lateral_c4",
+        LayerShape::conv(1, 256, 112, 20, 20, 1, 1, 1),
+        1,
+    ));
+    layers.push(Layer::new(
+        "fpn.lateral_c5",
+        LayerShape::conv(1, 256, 960, 10, 10, 1, 1, 1),
+        1,
+    ));
+    layers.push(Layer::new(
+        "fpn.out_p4",
+        LayerShape::conv(1, 256, 256, 20, 20, 3, 3, 1),
+        1,
+    ));
+    layers.push(Layer::new(
+        "fpn.out_p5",
+        LayerShape::conv(1, 256, 256, 10, 10, 3, 3, 1),
+        1,
+    ));
     // RPN head on the P4 level: shared conv + objectness + box deltas.
-    layers.push(Layer::new("rpn.conv", LayerShape::conv(1, 256, 256, 20, 20, 3, 3, 1), 1));
-    layers.push(Layer::new("rpn.cls", LayerShape::conv(1, 15, 256, 20, 20, 1, 1, 1), 1));
-    layers.push(Layer::new("rpn.bbox", LayerShape::conv(1, 60, 256, 20, 20, 1, 1, 1), 1));
+    layers.push(Layer::new(
+        "rpn.conv",
+        LayerShape::conv(1, 256, 256, 20, 20, 3, 3, 1),
+        1,
+    ));
+    layers.push(Layer::new(
+        "rpn.cls",
+        LayerShape::conv(1, 15, 256, 20, 20, 1, 1, 1),
+        1,
+    ));
+    layers.push(Layer::new(
+        "rpn.bbox",
+        LayerShape::conv(1, 60, 256, 20, 20, 1, 1, 1),
+        1,
+    ));
     // Box head over pooled 7x7 RoIs (batched across proposals: N=64 RoIs).
-    layers.push(Layer::new("roi.fc6", LayerShape::gemm(1024, 64, 256 * 49), 1));
+    layers.push(Layer::new(
+        "roi.fc6",
+        LayerShape::gemm(1024, 64, 256 * 49),
+        1,
+    ));
     layers.push(Layer::new("roi.fc7", LayerShape::gemm(1024, 64, 1024), 1));
-    layers.push(Layer::new("roi.cls_score", LayerShape::gemm(91, 64, 1024), 1));
-    layers.push(Layer::new("roi.bbox_pred", LayerShape::gemm(364, 64, 1024), 1));
-    DnnModel::new("FasterRCNN-MobileNetV3", layers, ThroughputTarget::fps(40.0))
+    layers.push(Layer::new(
+        "roi.cls_score",
+        LayerShape::gemm(91, 64, 1024),
+        1,
+    ));
+    layers.push(Layer::new(
+        "roi.bbox_pred",
+        LayerShape::gemm(364, 64, 1024),
+        1,
+    ));
+    DnnModel::new(
+        "FasterRCNN-MobileNetV3",
+        layers,
+        ThroughputTarget::fps(40.0),
+    )
 }
 
 /// One YOLOv5 C3 (cross-stage partial) block: two entry 1x1 convs, `n`
@@ -141,8 +198,11 @@ fn c3_block(layers: &mut Vec<Layer>, tag: &str, c: u64, n: u64, hw: u64) {
 /// convolutions — 60 weighted layers, matching the paper's count. Large
 /// vision model: 10 FPS floor.
 pub fn yolov5() -> DnnModel {
-    let mut layers =
-        vec![Layer::new("stem", LayerShape::conv(1, 48, 3, 320, 320, 6, 6, 2), 1)];
+    let mut layers = vec![Layer::new(
+        "stem",
+        LayerShape::conv(1, 48, 3, 320, 320, 6, 6, 2),
+        1,
+    )];
     // Backbone: (channels, c3_bottlenecks, hw after downsample).
     let stages: [(u64, u64, u64); 4] = [(96, 1, 160), (192, 2, 80), (384, 3, 40), (768, 1, 20)];
     let mut c_in = 48;
@@ -156,21 +216,57 @@ pub fn yolov5() -> DnnModel {
         c_in = c;
     }
     // SPPF: two 1x1 convs around pooling.
-    layers.push(Layer::new("sppf.cv1", LayerShape::conv(1, 384, 768, 20, 20, 1, 1, 1), 1));
-    layers.push(Layer::new("sppf.cv2", LayerShape::conv(1, 768, 1536, 20, 20, 1, 1, 1), 1));
+    layers.push(Layer::new(
+        "sppf.cv1",
+        LayerShape::conv(1, 384, 768, 20, 20, 1, 1, 1),
+        1,
+    ));
+    layers.push(Layer::new(
+        "sppf.cv2",
+        LayerShape::conv(1, 768, 1536, 20, 20, 1, 1, 1),
+        1,
+    ));
     // PANet neck: top-down then bottom-up, C3 blocks with n=1.
-    layers.push(Layer::new("neck.reduce0", LayerShape::conv(1, 384, 768, 20, 20, 1, 1, 1), 1));
+    layers.push(Layer::new(
+        "neck.reduce0",
+        LayerShape::conv(1, 384, 768, 20, 20, 1, 1, 1),
+        1,
+    ));
     c3_block(&mut layers, "neck.c3_td0", 384, 1, 40);
-    layers.push(Layer::new("neck.reduce1", LayerShape::conv(1, 192, 384, 40, 40, 1, 1, 1), 1));
+    layers.push(Layer::new(
+        "neck.reduce1",
+        LayerShape::conv(1, 192, 384, 40, 40, 1, 1, 1),
+        1,
+    ));
     c3_block(&mut layers, "neck.c3_td1", 192, 1, 80);
-    layers.push(Layer::new("neck.down0", LayerShape::conv(1, 192, 192, 40, 40, 3, 3, 2), 1));
+    layers.push(Layer::new(
+        "neck.down0",
+        LayerShape::conv(1, 192, 192, 40, 40, 3, 3, 2),
+        1,
+    ));
     c3_block(&mut layers, "neck.c3_bu0", 384, 1, 40);
-    layers.push(Layer::new("neck.down1", LayerShape::conv(1, 384, 384, 20, 20, 3, 3, 2), 1));
+    layers.push(Layer::new(
+        "neck.down1",
+        LayerShape::conv(1, 384, 384, 20, 20, 3, 3, 2),
+        1,
+    ));
     c3_block(&mut layers, "neck.c3_bu1", 768, 1, 20);
     // Detect heads on P3/P4/P5.
-    layers.push(Layer::new("detect.p3", LayerShape::conv(1, 255, 192, 80, 80, 1, 1, 1), 1));
-    layers.push(Layer::new("detect.p4", LayerShape::conv(1, 255, 384, 40, 40, 1, 1, 1), 1));
-    layers.push(Layer::new("detect.p5", LayerShape::conv(1, 255, 768, 20, 20, 1, 1, 1), 1));
+    layers.push(Layer::new(
+        "detect.p3",
+        LayerShape::conv(1, 255, 192, 80, 80, 1, 1, 1),
+        1,
+    ));
+    layers.push(Layer::new(
+        "detect.p4",
+        LayerShape::conv(1, 255, 384, 40, 40, 1, 1, 1),
+        1,
+    ));
+    layers.push(Layer::new(
+        "detect.p5",
+        LayerShape::conv(1, 255, 768, 20, 20, 1, 1, 1),
+        1,
+    ));
     DnnModel::new("YOLOv5", layers, ThroughputTarget::fps(10.0))
 }
 

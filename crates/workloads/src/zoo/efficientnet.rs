@@ -56,8 +56,11 @@ fn mbconv(
 /// with an SE pair), head conv, classifier — 82 weighted layers, matching
 /// the paper's count. Light vision model: 40 FPS floor.
 pub fn efficientnet_b0() -> DnnModel {
-    let mut layers =
-        vec![Layer::new("stem", LayerShape::conv(1, 32, 3, 112, 112, 3, 3, 2), 1)];
+    let mut layers = vec![Layer::new(
+        "stem",
+        LayerShape::conv(1, 32, 3, 112, 112, 3, 3, 2),
+        1,
+    )];
     // (expand, c_out, repeats, first_stride, kernel); input 32ch at 112x112.
     let cfg: [(u64, u64, u64, u64, u64); 7] = [
         (1, 16, 1, 1, 3),
@@ -74,13 +77,26 @@ pub fn efficientnet_b0() -> DnnModel {
     for (expand, c_out, repeats, first_stride, k) in cfg {
         for r in 0..repeats {
             let s = if r == 0 { first_stride } else { 1 };
-            mbconv(&mut layers, &format!("blocks.{idx}"), c_in, c_out, expand, k, hw, s);
+            mbconv(
+                &mut layers,
+                &format!("blocks.{idx}"),
+                c_in,
+                c_out,
+                expand,
+                k,
+                hw,
+                s,
+            );
             hw /= s;
             c_in = c_out;
             idx += 1;
         }
     }
-    layers.push(Layer::new("head", LayerShape::conv(1, 1280, 320, 7, 7, 1, 1, 1), 1));
+    layers.push(Layer::new(
+        "head",
+        LayerShape::conv(1, 1280, 320, 7, 7, 1, 1, 1),
+        1,
+    ));
     layers.push(Layer::new("fc", LayerShape::gemm(1000, 1, 1280), 1));
     DnnModel::new("EfficientNetB0", layers, ThroughputTarget::fps(40.0))
 }
@@ -92,7 +108,11 @@ mod tests {
     #[test]
     fn sixteen_blocks_with_se_pairs() {
         let m = efficientnet_b0();
-        let se = m.layers().iter().filter(|l| l.name.contains("se_reduce")).count();
+        let se = m
+            .layers()
+            .iter()
+            .filter(|l| l.name.contains("se_reduce"))
+            .count();
         assert_eq!(se, 16);
     }
 

@@ -40,8 +40,11 @@ fn inverted_residual(
 /// expansion), final 1280-channel conv and classifier — 53 weighted layers,
 /// matching the paper's count. Light vision model: 40 FPS floor.
 pub fn mobilenet_v2() -> DnnModel {
-    let mut layers =
-        vec![Layer::new("stem", LayerShape::conv(1, 32, 3, 112, 112, 3, 3, 2), 1)];
+    let mut layers = vec![Layer::new(
+        "stem",
+        LayerShape::conv(1, 32, 3, 112, 112, 3, 3, 2),
+        1,
+    )];
     // (expand, c_out, repeats, first_stride), input starts at 32ch 112x112.
     let cfg: [(u64, u64, u64, u64); 7] = [
         (1, 16, 1, 1),
@@ -72,7 +75,11 @@ pub fn mobilenet_v2() -> DnnModel {
             idx += 1;
         }
     }
-    layers.push(Layer::new("head", LayerShape::conv(1, 1280, 320, 7, 7, 1, 1, 1), 1));
+    layers.push(Layer::new(
+        "head",
+        LayerShape::conv(1, 1280, 320, 7, 7, 1, 1, 1),
+        1,
+    ));
     layers.push(Layer::new("fc", LayerShape::gemm(1000, 1, 1280), 1));
     DnnModel::new("MobileNetV2", layers, ThroughputTarget::fps(40.0))
 }

@@ -47,7 +47,9 @@ pub fn all_models() -> Vec<DnnModel> {
 /// of [`all_models`], e.g. `"ResNet18"`, `"BERT"`.
 pub fn by_name(name: &str) -> Option<DnnModel> {
     let lower = name.to_ascii_lowercase();
-    all_models().into_iter().find(|m| m.name().to_ascii_lowercase() == lower)
+    all_models()
+        .into_iter()
+        .find(|m| m.name().to_ascii_lowercase() == lower)
 }
 
 #[cfg(test)]
@@ -76,7 +78,11 @@ mod tests {
         for m in all_models() {
             assert!(m.total_macs() > 0, "{} has zero MACs", m.name());
             assert!(m.target().inferences_per_second() > 0.0);
-            assert!(m.unique_shape_count() >= 3, "{} suspiciously few shapes", m.name());
+            assert!(
+                m.unique_shape_count() >= 3,
+                "{} suspiciously few shapes",
+                m.name()
+            );
         }
     }
 
@@ -84,7 +90,11 @@ mod tests {
     fn resnet18_matches_paper_structure() {
         let m = resnet18();
         assert_eq!(m.layer_count(), 18, "paper counts 18 layers for ResNet18");
-        assert_eq!(m.unique_shape_count(), 9, "paper: nine unique tensor shapes");
+        assert_eq!(
+            m.unique_shape_count(),
+            9,
+            "paper: nine unique tensor shapes"
+        );
         // ~1.8 GMACs for ResNet18 at 224x224.
         let gmacs = m.total_macs() as f64 / 1e9;
         assert!((1.5..2.2).contains(&gmacs), "ResNet18 GMACs {gmacs}");
@@ -100,7 +110,11 @@ mod tests {
 
     #[test]
     fn resnet50_layer_count() {
-        assert_eq!(resnet50().layer_count(), 54, "conv1 + 48 block convs + 4 downsamples + fc");
+        assert_eq!(
+            resnet50().layer_count(),
+            54,
+            "conv1 + 48 block convs + 4 downsamples + fc"
+        );
     }
 
     #[test]
@@ -121,7 +135,11 @@ mod tests {
 
     #[test]
     fn bert_layer_count_matches_paper() {
-        assert_eq!(bert_base().layer_count(), 85, "12 x 7 encoder ops + QA head");
+        assert_eq!(
+            bert_base().layer_count(),
+            85,
+            "12 x 7 encoder ops + QA head"
+        );
     }
 
     #[test]

@@ -15,13 +15,19 @@ fn decoder_block(layers: &mut Vec<Layer>, tag: &str, src: u64, tgt: u64, d: u64,
     layers.push(l(format!("{tag}.self.q"), LayerShape::gemm(d, tgt, d)));
     layers.push(l(format!("{tag}.self.k"), LayerShape::gemm(d, tgt, d)));
     layers.push(l(format!("{tag}.self.v"), LayerShape::gemm(d, tgt, d)));
-    layers.push(l(format!("{tag}.self.attn"), LayerShape::gemm(tgt, tgt, 2 * d)));
+    layers.push(l(
+        format!("{tag}.self.attn"),
+        LayerShape::gemm(tgt, tgt, 2 * d),
+    ));
     layers.push(l(format!("{tag}.self.proj"), LayerShape::gemm(d, tgt, d)));
     // Cross-attention: queries from target, keys/values from source.
     layers.push(l(format!("{tag}.cross.q"), LayerShape::gemm(d, tgt, d)));
     layers.push(l(format!("{tag}.cross.k"), LayerShape::gemm(d, src, d)));
     layers.push(l(format!("{tag}.cross.v"), LayerShape::gemm(d, src, d)));
-    layers.push(l(format!("{tag}.cross.attn"), LayerShape::gemm(tgt, src, 2 * d)));
+    layers.push(l(
+        format!("{tag}.cross.attn"),
+        LayerShape::gemm(tgt, src, 2 * d),
+    ));
     layers.push(l(format!("{tag}.cross.proj"), LayerShape::gemm(d, tgt, d)));
     layers.push(l(format!("{tag}.ffn1"), LayerShape::gemm(ffn, tgt, d)));
     layers.push(l(format!("{tag}.ffn2"), LayerShape::gemm(d, tgt, ffn)));
@@ -55,7 +61,11 @@ pub fn transformer() -> DnnModel {
         1,
     ));
     // 120 token-level samples/s over 64 tokens per pass.
-    DnnModel::new("Transformer", layers, ThroughputTarget::qps(120.0 / tgt as f64))
+    DnnModel::new(
+        "Transformer",
+        layers,
+        ThroughputTarget::qps(120.0 / tgt as f64),
+    )
 }
 
 /// BERT-base-uncased for Q&A on SQuAD: 12 encoder blocks of seven ops plus
@@ -105,7 +115,11 @@ pub fn wav2vec2() -> DnnModel {
         c_in = c;
     }
     let (seq, d, ffn) = (50, 768, 3072);
-    layers.push(Layer::new("feature_projection", LayerShape::gemm(d, seq, 512), 1));
+    layers.push(Layer::new(
+        "feature_projection",
+        LayerShape::gemm(d, seq, 512),
+        1,
+    ));
     // Grouped positional convolution (16 groups, kernel 128) approximated as
     // a depthwise-style conv over the embedding channels.
     layers.push(Layer::new(
@@ -131,7 +145,11 @@ mod tests {
     #[test]
     fn transformer_output_projection_dominates() {
         let m = transformer();
-        let proj = m.layers().iter().find(|l| l.name == "decoder.output_projection").unwrap();
+        let proj = m
+            .layers()
+            .iter()
+            .find(|l| l.name == "decoder.output_projection")
+            .unwrap();
         // The vocabulary projection is the single largest GEMM.
         let max_macs = m.layers().iter().map(|l| l.shape.macs()).max().unwrap();
         assert_eq!(proj.shape.macs(), max_macs);

@@ -13,13 +13,41 @@ pub fn resnet18() -> DnnModel {
         "ResNet18",
         vec![
             l("conv1", LayerShape::conv(1, 64, 3, 112, 112, 7, 7, 2), 1),
-            l("layer1.conv", LayerShape::conv(1, 64, 64, 56, 56, 3, 3, 1), 4),
-            l("layer2.0.down", LayerShape::conv(1, 128, 64, 28, 28, 3, 3, 2), 1),
-            l("layer2.conv", LayerShape::conv(1, 128, 128, 28, 28, 3, 3, 1), 3),
-            l("layer3.0.down", LayerShape::conv(1, 256, 128, 14, 14, 3, 3, 2), 1),
-            l("layer3.conv", LayerShape::conv(1, 256, 256, 14, 14, 3, 3, 1), 3),
-            l("layer4.0.down", LayerShape::conv(1, 512, 256, 7, 7, 3, 3, 2), 1),
-            l("layer4.conv", LayerShape::conv(1, 512, 512, 7, 7, 3, 3, 1), 3),
+            l(
+                "layer1.conv",
+                LayerShape::conv(1, 64, 64, 56, 56, 3, 3, 1),
+                4,
+            ),
+            l(
+                "layer2.0.down",
+                LayerShape::conv(1, 128, 64, 28, 28, 3, 3, 2),
+                1,
+            ),
+            l(
+                "layer2.conv",
+                LayerShape::conv(1, 128, 128, 28, 28, 3, 3, 1),
+                3,
+            ),
+            l(
+                "layer3.0.down",
+                LayerShape::conv(1, 256, 128, 14, 14, 3, 3, 2),
+                1,
+            ),
+            l(
+                "layer3.conv",
+                LayerShape::conv(1, 256, 256, 14, 14, 3, 3, 1),
+                3,
+            ),
+            l(
+                "layer4.0.down",
+                LayerShape::conv(1, 512, 256, 7, 7, 3, 3, 2),
+                1,
+            ),
+            l(
+                "layer4.conv",
+                LayerShape::conv(1, 512, 512, 7, 7, 3, 3, 1),
+                3,
+            ),
             l("fc", LayerShape::gemm(1000, 1, 512), 1),
         ],
         ThroughputTarget::fps(40.0),
@@ -45,10 +73,38 @@ pub fn resnet50() -> DnnModel {
         entry_stride: u64,
     }
     let stages = [
-        Stage { tag: "layer1", width: 64, in_planes: 64, blocks: 3, hw: 56, entry_stride: 1 },
-        Stage { tag: "layer2", width: 128, in_planes: 256, blocks: 4, hw: 28, entry_stride: 2 },
-        Stage { tag: "layer3", width: 256, in_planes: 512, blocks: 6, hw: 14, entry_stride: 2 },
-        Stage { tag: "layer4", width: 512, in_planes: 1024, blocks: 3, hw: 7, entry_stride: 2 },
+        Stage {
+            tag: "layer1",
+            width: 64,
+            in_planes: 64,
+            blocks: 3,
+            hw: 56,
+            entry_stride: 1,
+        },
+        Stage {
+            tag: "layer2",
+            width: 128,
+            in_planes: 256,
+            blocks: 4,
+            hw: 28,
+            entry_stride: 2,
+        },
+        Stage {
+            tag: "layer3",
+            width: 256,
+            in_planes: 512,
+            blocks: 6,
+            hw: 14,
+            entry_stride: 2,
+        },
+        Stage {
+            tag: "layer4",
+            width: 512,
+            in_planes: 1024,
+            blocks: 3,
+            hw: 7,
+            entry_stride: 2,
+        },
     ];
     for s in stages {
         let out_planes = s.width * 4;

@@ -13,8 +13,16 @@ pub fn vgg16() -> DnnModel {
         vec![
             l("conv1_1", LayerShape::conv(1, 64, 3, 224, 224, 3, 3, 1), 1),
             l("conv1_2", LayerShape::conv(1, 64, 64, 224, 224, 3, 3, 1), 1),
-            l("conv2_1", LayerShape::conv(1, 128, 64, 112, 112, 3, 3, 1), 1),
-            l("conv2_2", LayerShape::conv(1, 128, 128, 112, 112, 3, 3, 1), 1),
+            l(
+                "conv2_1",
+                LayerShape::conv(1, 128, 64, 112, 112, 3, 3, 1),
+                1,
+            ),
+            l(
+                "conv2_2",
+                LayerShape::conv(1, 128, 128, 112, 112, 3, 3, 1),
+                1,
+            ),
             l("conv3_1", LayerShape::conv(1, 256, 128, 56, 56, 3, 3, 1), 1),
             l("conv3_2", LayerShape::conv(1, 256, 256, 56, 56, 3, 3, 1), 2),
             l("conv4_1", LayerShape::conv(1, 512, 256, 28, 28, 3, 3, 1), 1),

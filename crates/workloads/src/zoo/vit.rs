@@ -47,7 +47,11 @@ mod tests {
     #[test]
     fn attention_macs_equal_two_bmms() {
         let m = vit_b16();
-        let attn = m.layers().iter().find(|l| l.name.ends_with(".attn")).unwrap();
+        let attn = m
+            .layers()
+            .iter()
+            .find(|l| l.name.ends_with(".attn"))
+            .unwrap();
         // 12 heads x (197x197x64) per BMM, two BMMs.
         assert_eq!(attn.shape.macs(), 2 * 12 * 197 * 197 * 64);
     }

@@ -6,14 +6,14 @@ use workloads::{LayerShape, Tensor};
 
 fn arb_conv() -> impl Strategy<Value = LayerShape> {
     (
-        1u64..=4,    // n
-        1u64..=512,  // m
-        1u64..=512,  // c
-        1u64..=64,   // oy
-        1u64..=64,   // ox
-        1u64..=7,    // fy
-        1u64..=7,    // fx
-        1u64..=2,    // stride
+        1u64..=4,   // n
+        1u64..=512, // m
+        1u64..=512, // c
+        1u64..=64,  // oy
+        1u64..=64,  // ox
+        1u64..=7,   // fy
+        1u64..=7,   // fx
+        1u64..=2,   // stride
     )
         .prop_map(|(n, m, c, oy, ox, fy, fx, s)| LayerShape::conv(n, m, c, oy, ox, fy, fx, s))
 }

@@ -10,8 +10,10 @@ use explainable_dse::opt::{
 use explainable_dse::prelude::*;
 
 fn main() {
-    let budget: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(120);
+    let budget: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(120);
     let model = zoo::resnet18();
     println!(
         "comparing DSE techniques for {} (budget {budget} evaluations, fixed dataflow)\n",
@@ -48,16 +50,20 @@ fn main() {
         Box::new(ConfuciuxRl::new(1)),
     ];
     for technique in &mut baselines {
-        let mut evaluator =
-            CodesignEvaluator::new(edge_space(), vec![model.clone()], FixedMapper);
-        run(technique.run(&mut evaluator, budget));
+        let evaluator = CodesignEvaluator::new(edge_space(), vec![model.clone()], FixedMapper);
+        run(technique.run(&evaluator, budget));
     }
 
     // Explainable-DSE.
-    let mut evaluator = CodesignEvaluator::new(edge_space(), vec![model.clone()], FixedMapper);
-    let dse =
-        ExplainableDse::new(dnn_latency_model(), DseConfig { budget, ..DseConfig::default() });
+    let evaluator = CodesignEvaluator::new(edge_space(), vec![model.clone()], FixedMapper);
+    let dse = ExplainableDse::new(
+        dnn_latency_model(),
+        DseConfig {
+            budget,
+            ..DseConfig::default()
+        },
+    );
     let initial = evaluator.space().minimum_point();
-    let result = dse.run_dnn(&mut evaluator, initial);
+    let result = dse.run_dnn(&evaluator, initial);
     run(result.trace);
 }

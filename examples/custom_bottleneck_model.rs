@@ -85,7 +85,10 @@ fn main() {
 
     println!("populated energy bottleneck tree for {}:", layer.describe());
     println!("{}", analysis.tree.render());
-    println!("primary bottleneck: {} (scale {:.2}x)", analysis.bottleneck, analysis.scaling);
+    println!(
+        "primary bottleneck: {} (scale {:.2}x)",
+        analysis.bottleneck, analysis.scaling
+    );
     for p in &analysis.predictions {
         println!("prediction for param {}: {}", p.param, p.rationale);
     }

@@ -11,20 +11,26 @@ use explainable_dse::prelude::*;
 fn main() {
     let budget = 100;
     let model = zoo::efficientnet_b0();
-    println!("dynamic exploration for {} within {budget} iterations", model.name());
+    println!(
+        "dynamic exploration for {} within {budget} iterations",
+        model.name()
+    );
 
     // Explainable DSE.
-    let mut evaluator =
-        CodesignEvaluator::new(edge_space(), vec![model.clone()], FixedMapper);
-    let dse =
-        ExplainableDse::new(dnn_latency_model(), DseConfig { budget, ..DseConfig::default() });
+    let evaluator = CodesignEvaluator::new(edge_space(), vec![model.clone()], FixedMapper);
+    let dse = ExplainableDse::new(
+        dnn_latency_model(),
+        DseConfig {
+            budget,
+            ..DseConfig::default()
+        },
+    );
     let initial = evaluator.space().minimum_point();
-    let explainable = dse.run_dnn(&mut evaluator, initial);
+    let explainable = dse.run_dnn(&evaluator, initial);
 
     // Random-search baseline under the identical budget.
-    let mut evaluator2 =
-        CodesignEvaluator::new(edge_space(), vec![model.clone()], FixedMapper);
-    let random = RandomSearch::new(1).run(&mut evaluator2, budget);
+    let evaluator2 = CodesignEvaluator::new(edge_space(), vec![model.clone()], FixedMapper);
+    let random = RandomSearch::new(1).run(&evaluator2, budget);
 
     let describe = |name: &str, trace: &Trace| match trace.best_feasible() {
         Some(best) => println!(

@@ -10,19 +10,21 @@ use explainable_dse::core::evaluate::Objective;
 use explainable_dse::prelude::*;
 
 fn run(objective: Objective, model: DnnModel) -> (String, Option<(f64, f64)>) {
-    let mut evaluator =
-        CodesignEvaluator::new(edge_space(), vec![model], LinearMapper::new(60))
-            .with_objective(objective);
+    let evaluator = CodesignEvaluator::new(edge_space(), vec![model], LinearMapper::new(60))
+        .with_objective(objective);
     let bottleneck_model = match objective {
         Objective::Energy => dnn_energy_model(),
         _ => dnn_latency_model(),
     };
     let dse = ExplainableDse::new(
         bottleneck_model,
-        DseConfig { budget: 200, ..DseConfig::default() },
+        DseConfig {
+            budget: 200,
+            ..DseConfig::default()
+        },
     );
     let initial = evaluator.space().minimum_point();
-    let result = dse.run_dnn(&mut evaluator, initial);
+    let result = dse.run_dnn(&evaluator, initial);
     let name = format!("{objective:?}");
     let summary = result.best.as_ref().map(|(point, eval)| {
         // Latency is always the third constraint; energy is tracked in the
@@ -36,8 +38,14 @@ fn run(objective: Objective, model: DnnModel) -> (String, Option<(f64, f64)>) {
 
 fn main() {
     let model = zoo::mobilenet_v2();
-    println!("objective comparison for {} (same constraints):\n", model.name());
-    println!("{:>10} {:>14} {:>14}", "objective", "latency (ms)", "energy (mJ)");
+    println!(
+        "objective comparison for {} (same constraints):\n",
+        model.name()
+    );
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "objective", "latency (ms)", "energy (mJ)"
+    );
     for objective in [Objective::Latency, Objective::Energy] {
         let (name, summary) = run(objective, model.clone());
         match summary {

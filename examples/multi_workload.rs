@@ -18,17 +18,20 @@ fn main() {
         language.unique_shape_count()
     );
 
-    let mut evaluator = CodesignEvaluator::new(
+    let evaluator = CodesignEvaluator::new(
         edge_space(),
         vec![vision.clone(), language.clone()],
         FixedMapper,
     );
     let dse = ExplainableDse::new(
         dnn_latency_model(),
-        DseConfig { budget: 200, ..DseConfig::default() },
+        DseConfig {
+            budget: 200,
+            ..DseConfig::default()
+        },
     );
     let initial = evaluator.space().minimum_point();
-    let result = dse.run_dnn(&mut evaluator, initial);
+    let result = dse.run_dnn(&evaluator, initial);
 
     println!(
         "explored {} designs ({})",
@@ -66,6 +69,9 @@ fn main() {
     layers.sort_by(|a, b| b.latency_ms.partial_cmp(&a.latency_ms).unwrap());
     println!("\ncost-critical sub-functions across both workloads:");
     for l in layers.iter().take(5) {
-        println!("  {:>22} [{}] {:.3} ms (x{})", l.name, l.model, l.latency_ms, l.count);
+        println!(
+            "  {:>22} [{}] {:.3} ms (x{})",
+            l.name, l.model, l.latency_ms, l.count
+        );
     }
 }

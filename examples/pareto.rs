@@ -12,21 +12,30 @@ use explainable_dse::prelude::*;
 fn main() {
     let model = zoo::mobilenet_v2();
     println!("latency/energy sweep for {}:\n", model.name());
-    println!("{:>8} {:>8} {:>14} {:>14}", "alpha", "beta", "latency (ms)", "energy (mJ)");
+    println!(
+        "{:>8} {:>8} {:>14} {:>14}",
+        "alpha", "beta", "latency (ms)", "energy (mJ)"
+    );
 
     let mut points: Vec<(f64, f64)> = Vec::new();
     for (alpha, beta) in [(1.0, 0.0), (1.0, 0.3), (1.0, 1.0), (0.3, 1.0), (0.0, 1.0)] {
         // Codesign setting: the mapper adapts tilings to each hardware
         // point, so mappability never gates the energy-heavy runs.
-        let mut evaluator =
+        let evaluator =
             CodesignEvaluator::new(edge_space(), vec![model.clone()], LinearMapper::new(60))
-                .with_objective(Objective::Weighted { alpha_ms: alpha, beta_mj: beta });
+                .with_objective(Objective::Weighted {
+                    alpha_ms: alpha,
+                    beta_mj: beta,
+                });
         let dse = ExplainableDse::new(
             dnn_weighted_model(alpha, beta),
-            DseConfig { budget: 150, ..DseConfig::default() },
+            DseConfig {
+                budget: 150,
+                ..DseConfig::default()
+            },
         );
         let initial = evaluator.space().minimum_point();
-        let result = dse.run_dnn(&mut evaluator, initial);
+        let result = dse.run_dnn(&evaluator, initial);
         match &result.best {
             Some((_, eval)) => {
                 let latency = eval.constraint_values[2];

@@ -17,17 +17,20 @@ fn main() {
         model.total_macs() as f64 / 1e9,
         model.target().inferences_per_second()
     );
-    let mut evaluator = CodesignEvaluator::new(edge_space(), vec![model], LinearMapper::new(64));
+    let evaluator = CodesignEvaluator::new(edge_space(), vec![model], LinearMapper::new(64));
 
     // 2) The explorer: the DNN latency bottleneck model drives acquisitions.
     let dse = ExplainableDse::new(
         dnn_latency_model(),
-        DseConfig { budget: 150, ..DseConfig::default() },
+        DseConfig {
+            budget: 150,
+            ..DseConfig::default()
+        },
     );
 
     // 3) Run from the minimum configuration.
     let initial = evaluator.space().minimum_point();
-    let result = dse.run_dnn(&mut evaluator, initial);
+    let result = dse.run_dnn(&evaluator, initial);
 
     // 4) Report: best codesign, convergence, and per-attempt explanations.
     println!(

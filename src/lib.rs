@@ -31,7 +31,7 @@ pub mod prelude {
     pub use baselines::DseTechnique;
     pub use edse_core::bottleneck::{dnn_latency_model, BottleneckModel, LayerCtx, TreeBuilder};
     pub use edse_core::dse::{DseConfig, DseResult, ExplainableDse};
-    pub use edse_core::evaluate::{CodesignEvaluator, Evaluator};
+    pub use edse_core::evaluate::{CodesignEvaluator, EvalEngine, Evaluator};
     pub use edse_core::space::{edge_space, DesignPoint, DesignSpace};
     pub use edse_core::{Constraint, Trace};
     pub use mapper::{FixedMapper, LinearMapper, MappingOptimizer, RandomMapper};

@@ -22,7 +22,7 @@ fn roomy() -> AcceleratorConfig {
 #[test]
 fn every_layer_of_every_model_maps_and_executes() {
     let cfg = roomy();
-    let mut mapper = LinearMapper::new(30);
+    let mapper = LinearMapper::new(30);
     for model in zoo::all_models() {
         for u in model.unique_shapes() {
             let mapped = mapper
@@ -49,8 +49,7 @@ fn every_layer_of_every_model_maps_and_executes() {
 
 #[test]
 fn model_level_latency_is_sum_of_weighted_layers() {
-    let mut evaluator =
-        CodesignEvaluator::new(edge_space(), vec![zoo::mobilenet_v2()], FixedMapper);
+    let evaluator = CodesignEvaluator::new(edge_space(), vec![zoo::mobilenet_v2()], FixedMapper);
     let point = {
         use explainable_dse::core::space::edge;
         evaluator
@@ -80,11 +79,19 @@ fn batched_models_scale_compute() {
 
     // A batched layer still maps and takes longer than batch-1.
     let cfg = roomy();
-    let mut mapper = LinearMapper::new(20);
+    let mapper = LinearMapper::new(20);
     let l1 = base.unique_shapes()[1].shape;
     let l4 = l1.with_batch(4);
-    let t1 = mapper.optimize(&l1, &cfg).expect("b1 maps").profile.latency_cycles;
-    let t4 = mapper.optimize(&l4, &cfg).expect("b4 maps").profile.latency_cycles;
+    let t1 = mapper
+        .optimize(&l1, &cfg)
+        .expect("b1 maps")
+        .profile
+        .latency_cycles;
+    let t4 = mapper
+        .optimize(&l4, &cfg)
+        .expect("b4 maps")
+        .profile
+        .latency_cycles;
     assert!(t4 > t1, "batch-4 {t4} should exceed batch-1 {t1}");
 }
 
@@ -93,13 +100,19 @@ fn gemm_heavy_and_conv_heavy_models_have_distinct_bottleneck_mixes() {
     use explainable_dse::core::bottleneck::{dnn_latency_model, LayerCtx};
     let cfg = roomy();
     let model = dnn_latency_model();
-    let mut mapper = LinearMapper::new(20);
+    let mapper = LinearMapper::new(20);
 
-    let mut mix = |m: &DnnModel| -> std::collections::BTreeMap<String, usize> {
+    let mix = |m: &DnnModel| -> std::collections::BTreeMap<String, usize> {
         let mut counts = std::collections::BTreeMap::new();
         for u in m.unique_shapes() {
             if let Some(mapped) = mapper.optimize(&u.shape, &cfg) {
-                let a = model.analyze(&LayerCtx { cfg, profile: mapped.profile }, 1);
+                let a = model.analyze(
+                    &LayerCtx {
+                        cfg,
+                        profile: mapped.profile,
+                    },
+                    1,
+                );
                 *counts
                     .entry(a.bottleneck.split(':').next().unwrap_or("").to_string())
                     .or_insert(0) += 1;

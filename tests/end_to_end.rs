@@ -6,12 +6,17 @@ use explainable_dse::opt::{DseTechnique, RandomSearch};
 use explainable_dse::prelude::*;
 
 fn explainable_run(model: DnnModel, budget: usize) -> (DseResult, Vec<Constraint>) {
-    let mut evaluator = CodesignEvaluator::new(edge_space(), vec![model], FixedMapper);
-    let dse =
-        ExplainableDse::new(dnn_latency_model(), DseConfig { budget, ..DseConfig::default() });
+    let evaluator = CodesignEvaluator::new(edge_space(), vec![model], FixedMapper);
+    let dse = ExplainableDse::new(
+        dnn_latency_model(),
+        DseConfig {
+            budget,
+            ..DseConfig::default()
+        },
+    );
     let initial = evaluator.space().minimum_point();
     let constraints = evaluator.constraints().to_vec();
-    (dse.run_dnn(&mut evaluator, initial), constraints)
+    (dse.run_dnn(&evaluator, initial), constraints)
 }
 
 #[test]
@@ -21,7 +26,10 @@ fn explainable_dse_converges_in_tens_of_evaluations() {
     // after ~tens of designs instead of 2500 (later §C restart phases may
     // spend more of the budget refining).
     let first_phase = *result.converged_after.first().expect("phases recorded");
-    assert!(first_phase < 200, "first phase took {first_phase} evaluations");
+    assert!(
+        first_phase < 200,
+        "first phase took {first_phase} evaluations"
+    );
     assert!(
         result.trace.evaluations() < 1000,
         "restart phases ran away: {}",
@@ -37,11 +45,18 @@ fn explainable_dse_converges_in_tens_of_evaluations() {
 fn explainable_matches_or_beats_random_at_equal_budget() {
     let budget = 150;
     let (result, _) = explainable_run(zoo::resnet18(), budget);
-    let mut ev = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
-    let random = RandomSearch::new(11).run(&mut ev, budget);
+    let ev = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+    let random = RandomSearch::new(11).run(&ev, budget);
 
-    let ours = result.best.as_ref().map(|(_, e)| e.objective).unwrap_or(f64::INFINITY);
-    let theirs = random.best_feasible().map(|s| s.objective).unwrap_or(f64::INFINITY);
+    let ours = result
+        .best
+        .as_ref()
+        .map(|(_, e)| e.objective)
+        .unwrap_or(f64::INFINITY);
+    let theirs = random
+        .best_feasible()
+        .map(|s| s.objective)
+        .unwrap_or(f64::INFINITY);
     // At worst within 50% of random at the same budget while using fewer
     // evaluations; typically better.
     assert!(
@@ -71,10 +86,18 @@ fn every_attempt_records_decision_and_analysis() {
     let (result, _) = explainable_run(zoo::resnet18(), 120);
     assert!(!result.attempts.is_empty());
     for a in &result.attempts {
-        assert!(!a.decision.is_empty(), "attempt {} lacks a decision", a.index);
+        assert!(
+            !a.decision.is_empty(),
+            "attempt {} lacks a decision",
+            a.index
+        );
     }
     // Most attempts analyze at least one sub-function.
-    let analyzed = result.attempts.iter().filter(|a| !a.analyses.is_empty()).count();
+    let analyzed = result
+        .attempts
+        .iter()
+        .filter(|a| !a.analyses.is_empty())
+        .count();
     assert!(analyzed * 2 >= result.attempts.len());
 }
 
@@ -85,15 +108,27 @@ fn codesign_beats_fixed_dataflow() {
     let model = zoo::efficientnet_b0();
     let (fixed, _) = explainable_run(model.clone(), budget);
 
-    let mut ev =
-        CodesignEvaluator::new(edge_space(), vec![model], LinearMapper::new(100));
-    let dse =
-        ExplainableDse::new(dnn_latency_model(), DseConfig { budget, ..DseConfig::default() });
+    let ev = CodesignEvaluator::new(edge_space(), vec![model], LinearMapper::new(100));
+    let dse = ExplainableDse::new(
+        dnn_latency_model(),
+        DseConfig {
+            budget,
+            ..DseConfig::default()
+        },
+    );
     let initial = ev.space().minimum_point();
-    let codesign = dse.run_dnn(&mut ev, initial);
+    let codesign = dse.run_dnn(&ev, initial);
 
-    let f = fixed.best.as_ref().map(|(_, e)| e.objective).unwrap_or(f64::INFINITY);
-    let c = codesign.best.as_ref().map(|(_, e)| e.objective).unwrap_or(f64::INFINITY);
+    let f = fixed
+        .best
+        .as_ref()
+        .map(|(_, e)| e.objective)
+        .unwrap_or(f64::INFINITY);
+    let c = codesign
+        .best
+        .as_ref()
+        .map(|(_, e)| e.objective)
+        .unwrap_or(f64::INFINITY);
     assert!(c <= f * 1.05, "codesign {c} ms vs fixed dataflow {f} ms");
 }
 

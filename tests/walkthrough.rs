@@ -11,8 +11,7 @@ use explainable_dse::prelude::*;
 fn bottleneck_predictions_reduce_latency_when_applied() {
     let space = edge_space();
     let model = zoo::resnet18();
-    let mut evaluator =
-        CodesignEvaluator::new(space.clone(), vec![model.clone()], FixedMapper);
+    let evaluator = CodesignEvaluator::new(space.clone(), vec![model.clone()], FixedMapper);
 
     // A mid-range point whose bottleneck is unambiguous.
     let mut point = space.minimum_point();
@@ -43,9 +42,15 @@ fn bottleneck_predictions_reduce_latency_when_applied() {
         .iter()
         .max_by(|a, b| a.latency_ms.partial_cmp(&b.latency_ms).unwrap())
         .expect("layers");
-    let ctx = LayerCtx { cfg, profile: critical.profile.expect("profile") };
+    let ctx = LayerCtx {
+        cfg,
+        profile: critical.profile.expect("profile"),
+    };
     let analysis = bottleneck_model.analyze(&ctx, 1);
-    assert!(!analysis.predictions.is_empty(), "analysis must predict something");
+    assert!(
+        !analysis.predictions.is_empty(),
+        "analysis must predict something"
+    );
 
     // Apply every predicted parameter move (the attempt's combined
     // candidate) and verify the objective drops.
@@ -59,7 +64,10 @@ fn bottleneck_predictions_reduce_latency_when_applied() {
         };
         improved = improved.with_index(p.param, idx);
     }
-    assert_ne!(improved, point, "predictions must move at least one parameter");
+    assert_ne!(
+        improved, point,
+        "predictions must move at least one parameter"
+    );
     let after = evaluator.evaluate(&improved);
     assert!(
         after.objective < before.objective,
@@ -74,12 +82,16 @@ fn per_layer_bottlenecks_differ_across_the_network() {
     // Fig. 6(b): different layers expose different bottlenecks on the same
     // hardware — the reason aggregation (§4.4) exists at all.
     let space = edge_space();
-    let mut evaluator =
-        CodesignEvaluator::new(space.clone(), vec![zoo::resnet18()], FixedMapper);
+    let evaluator = CodesignEvaluator::new(space.clone(), vec![zoo::resnet18()], FixedMapper);
     let mut point = space.minimum_point();
-    for (param, idx) in
-        [(edge::PES, 3), (edge::OFFCHIP_BW, 2), (edge::virt_links(1), 2), (edge::virt_links(3), 2), (edge::phys_links(1), 31), (edge::phys_links(3), 31)]
-    {
+    for (param, idx) in [
+        (edge::PES, 3),
+        (edge::OFFCHIP_BW, 2),
+        (edge::virt_links(1), 2),
+        (edge::virt_links(3), 2),
+        (edge::phys_links(1), 31),
+        (edge::phys_links(3), 31),
+    ] {
         point = point.with_index(param, idx);
     }
     let eval = evaluator.evaluate(&point);
@@ -108,8 +120,7 @@ fn scaling_matches_ratio_of_top_factors() {
     let model = dnn_latency_model();
     let analysis = model.analyze(&LayerCtx { cfg, profile }, 1);
 
-    let factors =
-        [profile.t_comp, profile.t_noc_max, profile.t_dma];
+    let factors = [profile.t_comp, profile.t_noc_max, profile.t_dma];
     let mut sorted = factors;
     sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
     let expected = (sorted[0] / sorted[1]).max(1.25);
