@@ -39,6 +39,7 @@ pub use simple::{GeneticAlgorithm, GridSearch, RandomSearch, SimulatedAnnealing}
 use edse_core::cost::{Sample, Trace};
 use edse_core::evaluate::Evaluator;
 use edse_core::space::DesignPoint;
+use edse_telemetry::Collector;
 
 /// A DSE technique: explores for `budget` unique evaluations and returns
 /// the full trace.
@@ -51,6 +52,26 @@ pub trait DseTechnique {
     /// [`Evaluator::evaluate_batch`], so a parallel evaluator speeds them
     /// up without changing any result.
     fn run(&mut self, evaluator: &dyn Evaluator, budget: usize) -> Trace;
+
+    /// Runs the exploration with telemetry: wraps [`Self::run`] in a
+    /// `baseline/<name>` span and emits one iteration record per
+    /// evaluated sample (post hoc, via
+    /// [`Trace::emit_iteration_records`]), so black-box baselines produce
+    /// traces comparable line-for-line with the explainable DSE's live
+    /// records. Results are identical to [`Self::run`].
+    fn run_traced(
+        &mut self,
+        evaluator: &dyn Evaluator,
+        budget: usize,
+        telemetry: &Collector,
+    ) -> Trace {
+        let trace = {
+            let _span = telemetry.span(&format!("baseline/{}", self.name()));
+            self.run(evaluator, budget)
+        };
+        trace.emit_iteration_records(telemetry, budget);
+        trace
+    }
 }
 
 /// Evaluates a point, appends it to the trace, and returns its penalized
@@ -149,6 +170,47 @@ mod tests {
             );
             assert!(trace.evaluations() > 0, "{} did nothing", t.name());
             assert!(!trace.technique.is_empty());
+        }
+    }
+
+    #[test]
+    fn run_traced_matches_run_and_emits_comparable_records() {
+        use edse_telemetry::{Event, MemorySink};
+        let budget = 12;
+        let plain = RandomSearch::new(3).run(&evaluator(), budget);
+
+        let sink = MemorySink::new();
+        let collector = Collector::builder().sink(sink.clone()).build();
+        let traced = RandomSearch::new(3).run_traced(&evaluator(), budget, &collector);
+        // Identical samples; wall_seconds legitimately differs between runs.
+        assert_eq!(
+            plain.samples, traced.samples,
+            "telemetry must not change the search"
+        );
+
+        let events = sink.events();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::SpanEnter { name, .. } if name == "baseline/random")),
+            "run_traced must open a technique span"
+        );
+        let records: Vec<_> = events
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Iteration { record, .. } => Some(record),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(records.len(), traced.evaluations());
+        for (i, rec) in records.iter().enumerate() {
+            assert_eq!(rec.technique, "random");
+            assert_eq!(rec.iteration as usize, i);
+            // A black box offers no explanation — that contrast with the
+            // explainable DSE's records is the point.
+            assert!(rec.bottleneck.is_none());
+            assert_eq!((rec.proposed, rec.deduped, rec.evaluated), (1, 0, 1));
+            assert_eq!(rec.budget_remaining as usize, budget - (i + 1));
         }
     }
 

@@ -77,6 +77,15 @@ impl Evaluator for Bowl {
     }
 }
 
+/// Sum of `{cache}shardNN{kind}` counters, e.g. all `point_cache/` misses.
+fn kind_sum(counters: &std::collections::BTreeMap<String, u64>, cache: &str, kind: &str) -> u64 {
+    counters
+        .iter()
+        .filter(|(k, _)| k.starts_with(cache) && k.ends_with(kind))
+        .map(|(_, v)| *v)
+        .sum()
+}
+
 fn techniques(seed: u64) -> Vec<Box<dyn DseTechnique>> {
     vec![
         Box::new(GridSearch),
@@ -185,5 +194,89 @@ proptest! {
             }
             (a, b) => prop_assert_eq!(a.is_some(), b.is_some()),
         }
+    }
+
+    /// Telemetry counter accounting across the evaluation engine: the
+    /// 4-thread run's counters sum exactly to the serial run's values, and
+    /// the point-cache miss counter IS the unique-evaluation count.
+    ///
+    /// The parallel engine reshuffles *classifications*, never totals:
+    /// an access that is a `hit` serially may be an `inflight_wait` in a
+    /// race, and the batch pre-warm phase moves layer-mapping misses out
+    /// of point evaluation — but misses stay misses and every access is
+    /// still counted exactly once.
+    #[test]
+    fn telemetry_counters_parallel_sum_to_serial(seed in 0u64..6) {
+        use edse_core::evaluate::{CodesignEvaluator, EvalEngine};
+        use edse_core::space::edge_space;
+        use edse_core::dse::{DseConfig, ExplainableDse};
+        use edse_core::bottleneck::dnn_latency_model;
+        use edse_telemetry::{Collector, Event, MemorySink};
+
+        let run = |engine: EvalEngine| {
+            let sink = MemorySink::new();
+            let collector = Collector::builder().sink(sink.clone()).build();
+            let ev = CodesignEvaluator::new(
+                edge_space(),
+                vec![workloads::zoo::resnet18()],
+                mapper::FixedMapper,
+            )
+            .with_engine(engine)
+            .with_telemetry(collector.clone());
+            let dse = ExplainableDse::new(
+                dnn_latency_model(),
+                DseConfig { budget: 40, seed, ..DseConfig::default() },
+            )
+            .with_telemetry(collector.clone());
+            let _ = dse.run_dnn(&ev, ev.space().minimum_point());
+            (ev.unique_evaluations(), collector.counters(), sink.events())
+        };
+        let (serial_uniques, serial, _) = run(EvalEngine::serial());
+        let (parallel_uniques, parallel, parallel_events) = run(EvalEngine::with_threads(4));
+
+        // unique_evaluations() equals the point-cache miss counter — both
+        // count inside the same once-guard.
+        prop_assert_eq!(kind_sum(&serial, "point_cache/", "/miss") as usize, serial_uniques);
+        prop_assert_eq!(kind_sum(&parallel, "point_cache/", "/miss") as usize, parallel_uniques);
+        prop_assert_eq!(serial_uniques, parallel_uniques);
+
+        // Misses are engine-invariant for both caches: the same unique
+        // work happens exactly once either way.
+        prop_assert_eq!(
+            kind_sum(&serial, "layer_cache/", "/miss"),
+            kind_sum(&parallel, "layer_cache/", "/miss")
+        );
+
+        // Point-cache accesses: same total, with serial hits split into
+        // parallel hits + in-flight waits.
+        let total = |c: &std::collections::BTreeMap<String, u64>, cache: &str| {
+            kind_sum(c, cache, "/hit") + kind_sum(c, cache, "/miss")
+                + kind_sum(c, cache, "/inflight_wait")
+        };
+        prop_assert_eq!(total(&serial, "point_cache/"), total(&parallel, "point_cache/"));
+        prop_assert_eq!(
+            kind_sum(&serial, "point_cache/", "/hit"),
+            kind_sum(&parallel, "point_cache/", "/hit")
+                + kind_sum(&parallel, "point_cache/", "/inflight_wait")
+        );
+
+        // Layer-cache accesses: the parallel pre-warm phase looks every
+        // pre-warmed task up once more than the serial run (warm miss +
+        // point-eval hit, vs. one serial point-eval miss). The Batch
+        // records say exactly how many tasks were pre-warmed, so the
+        // relation is exact, cross-checking counters against records.
+        let prewarmed: u64 = parallel_events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Batch { record, .. } if record.stage == "engine/mapping" => {
+                    Some(record.items)
+                }
+                _ => None,
+            })
+            .sum();
+        prop_assert_eq!(
+            total(&parallel, "layer_cache/"),
+            total(&serial, "layer_cache/") + prewarmed
+        );
     }
 }

@@ -8,6 +8,7 @@ use edse_core::bottleneck::{dnn_latency_model, LayerCtx};
 use edse_core::dse::{DseConfig, ExplainableDse};
 use edse_core::evaluate::{CodesignEvaluator, EvalEngine, Evaluator};
 use edse_core::space::{edge, edge_space};
+use edse_telemetry::{Collector, MemorySink};
 use mapper::{FixedMapper, LinearMapper, MappingOptimizer, MappingSpace, SpaceBudget};
 use std::hint::black_box;
 use workloads::{zoo, LayerShape};
@@ -106,6 +107,18 @@ fn bench_batch_engine(c: &mut Criterion) {
     c.bench_function("engine/batch16_parallel", |b| {
         b.iter(|| {
             let ev = make();
+            black_box(ev.evaluate_batch(&points))
+        })
+    });
+    // Telemetry overhead check: same batch with a live collector attached
+    // (memory sink, metrics on). The serial/parallel series above run with
+    // the no-op collector, so comparing against this series bounds the
+    // cost of instrumentation; the acceptance bar is <2% regression for
+    // the *no-op* path and single-digit-% with a live collector.
+    c.bench_function("engine/batch16_traced", |b| {
+        b.iter(|| {
+            let collector = Collector::builder().sink(MemorySink::new()).build();
+            let ev = make().with_telemetry(collector);
             black_box(ev.evaluate_batch(&points))
         })
     });

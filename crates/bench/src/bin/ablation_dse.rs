@@ -16,6 +16,7 @@ use edse_core::bottleneck::dnn_latency_model;
 use edse_core::dse::{Aggregation, DseConfig, ExplainableDse};
 use edse_core::evaluate::{CodesignEvaluator, Evaluator};
 use edse_core::space::edge_space;
+use edse_telemetry::Collector;
 use mapper::{FixedMapper, LinearMapper, MappingOptimizer};
 use workloads::{zoo, DnnModel};
 
@@ -23,9 +24,11 @@ fn run<M: MappingOptimizer>(
     model: &DnnModel,
     mapper: M,
     config: DseConfig,
+    telemetry: &Collector,
 ) -> (String, String, String) {
-    let ev = CodesignEvaluator::new(edge_space(), vec![model.clone()], mapper);
-    let dse = ExplainableDse::new(dnn_latency_model(), config);
+    let ev = CodesignEvaluator::new(edge_space(), vec![model.clone()], mapper)
+        .with_telemetry(telemetry.clone());
+    let dse = ExplainableDse::new(dnn_latency_model(), config).with_telemetry(telemetry.clone());
     let initial = ev.space().minimum_point();
     let r = dse.run_dnn(&ev, initial);
     let best = r
@@ -45,7 +48,8 @@ fn main() {
     let mut args = Args::parse(250);
     // Convergence comparisons need room even in quick mode.
     args.iters = args.iters.max(150);
-    let models = args.models_or(vec![zoo::resnet18(), zoo::efficientnet_b0()]);
+    let telemetry = args.telemetry();
+    let models = args.models_or(&telemetry, vec![zoo::resnet18(), zoo::efficientnet_b0()]);
     let base = DseConfig {
         budget: args.iters,
         ..DseConfig::default()
@@ -100,10 +104,16 @@ fn main() {
         let mut rows = Vec::new();
         for (name, config, codesign) in variants {
             let (best, evals, budget) = if codesign {
-                run(model, LinearMapper::new(args.map_trials), config)
+                run(
+                    model,
+                    LinearMapper::new(args.map_trials),
+                    config,
+                    &telemetry,
+                )
             } else {
-                run(model, FixedMapper, config)
+                run(model, FixedMapper, config, &telemetry)
             };
+            telemetry.flush();
             rows.push(vec![name.to_string(), best, evals, budget]);
         }
         print_table(

@@ -10,6 +10,7 @@ use workloads::zoo;
 
 fn main() {
     let args = Args::parse(2500);
+    let telemetry = args.telemetry();
     let model = zoo::efficientnet_b0();
     let constraints = constraints_for(std::slice::from_ref(&model));
     println!(
@@ -26,6 +27,7 @@ fn main() {
             vec![model.clone()],
             args.iters,
             args.seed,
+            &telemetry,
         );
         let best = trace
             .best_feasible()

@@ -78,25 +78,31 @@ fn print_trace(title: &str, space: &DesignSpace, trace: &Trace) {
 
 fn main() {
     let args = Args::parse(25);
+    let telemetry = args.telemetry();
     let space = toy_space();
     let model = single_layer_model();
 
     // HyperMapper-2.0-style exploration (Fig. 4a).
-    let ev = CodesignEvaluator::new(space.clone(), vec![model.clone()], mapper::FixedMapper);
-    let hm = HyperMapperLike::new(args.seed).run(&ev, args.iters);
+    let ev = CodesignEvaluator::new(space.clone(), vec![model.clone()], mapper::FixedMapper)
+        .with_telemetry(telemetry.clone());
+    let hm = HyperMapperLike::new(args.seed).run_traced(&ev, args.iters, &telemetry);
+    telemetry.flush();
     print_trace("HyperMapper 2.0 (black-box)", &space, &hm);
 
     // Explainable-DSE (Fig. 4b).
-    let ev = CodesignEvaluator::new(space.clone(), vec![model], mapper::FixedMapper);
+    let ev = CodesignEvaluator::new(space.clone(), vec![model], mapper::FixedMapper)
+        .with_telemetry(telemetry.clone());
     let dse = ExplainableDse::new(
         dnn_latency_model(),
         DseConfig {
             budget: args.iters,
             ..DseConfig::default()
         },
-    );
+    )
+    .with_telemetry(telemetry.clone());
     let initial = ev.space().minimum_point();
     let result = dse.run_dnn(&ev, initial);
+    telemetry.flush();
     print_trace("Explainable-DSE (bottleneck-guided)", &space, &result.trace);
     println!("\nexplanations:");
     for a in result.attempts.iter().take(6) {

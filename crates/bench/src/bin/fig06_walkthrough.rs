@@ -16,7 +16,9 @@ use workloads::zoo;
 
 fn main() {
     let args = Args::parse(80);
-    let evaluator = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+    let telemetry = args.telemetry();
+    let evaluator = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper)
+        .with_telemetry(telemetry.clone());
     let dse = ExplainableDse::new(
         dnn_latency_model(),
         DseConfig {
@@ -24,9 +26,11 @@ fn main() {
             restarts: 0,
             ..DseConfig::default()
         },
-    );
+    )
+    .with_telemetry(telemetry.clone());
     let initial = evaluator.space().minimum_point();
     let result = dse.run_dnn(&evaluator, initial);
+    telemetry.flush();
     println!(
         "{}",
         result.report(evaluator.space(), evaluator.constraints())

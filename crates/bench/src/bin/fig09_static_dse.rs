@@ -4,16 +4,19 @@
 //! codesign settings for random search, HyperMapper 2.0 and
 //! Explainable-DSE.
 //!
-//! Usage: `fig09_static_dse [--full] [--iters N] [--trials N] [--models a,b] [--seed N]`
+//! Usage: `fig09_static_dse [--full] [--iters N] [--trials N] [--models a,b] [--seed N]
+//! [--trace-out t.jsonl] [--verbose]`
 
 use bench::{
     constraints_for, latency_cell, print_table, run_technique, Args, MapperKind, TechniqueKind,
 };
+use edse_telemetry::Level;
 use workloads::zoo;
 
 fn main() {
     let args = Args::parse(2500);
-    let models = args.models_or(zoo::all_models());
+    let telemetry = args.telemetry();
+    let models = args.models_or(&telemetry, zoo::all_models());
     println!(
         "Fig. 9: best feasible latency (ms) after {} evaluations ({} mapping trials\n\
          per layer for black-box codesign)\n",
@@ -55,18 +58,29 @@ fn main() {
         let mut row = vec![label.clone()];
         for model in &models {
             let constraints = constraints_for(std::slice::from_ref(model));
-            let trace = run_technique(*kind, *mapper, vec![model.clone()], args.iters, args.seed);
+            let trace = run_technique(
+                *kind,
+                *mapper,
+                vec![model.clone()],
+                args.iters,
+                args.seed,
+                &telemetry,
+            );
             row.push(latency_cell(&trace, &constraints));
-            eprintln!(
-                "[{label} / {}] best={} evals={} {:.1}s",
-                model.name(),
-                row.last().unwrap(),
-                trace.evaluations(),
-                trace.wall_seconds
+            telemetry.log(
+                Level::Info,
+                &format!(
+                    "[{label} / {}] best={} evals={} {:.1}s",
+                    model.name(),
+                    row.last().unwrap(),
+                    trace.evaluations(),
+                    trace.wall_seconds
+                ),
             );
         }
         rows.push(row);
     }
+    telemetry.flush();
     print_table(&header_refs, &rows);
     println!(
         "\n'-' = no design met all constraints; '-*' = not even area/power were met.\n\

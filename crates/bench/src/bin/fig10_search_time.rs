@@ -13,8 +13,9 @@ use workloads::zoo;
 
 fn main() {
     let args = Args::parse(2500);
+    let telemetry = args.telemetry();
     let default = vec![zoo::resnet18(), zoo::efficientnet_b0(), zoo::transformer()];
-    let models = args.models_or(default);
+    let models = args.models_or(&telemetry, default);
 
     println!(
         "Fig. 10: exploration cost per technique (budget {} evaluations)\n",
@@ -45,9 +46,22 @@ fn main() {
         let mut blackbox_seconds: Vec<f64> = Vec::new();
         for (kind, mapper) in settings {
             let (trace, converged) = if kind == TechniqueKind::Explainable {
-                run_explainable_detailed(mapper, vec![model.clone()], args.iters, args.seed)
+                run_explainable_detailed(
+                    mapper,
+                    vec![model.clone()],
+                    args.iters,
+                    args.seed,
+                    &telemetry,
+                )
             } else {
-                let t = run_technique(kind, mapper, vec![model.clone()], args.iters, args.seed);
+                let t = run_technique(
+                    kind,
+                    mapper,
+                    vec![model.clone()],
+                    args.iters,
+                    args.seed,
+                    &telemetry,
+                );
                 (t, vec![])
             };
             if kind == TechniqueKind::Explainable {

@@ -18,7 +18,8 @@ fn fmt(v: f64) -> String {
 
 fn main() {
     let args = Args::parse(2500);
-    let models = args.models_or(vec![zoo::efficientnet_b0(), zoo::transformer()]);
+    let telemetry = args.telemetry();
+    let models = args.models_or(&telemetry, vec![zoo::efficientnet_b0(), zoo::transformer()]);
 
     let settings = [
         (TechniqueKind::Random, MapperKind::FixedDataflow),
@@ -37,7 +38,14 @@ fn main() {
         let traces: Vec<(String, Trace)> = settings
             .iter()
             .map(|(kind, mapper)| {
-                let t = run_technique(*kind, *mapper, vec![model.clone()], args.iters, args.seed);
+                let t = run_technique(
+                    *kind,
+                    *mapper,
+                    vec![model.clone()],
+                    args.iters,
+                    args.seed,
+                    &telemetry,
+                );
                 (format!("{}{}", kind.label(), mapper.suffix()), t)
             })
             .collect();

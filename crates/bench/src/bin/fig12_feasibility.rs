@@ -10,8 +10,9 @@ use workloads::zoo;
 
 fn main() {
     let args = Args::parse(2500);
+    let telemetry = args.telemetry();
     let default = vec![zoo::resnet18(), zoo::mobilenet_v2(), zoo::bert_base()];
-    let models = args.models_or(default);
+    let models = args.models_or(&telemetry, default);
     println!(
         "Fig. 12: feasibility of explored solutions ({} evaluations, mean over {} models)\n",
         args.iters,
@@ -42,7 +43,14 @@ fn main() {
         let mut all = 0.0;
         for model in &models {
             let constraints = constraints_for(std::slice::from_ref(model));
-            let trace = run_technique(kind, mapper, vec![model.clone()], args.iters, args.seed);
+            let trace = run_technique(
+                kind,
+                mapper,
+                vec![model.clone()],
+                args.iters,
+                args.seed,
+                &telemetry,
+            );
             area_power += trace.feasibility_rate_first(2, &constraints);
             all += trace.feasibility_rate();
         }

@@ -59,6 +59,7 @@ fn references() -> Vec<Reference> {
 
 fn main() {
     let args = Args::parse(400);
+    let telemetry = args.telemetry();
     println!("Fig. 14: DSE codesigns vs published edge accelerators\n");
 
     let mut rows = Vec::new();
@@ -72,6 +73,7 @@ fn main() {
             vec![model.clone()],
             args.iters,
             args.seed,
+            &telemetry,
         );
         let Some(best) = trace.best_feasible() else {
             rows.push(vec![

@@ -8,11 +8,15 @@
 
 use accel_model::AcceleratorConfig;
 use bench::{print_table, Args};
-use mapper::{AnnealingMapper, GeneticMapper, LinearMapper, MappingOptimizer, RandomMapper};
+use mapper::{
+    AnnealingMapper, GeneticMapper, InstrumentedMapper, LinearMapper, MappingOptimizer,
+    RandomMapper,
+};
 use workloads::zoo;
 
 fn main() {
     let args = Args::parse(2500);
+    let telemetry = args.telemetry();
     let trials = args.map_trials;
     // Enough links and register-file bytes that mappings are limited by
     // tiling quality, not bare compatibility (the study isolates mapper
@@ -32,12 +36,21 @@ fn main() {
         trials
     );
 
-    let mut mappers: Vec<Box<dyn MappingOptimizer>> = vec![
+    // With `--trace-out`, each optimizer's per-layer timing lands in a
+    // `mapper/<name>/optimize_us` histogram plus feasible/infeasible
+    // counters; a no-op collector makes the wrappers transparent.
+    let raw: Vec<Box<dyn MappingOptimizer>> = vec![
         Box::new(RandomMapper::new(trials, args.seed)),
         Box::new(AnnealingMapper::new(trials, args.seed)),
         Box::new(GeneticMapper::new(16, trials / 16, args.seed)),
         Box::new(LinearMapper::new(trials)),
     ];
+    let mut mappers: Vec<Box<dyn MappingOptimizer>> = raw
+        .into_iter()
+        .map(|m| {
+            Box::new(InstrumentedMapper::new(m, telemetry.clone())) as Box<dyn MappingOptimizer>
+        })
+        .collect();
 
     let layers: Vec<_> = zoo::resnet18()
         .unique_shapes()
@@ -78,6 +91,7 @@ fn main() {
         });
     }
     rows.push(total_row);
+    telemetry.flush();
     print_table(&header_refs, &rows);
     println!(
         "\npaper shape: random search reaches low-latency mappings for all layers;\n\

@@ -10,6 +10,7 @@ use edse_core::bottleneck::dnn_latency_model;
 use edse_core::dse::{DseConfig, ExplainableDse};
 use edse_core::evaluate::{CodesignEvaluator, Evaluator};
 use edse_core::space::edge_space;
+use edse_telemetry::Level;
 use mapper::LinearMapper;
 
 fn main() {
@@ -17,19 +18,23 @@ fn main() {
         .nth(1)
         .filter(|a| !a.starts_with("--"))
         .unwrap_or_else(|| "assets/custom_model.json".into());
-    let args = Args::parse(150);
+    let mut args = Args::parse(150);
+    // The first positional argument is the model path, not an unknown flag.
+    args.warnings
+        .retain(|w| !w.ends_with(&format!("argument {path}")));
+    let telemetry = args.telemetry();
 
     let json = match std::fs::read_to_string(&path) {
         Ok(j) => j,
         Err(e) => {
-            eprintln!("cannot read {path}: {e}");
+            telemetry.log(Level::Error, &format!("cannot read {path}: {e}"));
             std::process::exit(1);
         }
     };
     let model = match workloads::from_json_str(&json) {
         Ok(m) => m,
         Err(e) => {
-            eprintln!("import failed: {e}");
+            telemetry.log(Level::Error, &format!("import failed: {e}"));
             std::process::exit(1);
         }
     };
@@ -50,16 +55,19 @@ fn main() {
         edge_space(),
         vec![model],
         LinearMapper::new(args.map_trials),
-    );
+    )
+    .with_telemetry(telemetry.clone());
     let dse = ExplainableDse::new(
         dnn_latency_model(),
         DseConfig {
             budget: args.iters,
             ..DseConfig::default()
         },
-    );
+    )
+    .with_telemetry(telemetry.clone());
     let initial = evaluator.space().minimum_point();
     let result = dse.run_dnn(&evaluator, initial);
+    telemetry.flush();
     println!(
         "\nexplored {} designs ({})",
         result.trace.evaluations(),

@@ -16,7 +16,8 @@ fn main() {
     if args.quick {
         args.iters = 100; // Table 2's budget *is* the dynamic budget.
     }
-    let models = args.models_or(zoo::all_models());
+    let telemetry = args.telemetry();
+    let models = args.models_or(&telemetry, zoo::all_models());
     println!(
         "Table 2: best feasible latency (ms) within {} iterations\n",
         args.iters
@@ -59,7 +60,14 @@ fn main() {
         let mut row = vec![label.clone()];
         for model in &models {
             let constraints = constraints_for(std::slice::from_ref(model));
-            let trace = run_technique(*kind, *mapper, vec![model.clone()], args.iters, args.seed);
+            let trace = run_technique(
+                *kind,
+                *mapper,
+                vec![model.clone()],
+                args.iters,
+                args.seed,
+                &telemetry,
+            );
             if *kind == TechniqueKind::Explainable {
                 explainable_evals.push(trace.evaluations());
             }

@@ -17,8 +17,9 @@ fn cell(g: Option<f64>) -> String {
 
 fn main() {
     let args = Args::parse(2500);
+    let telemetry = args.telemetry();
     let default = vec![zoo::resnet18(), zoo::efficientnet_b0(), zoo::bert_base()];
-    let models = args.models_or(default);
+    let models = args.models_or(&telemetry, default);
     println!(
         "Table 3: geometric-mean objective reduction per acquisition\n\
          ({} evaluations budget)\n",
@@ -52,7 +53,14 @@ fn main() {
     for (kind, mapper, label) in &settings {
         let mut row = vec![label.clone()];
         for model in &models {
-            let trace = run_technique(*kind, *mapper, vec![model.clone()], args.iters, args.seed);
+            let trace = run_technique(
+                *kind,
+                *mapper,
+                vec![model.clone()],
+                args.iters,
+                args.seed,
+                &telemetry,
+            );
             row.push(cell(trace.geomean_reduction()));
         }
         rows.push(row);

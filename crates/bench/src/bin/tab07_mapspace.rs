@@ -44,6 +44,7 @@ fn pow(v: f64) -> String {
 
 fn main() {
     let args = Args::parse(2000);
+    let _telemetry = args.telemetry();
     let samples = args.map_trials.max(200);
     let reference = AcceleratorConfig::edge_minimum();
     println!(

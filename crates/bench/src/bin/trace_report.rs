@@ -1,0 +1,232 @@
+//! Renders a `--trace-out` JSONL telemetry trace as a human-readable
+//! search narrative: the span timeline, one line per DSE iteration (with
+//! the dominant bottleneck and the proposed/deduped/evaluated funnel),
+//! evaluator cache hit rates, batch-engine thread utilization, and stage
+//! timing summaries.
+//!
+//! Exits non-zero when any line fails to parse, so CI can assert a trace
+//! is well-formed by piping it through this binary.
+//!
+//! Usage: `trace_report <trace.jsonl>`
+
+use edse_telemetry::{Event, Level};
+use std::collections::BTreeMap;
+
+fn fmt_ms(objective: f64) -> String {
+    if objective.is_finite() {
+        format!("{objective:.3} ms")
+    } else {
+        "unmappable".into()
+    }
+}
+
+/// `hit / (hit + miss + inflight_wait)` for one cache prefix, summed over
+/// every counter snapshot in the trace.
+fn hit_rate(totals: &BTreeMap<String, u64>, cache: &str) -> Option<(f64, u64)> {
+    let sum = |kind: &str| -> u64 {
+        totals
+            .iter()
+            .filter(|(k, _)| k.starts_with(cache) && k.ends_with(kind))
+            .map(|(_, v)| *v)
+            .sum()
+    };
+    let hits = sum("/hit");
+    let total = hits + sum("/miss") + sum("/inflight_wait");
+    (total > 0).then(|| (hits as f64 / total as f64, total))
+}
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace_report <trace.jsonl>");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Event::parse_json_line(line) {
+            Ok(event) => events.push(event),
+            Err(e) => {
+                eprintln!("{path}:{}: unparseable trace line: {e}", i + 1);
+                std::process::exit(1);
+            }
+        }
+    }
+    if events.is_empty() {
+        eprintln!("{path}: empty trace");
+        std::process::exit(1);
+    }
+    let span_s = events.iter().map(Event::t_us).max().unwrap_or(0) as f64 / 1e6;
+    println!("# Trace report: {path}\n");
+    println!("{} events over {span_s:.2} s\n", events.len());
+
+    // -- Span timeline ----------------------------------------------------
+    let spans: Vec<(&String, u64, u64)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::SpanExit {
+                name,
+                t_us,
+                elapsed_us,
+            } => Some((name, t_us.saturating_sub(*elapsed_us), *elapsed_us)),
+            _ => None,
+        })
+        .collect();
+    if !spans.is_empty() {
+        println!("## Spans\n");
+        for (name, start_us, elapsed_us) in spans {
+            println!(
+                "- {name}: {:.3} s (from t+{:.3} s)",
+                elapsed_us as f64 / 1e6,
+                start_us as f64 / 1e6
+            );
+        }
+        println!();
+    }
+
+    // -- Per-iteration search narrative -----------------------------------
+    let iterations: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Iteration { record, .. } => Some(record),
+            _ => None,
+        })
+        .collect();
+    if !iterations.is_empty() {
+        println!("## Search narrative ({} iterations)\n", iterations.len());
+        for rec in &iterations {
+            let mut line = format!(
+                "iter {:>3} [{}] incumbent {}",
+                rec.iteration,
+                rec.technique,
+                fmt_ms(rec.incumbent_objective)
+            );
+            if let Some(best) = rec.best_objective {
+                line.push_str(&format!(", best {}", fmt_ms(best)));
+            }
+            match (&rec.bottleneck, rec.scaling) {
+                (Some(b), Some(s)) => line.push_str(&format!(" | bottleneck {b} (needs s={s:.2})")),
+                (Some(b), None) => line.push_str(&format!(" | bottleneck {b}")),
+                (None, _) => line.push_str(" | no bottleneck analysis (black box)"),
+            }
+            if !rec.layer_contributions.is_empty() {
+                let top: Vec<String> = rec
+                    .layer_contributions
+                    .iter()
+                    .take(3)
+                    .map(|(name, c)| format!("{name} {:.1}%", c * 100.0))
+                    .collect();
+                line.push_str(&format!(" | top layers: {}", top.join(", ")));
+            }
+            line.push_str(&format!(
+                " | proposed {} -> deduped {} -> evaluated {} (budget left {})",
+                rec.proposed, rec.deduped, rec.evaluated, rec.budget_remaining
+            ));
+            println!("{line}");
+            println!("         decision: {}", rec.decision);
+        }
+        println!();
+    }
+
+    // -- Evaluator cache traffic ------------------------------------------
+    let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+    for e in &events {
+        if let Event::Counters { deltas, .. } = e {
+            for (name, v) in deltas {
+                *totals.entry(name.clone()).or_insert(0) += v;
+            }
+        }
+    }
+    if !totals.is_empty() {
+        println!("## Evaluator caches\n");
+        for cache in ["point_cache/", "layer_cache/"] {
+            if let Some((rate, total)) = hit_rate(&totals, cache) {
+                println!(
+                    "- {} hit rate: {:.1}% over {total} accesses",
+                    cache.trim_end_matches('/'),
+                    rate * 100.0
+                );
+            }
+        }
+        let other: Vec<(&String, &u64)> = totals
+            .iter()
+            .filter(|(k, _)| !k.starts_with("point_cache/") && !k.starts_with("layer_cache/"))
+            .collect();
+        for (name, v) in other {
+            println!("- {name}: {v}");
+        }
+        println!();
+    }
+
+    // -- Batch engine thread utilization ----------------------------------
+    let batches: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Batch { record, .. } => Some(record),
+            _ => None,
+        })
+        .collect();
+    if !batches.is_empty() {
+        println!("## Batch engine\n");
+        let mut stages: BTreeMap<&str, (u64, u64, u64, f64)> = BTreeMap::new();
+        for b in &batches {
+            let entry = stages.entry(b.stage.as_str()).or_insert((0, 0, 0, 0.0));
+            entry.0 += 1;
+            entry.1 += b.items;
+            entry.2 = entry.2.max(b.threads);
+            entry.3 += b.balance();
+        }
+        for (stage, (count, items, threads, balance_sum)) in stages {
+            println!(
+                "- {stage}: {count} batches, {items} tasks, up to {threads} threads, \
+                 mean utilization {:.0}%",
+                100.0 * balance_sum / count as f64
+            );
+        }
+        println!();
+    }
+
+    // -- Stage timings (cumulative histograms; the last snapshot wins) ----
+    let last_histograms = events.iter().rev().find_map(|e| match e {
+        Event::Histograms { summaries, .. } => Some(summaries),
+        _ => None,
+    });
+    if let Some(summaries) = last_histograms {
+        println!("## Stage timings\n");
+        for h in summaries {
+            println!(
+                "- {}: {} samples, mean {:.0} us (min {:.0}, max {:.0})",
+                h.name,
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            );
+        }
+        println!();
+    }
+
+    // -- Logs --------------------------------------------------------------
+    let logs: Vec<(&Level, &String)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Log { level, message, .. } => Some((level, message)),
+            _ => None,
+        })
+        .collect();
+    if !logs.is_empty() {
+        println!("## Logs ({})\n", logs.len());
+        for (level, message) in logs {
+            println!("- [{level}] {message}");
+        }
+    }
+}

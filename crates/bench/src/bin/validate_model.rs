@@ -18,7 +18,8 @@ use workloads::zoo;
 
 fn main() {
     let args = Args::parse(0);
-    let models = args.models_or(vec![zoo::resnet18(), zoo::mobilenet_v2()]);
+    let telemetry = args.telemetry();
+    let models = args.models_or(&telemetry, vec![zoo::resnet18(), zoo::mobilenet_v2()]);
     let cfg = AcceleratorConfig {
         pes: 256,
         l1_bytes: 128,

@@ -16,6 +16,7 @@ use edse_core::cost::Trace;
 use edse_core::dse::{DseConfig, ExplainableDse};
 use edse_core::evaluate::{CodesignEvaluator, Evaluator};
 use edse_core::space::edge_space;
+use edse_telemetry::{Collector, JsonlSink, Level, StderrSink};
 use mapper::{FixedMapper, LinearMapper, MappingOptimizer, RandomMapper};
 use workloads::{zoo, DnnModel};
 
@@ -33,10 +34,20 @@ pub struct Args {
     pub models: Vec<String>,
     /// Whether the `--quick` preset was chosen.
     pub quick: bool,
+    /// JSONL trace destination (`--trace-out <path>`); `None` keeps
+    /// telemetry metrics off entirely.
+    pub trace_out: Option<String>,
+    /// Whether `--verbose` lowers the stderr log threshold to `Info`
+    /// (progress chatter); the default shows only warnings and errors.
+    pub verbose: bool,
+    /// Diagnostics accumulated while parsing (unknown flags); surfaced
+    /// as `Warn` logs once [`Args::telemetry`] builds the collector.
+    pub warnings: Vec<String>,
 }
 
 impl Args {
-    /// Parses `--iters N --trials N --seed N --models a,b --quick --full`.
+    /// Parses `--iters N --trials N --seed N --models a,b --quick --full
+    /// --trace-out PATH --verbose`.
     ///
     /// `default_iters` applies to the full setting; `--quick` divides the
     /// budgets so every experiment finishes in minutes on a laptop. Quick
@@ -49,6 +60,9 @@ impl Args {
             seed: 1,
             models: Vec::new(),
             quick: true,
+            trace_out: None,
+            verbose: false,
+            warnings: Vec::new(),
         };
         let mut explicit_iters = None;
         let mut explicit_trials = None;
@@ -74,9 +88,16 @@ impl Args {
                         .unwrap_or_default();
                     i += 1;
                 }
+                "--trace-out" => {
+                    args.trace_out = argv.get(i + 1).cloned();
+                    i += 1;
+                }
+                "--verbose" => args.verbose = true,
                 "--full" => args.quick = false,
                 "--quick" => args.quick = true,
-                other => eprintln!("ignoring unknown argument {other}"),
+                other => args
+                    .warnings
+                    .push(format!("ignoring unknown argument {other}")),
             }
             i += 1;
         }
@@ -93,8 +114,37 @@ impl Args {
         args
     }
 
+    /// Builds the run's telemetry collector from the parsed flags:
+    /// a [`JsonlSink`] when `--trace-out` was given (activating metrics),
+    /// plus a [`StderrSink`] at `Warn` (or `Info` with `--verbose`) so
+    /// warnings stay visible while progress chatter is opt-in. Exits with
+    /// an error when the trace file cannot be created.
+    pub fn telemetry(&self) -> Collector {
+        let mut builder = Collector::builder();
+        if let Some(path) = &self.trace_out {
+            match JsonlSink::create(std::path::Path::new(path)) {
+                Ok(sink) => builder = builder.sink(sink),
+                Err(e) => {
+                    eprintln!("cannot create trace file {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let level = if self.verbose {
+            Level::Info
+        } else {
+            Level::Warn
+        };
+        let collector = builder.sink(StderrSink::new(level)).build();
+        for warning in &self.warnings {
+            collector.log(Level::Warn, warning);
+        }
+        collector
+    }
+
     /// The models this run targets: `--models` if given, else `fallback`.
-    pub fn models_or(&self, fallback: Vec<DnnModel>) -> Vec<DnnModel> {
+    /// Unknown names are skipped with a `Warn` log.
+    pub fn models_or(&self, telemetry: &Collector, fallback: Vec<DnnModel>) -> Vec<DnnModel> {
         if self.models.is_empty() {
             return fallback;
         }
@@ -103,7 +153,7 @@ impl Args {
             .filter_map(|name| {
                 let m = zoo::by_name(name);
                 if m.is_none() {
-                    eprintln!("unknown model {name}, skipping");
+                    telemetry.log(Level::Warn, &format!("unknown model {name}, skipping"));
                 }
                 m
             })
@@ -194,14 +244,19 @@ impl TechniqueKind {
 
 /// Runs Explainable-DSE and returns its trace together with the
 /// evaluation counts at which each exploration phase converged (the first
-/// entry is the paper's "iterations to converge").
+/// entry is the paper's "iterations to converge"). Telemetry is wired
+/// through both the DSE loop (iteration records) and the evaluator
+/// (cache/stage metrics); counter deltas are flushed at the end, so each
+/// run snapshots its own traffic into the trace.
 pub fn run_explainable_detailed(
     mapper: MapperKind,
     models: Vec<DnnModel>,
     budget: usize,
     seed: u64,
+    telemetry: &Collector,
 ) -> (Trace, Vec<usize>) {
-    let evaluator = CodesignEvaluator::new(edge_space(), models, mapper.build(seed));
+    let evaluator = CodesignEvaluator::new(edge_space(), models, mapper.build(seed))
+        .with_telemetry(telemetry.clone());
     let dse = ExplainableDse::new(
         dnn_latency_model(),
         DseConfig {
@@ -209,23 +264,32 @@ pub fn run_explainable_detailed(
             seed,
             ..DseConfig::default()
         },
-    );
+    )
+    .with_telemetry(telemetry.clone());
     let initial = evaluator.space().minimum_point();
     let result = dse.run_dnn(&evaluator, initial);
+    telemetry.flush();
     let mut trace = result.trace;
     trace.technique = format!("{}{}", trace.technique, mapper.suffix());
     (trace, result.converged_after)
 }
 
 /// Runs one technique on one workload set and returns the trace.
+///
+/// Explainable-DSE emits live iteration records; the black-box baselines
+/// go through [`DseTechnique::run_traced`], which reconstructs comparable
+/// records post hoc. Either way the evaluator reports cache and stage
+/// metrics, and the run ends with a counter/histogram flush.
 pub fn run_technique(
     kind: TechniqueKind,
     mapper: MapperKind,
     models: Vec<DnnModel>,
     budget: usize,
     seed: u64,
+    telemetry: &Collector,
 ) -> Trace {
-    let evaluator = CodesignEvaluator::new(edge_space(), models, mapper.build(seed));
+    let evaluator = CodesignEvaluator::new(edge_space(), models, mapper.build(seed))
+        .with_telemetry(telemetry.clone());
     let mut trace = match kind {
         TechniqueKind::Explainable => {
             let dse = ExplainableDse::new(
@@ -235,7 +299,8 @@ pub fn run_technique(
                     seed,
                     ..DseConfig::default()
                 },
-            );
+            )
+            .with_telemetry(telemetry.clone());
             let initial = evaluator.space().minimum_point();
             dse.run_dnn(&evaluator, initial).trace
         }
@@ -250,9 +315,10 @@ pub fn run_technique(
                 TechniqueKind::Rl => Box::new(ConfuciuxRl::new(seed)),
                 TechniqueKind::Explainable => unreachable!("handled above"),
             };
-            technique.run(&evaluator, budget)
+            technique.run_traced(&evaluator, budget, telemetry)
         }
     };
+    telemetry.flush();
     trace.technique = format!("{}{}", trace.technique, mapper.suffix());
     trace
 }
@@ -317,7 +383,14 @@ mod tests {
     #[test]
     fn technique_registry_runs_every_kind_briefly() {
         for kind in TechniqueKind::ALL {
-            let t = run_technique(kind, MapperKind::FixedDataflow, vec![zoo::resnet18()], 8, 3);
+            let t = run_technique(
+                kind,
+                MapperKind::FixedDataflow,
+                vec![zoo::resnet18()],
+                8,
+                3,
+                &Collector::noop(),
+            );
             assert!(t.evaluations() <= 8, "{:?}", kind);
             assert!(t.technique.ends_with("-fixdf"));
         }
@@ -331,6 +404,7 @@ mod tests {
             vec![zoo::resnet18()],
             60,
             3,
+            &Collector::noop(),
         );
         let constraints = constraints_for(&[zoo::resnet18()]);
         let cell = latency_cell(&t, &constraints);
@@ -347,7 +421,45 @@ mod tests {
             seed: 1,
             models: vec![],
             quick: true,
+            trace_out: None,
+            verbose: false,
+            warnings: vec![],
         };
-        assert!(a.models_or(vec![zoo::resnet18()]).len() == 1);
+        assert!(a.models_or(&Collector::noop(), vec![zoo::resnet18()]).len() == 1);
+    }
+
+    #[test]
+    fn run_technique_streams_a_complete_trace() {
+        use edse_telemetry::{Event, MemorySink};
+        let sink = MemorySink::new();
+        let collector = Collector::builder().sink(sink.clone()).build();
+        let t = run_technique(
+            TechniqueKind::Explainable,
+            MapperKind::FixedDataflow,
+            vec![zoo::resnet18()],
+            12,
+            3,
+            &collector,
+        );
+        assert!(t.evaluations() <= 12);
+        let events = sink.events();
+        assert!(events.iter().any(|e| matches!(e, Event::Iteration { .. })));
+        assert!(events.iter().any(|e| matches!(e, Event::Counters { .. })));
+        // Every run ends in a flush, so the point-cache traffic snapshot
+        // is present with real misses recorded.
+        let misses: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Counters { deltas, .. } => Some(
+                    deltas
+                        .iter()
+                        .filter(|(k, _)| k.starts_with("point_cache/") && k.ends_with("/miss"))
+                        .map(|(_, v)| *v)
+                        .sum::<u64>(),
+                ),
+                _ => None,
+            })
+            .sum();
+        assert!(misses > 0, "flush must snapshot point-cache misses");
     }
 }

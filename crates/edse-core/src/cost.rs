@@ -3,6 +3,7 @@
 
 use crate::space::DesignPoint;
 use accel_model::ExecutionProfile;
+use edse_telemetry::{Collector, IterationRecord};
 use serde::{Deserialize, Serialize};
 
 /// An inequality constraint `value <= threshold`.
@@ -162,6 +163,45 @@ impl Trace {
     /// Number of evaluations performed.
     pub fn evaluations(&self) -> usize {
         self.samples.len()
+    }
+
+    /// Emits one telemetry [`IterationRecord`] per sample, post hoc.
+    ///
+    /// This is how black-box baselines produce iteration records that line
+    /// up with the explainable DSE's live ones: each evaluated sample is
+    /// one iteration (`proposed = evaluated = 1`), the incumbent is the
+    /// sample itself, and the bottleneck fields stay empty — a black box
+    /// has no explanation to offer, which is precisely the contrast a
+    /// trace comparison should show.
+    pub fn emit_iteration_records(&self, collector: &Collector, budget: usize) {
+        if !collector.active() {
+            return;
+        }
+        let mut best = f64::INFINITY;
+        for (i, s) in self.samples.iter().enumerate() {
+            let improved = s.feasible && s.objective < best;
+            if improved {
+                best = s.objective;
+            }
+            collector.iteration(IterationRecord {
+                technique: self.technique.clone(),
+                iteration: i as u64,
+                incumbent_objective: s.objective,
+                best_objective: best.is_finite().then_some(best),
+                bottleneck: None,
+                scaling: None,
+                layer_contributions: Vec::new(),
+                proposed: 1,
+                deduped: 0,
+                evaluated: 1,
+                budget_remaining: budget.saturating_sub(i + 1) as u64,
+                decision: match (improved, s.feasible) {
+                    (true, _) => "new best feasible sample".to_string(),
+                    (false, true) => "feasible, not an improvement".to_string(),
+                    (false, false) => "infeasible sample".to_string(),
+                },
+            });
+        }
     }
 
     /// The best (lowest-objective) feasible sample, if any.

@@ -14,6 +14,7 @@ use crate::bottleneck::model::BottleneckModel;
 use crate::cost::{Evaluation, Sample, Trace};
 use crate::evaluate::Evaluator;
 use crate::space::{DesignPoint, ParamId};
+use edse_telemetry::{Collector, IterationRecord};
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -95,6 +96,25 @@ pub struct Attempt {
     pub decision: String,
 }
 
+/// Structured byproduct of one attempt's analysis phase, feeding the
+/// telemetry iteration record (the human-readable [`Attempt::analyses`]
+/// strings carry the same information for the final report).
+#[derive(Default)]
+struct AnalysisSummary {
+    /// Dominant bottleneck factor of the highest-contribution analyzed
+    /// sub-function.
+    bottleneck: Option<String>,
+    /// Required scaling `s` of the dominant factor.
+    scaling: Option<f64>,
+    /// `(sub-function, cost fraction)` for every analyzed sub-function,
+    /// contribution-ranked.
+    layer_contributions: Vec<(String, f64)>,
+}
+
+/// Aggregated `(param, min predicted value)` pairs, the per-sub-function
+/// analysis strings, and the structured summary for telemetry.
+type SubfunctionAnalysis = (Vec<(ParamId, Option<f64>)>, Vec<String>, AnalysisSummary);
+
 /// The result of a DSE run.
 #[derive(Debug, Clone)]
 pub struct DseResult {
@@ -116,12 +136,28 @@ pub struct DseResult {
 pub struct ExplainableDse<C> {
     model: BottleneckModel<C>,
     config: DseConfig,
+    telemetry: Collector,
 }
 
 impl<C> ExplainableDse<C> {
     /// Creates the engine from a domain-specific bottleneck model.
     pub fn new(model: BottleneckModel<C>, config: DseConfig) -> Self {
-        Self { model, config }
+        Self {
+            model,
+            config,
+            telemetry: Collector::noop(),
+        }
+    }
+
+    /// Attaches a telemetry collector: [`Self::run`] then emits a
+    /// `dse/run` span plus one structured [`IterationRecord`] per
+    /// acquisition attempt — incumbent objective, dominant bottleneck
+    /// factor and its required scaling, per-layer cost contributions, the
+    /// proposed/deduplicated/evaluated candidate counts, remaining budget,
+    /// and the §4.6 update decision. The default is the no-op collector.
+    pub fn with_telemetry(mut self, telemetry: Collector) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Runs the exploration.
@@ -142,6 +178,7 @@ impl<C> ExplainableDse<C> {
     {
         use rand::{Rng, SeedableRng};
         let start = Instant::now();
+        let _run_span = self.telemetry.span("dse/run");
         let constraints = evaluator.constraints().to_vec();
         let mut trace = Trace::new("explainable");
         let mut attempts = Vec::new();
@@ -253,7 +290,7 @@ impl<C> ExplainableDse<C> {
             } else {
                 1
             };
-            let (predictions, analyses) =
+            let (predictions, analyses, summary) =
                 self.analyze_subfunctions(evaluator, &current, &current_eval, factors, &ctx_fn);
 
             // ---- (3): acquisition — one candidate per aggregated value,
@@ -291,9 +328,14 @@ impl<C> ExplainableDse<C> {
                 }
             }
 
+            // `proposed` counts every candidate the acquisition step
+            // generates, *before* the seen-set filter; the difference to
+            // `acquisitions.len()` is what deduplication saved.
+            let mut proposed = 0usize;
             let mut acquisitions: Vec<(Option<ParamId>, DesignPoint)> = Vec::new();
             for (param, idx) in moves.iter().take(self.config.max_candidates) {
                 let cand = current.with_index(*param, *idx);
+                proposed += 1;
                 if !seen.contains(&cand) {
                     acquisitions.push((Some(*param), cand));
                 }
@@ -303,6 +345,7 @@ impl<C> ExplainableDse<C> {
                 for (param, idx) in &moves {
                     combo = combo.with_index(*param, *idx);
                 }
+                proposed += 1;
                 if !seen.contains(&combo) {
                     acquisitions.push((None, combo));
                 }
@@ -316,6 +359,7 @@ impl<C> ExplainableDse<C> {
                     let cur_idx = current.index(param);
                     if cur_idx > 0 && !frozen.contains(&param) {
                         let cand = current.with_index(param, cur_idx - 1);
+                        proposed += 1;
                         if !seen.contains(&cand) {
                             acquisitions.push((Some(param), cand));
                         }
@@ -327,12 +371,24 @@ impl<C> ExplainableDse<C> {
             }
 
             if acquisitions.is_empty() {
+                let decision = "no unexplored candidates";
                 attempts.push(Attempt {
                     index: attempt_index,
                     analyses,
                     acquisitions: vec![],
-                    decision: "no unexplored candidates".into(),
+                    decision: decision.into(),
                 });
+                self.emit_iteration(
+                    evaluator,
+                    attempt_index,
+                    &current_eval,
+                    best,
+                    &summary,
+                    proposed,
+                    0,
+                    0,
+                    decision,
+                );
                 return "converged: no bottleneck-mitigating acquisitions remain".into();
             }
             let acquisition_log: Vec<(ParamId, usize)> = acquisitions
@@ -374,12 +430,24 @@ impl<C> ExplainableDse<C> {
                 }
             }
             if candidates.is_empty() {
+                let decision = "budget exhausted before evaluation";
                 attempts.push(Attempt {
                     index: attempt_index,
                     analyses,
                     acquisitions: acquisition_log,
-                    decision: "budget exhausted before evaluation".into(),
+                    decision: decision.into(),
                 });
+                self.emit_iteration(
+                    evaluator,
+                    attempt_index,
+                    &current_eval,
+                    best,
+                    &summary,
+                    proposed,
+                    acquisitions.len(),
+                    0,
+                    decision,
+                );
                 return format!("budget of {} evaluations exhausted", self.config.budget);
             }
 
@@ -391,6 +459,17 @@ impl<C> ExplainableDse<C> {
                 &candidates,
                 &mut frozen,
                 &mut stalls,
+            );
+            self.emit_iteration(
+                evaluator,
+                attempt_index,
+                &current_eval,
+                best,
+                &summary,
+                proposed,
+                acquisitions.len(),
+                candidates.len(),
+                &decision,
             );
             attempts.push(Attempt {
                 index: attempt_index,
@@ -418,7 +497,7 @@ impl<C> ExplainableDse<C> {
         eval: &Evaluation,
         factors: usize,
         ctx_fn: &F,
-    ) -> (Vec<(ParamId, Option<f64>)>, Vec<String>)
+    ) -> SubfunctionAnalysis
     where
         E: Evaluator,
         F: Fn(&E, &DesignPoint, &crate::cost::LayerEval) -> Option<C>,
@@ -452,6 +531,7 @@ impl<C> ExplainableDse<C> {
 
         let mut merged: Vec<(ParamId, Option<f64>)> = Vec::new();
         let mut analyses = Vec::new();
+        let mut summary = AnalysisSummary::default();
         for (layer_idx, contribution, mappable) in ranked.into_iter().take(self.config.top_k) {
             if mappable && contribution < threshold {
                 break;
@@ -460,6 +540,15 @@ impl<C> ExplainableDse<C> {
                 continue;
             };
             let analysis = self.model.analyze(&ctx, factors);
+            // The first analyzed sub-function has the highest contribution:
+            // its factor is the attempt's dominant bottleneck.
+            if summary.bottleneck.is_none() {
+                summary.bottleneck = Some(analysis.bottleneck.clone());
+                summary.scaling = Some(analysis.scaling);
+            }
+            summary
+                .layer_contributions
+                .push((eval.layers[layer_idx].name.clone(), contribution));
             analyses.push(format!(
                 "{} ({:.1}% of cost): bottleneck {} needs {:.2}x; {}",
                 eval.layers[layer_idx].name,
@@ -492,7 +581,44 @@ impl<C> ExplainableDse<C> {
                 }
             }
         }
-        (merged, analyses)
+        (merged, analyses, summary)
+    }
+
+    /// Emits one telemetry [`IterationRecord`] for an acquisition attempt.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_iteration<E: Evaluator>(
+        &self,
+        evaluator: &E,
+        attempt_index: usize,
+        current_eval: &Evaluation,
+        best: &Option<(DesignPoint, Evaluation)>,
+        summary: &AnalysisSummary,
+        proposed: usize,
+        acquired: usize,
+        evaluated: usize,
+        decision: &str,
+    ) {
+        if !self.telemetry.active() {
+            return;
+        }
+        self.telemetry.iteration(IterationRecord {
+            technique: "explainable".to_string(),
+            iteration: attempt_index as u64,
+            incumbent_objective: current_eval.objective,
+            best_objective: best.as_ref().map(|(_, e)| e.objective),
+            bottleneck: summary.bottleneck.clone(),
+            scaling: summary.scaling,
+            layer_contributions: summary.layer_contributions.clone(),
+            proposed: proposed as u64,
+            deduped: proposed.saturating_sub(acquired) as u64,
+            evaluated: evaluated as u64,
+            budget_remaining: self
+                .config
+                .budget
+                .saturating_sub(evaluator.unique_evaluations())
+                as u64,
+            decision: decision.to_string(),
+        });
     }
 
     /// Step (4): the §4.6 update rule.
@@ -919,6 +1045,57 @@ mod tests {
         assert!(explained, "attempts should carry bottleneck explanations");
         for a in &r.attempts {
             assert!(!a.decision.is_empty());
+        }
+    }
+
+    #[test]
+    fn dse_emits_one_iteration_record_per_attempt() {
+        use edse_telemetry::{Event, MemorySink};
+        let sink = MemorySink::new();
+        let collector = Collector::builder().sink(sink.clone()).build();
+        let evaluator = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper)
+            .with_telemetry(collector.clone());
+        let dse = ExplainableDse::new(
+            dnn_latency_model(),
+            DseConfig {
+                budget: 60,
+                ..DseConfig::default()
+            },
+        )
+        .with_telemetry(collector.clone());
+        let r = dse.run_dnn(&evaluator, evaluator.space().minimum_point());
+
+        let events = sink.events();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::SpanEnter { name, .. } if name == "dse/run")),
+            "run must open a dse/run span"
+        );
+        let records: Vec<_> = events
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Iteration { record, .. } => Some(record),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(records.len(), r.attempts.len());
+        assert!(
+            records.iter().any(|rec| rec.bottleneck.is_some()),
+            "the explainable DSE must name dominant bottlenecks"
+        );
+        for rec in &records {
+            assert_eq!(rec.technique, "explainable");
+            // proposed = deduplicated + acquired, and at most the acquired
+            // candidates get evaluated (budget chunking may stop earlier).
+            assert!(rec.evaluated <= rec.proposed - rec.deduped);
+            assert!(rec.budget_remaining <= 60);
+            assert!(!rec.decision.is_empty());
+        }
+        // Records and attempts tell the same story, in the same order.
+        for (rec, attempt) in records.iter().zip(&r.attempts) {
+            assert_eq!(rec.iteration as usize, attempt.index);
+            assert_eq!(rec.decision, attempt.decision);
         }
     }
 

@@ -13,6 +13,7 @@
 use crate::cost::{Constraint, Evaluation, LayerEval};
 use crate::space::{decode_edge_point, DesignPoint, DesignSpace};
 use accel_model::{AcceleratorConfig, ExecutionProfile};
+use edse_telemetry::{BatchRecord, Collector};
 use energy_area::Tech;
 use mapper::{MappedLayer, MappingOptimizer};
 use std::collections::{HashMap, HashSet};
@@ -158,10 +159,16 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
         }
     }
 
-    fn shard(&self, key: &K) -> &Mutex<HashMap<K, Arc<OnceLock<V>>>> {
+    /// Which of the [`CACHE_SHARDS`] shards holds `key` — also the shard
+    /// label used in telemetry counter names.
+    fn shard_index(&self, key: &K) -> usize {
         let mut h = std::hash::DefaultHasher::new();
         key.hash(&mut h);
-        &self.shards[h.finish() as usize % CACHE_SHARDS]
+        h.finish() as usize % CACHE_SHARDS
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, Arc<OnceLock<V>>>> {
+        &self.shards[self.shard_index(key)]
     }
 
     /// The slot for `key`, inserting an empty one if absent.
@@ -177,14 +184,6 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
     fn is_cached(&self, key: &K) -> bool {
         let map = self.shard(key).lock().expect("cache shard poisoned");
         map.get(key).is_some_and(|slot| slot.get().is_some())
-    }
-
-    /// Computes-or-returns the memoized value. `init` runs at most once per
-    /// key across all threads.
-    fn get_or_init(&self, key: &K, init: impl FnOnce() -> V) -> Arc<OnceLock<V>> {
-        let slot = self.slot(key);
-        slot.get_or_init(init);
-        slot
     }
 
     fn clear(&mut self) {
@@ -211,6 +210,7 @@ pub struct CodesignEvaluator<M> {
     objective: Objective,
     mapper: M,
     engine: EvalEngine,
+    telemetry: Collector,
     point_cache: ShardedCache<DesignPoint, Evaluation>,
     layer_cache: ShardedCache<(LayerShape, AcceleratorConfig), MapOutcome>,
     unique_evals: AtomicUsize,
@@ -252,6 +252,7 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
             objective: Objective::Latency,
             mapper,
             engine: EvalEngine::default(),
+            telemetry: Collector::noop(),
             point_cache: ShardedCache::new(),
             layer_cache: ShardedCache::new(),
             unique_evals: AtomicUsize::new(0),
@@ -265,6 +266,20 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
     /// for every thread count by construction.
     pub fn with_engine(mut self, engine: EvalEngine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Attaches a telemetry collector. The evaluator then emits per-shard
+    /// cache counters (`point_cache/shardNN/{hit,miss,inflight_wait}` and
+    /// the `layer_cache/` equivalents), `stage/mapper_us` and
+    /// `stage/point_eval_us` timing histograms, and one batch-utilization
+    /// record per [`Evaluator::evaluate_batch`] fan-out phase.
+    ///
+    /// Invalidates nothing: observation never changes results. The default
+    /// is [`Collector::noop`], whose instrumentation cost is one branch
+    /// per call site.
+    pub fn with_telemetry(mut self, telemetry: Collector) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -349,8 +364,43 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
         self.engine
     }
 
+    /// The telemetry collector in use (no-op unless
+    /// [`Self::with_telemetry`] was called).
+    pub fn telemetry(&self) -> &Collector {
+        &self.telemetry
+    }
+
+    /// Increments `{cache}/shardNN/{kind}`. Call only when telemetry is
+    /// active — the label is formatted on the spot.
+    fn cache_counter(&self, cache: &str, shard: usize, kind: &str) {
+        self.telemetry
+            .counter(&format!("{cache}/shard{shard:02}/{kind}"), 1);
+    }
+
+    /// Classifies one memo-table access for telemetry: the slot existed
+    /// and was filled before we looked (`hit`), we ran the init closure
+    /// ourselves (`miss`), or another thread filled it while we waited on
+    /// the [`OnceLock`] (`inflight_wait`). Under the serial engine every
+    /// access is a hit or a miss; `serial hits == parallel hits +
+    /// inflight_waits` for the same workload.
+    fn classify(already: bool, computed: bool) -> &'static str {
+        if already {
+            "hit"
+        } else if computed {
+            "miss"
+        } else {
+            "inflight_wait"
+        }
+    }
+
     fn map_layer(&self, shape: &LayerShape, cfg: &AcceleratorConfig) -> MapOutcome {
-        let slot = self.layer_cache.get_or_init(&(*shape, *cfg), || {
+        let key = (*shape, *cfg);
+        let slot = self.layer_cache.slot(&key);
+        let already = slot.get().is_some();
+        let mut computed = false;
+        slot.get_or_init(|| {
+            computed = true;
+            let _mapper_timer = self.telemetry.time("stage/mapper_us");
             let mapped = self.mapper.optimize(shape, cfg);
             let diagnostic = if mapped.is_none() {
                 self.mapper.diagnose(shape, cfg)
@@ -359,6 +409,13 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
             };
             MapOutcome { mapped, diagnostic }
         });
+        if self.telemetry.active() {
+            self.cache_counter(
+                "layer_cache",
+                self.layer_cache.shard_index(&key),
+                Self::classify(already, computed),
+            );
+        }
         *slot.get().expect("initialized above")
     }
 
@@ -453,31 +510,58 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
 }
 
 /// Fan `work(i)` for `i in 0..n` out over `threads` scoped workers pulling
-/// from a shared atomic index.
-fn fan_out<F: Fn(usize) + Sync>(n: usize, threads: usize, work: F) {
+/// from a shared atomic index. Returns how many items each worker pulled
+/// (length `min(threads, n)`) — the raw material for batch-utilization
+/// telemetry.
+fn fan_out<F: Fn(usize) + Sync>(n: usize, threads: usize, work: F) -> Vec<u64> {
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
-        for _ in 0..threads.min(n) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                work(i);
-            });
-        }
-    });
+        let workers: Vec<_> = (0..threads.min(n))
+            .map(|_| {
+                s.spawn(|| {
+                    let mut pulled = 0u64;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        work(i);
+                        pulled += 1;
+                    }
+                    pulled
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("worker panicked"))
+            .collect()
+    })
 }
 
 impl<M: MappingOptimizer> Evaluator for CodesignEvaluator<M> {
     fn evaluate(&self, point: &DesignPoint) -> Evaluation {
-        let slot = self.point_cache.get_or_init(point, || {
+        let slot = self.point_cache.slot(point);
+        let already = slot.get().is_some();
+        let mut computed = false;
+        slot.get_or_init(|| {
+            computed = true;
+            // The timer covers full point assembly, including any layer
+            // mappings this point is first to need.
+            let _point_timer = self.telemetry.time("stage/point_eval_us");
             let eval = self.compute(point);
             // Inside the once-guard: a point racing in two threads (or
             // appearing twice in one batch) counts exactly once.
             self.unique_evals.fetch_add(1, Ordering::Relaxed);
             eval
         });
+        if self.telemetry.active() {
+            self.cache_counter(
+                "point_cache",
+                self.point_cache.shard_index(point),
+                Self::classify(already, computed),
+            );
+        }
         slot.get().expect("initialized above").clone()
     }
 
@@ -487,22 +571,51 @@ impl<M: MappingOptimizer> Evaluator for CodesignEvaluator<M> {
     /// deduplicated so no two workers ever optimize the same pair), then
     /// the per-point cost assembly. Results are position-aligned with
     /// `points` and bit-for-bit identical to the serial path.
+    ///
+    /// With telemetry attached, each phase emits a [`BatchRecord`] with
+    /// per-worker pull counts (stages `engine/mapping` and
+    /// `engine/points`; the single-threaded path emits `engine/serial`).
     fn evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Evaluation> {
         let threads = self.engine.resolved_threads();
         if threads <= 1 || points.len() <= 1 {
-            return points.iter().map(|p| self.evaluate(p)).collect();
+            let evals: Vec<Evaluation> = points.iter().map(|p| self.evaluate(p)).collect();
+            if self.telemetry.active() && !points.is_empty() {
+                self.telemetry.batch(BatchRecord {
+                    stage: "engine/serial".to_string(),
+                    items: points.len() as u64,
+                    threads: 1,
+                    per_thread: vec![points.len() as u64],
+                });
+            }
+            return evals;
         }
         let tasks = self.pending_layer_tasks(points);
-        fan_out(tasks.len(), threads, |i| {
+        let per_thread = fan_out(tasks.len(), threads, |i| {
             let (shape, cfg) = &tasks[i];
             self.map_layer(shape, cfg);
         });
+        if self.telemetry.active() && !tasks.is_empty() {
+            self.telemetry.batch(BatchRecord {
+                stage: "engine/mapping".to_string(),
+                items: tasks.len() as u64,
+                threads: threads as u64,
+                per_thread,
+            });
+        }
         let results: Vec<OnceLock<Evaluation>> = points.iter().map(|_| OnceLock::new()).collect();
-        fan_out(points.len(), threads, |i| {
+        let per_thread = fan_out(points.len(), threads, |i| {
             results[i]
                 .set(self.evaluate(&points[i]))
                 .expect("each index visited once");
         });
+        if self.telemetry.active() {
+            self.telemetry.batch(BatchRecord {
+                stage: "engine/points".to_string(),
+                items: points.len() as u64,
+                threads: threads as u64,
+                per_thread,
+            });
+        }
         results
             .into_iter()
             .map(|slot| slot.into_inner().expect("all slots filled"))
@@ -651,6 +764,7 @@ mod tests {
     /// | `with_objective` | cleared     | kept        | reset          |
     /// | `with_tech`      | cleared     | kept        | reset          |
     /// | `with_engine`    | kept        | kept        | kept           |
+    /// | `with_telemetry` | kept        | kept        | kept           |
     #[test]
     fn builder_cache_invalidation_matrix() {
         use std::sync::atomic::{AtomicUsize, Ordering};
@@ -690,6 +804,11 @@ mod tests {
         // with_engine: nothing invalidated (results are thread-count
         // independent by construction).
         let ev = ev.with_engine(EvalEngine::serial());
+        assert_eq!(ev.unique_evaluations(), 1);
+
+        // with_telemetry: nothing invalidated (observation never changes
+        // results).
+        let ev = ev.with_telemetry(Collector::noop());
         assert_eq!(ev.unique_evaluations(), 1);
 
         // with_objective: point cache cleared + counter reset (objective is
@@ -744,6 +863,62 @@ mod tests {
         let b = parallel.evaluate_batch(&points);
         assert_eq!(a, b);
         assert_eq!(serial.unique_evaluations(), parallel.unique_evaluations());
+    }
+
+    #[test]
+    fn telemetry_counts_cache_traffic_and_unique_evals() {
+        use edse_telemetry::{Event, MemorySink};
+        let sink = MemorySink::new();
+        let collector = Collector::builder().sink(sink.clone()).build();
+        let ev = evaluator()
+            .with_engine(EvalEngine::with_threads(4))
+            .with_telemetry(collector.clone());
+        let p = ev.space().minimum_point();
+        let q = p.with_index(crate::space::edge::PES, 1);
+        let points: Vec<DesignPoint> = (0..8)
+            .map(|i| if i % 2 == 0 { p.clone() } else { q.clone() })
+            .collect();
+        ev.evaluate_batch(&points);
+
+        let sum_kind = |cache: &str, kind: &str| -> u64 {
+            collector
+                .counters()
+                .iter()
+                .filter(|(k, _)| k.starts_with(cache) && k.ends_with(kind))
+                .map(|(_, v)| *v)
+                .sum()
+        };
+        // The miss counter is incremented exactly once per unique point —
+        // the same exact-once guarantee as `unique_evaluations()`.
+        assert_eq!(
+            sum_kind("point_cache/", "/miss") as usize,
+            ev.unique_evaluations()
+        );
+        assert_eq!(ev.unique_evaluations(), 2);
+        // Every access is classified exactly once.
+        let total = sum_kind("point_cache/", "/miss")
+            + sum_kind("point_cache/", "/hit")
+            + sum_kind("point_cache/", "/inflight_wait");
+        assert_eq!(total, points.len() as u64);
+        // Layer-mapping misses: one per unique (layer, config) pair.
+        let expected_tasks = 2 * zoo::resnet18().unique_shape_count() as u64;
+        assert_eq!(sum_kind("layer_cache/", "/miss"), expected_tasks);
+        // Stage timings observed once per miss.
+        assert_eq!(collector.histogram("stage/point_eval_us").unwrap().count, 2);
+        assert_eq!(
+            collector.histogram("stage/mapper_us").unwrap().count,
+            expected_tasks
+        );
+        // Both fan-out phases reported their per-worker pull counts.
+        let stages: Vec<String> = sink
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Batch { record, .. } => Some(record.stage),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stages, vec!["engine/mapping", "engine/points"]);
     }
 
     #[test]

@@ -82,6 +82,72 @@ mod tests {
     use mapper::FixedMapper;
     use workloads::zoo;
 
+    /// Fig. 4's toy setting: only #PEs and the shared L2 are free, one
+    /// CONV5_2-class layer. Small enough that the report's claims can be
+    /// pinned down exactly.
+    #[test]
+    fn report_names_dominant_factor_and_proposed_values_for_toy_model() {
+        use crate::space::{edge, DesignSpace, ParamDef};
+        use workloads::constraints::ThroughputTarget;
+        use workloads::model::Layer;
+        use workloads::LayerShape;
+
+        let params = edge_space()
+            .params()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                if i == edge::PES || i == edge::L2_KB {
+                    p.clone()
+                } else {
+                    let values = p.values();
+                    ParamDef::new(p.name().to_string(), vec![values[values.len() - 1]])
+                }
+            })
+            .collect();
+        let space = DesignSpace::new(params);
+        let model = workloads::model::DnnModel::new(
+            "ResNet-CONV5_2",
+            vec![Layer::new(
+                "conv5_2b",
+                LayerShape::conv(1, 512, 512, 7, 7, 3, 3, 1),
+                1,
+            )],
+            ThroughputTarget::fps(40.0),
+        );
+        let evaluator = CodesignEvaluator::new(space, vec![model], FixedMapper);
+        let dse = ExplainableDse::new(
+            dnn_latency_model(),
+            DseConfig {
+                budget: 25,
+                restarts: 0,
+                ..DseConfig::default()
+            },
+        );
+        let result = dse.run_dnn(&evaluator, evaluator.space().minimum_point());
+        let report = result.report(evaluator.space(), evaluator.constraints());
+
+        // The analysis lines must name the dominant latency factor (all
+        // factors of the DNN latency tree are `t_`-prefixed) and its
+        // required scaling.
+        assert!(
+            report.contains("bottleneck t_"),
+            "dominant factor missing:\n{report}"
+        );
+        assert!(report.contains("needs"), "scaling `s` missing:\n{report}");
+        // The acquisitions must propose concrete values for the two free
+        // parameters, rendered as `name -> value`.
+        assert!(
+            report.contains("acquired: ") && (report.contains("pes -> ")),
+            "proposed parameter values missing:\n{report}"
+        );
+        // The single analyzed sub-function dominates 100% of the cost.
+        assert!(
+            report.contains("conv5_2b (100.0% of cost)"),
+            "per-layer contribution missing:\n{report}"
+        );
+    }
+
     #[test]
     fn report_mentions_outcome_parameters_and_reasoning() {
         let evaluator = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);

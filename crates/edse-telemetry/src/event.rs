@@ -1,0 +1,567 @@
+//! The telemetry event model and its JSONL encoding.
+//!
+//! Every event serializes to one single-line JSON object whose `"ev"`
+//! member names the variant; [`Event::to_json_line`] and
+//! [`Event::parse_json_line`] round-trip exactly, so a JSONL trace written
+//! by one process can be replayed by another (see the `trace_report`
+//! binary in `crates/bench`).
+
+use crate::json::{parse, Json};
+
+/// Severity of a [`Event::Log`] message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Developer chatter; hidden by default everywhere.
+    Debug,
+    /// Progress messages; stderr shows them only when opted in.
+    Info,
+    /// Suspicious but recoverable conditions; shown by default.
+    Warn,
+    /// Failures; always shown.
+    Error,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Level> {
+        Some(match s {
+            "debug" => Level::Debug,
+            "info" => Level::Info,
+            "warn" => Level::Warn,
+            "error" => Level::Error,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structured record per DSE acquisition iteration — the paper's
+/// explainability promise as machine-readable data. The explainable DSE
+/// fills every field; baselines fill the black-box subset (no bottleneck)
+/// so traces of different techniques stay comparable line for line.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IterationRecord {
+    /// Technique name (`"explainable"`, `"random"`, ...).
+    pub technique: String,
+    /// 0-based iteration (acquisition attempt) index.
+    pub iteration: u64,
+    /// Incumbent objective after this iteration's update.
+    pub incumbent_objective: f64,
+    /// Best feasible objective seen so far, if any.
+    pub best_objective: Option<f64>,
+    /// Dominant bottleneck factor of the analyzed incumbent
+    /// (explainable DSE only).
+    pub bottleneck: Option<String>,
+    /// Required scaling `s` for the dominant factor (explainable only).
+    pub scaling: Option<f64>,
+    /// Top-K analyzed sub-functions as `(layer, cost fraction)` pairs.
+    pub layer_contributions: Vec<(String, f64)>,
+    /// Candidates proposed by acquisition before dedup.
+    pub proposed: u64,
+    /// Candidates dropped because they were already explored.
+    pub deduped: u64,
+    /// Candidates actually evaluated this iteration.
+    pub evaluated: u64,
+    /// Unique-evaluation budget remaining after this iteration.
+    pub budget_remaining: u64,
+    /// The update rule's decision, verbatim.
+    pub decision: String,
+}
+
+/// One `evaluate_batch` fan-out: how many items each worker thread pulled.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BatchRecord {
+    /// Which engine phase this batch belongs to (`"engine/mapping"` for
+    /// the deduplicated layer-mapping tasks, `"engine/points"` for the
+    /// per-point cost assembly, `"engine/serial"` for the serial path).
+    pub stage: String,
+    /// Number of work items in the batch.
+    pub items: u64,
+    /// Worker threads the engine resolved to.
+    pub threads: u64,
+    /// Items processed per worker, length `min(threads, items)`.
+    pub per_thread: Vec<u64>,
+}
+
+impl BatchRecord {
+    /// Mean per-thread utilization relative to a perfectly balanced
+    /// fan-out: 1.0 when every worker processed `items / threads`.
+    pub fn balance(&self) -> f64 {
+        let max = self.per_thread.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return 1.0;
+        }
+        let mean = self.items as f64 / self.per_thread.len().max(1) as f64;
+        mean / max as f64
+    }
+}
+
+/// Aggregated distribution summary for one histogram.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistogramSummary {
+    /// Histogram name (`"stage/mapper_us"`, ...).
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A telemetry event. `t_us` fields are microseconds since the collector
+/// was created (monotonic), giving every JSONL line a relative timestamp.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A span began.
+    SpanEnter {
+        /// Span name.
+        name: String,
+        /// Timestamp, µs since collector creation.
+        t_us: u64,
+    },
+    /// A span ended.
+    SpanExit {
+        /// Span name.
+        name: String,
+        /// Timestamp, µs since collector creation.
+        t_us: u64,
+        /// Wall-clock duration of the span, µs.
+        elapsed_us: u64,
+    },
+    /// Aggregated counter deltas since the previous snapshot.
+    Counters {
+        /// Timestamp, µs since collector creation.
+        t_us: u64,
+        /// `(name, delta)` pairs, name-sorted.
+        deltas: Vec<(String, u64)>,
+    },
+    /// Histogram summaries at snapshot time (cumulative).
+    Histograms {
+        /// Timestamp, µs since collector creation.
+        t_us: u64,
+        /// Summaries, name-sorted.
+        summaries: Vec<HistogramSummary>,
+    },
+    /// One DSE iteration.
+    Iteration {
+        /// Timestamp, µs since collector creation.
+        t_us: u64,
+        /// The record.
+        record: IterationRecord,
+    },
+    /// One batch fan-out.
+    Batch {
+        /// Timestamp, µs since collector creation.
+        t_us: u64,
+        /// The record.
+        record: BatchRecord,
+    },
+    /// A log message.
+    Log {
+        /// Timestamp, µs since collector creation.
+        t_us: u64,
+        /// Severity.
+        level: Level,
+        /// Message text.
+        message: String,
+    },
+}
+
+impl Event {
+    /// The event's timestamp (µs since collector creation).
+    pub fn t_us(&self) -> u64 {
+        match self {
+            Event::SpanEnter { t_us, .. }
+            | Event::SpanExit { t_us, .. }
+            | Event::Counters { t_us, .. }
+            | Event::Histograms { t_us, .. }
+            | Event::Iteration { t_us, .. }
+            | Event::Batch { t_us, .. }
+            | Event::Log { t_us, .. } => *t_us,
+        }
+    }
+
+    /// Serializes the event as one line of JSON (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let n = |v: u64| Json::Num(v as f64);
+        let f = |v: f64| Json::Num(v);
+        let s = |v: &str| Json::Str(v.to_string());
+        let opt_f = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
+        let json = match self {
+            Event::SpanEnter { name, t_us } => Json::obj(vec![
+                ("ev", s("span_enter")),
+                ("t_us", n(*t_us)),
+                ("name", s(name)),
+            ]),
+            Event::SpanExit {
+                name,
+                t_us,
+                elapsed_us,
+            } => Json::obj(vec![
+                ("ev", s("span_exit")),
+                ("t_us", n(*t_us)),
+                ("name", s(name)),
+                ("elapsed_us", n(*elapsed_us)),
+            ]),
+            Event::Counters { t_us, deltas } => Json::obj(vec![
+                ("ev", s("counters")),
+                ("t_us", n(*t_us)),
+                (
+                    "deltas",
+                    Json::Obj(deltas.iter().map(|(k, v)| (k.clone(), n(*v))).collect()),
+                ),
+            ]),
+            Event::Histograms { t_us, summaries } => Json::obj(vec![
+                ("ev", s("histograms")),
+                ("t_us", n(*t_us)),
+                (
+                    "summaries",
+                    Json::Arr(
+                        summaries
+                            .iter()
+                            .map(|h| {
+                                Json::obj(vec![
+                                    ("name", s(&h.name)),
+                                    ("count", n(h.count)),
+                                    ("sum", f(h.sum)),
+                                    ("min", f(h.min)),
+                                    ("max", f(h.max)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Event::Iteration { t_us, record: r } => Json::obj(vec![
+                ("ev", s("iteration")),
+                ("t_us", n(*t_us)),
+                ("technique", s(&r.technique)),
+                ("iteration", n(r.iteration)),
+                ("incumbent_objective", f(r.incumbent_objective)),
+                ("best_objective", opt_f(r.best_objective)),
+                (
+                    "bottleneck",
+                    r.bottleneck
+                        .as_ref()
+                        .map(|b| Json::Str(b.clone()))
+                        .unwrap_or(Json::Null),
+                ),
+                ("scaling", opt_f(r.scaling)),
+                (
+                    "layer_contributions",
+                    Json::Arr(
+                        r.layer_contributions
+                            .iter()
+                            .map(|(name, c)| Json::Arr(vec![s(name), f(*c)]))
+                            .collect(),
+                    ),
+                ),
+                ("proposed", n(r.proposed)),
+                ("deduped", n(r.deduped)),
+                ("evaluated", n(r.evaluated)),
+                ("budget_remaining", n(r.budget_remaining)),
+                ("decision", s(&r.decision)),
+            ]),
+            Event::Batch { t_us, record: r } => Json::obj(vec![
+                ("ev", s("batch")),
+                ("t_us", n(*t_us)),
+                ("stage", s(&r.stage)),
+                ("items", n(r.items)),
+                ("threads", n(r.threads)),
+                (
+                    "per_thread",
+                    Json::Arr(r.per_thread.iter().map(|v| n(*v)).collect()),
+                ),
+            ]),
+            Event::Log {
+                t_us,
+                level,
+                message,
+            } => Json::obj(vec![
+                ("ev", s("log")),
+                ("t_us", n(*t_us)),
+                ("level", s(level.as_str())),
+                ("message", s(message)),
+            ]),
+        };
+        json.to_line()
+    }
+
+    /// Parses one JSONL line back into an event.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed construct.
+    pub fn parse_json_line(line: &str) -> Result<Event, String> {
+        let v = parse(line)?;
+        let t_us = v
+            .get("t_us")
+            .and_then(Json::as_u64)
+            .ok_or("missing `t_us`")?;
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(format!("missing string `{key}`"))
+        };
+        let num_field = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or(format!("missing number `{key}`"))
+        };
+        let opt_num = |key: &str| v.get(key).and_then(Json::as_f64);
+        match v.get("ev").and_then(Json::as_str) {
+            Some("span_enter") => Ok(Event::SpanEnter {
+                name: str_field("name")?,
+                t_us,
+            }),
+            Some("span_exit") => Ok(Event::SpanExit {
+                name: str_field("name")?,
+                t_us,
+                elapsed_us: num_field("elapsed_us")?,
+            }),
+            Some("counters") => {
+                let deltas = match v.get("deltas") {
+                    Some(Json::Obj(entries)) => entries
+                        .iter()
+                        .map(|(k, val)| {
+                            val.as_u64()
+                                .map(|u| (k.clone(), u))
+                                .ok_or(format!("non-numeric counter `{k}`"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => return Err("missing `deltas` object".into()),
+                };
+                Ok(Event::Counters { t_us, deltas })
+            }
+            Some("histograms") => {
+                let summaries = v
+                    .get("summaries")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing `summaries`")?
+                    .iter()
+                    .map(|h| {
+                        Ok(HistogramSummary {
+                            name: h
+                                .get("name")
+                                .and_then(Json::as_str)
+                                .ok_or("histogram missing name")?
+                                .to_string(),
+                            count: h.get("count").and_then(Json::as_u64).unwrap_or(0),
+                            sum: h.get("sum").and_then(Json::as_f64).unwrap_or(0.0),
+                            min: h.get("min").and_then(Json::as_f64).unwrap_or(0.0),
+                            max: h.get("max").and_then(Json::as_f64).unwrap_or(0.0),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Event::Histograms { t_us, summaries })
+            }
+            Some("iteration") => {
+                let layer_contributions = v
+                    .get("layer_contributions")
+                    .and_then(Json::as_arr)
+                    .unwrap_or(&[])
+                    .iter()
+                    .filter_map(|pair| {
+                        let items = pair.as_arr()?;
+                        Some((
+                            items.first()?.as_str()?.to_string(),
+                            items.get(1)?.as_f64()?,
+                        ))
+                    })
+                    .collect();
+                Ok(Event::Iteration {
+                    t_us,
+                    record: IterationRecord {
+                        technique: str_field("technique")?,
+                        iteration: num_field("iteration")?,
+                        incumbent_objective: opt_num("incumbent_objective")
+                            .unwrap_or(f64::INFINITY),
+                        best_objective: opt_num("best_objective"),
+                        bottleneck: v
+                            .get("bottleneck")
+                            .and_then(Json::as_str)
+                            .map(str::to_string),
+                        scaling: opt_num("scaling"),
+                        layer_contributions,
+                        proposed: num_field("proposed")?,
+                        deduped: num_field("deduped")?,
+                        evaluated: num_field("evaluated")?,
+                        budget_remaining: num_field("budget_remaining")?,
+                        decision: str_field("decision")?,
+                    },
+                })
+            }
+            Some("batch") => Ok(Event::Batch {
+                t_us,
+                record: BatchRecord {
+                    stage: str_field("stage")?,
+                    items: num_field("items")?,
+                    threads: num_field("threads")?,
+                    per_thread: v
+                        .get("per_thread")
+                        .and_then(Json::as_arr)
+                        .unwrap_or(&[])
+                        .iter()
+                        .filter_map(Json::as_u64)
+                        .collect(),
+                },
+            }),
+            Some("log") => Ok(Event::Log {
+                t_us,
+                level: Level::from_str(&str_field("level")?).ok_or("unknown log level")?,
+                message: str_field("message")?,
+            }),
+            Some(other) => Err(format!("unknown event kind `{other}`")),
+            None => Err("missing `ev` member".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn examples() -> Vec<Event> {
+        vec![
+            Event::SpanEnter {
+                name: "dse/run".into(),
+                t_us: 12,
+            },
+            Event::SpanExit {
+                name: "dse/run".into(),
+                t_us: 90,
+                elapsed_us: 78,
+            },
+            Event::Counters {
+                t_us: 5,
+                deltas: vec![("point_cache/shard03/miss".into(), 7)],
+            },
+            Event::Histograms {
+                t_us: 6,
+                summaries: vec![HistogramSummary {
+                    name: "stage/mapper_us".into(),
+                    count: 3,
+                    sum: 12.5,
+                    min: 1.0,
+                    max: 9.25,
+                }],
+            },
+            Event::Iteration {
+                t_us: 7,
+                record: IterationRecord {
+                    technique: "explainable".into(),
+                    iteration: 4,
+                    incumbent_objective: 12.75,
+                    best_objective: Some(12.75),
+                    bottleneck: Some("t_dma:wt".into()),
+                    scaling: Some(2.5),
+                    layer_contributions: vec![("conv1 \"x\"".into(), 0.5)],
+                    proposed: 6,
+                    deduped: 1,
+                    evaluated: 5,
+                    budget_remaining: 88,
+                    decision: "moved to feasible candidate".into(),
+                },
+            },
+            Event::Batch {
+                t_us: 8,
+                record: BatchRecord {
+                    stage: "engine/points".into(),
+                    items: 16,
+                    threads: 4,
+                    per_thread: vec![4, 4, 5, 3],
+                },
+            },
+            Event::Log {
+                t_us: 9,
+                level: Level::Warn,
+                message: "unknown model x\n(skipped)".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips_through_jsonl() {
+        for ev in examples() {
+            let line = ev.to_json_line();
+            assert!(!line.contains('\n'), "one line: {line}");
+            let back = Event::parse_json_line(&line).expect(&line);
+            assert_eq!(back, ev, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn infinite_incumbent_objective_survives_as_infinity() {
+        let ev = Event::Iteration {
+            t_us: 0,
+            record: IterationRecord {
+                technique: "grid".into(),
+                incumbent_objective: f64::INFINITY,
+                decision: "seeded".into(),
+                ..IterationRecord::default()
+            },
+        };
+        // JSON cannot carry inf; it becomes null and parses back as inf.
+        let back = Event::parse_json_line(&ev.to_json_line()).unwrap();
+        match back {
+            Event::Iteration { record, .. } => {
+                assert!(record.incumbent_objective.is_infinite());
+                assert_eq!(record.best_objective, None);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_balance_is_one_when_even() {
+        let even = BatchRecord {
+            stage: "engine/points".into(),
+            items: 8,
+            threads: 4,
+            per_thread: vec![2, 2, 2, 2],
+        };
+        assert!((even.balance() - 1.0).abs() < 1e-12);
+        let skewed = BatchRecord {
+            per_thread: vec![8, 0],
+            items: 8,
+            threads: 2,
+            stage: "engine/points".into(),
+        };
+        assert!(skewed.balance() < 0.6);
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(Event::parse_json_line("not json").is_err());
+        assert!(Event::parse_json_line("{\"ev\":\"nope\",\"t_us\":0}").is_err());
+        assert!(Event::parse_json_line("{\"t_us\":0}").is_err());
+    }
+}

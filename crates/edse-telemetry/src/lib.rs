@@ -1,0 +1,604 @@
+//! Zero-dependency tracing + metrics for the Explainable-DSE workspace.
+//!
+//! The paper's thesis is that a DSE loop should be able to *explain* what
+//! it did; this crate is the substrate that makes every run explainable
+//! and profilable at runtime. It provides spans (wall-clock regions),
+//! counters, histograms, structured per-iteration / per-batch records,
+//! and leveled logs behind a thread-safe [`Collector`] that fans events
+//! out to pluggable [`Sink`]s:
+//!
+//! - [`MemorySink`] — accumulates events in memory for test assertions;
+//! - [`JsonlSink`] — one JSON object per line, the `--trace-out` format
+//!   rendered by the `trace_report` bench binary;
+//! - [`StderrSink`] — prints log messages at/above a level, making the
+//!   bench binaries' stderr chatter opt-in.
+//!
+//! # Off by default, cheap when off
+//!
+//! [`Collector::noop()`] (also [`Collector::default()`]) carries no
+//! allocation and no clock reads: every instrumentation call is a branch
+//! on a `None`. Instrumented code therefore keeps a `Collector` field
+//! unconditionally and never asks "is telemetry on?" — see the `<2 %`
+//! overhead criterion checked by the `engine/batch16_traced` micro-bench
+//! in `crates/bench`.
+//!
+//! The crate is deliberately dependency-free (std only): the workspace
+//! builds offline, and a telemetry layer that every crate depends on
+//! must not drag anything else into the graph. JSON is hand-rolled in
+//! [`json`] with round-trip tests.
+//!
+//! # Example
+//!
+//! ```
+//! use edse_telemetry::{Collector, Event, MemorySink};
+//!
+//! let sink = MemorySink::new();
+//! let collector = Collector::builder().sink(sink.clone()).build();
+//! {
+//!     let _span = collector.span("dse/run");
+//!     collector.counter("point_cache/shard00/miss", 1);
+//! }
+//! collector.flush();
+//! assert_eq!(collector.counter_value("point_cache/shard00/miss"), 1);
+//! assert!(matches!(sink.events()[0], Event::SpanEnter { .. }));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+
+mod event;
+mod sink;
+
+pub use event::{BatchRecord, Event, HistogramSummary, IterationRecord, Level};
+pub use sink::{JsonlSink, MemorySink, Sink, StderrSink};
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Histo {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histo {
+    fn observe(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+}
+
+#[derive(Default)]
+struct Metrics {
+    /// Cumulative counter values.
+    counters: BTreeMap<String, u64>,
+    /// Counter values at the previous [`Collector::flush`]; the flush
+    /// event carries deltas against this so repeated snapshots in one
+    /// trace stay additive.
+    flushed: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histo>,
+}
+
+struct Inner {
+    start: Instant,
+    sinks: Vec<Box<dyn Sink>>,
+    /// True when at least one sink wants metric traffic; when false the
+    /// collector still routes logs but skips all metric bookkeeping.
+    metrics_active: bool,
+    metrics: Mutex<Metrics>,
+}
+
+impl Inner {
+    fn t_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Dispatches a metric event to the sinks that opted in.
+    fn emit_metric(&self, event: &Event) {
+        for sink in &self.sinks {
+            if sink.wants_metrics() {
+                sink.record(event);
+            }
+        }
+    }
+}
+
+/// Thread-safe telemetry hub. Cloning is cheap (an `Arc` bump) and all
+/// clones share counters, histograms, and sinks, so an evaluator and the
+/// DSE loop driving it can hold the same collector.
+#[derive(Clone, Default)]
+pub struct Collector {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("Collector(noop)"),
+            Some(inner) => f
+                .debug_struct("Collector")
+                .field("sinks", &inner.sinks.len())
+                .field("metrics_active", &inner.metrics_active)
+                .finish(),
+        }
+    }
+}
+
+impl Collector {
+    /// The inert collector: no sinks, no clock reads, every call a
+    /// single branch. This is the default wired through the workspace.
+    pub fn noop() -> Collector {
+        Collector { inner: None }
+    }
+
+    /// Starts building a live collector.
+    pub fn builder() -> CollectorBuilder {
+        CollectorBuilder { sinks: Vec::new() }
+    }
+
+    /// Whether metric instrumentation is live. Hot paths that would do
+    /// extra work *before* calling in (e.g. formatting a shard label)
+    /// can gate on this; plain `counter`/`observe` calls don't need to.
+    pub fn active(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|inner| inner.metrics_active)
+    }
+
+    /// Adds `delta` to the named cumulative counter.
+    pub fn counter(&self, name: &str, delta: u64) {
+        let Some(inner) = self.metric_inner() else {
+            return;
+        };
+        let mut metrics = inner.metrics.lock().expect("collector poisoned");
+        match metrics.counters.get_mut(name) {
+            Some(value) => *value += delta,
+            None => {
+                metrics.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Current cumulative value of a counter (0 if never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.metric_inner().map_or(0, |inner| {
+            inner
+                .metrics
+                .lock()
+                .expect("collector poisoned")
+                .counters
+                .get(name)
+                .copied()
+                .unwrap_or(0)
+        })
+    }
+
+    /// Snapshot of all cumulative counters.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.metric_inner().map_or_else(BTreeMap::new, |inner| {
+            inner
+                .metrics
+                .lock()
+                .expect("collector poisoned")
+                .counters
+                .clone()
+        })
+    }
+
+    /// Sum of all counters whose name starts with `prefix` — e.g.
+    /// `counter_sum("point_cache/")` across shards, or a
+    /// `point_cache/shard07/` drill-down.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.metric_inner().map_or(0, |inner| {
+            inner
+                .metrics
+                .lock()
+                .expect("collector poisoned")
+                .counters
+                .iter()
+                .filter(|(name, _)| name.starts_with(prefix))
+                .map(|(_, v)| *v)
+                .sum()
+        })
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        let Some(inner) = self.metric_inner() else {
+            return;
+        };
+        let mut metrics = inner.metrics.lock().expect("collector poisoned");
+        match metrics.histograms.get_mut(name) {
+            Some(h) => h.observe(value),
+            None => {
+                let mut h = Histo::default();
+                h.observe(value);
+                metrics.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Current summary of a histogram, if it has any observations.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        let inner = self.metric_inner()?;
+        let metrics = inner.metrics.lock().expect("collector poisoned");
+        metrics.histograms.get(name).map(|h| HistogramSummary {
+            name: name.to_string(),
+            count: h.count,
+            sum: h.sum,
+            min: h.min,
+            max: h.max,
+        })
+    }
+
+    /// Opens a wall-clock span: emits [`Event::SpanEnter`] now and
+    /// [`Event::SpanExit`] (with elapsed µs) when the guard drops.
+    /// Inert (no clock read) on a no-op collector.
+    pub fn span(&self, name: &str) -> Span {
+        match self.metric_inner() {
+            None => Span {
+                inner: None,
+                name: String::new(),
+                entered: None,
+            },
+            Some(inner) => {
+                let entered = Instant::now();
+                inner.emit_metric(&Event::SpanEnter {
+                    name: name.to_string(),
+                    t_us: inner.t_us(),
+                });
+                Span {
+                    inner: Some(Arc::clone(inner)),
+                    name: name.to_string(),
+                    entered: Some(entered),
+                }
+            }
+        }
+    }
+
+    /// Starts a histogram-only timer: when the guard drops, the elapsed
+    /// µs are observed into the named histogram without emitting any
+    /// per-call event. This is the right tool for per-layer / per-point
+    /// timings that would flood a JSONL trace.
+    pub fn time(&self, name: &str) -> Timer {
+        match self.metric_inner() {
+            None => Timer {
+                inner: None,
+                name: String::new(),
+                started: None,
+            },
+            Some(inner) => Timer {
+                inner: Some(Arc::clone(inner)),
+                name: name.to_string(),
+                started: Some(Instant::now()),
+            },
+        }
+    }
+
+    /// Emits a leveled log message. Unlike metrics, logs reach *every*
+    /// sink (each sink decides what to print/store), so a stderr-only
+    /// collector still surfaces warnings without activating metrics.
+    pub fn log(&self, level: Level, message: &str) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        let event = Event::Log {
+            t_us: inner.t_us(),
+            level,
+            message: message.to_string(),
+        };
+        for sink in &inner.sinks {
+            sink.record(&event);
+        }
+    }
+
+    /// Emits one structured DSE iteration record.
+    pub fn iteration(&self, record: IterationRecord) {
+        if let Some(inner) = self.metric_inner() {
+            inner.emit_metric(&Event::Iteration {
+                t_us: inner.t_us(),
+                record,
+            });
+        }
+    }
+
+    /// Emits one batch fan-out record.
+    pub fn batch(&self, record: BatchRecord) {
+        if let Some(inner) = self.metric_inner() {
+            inner.emit_metric(&Event::Batch {
+                t_us: inner.t_us(),
+                record,
+            });
+        }
+    }
+
+    /// Snapshots aggregated metrics into the event stream — one
+    /// [`Event::Counters`] with the deltas since the previous flush and
+    /// one [`Event::Histograms`] with cumulative summaries — then flushes
+    /// every sink. Call at natural boundaries (end of a run).
+    pub fn flush(&self) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        if inner.metrics_active {
+            let (deltas, summaries) = {
+                let mut metrics = inner.metrics.lock().expect("collector poisoned");
+                let deltas: Vec<(String, u64)> = metrics
+                    .counters
+                    .iter()
+                    .filter_map(|(name, value)| {
+                        let prev = metrics.flushed.get(name).copied().unwrap_or(0);
+                        (*value > prev).then(|| (name.clone(), value - prev))
+                    })
+                    .collect();
+                metrics.flushed = metrics.counters.clone();
+                let summaries: Vec<HistogramSummary> = metrics
+                    .histograms
+                    .iter()
+                    .map(|(name, h)| HistogramSummary {
+                        name: name.clone(),
+                        count: h.count,
+                        sum: h.sum,
+                        min: h.min,
+                        max: h.max,
+                    })
+                    .collect();
+                (deltas, summaries)
+            };
+            let t_us = inner.t_us();
+            if !deltas.is_empty() {
+                inner.emit_metric(&Event::Counters { t_us, deltas });
+            }
+            if !summaries.is_empty() {
+                inner.emit_metric(&Event::Histograms { t_us, summaries });
+            }
+        }
+        for sink in &inner.sinks {
+            sink.flush();
+        }
+    }
+
+    fn metric_inner(&self) -> Option<&Arc<Inner>> {
+        self.inner.as_ref().filter(|inner| inner.metrics_active)
+    }
+}
+
+/// Configures a live [`Collector`].
+pub struct CollectorBuilder {
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+impl CollectorBuilder {
+    /// Attaches a sink.
+    pub fn sink(mut self, sink: impl Sink + 'static) -> CollectorBuilder {
+        self.sinks.push(Box::new(sink));
+        self
+    }
+
+    /// Builds the collector. With no sinks this still returns the
+    /// inert no-op collector.
+    pub fn build(self) -> Collector {
+        if self.sinks.is_empty() {
+            return Collector::noop();
+        }
+        let metrics_active = self.sinks.iter().any(|s| s.wants_metrics());
+        Collector {
+            inner: Some(Arc::new(Inner {
+                start: Instant::now(),
+                sinks: self.sinks,
+                metrics_active,
+                metrics: Mutex::new(Metrics::default()),
+            })),
+        }
+    }
+}
+
+/// RAII guard for a wall-clock span; see [`Collector::span`].
+#[must_use = "a span measures the region it is alive for"]
+pub struct Span {
+    inner: Option<Arc<Inner>>,
+    name: String,
+    entered: Option<Instant>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let (Some(inner), Some(entered)) = (self.inner.take(), self.entered) {
+            inner.emit_metric(&Event::SpanExit {
+                name: std::mem::take(&mut self.name),
+                t_us: inner.t_us(),
+                elapsed_us: entered.elapsed().as_micros() as u64,
+            });
+        }
+    }
+}
+
+/// RAII guard for a histogram-only timing; see [`Collector::time`].
+#[must_use = "a timer measures the region it is alive for"]
+pub struct Timer {
+    inner: Option<Arc<Inner>>,
+    name: String,
+    started: Option<Instant>,
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if let (Some(inner), Some(started)) = (self.inner.take(), self.started) {
+            let elapsed_us = started.elapsed().as_micros() as f64;
+            let mut metrics = inner.metrics.lock().expect("collector poisoned");
+            match metrics.histograms.get_mut(&self.name) {
+                Some(h) => h.observe(elapsed_us),
+                None => {
+                    let mut h = Histo::default();
+                    h.observe(elapsed_us);
+                    metrics.histograms.insert(std::mem::take(&mut self.name), h);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_collector_is_inert() {
+        let c = Collector::noop();
+        assert!(!c.active());
+        c.counter("x", 5);
+        c.observe("y", 1.0);
+        c.log(Level::Error, "nothing listens");
+        c.iteration(IterationRecord::default());
+        c.batch(BatchRecord::default());
+        {
+            let _s = c.span("s");
+            let _t = c.time("t");
+        }
+        c.flush();
+        assert_eq!(c.counter_value("x"), 0);
+        assert!(c.histogram("y").is_none());
+        assert!(c.counters().is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_flush_emits_deltas() {
+        let sink = MemorySink::new();
+        let c = Collector::builder().sink(sink.clone()).build();
+        c.counter("a/hit", 2);
+        c.counter("a/hit", 3);
+        c.counter("b/miss", 1);
+        assert_eq!(c.counter_value("a/hit"), 5);
+        assert_eq!(c.counter_sum("a/"), 5);
+        assert_eq!(c.counter_sum(""), 6);
+        c.flush();
+        c.counter("a/hit", 10);
+        c.flush();
+        let counter_events: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Counters { deltas, .. } => Some(deltas),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            counter_events[0],
+            vec![("a/hit".to_string(), 5), ("b/miss".to_string(), 1)]
+        );
+        // Second snapshot carries only what changed since the first.
+        assert_eq!(counter_events[1], vec![("a/hit".to_string(), 10)]);
+        assert_eq!(c.counter_value("a/hit"), 15);
+    }
+
+    #[test]
+    fn histograms_summarize_and_flush() {
+        let sink = MemorySink::new();
+        let c = Collector::builder().sink(sink.clone()).build();
+        for v in [4.0, 1.0, 7.0] {
+            c.observe("stage/mapper_us", v);
+        }
+        let h = c.histogram("stage/mapper_us").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 7.0);
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+        c.flush();
+        assert!(sink
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::Histograms { summaries, .. } if summaries.len() == 1)));
+    }
+
+    #[test]
+    fn spans_emit_enter_and_exit_with_elapsed() {
+        let sink = MemorySink::new();
+        let c = Collector::builder().sink(sink.clone()).build();
+        {
+            let _span = c.span("dse/run");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let events = sink.events();
+        assert!(matches!(&events[0], Event::SpanEnter { name, .. } if name == "dse/run"));
+        match &events[1] {
+            Event::SpanExit {
+                name, elapsed_us, ..
+            } => {
+                assert_eq!(name, "dse/run");
+                assert!(*elapsed_us >= 1_000, "slept 2ms, saw {elapsed_us}µs");
+            }
+            other => panic!("expected exit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timer_feeds_histogram_without_events() {
+        let sink = MemorySink::new();
+        let c = Collector::builder().sink(sink.clone()).build();
+        {
+            let _t = c.time("stage/point_eval_us");
+        }
+        assert_eq!(c.histogram("stage/point_eval_us").unwrap().count, 1);
+        assert!(sink.is_empty(), "timers must not stream events");
+    }
+
+    #[test]
+    fn log_only_collector_keeps_metrics_off() {
+        let c = Collector::builder()
+            .sink(StderrSink::new(Level::Error))
+            .build();
+        assert!(!c.active());
+        c.counter("x", 1);
+        assert_eq!(c.counter_value("x"), 0);
+        // Logs still route (nothing visible at Error threshold here).
+        c.log(Level::Debug, "hidden");
+        c.flush();
+    }
+
+    #[test]
+    fn logs_reach_metric_sinks_too() {
+        let sink = MemorySink::new();
+        let c = Collector::builder().sink(sink.clone()).build();
+        c.log(Level::Warn, "careful");
+        assert!(matches!(
+            &sink.events()[0],
+            Event::Log { level: Level::Warn, message, .. } if message == "careful"
+        ));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = Collector::builder().sink(MemorySink::new()).build();
+        let c2 = c.clone();
+        c.counter("shared", 1);
+        c2.counter("shared", 1);
+        assert_eq!(c.counter_value("shared"), 2);
+    }
+
+    #[test]
+    fn threaded_counting_is_exact() {
+        let c = Collector::builder().sink(MemorySink::new()).build();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        c.counter("races/none", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.counter_value("races/none"), 4000);
+    }
+}

@@ -1,0 +1,180 @@
+//! Pluggable event sinks: in-memory (tests), JSONL (tooling), stderr (logs).
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::event::{Event, Level};
+
+/// Receives every event the [`crate::Collector`] dispatches.
+///
+/// Implementations must be cheap and must not panic: sinks run inline on
+/// the instrumented hot paths (the collector does not buffer events on a
+/// background thread — zero-dependency means no channel machinery beyond
+/// std, and the workloads here are compute-bound, not I/O-bound).
+pub trait Sink: Send + Sync {
+    /// Handles one event.
+    fn record(&self, event: &Event);
+
+    /// Whether this sink wants metric traffic (spans, counters,
+    /// histograms, iteration/batch records). A pure log sink returns
+    /// `false` so its presence alone does not activate the metric hot
+    /// paths in the collector.
+    fn wants_metrics(&self) -> bool {
+        true
+    }
+
+    /// Flushes buffered output, if any.
+    fn flush(&self) {}
+}
+
+/// Collects events into a shared `Vec` for test assertions.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// A snapshot of everything recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink poisoned").len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Streams one JSON object per event to a file — the `--trace-out` format
+/// consumed by `trace_report`.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the file cannot be created.
+    pub fn create(path: &Path) -> std::io::Result<JsonlSink> {
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let mut line = event.to_json_line();
+        line.push('\n');
+        let mut writer = self.writer.lock().expect("jsonl sink poisoned");
+        // A full disk mid-trace should not abort the run it observes.
+        let _ = writer.write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+/// Prints [`Event::Log`] messages at or above a minimum level to stderr
+/// and ignores everything else. This is what keeps warnings/errors from
+/// the bench binaries visible while making progress chatter opt-in.
+#[derive(Debug, Clone, Copy)]
+pub struct StderrSink {
+    min_level: Level,
+}
+
+impl StderrSink {
+    /// Creates a sink that prints messages at `min_level` and above.
+    pub fn new(min_level: Level) -> StderrSink {
+        StderrSink { min_level }
+    }
+}
+
+impl Sink for StderrSink {
+    fn record(&self, event: &Event) {
+        if let Event::Log { level, message, .. } = event {
+            if *level >= self.min_level {
+                eprintln!("[{level}] {message}");
+            }
+        }
+    }
+
+    fn wants_metrics(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_accumulates_in_order() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        for t in 0..3 {
+            sink.record(&Event::SpanEnter {
+                name: "x".into(),
+                t_us: t,
+            });
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[2].t_us(), 2);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join("edse_telemetry_sink_test.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.record(&Event::Log {
+            t_us: 1,
+            level: Level::Info,
+            message: "hello".into(),
+        });
+        sink.record(&Event::SpanExit {
+            name: "dse/run".into(),
+            t_us: 9,
+            elapsed_us: 8,
+        });
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            Event::parse_json_line(line).expect(line);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stderr_sink_opts_out_of_metrics() {
+        assert!(!StderrSink::new(Level::Warn).wants_metrics());
+        assert!(MemorySink::new().wants_metrics());
+    }
+}

@@ -14,6 +14,7 @@
 use crate::space::{MappingSpace, SpaceBudget};
 use accel_model::mapping::prime_factors;
 use accel_model::{AcceleratorConfig, ExecutionProfile, Mapping, Stationarity, Tiling};
+use edse_telemetry::Collector;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hash::{Hash, Hasher};
@@ -83,6 +84,66 @@ impl<M: MappingOptimizer> MappingOptimizer for &M {
 
     fn diagnose(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<ExecutionProfile> {
         (**self).diagnose(layer, cfg)
+    }
+}
+
+/// Wraps any mapping optimizer with telemetry, leaving results untouched:
+/// every [`MappingOptimizer::optimize`] call increments
+/// `mapper/<name>/{feasible,infeasible}` by outcome and observes its
+/// wall-clock duration into the `mapper/<name>/optimize_us` histogram.
+///
+/// Useful for mapper-focused studies (Fig. 15): attach one collector to
+/// several instrumented mappers and compare call counts, failure rates,
+/// and per-call cost side by side. With a no-op collector the wrapper
+/// forwards directly (one branch of overhead).
+pub struct InstrumentedMapper<M> {
+    inner: M,
+    telemetry: Collector,
+    prefix: String,
+}
+
+impl<M: MappingOptimizer> InstrumentedMapper<M> {
+    /// Wraps `inner`, labeling all metrics with its [`MappingOptimizer::name`].
+    pub fn new(inner: M, telemetry: Collector) -> Self {
+        let prefix = format!("mapper/{}", inner.name());
+        InstrumentedMapper {
+            inner,
+            telemetry,
+            prefix,
+        }
+    }
+
+    /// Unwraps the inner optimizer.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+}
+
+impl<M: MappingOptimizer> MappingOptimizer for InstrumentedMapper<M> {
+    fn optimize(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<MappedLayer> {
+        if !self.telemetry.active() {
+            return self.inner.optimize(layer, cfg);
+        }
+        let result = {
+            let _timer = self.telemetry.time(&format!("{}/optimize_us", self.prefix));
+            self.inner.optimize(layer, cfg)
+        };
+        let outcome = if result.is_some() {
+            "feasible"
+        } else {
+            "infeasible"
+        };
+        self.telemetry
+            .counter(&format!("{}/{outcome}", self.prefix), 1);
+        result
+    }
+
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn diagnose(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<ExecutionProfile> {
+        self.inner.diagnose(layer, cfg)
     }
 }
 
@@ -571,5 +632,26 @@ mod tests {
         let small = RandomMapper::new(50, 9).optimize(&layer(), &cfg).unwrap();
         let large = RandomMapper::new(500, 9).optimize(&layer(), &cfg).unwrap();
         assert!(large.profile.latency_cycles <= small.profile.latency_cycles);
+    }
+
+    #[test]
+    fn instrumented_mapper_counts_outcomes_without_changing_results() {
+        use edse_telemetry::MemorySink;
+        let cfg = AcceleratorConfig::edge_baseline();
+        let collector = Collector::builder().sink(MemorySink::new()).build();
+        let wrapped = InstrumentedMapper::new(LinearMapper::new(50), collector.clone());
+        assert_eq!(wrapped.name(), "linear-50");
+        let direct = LinearMapper::new(50).optimize(&layer(), &cfg);
+        let traced = wrapped.optimize(&layer(), &cfg);
+        assert_eq!(direct, traced, "observation must not change the result");
+        assert_eq!(collector.counter_value("mapper/linear-50/feasible"), 1);
+        assert_eq!(collector.counter_value("mapper/linear-50/infeasible"), 0);
+        assert_eq!(
+            collector
+                .histogram("mapper/linear-50/optimize_us")
+                .unwrap()
+                .count,
+            1
+        );
     }
 }

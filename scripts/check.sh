@@ -16,4 +16,23 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> cargo doc --workspace --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> telemetry smoke: fig04_toy_trace --trace-out + trace_report"
+trace_tmp="$(mktemp -d)"
+trap 'rm -rf "$trace_tmp"' EXIT
+cargo run --release -q -p bench --bin fig04_toy_trace -- \
+    --iters 8 --trace-out "$trace_tmp/toy.jsonl" > /dev/null
+test -s "$trace_tmp/toy.jsonl" || {
+    echo "trace file is empty" >&2
+    exit 1
+}
+# trace_report exits non-zero on any unparseable JSONL line.
+cargo run --release -q -p bench --bin trace_report -- "$trace_tmp/toy.jsonl" \
+    | grep -q "Search narrative" || {
+    echo "trace report missing the search narrative" >&2
+    exit 1
+}
+
 echo "All checks passed."
