@@ -6,7 +6,7 @@
 use crate::{random_point, step, DseTechnique};
 use edse_core::bottleneck::dnn_latency_model;
 use edse_core::cost::Trace;
-use edse_core::dse::{DseConfig, ExplainableDse};
+use edse_core::dse::DseConfig;
 use edse_core::evaluate::Evaluator;
 use edse_core::space::DesignPoint;
 use rand::rngs::StdRng;
@@ -113,15 +113,16 @@ impl DseTechnique for ExplainableTechnique {
     }
 
     fn run(&mut self, evaluator: &dyn Evaluator, budget: usize) -> Trace {
-        let dse = ExplainableDse::new(
+        let session = edse_core::SearchSession::new(
             dnn_latency_model(),
             DseConfig {
                 budget,
                 ..self.config.clone()
             },
-        );
+        )
+        .evaluator(evaluator);
         let initial: DesignPoint = evaluator.space().minimum_point();
-        dse.run_dnn(&evaluator, initial).trace
+        session.run(initial).trace
     }
 }
 

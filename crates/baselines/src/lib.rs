@@ -36,10 +36,12 @@ pub use rl::ConfuciuxRl;
 pub use sensitivity::SensitivityGuided;
 pub use simple::{GeneticAlgorithm, GridSearch, RandomSearch, SimulatedAnnealing};
 
+use edse_core::checkpoint::{load_baseline, CheckpointingEvaluator};
 use edse_core::cost::{Sample, Trace};
 use edse_core::evaluate::Evaluator;
 use edse_core::space::DesignPoint;
-use edse_telemetry::Collector;
+use edse_telemetry::{Collector, Level};
+use std::path::PathBuf;
 
 /// A DSE technique: explores for `budget` unique evaluations and returns
 /// the full trace.
@@ -59,6 +61,10 @@ pub trait DseTechnique {
     /// [`Trace::emit_iteration_records`]), so black-box baselines produce
     /// traces comparable line-for-line with the explainable DSE's live
     /// records. Results are identical to [`Self::run`].
+    #[deprecated(
+        since = "0.4.0",
+        note = "use baselines::BaselineSession, which adds checkpoint/resume"
+    )]
     fn run_traced(
         &mut self,
         evaluator: &dyn Evaluator,
@@ -70,6 +76,145 @@ pub trait DseTechnique {
             self.run(evaluator, budget)
         };
         trace.emit_iteration_records(telemetry, budget);
+        trace
+    }
+}
+
+/// Builder and runner for one baseline exploration: telemetry plus
+/// checkpoint/resume for any [`DseTechnique`], mirroring
+/// `edse_core::SearchSession` for the explainable search.
+///
+/// Baselines are black boxes, so there is no mid-search state to
+/// serialize; instead the session checkpoints the *evaluator caches*
+/// (every [`BaselineSession::checkpoint_every`] unique evaluations, via
+/// [`CheckpointingEvaluator`]) and resumes by replay: the caches are
+/// restored and the deterministic technique re-runs from scratch, with
+/// every already-completed evaluation answered from cache. The resumed
+/// trace is bit-for-bit identical to the uninterrupted one.
+///
+/// ```
+/// use baselines::{BaselineSession, RandomSearch};
+/// use edse_core::evaluate::CodesignEvaluator;
+/// use edse_core::space::edge_space;
+/// use mapper::FixedMapper;
+/// use workloads::zoo;
+///
+/// let evaluator =
+///     CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+/// let mut technique = RandomSearch::new(7);
+/// let trace = BaselineSession::new(&mut technique).run(&evaluator, 20);
+/// assert_eq!(trace.evaluations(), 20);
+/// ```
+pub struct BaselineSession<'t> {
+    technique: &'t mut dyn DseTechnique,
+    telemetry: Collector,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: usize,
+    resume: bool,
+}
+
+impl<'t> BaselineSession<'t> {
+    /// Starts a session around a technique. Telemetry defaults to the
+    /// inert collector and checkpointing is off.
+    pub fn new(technique: &'t mut dyn DseTechnique) -> Self {
+        BaselineSession {
+            technique,
+            telemetry: Collector::noop(),
+            checkpoint: None,
+            checkpoint_every: 10,
+            resume: false,
+        }
+    }
+
+    /// Attaches a telemetry collector: the run gets a `baseline/<name>`
+    /// span and per-sample iteration records, exactly as the deprecated
+    /// `DseTechnique::run_traced` produced.
+    pub fn telemetry(mut self, telemetry: Collector) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Enables checkpointing of the evaluator caches to `path`
+    /// (atomically, write-then-rename).
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Snapshot cadence in unique evaluations (default 10; clamped to at
+    /// least 1).
+    pub fn checkpoint_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = every.max(1);
+        self
+    }
+
+    /// When enabled (with [`BaselineSession::checkpoint`]), restores the
+    /// snapshot's evaluator caches before running, if the snapshot file
+    /// exists; starts fresh when it does not.
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Runs the technique for `budget` unique evaluations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when resume is enabled and the snapshot file exists but
+    /// cannot be loaded, or records a different technique or budget than
+    /// this run — replay-resume is only bit-identical when the re-run
+    /// matches the interrupted run exactly, so a mismatch is surfaced
+    /// loudly rather than silently recomputing.
+    pub fn run(self, evaluator: &dyn Evaluator, budget: usize) -> Trace {
+        let name = self.technique.name();
+        if let (Some(path), true) = (&self.checkpoint, self.resume) {
+            if path.exists() {
+                let snapshot =
+                    load_baseline(path).unwrap_or_else(|e| panic!("cannot resume baseline: {e}"));
+                assert_eq!(
+                    snapshot.technique, name,
+                    "cannot resume baseline: snapshot records technique {:?}, this run is {:?}",
+                    snapshot.technique, name
+                );
+                assert_eq!(
+                    snapshot.budget, budget,
+                    "cannot resume baseline: snapshot records budget {}, this run has {}",
+                    snapshot.budget, budget
+                );
+                evaluator.restore_caches(&snapshot.caches);
+                self.telemetry.log(
+                    Level::Info,
+                    &format!(
+                        "resumed baseline {name} from {} with {} cached evaluations",
+                        path.display(),
+                        snapshot.caches.unique_evaluations
+                    ),
+                );
+            }
+        }
+        let trace = match &self.checkpoint {
+            Some(path) => {
+                let guarded = CheckpointingEvaluator::new(
+                    evaluator,
+                    path.clone(),
+                    self.checkpoint_every,
+                    name.clone(),
+                    budget,
+                    self.telemetry.clone(),
+                );
+                let trace = {
+                    let _span = self.telemetry.span(&format!("baseline/{name}"));
+                    self.technique.run(&guarded, budget)
+                };
+                guarded.save();
+                trace
+            }
+            None => {
+                let _span = self.telemetry.span(&format!("baseline/{name}"));
+                self.technique.run(evaluator, budget)
+            }
+        };
+        trace.emit_iteration_records(&self.telemetry, budget);
         trace
     }
 }
@@ -181,7 +326,10 @@ mod tests {
 
         let sink = MemorySink::new();
         let collector = Collector::builder().sink(sink.clone()).build();
-        let traced = RandomSearch::new(3).run_traced(&evaluator(), budget, &collector);
+        let mut technique = RandomSearch::new(3);
+        let traced = BaselineSession::new(&mut technique)
+            .telemetry(collector.clone())
+            .run(&evaluator(), budget);
         // Identical samples; wall_seconds legitimately differs between runs.
         assert_eq!(
             plain.samples, traced.samples,
@@ -212,6 +360,79 @@ mod tests {
             assert_eq!((rec.proposed, rec.deduped, rec.evaluated), (1, 0, 1));
             assert_eq!(rec.budget_remaining as usize, budget - (i + 1));
         }
+    }
+
+    #[test]
+    fn deprecated_run_traced_matches_the_session_api() {
+        let budget = 10;
+        let collector = Collector::noop();
+        #[allow(deprecated)]
+        let old = RandomSearch::new(5).run_traced(&evaluator(), budget, &collector);
+        let mut technique = RandomSearch::new(5);
+        let new = BaselineSession::new(&mut technique)
+            .telemetry(collector)
+            .run(&evaluator(), budget);
+        assert_eq!(old.samples, new.samples);
+        assert_eq!(old.technique, new.technique);
+    }
+
+    #[test]
+    fn baseline_resumes_by_replay_bit_identically() {
+        let dir = std::env::temp_dir().join(format!(
+            "edse-baseline-resume-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("random.ckpt.json");
+        let budget = 14;
+
+        let mut technique = RandomSearch::new(9);
+        let uninterrupted = BaselineSession::new(&mut technique).run(&evaluator(), budget);
+
+        // "Interrupted" run: checkpoint every 3 unique evaluations, but
+        // stop the technique early by shrinking its budget — the snapshot
+        // still records the full budget so a resume can check it.
+        {
+            let ev = evaluator();
+            let guarded = edse_core::CheckpointingEvaluator::new(
+                &ev,
+                path.clone(),
+                3,
+                "random",
+                budget,
+                Collector::noop(),
+            );
+            let _partial = RandomSearch::new(9).run(&guarded, budget / 2);
+        }
+        assert!(path.exists(), "interrupted run must leave a snapshot");
+
+        // Resume: restore caches, replay from scratch against a mapper
+        // that would give different answers if re-consulted for cached
+        // layers — replay must hit only the cache for the first half.
+        let ev = evaluator();
+        let mut technique = RandomSearch::new(9);
+        let resumed = BaselineSession::new(&mut technique)
+            .checkpoint(&path)
+            .resume(true)
+            .run(&ev, budget);
+        assert_eq!(
+            uninterrupted.samples, resumed.samples,
+            "replay-resume must be bit-identical"
+        );
+
+        // A mismatched budget must refuse to resume rather than silently
+        // replay a different search.
+        let mut technique = RandomSearch::new(9);
+        let refused = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            BaselineSession::new(&mut technique)
+                .checkpoint(&path)
+                .resume(true)
+                .run(&evaluator(), budget + 1)
+        }));
+        assert!(refused.is_err(), "budget drift must be rejected");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

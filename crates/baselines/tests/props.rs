@@ -158,7 +158,7 @@ proptest! {
     fn dse_batch_matches_serial_incumbent_trace(seed in 0u64..12) {
         use edse_core::evaluate::{CodesignEvaluator, EvalEngine};
         use edse_core::space::edge_space;
-        use edse_core::dse::{DseConfig, ExplainableDse};
+        use edse_core::dse::DseConfig;
         use edse_core::bottleneck::dnn_latency_model;
 
         let run = |engine: EvalEngine| {
@@ -168,12 +168,13 @@ proptest! {
                 mapper::FixedMapper,
             )
             .with_engine(engine);
-            let dse = ExplainableDse::new(
+            let session = edse_core::SearchSession::new(
                 dnn_latency_model(),
                 DseConfig { budget: 40, seed, ..DseConfig::default() },
-            );
+            )
+            .evaluator(&ev);
             let initial = ev.space().minimum_point();
-            let result = dse.run_dnn(&ev, initial);
+            let result = session.run(initial);
             (result, ev.unique_evaluations())
         };
         let (serial, serial_uniques) = run(EvalEngine::serial());
@@ -209,7 +210,7 @@ proptest! {
     fn telemetry_counters_parallel_sum_to_serial(seed in 0u64..6) {
         use edse_core::evaluate::{CodesignEvaluator, EvalEngine};
         use edse_core::space::edge_space;
-        use edse_core::dse::{DseConfig, ExplainableDse};
+        use edse_core::dse::DseConfig;
         use edse_core::bottleneck::dnn_latency_model;
         use edse_telemetry::{Collector, Event, MemorySink};
 
@@ -223,12 +224,13 @@ proptest! {
             )
             .with_engine(engine)
             .with_telemetry(collector.clone());
-            let dse = ExplainableDse::new(
+            let session = edse_core::SearchSession::new(
                 dnn_latency_model(),
                 DseConfig { budget: 40, seed, ..DseConfig::default() },
             )
-            .with_telemetry(collector.clone());
-            let _ = dse.run_dnn(&ev, ev.space().minimum_point());
+            .evaluator(&ev)
+            .telemetry(collector.clone());
+            let _ = session.run(ev.space().minimum_point());
             (ev.unique_evaluations(), collector.counters(), sink.events())
         };
         let (serial_uniques, serial, _) = run(EvalEngine::serial());

@@ -5,7 +5,7 @@
 use accel_model::{AcceleratorConfig, Mapping};
 use criterion::{criterion_group, criterion_main, Criterion};
 use edse_core::bottleneck::{dnn_latency_model, LayerCtx};
-use edse_core::dse::{DseConfig, ExplainableDse};
+use edse_core::dse::DseConfig;
 use edse_core::evaluate::{CodesignEvaluator, EvalEngine, Evaluator};
 use edse_core::space::{edge, edge_space};
 use edse_telemetry::{Collector, MemorySink};
@@ -65,15 +65,16 @@ fn bench_dse(c: &mut Criterion) {
     c.bench_function("dse/explainable_20_evals", |b| {
         b.iter(|| {
             let ev = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
-            let dse = ExplainableDse::new(
+            let session = edse_core::SearchSession::new(
                 dnn_latency_model(),
                 DseConfig {
                     budget: 20,
                     ..DseConfig::default()
                 },
-            );
+            )
+            .evaluator(&ev);
             let initial = ev.space().minimum_point();
-            black_box(dse.run_dnn(&ev, initial))
+            black_box(session.run(initial))
         })
     });
 }

@@ -11,11 +11,12 @@
 //!
 //! Usage: `ablation_dse [--iters N] [--models a,b] [--seed N]`
 
-use bench::{print_table, Args};
+use bench::{print_table, BenchArgs};
 use edse_core::bottleneck::dnn_latency_model;
-use edse_core::dse::{Aggregation, DseConfig, ExplainableDse};
+use edse_core::dse::{Aggregation, DseConfig};
 use edse_core::evaluate::{CodesignEvaluator, Evaluator};
 use edse_core::space::edge_space;
+use edse_core::SearchSession;
 use edse_telemetry::Collector;
 use mapper::{FixedMapper, LinearMapper, MappingOptimizer};
 use workloads::{zoo, DnnModel};
@@ -28,9 +29,11 @@ fn run<M: MappingOptimizer>(
 ) -> (String, String, String) {
     let ev = CodesignEvaluator::new(edge_space(), vec![model.clone()], mapper)
         .with_telemetry(telemetry.clone());
-    let dse = ExplainableDse::new(dnn_latency_model(), config).with_telemetry(telemetry.clone());
+    let session = SearchSession::new(dnn_latency_model(), config)
+        .evaluator(&ev)
+        .telemetry(telemetry.clone());
     let initial = ev.space().minimum_point();
-    let r = dse.run_dnn(&ev, initial);
+    let r = session.run(initial);
     let best = r
         .best
         .as_ref()
@@ -45,7 +48,7 @@ fn run<M: MappingOptimizer>(
 }
 
 fn main() {
-    let mut args = Args::parse(250);
+    let mut args = BenchArgs::parse(250);
     // Convergence comparisons need room even in quick mode.
     args.iters = args.iters.max(150);
     let telemetry = args.telemetry();

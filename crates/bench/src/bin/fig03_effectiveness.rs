@@ -5,11 +5,11 @@
 //!
 //! Usage: `fig03_effectiveness [--full] [--iters N] [--seed N]`
 
-use bench::{constraints_for, print_table, run_technique, Args, MapperKind, TechniqueKind};
+use bench::{constraints_for, print_table, run_technique, BenchArgs, MapperKind, TechniqueKind};
 use workloads::zoo;
 
 fn main() {
-    let args = Args::parse(2500);
+    let args = BenchArgs::parse(2500);
     let telemetry = args.telemetry();
     let model = zoo::efficientnet_b0();
     let constraints = constraints_for(std::slice::from_ref(&model));
@@ -28,6 +28,7 @@ fn main() {
             args.iters,
             args.seed,
             &telemetry,
+            &args.session_opts(),
         );
         let best = trace
             .best_feasible()

@@ -4,15 +4,21 @@
 //! parameters are frozen mid-range, exactly the setting of the paper's
 //! illustration.
 //!
-//! Usage: `fig04_toy_trace [--iters N] [--seed N]`
+//! Usage: `fig04_toy_trace [--iters N] [--seed N] [--out PATH]
+//! [--checkpoint PATH [--checkpoint-every K] [--resume]]`
+//!
+//! `--out` writes a machine-readable result summary (sample objectives,
+//! best feasible latency, attempt count — deliberately no wall-clock
+//! times) so interrupted-and-resumed runs can be diffed against
+//! uninterrupted ones; `scripts/check.sh` does exactly that.
 
-use baselines::{DseTechnique, HyperMapperLike};
-use bench::Args;
-use edse_core::bottleneck::dnn_latency_model;
-use edse_core::dse::{DseConfig, ExplainableDse};
+use baselines::{BaselineSession, HyperMapperLike};
+use bench::BenchArgs;
+use edse_core::dse::DseConfig;
 use edse_core::evaluate::{CodesignEvaluator, Evaluator};
 use edse_core::space::{edge, DesignSpace, ParamDef};
-use edse_core::Trace;
+use edse_core::{bottleneck::dnn_latency_model, DseResult, SearchSession, Trace};
+use edse_telemetry::json::Json;
 use workloads::constraints::ThroughputTarget;
 use workloads::model::{DnnModel, Layer};
 use workloads::LayerShape;
@@ -76,40 +82,128 @@ fn print_trace(title: &str, space: &DesignSpace, trace: &Trace) {
     }
 }
 
+/// The deterministic portion of one trace: everything a resumed run must
+/// reproduce bit-for-bit. Wall-clock times are deliberately excluded.
+fn trace_json(trace: &Trace) -> Json {
+    Json::obj(vec![
+        ("technique", Json::Str(trace.technique.clone())),
+        ("evaluations", Json::Num(trace.evaluations() as f64)),
+        (
+            "samples",
+            Json::Arr(
+                trace
+                    .samples
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            (
+                                "point",
+                                Json::Arr(
+                                    s.point
+                                        .indices()
+                                        .iter()
+                                        .map(|&i| Json::Num(i as f64))
+                                        .collect(),
+                                ),
+                            ),
+                            ("objective", Json::Num(s.objective)),
+                            ("feasible", Json::Bool(s.feasible)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "best",
+            trace
+                .best_feasible()
+                .map(|b| Json::Num(b.objective))
+                .unwrap_or(Json::Null),
+        ),
+    ])
+}
+
+/// The full deterministic result summary written by `--out`.
+fn result_json(hm: &Trace, result: &DseResult, unique_evaluations: usize) -> Json {
+    Json::obj(vec![
+        ("hypermapper", trace_json(hm)),
+        ("explainable", trace_json(&result.trace)),
+        ("attempts", Json::Num(result.attempts.len() as f64)),
+        (
+            "converged_after",
+            Json::Arr(
+                result
+                    .converged_after
+                    .iter()
+                    .map(|&n| Json::Num(n as f64))
+                    .collect(),
+            ),
+        ),
+        ("termination", Json::Str(result.termination.clone())),
+        ("unique_evaluations", Json::Num(unique_evaluations as f64)),
+    ])
+}
+
 fn main() {
-    let args = Args::parse(25);
+    let args = BenchArgs::parse(25);
     let telemetry = args.telemetry();
+    let opts = args.session_opts();
     let space = toy_space();
     let model = single_layer_model();
 
     // HyperMapper-2.0-style exploration (Fig. 4a).
     let ev = CodesignEvaluator::new(space.clone(), vec![model.clone()], mapper::FixedMapper)
         .with_telemetry(telemetry.clone());
-    let hm = HyperMapperLike::new(args.seed).run_traced(&ev, args.iters, &telemetry);
+    let mut technique = HyperMapperLike::new(args.seed);
+    let mut hm_session = BaselineSession::new(&mut technique).telemetry(telemetry.clone());
+    if let Some(path) = opts.path_for("hypermapper") {
+        hm_session = hm_session
+            .checkpoint(path)
+            .checkpoint_every(opts.every)
+            .resume(opts.resume);
+    }
+    let hm = hm_session.run(&ev, args.iters);
     telemetry.flush();
     print_trace("HyperMapper 2.0 (black-box)", &space, &hm);
 
     // Explainable-DSE (Fig. 4b).
     let ev = CodesignEvaluator::new(space.clone(), vec![model], mapper::FixedMapper)
         .with_telemetry(telemetry.clone());
-    let dse = ExplainableDse::new(
+    let mut session = SearchSession::new(
         dnn_latency_model(),
         DseConfig {
             budget: args.iters,
             ..DseConfig::default()
         },
     )
-    .with_telemetry(telemetry.clone());
+    .evaluator(&ev)
+    .telemetry(telemetry.clone());
+    if let Some(path) = opts.path_for("explainable") {
+        session = session
+            .checkpoint(path)
+            .checkpoint_every(opts.every)
+            .resume(opts.resume);
+    }
     let initial = ev.space().minimum_point();
-    let result = dse.run_dnn(&ev, initial);
+    let result = session.run(initial);
     telemetry.flush();
     print_trace("Explainable-DSE (bottleneck-guided)", &space, &result.trace);
     println!("\nexplanations:");
     for a in result.attempts.iter().take(6) {
-        println!("  attempt {}: {}", a.index, a.decision);
-        if let Some(line) = a.analyses.first() {
+        println!("  attempt {}: {}", a.index(), a.decision());
+        if let Some(line) = a.analyses().first() {
             let short: String = line.chars().take(120).collect();
             println!("    {short}");
         }
+    }
+
+    if let Some(out) = &args.out {
+        let unique = ev.cache_snapshot().unique_evaluations;
+        let line = result_json(&hm, &result, unique).to_line();
+        if let Err(e) = std::fs::write(out, line + "\n") {
+            eprintln!("cannot write result file {out}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nresult summary written to {out}");
     }
 }

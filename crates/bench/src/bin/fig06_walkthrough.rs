@@ -6,20 +6,21 @@
 //!
 //! Usage: `fig06_walkthrough [--iters N]`
 
-use bench::Args;
+use bench::BenchArgs;
 use edse_core::bottleneck::dnn_latency_model;
-use edse_core::dse::{DseConfig, ExplainableDse};
+use edse_core::dse::DseConfig;
 use edse_core::evaluate::{CodesignEvaluator, Evaluator};
 use edse_core::space::edge_space;
+use edse_core::SearchSession;
 use mapper::FixedMapper;
 use workloads::zoo;
 
 fn main() {
-    let args = Args::parse(80);
+    let args = BenchArgs::parse(80);
     let telemetry = args.telemetry();
     let evaluator = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper)
         .with_telemetry(telemetry.clone());
-    let dse = ExplainableDse::new(
+    let mut session = SearchSession::new(
         dnn_latency_model(),
         DseConfig {
             budget: args.iters.max(60),
@@ -27,9 +28,16 @@ fn main() {
             ..DseConfig::default()
         },
     )
-    .with_telemetry(telemetry.clone());
+    .evaluator(&evaluator)
+    .telemetry(telemetry.clone());
+    if let Some(path) = &args.checkpoint {
+        session = session
+            .checkpoint(path)
+            .checkpoint_every(args.checkpoint_every)
+            .resume(args.resume);
+    }
     let initial = evaluator.space().minimum_point();
-    let result = dse.run_dnn(&evaluator, initial);
+    let result = session.run(initial);
     telemetry.flush();
     println!(
         "{}",

@@ -8,13 +8,13 @@
 //! [--trace-out t.jsonl] [--verbose]`
 
 use bench::{
-    constraints_for, latency_cell, print_table, run_technique, Args, MapperKind, TechniqueKind,
+    constraints_for, latency_cell, print_table, run_technique, BenchArgs, MapperKind, TechniqueKind,
 };
 use edse_telemetry::Level;
 use workloads::zoo;
 
 fn main() {
-    let args = Args::parse(2500);
+    let args = BenchArgs::parse(2500);
     let telemetry = args.telemetry();
     let models = args.models_or(&telemetry, zoo::all_models());
     println!(
@@ -65,6 +65,7 @@ fn main() {
                 args.iters,
                 args.seed,
                 &telemetry,
+                &args.session_opts(),
             );
             row.push(latency_cell(&trace, &constraints));
             telemetry.log(

@@ -7,12 +7,12 @@
 //! Usage: `fig10_search_time [--full] [--iters N] [--trials N] [--models a,b]`
 
 use bench::{
-    print_table, run_explainable_detailed, run_technique, Args, MapperKind, TechniqueKind,
+    print_table, run_explainable_detailed, run_technique, BenchArgs, MapperKind, TechniqueKind,
 };
 use workloads::zoo;
 
 fn main() {
-    let args = Args::parse(2500);
+    let args = BenchArgs::parse(2500);
     let telemetry = args.telemetry();
     let default = vec![zoo::resnet18(), zoo::efficientnet_b0(), zoo::transformer()];
     let models = args.models_or(&telemetry, default);
@@ -52,6 +52,7 @@ fn main() {
                     args.iters,
                     args.seed,
                     &telemetry,
+                    &args.session_opts(),
                 )
             } else {
                 let t = run_technique(
@@ -61,6 +62,7 @@ fn main() {
                     args.iters,
                     args.seed,
                     &telemetry,
+                    &args.session_opts(),
                 );
                 (t, vec![])
             };

@@ -4,7 +4,7 @@
 //!
 //! Usage: `fig11_convergence [--full] [--iters N] [--models a,b]`
 
-use bench::{print_table, run_technique, Args, MapperKind, TechniqueKind};
+use bench::{print_table, run_technique, BenchArgs, MapperKind, TechniqueKind};
 use edse_core::Trace;
 use workloads::zoo;
 
@@ -17,7 +17,7 @@ fn fmt(v: f64) -> String {
 }
 
 fn main() {
-    let args = Args::parse(2500);
+    let args = BenchArgs::parse(2500);
     let telemetry = args.telemetry();
     let models = args.models_or(&telemetry, vec![zoo::efficientnet_b0(), zoo::transformer()]);
 
@@ -45,6 +45,7 @@ fn main() {
                     args.iters,
                     args.seed,
                     &telemetry,
+                    &args.session_opts(),
                 );
                 (format!("{}{}", kind.label(), mapper.suffix()), t)
             })

@@ -5,11 +5,11 @@
 //!
 //! Usage: `fig12_feasibility [--full] [--iters N] [--models a,b]`
 
-use bench::{constraints_for, print_table, run_technique, Args, MapperKind, TechniqueKind};
+use bench::{constraints_for, print_table, run_technique, BenchArgs, MapperKind, TechniqueKind};
 use workloads::zoo;
 
 fn main() {
-    let args = Args::parse(2500);
+    let args = BenchArgs::parse(2500);
     let telemetry = args.telemetry();
     let default = vec![zoo::resnet18(), zoo::mobilenet_v2(), zoo::bert_base()];
     let models = args.models_or(&telemetry, default);
@@ -50,6 +50,7 @@ fn main() {
                 args.iters,
                 args.seed,
                 &telemetry,
+                &args.session_opts(),
             );
             area_power += trace.feasibility_rate_first(2, &constraints);
             all += trace.feasibility_rate();

@@ -11,7 +11,7 @@
 //!
 //! Usage: `fig14_casestudy [--full] [--iters N]`
 
-use bench::{print_table, run_technique, Args, MapperKind, TechniqueKind};
+use bench::{print_table, run_technique, BenchArgs, MapperKind, TechniqueKind};
 use edse_core::evaluate::{CodesignEvaluator, Evaluator};
 use edse_core::space::edge_space;
 use mapper::LinearMapper;
@@ -58,7 +58,7 @@ fn references() -> Vec<Reference> {
 }
 
 fn main() {
-    let args = Args::parse(400);
+    let args = BenchArgs::parse(400);
     let telemetry = args.telemetry();
     println!("Fig. 14: DSE codesigns vs published edge accelerators\n");
 
@@ -74,6 +74,7 @@ fn main() {
             args.iters,
             args.seed,
             &telemetry,
+            &args.session_opts(),
         );
         let Some(best) = trace.best_feasible() else {
             rows.push(vec![

@@ -7,7 +7,7 @@
 //! Usage: `fig15_mappers [--full] [--trials N] [--seed N]`
 
 use accel_model::AcceleratorConfig;
-use bench::{print_table, Args};
+use bench::{print_table, BenchArgs};
 use mapper::{
     AnnealingMapper, GeneticMapper, InstrumentedMapper, LinearMapper, MappingOptimizer,
     RandomMapper,
@@ -15,7 +15,7 @@ use mapper::{
 use workloads::zoo;
 
 fn main() {
-    let args = Args::parse(2500);
+    let args = BenchArgs::parse(2500);
     let telemetry = args.telemetry();
     let trials = args.map_trials;
     // Enough links and register-file bytes that mappings are limited by

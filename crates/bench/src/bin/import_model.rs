@@ -5,11 +5,12 @@
 //! Usage: `import_model <path/to/model.json> [--iters N]`
 //! (default path: `assets/custom_model.json`)
 
-use bench::Args;
+use bench::BenchArgs;
 use edse_core::bottleneck::dnn_latency_model;
-use edse_core::dse::{DseConfig, ExplainableDse};
+use edse_core::dse::DseConfig;
 use edse_core::evaluate::{CodesignEvaluator, Evaluator};
 use edse_core::space::edge_space;
+use edse_core::SearchSession;
 use edse_telemetry::Level;
 use mapper::LinearMapper;
 
@@ -18,7 +19,7 @@ fn main() {
         .nth(1)
         .filter(|a| !a.starts_with("--"))
         .unwrap_or_else(|| "assets/custom_model.json".into());
-    let mut args = Args::parse(150);
+    let mut args = BenchArgs::parse(150);
     // The first positional argument is the model path, not an unknown flag.
     args.warnings
         .retain(|w| !w.ends_with(&format!("argument {path}")));
@@ -57,16 +58,23 @@ fn main() {
         LinearMapper::new(args.map_trials),
     )
     .with_telemetry(telemetry.clone());
-    let dse = ExplainableDse::new(
+    let mut session = SearchSession::new(
         dnn_latency_model(),
         DseConfig {
             budget: args.iters,
             ..DseConfig::default()
         },
     )
-    .with_telemetry(telemetry.clone());
+    .evaluator(&evaluator)
+    .telemetry(telemetry.clone());
+    if let Some(path) = &args.checkpoint {
+        session = session
+            .checkpoint(path)
+            .checkpoint_every(args.checkpoint_every)
+            .resume(args.resume);
+    }
     let initial = evaluator.space().minimum_point();
-    let result = dse.run_dnn(&evaluator, initial);
+    let result = session.run(initial);
     telemetry.flush();
     println!(
         "\nexplored {} designs ({})",

@@ -7,12 +7,12 @@
 //! Usage: `tab02_dynamic_dse [--iters N] [--models a,b] [--seed N]`
 
 use bench::{
-    constraints_for, latency_cell, print_table, run_technique, Args, MapperKind, TechniqueKind,
+    constraints_for, latency_cell, print_table, run_technique, BenchArgs, MapperKind, TechniqueKind,
 };
 use workloads::zoo;
 
 fn main() {
-    let mut args = Args::parse(100);
+    let mut args = BenchArgs::parse(100);
     if args.quick {
         args.iters = 100; // Table 2's budget *is* the dynamic budget.
     }
@@ -67,6 +67,7 @@ fn main() {
                 args.iters,
                 args.seed,
                 &telemetry,
+                &args.session_opts(),
             );
             if *kind == TechniqueKind::Explainable {
                 explainable_evals.push(trace.evaluations());

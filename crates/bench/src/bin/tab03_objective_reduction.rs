@@ -5,7 +5,7 @@
 //!
 //! Usage: `tab03_objective_reduction [--full] [--iters N] [--models a,b]`
 
-use bench::{print_table, run_technique, Args, MapperKind, TechniqueKind};
+use bench::{print_table, run_technique, BenchArgs, MapperKind, TechniqueKind};
 use workloads::zoo;
 
 fn cell(g: Option<f64>) -> String {
@@ -16,7 +16,7 @@ fn cell(g: Option<f64>) -> String {
 }
 
 fn main() {
-    let args = Args::parse(2500);
+    let args = BenchArgs::parse(2500);
     let telemetry = args.telemetry();
     let default = vec![zoo::resnet18(), zoo::efficientnet_b0(), zoo::bert_base()];
     let models = args.models_or(&telemetry, default);
@@ -60,6 +60,7 @@ fn main() {
                 args.iters,
                 args.seed,
                 &telemetry,
+                &args.session_opts(),
             );
             row.push(cell(trace.geomean_reduction()));
         }

@@ -7,7 +7,7 @@
 //! Usage: `tab07_mapspace [--seed N] [--trials N (MC samples)]`
 
 use accel_model::AcceleratorConfig;
-use bench::{print_table, Args};
+use bench::{print_table, BenchArgs};
 use mapper::layer_space_size;
 use workloads::{zoo, LayerShape};
 
@@ -43,7 +43,7 @@ fn pow(v: f64) -> String {
 }
 
 fn main() {
-    let args = Args::parse(2000);
+    let args = BenchArgs::parse(2000);
     let _telemetry = args.telemetry();
     let samples = args.map_trials.max(200);
     let reference = AcceleratorConfig::edge_minimum();

@@ -9,7 +9,7 @@
 //!
 //! Usage: `trace_report <trace.jsonl>`
 
-use edse_telemetry::{Event, Level};
+use edse_telemetry::{json, Event, Level};
 use std::collections::BTreeMap;
 
 fn fmt_ms(objective: f64) -> String {
@@ -17,6 +17,21 @@ fn fmt_ms(objective: f64) -> String {
         format!("{objective:.3} ms")
     } else {
         "unmappable".into()
+    }
+}
+
+/// Pinpoints why a trace line failed to parse: the 1-based column and the
+/// most precise message available.
+///
+/// [`Event::parse_json_line`] reports event-level problems (unknown kind,
+/// missing field) without a position, so the line is re-parsed as plain
+/// JSON: a syntax failure there carries the byte offset of the defect
+/// (column = byte + 1); a line that *is* valid JSON but not a valid event
+/// gets column 1 with the event-level message.
+fn locate_failure(line: &str, error: &str) -> (usize, String) {
+    match json::parse(line) {
+        Err(e) => (e.byte + 1, e.message),
+        Ok(_) => (1, error.to_string()),
     }
 }
 
@@ -56,7 +71,9 @@ fn main() {
         match Event::parse_json_line(line) {
             Ok(event) => events.push(event),
             Err(e) => {
-                eprintln!("{path}:{}: unparseable trace line: {e}", i + 1);
+                let (col, message) = locate_failure(line, &e);
+                eprintln!("{path}:{}:{col}: unparseable trace line: {message}", i + 1);
+                eprintln!("  offending record: {line}");
                 std::process::exit(1);
             }
         }
@@ -228,5 +245,39 @@ fn main() {
         for (level, message) in logs {
             println!("- [{level}] {message}");
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syntax_errors_carry_the_defects_column() {
+        // Broken mid-object: the value after "t_us": is missing, so the
+        // parser gives up on the `}` at byte 21 — column 22.
+        let line = r#"{"kind":"log","t_us":}"#;
+        let err = Event::parse_json_line(line).unwrap_err();
+        let (col, message) = locate_failure(line, &err);
+        assert_eq!(col, 22, "column must point at the defect, got {message}");
+        assert!(!message.is_empty());
+    }
+
+    #[test]
+    fn valid_json_invalid_event_points_at_column_one() {
+        let line = r#"{"kind":"no-such-event"}"#;
+        let err = Event::parse_json_line(line).unwrap_err();
+        let (col, message) = locate_failure(line, &err);
+        assert_eq!(col, 1);
+        // The event-level message survives verbatim.
+        assert_eq!(message, err);
+    }
+
+    #[test]
+    fn trailing_garbage_is_located_after_the_document() {
+        let line = r#"{"kind":"log"} extra"#;
+        let err = Event::parse_json_line(line).unwrap_err();
+        let (col, _) = locate_failure(line, &err);
+        assert_eq!(col, 16, "column of the first trailing character");
     }
 }

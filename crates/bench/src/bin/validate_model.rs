@@ -12,12 +12,12 @@
 //! Usage: `validate_model [--models a,b]`
 
 use accel_model::{simulate, AcceleratorConfig};
-use bench::{print_table, Args};
+use bench::{print_table, BenchArgs};
 use mapper::{FixedMapper, LinearMapper, MappingOptimizer};
 use workloads::zoo;
 
 fn main() {
-    let args = Args::parse(0);
+    let args = BenchArgs::parse(0);
     let telemetry = args.telemetry();
     let models = args.models_or(&telemetry, vec![zoo::resnet18(), zoo::mobilenet_v2()]);
     let cfg = AcceleratorConfig {

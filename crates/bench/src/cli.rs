@@ -1,0 +1,319 @@
+//! Command-line handling shared by every figure/table binary.
+//!
+//! Historically each binary re-parsed its own flags; the logic now lives
+//! here once, as [`BenchArgs::parse_from`] over a plain argument slice so
+//! the parser is unit-testable without touching the process environment.
+//! This is also where the checkpoint/resume flags (`--checkpoint`,
+//! `--resume`, `--checkpoint-every`) are hosted, feeding
+//! [`SessionOpts`] into the technique runners.
+
+use edse_telemetry::{Collector, JsonlSink, Level, StderrSink};
+use std::path::PathBuf;
+use workloads::{zoo, DnnModel};
+
+/// Common experiment options parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Hardware-DSE evaluation budget (paper: 2500 static / 100 dynamic).
+    pub iters: usize,
+    /// Mapping trials per layer for black-box codesign mappers
+    /// (paper: 10000).
+    pub map_trials: usize,
+    /// Random seed.
+    pub seed: u64,
+    /// Selected model names (empty = the experiment's default set).
+    pub models: Vec<String>,
+    /// Whether the `--quick` preset was chosen.
+    pub quick: bool,
+    /// JSONL trace destination (`--trace-out <path>`); `None` keeps
+    /// telemetry metrics off entirely.
+    pub trace_out: Option<String>,
+    /// Whether `--verbose` lowers the stderr log threshold to `Info`
+    /// (progress chatter); the default shows only warnings and errors.
+    pub verbose: bool,
+    /// Checkpoint file base path (`--checkpoint <path>`); each technique
+    /// run snapshots to `<path>.<technique>` (see
+    /// [`SessionOpts::path_for`]).
+    pub checkpoint: Option<String>,
+    /// Whether `--resume` continues from existing checkpoint files.
+    pub resume: bool,
+    /// Snapshot cadence in search steps / unique evaluations
+    /// (`--checkpoint-every <k>`, default 10).
+    pub checkpoint_every: usize,
+    /// Machine-readable result destination (`--out <path>`), used by the
+    /// binaries that support it (e.g. `fig04_toy_trace`).
+    pub out: Option<String>,
+    /// Diagnostics accumulated while parsing (unknown flags); surfaced
+    /// as `Warn` logs once [`BenchArgs::telemetry`] builds the collector.
+    pub warnings: Vec<String>,
+}
+
+/// Checkpoint/resume options carried from the CLI into a technique run.
+#[derive(Debug, Clone, Default)]
+pub struct SessionOpts {
+    /// Checkpoint file base path; `None` disables checkpointing.
+    pub checkpoint: Option<PathBuf>,
+    /// Whether to resume from an existing snapshot.
+    pub resume: bool,
+    /// Snapshot cadence (clamped to at least 1 at use sites).
+    pub every: usize,
+}
+
+impl SessionOpts {
+    /// The disabled options: no checkpointing, no resume.
+    pub fn none() -> Self {
+        SessionOpts::default()
+    }
+
+    /// The per-technique snapshot path: `<base>.<label>`, so several
+    /// techniques sharing one `--checkpoint` base in a single binary
+    /// don't clobber each other's snapshots.
+    pub fn path_for(&self, label: &str) -> Option<PathBuf> {
+        self.checkpoint.as_ref().map(|base| {
+            let mut os = base.clone().into_os_string();
+            os.push(".");
+            os.push(label);
+            PathBuf::from(os)
+        })
+    }
+}
+
+impl BenchArgs {
+    /// Parses `--iters N --trials N --seed N --models a,b --quick --full
+    /// --trace-out PATH --verbose --checkpoint PATH --resume
+    /// --checkpoint-every K --out PATH` from an argument slice (without
+    /// the program name).
+    ///
+    /// `default_iters` applies to the full setting; `--quick` divides the
+    /// budgets so every experiment finishes in minutes on a laptop. Quick
+    /// is the default; pass `--full` for paper-scale budgets.
+    pub fn parse_from<S: AsRef<str>>(argv: &[S], default_iters: usize) -> Self {
+        let mut args = Self {
+            iters: default_iters,
+            map_trials: 10_000,
+            seed: 1,
+            models: Vec::new(),
+            quick: true,
+            trace_out: None,
+            verbose: false,
+            checkpoint: None,
+            resume: false,
+            checkpoint_every: 10,
+            out: None,
+            warnings: Vec::new(),
+        };
+        let mut explicit_iters = None;
+        let mut explicit_trials = None;
+        let mut i = 0;
+        while i < argv.len() {
+            let value = |i: usize| argv.get(i + 1).map(|v| v.as_ref().to_string());
+            match argv[i].as_ref() {
+                "--iters" => {
+                    explicit_iters = value(i).and_then(|v| v.parse().ok());
+                    i += 1;
+                }
+                "--trials" => {
+                    explicit_trials = value(i).and_then(|v| v.parse().ok());
+                    i += 1;
+                }
+                "--seed" => {
+                    args.seed = value(i).and_then(|v| v.parse().ok()).unwrap_or(1);
+                    i += 1;
+                }
+                "--models" => {
+                    args.models = value(i)
+                        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
+                        .unwrap_or_default();
+                    i += 1;
+                }
+                "--trace-out" => {
+                    args.trace_out = value(i);
+                    i += 1;
+                }
+                "--checkpoint" => {
+                    args.checkpoint = value(i);
+                    i += 1;
+                }
+                "--checkpoint-every" => {
+                    args.checkpoint_every = value(i).and_then(|v| v.parse().ok()).unwrap_or(10);
+                    i += 1;
+                }
+                "--out" => {
+                    args.out = value(i);
+                    i += 1;
+                }
+                "--resume" => args.resume = true,
+                "--verbose" => args.verbose = true,
+                "--full" => args.quick = false,
+                "--quick" => args.quick = true,
+                other => args
+                    .warnings
+                    .push(format!("ignoring unknown argument {other}")),
+            }
+            i += 1;
+        }
+        if args.quick {
+            args.iters = default_iters.div_ceil(10).max(30);
+            args.map_trials = 300;
+        }
+        if let Some(v) = explicit_iters {
+            args.iters = v;
+        }
+        if let Some(v) = explicit_trials {
+            args.map_trials = v;
+        }
+        args
+    }
+
+    /// Parses from the process arguments (see [`BenchArgs::parse_from`]).
+    pub fn parse(default_iters: usize) -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        Self::parse_from(&argv, default_iters)
+    }
+
+    /// The checkpoint/resume options for this run's technique sessions.
+    pub fn session_opts(&self) -> SessionOpts {
+        SessionOpts {
+            checkpoint: self.checkpoint.as_ref().map(PathBuf::from),
+            resume: self.resume,
+            every: self.checkpoint_every,
+        }
+    }
+
+    /// Builds the run's telemetry collector from the parsed flags:
+    /// a [`JsonlSink`] when `--trace-out` was given (activating metrics),
+    /// plus a [`StderrSink`] at `Warn` (or `Info` with `--verbose`) so
+    /// warnings stay visible while progress chatter is opt-in. Exits with
+    /// an error when the trace file cannot be created.
+    pub fn telemetry(&self) -> Collector {
+        let mut builder = Collector::builder();
+        if let Some(path) = &self.trace_out {
+            match JsonlSink::create(std::path::Path::new(path)) {
+                Ok(sink) => builder = builder.sink(sink),
+                Err(e) => {
+                    eprintln!("cannot create trace file {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let level = if self.verbose {
+            Level::Info
+        } else {
+            Level::Warn
+        };
+        let collector = builder.sink(StderrSink::new(level)).build();
+        for warning in &self.warnings {
+            collector.log(Level::Warn, warning);
+        }
+        collector
+    }
+
+    /// The models this run targets: `--models` if given, else `fallback`.
+    /// Unknown names are skipped with a `Warn` log.
+    pub fn models_or(&self, telemetry: &Collector, fallback: Vec<DnnModel>) -> Vec<DnnModel> {
+        if self.models.is_empty() {
+            return fallback;
+        }
+        self.models
+            .iter()
+            .filter_map(|name| {
+                let m = zoo::by_name(name);
+                if m.is_none() {
+                    telemetry.log(Level::Warn, &format!("unknown model {name}, skipping"));
+                }
+                m
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_apply_the_quick_preset() {
+        let a = BenchArgs::parse_from(&[] as &[&str], 2500);
+        assert!(a.quick);
+        assert_eq!(a.iters, 250);
+        assert_eq!(a.map_trials, 300);
+        assert_eq!(a.seed, 1);
+        assert!(a.checkpoint.is_none() && !a.resume);
+        assert_eq!(a.checkpoint_every, 10);
+        assert!(a.warnings.is_empty());
+    }
+
+    #[test]
+    fn quick_floor_keeps_tiny_experiments_meaningful() {
+        assert_eq!(BenchArgs::parse_from(&[] as &[&str], 80).iters, 30);
+    }
+
+    #[test]
+    fn full_restores_paper_scale_budgets() {
+        let a = BenchArgs::parse_from(&["--full"], 2500);
+        assert!(!a.quick);
+        assert_eq!(a.iters, 2500);
+        assert_eq!(a.map_trials, 10_000);
+    }
+
+    #[test]
+    fn explicit_values_override_the_preset() {
+        let a = BenchArgs::parse_from(&["--iters", "42", "--trials", "7", "--seed", "9"], 2500);
+        assert_eq!((a.iters, a.map_trials, a.seed), (42, 7, 9));
+        // Order should not matter: preset flags after the explicit value
+        // must not clobber it.
+        let a = BenchArgs::parse_from(&["--iters", "42", "--quick"], 2500);
+        assert_eq!(a.iters, 42);
+    }
+
+    #[test]
+    fn models_split_on_commas_and_trim() {
+        let a = BenchArgs::parse_from(&["--models", "resnet18, mobilenet_v2"], 100);
+        assert_eq!(a.models, vec!["resnet18", "mobilenet_v2"]);
+    }
+
+    #[test]
+    fn checkpoint_flags_feed_session_opts() {
+        let a = BenchArgs::parse_from(
+            &[
+                "--checkpoint",
+                "/tmp/run.ckpt",
+                "--resume",
+                "--checkpoint-every",
+                "3",
+                "--out",
+                "result.json",
+            ],
+            100,
+        );
+        assert_eq!(a.checkpoint.as_deref(), Some("/tmp/run.ckpt"));
+        assert!(a.resume);
+        assert_eq!(a.checkpoint_every, 3);
+        assert_eq!(a.out.as_deref(), Some("result.json"));
+
+        let opts = a.session_opts();
+        assert_eq!(
+            opts.path_for("explainable-fixdf"),
+            Some(PathBuf::from("/tmp/run.ckpt.explainable-fixdf"))
+        );
+        assert!(opts.resume);
+        assert_eq!(opts.every, 3);
+        assert_eq!(SessionOpts::none().path_for("x"), None);
+    }
+
+    #[test]
+    fn unknown_flags_are_collected_not_fatal() {
+        let a = BenchArgs::parse_from(&["--bogus", "--iters", "10"], 100);
+        assert_eq!(a.iters, 10);
+        assert_eq!(a.warnings.len(), 1);
+        assert!(a.warnings[0].contains("--bogus"));
+    }
+
+    #[test]
+    fn missing_value_falls_back_to_defaults() {
+        let a = BenchArgs::parse_from(&["--seed"], 100);
+        assert_eq!(a.seed, 1);
+        let a = BenchArgs::parse_from(&["--checkpoint-every"], 100);
+        assert_eq!(a.checkpoint_every, 10);
+    }
+}

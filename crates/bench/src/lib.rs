@@ -8,158 +8,25 @@
 //! rendering so each binary prints the same rows/series the paper reports.
 
 use baselines::{
-    BayesianOpt, ConfuciuxRl, DseTechnique, GeneticAlgorithm, GridSearch, HyperMapperLike,
-    RandomSearch, SimulatedAnnealing,
+    BaselineSession, BayesianOpt, ConfuciuxRl, DseTechnique, GeneticAlgorithm, GridSearch,
+    HyperMapperLike, RandomSearch, SimulatedAnnealing,
 };
 use edse_core::bottleneck::dnn_latency_model;
 use edse_core::cost::Trace;
-use edse_core::dse::{DseConfig, ExplainableDse};
+use edse_core::dse::DseConfig;
 use edse_core::evaluate::{CodesignEvaluator, Evaluator};
 use edse_core::space::edge_space;
-use edse_telemetry::{Collector, JsonlSink, Level, StderrSink};
+use edse_core::SearchSession;
+use edse_telemetry::Collector;
 use mapper::{FixedMapper, LinearMapper, MappingOptimizer, RandomMapper};
-use workloads::{zoo, DnnModel};
+use workloads::DnnModel;
 
-/// Common experiment options parsed from the command line.
-#[derive(Debug, Clone)]
-pub struct Args {
-    /// Hardware-DSE evaluation budget (paper: 2500 static / 100 dynamic).
-    pub iters: usize,
-    /// Mapping trials per layer for black-box codesign mappers
-    /// (paper: 10000).
-    pub map_trials: usize,
-    /// Random seed.
-    pub seed: u64,
-    /// Selected model names (empty = the experiment's default set).
-    pub models: Vec<String>,
-    /// Whether the `--quick` preset was chosen.
-    pub quick: bool,
-    /// JSONL trace destination (`--trace-out <path>`); `None` keeps
-    /// telemetry metrics off entirely.
-    pub trace_out: Option<String>,
-    /// Whether `--verbose` lowers the stderr log threshold to `Info`
-    /// (progress chatter); the default shows only warnings and errors.
-    pub verbose: bool,
-    /// Diagnostics accumulated while parsing (unknown flags); surfaced
-    /// as `Warn` logs once [`Args::telemetry`] builds the collector.
-    pub warnings: Vec<String>,
-}
+pub mod cli;
+pub use cli::{BenchArgs, SessionOpts};
 
-impl Args {
-    /// Parses `--iters N --trials N --seed N --models a,b --quick --full
-    /// --trace-out PATH --verbose`.
-    ///
-    /// `default_iters` applies to the full setting; `--quick` divides the
-    /// budgets so every experiment finishes in minutes on a laptop. Quick
-    /// is the default; pass `--full` for paper-scale budgets.
-    pub fn parse(default_iters: usize) -> Self {
-        let argv: Vec<String> = std::env::args().skip(1).collect();
-        let mut args = Self {
-            iters: default_iters,
-            map_trials: 10_000,
-            seed: 1,
-            models: Vec::new(),
-            quick: true,
-            trace_out: None,
-            verbose: false,
-            warnings: Vec::new(),
-        };
-        let mut explicit_iters = None;
-        let mut explicit_trials = None;
-        let mut i = 0;
-        while i < argv.len() {
-            match argv[i].as_str() {
-                "--iters" => {
-                    explicit_iters = argv.get(i + 1).and_then(|v| v.parse().ok());
-                    i += 1;
-                }
-                "--trials" => {
-                    explicit_trials = argv.get(i + 1).and_then(|v| v.parse().ok());
-                    i += 1;
-                }
-                "--seed" => {
-                    args.seed = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(1);
-                    i += 1;
-                }
-                "--models" => {
-                    args.models = argv
-                        .get(i + 1)
-                        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
-                        .unwrap_or_default();
-                    i += 1;
-                }
-                "--trace-out" => {
-                    args.trace_out = argv.get(i + 1).cloned();
-                    i += 1;
-                }
-                "--verbose" => args.verbose = true,
-                "--full" => args.quick = false,
-                "--quick" => args.quick = true,
-                other => args
-                    .warnings
-                    .push(format!("ignoring unknown argument {other}")),
-            }
-            i += 1;
-        }
-        if args.quick {
-            args.iters = default_iters.div_ceil(10).max(30);
-            args.map_trials = 300;
-        }
-        if let Some(v) = explicit_iters {
-            args.iters = v;
-        }
-        if let Some(v) = explicit_trials {
-            args.map_trials = v;
-        }
-        args
-    }
-
-    /// Builds the run's telemetry collector from the parsed flags:
-    /// a [`JsonlSink`] when `--trace-out` was given (activating metrics),
-    /// plus a [`StderrSink`] at `Warn` (or `Info` with `--verbose`) so
-    /// warnings stay visible while progress chatter is opt-in. Exits with
-    /// an error when the trace file cannot be created.
-    pub fn telemetry(&self) -> Collector {
-        let mut builder = Collector::builder();
-        if let Some(path) = &self.trace_out {
-            match JsonlSink::create(std::path::Path::new(path)) {
-                Ok(sink) => builder = builder.sink(sink),
-                Err(e) => {
-                    eprintln!("cannot create trace file {path}: {e}");
-                    std::process::exit(1);
-                }
-            }
-        }
-        let level = if self.verbose {
-            Level::Info
-        } else {
-            Level::Warn
-        };
-        let collector = builder.sink(StderrSink::new(level)).build();
-        for warning in &self.warnings {
-            collector.log(Level::Warn, warning);
-        }
-        collector
-    }
-
-    /// The models this run targets: `--models` if given, else `fallback`.
-    /// Unknown names are skipped with a `Warn` log.
-    pub fn models_or(&self, telemetry: &Collector, fallback: Vec<DnnModel>) -> Vec<DnnModel> {
-        if self.models.is_empty() {
-            return fallback;
-        }
-        self.models
-            .iter()
-            .filter_map(|name| {
-                let m = zoo::by_name(name);
-                if m.is_none() {
-                    telemetry.log(Level::Warn, &format!("unknown model {name}, skipping"));
-                }
-                m
-            })
-            .collect()
-    }
-}
+/// The pre-extraction name of [`cli::BenchArgs`].
+#[deprecated(since = "0.4.0", note = "use bench::BenchArgs (bench::cli)")]
+pub type Args = cli::BenchArgs;
 
 /// How mappings are obtained during hardware exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -254,10 +121,11 @@ pub fn run_explainable_detailed(
     budget: usize,
     seed: u64,
     telemetry: &Collector,
+    session: &SessionOpts,
 ) -> (Trace, Vec<usize>) {
     let evaluator = CodesignEvaluator::new(edge_space(), models, mapper.build(seed))
         .with_telemetry(telemetry.clone());
-    let dse = ExplainableDse::new(
+    let mut search = SearchSession::new(
         dnn_latency_model(),
         DseConfig {
             budget,
@@ -265,9 +133,16 @@ pub fn run_explainable_detailed(
             ..DseConfig::default()
         },
     )
-    .with_telemetry(telemetry.clone());
+    .evaluator(&evaluator)
+    .telemetry(telemetry.clone());
+    if let Some(path) = session.path_for(&format!("explainable{}", mapper.suffix())) {
+        search = search
+            .checkpoint(path)
+            .checkpoint_every(session.every)
+            .resume(session.resume);
+    }
     let initial = evaluator.space().minimum_point();
-    let result = dse.run_dnn(&evaluator, initial);
+    let result = search.run(initial);
     telemetry.flush();
     let mut trace = result.trace;
     trace.technique = format!("{}{}", trace.technique, mapper.suffix());
@@ -277,9 +152,11 @@ pub fn run_explainable_detailed(
 /// Runs one technique on one workload set and returns the trace.
 ///
 /// Explainable-DSE emits live iteration records; the black-box baselines
-/// go through [`DseTechnique::run_traced`], which reconstructs comparable
+/// go through a [`BaselineSession`], which reconstructs comparable
 /// records post hoc. Either way the evaluator reports cache and stage
-/// metrics, and the run ends with a counter/histogram flush.
+/// metrics, and the run ends with a counter/histogram flush. When
+/// `session` enables checkpointing, each technique snapshots to its own
+/// `<base>.<technique><suffix>` file (see [`SessionOpts::path_for`]).
 pub fn run_technique(
     kind: TechniqueKind,
     mapper: MapperKind,
@@ -287,12 +164,13 @@ pub fn run_technique(
     budget: usize,
     seed: u64,
     telemetry: &Collector,
+    session: &SessionOpts,
 ) -> Trace {
     let evaluator = CodesignEvaluator::new(edge_space(), models, mapper.build(seed))
         .with_telemetry(telemetry.clone());
     let mut trace = match kind {
         TechniqueKind::Explainable => {
-            let dse = ExplainableDse::new(
+            let mut search = SearchSession::new(
                 dnn_latency_model(),
                 DseConfig {
                     budget,
@@ -300,9 +178,16 @@ pub fn run_technique(
                     ..DseConfig::default()
                 },
             )
-            .with_telemetry(telemetry.clone());
+            .evaluator(&evaluator)
+            .telemetry(telemetry.clone());
+            if let Some(path) = session.path_for(&format!("explainable{}", mapper.suffix())) {
+                search = search
+                    .checkpoint(path)
+                    .checkpoint_every(session.every)
+                    .resume(session.resume);
+            }
             let initial = evaluator.space().minimum_point();
-            dse.run_dnn(&evaluator, initial).trace
+            search.run(initial).trace
         }
         other => {
             let mut technique: Box<dyn DseTechnique> = match other {
@@ -315,7 +200,15 @@ pub fn run_technique(
                 TechniqueKind::Rl => Box::new(ConfuciuxRl::new(seed)),
                 TechniqueKind::Explainable => unreachable!("handled above"),
             };
-            technique.run_traced(&evaluator, budget, telemetry)
+            let label = format!("{}{}", technique.name(), mapper.suffix());
+            let mut run = BaselineSession::new(technique.as_mut()).telemetry(telemetry.clone());
+            if let Some(path) = session.path_for(&label) {
+                run = run
+                    .checkpoint(path)
+                    .checkpoint_every(session.every)
+                    .resume(session.resume);
+            }
+            run.run(&evaluator, budget)
         }
     };
     telemetry.flush();
@@ -379,6 +272,7 @@ pub fn constraints_for(models: &[DnnModel]) -> Vec<edse_core::Constraint> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use workloads::zoo;
 
     #[test]
     fn technique_registry_runs_every_kind_briefly() {
@@ -390,6 +284,7 @@ mod tests {
                 8,
                 3,
                 &Collector::noop(),
+                &SessionOpts::none(),
             );
             assert!(t.evaluations() <= 8, "{:?}", kind);
             assert!(t.technique.ends_with("-fixdf"));
@@ -405,6 +300,7 @@ mod tests {
             60,
             3,
             &Collector::noop(),
+            &SessionOpts::none(),
         );
         let constraints = constraints_for(&[zoo::resnet18()]);
         let cell = latency_cell(&t, &constraints);
@@ -413,18 +309,8 @@ mod tests {
 
     #[test]
     fn args_quick_preset_scales_down() {
-        // parse() reads real argv; just verify the default construction
-        // logic via a synthetic struct.
-        let a = Args {
-            iters: 2500,
-            map_trials: 10_000,
-            seed: 1,
-            models: vec![],
-            quick: true,
-            trace_out: None,
-            verbose: false,
-            warnings: vec![],
-        };
+        let a = BenchArgs::parse_from(&[] as &[&str], 2500);
+        assert!(a.quick);
         assert!(a.models_or(&Collector::noop(), vec![zoo::resnet18()]).len() == 1);
     }
 
@@ -440,6 +326,7 @@ mod tests {
             12,
             3,
             &collector,
+            &SessionOpts::none(),
         );
         assert!(t.evaluations() <= 12);
         let events = sink.events();

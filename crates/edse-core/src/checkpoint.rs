@@ -1,0 +1,958 @@
+//! Checkpoint/resume: serialize search state and evaluator caches to a
+//! versioned snapshot file, atomically, via the workspace's zero-dep JSON
+//! layer.
+//!
+//! Two snapshot kinds share one envelope (`format`/`version`/`kind`
+//! header):
+//!
+//! * **`"explainable"`** — the full [`crate::dse::ExplainableDse`] search
+//!   state (trace, attempt log, incumbent, visited set, phase machine) plus
+//!   the evaluator caches. Resuming replays nothing: the search continues
+//!   from the exact attempt it stopped at, bit-for-bit identical to an
+//!   uninterrupted run.
+//! * **`"baseline"`** — evaluator caches only. Black-box baselines are
+//!   resumed *by replay*: every re-evaluated point hits the restored cache
+//!   (and does not count against [`crate::Evaluator::unique_evaluations`]),
+//!   so the replay is cheap and lands on the same trajectory.
+//!
+//! Snapshots are written with a write-then-rename so a crash mid-write
+//! never corrupts the previous snapshot. See `DESIGN.md` ("Snapshot
+//! format") for the on-disk layout and the determinism contract.
+
+use crate::cost::{Evaluation, LayerEval, Sample, Trace};
+use crate::dse::{Aggregation, Attempt, DseConfig, PhaseState, SearchState};
+use crate::evaluate::{CacheSnapshot, Evaluator, LayerEntry};
+use crate::space::DesignPoint;
+use accel_model::AcceleratorConfig;
+use edse_telemetry::json::{self, Json};
+use edse_telemetry::{Collector, Level};
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Magic string identifying a snapshot file.
+pub const SNAPSHOT_FORMAT: &str = "edse-snapshot";
+/// Current snapshot schema version; loaders reject anything else.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+// ---------------------------------------------------------------------------
+// JSON codec helpers
+// ---------------------------------------------------------------------------
+
+/// Infinity-safe `f64` codec: the JSON layer has no literal for non-finite
+/// values, so they round-trip as the strings `"inf"` / `"-inf"` / `"nan"`.
+fn num(v: f64) -> Json {
+    if v.is_finite() {
+        Json::Num(v)
+    } else if v.is_nan() {
+        Json::Str("nan".into())
+    } else if v > 0.0 {
+        Json::Str("inf".into())
+    } else {
+        Json::Str("-inf".into())
+    }
+}
+
+fn num_from(j: &Json) -> Result<f64, String> {
+    match j {
+        Json::Num(n) => Ok(*n),
+        Json::Str(s) => match s.as_str() {
+            "inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            "nan" => Ok(f64::NAN),
+            other => Err(format!("expected a number, got string `{other}`")),
+        },
+        other => Err(format!("expected a number, got {other:?}")),
+    }
+}
+
+fn nums(values: &[f64]) -> Json {
+    Json::Arr(values.iter().map(|v| num(*v)).collect())
+}
+
+fn nums_from(j: &Json) -> Result<Vec<f64>, String> {
+    arr(j)?.iter().map(num_from).collect()
+}
+
+fn field<'j>(j: &'j Json, key: &str) -> Result<&'j Json, String> {
+    j.get(key)
+        .ok_or_else(|| format!("snapshot field `{key}` is missing"))
+}
+
+fn arr(j: &Json) -> Result<&[Json], String> {
+    j.as_arr()
+        .ok_or_else(|| format!("expected an array, got {j:?}"))
+}
+
+fn str_field(j: &Json, key: &str) -> Result<String, String> {
+    field(j, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("snapshot field `{key}` must be a string"))
+}
+
+fn usize_field(j: &Json, key: &str) -> Result<usize, String> {
+    match field(j, key)? {
+        Json::Num(n) if *n >= 0.0 => Ok(*n as usize),
+        other => Err(format!(
+            "snapshot field `{key}` must be a non-negative number, got {other:?}"
+        )),
+    }
+}
+
+fn f64_field(j: &Json, key: &str) -> Result<f64, String> {
+    num_from(field(j, key)?).map_err(|e| format!("snapshot field `{key}`: {e}"))
+}
+
+fn bool_field(j: &Json, key: &str) -> Result<bool, String> {
+    match field(j, key)? {
+        Json::Bool(b) => Ok(*b),
+        other => Err(format!(
+            "snapshot field `{key}` must be a boolean, got {other:?}"
+        )),
+    }
+}
+
+/// Serializes a serde-capable value through the vendored `serde_json` and
+/// re-parses it into the telemetry [`Json`] tree. Used for the deep
+/// always-finite types (profiles, mappings, configs, shapes) whose field
+/// lists the snapshot layer should not hand-maintain.
+fn bridge_to<T: serde::Serialize>(v: &T) -> Result<Json, String> {
+    let s = serde_json::to_string(v).map_err(|e| format!("serialize: {e}"))?;
+    json::parse(&s).map_err(|e| format!("re-parse serialized value: {e}"))
+}
+
+fn bridge_from<T: serde::Deserialize>(j: &Json) -> Result<T, String> {
+    serde_json::from_str(&j.to_line()).map_err(|e| format!("deserialize: {e}"))
+}
+
+fn opt_to_json<T>(v: &Option<T>, f: impl Fn(&T) -> Result<Json, String>) -> Result<Json, String> {
+    match v {
+        None => Ok(Json::Null),
+        Some(v) => f(v),
+    }
+}
+
+fn opt_from_json<T>(j: &Json, f: impl Fn(&Json) -> Result<T, String>) -> Result<Option<T>, String> {
+    match j {
+        Json::Null => Ok(None),
+        other => f(other).map(Some),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Domain converters
+// ---------------------------------------------------------------------------
+
+fn point_to_json(p: &DesignPoint) -> Json {
+    Json::Arr(p.indices().iter().map(|i| Json::Num(*i as f64)).collect())
+}
+
+fn point_from_json(j: &Json) -> Result<DesignPoint, String> {
+    let indices = arr(j)?
+        .iter()
+        .map(|v| match v {
+            Json::Num(n) if *n >= 0.0 => Ok(*n as usize),
+            other => Err(format!(
+                "design-point index must be a number, got {other:?}"
+            )),
+        })
+        .collect::<Result<Vec<usize>, String>>()?;
+    Ok(DesignPoint::new(indices))
+}
+
+fn sample_to_json(s: &Sample) -> Json {
+    Json::obj(vec![
+        ("point", point_to_json(&s.point)),
+        ("objective", num(s.objective)),
+        ("constraint_values", nums(&s.constraint_values)),
+        ("feasible", Json::Bool(s.feasible)),
+    ])
+}
+
+fn sample_from_json(j: &Json) -> Result<Sample, String> {
+    Ok(Sample {
+        point: point_from_json(field(j, "point")?)?,
+        objective: f64_field(j, "objective")?,
+        constraint_values: nums_from(field(j, "constraint_values")?)?,
+        feasible: bool_field(j, "feasible")?,
+    })
+}
+
+fn trace_to_json(t: &Trace) -> Json {
+    Json::obj(vec![
+        ("technique", Json::Str(t.technique.clone())),
+        ("wall_seconds", num(t.wall_seconds)),
+        (
+            "samples",
+            Json::Arr(t.samples.iter().map(sample_to_json).collect()),
+        ),
+    ])
+}
+
+fn trace_from_json(j: &Json) -> Result<Trace, String> {
+    let mut trace = Trace::new(str_field(j, "technique")?);
+    trace.wall_seconds = f64_field(j, "wall_seconds")?;
+    trace.samples = arr(field(j, "samples")?)?
+        .iter()
+        .map(sample_from_json)
+        .collect::<Result<_, _>>()?;
+    Ok(trace)
+}
+
+fn layer_eval_to_json(l: &LayerEval) -> Result<Json, String> {
+    Ok(Json::obj(vec![
+        ("name", Json::Str(l.name.clone())),
+        ("model", Json::Str(l.model.clone())),
+        ("count", Json::Num(l.count as f64)),
+        ("profile", opt_to_json(&l.profile, bridge_to)?),
+        ("mappable", Json::Bool(l.mappable)),
+        ("latency_ms", num(l.latency_ms)),
+    ]))
+}
+
+fn layer_eval_from_json(j: &Json) -> Result<LayerEval, String> {
+    Ok(LayerEval {
+        name: str_field(j, "name")?,
+        model: str_field(j, "model")?,
+        count: usize_field(j, "count")? as u64,
+        profile: opt_from_json(field(j, "profile")?, bridge_from)?,
+        mappable: bool_field(j, "mappable")?,
+        latency_ms: f64_field(j, "latency_ms")?,
+    })
+}
+
+fn evaluation_to_json(e: &Evaluation) -> Result<Json, String> {
+    Ok(Json::obj(vec![
+        ("objective", num(e.objective)),
+        ("mappable", Json::Bool(e.mappable)),
+        ("constraint_values", nums(&e.constraint_values)),
+        (
+            "layers",
+            Json::Arr(
+                e.layers
+                    .iter()
+                    .map(layer_eval_to_json)
+                    .collect::<Result<_, _>>()?,
+            ),
+        ),
+        ("area_mm2", num(e.area_mm2)),
+        ("power_w", num(e.power_w)),
+        ("energy_mj", num(e.energy_mj)),
+    ]))
+}
+
+fn evaluation_from_json(j: &Json) -> Result<Evaluation, String> {
+    Ok(Evaluation {
+        objective: f64_field(j, "objective")?,
+        mappable: bool_field(j, "mappable")?,
+        constraint_values: nums_from(field(j, "constraint_values")?)?,
+        layers: arr(field(j, "layers")?)?
+            .iter()
+            .map(layer_eval_from_json)
+            .collect::<Result<_, _>>()?,
+        area_mm2: f64_field(j, "area_mm2")?,
+        power_w: f64_field(j, "power_w")?,
+        energy_mj: f64_field(j, "energy_mj")?,
+    })
+}
+
+fn attempt_to_json(a: &Attempt) -> Json {
+    match a {
+        Attempt::Completed {
+            index,
+            analyses,
+            acquisitions,
+            decision,
+        } => Json::obj(vec![
+            ("kind", Json::Str("completed".into())),
+            ("index", Json::Num(*index as f64)),
+            (
+                "analyses",
+                Json::Arr(analyses.iter().map(|s| Json::Str(s.clone())).collect()),
+            ),
+            (
+                "acquisitions",
+                Json::Arr(
+                    acquisitions
+                        .iter()
+                        .map(|(p, i)| Json::Arr(vec![Json::Num(*p as f64), Json::Num(*i as f64)]))
+                        .collect(),
+                ),
+            ),
+            ("decision", Json::Str(decision.clone())),
+        ]),
+        Attempt::Failed {
+            index,
+            candidate,
+            error,
+            retries,
+        } => Json::obj(vec![
+            ("kind", Json::Str("failed".into())),
+            ("index", Json::Num(*index as f64)),
+            ("candidate", point_to_json(candidate)),
+            ("error", Json::Str(error.clone())),
+            ("retries", Json::Num(*retries as f64)),
+        ]),
+    }
+}
+
+fn attempt_from_json(j: &Json) -> Result<Attempt, String> {
+    match str_field(j, "kind")?.as_str() {
+        "completed" => Ok(Attempt::Completed {
+            index: usize_field(j, "index")?,
+            analyses: arr(field(j, "analyses")?)?
+                .iter()
+                .map(|s| {
+                    s.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "analysis entries must be strings".to_string())
+                })
+                .collect::<Result<_, _>>()?,
+            acquisitions: arr(field(j, "acquisitions")?)?
+                .iter()
+                .map(|pair| {
+                    let pair = arr(pair)?;
+                    if pair.len() != 2 {
+                        return Err("acquisition entries must be [param, index]".to_string());
+                    }
+                    let p = pair[0]
+                        .as_u64()
+                        .ok_or("acquisition param must be a number")?;
+                    let i = pair[1]
+                        .as_u64()
+                        .ok_or("acquisition index must be a number")?;
+                    Ok((p as usize, i as usize))
+                })
+                .collect::<Result<_, _>>()?,
+            decision: str_field(j, "decision")?,
+        }),
+        "failed" => Ok(Attempt::Failed {
+            index: usize_field(j, "index")?,
+            candidate: point_from_json(field(j, "candidate")?)?,
+            error: str_field(j, "error")?,
+            retries: usize_field(j, "retries")? as u32,
+        }),
+        other => Err(format!("unknown attempt kind `{other}`")),
+    }
+}
+
+fn phase_state_to_json(ps: &PhaseState) -> Result<Json, String> {
+    let mut frozen: Vec<usize> = ps.frozen.iter().copied().collect();
+    frozen.sort_unstable();
+    Ok(Json::obj(vec![
+        ("current", point_to_json(&ps.current)),
+        ("current_eval", evaluation_to_json(&ps.current_eval)?),
+        (
+            "frozen",
+            Json::Arr(frozen.into_iter().map(|p| Json::Num(p as f64)).collect()),
+        ),
+        ("stalls", Json::Num(ps.stalls as f64)),
+    ]))
+}
+
+fn phase_state_from_json(j: &Json) -> Result<PhaseState, String> {
+    Ok(PhaseState {
+        current: point_from_json(field(j, "current")?)?,
+        current_eval: evaluation_from_json(field(j, "current_eval")?)?,
+        frozen: arr(field(j, "frozen")?)?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .map(|p| p as usize)
+                    .ok_or_else(|| "frozen params must be numbers".to_string())
+            })
+            .collect::<Result<HashSet<_>, _>>()?,
+        stalls: usize_field(j, "stalls")?,
+    })
+}
+
+fn state_to_json(st: &SearchState) -> Result<Json, String> {
+    let mut seen: Vec<&DesignPoint> = st.seen.iter().collect();
+    seen.sort_by(|a, b| a.indices().cmp(b.indices()));
+    Ok(Json::obj(vec![
+        ("trace", trace_to_json(&st.trace)),
+        (
+            "attempts",
+            Json::Arr(st.attempts.iter().map(attempt_to_json).collect()),
+        ),
+        (
+            "best",
+            match &st.best {
+                None => Json::Null,
+                Some((p, e)) => Json::obj(vec![
+                    ("point", point_to_json(p)),
+                    ("evaluation", evaluation_to_json(e)?),
+                ]),
+            },
+        ),
+        (
+            "seen",
+            Json::Arr(seen.into_iter().map(point_to_json).collect()),
+        ),
+        (
+            "converged_after",
+            Json::Arr(
+                st.converged_after
+                    .iter()
+                    .map(|c| Json::Num(*c as f64))
+                    .collect(),
+            ),
+        ),
+        ("phase", Json::Num(st.phase as f64)),
+        ("phase_start", point_to_json(&st.phase_start)),
+        (
+            "phase_state",
+            opt_to_json(&st.phase_state, phase_state_to_json)?,
+        ),
+        (
+            "final_termination",
+            match &st.final_termination {
+                None => Json::Null,
+                Some(t) => Json::Str(t.clone()),
+            },
+        ),
+        ("wall_seconds", num(st.prior_wall_seconds)),
+    ]))
+}
+
+fn state_from_json(j: &Json) -> Result<SearchState, String> {
+    Ok(SearchState {
+        trace: trace_from_json(field(j, "trace")?)?,
+        attempts: arr(field(j, "attempts")?)?
+            .iter()
+            .map(attempt_from_json)
+            .collect::<Result<_, _>>()?,
+        best: match field(j, "best")? {
+            Json::Null => None,
+            b => Some((
+                point_from_json(field(b, "point")?)?,
+                evaluation_from_json(field(b, "evaluation")?)?,
+            )),
+        },
+        seen: arr(field(j, "seen")?)?
+            .iter()
+            .map(point_from_json)
+            .collect::<Result<HashSet<_>, _>>()?,
+        converged_after: arr(field(j, "converged_after")?)?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .map(|c| c as usize)
+                    .ok_or_else(|| "converged_after entries must be numbers".to_string())
+            })
+            .collect::<Result<_, _>>()?,
+        phase: usize_field(j, "phase")?,
+        phase_start: point_from_json(field(j, "phase_start")?)?,
+        phase_state: opt_from_json(field(j, "phase_state")?, phase_state_from_json)?,
+        final_termination: match field(j, "final_termination")? {
+            Json::Null => None,
+            Json::Str(s) => Some(s.clone()),
+            other => return Err(format!("final_termination must be a string, got {other:?}")),
+        },
+        prior_wall_seconds: f64_field(j, "wall_seconds")?,
+    })
+}
+
+fn caches_to_json(c: &CacheSnapshot) -> Result<Json, String> {
+    // Deterministic entry order regardless of hash-map iteration: points by
+    // their index vectors, layers by (shape, serialized config).
+    let mut points: Vec<&(DesignPoint, Evaluation)> = c.points.iter().collect();
+    points.sort_by(|(a, _), (b, _)| a.indices().cmp(b.indices()));
+    let mut layers: Vec<(&LayerEntry, String)> = c
+        .layers
+        .iter()
+        .map(|e| Ok((e, bridge_to(&e.cfg)?.to_line())))
+        .collect::<Result<_, String>>()?;
+    layers.sort_by(|(a, acfg), (b, bcfg)| a.shape.cmp(&b.shape).then_with(|| acfg.cmp(bcfg)));
+
+    Ok(Json::obj(vec![
+        ("unique_evaluations", Json::Num(c.unique_evaluations as f64)),
+        (
+            "points",
+            Json::Arr(
+                points
+                    .into_iter()
+                    .map(|(p, e)| {
+                        Ok(Json::obj(vec![
+                            ("point", point_to_json(p)),
+                            ("evaluation", evaluation_to_json(e)?),
+                        ]))
+                    })
+                    .collect::<Result<_, String>>()?,
+            ),
+        ),
+        (
+            "layers",
+            Json::Arr(
+                layers
+                    .into_iter()
+                    .map(|(e, _)| {
+                        Ok(Json::obj(vec![
+                            ("shape", bridge_to(&e.shape)?),
+                            ("cfg", bridge_to(&e.cfg)?),
+                            ("mapped", opt_to_json(&e.mapped, bridge_to)?),
+                            ("diagnostic", opt_to_json(&e.diagnostic, bridge_to)?),
+                        ]))
+                    })
+                    .collect::<Result<_, String>>()?,
+            ),
+        ),
+    ]))
+}
+
+fn caches_from_json(j: &Json) -> Result<CacheSnapshot, String> {
+    Ok(CacheSnapshot {
+        unique_evaluations: usize_field(j, "unique_evaluations")?,
+        points: arr(field(j, "points")?)?
+            .iter()
+            .map(|entry| {
+                Ok((
+                    point_from_json(field(entry, "point")?)?,
+                    evaluation_from_json(field(entry, "evaluation")?)?,
+                ))
+            })
+            .collect::<Result<_, String>>()?,
+        layers: arr(field(j, "layers")?)?
+            .iter()
+            .map(|entry| {
+                Ok(LayerEntry {
+                    shape: bridge_from(field(entry, "shape")?)?,
+                    cfg: bridge_from(field(entry, "cfg")?)?,
+                    mapped: opt_from_json(field(entry, "mapped")?, bridge_from)?,
+                    diagnostic: opt_from_json(field(entry, "diagnostic")?, bridge_from)?,
+                })
+            })
+            .collect::<Result<_, String>>()?,
+    })
+}
+
+fn config_to_json(c: &DseConfig) -> Json {
+    Json::obj(vec![
+        ("budget", Json::Num(c.budget as f64)),
+        ("top_k", Json::Num(c.top_k as f64)),
+        ("threshold_scale", num(c.threshold_scale)),
+        ("max_candidates", Json::Num(c.max_candidates as f64)),
+        ("stall_factors", Json::Num(c.stall_factors as f64)),
+        ("max_stalls", Json::Num(c.max_stalls as f64)),
+        ("seed", Json::Str(c.seed.to_string())),
+        (
+            "aggregation",
+            Json::Str(
+                match c.aggregation {
+                    Aggregation::Min => "min",
+                    Aggregation::Max => "max",
+                }
+                .into(),
+            ),
+        ),
+        ("restarts", Json::Num(c.restarts as f64)),
+        ("budget_aware", Json::Bool(c.budget_aware)),
+    ])
+}
+
+fn config_from_json(j: &Json) -> Result<DseConfig, String> {
+    Ok(DseConfig {
+        budget: usize_field(j, "budget")?,
+        top_k: usize_field(j, "top_k")?,
+        threshold_scale: f64_field(j, "threshold_scale")?,
+        max_candidates: usize_field(j, "max_candidates")?,
+        stall_factors: usize_field(j, "stall_factors")?,
+        max_stalls: usize_field(j, "max_stalls")?,
+        seed: str_field(j, "seed")?
+            .parse::<u64>()
+            .map_err(|e| format!("snapshot seed: {e}"))?,
+        aggregation: match str_field(j, "aggregation")?.as_str() {
+            "min" => Aggregation::Min,
+            "max" => Aggregation::Max,
+            other => return Err(format!("unknown aggregation `{other}`")),
+        },
+        restarts: usize_field(j, "restarts")?,
+        budget_aware: bool_field(j, "budget_aware")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// File I/O
+// ---------------------------------------------------------------------------
+
+/// Writes `contents` to `path` atomically: to a `.tmp` sibling first, then
+/// renamed over the target, so a crash mid-write never corrupts the
+/// previous snapshot.
+fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    std::fs::write(&tmp, contents).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), path.display()))
+}
+
+fn envelope(kind: &str, body: Vec<(&str, Json)>) -> Json {
+    let mut entries = vec![
+        ("format", Json::Str(SNAPSHOT_FORMAT.into())),
+        ("version", Json::Num(SNAPSHOT_VERSION as f64)),
+        ("kind", Json::Str(kind.into())),
+    ];
+    entries.extend(body);
+    Json::obj(entries)
+}
+
+fn open_envelope(path: &Path, expect_kind: &str) -> Result<Json, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let j = json::parse(text.trim()).map_err(|e| format!("{}: {e}", path.display()))?;
+    let format = str_field(&j, "format")?;
+    if format != SNAPSHOT_FORMAT {
+        return Err(format!(
+            "{}: not a snapshot file (format `{format}`)",
+            path.display()
+        ));
+    }
+    let version = usize_field(&j, "version")? as u64;
+    if version != SNAPSHOT_VERSION {
+        return Err(format!(
+            "{}: unsupported snapshot version {version} (this build reads version {SNAPSHOT_VERSION})",
+            path.display()
+        ));
+    }
+    let kind = str_field(&j, "kind")?;
+    if kind != expect_kind {
+        return Err(format!(
+            "{}: snapshot kind `{kind}` where `{expect_kind}` was expected",
+            path.display()
+        ));
+    }
+    Ok(j)
+}
+
+/// Saves an explainable-search snapshot (search state + evaluator caches).
+pub(crate) fn save_search(
+    path: &Path,
+    config: &DseConfig,
+    state: &SearchState,
+    caches: &CacheSnapshot,
+) -> Result<(), String> {
+    let j = envelope(
+        "explainable",
+        vec![
+            ("config", config_to_json(config)),
+            ("state", state_to_json(state)?),
+            ("caches", caches_to_json(caches)?),
+        ],
+    );
+    write_atomic(path, &j.to_line())
+}
+
+/// Loads an explainable-search snapshot, verifying that it was produced by
+/// a search with exactly `config` (any drift would silently break the
+/// determinism contract).
+pub(crate) fn load_search(
+    path: &Path,
+    config: &DseConfig,
+) -> Result<(SearchState, CacheSnapshot), String> {
+    let j = open_envelope(path, "explainable")?;
+    let saved = config_from_json(field(&j, "config")?)?;
+    if &saved != config {
+        return Err(format!(
+            "{}: snapshot was produced under a different configuration\n  snapshot: {saved:?}\n  current:  {config:?}",
+            path.display()
+        ));
+    }
+    let state =
+        state_from_json(field(&j, "state")?).map_err(|e| format!("{}: {e}", path.display()))?;
+    let caches =
+        caches_from_json(field(&j, "caches")?).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok((state, caches))
+}
+
+/// A baseline-technique snapshot: evaluator caches plus enough identity to
+/// verify the resume matches (technique label and budget). Baselines resume
+/// *by replay* — see the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineSnapshot {
+    /// The technique's [`name`](crate::Trace::technique) label.
+    pub technique: String,
+    /// The evaluation budget the interrupted run was given.
+    pub budget: usize,
+    /// The evaluator caches at checkpoint time.
+    pub caches: CacheSnapshot,
+}
+
+/// Saves a baseline snapshot atomically.
+///
+/// # Errors
+///
+/// Returns a description of the I/O or serialization failure.
+pub fn save_baseline(path: &Path, snapshot: &BaselineSnapshot) -> Result<(), String> {
+    let j = envelope(
+        "baseline",
+        vec![
+            ("technique", Json::Str(snapshot.technique.clone())),
+            ("budget", Json::Num(snapshot.budget as f64)),
+            ("caches", caches_to_json(&snapshot.caches)?),
+        ],
+    );
+    write_atomic(path, &j.to_line())
+}
+
+/// Loads a baseline snapshot.
+///
+/// # Errors
+///
+/// Returns a description of the I/O, parse, or schema failure (including
+/// the path), e.g. an `"explainable"` snapshot passed to a baseline resume.
+pub fn load_baseline(path: &Path) -> Result<BaselineSnapshot, String> {
+    let j = open_envelope(path, "baseline")?;
+    Ok(BaselineSnapshot {
+        technique: str_field(&j, "technique")?,
+        budget: usize_field(&j, "budget")?,
+        caches: caches_from_json(field(&j, "caches")?)
+            .map_err(|e| format!("{}: {e}", path.display()))?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Mid-run checkpointing for black-box techniques
+// ---------------------------------------------------------------------------
+
+/// An [`Evaluator`] decorator that saves a [`BaselineSnapshot`] after every
+/// `every` unique evaluations. Black-box baselines drive their evaluator
+/// through the [`Evaluator`] trait only, so wrapping it is the one seam
+/// where checkpoints can be taken without touching the techniques.
+pub struct CheckpointingEvaluator<E> {
+    inner: E,
+    path: PathBuf,
+    every: usize,
+    technique: String,
+    budget: usize,
+    telemetry: Collector,
+    last_saved: Mutex<usize>,
+}
+
+impl<E: Evaluator> CheckpointingEvaluator<E> {
+    /// Wraps `inner`, snapshotting to `path` every `every` unique
+    /// evaluations (`every` is clamped to at least 1).
+    pub fn new(
+        inner: E,
+        path: impl Into<PathBuf>,
+        every: usize,
+        technique: impl Into<String>,
+        budget: usize,
+        telemetry: Collector,
+    ) -> Self {
+        CheckpointingEvaluator {
+            inner,
+            path: path.into(),
+            every: every.max(1),
+            technique: technique.into(),
+            budget,
+            telemetry,
+            last_saved: Mutex::new(0),
+        }
+    }
+
+    /// Saves a snapshot right now (also called automatically every `every`
+    /// unique evaluations). Failures are reported through telemetry
+    /// (`checkpoint/save_failures` + a warning), never panicked on: losing
+    /// a checkpoint must not kill the run it exists to protect.
+    pub fn save(&self) {
+        let snapshot = BaselineSnapshot {
+            technique: self.technique.clone(),
+            budget: self.budget,
+            caches: self.inner.cache_snapshot(),
+        };
+        match save_baseline(&self.path, &snapshot) {
+            Ok(()) => self.telemetry.counter("checkpoint/saves", 1),
+            Err(e) => {
+                self.telemetry.counter("checkpoint/save_failures", 1);
+                self.telemetry
+                    .log(Level::Warn, &format!("checkpoint save failed: {e}"));
+            }
+        }
+    }
+
+    fn maybe_save(&self) {
+        let uniques = self.inner.unique_evaluations();
+        {
+            let mut last = self.last_saved.lock().expect("checkpoint lock poisoned");
+            if uniques < *last + self.every {
+                return;
+            }
+            *last = uniques;
+        }
+        self.save();
+    }
+}
+
+impl<E: Evaluator> Evaluator for CheckpointingEvaluator<E> {
+    fn evaluate(&self, point: &DesignPoint) -> Evaluation {
+        let e = self.inner.evaluate(point);
+        self.maybe_save();
+        e
+    }
+
+    fn evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Evaluation> {
+        let e = self.inner.evaluate_batch(points);
+        self.maybe_save();
+        e
+    }
+
+    fn try_evaluate(&self, point: &DesignPoint) -> Result<Evaluation, crate::EvalFault> {
+        let e = self.inner.try_evaluate(point);
+        self.maybe_save();
+        e
+    }
+
+    fn try_evaluate_batch(
+        &self,
+        points: &[DesignPoint],
+    ) -> Vec<Result<Evaluation, crate::EvalFault>> {
+        let e = self.inner.try_evaluate_batch(points);
+        self.maybe_save();
+        e
+    }
+
+    fn space(&self) -> &crate::space::DesignSpace {
+        self.inner.space()
+    }
+
+    fn constraints(&self) -> &[crate::cost::Constraint] {
+        self.inner.constraints()
+    }
+
+    fn unique_evaluations(&self) -> usize {
+        self.inner.unique_evaluations()
+    }
+
+    fn decode(&self, point: &DesignPoint) -> AcceleratorConfig {
+        self.inner.decode(point)
+    }
+
+    fn cache_snapshot(&self) -> CacheSnapshot {
+        self.inner.cache_snapshot()
+    }
+
+    fn restore_caches(&self, snapshot: &CacheSnapshot) {
+        self.inner.restore_caches(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "edse-checkpoint-test-{}-{tag}-{n}.json",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn num_codec_round_trips_non_finite_values() {
+        for v in [0.0, -1.5, 1e300, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(num_from(&num(v)).unwrap(), v);
+        }
+        assert!(num_from(&num(f64::NAN)).unwrap().is_nan());
+        // And through a full serialize/parse cycle.
+        let line = Json::Arr(vec![num(f64::INFINITY), num(2.5)]).to_line();
+        let back = json::parse(&line).unwrap();
+        assert_eq!(num_from(&back.as_arr().unwrap()[0]).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn evaluation_round_trips_with_unmappable_layers() {
+        let e = Evaluation {
+            objective: f64::INFINITY,
+            mappable: false,
+            constraint_values: vec![12.5, f64::INFINITY],
+            layers: vec![LayerEval {
+                name: "conv1".into(),
+                model: "toy".into(),
+                count: 3,
+                profile: None,
+                mappable: false,
+                latency_ms: f64::INFINITY,
+            }],
+            area_mm2: 12.5,
+            power_w: 1.0,
+            energy_mj: 0.0,
+        };
+        let j = evaluation_to_json(&e).unwrap();
+        let line = j.to_line();
+        let back = evaluation_from_json(&json::parse(&line).unwrap()).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn baseline_snapshot_round_trips_and_rejects_mismatches() {
+        let snap = BaselineSnapshot {
+            technique: "random-fixdf".into(),
+            budget: 250,
+            caches: CacheSnapshot {
+                unique_evaluations: 1,
+                points: vec![(
+                    DesignPoint::new(vec![0, 2, 1]),
+                    Evaluation {
+                        objective: 4.0,
+                        mappable: true,
+                        constraint_values: vec![1.0],
+                        layers: vec![],
+                        area_mm2: 1.0,
+                        power_w: 0.5,
+                        energy_mj: 0.1,
+                    },
+                )],
+                layers: vec![],
+            },
+        };
+        let path = temp_path("baseline");
+        save_baseline(&path, &snap).unwrap();
+        assert_eq!(load_baseline(&path).unwrap(), snap);
+        // The tmp sibling is gone after the rename.
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        assert!(!PathBuf::from(tmp).exists());
+        // An explainable loader must reject a baseline snapshot.
+        let err = load_search(&path, &DseConfig::default()).unwrap_err();
+        assert!(err.contains("kind `baseline`"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_and_unversioned_snapshots_are_rejected_with_the_path() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, "{ not json").unwrap();
+        let err = load_baseline(&path).unwrap_err();
+        assert!(err.contains(path.to_str().unwrap()), "{err}");
+
+        std::fs::write(
+            &path,
+            r#"{"format":"edse-snapshot","version":99,"kind":"baseline"}"#,
+        )
+        .unwrap();
+        let err = load_baseline(&path).unwrap_err();
+        assert!(err.contains("unsupported snapshot version 99"), "{err}");
+
+        std::fs::write(&path, r#"{"format":"other","version":1,"kind":"baseline"}"#).unwrap();
+        let err = load_baseline(&path).unwrap_err();
+        assert!(err.contains("not a snapshot file"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn config_fingerprint_detects_drift() {
+        let j = config_to_json(&DseConfig::default());
+        let back = config_from_json(&j).unwrap();
+        assert_eq!(back, DseConfig::default());
+        let changed = DseConfig {
+            seed: 7,
+            ..DseConfig::default()
+        };
+        assert_ne!(back, changed);
+    }
+}

@@ -9,6 +9,13 @@
 //! value (§4.5); and (4) updates the incumbent solution with the
 //! constraints-budget rule (§4.6). Every step is recorded as a
 //! human-readable explanation.
+//!
+//! The search runs as an explicit state machine over the crate-internal
+//! `SearchState`: one `ExplainableDse::step` per acquisition attempt (or
+//! phase start), so
+//! the driver can snapshot the complete state between any two steps and a
+//! resumed run continues bit-for-bit identically (see
+//! [`crate::checkpoint`] and [`crate::SearchSession`]).
 
 use crate::bottleneck::model::BottleneckModel;
 use crate::cost::{Evaluation, Sample, Trace};
@@ -16,6 +23,7 @@ use crate::evaluate::Evaluator;
 use crate::space::{DesignPoint, ParamId};
 use edse_telemetry::{Collector, IterationRecord};
 use std::collections::HashSet;
+use std::path::Path;
 use std::time::Instant;
 
 /// How multiple per-sub-function predictions for the same parameter are
@@ -31,7 +39,7 @@ pub enum Aggregation {
 }
 
 /// Tunable knobs of the DSE (defaults follow the paper).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DseConfig {
     /// Evaluation budget (unique cost-model invocations).
     pub budget: usize,
@@ -82,25 +90,84 @@ impl Default for DseConfig {
 }
 
 /// One acquisition attempt's record: what was analyzed, predicted,
-/// acquired, and decided — the DSE's explanation artifact.
-#[derive(Debug, Clone)]
-pub struct Attempt {
+/// acquired, and decided — the DSE's explanation artifact. A
+/// [`Attempt::Failed`] entry records a candidate whose evaluation failed
+/// permanently at the fault boundary (see [`crate::EvalFault`]) instead of
+/// aborting the search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Attempt {
+    /// A regular attempt that ran analysis, acquisition, and update.
+    Completed {
+        /// Attempt number (0-based, shared sequence with failed attempts).
+        index: usize,
+        /// Human-readable per-layer bottleneck summaries.
+        analyses: Vec<String>,
+        /// Acquired candidates as `(param, new index)` changes from the
+        /// incumbent.
+        acquisitions: Vec<(ParamId, usize)>,
+        /// What the update rule decided.
+        decision: String,
+    },
+    /// A candidate whose evaluation failed permanently (panic or deadline,
+    /// retries exhausted); the search degraded gracefully and moved on.
+    Failed {
+        /// Attempt number (0-based, shared sequence with completed
+        /// attempts).
+        index: usize,
+        /// The candidate design point that could not be evaluated.
+        candidate: DesignPoint,
+        /// The underlying failure (panic message or missed deadline).
+        error: String,
+        /// Retries spent before giving up.
+        retries: u32,
+    },
+}
+
+impl Attempt {
     /// Attempt number (0-based).
-    pub index: usize,
-    /// Human-readable per-layer bottleneck summaries.
-    pub analyses: Vec<String>,
-    /// Acquired candidates as `(param, new index)` changes from the
-    /// incumbent.
-    pub acquisitions: Vec<(ParamId, usize)>,
-    /// What the update rule decided.
-    pub decision: String,
+    pub fn index(&self) -> usize {
+        match self {
+            Attempt::Completed { index, .. } | Attempt::Failed { index, .. } => *index,
+        }
+    }
+
+    /// Per-layer bottleneck summaries (empty for failed attempts).
+    pub fn analyses(&self) -> &[String] {
+        match self {
+            Attempt::Completed { analyses, .. } => analyses,
+            Attempt::Failed { .. } => &[],
+        }
+    }
+
+    /// Acquired `(param, new index)` changes (empty for failed attempts).
+    pub fn acquisitions(&self) -> &[(ParamId, usize)] {
+        match self {
+            Attempt::Completed { acquisitions, .. } => acquisitions,
+            Attempt::Failed { .. } => &[],
+        }
+    }
+
+    /// The decision line of this attempt: the §4.6 update outcome, or a
+    /// `"candidate evaluation failed: …"` line for failed attempts (the
+    /// same string the telemetry iteration record carries).
+    pub fn decision(&self) -> String {
+        match self {
+            Attempt::Completed { decision, .. } => decision.clone(),
+            Attempt::Failed { error, .. } => format!("candidate evaluation failed: {error}"),
+        }
+    }
+
+    /// Whether this entry records a permanently failed evaluation.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, Attempt::Failed { .. })
+    }
 }
 
 /// Structured byproduct of one attempt's analysis phase, feeding the
 /// telemetry iteration record (the human-readable [`Attempt::analyses`]
 /// strings carry the same information for the final report).
 #[derive(Default)]
-struct AnalysisSummary {
+pub(crate) struct AnalysisSummary {
     /// Dominant bottleneck factor of the highest-contribution analyzed
     /// sub-function.
     bottleneck: Option<String>,
@@ -131,12 +198,94 @@ pub struct DseResult {
     pub termination: String,
 }
 
+/// Per-phase exploration state: the incumbent, its evaluation, the frozen
+/// parameter directions, and the stall counter. `None` in
+/// [`SearchState::phase_state`] means the phase has not evaluated its
+/// start point yet.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PhaseState {
+    pub(crate) current: DesignPoint,
+    pub(crate) current_eval: Evaluation,
+    pub(crate) frozen: HashSet<ParamId>,
+    pub(crate) stalls: usize,
+}
+
+/// The complete, serializable state of an explainable search between two
+/// steps. Everything [`DseResult`] reports, plus the in-flight phase
+/// machinery; snapshotting this (plus the evaluator caches) is sufficient
+/// to resume bit-for-bit (see `DESIGN.md`).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SearchState {
+    pub(crate) trace: Trace,
+    pub(crate) attempts: Vec<Attempt>,
+    pub(crate) best: Option<(DesignPoint, Evaluation)>,
+    pub(crate) seen: HashSet<DesignPoint>,
+    pub(crate) converged_after: Vec<usize>,
+    /// 0-based index of the phase currently exploring (== the number of
+    /// perturbations applied so far, which is how the perturbation RNG is
+    /// re-derived on resume).
+    pub(crate) phase: usize,
+    pub(crate) phase_start: DesignPoint,
+    pub(crate) phase_state: Option<PhaseState>,
+    /// Set when the search has terminated; [`ExplainableDse::step`] is a
+    /// no-op afterwards.
+    pub(crate) final_termination: Option<String>,
+    /// Wall-clock seconds accumulated by previous (interrupted) runs; the
+    /// final trace reports `prior + this run's elapsed`.
+    pub(crate) prior_wall_seconds: f64,
+}
+
+impl SearchState {
+    pub(crate) fn new(initial: DesignPoint) -> SearchState {
+        SearchState {
+            trace: Trace::new("explainable"),
+            attempts: Vec::new(),
+            best: None,
+            seen: HashSet::new(),
+            converged_after: Vec::new(),
+            phase: 0,
+            phase_start: initial,
+            phase_state: None,
+            final_termination: None,
+            prior_wall_seconds: 0.0,
+        }
+    }
+
+    fn into_result(self, wall_seconds: f64) -> DseResult {
+        let mut trace = self.trace;
+        trace.wall_seconds = wall_seconds;
+        DseResult {
+            trace,
+            best: self.best,
+            attempts: self.attempts,
+            converged_after: self.converged_after,
+            termination: self.final_termination.unwrap_or_default(),
+        }
+    }
+}
+
+/// The context closure for the standard DNN-accelerator models: each
+/// sub-function's context is its execution profile on the decoded hardware
+/// configuration.
+pub(crate) fn dnn_ctx<E: Evaluator>(
+) -> impl Fn(&E, &DesignPoint, &crate::cost::LayerEval) -> Option<crate::bottleneck::dnn::LayerCtx>
+{
+    |ev, point, layer| {
+        layer
+            .profile
+            .map(|profile| crate::bottleneck::dnn::LayerCtx {
+                cfg: ev.decode(point),
+                profile,
+            })
+    }
+}
+
 /// The Explainable-DSE engine, generic over the sub-function context type
 /// consumed by the bottleneck model.
 pub struct ExplainableDse<C> {
-    model: BottleneckModel<C>,
-    config: DseConfig,
-    telemetry: Collector,
+    pub(crate) model: BottleneckModel<C>,
+    pub(crate) config: DseConfig,
+    pub(crate) telemetry: Collector,
 }
 
 impl<C> ExplainableDse<C> {
@@ -149,10 +298,10 @@ impl<C> ExplainableDse<C> {
         }
     }
 
-    /// Attaches a telemetry collector: [`Self::run`] then emits a
-    /// `dse/run` span plus one structured [`IterationRecord`] per
-    /// acquisition attempt — incumbent objective, dominant bottleneck
-    /// factor and its required scaling, per-layer cost contributions, the
+    /// Attaches a telemetry collector: the run then emits a `dse/run` span
+    /// plus one structured [`IterationRecord`] per acquisition attempt —
+    /// incumbent objective, dominant bottleneck factor and its required
+    /// scaling, per-layer cost contributions, the
     /// proposed/deduplicated/evaluated candidate counts, remaining budget,
     /// and the §4.6 update decision. The default is the no-op collector.
     pub fn with_telemetry(mut self, telemetry: Collector) -> Self {
@@ -171,88 +320,197 @@ impl<C> ExplainableDse<C> {
     /// [`Evaluator::evaluate_batch`], so a parallel evaluator overlaps the
     /// per-candidate mapping work; results are identical to serial
     /// evaluation regardless of thread count.
+    #[deprecated(note = "use `SearchSession::new(model, config).evaluator(&e).run_with(...)`")]
     pub fn run<E, F>(&self, evaluator: &E, initial: DesignPoint, ctx_fn: F) -> DseResult
     where
         E: Evaluator,
         F: Fn(&E, &DesignPoint, &crate::cost::LayerEval) -> Option<C>,
     {
-        use rand::{Rng, SeedableRng};
-        let start = Instant::now();
-        let _run_span = self.telemetry.span("dse/run");
-        let constraints = evaluator.constraints().to_vec();
-        let mut trace = Trace::new("explainable");
-        let mut attempts = Vec::new();
-        let mut best: Option<(DesignPoint, Evaluation)> = None;
-        let mut seen: HashSet<DesignPoint> = HashSet::new();
-        let mut converged_after = Vec::new();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
-
-        let mut phase_start = initial;
-        let mut termination = String::new();
-        for phase in 0..=self.config.restarts {
-            termination = self.explore_phase(
-                evaluator,
-                phase_start.clone(),
-                &ctx_fn,
-                &constraints,
-                &mut trace,
-                &mut attempts,
-                &mut best,
-                &mut seen,
-            );
-            converged_after.push(trace.evaluations());
-            if evaluator.unique_evaluations() >= self.config.budget || phase == self.config.restarts
-            {
-                break;
-            }
-            // §C: restart from a perturbation of the best (or last) point —
-            // a few parameters re-drawn at random — to escape the
-            // bottleneck-greedy local optimum.
-            let space = evaluator.space().clone();
-            let base = best
-                .as_ref()
-                .map(|(p, _)| p.clone())
-                .unwrap_or_else(|| phase_start.clone());
-            let mut next = base;
-            for _ in 0..3 {
-                let param = rng.gen_range(0..space.len());
-                let idx = rng.gen_range(0..space.param(param).len());
-                next = next.with_index(param, idx);
-            }
-            phase_start = next;
-        }
-        if !termination.is_empty() && self.config.restarts > 0 {
-            termination = format!("{termination} (after {} phases)", converged_after.len());
-        }
-
-        trace.wall_seconds = start.elapsed().as_secs_f64();
-        DseResult {
-            trace,
-            best,
-            attempts,
-            converged_after,
-            termination,
-        }
+        self.drive(evaluator, SearchState::new(initial), ctx_fn, None)
     }
 
-    /// One exploration phase: the §4 acquisition loop from a start point
-    /// until convergence or budget exhaustion.
-    #[allow(clippy::too_many_arguments)]
-    fn explore_phase<E, F>(
+    /// Drives a search state to completion: steps until termination,
+    /// optionally snapshotting every `every` steps (and once more at
+    /// completion) to `path`.
+    pub(crate) fn drive<E, F>(
         &self,
         evaluator: &E,
-        initial: DesignPoint,
-        ctx_fn: &F,
-        constraints: &[crate::cost::Constraint],
-        trace: &mut Trace,
-        attempts: &mut Vec<Attempt>,
-        best: &mut Option<(DesignPoint, Evaluation)>,
-        seen: &mut HashSet<DesignPoint>,
-    ) -> String
+        mut state: SearchState,
+        ctx_fn: F,
+        checkpoint: Option<(&Path, usize)>,
+    ) -> DseResult
     where
         E: Evaluator,
         F: Fn(&E, &DesignPoint, &crate::cost::LayerEval) -> Option<C>,
     {
+        let start = Instant::now();
+        let _run_span = self.telemetry.span("dse/run");
+        let mut steps_since_save = 0usize;
+        loop {
+            let done = self.step(evaluator, &ctx_fn, &mut state);
+            if let Some((path, every)) = checkpoint {
+                steps_since_save += 1;
+                if done || steps_since_save >= every.max(1) {
+                    steps_since_save = 0;
+                    let wall = state.prior_wall_seconds + start.elapsed().as_secs_f64();
+                    self.save_checkpoint(path, &mut state, evaluator, wall);
+                }
+            }
+            if done {
+                break;
+            }
+        }
+        let wall = state.prior_wall_seconds + start.elapsed().as_secs_f64();
+        state.into_result(wall)
+    }
+
+    /// Snapshots `state` + evaluator caches to `path`. Failures are
+    /// reported via telemetry (`checkpoint/save_failures` + warning), never
+    /// panicked on: losing a checkpoint must not kill the run it protects.
+    fn save_checkpoint<E: Evaluator>(
+        &self,
+        path: &Path,
+        state: &mut SearchState,
+        evaluator: &E,
+        wall_seconds: f64,
+    ) {
+        let prior = state.prior_wall_seconds;
+        state.prior_wall_seconds = wall_seconds;
+        let caches = evaluator.cache_snapshot();
+        let saved = crate::checkpoint::save_search(path, &self.config, state, &caches);
+        state.prior_wall_seconds = prior;
+        match saved {
+            Ok(()) => self.telemetry.counter("checkpoint/saves", 1),
+            Err(e) => {
+                self.telemetry.counter("checkpoint/save_failures", 1);
+                self.telemetry.log(
+                    edse_telemetry::Level::Warn,
+                    &format!("checkpoint save failed: {e}"),
+                );
+            }
+        }
+    }
+
+    /// Advances the search by one step — a phase start (evaluate the phase's
+    /// initial point) or one acquisition attempt — and returns whether the
+    /// search has terminated. The state is snapshot-consistent between any
+    /// two calls.
+    pub(crate) fn step<E, F>(&self, evaluator: &E, ctx_fn: &F, st: &mut SearchState) -> bool
+    where
+        E: Evaluator,
+        F: Fn(&E, &DesignPoint, &crate::cost::LayerEval) -> Option<C>,
+    {
+        if st.final_termination.is_some() {
+            return true;
+        }
+        let constraints = evaluator.constraints();
+        if st.phase_state.is_none() {
+            // Phase start: evaluate the phase's initial point. A faulted
+            // evaluation yields the evaluator's infeasible sentinel, which
+            // the update rule then moves away from.
+            let current = st.phase_start.clone();
+            let current_eval = evaluator.evaluate(&current);
+            st.trace.samples.push(Sample {
+                point: current.clone(),
+                objective: current_eval.objective,
+                constraint_values: current_eval.constraint_values.clone(),
+                feasible: current_eval.feasible(constraints),
+            });
+            if current_eval.feasible(constraints)
+                && st
+                    .best
+                    .as_ref()
+                    .is_none_or(|(_, b)| current_eval.objective < b.objective)
+            {
+                st.best = Some((current.clone(), current_eval.clone()));
+            }
+            st.seen.insert(current.clone());
+            st.phase_state = Some(PhaseState {
+                current,
+                current_eval,
+                frozen: HashSet::new(),
+                stalls: 0,
+            });
+            return false;
+        }
+
+        match self.attempt_step(evaluator, ctx_fn, st) {
+            None => false,
+            Some(termination) => {
+                st.converged_after.push(st.trace.evaluations());
+                if evaluator.unique_evaluations() >= self.config.budget
+                    || st.phase == self.config.restarts
+                {
+                    // §C: with restarts, report how many phases ran.
+                    st.final_termination = Some(if self.config.restarts > 0 {
+                        format!("{termination} (after {} phases)", st.converged_after.len())
+                    } else {
+                        termination
+                    });
+                    true
+                } else {
+                    st.phase_start = self.perturb(evaluator.space(), st);
+                    st.phase += 1;
+                    st.phase_state = None;
+                    false
+                }
+            }
+        }
+    }
+
+    /// §C restart perturbation: re-draw 3 random parameters of the best (or
+    /// last phase-start) point. The RNG is re-derived from the seed and
+    /// fast-forwarded by replaying the draws of the `st.phase` perturbations
+    /// that already happened, so a resumed run continues the exact stream an
+    /// uninterrupted run would use.
+    fn perturb(&self, space: &crate::space::DesignSpace, st: &SearchState) -> DesignPoint {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
+        for _ in 0..st.phase {
+            for _ in 0..3 {
+                let param = rng.gen_range(0..space.len());
+                let _ = rng.gen_range(0..space.param(param).len());
+            }
+        }
+        let base = st
+            .best
+            .as_ref()
+            .map(|(p, _)| p.clone())
+            .unwrap_or_else(|| st.phase_start.clone());
+        let mut next = base;
+        for _ in 0..3 {
+            let param = rng.gen_range(0..space.len());
+            let idx = rng.gen_range(0..space.param(param).len());
+            next = next.with_index(param, idx);
+        }
+        next
+    }
+
+    /// One §4 acquisition attempt against the in-flight phase. Returns the
+    /// phase's termination reason when the phase ended, `None` while it
+    /// continues.
+    fn attempt_step<E, F>(&self, evaluator: &E, ctx_fn: &F, st: &mut SearchState) -> Option<String>
+    where
+        E: Evaluator,
+        F: Fn(&E, &DesignPoint, &crate::cost::LayerEval) -> Option<C>,
+    {
+        let constraints = evaluator.constraints();
+        let SearchState {
+            trace,
+            attempts,
+            best,
+            seen,
+            phase_state,
+            ..
+        } = st;
+        let ps = phase_state.as_mut().expect("attempt_step needs a phase");
+        let PhaseState {
+            current,
+            current_eval,
+            frozen,
+            stalls,
+        } = ps;
+
         let record = |trace: &mut Trace, point: &DesignPoint, eval: &Evaluation| {
             trace.samples.push(Sample {
                 point: point.clone(),
@@ -262,235 +520,291 @@ impl<C> ExplainableDse<C> {
             });
         };
 
-        let mut current = initial;
-        let mut current_eval = evaluator.evaluate(&current);
-        record(trace, &current, &current_eval);
-        if current_eval.feasible(constraints)
-            && best
-                .as_ref()
-                .is_none_or(|(_, b)| current_eval.objective < b.objective)
-        {
-            *best = Some((current.clone(), current_eval.clone()));
+        if evaluator.unique_evaluations() >= self.config.budget {
+            return Some(format!(
+                "budget of {} evaluations exhausted",
+                self.config.budget
+            ));
         }
 
-        let mut frozen: HashSet<ParamId> = HashSet::new();
-        seen.insert(current.clone());
-        let mut stalls = 0usize;
-        let attempt_base = attempts.len();
+        // ---- (1) + (2): per-sub-function analysis and aggregation.
+        let factors = if *stalls > 0 {
+            self.config.stall_factors
+        } else {
+            1
+        };
+        let (predictions, analyses, summary) =
+            self.analyze_subfunctions(evaluator, current, current_eval, factors, ctx_fn);
 
-        for attempt_offset in 0.. {
-            let attempt_index = attempt_base + attempt_offset;
-            if evaluator.unique_evaluations() >= self.config.budget {
-                return format!("budget of {} evaluations exhausted", self.config.budget);
+        // ---- (3): acquisition — one candidate per aggregated value,
+        // plus one combined candidate applying every prediction at once
+        // (coupled parameters like the per-operand link counts cannot
+        // show progress one at a time).
+        let space = evaluator.space().clone();
+        let mut moves: Vec<(ParamId, usize)> = Vec::new();
+        for (param, target) in predictions {
+            if frozen.contains(&param) {
+                continue;
             }
-
-            // ---- (1) + (2): per-sub-function analysis and aggregation.
-            let factors = if stalls > 0 {
-                self.config.stall_factors
-            } else {
-                1
+            let cur_idx = current.index(param);
+            let def = space.param(param);
+            let new_idx = match target {
+                Some(v) => {
+                    let idx = def.round_up_index(v);
+                    if idx <= cur_idx {
+                        // The paper rounds up to the closest value in
+                        // the space; when the prediction lands on the
+                        // current value, step to keep making progress.
+                        cur_idx + 1
+                    } else {
+                        idx
+                    }
+                }
+                // Black-box counterpart: neighboring value.
+                None => cur_idx + 1,
             };
-            let (predictions, analyses, summary) =
-                self.analyze_subfunctions(evaluator, &current, &current_eval, factors, &ctx_fn);
+            if new_idx >= def.len() || new_idx == cur_idx {
+                continue;
+            }
+            if !moves.iter().any(|(p, _)| *p == param) {
+                moves.push((param, new_idx));
+            }
+        }
 
-            // ---- (3): acquisition — one candidate per aggregated value,
-            // plus one combined candidate applying every prediction at once
-            // (coupled parameters like the per-operand link counts cannot
-            // show progress one at a time).
-            let space = evaluator.space().clone();
-            let mut moves: Vec<(ParamId, usize)> = Vec::new();
-            for (param, target) in predictions {
-                if frozen.contains(&param) {
-                    continue;
-                }
+        // `proposed` counts every candidate the acquisition step
+        // generates, *before* the seen-set filter; the difference to
+        // `acquisitions.len()` is what deduplication saved.
+        let mut proposed = 0usize;
+        let mut acquisitions: Vec<(Option<ParamId>, DesignPoint)> = Vec::new();
+        for (param, idx) in moves.iter().take(self.config.max_candidates) {
+            let cand = current.with_index(*param, *idx);
+            proposed += 1;
+            if !seen.contains(&cand) {
+                acquisitions.push((Some(*param), cand));
+            }
+        }
+        if moves.len() > 1 {
+            let mut combo = current.clone();
+            for (param, idx) in &moves {
+                combo = combo.with_index(*param, *idx);
+            }
+            proposed += 1;
+            if !seen.contains(&combo) {
+                acquisitions.push((None, combo));
+            }
+        }
+
+        // Unmet-constraint escape hatch (§4.6 footnote): when the
+        // incumbent is infeasible and no upward move exists, also probe
+        // downward steps to shed constraint pressure.
+        if acquisitions.is_empty() && !current_eval.feasible(constraints) {
+            for param in 0..space.len() {
                 let cur_idx = current.index(param);
-                let def = space.param(param);
-                let new_idx = match target {
-                    Some(v) => {
-                        let idx = def.round_up_index(v);
-                        if idx <= cur_idx {
-                            // The paper rounds up to the closest value in
-                            // the space; when the prediction lands on the
-                            // current value, step to keep making progress.
-                            cur_idx + 1
-                        } else {
-                            idx
-                        }
-                    }
-                    // Black-box counterpart: neighboring value.
-                    None => cur_idx + 1,
-                };
-                if new_idx >= def.len() || new_idx == cur_idx {
-                    continue;
-                }
-                if !moves.iter().any(|(p, _)| *p == param) {
-                    moves.push((param, new_idx));
-                }
-            }
-
-            // `proposed` counts every candidate the acquisition step
-            // generates, *before* the seen-set filter; the difference to
-            // `acquisitions.len()` is what deduplication saved.
-            let mut proposed = 0usize;
-            let mut acquisitions: Vec<(Option<ParamId>, DesignPoint)> = Vec::new();
-            for (param, idx) in moves.iter().take(self.config.max_candidates) {
-                let cand = current.with_index(*param, *idx);
-                proposed += 1;
-                if !seen.contains(&cand) {
-                    acquisitions.push((Some(*param), cand));
-                }
-            }
-            if moves.len() > 1 {
-                let mut combo = current.clone();
-                for (param, idx) in &moves {
-                    combo = combo.with_index(*param, *idx);
-                }
-                proposed += 1;
-                if !seen.contains(&combo) {
-                    acquisitions.push((None, combo));
-                }
-            }
-
-            // Unmet-constraint escape hatch (§4.6 footnote): when the
-            // incumbent is infeasible and no upward move exists, also probe
-            // downward steps to shed constraint pressure.
-            if acquisitions.is_empty() && !current_eval.feasible(constraints) {
-                for param in 0..space.len() {
-                    let cur_idx = current.index(param);
-                    if cur_idx > 0 && !frozen.contains(&param) {
-                        let cand = current.with_index(param, cur_idx - 1);
-                        proposed += 1;
-                        if !seen.contains(&cand) {
-                            acquisitions.push((Some(param), cand));
-                        }
-                    }
-                    if acquisitions.len() >= self.config.max_candidates {
-                        break;
+                if cur_idx > 0 && !frozen.contains(&param) {
+                    let cand = current.with_index(param, cur_idx - 1);
+                    proposed += 1;
+                    if !seen.contains(&cand) {
+                        acquisitions.push((Some(param), cand));
                     }
                 }
-            }
-
-            if acquisitions.is_empty() {
-                let decision = "no unexplored candidates";
-                attempts.push(Attempt {
-                    index: attempt_index,
-                    analyses,
-                    acquisitions: vec![],
-                    decision: decision.into(),
-                });
-                self.emit_iteration(
-                    evaluator,
-                    attempt_index,
-                    &current_eval,
-                    best,
-                    &summary,
-                    proposed,
-                    0,
-                    0,
-                    decision,
-                );
-                return "converged: no bottleneck-mitigating acquisitions remain".into();
-            }
-            let acquisition_log: Vec<(ParamId, usize)> = acquisitions
-                .iter()
-                .filter_map(|(p, cand)| p.map(|p| (p, cand.index(p))))
-                .collect();
-
-            // ---- evaluate the candidate set, batched. Chunk size equals
-            // the remaining unique-evaluation budget: every candidate adds
-            // at most one unique evaluation, so each chunk fits, and the
-            // boundary where the budget runs out is identical to checking
-            // before every single evaluation (cache hits consume nothing
-            // and simply roll the slack into the next chunk).
-            let mut candidates: Vec<(DesignPoint, Evaluation, Option<ParamId>)> = Vec::new();
-            let mut pending = acquisitions.as_slice();
-            while !pending.is_empty() {
-                let remaining = self
-                    .config
-                    .budget
-                    .saturating_sub(evaluator.unique_evaluations());
-                if remaining == 0 {
+                if acquisitions.len() >= self.config.max_candidates {
                     break;
                 }
-                let (chunk, rest) = pending.split_at(remaining.min(pending.len()));
-                pending = rest;
-                let points: Vec<DesignPoint> = chunk.iter().map(|(_, cand)| cand.clone()).collect();
-                let evals = evaluator.evaluate_batch(&points);
-                for ((param, cand), eval) in chunk.iter().zip(evals) {
-                    seen.insert(cand.clone());
-                    record(trace, cand, &eval);
-                    if eval.feasible(constraints)
-                        && best
-                            .as_ref()
-                            .is_none_or(|(_, b)| eval.objective < b.objective)
-                    {
-                        *best = Some((cand.clone(), eval.clone()));
+            }
+        }
+
+        if acquisitions.is_empty() {
+            let decision = "no unexplored candidates";
+            let index = attempts.len();
+            attempts.push(Attempt::Completed {
+                index,
+                analyses,
+                acquisitions: vec![],
+                decision: decision.into(),
+            });
+            self.emit_iteration(
+                evaluator,
+                index,
+                current_eval,
+                best,
+                &summary,
+                proposed,
+                0,
+                0,
+                decision,
+            );
+            return Some("converged: no bottleneck-mitigating acquisitions remain".into());
+        }
+        let acquisition_log: Vec<(ParamId, usize)> = acquisitions
+            .iter()
+            .filter_map(|(p, cand)| p.map(|p| (p, cand.index(p))))
+            .collect();
+
+        // ---- evaluate the candidate set, batched. Chunk size equals
+        // the remaining unique-evaluation budget: every candidate adds
+        // at most one unique evaluation, so each chunk fits, and the
+        // boundary where the budget runs out is identical to checking
+        // before every single evaluation (cache hits consume nothing
+        // and simply roll the slack into the next chunk).
+        //
+        // Candidates are evaluated through the fault boundary: a
+        // permanently failed candidate becomes an `Attempt::Failed`
+        // entry (with its own iteration record) instead of aborting.
+        let mut candidates: Vec<(DesignPoint, Evaluation, Option<ParamId>)> = Vec::new();
+        let mut failed = 0usize;
+        let mut pending = acquisitions.as_slice();
+        while !pending.is_empty() {
+            let remaining = self
+                .config
+                .budget
+                .saturating_sub(evaluator.unique_evaluations());
+            if remaining == 0 {
+                break;
+            }
+            let (chunk, rest) = pending.split_at(remaining.min(pending.len()));
+            pending = rest;
+            let points: Vec<DesignPoint> = chunk.iter().map(|(_, cand)| cand.clone()).collect();
+            let results = evaluator.try_evaluate_batch(&points);
+            for ((param, cand), result) in chunk.iter().zip(results) {
+                seen.insert(cand.clone());
+                match result {
+                    Ok(eval) => {
+                        record(trace, cand, &eval);
+                        if eval.feasible(constraints)
+                            && best
+                                .as_ref()
+                                .is_none_or(|(_, b)| eval.objective < b.objective)
+                        {
+                            *best = Some((cand.clone(), eval.clone()));
+                        }
+                        candidates.push((cand.clone(), eval, *param));
                     }
-                    candidates.push((cand.clone(), eval, *param));
+                    Err(fault) => {
+                        failed += 1;
+                        let index = attempts.len();
+                        let decision = format!("candidate evaluation failed: {}", fault.error);
+                        self.emit_iteration(
+                            evaluator,
+                            index,
+                            current_eval,
+                            best,
+                            &AnalysisSummary::default(),
+                            1,
+                            1,
+                            0,
+                            &decision,
+                        );
+                        attempts.push(Attempt::Failed {
+                            index,
+                            candidate: cand.clone(),
+                            error: fault.error,
+                            retries: fault.retries,
+                        });
+                    }
                 }
             }
-            if candidates.is_empty() {
-                let decision = "budget exhausted before evaluation";
-                attempts.push(Attempt {
-                    index: attempt_index,
-                    analyses,
-                    acquisitions: acquisition_log,
-                    decision: decision.into(),
-                });
+        }
+        if candidates.is_empty() {
+            let remaining = self
+                .config
+                .budget
+                .saturating_sub(evaluator.unique_evaluations());
+            if failed > 0 && remaining > 0 {
+                // Every candidate failed at the fault boundary; count a
+                // stall so a persistently failing region still terminates.
+                *stalls += 1;
+                let decision = format!("stall: all {failed} candidates failed evaluation");
+                let index = attempts.len();
                 self.emit_iteration(
                     evaluator,
-                    attempt_index,
-                    &current_eval,
+                    index,
+                    current_eval,
                     best,
                     &summary,
                     proposed,
                     acquisitions.len(),
                     0,
-                    decision,
+                    &decision,
                 );
-                return format!("budget of {} evaluations exhausted", self.config.budget);
+                attempts.push(Attempt::Completed {
+                    index,
+                    analyses,
+                    acquisitions: acquisition_log,
+                    decision,
+                });
+                if *stalls > self.config.max_stalls {
+                    return Some(format!(
+                        "converged after {} stalled attempts",
+                        self.config.max_stalls
+                    ));
+                }
+                return None;
             }
-
-            // ---- (4): constraints-budget-aware update (§4.6).
-            let decision = self.update_solution(
-                constraints,
-                &mut current,
-                &mut current_eval,
-                &candidates,
-                &mut frozen,
-                &mut stalls,
-            );
+            let decision = "budget exhausted before evaluation";
+            let index = attempts.len();
+            attempts.push(Attempt::Completed {
+                index,
+                analyses,
+                acquisitions: acquisition_log,
+                decision: decision.into(),
+            });
             self.emit_iteration(
                 evaluator,
-                attempt_index,
-                &current_eval,
+                index,
+                current_eval,
                 best,
                 &summary,
                 proposed,
                 acquisitions.len(),
-                candidates.len(),
-                &decision,
-            );
-            attempts.push(Attempt {
-                index: attempt_index,
-                analyses,
-                acquisitions: acquisition_log,
+                0,
                 decision,
-            });
-
-            if stalls > self.config.max_stalls {
-                return format!(
-                    "converged after {} stalled attempts",
-                    self.config.max_stalls
-                );
-            }
+            );
+            return Some(format!(
+                "budget of {} evaluations exhausted",
+                self.config.budget
+            ));
         }
-        unreachable!("the attempt loop only exits via return")
+
+        // ---- (4): constraints-budget-aware update (§4.6).
+        let decision = self.update_solution(
+            constraints,
+            current,
+            current_eval,
+            &candidates,
+            frozen,
+            stalls,
+        );
+        let index = attempts.len();
+        self.emit_iteration(
+            evaluator,
+            index,
+            current_eval,
+            best,
+            &summary,
+            proposed,
+            acquisitions.len(),
+            candidates.len(),
+            &decision,
+        );
+        attempts.push(Attempt::Completed {
+            index,
+            analyses,
+            acquisitions: acquisition_log,
+            decision,
+        });
+
+        if *stalls > self.config.max_stalls {
+            return Some(format!(
+                "converged after {} stalled attempts",
+                self.config.max_stalls
+            ));
+        }
+        None
     }
 
     /// Steps (1)-(2): bottleneck analysis per execution-critical
     /// sub-function, then aggregation to `(param, min predicted value)`.
-    fn analyze_subfunctions<E, F>(
+    pub(crate) fn analyze_subfunctions<E, F>(
         &self,
         evaluator: &E,
         point: &DesignPoint,
@@ -754,15 +1068,9 @@ impl ExplainableDse<crate::bottleneck::dnn::LayerCtx> {
     /// Convenience runner for the standard DNN-accelerator latency model:
     /// the context of each sub-function is its execution profile on the
     /// decoded hardware configuration.
+    #[deprecated(note = "use `SearchSession::new(model, config).evaluator(&e).run(initial)`")]
     pub fn run_dnn<E: Evaluator>(&self, evaluator: &E, initial: DesignPoint) -> DseResult {
-        self.run(evaluator, initial, |ev, point, layer| {
-            layer
-                .profile
-                .map(|profile| crate::bottleneck::dnn::LayerCtx {
-                    cfg: ev.decode(point),
-                    profile,
-                })
-        })
+        self.drive(evaluator, SearchState::new(initial), dnn_ctx(), None)
     }
 }
 
@@ -986,21 +1294,23 @@ mod tests {
     use super::*;
     use crate::bottleneck::dnn::dnn_latency_model;
     use crate::evaluate::CodesignEvaluator;
+    use crate::session::SearchSession;
     use crate::space::edge_space;
     use mapper::FixedMapper;
     use workloads::zoo;
 
     fn run_small() -> DseResult {
         let evaluator = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
-        let dse = ExplainableDse::new(
+        let initial = evaluator.space().minimum_point();
+        SearchSession::new(
             dnn_latency_model(),
             DseConfig {
                 budget: 120,
                 ..DseConfig::default()
             },
-        );
-        let initial = evaluator.space().minimum_point();
-        dse.run_dnn(&evaluator, initial)
+        )
+        .evaluator(&evaluator)
+        .run(initial)
     }
 
     #[test]
@@ -1041,11 +1351,68 @@ mod tests {
     fn attempts_carry_explanations() {
         let r = run_small();
         assert!(!r.attempts.is_empty());
-        let explained = r.attempts.iter().any(|a| !a.analyses.is_empty());
+        let explained = r.attempts.iter().any(|a| !a.analyses().is_empty());
         assert!(explained, "attempts should carry bottleneck explanations");
         for a in &r.attempts {
-            assert!(!a.decision.is_empty());
+            assert!(!a.decision().is_empty());
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_runners_match_the_session_api() {
+        let evaluator = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+        let config = DseConfig {
+            budget: 60,
+            ..DseConfig::default()
+        };
+        let initial = evaluator.space().minimum_point();
+        let old = ExplainableDse::new(dnn_latency_model(), config.clone())
+            .run_dnn(&evaluator, initial.clone());
+        let fresh = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+        let new = SearchSession::new(dnn_latency_model(), config)
+            .evaluator(&fresh)
+            .run(initial);
+        assert_eq!(old.trace.samples, new.trace.samples);
+        assert_eq!(old.attempts, new.attempts);
+        assert_eq!(old.best, new.best);
+        assert_eq!(old.converged_after, new.converged_after);
+        assert_eq!(old.termination, new.termination);
+    }
+
+    #[test]
+    fn resuming_a_completed_snapshot_reproduces_the_result() {
+        let path = std::env::temp_dir().join(format!(
+            "edse-dse-test-completed-{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let config = DseConfig {
+            budget: 60,
+            ..DseConfig::default()
+        };
+        let evaluator = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+        let initial = evaluator.space().minimum_point();
+        let first = SearchSession::new(dnn_latency_model(), config.clone())
+            .evaluator(&evaluator)
+            .checkpoint(&path)
+            .checkpoint_every(5)
+            .run(initial.clone());
+        assert!(path.exists(), "a final snapshot must be written");
+        // Resuming a *finished* run re-reports the identical result from a
+        // fresh evaluator without re-running any search step.
+        let fresh = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+        let resumed = SearchSession::new(dnn_latency_model(), config)
+            .evaluator(&fresh)
+            .checkpoint(&path)
+            .resume(true)
+            .run(initial);
+        assert_eq!(first.trace.samples, resumed.trace.samples);
+        assert_eq!(first.attempts, resumed.attempts);
+        assert_eq!(first.best, resumed.best);
+        assert_eq!(first.converged_after, resumed.converged_after);
+        assert_eq!(first.termination, resumed.termination);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
@@ -1055,15 +1422,16 @@ mod tests {
         let collector = Collector::builder().sink(sink.clone()).build();
         let evaluator = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper)
             .with_telemetry(collector.clone());
-        let dse = ExplainableDse::new(
+        let r = SearchSession::new(
             dnn_latency_model(),
             DseConfig {
                 budget: 60,
                 ..DseConfig::default()
             },
         )
-        .with_telemetry(collector.clone());
-        let r = dse.run_dnn(&evaluator, evaluator.space().minimum_point());
+        .evaluator(&evaluator)
+        .telemetry(collector.clone())
+        .run(evaluator.space().minimum_point());
 
         let events = sink.events();
         assert!(
@@ -1094,8 +1462,8 @@ mod tests {
         }
         // Records and attempts tell the same story, in the same order.
         for (rec, attempt) in records.iter().zip(&r.attempts) {
-            assert_eq!(rec.iteration as usize, attempt.index);
-            assert_eq!(rec.decision, attempt.decision);
+            assert_eq!(rec.iteration as usize, attempt.index());
+            assert_eq!(rec.decision, attempt.decision());
         }
     }
 

@@ -9,18 +9,55 @@
 //! parallel entry point is [`Evaluator::evaluate_batch`]; its thread count
 //! is controlled by [`EvalEngine`], and `threads = 1` reproduces the serial
 //! path bit-for-bit.
+//!
+//! Evaluation is also **fault-bounded**: each per-layer mapping runs under
+//! a panic guard with bounded retries ([`FaultPolicy`], configured on the
+//! engine), so a misbehaving mapper degrades a candidate into an
+//! [`EvalFault`] — surfaced through [`Evaluator::try_evaluate`] /
+//! [`Evaluator::try_evaluate_batch`] — instead of tearing down the search.
 
 use crate::cost::{Constraint, Evaluation, LayerEval};
+use crate::fault::{self, EvalFault, FaultPolicy};
 use crate::space::{decode_edge_point, DesignPoint, DesignSpace};
 use accel_model::{AcceleratorConfig, ExecutionProfile};
-use edse_telemetry::{BatchRecord, Collector};
+use edse_telemetry::{BatchRecord, Collector, Level};
 use energy_area::Tech;
 use mapper::{MappedLayer, MappingOptimizer};
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 use workloads::{DnnModel, LayerShape};
+
+/// A snapshot of an evaluator's memo tables, as captured by
+/// [`Evaluator::cache_snapshot`] and replayed by
+/// [`Evaluator::restore_caches`]. Only *successful* entries are captured:
+/// failed evaluations are re-attempted after a resume (the fault may have
+/// been environmental).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CacheSnapshot {
+    /// The unique-evaluation counter at capture time (== the number of
+    /// point entries for [`CodesignEvaluator`]).
+    pub unique_evaluations: usize,
+    /// Completed point evaluations.
+    pub points: Vec<(DesignPoint, Evaluation)>,
+    /// Completed per-layer mapping outcomes.
+    pub layers: Vec<LayerEntry>,
+}
+
+/// One `(layer, config)` mapping-cache entry of a [`CacheSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerEntry {
+    /// The layer shape that was mapped.
+    pub shape: LayerShape,
+    /// The hardware configuration it was mapped onto.
+    pub cfg: AcceleratorConfig,
+    /// The optimized mapping, when one was feasible.
+    pub mapped: Option<MappedLayer>,
+    /// The diagnostic relaxed-NoC profile for infeasible pairs.
+    pub diagnostic: Option<ExecutionProfile>,
+}
 
 /// Evaluates design points to full [`Evaluation`]s. Implementations cache,
 /// so repeated evaluation of a point is free and does not count as a new
@@ -29,7 +66,9 @@ use workloads::{DnnModel, LayerShape};
 /// All methods take `&self`: an evaluator is safe to share. Implementations
 /// with caches use interior mutability (see [`CodesignEvaluator`]).
 pub trait Evaluator {
-    /// Evaluates one point (cached).
+    /// Evaluates one point (cached). A fault-bounded implementation maps
+    /// permanent failures to an infeasible sentinel (infinite objective and
+    /// constraint values); use [`Self::try_evaluate`] to observe the fault.
     fn evaluate(&self, point: &DesignPoint) -> Evaluation;
 
     /// Evaluates a batch of points, returning evaluations in input order.
@@ -42,6 +81,21 @@ pub trait Evaluator {
         points.iter().map(|p| self.evaluate(p)).collect()
     }
 
+    /// Fault-surfacing [`Self::evaluate`]: `Err` when the evaluation failed
+    /// permanently at the fault boundary. The default implementation never
+    /// fails.
+    fn try_evaluate(&self, point: &DesignPoint) -> Result<Evaluation, EvalFault> {
+        Ok(self.evaluate(point))
+    }
+
+    /// Fault-surfacing [`Self::evaluate_batch`], position-aligned with
+    /// `points`. The default delegates to [`Self::evaluate_batch`] (so
+    /// implementations that only override the infallible path keep their
+    /// behavior) and never fails.
+    fn try_evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Result<Evaluation, EvalFault>> {
+        self.evaluate_batch(points).into_iter().map(Ok).collect()
+    }
+
     /// The design space this evaluator understands.
     fn space(&self) -> &DesignSpace;
 
@@ -49,12 +103,25 @@ pub trait Evaluator {
     fn constraints(&self) -> &[Constraint];
 
     /// Number of *unique* points evaluated so far (the iteration count
-    /// reported by Fig. 10's triangles).
+    /// reported by Fig. 10's triangles). Permanently failed evaluations do
+    /// not count: they consumed no successful cost-model invocation.
     fn unique_evaluations(&self) -> usize;
 
     /// Decodes a point into the hardware configuration (needed by the
     /// bottleneck-analysis context).
     fn decode(&self, point: &DesignPoint) -> AcceleratorConfig;
+
+    /// Captures the evaluator's completed memo entries for checkpointing.
+    /// The default (for cacheless evaluators) captures nothing.
+    fn cache_snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot::default()
+    }
+
+    /// Pre-fills the evaluator's memo tables from a snapshot (the resume
+    /// path — call on a freshly built evaluator). The default is a no-op.
+    fn restore_caches(&self, snapshot: &CacheSnapshot) {
+        let _ = snapshot;
+    }
 }
 
 /// What the DSE minimizes (constraints are unaffected: latency ceilings,
@@ -88,6 +155,14 @@ impl<T: Evaluator + ?Sized> Evaluator for &T {
         (**self).evaluate_batch(points)
     }
 
+    fn try_evaluate(&self, point: &DesignPoint) -> Result<Evaluation, EvalFault> {
+        (**self).try_evaluate(point)
+    }
+
+    fn try_evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Result<Evaluation, EvalFault>> {
+        (**self).try_evaluate_batch(points)
+    }
+
     fn space(&self) -> &DesignSpace {
         (**self).space()
     }
@@ -103,9 +178,17 @@ impl<T: Evaluator + ?Sized> Evaluator for &T {
     fn decode(&self, point: &DesignPoint) -> AcceleratorConfig {
         (**self).decode(point)
     }
+
+    fn cache_snapshot(&self) -> CacheSnapshot {
+        (**self).cache_snapshot()
+    }
+
+    fn restore_caches(&self, snapshot: &CacheSnapshot) {
+        (**self).restore_caches(snapshot)
+    }
 }
 
-/// Parallelism policy for [`Evaluator::evaluate_batch`].
+/// Parallelism and fault policy for [`Evaluator::evaluate_batch`].
 ///
 /// `threads: None` (the default) uses all available hardware parallelism;
 /// `Some(1)` forces the serial path, which is guaranteed bit-for-bit
@@ -115,19 +198,31 @@ impl<T: Evaluator + ?Sized> Evaluator for &T {
 pub struct EvalEngine {
     /// Worker threads per batch; `None` = available parallelism.
     pub threads: Option<usize>,
+    /// Retry/deadline policy of the per-layer-mapping fault boundary.
+    pub fault: FaultPolicy,
 }
 
 impl EvalEngine {
     /// The serial engine (`threads = 1`): today's single-threaded behavior.
     pub fn serial() -> Self {
-        EvalEngine { threads: Some(1) }
+        EvalEngine {
+            threads: Some(1),
+            ..EvalEngine::default()
+        }
     }
 
     /// An engine with an explicit worker count (0 is treated as 1).
     pub fn with_threads(threads: usize) -> Self {
         EvalEngine {
             threads: Some(threads.max(1)),
+            ..EvalEngine::default()
         }
+    }
+
+    /// Replaces the fault boundary's retry/deadline policy.
+    pub fn with_fault(mut self, fault: FaultPolicy) -> Self {
+        self.fault = fault;
+        self
     }
 
     /// The concrete worker count this engine resolves to on this host.
@@ -152,7 +247,7 @@ struct ShardedCache<K, V> {
     shards: [Mutex<HashMap<K, Arc<OnceLock<V>>>>; CACHE_SHARDS],
 }
 
-impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
+impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
     fn new() -> Self {
         ShardedCache {
             shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
@@ -186,6 +281,27 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
         map.get(key).is_some_and(|slot| slot.get().is_some())
     }
 
+    /// Every completed `(key, value)` entry, in unspecified order.
+    fn completed(&self) -> Vec<(K, V)> {
+        let mut entries = Vec::new();
+        for shard in &self.shards {
+            let map = shard.lock().expect("cache shard poisoned");
+            for (k, slot) in map.iter() {
+                if let Some(v) = slot.get() {
+                    entries.push((k.clone(), v.clone()));
+                }
+            }
+        }
+        entries
+    }
+
+    /// Pre-fills `key` with a completed `value` (the snapshot-restore
+    /// path). A no-op when the key already has a completed entry.
+    fn insert(&self, key: K, value: V) {
+        let slot = self.slot(&key);
+        let _ = slot.set(value);
+    }
+
     fn clear(&mut self) {
         for shard in &mut self.shards {
             shard.get_mut().expect("cache shard poisoned").clear();
@@ -202,6 +318,12 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
 /// Thread-safe: all evaluation state (the point/layer memo tables and the
 /// unique-evaluation counter) lives behind interior mutability, and
 /// [`Evaluator::evaluate_batch`] fans work out over [`EvalEngine`] threads.
+///
+/// Fault-bounded: each layer mapping runs under
+/// [`EvalEngine::fault`]'s panic guard and retry policy, and both memo
+/// tables cache failures (`Err`) alongside results, so a permanently
+/// faulted `(layer, config)` pair fails fast on re-encounter instead of
+/// re-panicking through its retries.
 pub struct CodesignEvaluator<M> {
     space: DesignSpace,
     constraints: Vec<Constraint>,
@@ -211,8 +333,8 @@ pub struct CodesignEvaluator<M> {
     mapper: M,
     engine: EvalEngine,
     telemetry: Collector,
-    point_cache: ShardedCache<DesignPoint, Evaluation>,
-    layer_cache: ShardedCache<(LayerShape, AcceleratorConfig), MapOutcome>,
+    point_cache: ShardedCache<DesignPoint, Result<Evaluation, EvalFault>>,
+    layer_cache: ShardedCache<(LayerShape, AcceleratorConfig), Result<MapOutcome, EvalFault>>,
     unique_evals: AtomicUsize,
 }
 
@@ -260,10 +382,12 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
     }
 
     /// Selects the batch-evaluation engine (default: all available
-    /// parallelism). [`EvalEngine::serial`] forces single-threaded batches.
+    /// parallelism, default [`FaultPolicy`]). [`EvalEngine::serial`] forces
+    /// single-threaded batches.
     ///
     /// Changing the engine never invalidates caches: results are identical
-    /// for every thread count by construction.
+    /// for every thread count by construction. (Changing the *fault policy*
+    /// of an engine mid-run does not re-attempt already-cached failures.)
     pub fn with_engine(mut self, engine: EvalEngine) -> Self {
         self.engine = engine;
         self
@@ -272,8 +396,11 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
     /// Attaches a telemetry collector. The evaluator then emits per-shard
     /// cache counters (`point_cache/shardNN/{hit,miss,inflight_wait}` and
     /// the `layer_cache/` equivalents), `stage/mapper_us` and
-    /// `stage/point_eval_us` timing histograms, and one batch-utilization
-    /// record per [`Evaluator::evaluate_batch`] fan-out phase.
+    /// `stage/point_eval_us` timing histograms, fault-boundary counters
+    /// (`fault/retries`, `fault/layer_failures`, `fault/point_failures`)
+    /// with one warning log per permanent failure, and one
+    /// batch-utilization record per [`Evaluator::evaluate_batch`] fan-out
+    /// phase.
     ///
     /// Invalidates nothing: observation never changes results. The default
     /// is [`Collector::noop`], whose instrumentation cost is one branch
@@ -393,7 +520,15 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
         }
     }
 
-    fn map_layer(&self, shape: &LayerShape, cfg: &AcceleratorConfig) -> MapOutcome {
+    /// Maps one layer through the fault boundary: the mapper call runs
+    /// under a panic guard (plus the optional post-hoc deadline) and is
+    /// retried per [`EvalEngine::fault`] with exponential backoff before
+    /// the failure is cached as a permanent [`EvalFault`].
+    fn map_layer(
+        &self,
+        shape: &LayerShape,
+        cfg: &AcceleratorConfig,
+    ) -> Result<MapOutcome, EvalFault> {
         let key = (*shape, *cfg);
         let slot = self.layer_cache.slot(&key);
         let already = slot.get().is_some();
@@ -401,13 +536,52 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
         slot.get_or_init(|| {
             computed = true;
             let _mapper_timer = self.telemetry.time("stage/mapper_us");
-            let mapped = self.mapper.optimize(shape, cfg);
-            let diagnostic = if mapped.is_none() {
-                self.mapper.diagnose(shape, cfg)
-            } else {
-                None
-            };
-            MapOutcome { mapped, diagnostic }
+            let policy = self.engine.fault;
+            let mut retries = 0u32;
+            loop {
+                let started = Instant::now();
+                let attempt = fault::guard(|| {
+                    let mapped = self.mapper.optimize(shape, cfg);
+                    let diagnostic = if mapped.is_none() {
+                        self.mapper.diagnose(shape, cfg)
+                    } else {
+                        None
+                    };
+                    MapOutcome { mapped, diagnostic }
+                })
+                .and_then(|outcome| match policy.timeout {
+                    Some(limit) if started.elapsed() > limit => Err(format!(
+                        "mapping exceeded its {limit:?} deadline ({:?} elapsed)",
+                        started.elapsed()
+                    )),
+                    _ => Ok(outcome),
+                });
+                match attempt {
+                    Ok(outcome) => break Ok(outcome),
+                    Err(_) if retries < policy.max_retries => {
+                        self.telemetry.counter("fault/retries", 1);
+                        let backoff = policy.backoff_before(retries);
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
+                        }
+                        retries += 1;
+                    }
+                    Err(error) => {
+                        self.telemetry.counter("fault/layer_failures", 1);
+                        if self.telemetry.active() {
+                            self.telemetry.log(
+                                Level::Warn,
+                                &format!(
+                                    "layer mapping failed permanently after {retries} retries \
+                                     ({} PEs): {error}",
+                                    cfg.pes
+                                ),
+                            );
+                        }
+                        break Err(EvalFault { error, retries });
+                    }
+                }
+            }
         });
         if self.telemetry.active() {
             self.cache_counter(
@@ -416,10 +590,12 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
                 Self::classify(already, computed),
             );
         }
-        *slot.get().expect("initialized above")
+        slot.get().expect("initialized above").clone()
     }
 
-    fn compute(&self, point: &DesignPoint) -> Evaluation {
+    /// Assembles one point's costs; `Err` when any layer mapping failed
+    /// permanently at the fault boundary.
+    fn try_compute(&self, point: &DesignPoint) -> Result<Evaluation, EvalFault> {
         let cfg = decode_edge_point(&self.space, point);
         let area = cfg.area_mm2(&self.tech);
         let power = cfg.max_power_w(&self.tech);
@@ -431,7 +607,7 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
         for model in &self.models {
             let mut model_latency = 0.0f64;
             for u in model.unique_shapes() {
-                let outcome = self.map_layer(&u.shape, &cfg);
+                let outcome = self.map_layer(&u.shape, &cfg)?;
                 mappable &= outcome.mapped.is_some();
                 // Unmappable layers contribute their diagnostic latency —
                 // a finite surrogate that keeps a search gradient toward
@@ -478,7 +654,7 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
         };
         let mut constraint_values = vec![area, power];
         constraint_values.extend(per_model_latency);
-        Evaluation {
+        Ok(Evaluation {
             objective,
             mappable,
             constraint_values,
@@ -486,6 +662,21 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
             area_mm2: area,
             power_w: power,
             energy_mj,
+        })
+    }
+
+    /// The infeasible stand-in [`Evaluator::evaluate`] reports for a
+    /// permanently failed point: infinite objective and constraint values,
+    /// no layers — never feasible, never an incumbent.
+    fn fault_sentinel(&self) -> Evaluation {
+        Evaluation {
+            objective: f64::INFINITY,
+            mappable: false,
+            constraint_values: vec![f64::INFINITY; self.constraints.len()],
+            layers: Vec::new(),
+            area_mm2: f64::INFINITY,
+            power_w: f64::INFINITY,
+            energy_mj: 0.0,
         }
     }
 
@@ -541,6 +732,11 @@ fn fan_out<F: Fn(usize) + Sync>(n: usize, threads: usize, work: F) -> Vec<u64> {
 
 impl<M: MappingOptimizer> Evaluator for CodesignEvaluator<M> {
     fn evaluate(&self, point: &DesignPoint) -> Evaluation {
+        self.try_evaluate(point)
+            .unwrap_or_else(|_| self.fault_sentinel())
+    }
+
+    fn try_evaluate(&self, point: &DesignPoint) -> Result<Evaluation, EvalFault> {
         let slot = self.point_cache.slot(point);
         let already = slot.get().is_some();
         let mut computed = false;
@@ -549,11 +745,17 @@ impl<M: MappingOptimizer> Evaluator for CodesignEvaluator<M> {
             // The timer covers full point assembly, including any layer
             // mappings this point is first to need.
             let _point_timer = self.telemetry.time("stage/point_eval_us");
-            let eval = self.compute(point);
-            // Inside the once-guard: a point racing in two threads (or
-            // appearing twice in one batch) counts exactly once.
-            self.unique_evals.fetch_add(1, Ordering::Relaxed);
-            eval
+            let result = self.try_compute(point);
+            match &result {
+                // Inside the once-guard: a point racing in two threads (or
+                // appearing twice in one batch) counts exactly once. Failed
+                // points never count — no cost model ran to completion.
+                Ok(_) => {
+                    self.unique_evals.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => self.telemetry.counter("fault/point_failures", 1),
+            }
+            result
         });
         if self.telemetry.active() {
             self.cache_counter(
@@ -565,6 +767,16 @@ impl<M: MappingOptimizer> Evaluator for CodesignEvaluator<M> {
         slot.get().expect("initialized above").clone()
     }
 
+    /// Parallel batch evaluation; faults are mapped to the infeasible
+    /// sentinel (see [`Self::try_evaluate_batch`] for the fault-surfacing
+    /// form, which this method delegates to).
+    fn evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Evaluation> {
+        self.try_evaluate_batch(points)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|_| self.fault_sentinel()))
+            .collect()
+    }
+
     /// Parallel batch evaluation. Two fan-out phases over
     /// [`EvalEngine::resolved_threads`] scoped workers: first the unique
     /// uncached `(layer, config)` mapping tasks (the expensive part,
@@ -572,13 +784,18 @@ impl<M: MappingOptimizer> Evaluator for CodesignEvaluator<M> {
     /// the per-point cost assembly. Results are position-aligned with
     /// `points` and bit-for-bit identical to the serial path.
     ///
+    /// Worker panics cannot escape: every mapper call runs under the fault
+    /// boundary's panic guard, so a faulted candidate yields `Err` in its
+    /// slot while the rest of the batch completes normally.
+    ///
     /// With telemetry attached, each phase emits a [`BatchRecord`] with
     /// per-worker pull counts (stages `engine/mapping` and
     /// `engine/points`; the single-threaded path emits `engine/serial`).
-    fn evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Evaluation> {
+    fn try_evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Result<Evaluation, EvalFault>> {
         let threads = self.engine.resolved_threads();
         if threads <= 1 || points.len() <= 1 {
-            let evals: Vec<Evaluation> = points.iter().map(|p| self.evaluate(p)).collect();
+            let evals: Vec<Result<Evaluation, EvalFault>> =
+                points.iter().map(|p| self.try_evaluate(p)).collect();
             if self.telemetry.active() && !points.is_empty() {
                 self.telemetry.batch(BatchRecord {
                     stage: "engine/serial".to_string(),
@@ -592,7 +809,7 @@ impl<M: MappingOptimizer> Evaluator for CodesignEvaluator<M> {
         let tasks = self.pending_layer_tasks(points);
         let per_thread = fan_out(tasks.len(), threads, |i| {
             let (shape, cfg) = &tasks[i];
-            self.map_layer(shape, cfg);
+            let _ = self.map_layer(shape, cfg);
         });
         if self.telemetry.active() && !tasks.is_empty() {
             self.telemetry.batch(BatchRecord {
@@ -602,10 +819,11 @@ impl<M: MappingOptimizer> Evaluator for CodesignEvaluator<M> {
                 per_thread,
             });
         }
-        let results: Vec<OnceLock<Evaluation>> = points.iter().map(|_| OnceLock::new()).collect();
+        let results: Vec<OnceLock<Result<Evaluation, EvalFault>>> =
+            points.iter().map(|_| OnceLock::new()).collect();
         let per_thread = fan_out(points.len(), threads, |i| {
             results[i]
-                .set(self.evaluate(&points[i]))
+                .set(self.try_evaluate(&points[i]))
                 .expect("each index visited once");
         });
         if self.telemetry.active() {
@@ -637,17 +855,82 @@ impl<M: MappingOptimizer> Evaluator for CodesignEvaluator<M> {
     fn decode(&self, point: &DesignPoint) -> AcceleratorConfig {
         decode_edge_point(&self.space, point)
     }
+
+    fn cache_snapshot(&self) -> CacheSnapshot {
+        let points = self
+            .point_cache
+            .completed()
+            .into_iter()
+            .filter_map(|(k, v)| v.ok().map(|e| (k, e)))
+            .collect();
+        let layers = self
+            .layer_cache
+            .completed()
+            .into_iter()
+            .filter_map(|((shape, cfg), v)| {
+                v.ok().map(|o| LayerEntry {
+                    shape,
+                    cfg,
+                    mapped: o.mapped,
+                    diagnostic: o.diagnostic,
+                })
+            })
+            .collect();
+        CacheSnapshot {
+            unique_evaluations: self.unique_evaluations(),
+            points,
+            layers,
+        }
+    }
+
+    fn restore_caches(&self, snapshot: &CacheSnapshot) {
+        for (point, eval) in &snapshot.points {
+            self.point_cache.insert(point.clone(), Ok(eval.clone()));
+        }
+        for e in &snapshot.layers {
+            self.layer_cache.insert(
+                (e.shape, e.cfg),
+                Ok(MapOutcome {
+                    mapped: e.mapped,
+                    diagnostic: e.diagnostic,
+                }),
+            );
+        }
+        self.unique_evals
+            .store(snapshot.unique_evaluations, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::space::edge_space;
-    use mapper::{FixedMapper, LinearMapper};
+    use mapper::{FaultInjector, FixedMapper, LinearMapper};
     use workloads::zoo;
 
     fn evaluator() -> CodesignEvaluator<FixedMapper> {
         CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper)
+    }
+
+    /// Installs (once per process) a panic hook that swallows the expected
+    /// `FaultInjector` panics so fault-boundary tests don't spam stderr;
+    /// everything else still reaches the default hook.
+    pub(crate) fn silence_injected_panics() {
+        static HOOK: OnceLock<()> = OnceLock::new();
+        HOOK.get_or_init(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let msg = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                    .unwrap_or("");
+                if !msg.contains("injected mapping fault") {
+                    prev(info);
+                }
+            }));
+        });
     }
 
     #[test]
@@ -762,7 +1045,7 @@ mod tests {
     /// |------------------|-------------|-------------|----------------|
     /// | `with_limits`    | kept        | kept        | kept           |
     /// | `with_objective` | cleared     | kept        | reset          |
-    /// | `with_tech`      | cleared     | kept        | reset          |
+    /// | `with_tech`      | cleared     | kept        | reset           |
     /// | `with_engine`    | kept        | kept        | kept           |
     /// | `with_telemetry` | kept        | kept        | kept           |
     #[test]
@@ -936,5 +1219,98 @@ mod tests {
         for (i, e) in evals.iter().enumerate() {
             assert_eq!(e, &evals[i % 2], "duplicates must be identical");
         }
+    }
+
+    #[test]
+    fn fault_boundary_catches_panics_and_reports_the_fault() {
+        silence_injected_panics();
+        let space = edge_space();
+        // Every (layer, cfg) pair faults permanently: the point must fail
+        // with a caught panic message, not tear down the test.
+        let mapper = FaultInjector::new(FixedMapper, 7, 1.1);
+        let ev = CodesignEvaluator::new(space, vec![zoo::resnet18()], mapper).with_engine(
+            EvalEngine::with_threads(4).with_fault(FaultPolicy {
+                max_retries: 1,
+                backoff: std::time::Duration::ZERO,
+                timeout: None,
+            }),
+        );
+        let p = ev.space().minimum_point();
+        let fault = ev.try_evaluate(&p).expect_err("all layers fault");
+        assert!(
+            fault.error.contains("injected mapping fault"),
+            "panic message surfaced: {}",
+            fault.error
+        );
+        assert_eq!(fault.retries, 1);
+        // Failed points consume no budget and are cached as failures.
+        assert_eq!(ev.unique_evaluations(), 0);
+        assert_eq!(ev.try_evaluate(&p).unwrap_err(), fault);
+        // The infallible path degrades to the infeasible sentinel.
+        let e = ev.evaluate(&p);
+        assert!(!e.mappable);
+        assert_eq!(e.objective, f64::INFINITY);
+        assert!(!e.feasible(ev.constraints()));
+        // Failures are excluded from cache snapshots.
+        let snap = ev.cache_snapshot();
+        assert_eq!(snap.unique_evaluations, 0);
+        assert!(snap.points.is_empty());
+        assert!(snap.layers.is_empty());
+    }
+
+    #[test]
+    fn fault_boundary_retries_recover_transient_faults() {
+        use edse_telemetry::MemorySink;
+        silence_injected_panics();
+        let collector = Collector::builder().sink(MemorySink::new()).build();
+        // Every pair faults on its first 2 optimize calls, then succeeds:
+        // with 2 retries the evaluation must come out identical to the
+        // fault-free one.
+        let mapper = FaultInjector::new(FixedMapper, 7, 1.1).recovering_after(2);
+        let ev = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], mapper)
+            .with_engine(EvalEngine::serial().with_fault(FaultPolicy {
+                max_retries: 2,
+                backoff: std::time::Duration::ZERO,
+                timeout: None,
+            }))
+            .with_telemetry(collector.clone());
+        let p = ev.space().minimum_point();
+        let healthy = evaluator().evaluate(&p);
+        assert_eq!(ev.try_evaluate(&p).expect("recovers on retry"), healthy);
+        assert_eq!(ev.unique_evaluations(), 1);
+        let layers = zoo::resnet18().unique_shape_count() as u64;
+        assert_eq!(collector.counter_value("fault/retries"), 2 * layers);
+        assert_eq!(collector.counter_value("fault/layer_failures"), 0);
+    }
+
+    #[test]
+    fn restored_caches_reproduce_evaluations_without_the_mapper() {
+        let ev = evaluator();
+        let p = ev.space().minimum_point();
+        let q = p.with_index(crate::space::edge::PES, 1);
+        let a = ev.evaluate(&p);
+        let b = ev.evaluate(&q);
+        let snap = ev.cache_snapshot();
+        assert_eq!(snap.unique_evaluations, 2);
+        assert_eq!(snap.points.len(), 2);
+
+        /// A mapper that panics when called: restored entries must make
+        /// evaluation pure cache hits.
+        struct NeverMapper;
+        impl MappingOptimizer for NeverMapper {
+            fn optimize(&self, _: &LayerShape, _: &AcceleratorConfig) -> Option<MappedLayer> {
+                panic!("restored caches must not re-map");
+            }
+            fn name(&self) -> String {
+                "never".into()
+            }
+        }
+
+        let fresh = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], NeverMapper);
+        fresh.restore_caches(&snap);
+        assert_eq!(fresh.unique_evaluations(), 2);
+        assert_eq!(fresh.evaluate(&p), a);
+        assert_eq!(fresh.evaluate(&q), b);
+        assert_eq!(fresh.unique_evaluations(), 2);
     }
 }

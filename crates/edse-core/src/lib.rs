@@ -14,40 +14,50 @@
 //! * [`bottleneck`] — the bottleneck-model API (tree + parameter
 //!   dictionary + mitigation subroutines) and the concrete DNN-accelerator
 //!   latency model;
-//! * [`dse`] — the constraints-aware, bottleneck-guided exploration loop.
+//! * [`dse`] — the constraints-aware, bottleneck-guided exploration loop;
+//! * [`session`] — the [`SearchSession`] front door: builder-style
+//!   configuration of evaluator, telemetry, and checkpoint/resume;
+//! * [`fault`] / [`checkpoint`] — the evaluation fault boundary and the
+//!   versioned snapshot format behind checkpoint/resume.
 //!
 //! # Quick start
 //!
 //! ```
 //! use edse_core::bottleneck::dnn_latency_model;
-//! use edse_core::dse::{DseConfig, ExplainableDse};
-//! use edse_core::evaluate::{CodesignEvaluator, Evaluator};
+//! use edse_core::{CodesignEvaluator, DseConfig, Evaluator, SearchSession};
 //! use edse_core::space::edge_space;
 //! use mapper::FixedMapper;
 //! use workloads::zoo;
 //!
 //! let evaluator =
 //!     CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
-//! let dse = ExplainableDse::new(
+//! let initial = evaluator.space().minimum_point();
+//! let result = SearchSession::new(
 //!     dnn_latency_model(),
 //!     DseConfig { budget: 40, ..DseConfig::default() },
-//! );
-//! let initial = evaluator.space().minimum_point();
-//! let result = dse.run_dnn(&evaluator, initial);
+//! )
+//! .evaluator(&evaluator)
+//! .run(initial);
 //! assert!(result.trace.evaluations() <= 40);
 //! ```
 
 pub mod bottleneck;
+pub mod checkpoint;
 pub mod cost;
 pub mod dse;
 pub mod evaluate;
 pub mod explain;
+pub mod fault;
+pub mod session;
 pub mod space;
 
 pub use bottleneck::{dnn_latency_model, BottleneckModel, BottleneckTree, LayerCtx, TreeBuilder};
+pub use checkpoint::{load_baseline, save_baseline, BaselineSnapshot, CheckpointingEvaluator};
 pub use cost::{Constraint, Evaluation, LayerEval, Sample, Trace};
 pub use dse::{Attempt, DseConfig, DseResult, ExplainableDse};
-pub use evaluate::{CodesignEvaluator, EvalEngine, Evaluator};
+pub use evaluate::{CacheSnapshot, CodesignEvaluator, EvalEngine, Evaluator, LayerEntry};
+pub use fault::{EvalFault, FaultPolicy};
+pub use session::SearchSession;
 pub use space::{
     datacenter_space, decode_edge_point, edge, edge_space, space_from_json, DesignPoint,
     DesignSpace, ParamDef, ParamId,

@@ -1,0 +1,173 @@
+//! [`SearchSession`]: the one front door to running an explainable search —
+//! builder-style configuration of the model, evaluator, telemetry, and
+//! checkpoint/resume policy, replacing the older
+//! `ExplainableDse::run`/`run_dnn` entry points (now thin deprecated
+//! wrappers).
+//!
+//! ```
+//! use edse_core::bottleneck::dnn_latency_model;
+//! use edse_core::{CodesignEvaluator, DseConfig, Evaluator, SearchSession};
+//! use edse_core::space::edge_space;
+//! use mapper::FixedMapper;
+//! use workloads::zoo;
+//!
+//! let evaluator =
+//!     CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+//! let initial = evaluator.space().minimum_point();
+//! let result = SearchSession::new(
+//!     dnn_latency_model(),
+//!     DseConfig { budget: 40, ..DseConfig::default() },
+//! )
+//! .evaluator(&evaluator)
+//! .run(initial);
+//! assert!(result.trace.evaluations() <= 40);
+//! ```
+//!
+//! With `.checkpoint(path)` the session snapshots the complete search state
+//! (plus evaluator caches) every [`SearchSession::checkpoint_every`] steps
+//! and at completion; with `.resume(true)` it continues from such a
+//! snapshot, bit-for-bit identically to the uninterrupted run. See
+//! `DESIGN.md` ("Snapshot format") and the README's "Resuming an
+//! interrupted run".
+
+use crate::bottleneck::dnn::LayerCtx;
+use crate::bottleneck::model::BottleneckModel;
+use crate::checkpoint;
+use crate::cost::LayerEval;
+use crate::dse::{dnn_ctx, DseConfig, DseResult, ExplainableDse, SearchState};
+use crate::evaluate::Evaluator;
+use crate::space::DesignPoint;
+use edse_telemetry::{Collector, Level};
+use std::path::PathBuf;
+
+/// Builder and runner for one explainable-DSE search.
+///
+/// Construct with [`SearchSession::new`], attach an evaluator with
+/// [`SearchSession::evaluator`] (which fixes the second type parameter),
+/// optionally configure telemetry and checkpointing, then call
+/// [`SearchSession::run`] (DNN latency/energy models) or
+/// [`SearchSession::run_with`] (custom bottleneck-context models).
+pub struct SearchSession<C, E = ()> {
+    dse: ExplainableDse<C>,
+    evaluator: E,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: usize,
+    resume: bool,
+}
+
+impl<C> SearchSession<C, ()> {
+    /// Starts a session from a bottleneck model and a configuration. No
+    /// evaluator is attached yet: call [`SearchSession::evaluator`] next.
+    pub fn new(model: BottleneckModel<C>, config: DseConfig) -> Self {
+        SearchSession {
+            dse: ExplainableDse::new(model, config),
+            evaluator: (),
+            checkpoint: None,
+            checkpoint_every: 10,
+            resume: false,
+        }
+    }
+}
+
+impl<C, E> SearchSession<C, E> {
+    /// Attaches the evaluator (any [`Evaluator`], by value or by
+    /// reference), fixing the session's evaluator type.
+    pub fn evaluator<E2: Evaluator>(self, evaluator: E2) -> SearchSession<C, E2> {
+        SearchSession {
+            dse: self.dse,
+            evaluator,
+            checkpoint: self.checkpoint,
+            checkpoint_every: self.checkpoint_every,
+            resume: self.resume,
+        }
+    }
+
+    /// Attaches a telemetry collector (see
+    /// [`ExplainableDse::with_telemetry`] for what the search emits; the
+    /// session additionally emits `checkpoint/saves` counters and
+    /// resume/save log lines).
+    pub fn telemetry(mut self, telemetry: Collector) -> Self {
+        self.dse = self.dse.with_telemetry(telemetry);
+        self
+    }
+
+    /// Enables checkpointing: the complete search state plus evaluator
+    /// caches are snapshotted to `path` (atomically, write-then-rename)
+    /// every [`SearchSession::checkpoint_every`] steps and once more at
+    /// completion.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Snapshot cadence in search steps (default 10; clamped to at least
+    /// 1). A *step* is one acquisition attempt or one phase start.
+    pub fn checkpoint_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = every.max(1);
+        self
+    }
+
+    /// When enabled (with [`SearchSession::checkpoint`]), the run resumes
+    /// from the snapshot file if it exists — continuing bit-for-bit where
+    /// the interrupted run stopped — and starts fresh when it does not.
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+}
+
+impl<C, E: Evaluator> SearchSession<C, E> {
+    /// Runs the search with a custom bottleneck-context closure (see
+    /// `ExplainableDse`'s deprecated `run` for the closure contract).
+    ///
+    /// On a resumed run, `initial` is ignored: the snapshot carries the
+    /// in-flight phase's state. The evaluator's caches are restored from
+    /// the snapshot before the first step, so no completed evaluation is
+    /// ever recomputed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when resume is enabled and the snapshot file exists but
+    /// cannot be loaded — it is corrupt, has a different schema version, is
+    /// a baseline snapshot, or was produced under a different
+    /// [`DseConfig`]. Silently falling back to a fresh run would discard
+    /// the interrupted run's work, so the mismatch is surfaced loudly.
+    pub fn run_with<F>(self, initial: DesignPoint, ctx_fn: F) -> DseResult
+    where
+        F: Fn(&E, &DesignPoint, &LayerEval) -> Option<C>,
+    {
+        let state = match (&self.checkpoint, self.resume) {
+            (Some(path), true) if path.exists() => {
+                let (state, caches) = checkpoint::load_search(path, &self.dse.config)
+                    .unwrap_or_else(|e| panic!("cannot resume search: {e}"));
+                self.evaluator.restore_caches(&caches);
+                self.dse.telemetry.log(
+                    Level::Info,
+                    &format!(
+                        "resumed from {} at {} attempts / {} evaluations",
+                        path.display(),
+                        state.attempts.len(),
+                        caches.unique_evaluations
+                    ),
+                );
+                state
+            }
+            _ => SearchState::new(initial),
+        };
+        let checkpoint = self
+            .checkpoint
+            .as_deref()
+            .map(|p| (p, self.checkpoint_every));
+        self.dse.drive(&self.evaluator, state, ctx_fn, checkpoint)
+    }
+}
+
+impl<E: Evaluator> SearchSession<LayerCtx, E> {
+    /// Runs the search with the standard DNN-accelerator context: each
+    /// sub-function's context is its execution profile on the decoded
+    /// hardware configuration. See [`SearchSession::run_with`] for the
+    /// resume semantics and panics.
+    pub fn run(self, initial: DesignPoint) -> DseResult {
+        self.run_with(initial, dnn_ctx())
+    }
+}

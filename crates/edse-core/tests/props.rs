@@ -1,10 +1,25 @@
-//! Property-based tests for the bottleneck trees, the design space, and
-//! the trace/constraint utilities.
+//! Property-based tests for the bottleneck trees, the design space, the
+//! trace/constraint utilities, and the checkpoint/resume + fault-tolerance
+//! acceptance criteria (determinism under interruption, graceful
+//! degradation under injected faults).
 
+use accel_model::AcceleratorConfig;
+use edse_core::bottleneck::dnn_latency_model;
 use edse_core::bottleneck::tree::{NodeKind, TreeBuilder};
-use edse_core::cost::{Constraint, Sample, Trace};
-use edse_core::space::{DesignPoint, ParamDef};
+use edse_core::cost::{Constraint, Evaluation, Sample, Trace};
+use edse_core::dse::{Attempt, DseConfig, DseResult};
+use edse_core::evaluate::{CacheSnapshot, CodesignEvaluator, EvalEngine, Evaluator};
+use edse_core::fault::{EvalFault, FaultPolicy};
+use edse_core::space::{edge_space, DesignPoint, DesignSpace, ParamDef};
+use edse_core::SearchSession;
+use edse_telemetry::{Collector, MemorySink};
+use mapper::{FaultInjector, FixedMapper};
 use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use workloads::zoo;
 
 /// A random three-level tree: root max over sums of leaves.
 fn arb_tree_values() -> impl Strategy<Value = Vec<Vec<f64>>> {
@@ -170,5 +185,253 @@ proptest! {
         }
         prop_assert!(improving.geomean_reduction().unwrap() > 1.0);
         prop_assert!((flat.geomean_reduction().unwrap() - 1.0).abs() < 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/resume + fault-tolerance acceptance tests
+// ---------------------------------------------------------------------------
+
+/// Installs (once per process) a panic hook that swallows the panics these
+/// tests deliberately raise — the `FaultInjector`'s payloads and the
+/// [`KillSwitch`]'s simulated kills — so the expected fault storms don't
+/// spam stderr. Everything else still reaches the default hook.
+fn silence_expected_panics() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("injected mapping fault") && !msg.contains("simulated kill") {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn temp_snapshot_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("edse-props-{}-{tag}-{n}.json", std::process::id()))
+}
+
+/// Wraps an evaluator and panics once `kill_after` evaluation requests have
+/// been spent — a SIGKILL landing at an arbitrary point in the search, as
+/// seen from inside the process. All bookkeeping methods pass through.
+struct KillSwitch<E> {
+    inner: E,
+    remaining: AtomicUsize,
+}
+
+impl<E> KillSwitch<E> {
+    fn new(inner: E, kill_after: usize) -> Self {
+        KillSwitch {
+            inner,
+            remaining: AtomicUsize::new(kill_after),
+        }
+    }
+
+    fn spend(&self, n: usize) {
+        let left = self.remaining.load(Ordering::Relaxed);
+        if left < n {
+            panic!("simulated kill");
+        }
+        self.remaining.store(left - n, Ordering::Relaxed);
+    }
+}
+
+impl<E: Evaluator> Evaluator for KillSwitch<E> {
+    fn evaluate(&self, point: &DesignPoint) -> Evaluation {
+        self.spend(1);
+        self.inner.evaluate(point)
+    }
+
+    fn evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Evaluation> {
+        self.spend(points.len());
+        self.inner.evaluate_batch(points)
+    }
+
+    fn try_evaluate(&self, point: &DesignPoint) -> Result<Evaluation, EvalFault> {
+        self.spend(1);
+        self.inner.try_evaluate(point)
+    }
+
+    fn try_evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Result<Evaluation, EvalFault>> {
+        self.spend(points.len());
+        self.inner.try_evaluate_batch(points)
+    }
+
+    fn space(&self) -> &DesignSpace {
+        self.inner.space()
+    }
+
+    fn constraints(&self) -> &[Constraint] {
+        self.inner.constraints()
+    }
+
+    fn unique_evaluations(&self) -> usize {
+        self.inner.unique_evaluations()
+    }
+
+    fn decode(&self, point: &DesignPoint) -> AcceleratorConfig {
+        self.inner.decode(point)
+    }
+
+    fn cache_snapshot(&self) -> CacheSnapshot {
+        self.inner.cache_snapshot()
+    }
+
+    fn restore_caches(&self, snapshot: &CacheSnapshot) {
+        self.inner.restore_caches(snapshot)
+    }
+}
+
+fn fresh_evaluator(parallel: bool) -> CodesignEvaluator<FixedMapper> {
+    let engine = if parallel {
+        EvalEngine::with_threads(4)
+    } else {
+        EvalEngine::serial()
+    };
+    CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper).with_engine(engine)
+}
+
+/// Asserts every `DseResult` field except the wall clock is identical.
+fn assert_results_identical(a: &DseResult, b: &DseResult) {
+    assert_eq!(a.trace.samples, b.trace.samples);
+    assert_eq!(a.attempts, b.attempts);
+    assert_eq!(a.best, b.best);
+    assert_eq!(a.converged_after, b.converged_after);
+    assert_eq!(a.termination, b.termination);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Determinism under interruption: for a random kill point `k`, a run
+    /// killed after `k` evaluation requests (snapshotting every step) and
+    /// then resumed produces a `DseResult` — incumbent, attempt sequence,
+    /// sample trace, unique-evaluation count — bit-identical to an
+    /// uninterrupted run, with the serial and the parallel `EvalEngine`
+    /// alike. Kills past the end of the search degrade to resuming a
+    /// completed snapshot, which must also be identical.
+    #[test]
+    fn killed_and_resumed_search_matches_uninterrupted_run(
+        kill_after in 1usize..60,
+        parallel in any::<bool>(),
+        seed in 0u64..3,
+    ) {
+        silence_expected_panics();
+        let config = DseConfig { budget: 40, seed, ..DseConfig::default() };
+
+        // Uninterrupted reference run.
+        let reference_ev = fresh_evaluator(parallel);
+        let initial = reference_ev.space().minimum_point();
+        let reference = SearchSession::new(dnn_latency_model(), config.clone())
+            .evaluator(&reference_ev)
+            .run(initial.clone());
+
+        // Killed run: checkpoint every step, die after `kill_after`
+        // evaluation requests (possibly mid-batch, possibly never).
+        let path = temp_snapshot_path("kill");
+        let killed_ev = KillSwitch::new(fresh_evaluator(parallel), kill_after);
+        let killed = catch_unwind(AssertUnwindSafe(|| {
+            SearchSession::new(dnn_latency_model(), config.clone())
+                .evaluator(&killed_ev)
+                .checkpoint(&path)
+                .checkpoint_every(1)
+                .run(initial.clone())
+        }));
+
+        // Resume on a fresh evaluator (caches restored from the snapshot;
+        // when the kill landed before the first snapshot, this is a fresh
+        // start — also equivalent to the uninterrupted run).
+        let resumed_ev = fresh_evaluator(parallel);
+        let resumed = SearchSession::new(dnn_latency_model(), config.clone())
+            .evaluator(&resumed_ev)
+            .checkpoint(&path)
+            .checkpoint_every(1)
+            .resume(true)
+            .run(initial);
+
+        assert_results_identical(&resumed, &reference);
+        prop_assert_eq!(
+            resumed_ev.unique_evaluations(),
+            reference_ev.unique_evaluations()
+        );
+        if let Ok(completed) = killed {
+            // The kill never fired: the "killed" run finished normally and
+            // must match too.
+            assert_results_identical(&completed, &reference);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Graceful degradation: with a 20% injected fault rate the search
+    /// still completes (no panic escapes the `EvalEngine` fault boundary),
+    /// permanently failed candidates surface as `Attempt::Failed` with the
+    /// policy's retry count, and the telemetry failure/retry counters are
+    /// consistent with the attempt log.
+    #[test]
+    fn faulty_evaluations_degrade_gracefully(
+        seed in 0u64..1000,
+        parallel in any::<bool>(),
+    ) {
+        silence_expected_panics();
+        let policy = FaultPolicy {
+            max_retries: 2,
+            backoff: std::time::Duration::ZERO,
+            timeout: None,
+        };
+        let engine = if parallel {
+            EvalEngine::with_threads(4).with_fault(policy)
+        } else {
+            EvalEngine::serial().with_fault(policy)
+        };
+        let collector = Collector::builder().sink(MemorySink::new()).build();
+        let mapper = FaultInjector::new(FixedMapper, seed, 0.2);
+        let ev = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], mapper)
+            .with_engine(engine)
+            .with_telemetry(collector.clone());
+        let initial = ev.space().minimum_point();
+        let result = SearchSession::new(
+            dnn_latency_model(),
+            DseConfig { budget: 30, restarts: 2, seed, ..DseConfig::default() },
+        )
+        .evaluator(&ev)
+        .telemetry(collector.clone())
+        .run(initial);
+
+        // The search completed despite the faults.
+        prop_assert!(!result.termination.is_empty());
+        prop_assert!(result.trace.evaluations() <= 30);
+
+        // Every failed candidate went through the full retry budget, and
+        // the telemetry counters account for at least those failures.
+        let failed = result.attempts.iter().filter(|a| a.is_failed()).count();
+        for a in &result.attempts {
+            if let Attempt::Failed { retries, .. } = a {
+                prop_assert_eq!(*retries, policy.max_retries);
+            }
+        }
+        let point_failures = collector.counter_value("fault/point_failures");
+        prop_assert!(
+            failed as u64 <= point_failures,
+            "{failed} failed attempts but only {point_failures} recorded point failures"
+        );
+        if point_failures > 0 {
+            prop_assert!(
+                collector.counter_value("fault/layer_failures") >= 1,
+                "a failed point implies at least one exhausted layer mapping"
+            );
+            prop_assert!(
+                collector.counter_value("fault/retries") >= policy.max_retries as u64,
+                "an exhausted layer mapping implies a full retry round"
+            );
+        }
     }
 }

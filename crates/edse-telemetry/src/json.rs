@@ -143,8 +143,51 @@ fn write_str(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// A parse failure with the byte offset where the parser gave up.
+///
+/// The offset lets consumers (e.g. `trace_report`) turn a failure into an
+/// actionable `line:col` location instead of a bare message. [`Display`]
+/// renders `"{message} at byte {byte}"`, and `From<ParseError> for String`
+/// keeps `?`-style callers that only want text working unchanged.
+///
+/// [`Display`]: std::fmt::Display
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where the error was detected (0-based).
+    pub byte: usize,
+    /// What went wrong, without the position suffix.
+    pub message: String,
+}
+
+impl ParseError {
+    fn at(byte: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            byte,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.byte)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ParseError> for String {
+    fn from(e: ParseError) -> String {
+        e.to_string()
+    }
+}
+
 /// Parses one JSON document (e.g. one JSONL line). Rejects trailing junk.
-pub fn parse(s: &str) -> Result<Json, String> {
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] carrying the byte offset of the failure.
+pub fn parse(s: &str) -> Result<Json, ParseError> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
@@ -153,7 +196,7 @@ pub fn parse(s: &str) -> Result<Json, String> {
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(format!("trailing characters at byte {}", p.pos));
+        return Err(ParseError::at(p.pos, "trailing characters"));
     }
     Ok(v)
 }
@@ -174,16 +217,16 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, ParseError> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(v)
         } else {
-            Err(format!("invalid literal at byte {}", self.pos))
+            Err(ParseError::at(self.pos, "invalid literal"))
         }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    fn value(&mut self) -> Result<Json, ParseError> {
         match self.peek() {
             Some(b'n') => self.literal("null", Json::Null),
             Some(b't') => self.literal("true", Json::Bool(true)),
@@ -192,15 +235,15 @@ impl Parser<'_> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            Some(c) => Err(format!(
-                "unexpected character {:?} at byte {}",
-                c as char, self.pos
+            Some(c) => Err(ParseError::at(
+                self.pos,
+                format!("unexpected character {:?}", c as char),
             )),
-            None => Err("unexpected end of input".into()),
+            None => Err(ParseError::at(self.pos, "unexpected end of input")),
         }
     }
 
-    fn array(&mut self) -> Result<Json, String> {
+    fn array(&mut self) -> Result<Json, ParseError> {
         self.pos += 1; // consume '['
         let mut items = Vec::new();
         self.skip_ws();
@@ -218,12 +261,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Json::Arr(items));
                 }
-                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+                _ => return Err(ParseError::at(self.pos, "expected `,` or `]`")),
             }
         }
     }
 
-    fn object(&mut self) -> Result<Json, String> {
+    fn object(&mut self) -> Result<Json, ParseError> {
         self.pos += 1; // consume '{'
         let mut entries = Vec::new();
         self.skip_ws();
@@ -236,7 +279,7 @@ impl Parser<'_> {
             let key = self.string()?;
             self.skip_ws();
             if self.peek() != Some(b':') {
-                return Err(format!("expected `:` at byte {}", self.pos));
+                return Err(ParseError::at(self.pos, "expected `:`"));
             }
             self.pos += 1;
             self.skip_ws();
@@ -249,14 +292,14 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Json::Obj(entries));
                 }
-                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+                _ => return Err(ParseError::at(self.pos, "expected `,` or `}`")),
             }
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, ParseError> {
         if self.peek() != Some(b'"') {
-            return Err(format!("expected string at byte {}", self.pos));
+            return Err(ParseError::at(self.pos, "expected string"));
         }
         self.pos += 1;
         let mut out = String::new();
@@ -270,7 +313,7 @@ impl Parser<'_> {
             }
             out.push_str(
                 std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|_| "invalid UTF-8 in string".to_string())?,
+                    .map_err(|_| ParseError::at(start, "invalid UTF-8 in string"))?,
             );
             match self.peek() {
                 Some(b'"') => {
@@ -279,7 +322,9 @@ impl Parser<'_> {
                 }
                 Some(b'\\') => {
                     self.pos += 1;
-                    let esc = self.peek().ok_or("unterminated escape")?;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| ParseError::at(self.pos, "unterminated escape"))?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),
@@ -294,24 +339,30 @@ impl Parser<'_> {
                             let hex = self
                                 .bytes
                                 .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape")?;
+                                .ok_or_else(|| ParseError::at(self.pos, "truncated \\u escape"))?;
                             let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| "invalid \\u escape")?,
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| ParseError::at(self.pos, "invalid \\u escape"))?,
                                 16,
                             )
-                            .map_err(|_| "invalid \\u escape")?;
+                            .map_err(|_| ParseError::at(self.pos, "invalid \\u escape"))?;
                             self.pos += 4;
                             out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         }
-                        other => return Err(format!("invalid escape `\\{}`", other as char)),
+                        other => {
+                            return Err(ParseError::at(
+                                self.pos,
+                                format!("invalid escape `\\{}`", other as char),
+                            ))
+                        }
                     }
                 }
-                _ => return Err("unterminated string".into()),
+                _ => return Err(ParseError::at(self.pos, "unterminated string")),
             }
         }
     }
 
-    fn number(&mut self) -> Result<Json, String> {
+    fn number(&mut self) -> Result<Json, ParseError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -323,10 +374,10 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| "invalid number".to_string())?;
+            .map_err(|_| ParseError::at(start, "invalid number"))?;
         text.parse::<f64>()
             .map(Json::Num)
-            .map_err(|_| format!("invalid number `{text}`"))
+            .map_err(|_| ParseError::at(start, format!("invalid number `{text}`")))
     }
 }
 

@@ -35,8 +35,8 @@ pub mod size;
 pub mod space;
 
 pub use optimize::{
-    AnnealingMapper, FixedMapper, GeneticMapper, InstrumentedMapper, InterstellarMapper,
-    LinearMapper, MappedLayer, MappingOptimizer, RandomMapper,
+    AnnealingMapper, FaultInjector, FixedMapper, GeneticMapper, InstrumentedMapper,
+    InterstellarMapper, LinearMapper, MappedLayer, MappingOptimizer, RandomMapper,
 };
 pub use size::{layer_space_size, SpaceSize};
 pub use space::{MappingSpace, SpaceBudget, Thresholds};

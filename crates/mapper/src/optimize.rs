@@ -17,12 +17,18 @@ use accel_model::{AcceleratorConfig, ExecutionProfile, Mapping, Stationarity, Ti
 use edse_telemetry::Collector;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
 use workloads::layer::Dim;
 use workloads::LayerShape;
 
 /// An optimized mapping with its evaluated execution profile.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Serializable so evaluator layer caches can be captured into search
+/// snapshots (see the `edse-core` checkpoint layer) and restored without
+/// re-running the mapping search.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MappedLayer {
     /// The chosen mapping.
     pub mapping: Mapping,
@@ -140,6 +146,97 @@ impl<M: MappingOptimizer> MappingOptimizer for InstrumentedMapper<M> {
 
     fn name(&self) -> String {
         self.inner.name()
+    }
+
+    fn diagnose(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<ExecutionProfile> {
+        self.inner.diagnose(layer, cfg)
+    }
+}
+
+/// Deterministically injects mapping faults (panics), for exercising an
+/// evaluation fault boundary — panic containment, bounded retries, graceful
+/// degradation — in tests and fault drills.
+///
+/// Whether a `(layer, cfg)` pair is *faulty* is a pure function of the
+/// injector's seed and a stable hash of the pair (compared against the
+/// configured failure rate), plus an explicit always-faulty target list —
+/// never of call order or thread interleaving, so fault patterns reproduce
+/// exactly across runs. A faulty pair panics on each of its first
+/// [`FaultInjector::recovering_after`] calls and then behaves normally;
+/// by default faults are permanent (every call panics).
+pub struct FaultInjector<M> {
+    inner: M,
+    seed: u64,
+    rate: f64,
+    transient_failures: u32,
+    targets: Vec<(LayerShape, AcceleratorConfig)>,
+    attempts: Mutex<HashMap<u64, u32>>,
+}
+
+impl<M: MappingOptimizer> FaultInjector<M> {
+    /// Wraps `inner`; each `(layer, cfg)` pair faults permanently with
+    /// probability `rate` (deterministically chosen from `seed`).
+    pub fn new(inner: M, seed: u64, rate: f64) -> Self {
+        FaultInjector {
+            inner,
+            seed,
+            rate,
+            transient_failures: u32::MAX,
+            targets: Vec::new(),
+            attempts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Makes faults transient: a faulty pair panics on its first `calls`
+    /// optimize invocations, then succeeds — the retry-success path.
+    pub fn recovering_after(mut self, calls: u32) -> Self {
+        self.transient_failures = calls;
+        self
+    }
+
+    /// Marks one specific `(layer, cfg)` pair as always faulty, regardless
+    /// of the failure rate.
+    pub fn target(mut self, layer: LayerShape, cfg: AcceleratorConfig) -> Self {
+        self.targets.push((layer, cfg));
+        self
+    }
+
+    fn key(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> u64 {
+        let mut h = std::hash::DefaultHasher::new();
+        self.seed.hash(&mut h);
+        layer.hash(&mut h);
+        cfg.hash(&mut h);
+        h.finish()
+    }
+
+    fn is_faulty(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> bool {
+        self.targets.iter().any(|(l, c)| l == layer && c == cfg)
+            || (self.key(layer, cfg) as f64 / u64::MAX as f64) < self.rate
+    }
+}
+
+impl<M: MappingOptimizer> MappingOptimizer for FaultInjector<M> {
+    fn optimize(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<MappedLayer> {
+        if self.is_faulty(layer, cfg) {
+            let key = self.key(layer, cfg);
+            let attempt = {
+                let mut attempts = self.attempts.lock().expect("fault ledger poisoned");
+                let n = attempts.entry(key).or_insert(0);
+                *n = n.saturating_add(1);
+                *n
+            };
+            if attempt <= self.transient_failures {
+                panic!(
+                    "injected mapping fault (attempt {attempt}) for {layer:?} on {} PEs",
+                    cfg.pes
+                );
+            }
+        }
+        self.inner.optimize(layer, cfg)
+    }
+
+    fn name(&self) -> String {
+        format!("faulty-{}", self.inner.name())
     }
 
     fn diagnose(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<ExecutionProfile> {

@@ -56,14 +56,15 @@ fn main() {
 
     // Explainable-DSE.
     let evaluator = CodesignEvaluator::new(edge_space(), vec![model.clone()], FixedMapper);
-    let dse = ExplainableDse::new(
+    let session = SearchSession::new(
         dnn_latency_model(),
         DseConfig {
             budget,
             ..DseConfig::default()
         },
-    );
+    )
+    .evaluator(&evaluator);
     let initial = evaluator.space().minimum_point();
-    let result = dse.run_dnn(&evaluator, initial);
+    let result = session.run(initial);
     run(result.trace);
 }

@@ -18,15 +18,16 @@ fn main() {
 
     // Explainable DSE.
     let evaluator = CodesignEvaluator::new(edge_space(), vec![model.clone()], FixedMapper);
-    let dse = ExplainableDse::new(
+    let session = SearchSession::new(
         dnn_latency_model(),
         DseConfig {
             budget,
             ..DseConfig::default()
         },
-    );
+    )
+    .evaluator(&evaluator);
     let initial = evaluator.space().minimum_point();
-    let explainable = dse.run_dnn(&evaluator, initial);
+    let explainable = session.run(initial);
 
     // Random-search baseline under the identical budget.
     let evaluator2 = CodesignEvaluator::new(edge_space(), vec![model.clone()], FixedMapper);

@@ -16,15 +16,16 @@ fn run(objective: Objective, model: DnnModel) -> (String, Option<(f64, f64)>) {
         Objective::Energy => dnn_energy_model(),
         _ => dnn_latency_model(),
     };
-    let dse = ExplainableDse::new(
+    let session = SearchSession::new(
         bottleneck_model,
         DseConfig {
             budget: 200,
             ..DseConfig::default()
         },
-    );
+    )
+    .evaluator(&evaluator);
     let initial = evaluator.space().minimum_point();
-    let result = dse.run_dnn(&evaluator, initial);
+    let result = session.run(initial);
     let name = format!("{objective:?}");
     let summary = result.best.as_ref().map(|(point, eval)| {
         // Latency is always the third constraint; energy is tracked in the

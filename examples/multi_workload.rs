@@ -23,15 +23,16 @@ fn main() {
         vec![vision.clone(), language.clone()],
         FixedMapper,
     );
-    let dse = ExplainableDse::new(
+    let session = SearchSession::new(
         dnn_latency_model(),
         DseConfig {
             budget: 200,
             ..DseConfig::default()
         },
-    );
+    )
+    .evaluator(&evaluator);
     let initial = evaluator.space().minimum_point();
-    let result = dse.run_dnn(&evaluator, initial);
+    let result = session.run(initial);
 
     println!(
         "explored {} designs ({})",

@@ -27,15 +27,16 @@ fn main() {
                     alpha_ms: alpha,
                     beta_mj: beta,
                 });
-        let dse = ExplainableDse::new(
+        let session = SearchSession::new(
             dnn_weighted_model(alpha, beta),
             DseConfig {
                 budget: 150,
                 ..DseConfig::default()
             },
-        );
+        )
+        .evaluator(&evaluator);
         let initial = evaluator.space().minimum_point();
-        let result = dse.run_dnn(&evaluator, initial);
+        let result = session.run(initial);
         match &result.best {
             Some((_, eval)) => {
                 let latency = eval.constraint_values[2];

@@ -19,18 +19,21 @@ fn main() {
     );
     let evaluator = CodesignEvaluator::new(edge_space(), vec![model], LinearMapper::new(64));
 
-    // 2) The explorer: the DNN latency bottleneck model drives acquisitions.
-    let dse = ExplainableDse::new(
+    // 2) The explorer: the DNN latency bottleneck model drives
+    //    acquisitions. A SearchSession could additionally checkpoint the
+    //    run (`.checkpoint("run.ckpt.json").resume(true)`).
+    let session = SearchSession::new(
         dnn_latency_model(),
         DseConfig {
             budget: 150,
             ..DseConfig::default()
         },
-    );
+    )
+    .evaluator(&evaluator);
 
     // 3) Run from the minimum configuration.
     let initial = evaluator.space().minimum_point();
-    let result = dse.run_dnn(&evaluator, initial);
+    let result = session.run(initial);
 
     // 4) Report: best codesign, convergence, and per-attempt explanations.
     println!(
@@ -60,8 +63,8 @@ fn main() {
 
     println!("\n--- why the DSE did what it did (first three attempts) ---");
     for attempt in result.attempts.iter().take(3) {
-        println!("attempt {}: {}", attempt.index, attempt.decision);
-        for line in attempt.analyses.iter().take(2) {
+        println!("attempt {}: {}", attempt.index(), attempt.decision());
+        for line in attempt.analyses().iter().take(2) {
             println!("  {line}");
         }
     }

@@ -35,4 +35,28 @@ cargo run --release -q -p bench --bin trace_report -- "$trace_tmp/toy.jsonl" \
     exit 1
 }
 
+echo "==> checkpoint smoke: SIGKILL fig04_toy_trace mid-search, resume, diff"
+fig04=target/release/fig04_toy_trace
+ck="$trace_tmp/fig04.ckpt"
+# Uninterrupted reference run.
+"$fig04" --iters 25 --out "$trace_tmp/a.json" > /dev/null
+# Checkpointed run, killed as soon as the first snapshot lands (the two
+# searches snapshot to $ck.hypermapper and $ck.explainable).
+"$fig04" --iters 25 --checkpoint "$ck" --checkpoint-every 1 \
+    --out "$trace_tmp/b.json" > /dev/null &
+fig04_pid=$!
+while [ ! -f "$ck.hypermapper" ] && kill -0 "$fig04_pid" 2>/dev/null; do
+    sleep 0.01
+done
+kill -9 "$fig04_pid" 2>/dev/null || true
+wait "$fig04_pid" 2>/dev/null || true
+# Resume from the snapshots and finish; the result summary (no wall-clock
+# fields) must be bit-identical to the uninterrupted run's.
+"$fig04" --iters 25 --checkpoint "$ck" --checkpoint-every 1 --resume \
+    --out "$trace_tmp/b.json" > /dev/null
+diff "$trace_tmp/a.json" "$trace_tmp/b.json" || {
+    echo "resumed run diverged from the uninterrupted run" >&2
+    exit 1
+}
+
 echo "All checks passed."

@@ -28,10 +28,12 @@ pub use workloads as nets;
 /// Convenience prelude pulling in the types most applications need.
 pub mod prelude {
     pub use accel_model::{AcceleratorConfig, ExecutionProfile, Mapping};
-    pub use baselines::DseTechnique;
+    pub use baselines::{BaselineSession, DseTechnique};
     pub use edse_core::bottleneck::{dnn_latency_model, BottleneckModel, LayerCtx, TreeBuilder};
-    pub use edse_core::dse::{DseConfig, DseResult, ExplainableDse};
+    pub use edse_core::dse::{Attempt, DseConfig, DseResult, ExplainableDse};
     pub use edse_core::evaluate::{CodesignEvaluator, EvalEngine, Evaluator};
+    pub use edse_core::fault::{EvalFault, FaultPolicy};
+    pub use edse_core::session::SearchSession;
     pub use edse_core::space::{edge_space, DesignPoint, DesignSpace};
     pub use edse_core::{Constraint, Trace};
     pub use mapper::{FixedMapper, LinearMapper, MappingOptimizer, RandomMapper};

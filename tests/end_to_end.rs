@@ -7,16 +7,17 @@ use explainable_dse::prelude::*;
 
 fn explainable_run(model: DnnModel, budget: usize) -> (DseResult, Vec<Constraint>) {
     let evaluator = CodesignEvaluator::new(edge_space(), vec![model], FixedMapper);
-    let dse = ExplainableDse::new(
+    let session = SearchSession::new(
         dnn_latency_model(),
         DseConfig {
             budget,
             ..DseConfig::default()
         },
-    );
+    )
+    .evaluator(&evaluator);
     let initial = evaluator.space().minimum_point();
     let constraints = evaluator.constraints().to_vec();
-    (dse.run_dnn(&evaluator, initial), constraints)
+    (session.run(initial), constraints)
 }
 
 #[test]
@@ -87,16 +88,16 @@ fn every_attempt_records_decision_and_analysis() {
     assert!(!result.attempts.is_empty());
     for a in &result.attempts {
         assert!(
-            !a.decision.is_empty(),
+            !a.decision().is_empty(),
             "attempt {} lacks a decision",
-            a.index
+            a.index()
         );
     }
     // Most attempts analyze at least one sub-function.
     let analyzed = result
         .attempts
         .iter()
-        .filter(|a| !a.analyses.is_empty())
+        .filter(|a| !a.analyses().is_empty())
         .count();
     assert!(analyzed * 2 >= result.attempts.len());
 }
@@ -109,15 +110,16 @@ fn codesign_beats_fixed_dataflow() {
     let (fixed, _) = explainable_run(model.clone(), budget);
 
     let ev = CodesignEvaluator::new(edge_space(), vec![model], LinearMapper::new(100));
-    let dse = ExplainableDse::new(
+    let session = SearchSession::new(
         dnn_latency_model(),
         DseConfig {
             budget,
             ..DseConfig::default()
         },
-    );
+    )
+    .evaluator(&ev);
     let initial = ev.space().minimum_point();
-    let codesign = dse.run_dnn(&ev, initial);
+    let codesign = session.run(initial);
 
     let f = fixed
         .best
