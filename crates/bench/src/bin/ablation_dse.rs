@@ -9,10 +9,11 @@
 //! * **mapping coupling** — fixed dataflow vs tightly coupled codesign
 //!   (§6.2's 4.24x claim).
 //!
-//! Usage: `ablation_dse [--iters N] [--models a,b] [--seed N]`
+//! Usage: `ablation_dse [--iters N] [--models a,b] [--seed N] [--json PATH]`
 
-use bench::{print_table, BenchArgs};
+use bench::{print_table, BenchArgs, BenchReport};
 use edse_core::bottleneck::dnn_latency_model;
+use edse_core::cost::Trace;
 use edse_core::dse::{Aggregation, DseConfig};
 use edse_core::evaluate::{CodesignEvaluator, Evaluator};
 use edse_core::space::edge_space;
@@ -26,7 +27,7 @@ fn run<M: MappingOptimizer>(
     mapper: M,
     config: DseConfig,
     telemetry: &Collector,
-) -> (String, String, String) {
+) -> (String, String, String, Trace) {
     let ev = CodesignEvaluator::new(edge_space(), vec![model.clone()], mapper)
         .with_telemetry(telemetry.clone());
     let session = SearchSession::new(dnn_latency_model(), config)
@@ -44,7 +45,7 @@ fn run<M: MappingOptimizer>(
         .as_ref()
         .map(|(_, e)| format!("{:.2}", e.constraint_budget(ev.constraints())))
         .unwrap_or_else(|| "-".into());
-    (best, r.trace.evaluations().to_string(), budget)
+    (best, r.trace.evaluations().to_string(), budget, r.trace)
 }
 
 fn main() {
@@ -58,6 +59,7 @@ fn main() {
         ..DseConfig::default()
     };
 
+    let mut report = BenchReport::new("ablation_dse", &args);
     for model in &models {
         println!(
             "== ablations for {} (budget {}) ==",
@@ -106,7 +108,7 @@ fn main() {
         ];
         let mut rows = Vec::new();
         for (name, config, codesign) in variants {
-            let (best, evals, budget) = if codesign {
+            let (best, evals, budget, trace) = if codesign {
                 run(
                     model,
                     LinearMapper::new(args.map_trials),
@@ -117,6 +119,7 @@ fn main() {
                 run(model, FixedMapper, config, &telemetry)
             };
             telemetry.flush();
+            report.push_trace(&format!("{name}/{}", model.name()), &trace);
             rows.push(vec![name.to_string(), best, evals, budget]);
         }
         print_table(
@@ -130,4 +133,5 @@ fn main() {
          over-provisioned designs; removing budget-awareness chases marginal\n\
          objective reductions; codesign reduces latency a further ~4.24x."
     );
+    report.write_if_requested(&args);
 }

@@ -3,9 +3,12 @@
 //! (b) feasibility (% of evaluated solutions meeting constraints),
 //! (c) agility (exploration time).
 //!
-//! Usage: `fig03_effectiveness [--full] [--iters N] [--seed N]`
+//! Usage: `fig03_effectiveness [--full] [--iters N] [--seed N] [--json PATH]`
 
-use bench::{constraints_for, print_table, run_technique, BenchArgs, MapperKind, TechniqueKind};
+use bench::{
+    constraints_for, print_table, run_technique, BenchArgs, BenchReport, MapperKind, TechniqueKind,
+};
+use edse_telemetry::json::Json;
 use workloads::zoo;
 
 fn main() {
@@ -19,6 +22,7 @@ fn main() {
         args.iters
     );
 
+    let mut report = BenchReport::new("fig03_effectiveness", &args);
     let mut rows = Vec::new();
     for kind in TechniqueKind::ALL {
         let trace = run_technique(
@@ -29,6 +33,11 @@ fn main() {
             args.seed,
             &telemetry,
             &args.session_opts(),
+        );
+        report.push_trace(kind.label(), &trace);
+        report.metric(
+            &format!("area_power_feasibility/{}", kind.label()),
+            Json::Num(trace.feasibility_rate_first(2, &constraints)),
         );
         let best = trace
             .best_feasible()
@@ -62,4 +71,5 @@ fn main() {
          after 2500 trials, with <=18% feasibility; Explainable-DSE converges in\n\
          tens of evaluations within minutes."
     );
+    report.write_if_requested(&args);
 }

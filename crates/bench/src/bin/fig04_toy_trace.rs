@@ -5,7 +5,7 @@
 //! illustration.
 //!
 //! Usage: `fig04_toy_trace [--iters N] [--seed N] [--out PATH]
-//! [--checkpoint PATH [--checkpoint-every K] [--resume]]`
+//! [--json PATH] [--checkpoint PATH [--checkpoint-every K] [--resume]]`
 //!
 //! `--out` writes a machine-readable result summary (sample objectives,
 //! best feasible latency, attempt count — deliberately no wall-clock
@@ -13,48 +13,13 @@
 //! uninterrupted ones; `scripts/check.sh` does exactly that.
 
 use baselines::{BaselineSession, HyperMapperLike};
-use bench::BenchArgs;
+use bench::toy::{single_layer_model, toy_space};
+use bench::{BenchArgs, BenchReport};
 use edse_core::dse::DseConfig;
 use edse_core::evaluate::{CodesignEvaluator, Evaluator};
-use edse_core::space::{edge, DesignSpace, ParamDef};
+use edse_core::space::{edge, DesignSpace};
 use edse_core::{bottleneck::dnn_latency_model, DseResult, SearchSession, Trace};
 use edse_telemetry::json::Json;
-use workloads::constraints::ThroughputTarget;
-use workloads::model::{DnnModel, Layer};
-use workloads::LayerShape;
-
-/// The edge space with every parameter except #PEs and L2 frozen to a
-/// workable mid value (single-option domains).
-fn toy_space() -> DesignSpace {
-    let full = edse_core::space::edge_space();
-    let params = full
-        .params()
-        .iter()
-        .enumerate()
-        .map(|(i, p)| {
-            if i == edge::PES || i == edge::L2_KB {
-                p.clone()
-            } else {
-                let values = p.values();
-                let mid = values[values.len() - 1];
-                ParamDef::new(p.name().to_string(), vec![mid])
-            }
-        })
-        .collect();
-    DesignSpace::new(params)
-}
-
-fn single_layer_model() -> DnnModel {
-    DnnModel::new(
-        "ResNet-CONV5_2",
-        vec![Layer::new(
-            "conv5_2b",
-            LayerShape::conv(1, 512, 512, 7, 7, 3, 3, 1),
-            1,
-        )],
-        ThroughputTarget::fps(40.0),
-    )
-}
 
 fn print_trace(title: &str, space: &DesignSpace, trace: &Trace) {
     println!("\n--- {title} ---");
@@ -206,4 +171,21 @@ fn main() {
         }
         println!("\nresult summary written to {out}");
     }
+
+    let mut report = BenchReport::new("fig04_toy_trace", &args);
+    report.push_trace("hypermapper-toy", &hm);
+    report.push_trace("explainable-toy", &result.trace);
+    report.metric("attempts", Json::Num(result.attempts.len() as f64));
+    report.metric(
+        "converged_after",
+        Json::Arr(
+            result
+                .converged_after
+                .iter()
+                .map(|&n| Json::Num(n as f64))
+                .collect(),
+        ),
+    );
+    report.metric("termination", Json::Str(result.termination.clone()));
+    report.write_if_requested(&args);
 }

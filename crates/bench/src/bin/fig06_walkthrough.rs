@@ -4,14 +4,15 @@
 //! acquisitions, (e) constraints-aware update — rendered as the markdown
 //! report the framework produces for any run.
 //!
-//! Usage: `fig06_walkthrough [--iters N]`
+//! Usage: `fig06_walkthrough [--iters N] [--json PATH]`
 
-use bench::BenchArgs;
+use bench::{BenchArgs, BenchReport};
 use edse_core::bottleneck::dnn_latency_model;
 use edse_core::dse::DseConfig;
 use edse_core::evaluate::{CodesignEvaluator, Evaluator};
 use edse_core::space::edge_space;
 use edse_core::SearchSession;
+use edse_telemetry::json::Json;
 use mapper::FixedMapper;
 use workloads::zoo;
 
@@ -43,4 +44,10 @@ fn main() {
         "{}",
         result.report(evaluator.space(), evaluator.constraints())
     );
+
+    let mut report = BenchReport::new("fig06_walkthrough", &args);
+    report.push_trace("explainable-walkthrough", &result.trace);
+    report.metric("attempts", Json::Num(result.attempts.len() as f64));
+    report.metric("termination", Json::Str(result.termination.clone()));
+    report.write_if_requested(&args);
 }

@@ -2,13 +2,17 @@
 //! rendered with per-node contributions, plus the analyzer's conclusions
 //! (primary bottleneck, required scaling `s`, parameter predictions).
 //!
-//! Usage: `fig08_bottleneck_graph`
+//! Usage: `fig08_bottleneck_graph [--json PATH]`
 
 use accel_model::{AcceleratorConfig, Mapping};
+use bench::{BenchArgs, BenchReport};
 use edse_core::bottleneck::{dnn_latency_model, LayerCtx};
+use edse_telemetry::json::Json;
 use workloads::LayerShape;
 
 fn main() {
+    let args = BenchArgs::parse(0);
+    let _telemetry = args.telemetry();
     // A bandwidth-starved configuration so DMA dominates, as in the figure.
     let cfg = AcceleratorConfig {
         pes: 1024,
@@ -58,4 +62,23 @@ fn main() {
          contribute ~24-26% each, so balancing requires scaling DMA down ~3.9x\n\
          via off-chip bandwidth or scratchpad reuse (Fig. 8's walkthrough)."
     );
+
+    let mut report = BenchReport::new("fig08_bottleneck_graph", &args);
+    report.metric("bottleneck", Json::Str(analysis.bottleneck.to_string()));
+    report.metric("scaling", Json::Num(analysis.scaling));
+    report.metric(
+        "dominant_path",
+        Json::Arr(path.iter().map(|n| Json::Str(n.to_string())).collect()),
+    );
+    report.metric(
+        "predictions",
+        Json::Arr(
+            analysis
+                .predictions
+                .iter()
+                .map(|p| Json::Num(p.param as f64))
+                .collect(),
+        ),
+    );
+    report.write_if_requested(&args);
 }

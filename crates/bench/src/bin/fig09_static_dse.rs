@@ -5,10 +5,11 @@
 //! Explainable-DSE.
 //!
 //! Usage: `fig09_static_dse [--full] [--iters N] [--trials N] [--models a,b] [--seed N]
-//! [--trace-out t.jsonl] [--verbose]`
+//! [--trace-out t.jsonl] [--verbose] [--json PATH]`
 
 use bench::{
-    constraints_for, latency_cell, print_table, run_technique, BenchArgs, MapperKind, TechniqueKind,
+    constraints_for, latency_cell, print_table, run_technique, BenchArgs, BenchReport, MapperKind,
+    TechniqueKind,
 };
 use edse_telemetry::Level;
 use workloads::zoo;
@@ -53,6 +54,7 @@ fn main() {
     headers.extend(models.iter().map(|m| m.name().to_string()));
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
 
+    let mut report = BenchReport::new("fig09_static_dse", &args);
     let mut rows = Vec::new();
     for (kind, mapper, label) in &settings {
         let mut row = vec![label.clone()];
@@ -67,6 +69,7 @@ fn main() {
                 &telemetry,
                 &args.session_opts(),
             );
+            report.push_trace(&format!("{label}/{}", model.name()), &trace);
             row.push(latency_cell(&trace, &constraints));
             telemetry.log(
                 Level::Info,
@@ -88,4 +91,5 @@ fn main() {
          paper shape: Explainable-DSE codesigns reach ~6x lower latency on average\n\
          than the best non-explainable technique."
     );
+    report.write_if_requested(&args);
 }

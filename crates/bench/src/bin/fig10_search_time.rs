@@ -4,11 +4,14 @@
 //! where black-box techniques spend the full 2500, cutting search time by
 //! 53x / 103x on average.
 //!
-//! Usage: `fig10_search_time [--full] [--iters N] [--trials N] [--models a,b]`
+//! Usage: `fig10_search_time [--full] [--iters N] [--trials N] [--models a,b]
+//! [--json PATH]`
 
 use bench::{
-    print_table, run_explainable_detailed, run_technique, BenchArgs, MapperKind, TechniqueKind,
+    print_table, run_explainable_detailed, run_technique, BenchArgs, BenchReport, MapperKind,
+    TechniqueKind,
 };
+use edse_telemetry::json::Json;
 use workloads::zoo;
 
 fn main() {
@@ -39,6 +42,7 @@ fn main() {
         ),
     ];
 
+    let mut report = BenchReport::new("fig10_search_time", &args);
     for model in &models {
         println!("== {} ==", model.name());
         let mut rows = Vec::new();
@@ -71,6 +75,21 @@ fn main() {
             } else {
                 blackbox_seconds.push(trace.wall_seconds);
             }
+            // The JSON report pins designs-evaluated, not seconds: the
+            // paper's search-time claim is a proxy for evaluation counts,
+            // and wall-clock is excluded from reports by policy.
+            report.push_trace(
+                &format!("{}{}/{}", kind.label(), mapper.suffix(), model.name()),
+                &trace,
+            );
+            if kind == TechniqueKind::Explainable {
+                if let Some(first) = converged.first() {
+                    report.metric(
+                        &format!("converged_at{}/{}", mapper.suffix(), model.name()),
+                        Json::Num(*first as f64),
+                    );
+                }
+            }
             let evals = match converged.first() {
                 Some(first) => format!("{} (converged at {first})", trace.evaluations()),
                 None => trace.evaluations().to_string(),
@@ -102,4 +121,5 @@ fn main() {
         "paper shape: tens of designs for Explainable-DSE vs the full budget for\n\
          black-box techniques; 53x (fixed) and 103x (codesign) mean time reduction."
     );
+    report.write_if_requested(&args);
 }

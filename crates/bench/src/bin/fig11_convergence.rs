@@ -2,9 +2,9 @@
 //! (b) Transformer: the running best-feasible objective per technique,
 //! printed as aligned series.
 //!
-//! Usage: `fig11_convergence [--full] [--iters N] [--models a,b]`
+//! Usage: `fig11_convergence [--full] [--iters N] [--models a,b] [--json PATH]`
 
-use bench::{print_table, run_technique, BenchArgs, MapperKind, TechniqueKind};
+use bench::{print_table, run_technique, BenchArgs, BenchReport, MapperKind, TechniqueKind};
 use edse_core::Trace;
 use workloads::zoo;
 
@@ -33,6 +33,7 @@ fn main() {
         ),
     ];
 
+    let mut report = BenchReport::new("fig11_convergence", &args);
     for model in &models {
         println!("== Fig. 11: convergence for {} ==\n", model.name());
         let traces: Vec<(String, Trace)> = settings
@@ -50,6 +51,9 @@ fn main() {
                 (format!("{}{}", kind.label(), mapper.suffix()), t)
             })
             .collect();
+        for (label, t) in &traces {
+            report.push_trace(&format!("{label}/{}", model.name()), t);
+        }
 
         // Sample the running-best curves at ~12 points.
         let max_len = traces
@@ -95,4 +99,5 @@ fn main() {
          acquisition and converges within tens of iterations; black-box curves\n\
          plateau far higher."
     );
+    report.write_if_requested(&args);
 }

@@ -3,9 +3,12 @@
 //! constraints including the throughput floor, averaged over the selected
 //! models.
 //!
-//! Usage: `fig12_feasibility [--full] [--iters N] [--models a,b]`
+//! Usage: `fig12_feasibility [--full] [--iters N] [--models a,b] [--json PATH]`
 
-use bench::{constraints_for, print_table, run_technique, BenchArgs, MapperKind, TechniqueKind};
+use bench::{
+    constraints_for, print_table, run_technique, BenchArgs, BenchReport, MapperKind, TechniqueKind,
+};
+use edse_telemetry::json::Json;
 use workloads::zoo;
 
 fn main() {
@@ -37,8 +40,10 @@ fn main() {
         ),
     ];
 
+    let mut report = BenchReport::new("fig12_feasibility", &args);
     let mut rows = Vec::new();
     for (kind, mapper) in settings {
+        let label = format!("{}{}", kind.label(), mapper.suffix());
         let mut area_power = 0.0;
         let mut all = 0.0;
         for model in &models {
@@ -52,12 +57,18 @@ fn main() {
                 &telemetry,
                 &args.session_opts(),
             );
+            report.push_trace(&format!("{label}/{}", model.name()), &trace);
             area_power += trace.feasibility_rate_first(2, &constraints);
             all += trace.feasibility_rate();
         }
         let n = models.len() as f64;
+        report.metric(
+            &format!("mean_area_power_feasibility/{label}"),
+            Json::Num(area_power / n),
+        );
+        report.metric(&format!("mean_all_feasibility/{label}"), Json::Num(all / n));
         rows.push(vec![
-            format!("{}{}", kind.label(), mapper.suffix()),
+            label,
             format!("{:.1}%", 100.0 * area_power / n),
             format!("{:.1}%", 100.0 * all / n),
         ]);
@@ -75,4 +86,5 @@ fn main() {
          throughput floor counts; Explainable-DSE reaches 87% (area+power) and\n\
          ~15% (all constraints), and never leaves the feasible region once found."
     );
+    report.write_if_requested(&args);
 }

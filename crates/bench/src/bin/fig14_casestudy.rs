@@ -9,11 +9,12 @@
 //! Our DSE numbers come from this reproduction's models, so *ratios*, not
 //! absolute values, are the comparison target.
 //!
-//! Usage: `fig14_casestudy [--full] [--iters N]`
+//! Usage: `fig14_casestudy [--full] [--iters N] [--json PATH]`
 
-use bench::{print_table, run_technique, BenchArgs, MapperKind, TechniqueKind};
+use bench::{print_table, run_technique, BenchArgs, BenchReport, MapperKind, TechniqueKind};
 use edse_core::evaluate::{CodesignEvaluator, Evaluator};
 use edse_core::space::edge_space;
+use edse_telemetry::json::Json;
 use mapper::LinearMapper;
 use workloads::zoo;
 
@@ -62,6 +63,7 @@ fn main() {
     let telemetry = args.telemetry();
     println!("Fig. 14: DSE codesigns vs published edge accelerators\n");
 
+    let mut report = BenchReport::new("fig14_casestudy", &args);
     let mut rows = Vec::new();
     for r in references() {
         let Some(model) = zoo::by_name(r.model) else {
@@ -76,6 +78,7 @@ fn main() {
             &telemetry,
             &args.session_opts(),
         );
+        report.push_trace(&format!("explainable-codesign/{}", r.model), &trace);
         let Some(best) = trace.best_feasible() else {
             rows.push(vec![
                 r.model.into(),
@@ -105,6 +108,19 @@ fn main() {
 
         let ref_fps_per_mm2 = r.fps / r.area_mm2;
         let ref_fps_per_w = r.fps / r.power_w;
+        report.metric(
+            &format!("case/{}", r.model),
+            Json::obj(vec![
+                ("fps", Json::Num(fps)),
+                ("fps_per_mm2", Json::Num(fps_per_mm2)),
+                ("fps_per_j", Json::Num(fps_per_j)),
+                ("speedup_vs_reference", Json::Num(fps / r.fps)),
+                (
+                    "area_efficiency_gain",
+                    Json::Num(fps_per_mm2 / ref_fps_per_mm2),
+                ),
+            ]),
+        );
         rows.push(vec![
             r.model.to_string(),
             format!(
@@ -137,4 +153,5 @@ fn main() {
          ~49x its area efficiency on average (an order of magnitude less silicon),\n\
          with energy efficiency comparable to the EfficientNet-EdgeTPU codesign."
     );
+    report.write_if_requested(&args);
 }

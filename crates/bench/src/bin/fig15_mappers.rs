@@ -4,10 +4,11 @@
 //! reference (smallest Table-1) hardware configuration, as in the paper's
 //! §F study (footnote 6).
 //!
-//! Usage: `fig15_mappers [--full] [--trials N] [--seed N]`
+//! Usage: `fig15_mappers [--full] [--trials N] [--seed N] [--json PATH]`
 
 use accel_model::AcceleratorConfig;
-use bench::{print_table, BenchArgs};
+use bench::{print_table, BenchArgs, BenchReport};
+use edse_telemetry::json::Json;
 use mapper::{
     AnnealingMapper, GeneticMapper, InstrumentedMapper, LinearMapper, MappingOptimizer,
     RandomMapper,
@@ -62,6 +63,7 @@ fn main() {
     headers.extend(mappers.iter().map(|m| m.name()));
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
 
+    let mut report = BenchReport::new("fig15_mappers", &args);
     let mut totals = vec![0.0f64; mappers.len()];
     let mut failures = vec![0usize; mappers.len()];
     let mut rows = Vec::new();
@@ -82,6 +84,15 @@ fn main() {
         }
         rows.push(row);
     }
+    for (i, m) in mappers.iter().enumerate() {
+        report.metric(
+            &format!("mapper/{}", m.name()),
+            Json::obj(vec![
+                ("total_weighted_ms", Json::Num(totals[i])),
+                ("failed_layers", Json::Num(failures[i] as f64)),
+            ]),
+        );
+    }
     let mut total_row = vec!["TOTAL (weighted ms)".to_string()];
     for (t, f) in totals.iter().zip(&failures) {
         total_row.push(if *f > 0 {
@@ -99,4 +110,5 @@ fn main() {
          higher overall — motivating Timeloop-like random search inside the\n\
          black-box codesign baselines and the pruned linear mapper for ours."
     );
+    report.write_if_requested(&args);
 }

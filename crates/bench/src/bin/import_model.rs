@@ -2,15 +2,16 @@
 //! run a quick explainable exploration for it — the end-to-end path a
 //! downstream user takes for a network that is not in the built-in zoo.
 //!
-//! Usage: `import_model <path/to/model.json> [--iters N]`
+//! Usage: `import_model <path/to/model.json> [--iters N] [--json PATH]`
 //! (default path: `assets/custom_model.json`)
 
-use bench::BenchArgs;
+use bench::{BenchArgs, BenchReport};
 use edse_core::bottleneck::dnn_latency_model;
 use edse_core::dse::DseConfig;
 use edse_core::evaluate::{CodesignEvaluator, Evaluator};
 use edse_core::space::edge_space;
 use edse_core::SearchSession;
+use edse_telemetry::json::Json;
 use edse_telemetry::Level;
 use mapper::LinearMapper;
 
@@ -40,6 +41,23 @@ fn main() {
         }
     };
 
+    let mut report = BenchReport::new("import_model", &args);
+    report.metric(
+        "model",
+        Json::obj(vec![
+            ("name", Json::Str(model.name().to_string())),
+            ("layers", Json::Num(model.layer_count() as f64)),
+            (
+                "unique_shapes",
+                Json::Num(model.unique_shape_count() as f64),
+            ),
+            ("total_macs", Json::Num(model.total_macs() as f64)),
+            (
+                "target_inferences_per_second",
+                Json::Num(model.target().inferences_per_second()),
+            ),
+        ]),
+    );
     println!(
         "imported {}: {} layers ({} unique shapes), {:.2} GMACs, floor {:.1} inf/s",
         model.name(),
@@ -76,6 +94,8 @@ fn main() {
     let initial = evaluator.space().minimum_point();
     let result = session.run(initial);
     telemetry.flush();
+    report.push_trace("explainable-import", &result.trace);
+    report.metric("termination", Json::Str(result.termination.to_string()));
     println!(
         "\nexplored {} designs ({})",
         result.trace.evaluations(),
@@ -84,6 +104,18 @@ fn main() {
     match &result.best {
         Some((point, eval)) => {
             let cfg = evaluator.decode(point);
+            report.metric(
+                "best_design",
+                Json::obj(vec![
+                    ("pes", Json::Num(cfg.pes as f64)),
+                    ("l1_bytes", Json::Num(cfg.l1_bytes as f64)),
+                    ("l2_bytes", Json::Num(cfg.l2_bytes as f64)),
+                    ("offchip_bw_mbps", Json::Num(cfg.offchip_bw_mbps as f64)),
+                    ("objective_ms", Json::Num(eval.objective)),
+                    ("area_mm2", Json::Num(eval.area_mm2)),
+                    ("power_w", Json::Num(eval.power_w)),
+                ]),
+            );
             println!(
                 "best codesign: {} PEs, {} B RF, {} kB SPM, {} MB/s -> {:.3} ms, {:.1} mm^2, {:.2} W",
                 cfg.pes,
@@ -97,4 +129,5 @@ fn main() {
         }
         None => println!("no feasible design within the budget"),
     }
+    report.write_if_requested(&args);
 }

@@ -4,10 +4,11 @@
 //! floor or mapping compatibility, `-*` marks runs where not even
 //! area/power were met.
 //!
-//! Usage: `tab02_dynamic_dse [--iters N] [--models a,b] [--seed N]`
+//! Usage: `tab02_dynamic_dse [--iters N] [--models a,b] [--seed N] [--json PATH]`
 
 use bench::{
-    constraints_for, latency_cell, print_table, run_technique, BenchArgs, MapperKind, TechniqueKind,
+    constraints_for, latency_cell, print_table, run_technique, BenchArgs, BenchReport, MapperKind,
+    TechniqueKind,
 };
 use workloads::zoo;
 
@@ -54,6 +55,7 @@ fn main() {
     headers.extend(models.iter().map(|m| m.name().to_string()));
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
 
+    let mut report = BenchReport::new("tab02_dynamic_dse", &args);
     let mut rows = Vec::new();
     let mut explainable_evals = Vec::new();
     for (kind, mapper, label) in &settings {
@@ -69,6 +71,7 @@ fn main() {
                 &telemetry,
                 &args.session_opts(),
             );
+            report.push_trace(&format!("{label}/{}", model.name()), &trace);
             if *kind == TechniqueKind::Explainable {
                 explainable_evals.push(trace.evaluations());
             }
@@ -87,4 +90,5 @@ fn main() {
          fail to land feasible designs (shaded/dash cells); Explainable-DSE lands\n\
          solutions one to two orders of magnitude faster."
     );
+    report.write_if_requested(&args);
 }

@@ -3,9 +3,10 @@
 //! trajectory, reported as the percentage reduction per acquisition
 //! (`N/A` when a technique never found two feasible samples).
 //!
-//! Usage: `tab03_objective_reduction [--full] [--iters N] [--models a,b]`
+//! Usage: `tab03_objective_reduction [--full] [--iters N] [--models a,b] [--json PATH]`
 
-use bench::{print_table, run_technique, BenchArgs, MapperKind, TechniqueKind};
+use bench::{print_table, run_technique, BenchArgs, BenchReport, MapperKind, TechniqueKind};
+use edse_telemetry::json::Json;
 use workloads::zoo;
 
 fn cell(g: Option<f64>) -> String {
@@ -49,6 +50,7 @@ fn main() {
     headers.extend(models.iter().map(|m| m.name().to_string()));
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
 
+    let mut report = BenchReport::new("tab03_objective_reduction", &args);
     let mut rows = Vec::new();
     for (kind, mapper, label) in &settings {
         let mut row = vec![label.clone()];
@@ -62,6 +64,14 @@ fn main() {
                 &telemetry,
                 &args.session_opts(),
             );
+            report.push_trace(&format!("{label}/{}", model.name()), &trace);
+            report.metric(
+                &format!("geomean_reduction/{label}/{}", model.name()),
+                trace
+                    .geomean_reduction()
+                    .map(Json::Num)
+                    .unwrap_or(Json::Null),
+            );
             row.push(cell(trace.geomean_reduction()));
         }
         rows.push(row);
@@ -71,4 +81,5 @@ fn main() {
         "\npaper shape: Explainable-DSE reduces the objective ~30% per acquisition\n\
          on average; non-explainable techniques hover near ~1% (or negative)."
     );
+    report.write_if_requested(&args);
 }

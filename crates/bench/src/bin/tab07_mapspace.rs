@@ -4,10 +4,11 @@
 //! configuration), orderings per memory level (D), unique/max-reuse
 //! orderings (E), and the composed spaces F = A*D^2, G = B*D^2, H = B*E^2.
 //!
-//! Usage: `tab07_mapspace [--seed N] [--trials N (MC samples)]`
+//! Usage: `tab07_mapspace [--seed N] [--trials N (MC samples)] [--json PATH]`
 
 use accel_model::AcceleratorConfig;
-use bench::{print_table, BenchArgs};
+use bench::{print_table, BenchArgs, BenchReport};
+use edse_telemetry::json::Json;
 use mapper::layer_space_size;
 use workloads::{zoo, LayerShape};
 
@@ -52,9 +53,45 @@ fn main() {
          against the smallest Table-1 configuration)\n"
     );
 
+    let mut report = BenchReport::new("tab07_mapspace", &args);
     let mut rows = Vec::new();
     for (name, shape) in table7_layers() {
         let s = layer_space_size(&shape, &reference, samples, args.seed);
+        report.metric(
+            &format!("mapspace/{name}"),
+            Json::obj(vec![
+                ("log10_free_tilings", Json::Num(s.log10_free_tilings)),
+                (
+                    "log10_valid_factorizations",
+                    Json::Num(s.log10_valid_factorizations),
+                ),
+                (
+                    "log10_hw_valid",
+                    s.log10_hw_valid.map(Json::Num).unwrap_or(Json::Null),
+                ),
+                (
+                    "log10_orderings_per_level",
+                    Json::Num(s.log10_orderings_per_level),
+                ),
+                (
+                    "unique_reuse_orderings",
+                    Json::Num(s.unique_reuse_orderings as f64),
+                ),
+                (
+                    "max_reuse_orderings",
+                    Json::Num(s.max_reuse_orderings as f64),
+                ),
+                ("log10_full_space", Json::Num(s.log10_full_space)),
+                (
+                    "log10_factorized_space",
+                    Json::Num(s.log10_factorized_space),
+                ),
+                (
+                    "log10_reuse_aware_space",
+                    Json::Num(s.log10_reuse_aware_space),
+                ),
+            ]),
+        );
         rows.push(vec![
             name,
             pow(s.log10_free_tilings),
@@ -91,4 +128,5 @@ fn main() {
          (O(10^22-28) -> O(10^9-14)); hardware validity prunes further to\n\
          O(10^4-7); reuse-aware orderings collapse D^2 ~ O(10^8) to E^2 <= 225."
     );
+    report.write_if_requested(&args);
 }

@@ -7,8 +7,10 @@
 //! Exits non-zero when any line fails to parse, so CI can assert a trace
 //! is well-formed by piping it through this binary.
 //!
-//! Usage: `trace_report <trace.jsonl>`
+//! Usage: `trace_report <trace.jsonl> [--json PATH]`
 
+use bench::{BenchArgs, BenchReport};
+use edse_telemetry::json::Json;
 use edse_telemetry::{json, Event, Level};
 use std::collections::BTreeMap;
 
@@ -51,10 +53,17 @@ fn hit_rate(totals: &BTreeMap<String, u64>, cache: &str) -> Option<(f64, u64)> {
 }
 
 fn main() {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: trace_report <trace.jsonl>");
-        std::process::exit(2);
+    let path = match std::env::args().nth(1).filter(|a| !a.starts_with("--")) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: trace_report <trace.jsonl> [--json PATH]");
+            std::process::exit(2);
+        }
     };
+    let mut args = BenchArgs::parse(0);
+    // The first positional argument is the trace path, not an unknown flag.
+    args.warnings
+        .retain(|w| !w.ends_with(&format!("argument {path}")));
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
@@ -85,6 +94,10 @@ fn main() {
     let span_s = events.iter().map(Event::t_us).max().unwrap_or(0) as f64 / 1e6;
     println!("# Trace report: {path}\n");
     println!("{} events over {span_s:.2} s\n", events.len());
+    // Counts only — the trace's own wall-clock stays out of the JSON so
+    // reports remain comparable across machines (see bench::report).
+    let mut report = BenchReport::new("trace_report", &args);
+    report.metric("events", Json::Num(events.len() as f64));
 
     // -- Span timeline ----------------------------------------------------
     let spans: Vec<(&String, u64, u64)> = events
@@ -119,6 +132,10 @@ fn main() {
         })
         .collect();
     if !iterations.is_empty() {
+        report.metric("iterations", Json::Num(iterations.len() as f64));
+        if let Some(best) = iterations.iter().rev().find_map(|r| r.best_objective) {
+            report.metric("final_best_objective", Json::Num(best));
+        }
         println!("## Search narrative ({} iterations)\n", iterations.len());
         for rec in &iterations {
             let mut line = format!(
@@ -167,6 +184,13 @@ fn main() {
         println!("## Evaluator caches\n");
         for cache in ["point_cache/", "layer_cache/"] {
             if let Some((rate, total)) = hit_rate(&totals, cache) {
+                report.metric(
+                    &format!("{}hit_rate", cache),
+                    Json::obj(vec![
+                        ("rate", Json::Num(rate)),
+                        ("accesses", Json::Num(total as f64)),
+                    ]),
+                );
                 println!(
                     "- {} hit rate: {:.1}% over {total} accesses",
                     cache.trim_end_matches('/'),
@@ -242,10 +266,12 @@ fn main() {
         .collect();
     if !logs.is_empty() {
         println!("## Logs ({})\n", logs.len());
-        for (level, message) in logs {
+        for (level, message) in &logs {
             println!("- [{level}] {message}");
         }
     }
+    report.metric("log_lines", Json::Num(logs.len() as f64));
+    report.write_if_requested(&args);
 }
 
 #[cfg(test)]

@@ -9,10 +9,11 @@
 //! values near 1.0 mean the ideal-overlap assumption is sound for that
 //! mapping.
 //!
-//! Usage: `validate_model [--models a,b]`
+//! Usage: `validate_model [--models a,b] [--json PATH]`
 
 use accel_model::{simulate, AcceleratorConfig};
-use bench::{print_table, BenchArgs};
+use bench::{print_table, BenchArgs, BenchReport};
+use edse_telemetry::json::Json;
 use mapper::{FixedMapper, LinearMapper, MappingOptimizer};
 use workloads::zoo;
 
@@ -34,6 +35,7 @@ fn main() {
         cfg.l2_bytes / 1024
     );
 
+    let mut report = BenchReport::new("validate_model", &args);
     let mut rows = Vec::new();
     let mut ineffs: Vec<f64> = Vec::new();
     for model in &models {
@@ -48,6 +50,14 @@ fn main() {
                     Ok(sim) => {
                         let ineff = sim.overlap_inefficiency();
                         ineffs.push(ineff);
+                        report.metric(
+                            &format!("case/{} {}/{style}", model.name(), u.name),
+                            Json::obj(vec![
+                                ("analytical_cycles", Json::Num(analytical)),
+                                ("simulated_cycles", Json::Num(sim.cycles)),
+                                ("overlap_inefficiency", Json::Num(ineff)),
+                            ]),
+                        );
                         rows.push(vec![
                             format!("{} {}", model.name(), u.name),
                             style.into(),
@@ -76,6 +86,9 @@ fn main() {
     if !ineffs.is_empty() {
         let mean = ineffs.iter().sum::<f64>() / ineffs.len() as f64;
         let max = ineffs.iter().cloned().fold(0.0, f64::max);
+        report.metric("simulable_cases", Json::Num(ineffs.len() as f64));
+        report.metric("mean_overlap_inefficiency", Json::Num(mean));
+        report.metric("max_overlap_inefficiency", Json::Num(max));
         println!(
             "\noverlap inefficiency over {} simulable cases: mean {:.2}, max {:.2}",
             ineffs.len(),
@@ -87,4 +100,5 @@ fn main() {
              assumption the paper's evaluation (and dMazeRunner) relies on."
         );
     }
+    report.write_if_requested(&args);
 }

@@ -43,8 +43,12 @@ pub struct BenchArgs {
     /// Machine-readable result destination (`--out <path>`), used by the
     /// binaries that support it (e.g. `fig04_toy_trace`).
     pub out: Option<String>,
-    /// Diagnostics accumulated while parsing (unknown flags); surfaced
-    /// as `Warn` logs once [`BenchArgs::telemetry`] builds the collector.
+    /// Structured [`crate::report::BenchReport`] destination
+    /// (`--json <path>`); every figure/table binary supports it.
+    pub json: Option<String>,
+    /// Diagnostics accumulated while parsing (unknown flags, missing
+    /// values, conflicting paths); surfaced as `Warn` logs once
+    /// [`BenchArgs::telemetry`] builds the collector.
     pub warnings: Vec<String>,
 }
 
@@ -81,12 +85,18 @@ impl SessionOpts {
 impl BenchArgs {
     /// Parses `--iters N --trials N --seed N --models a,b --quick --full
     /// --trace-out PATH --verbose --checkpoint PATH --resume
-    /// --checkpoint-every K --out PATH` from an argument slice (without
-    /// the program name).
+    /// --checkpoint-every K --out PATH --json PATH` from an argument slice
+    /// (without the program name).
     ///
     /// `default_iters` applies to the full setting; `--quick` divides the
     /// budgets so every experiment finishes in minutes on a laptop. Quick
     /// is the default; pass `--full` for paper-scale budgets.
+    ///
+    /// Parsing never fails: unknown flags, value-taking flags missing
+    /// their value, `--resume` without `--checkpoint`, and `--json`
+    /// colliding with `--out`/`--trace-out` all land in
+    /// [`BenchArgs::warnings`] (logged at `Warn` by
+    /// [`BenchArgs::telemetry`]) while the run proceeds on defaults.
     pub fn parse_from<S: AsRef<str>>(argv: &[S], default_iters: usize) -> Self {
         let mut args = Self {
             iters: default_iters,
@@ -100,46 +110,67 @@ impl BenchArgs {
             resume: false,
             checkpoint_every: 10,
             out: None,
+            json: None,
             warnings: Vec::new(),
         };
+        // Reads the value of the flag at `argv[i]`; warns when the
+        // argument list ends before the value.
+        fn take<S: AsRef<str>>(argv: &[S], i: usize, warnings: &mut Vec<String>) -> Option<String> {
+            let v = argv.get(i + 1).map(|v| v.as_ref().to_string());
+            if v.is_none() {
+                warnings.push(format!(
+                    "flag {} needs a value, using the default",
+                    argv[i].as_ref()
+                ));
+            }
+            v
+        }
         let mut explicit_iters = None;
         let mut explicit_trials = None;
         let mut i = 0;
         while i < argv.len() {
-            let value = |i: usize| argv.get(i + 1).map(|v| v.as_ref().to_string());
             match argv[i].as_ref() {
                 "--iters" => {
-                    explicit_iters = value(i).and_then(|v| v.parse().ok());
+                    explicit_iters = take(argv, i, &mut args.warnings).and_then(|v| v.parse().ok());
                     i += 1;
                 }
                 "--trials" => {
-                    explicit_trials = value(i).and_then(|v| v.parse().ok());
+                    explicit_trials =
+                        take(argv, i, &mut args.warnings).and_then(|v| v.parse().ok());
                     i += 1;
                 }
                 "--seed" => {
-                    args.seed = value(i).and_then(|v| v.parse().ok()).unwrap_or(1);
+                    args.seed = take(argv, i, &mut args.warnings)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(1);
                     i += 1;
                 }
                 "--models" => {
-                    args.models = value(i)
+                    args.models = take(argv, i, &mut args.warnings)
                         .map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
                         .unwrap_or_default();
                     i += 1;
                 }
                 "--trace-out" => {
-                    args.trace_out = value(i);
+                    args.trace_out = take(argv, i, &mut args.warnings);
                     i += 1;
                 }
                 "--checkpoint" => {
-                    args.checkpoint = value(i);
+                    args.checkpoint = take(argv, i, &mut args.warnings);
                     i += 1;
                 }
                 "--checkpoint-every" => {
-                    args.checkpoint_every = value(i).and_then(|v| v.parse().ok()).unwrap_or(10);
+                    args.checkpoint_every = take(argv, i, &mut args.warnings)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(10);
                     i += 1;
                 }
                 "--out" => {
-                    args.out = value(i);
+                    args.out = take(argv, i, &mut args.warnings);
+                    i += 1;
+                }
+                "--json" => {
+                    args.json = take(argv, i, &mut args.warnings);
                     i += 1;
                 }
                 "--resume" => args.resume = true,
@@ -161,6 +192,17 @@ impl BenchArgs {
         }
         if let Some(v) = explicit_trials {
             args.map_trials = v;
+        }
+        if args.resume && args.checkpoint.is_none() {
+            args.warnings
+                .push("--resume has no effect without --checkpoint".into());
+        }
+        for (flag, other) in [("--out", &args.out), ("--trace-out", &args.trace_out)] {
+            if args.json.is_some() && args.json == *other {
+                args.warnings.push(format!(
+                    "--json and {flag} point at the same file; the later writer clobbers it"
+                ));
+            }
         }
         args
     }
@@ -310,10 +352,94 @@ mod tests {
     }
 
     #[test]
-    fn missing_value_falls_back_to_defaults() {
+    fn missing_value_falls_back_to_defaults_with_a_warning() {
         let a = BenchArgs::parse_from(&["--seed"], 100);
         assert_eq!(a.seed, 1);
+        assert_eq!(a.warnings.len(), 1);
+        assert!(
+            a.warnings[0].contains("--seed needs a value"),
+            "{:?}",
+            a.warnings
+        );
+
         let a = BenchArgs::parse_from(&["--checkpoint-every"], 100);
         assert_eq!(a.checkpoint_every, 10);
+        assert!(a.warnings[0].contains("--checkpoint-every needs a value"));
+
+        for flag in [
+            "--iters",
+            "--trials",
+            "--models",
+            "--trace-out",
+            "--checkpoint",
+            "--out",
+            "--json",
+        ] {
+            let a = BenchArgs::parse_from(&[flag], 100);
+            assert!(
+                a.warnings.iter().any(|w| w.contains("needs a value")),
+                "{flag} with no value must warn, got {:?}",
+                a.warnings
+            );
+        }
+    }
+
+    #[test]
+    fn json_flag_parses_like_the_other_output_flags() {
+        let a = BenchArgs::parse_from(&["--json", "report.json"], 100);
+        assert_eq!(a.json.as_deref(), Some("report.json"));
+        assert!(a.warnings.is_empty());
+        assert!(BenchArgs::parse_from(&[] as &[&str], 100).json.is_none());
+    }
+
+    #[test]
+    fn resume_without_checkpoint_warns() {
+        let a = BenchArgs::parse_from(&["--resume"], 100);
+        assert!(a.resume && a.checkpoint.is_none());
+        assert_eq!(a.warnings.len(), 1);
+        assert!(
+            a.warnings[0].contains("--resume has no effect without --checkpoint"),
+            "{:?}",
+            a.warnings
+        );
+        // With a checkpoint the combination is legitimate.
+        let a = BenchArgs::parse_from(&["--resume", "--checkpoint", "x.ckpt"], 100);
+        assert!(a.warnings.is_empty(), "{:?}", a.warnings);
+    }
+
+    #[test]
+    fn json_colliding_with_out_or_trace_out_warns() {
+        let a = BenchArgs::parse_from(&["--json", "same.json", "--out", "same.json"], 100);
+        assert_eq!(a.warnings.len(), 1);
+        assert!(
+            a.warnings[0].contains("--json and --out"),
+            "{:?}",
+            a.warnings
+        );
+
+        let a = BenchArgs::parse_from(&["--json", "t.jsonl", "--trace-out", "t.jsonl"], 100);
+        assert_eq!(a.warnings.len(), 1);
+        assert!(
+            a.warnings[0].contains("--json and --trace-out"),
+            "{:?}",
+            a.warnings
+        );
+
+        // Distinct paths coexist silently.
+        let a = BenchArgs::parse_from(
+            &[
+                "--json",
+                "r.json",
+                "--out",
+                "o.json",
+                "--trace-out",
+                "t.jsonl",
+            ],
+            100,
+        );
+        assert!(a.warnings.is_empty(), "{:?}", a.warnings);
+        assert_eq!(a.json.as_deref(), Some("r.json"));
+        assert_eq!(a.out.as_deref(), Some("o.json"));
+        assert_eq!(a.trace_out.as_deref(), Some("t.jsonl"));
     }
 }

@@ -22,7 +22,10 @@ use mapper::{FixedMapper, LinearMapper, MappingOptimizer, RandomMapper};
 use workloads::DnnModel;
 
 pub mod cli;
+pub mod report;
+pub mod toy;
 pub use cli::{BenchArgs, SessionOpts};
+pub use report::{BenchReport, TraceSummary};
 
 /// The pre-extraction name of [`cli::BenchArgs`].
 #[deprecated(since = "0.4.0", note = "use bench::BenchArgs (bench::cli)")]

@@ -1,0 +1,244 @@
+//! Machine-readable experiment reports (`--json <path>`).
+//!
+//! Every figure/table binary renders human-readable tables on stdout; this
+//! module is the parallel machine-checkable channel: a [`BenchReport`]
+//! collects the run's deterministic outcomes — per-technique traces (best
+//! feasible objective, iterations-to-incumbent, feasibility rate, every
+//! sample's objective) plus experiment-specific scalar metrics — and
+//! serializes them as one JSON document. Wall-clock times are deliberately
+//! excluded so reports from different hosts (or interrupted-and-resumed
+//! runs) are byte-comparable; the conformance crate pins these reports as
+//! golden fixtures.
+
+use crate::cli::BenchArgs;
+use edse_core::cost::Trace;
+use edse_telemetry::json::Json;
+
+/// Schema tag stamped into every report, bumped on breaking shape changes.
+pub const REPORT_SCHEMA: &str = "edse-bench-report/v1";
+
+/// Accumulates one experiment run's deterministic results.
+///
+/// Build with [`BenchReport::new`], feed it traces and metrics as the
+/// experiment produces them, then call [`BenchReport::write_if_requested`]
+/// once at the end of `main`.
+pub struct BenchReport {
+    experiment: String,
+    config: Json,
+    traces: Vec<Json>,
+    metrics: Vec<(String, Json)>,
+}
+
+/// The derived per-trace summary the report records (also reused by the
+/// conformance crate's paper-bound assertions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Best feasible objective, if any sample was feasible.
+    pub best_objective: Option<f64>,
+    /// 1-based index of the evaluation that produced the final incumbent
+    /// (the paper's "iterations to reach the best solution").
+    pub iterations_to_incumbent: Option<usize>,
+    /// Fraction of evaluated samples meeting all constraints.
+    pub feasibility_rate: f64,
+    /// Number of feasible samples.
+    pub feasible_evaluations: usize,
+}
+
+/// Summarizes a trace the way the report does.
+pub fn summarize(trace: &Trace) -> TraceSummary {
+    let best = trace.best_feasible().map(|s| s.objective);
+    let iterations_to_incumbent = best.map(|b| {
+        trace
+            .samples
+            .iter()
+            .position(|s| s.feasible && s.objective == b)
+            .expect("best sample is in the trace")
+            + 1
+    });
+    TraceSummary {
+        best_objective: best,
+        iterations_to_incumbent,
+        feasibility_rate: trace.feasibility_rate(),
+        feasible_evaluations: trace.samples.iter().filter(|s| s.feasible).count(),
+    }
+}
+
+impl BenchReport {
+    /// Starts a report for one experiment, recording the run's
+    /// deterministic configuration (budgets, seed, models, preset — never
+    /// wall-clock or host facts).
+    pub fn new(experiment: &str, args: &BenchArgs) -> Self {
+        BenchReport {
+            experiment: experiment.to_string(),
+            config: Json::obj(vec![
+                ("iters", Json::Num(args.iters as f64)),
+                ("map_trials", Json::Num(args.map_trials as f64)),
+                ("seed", Json::Num(args.seed as f64)),
+                ("quick", Json::Bool(args.quick)),
+                (
+                    "models",
+                    Json::Arr(args.models.iter().map(|m| Json::Str(m.clone())).collect()),
+                ),
+            ]),
+            traces: Vec::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Records one technique run: the derived summary plus the full
+    /// per-sample objective/feasibility series (non-finite objectives
+    /// serialize as `null`). `label` distinguishes repeated techniques
+    /// (e.g. per-model or per-setting runs).
+    pub fn push_trace(&mut self, label: &str, trace: &Trace) {
+        let s = summarize(trace);
+        self.traces.push(Json::obj(vec![
+            ("label", Json::Str(label.to_string())),
+            ("technique", Json::Str(trace.technique.clone())),
+            ("evaluations", Json::Num(trace.evaluations() as f64)),
+            (
+                "best_objective",
+                s.best_objective.map(Json::Num).unwrap_or(Json::Null),
+            ),
+            (
+                "iterations_to_incumbent",
+                s.iterations_to_incumbent
+                    .map(|n| Json::Num(n as f64))
+                    .unwrap_or(Json::Null),
+            ),
+            ("feasibility_rate", Json::Num(s.feasibility_rate)),
+            (
+                "feasible_evaluations",
+                Json::Num(s.feasible_evaluations as f64),
+            ),
+            (
+                "objectives",
+                Json::Arr(
+                    trace
+                        .samples
+                        .iter()
+                        .map(|smp| Json::Num(smp.objective))
+                        .collect(),
+                ),
+            ),
+            (
+                "feasible",
+                Json::Arr(
+                    trace
+                        .samples
+                        .iter()
+                        .map(|smp| Json::Bool(smp.feasible))
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+
+    /// Records one experiment-specific metric (kept in insertion order).
+    /// Deterministic values only: counts, model outputs, analysis results —
+    /// never timings.
+    pub fn metric(&mut self, name: &str, value: Json) {
+        self.metrics.push((name.to_string(), value));
+    }
+
+    /// The assembled report document.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::Str(REPORT_SCHEMA.to_string())),
+            ("experiment", Json::Str(self.experiment.clone())),
+            ("config", self.config.clone()),
+            ("traces", Json::Arr(self.traces.clone())),
+            ("metrics", Json::Obj(self.metrics.clone())),
+        ])
+    }
+
+    /// Writes the report to `path` as a single JSON line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O failure.
+    pub fn write_to(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().to_line() + "\n")
+    }
+
+    /// Writes the report when the run asked for one (`--json <path>`);
+    /// no-op otherwise. Exits with an error message when the file cannot
+    /// be written, matching how the other output flags fail.
+    pub fn write_if_requested(&self, args: &BenchArgs) {
+        let Some(path) = &args.json else {
+            return;
+        };
+        if let Err(e) = self.write_to(path) {
+            eprintln!("cannot write report file {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nJSON report written to {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edse_core::cost::Sample;
+    use edse_core::space::DesignPoint;
+
+    fn trace() -> Trace {
+        let mut t = Trace::new("demo");
+        for (obj, feasible) in [(9.0, false), (5.0, true), (3.0, true), (4.0, true)] {
+            t.samples.push(Sample {
+                point: DesignPoint::new(vec![0]),
+                objective: obj,
+                constraint_values: vec![],
+                feasible,
+            });
+        }
+        t.wall_seconds = 123.0;
+        t
+    }
+
+    #[test]
+    fn summary_derives_incumbent_iteration() {
+        let s = summarize(&trace());
+        assert_eq!(s.best_objective, Some(3.0));
+        assert_eq!(s.iterations_to_incumbent, Some(3));
+        assert_eq!(s.feasible_evaluations, 3);
+        assert!((s.feasibility_rate - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_summarizes_to_nulls() {
+        let s = summarize(&Trace::new("x"));
+        assert_eq!(s.best_objective, None);
+        assert_eq!(s.iterations_to_incumbent, None);
+        assert_eq!(s.feasible_evaluations, 0);
+    }
+
+    #[test]
+    fn report_json_has_schema_and_excludes_wall_clock() {
+        let args = BenchArgs::parse_from(&["--iters", "4", "--seed", "7"], 100);
+        let mut report = BenchReport::new("unit_test", &args);
+        report.push_trace("demo-run", &trace());
+        report.metric("answer", Json::Num(42.0));
+        let line = report.to_json().to_line();
+        assert!(line.contains("edse-bench-report/v1"));
+        assert!(line.contains("\"experiment\":\"unit_test\""));
+        assert!(line.contains("\"iterations_to_incumbent\":3"));
+        assert!(line.contains("\"answer\":42"));
+        // The trace carries wall_seconds = 123; the report must not.
+        assert!(
+            !line.contains("123"),
+            "wall-clock leaked into report: {line}"
+        );
+        assert!(
+            !line.contains("wall"),
+            "wall-clock leaked into report: {line}"
+        );
+        // And it parses back as one JSON document.
+        edse_telemetry::json::parse(&line).unwrap();
+    }
+
+    #[test]
+    fn write_if_requested_is_a_noop_without_flag() {
+        let args = BenchArgs::parse_from(&[] as &[&str], 10);
+        BenchReport::new("x", &args).write_if_requested(&args);
+    }
+}

@@ -1,0 +1,224 @@
+//! Tolerance-aware structural comparison of JSON documents.
+//!
+//! # Float-tolerance policy
+//!
+//! The comparator is **exact for everything that is exact in the model**
+//! and tolerant only where floating-point serialization could wobble:
+//!
+//! * strings, booleans, `null`, and object/array *shape* — exact;
+//! * **integral numbers** (both sides have zero fractional part and
+//!   magnitude below 2^53 — counts, iteration indices, ordinal positions,
+//!   seeds) — exact; a count that drifts by 1 is a real regression, never
+//!   rounding;
+//! * **non-integral numbers** (objectives in ms, feasibility rates, areas,
+//!   rates) — equal within `rel_eps` *relative* error, with `abs_eps`
+//!   absolute slack for values near zero. The default `rel_eps = 1e-9` is
+//!   far looser than f64 round-trip noise (the serializer emits shortest
+//!   round-trip forms, so fixtures normally match bit-for-bit) yet far
+//!   tighter than any genuine modeling change, so a tolerance failure
+//!   always means behavior drifted.
+//!
+//! Every mismatch carries the JSON path of the offending value (e.g.
+//! `traces[2].best_objective`), so a golden failure names the exact metric
+//! that moved.
+
+use edse_telemetry::json::Json;
+
+/// Numeric comparison slack (see the module docs for the policy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Maximum relative error for non-integral numbers.
+    pub rel_eps: f64,
+    /// Absolute slack for non-integral numbers near zero.
+    pub abs_eps: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            rel_eps: 1e-9,
+            abs_eps: 1e-12,
+        }
+    }
+}
+
+impl Tolerance {
+    /// Whether two numbers are equal under this policy.
+    pub fn num_eq(&self, a: f64, b: f64) -> bool {
+        if a == b {
+            return true; // covers equal integers, zeros, and infinities
+        }
+        if a.is_nan() || b.is_nan() {
+            return false;
+        }
+        let integral =
+            |v: f64| v.is_finite() && v == v.trunc() && v.abs() < 9_007_199_254_740_992.0;
+        if integral(a) && integral(b) {
+            return false; // integers/ordinals compare exactly
+        }
+        let diff = (a - b).abs();
+        diff <= self.abs_eps || diff <= self.rel_eps * a.abs().max(b.abs())
+    }
+}
+
+/// One divergence between an expected and an actual document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mismatch {
+    /// JSON path of the offending value, e.g. `traces[2].best_objective`.
+    pub path: String,
+    /// The expected value (or shape) at that path, rendered as JSON.
+    pub expected: String,
+    /// The actual value (or shape) at that path, rendered as JSON.
+    pub actual: String,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: expected {}, got {}",
+            self.path, self.expected, self.actual
+        )
+    }
+}
+
+/// Compares `actual` against `expected`, returning every divergence with
+/// its JSON path. An empty result means the documents conform.
+pub fn diff(expected: &Json, actual: &Json, tol: &Tolerance) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    walk(expected, actual, tol, "", &mut out);
+    out
+}
+
+fn push(out: &mut Vec<Mismatch>, path: &str, expected: &Json, actual: &Json) {
+    out.push(Mismatch {
+        path: if path.is_empty() {
+            "(root)".to_string()
+        } else {
+            path.to_string()
+        },
+        expected: expected.to_line(),
+        actual: actual.to_line(),
+    });
+}
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+fn walk(expected: &Json, actual: &Json, tol: &Tolerance, path: &str, out: &mut Vec<Mismatch>) {
+    match (expected, actual) {
+        (Json::Null, Json::Null) => {}
+        (Json::Bool(a), Json::Bool(b)) if a == b => {}
+        (Json::Str(a), Json::Str(b)) if a == b => {}
+        (Json::Num(a), Json::Num(b)) => {
+            if !tol.num_eq(*a, *b) {
+                push(out, path, expected, actual);
+            }
+        }
+        (Json::Arr(a), Json::Arr(b)) => {
+            if a.len() != b.len() {
+                out.push(Mismatch {
+                    path: format!("{}.length", if path.is_empty() { "(root)" } else { path }),
+                    expected: a.len().to_string(),
+                    actual: b.len().to_string(),
+                });
+            }
+            for (i, (ea, eb)) in a.iter().zip(b).enumerate() {
+                walk(ea, eb, tol, &format!("{path}[{i}]"), out);
+            }
+        }
+        (Json::Obj(a), Json::Obj(b)) => {
+            for (k, va) in a {
+                match b.iter().find(|(kb, _)| kb == k) {
+                    Some((_, vb)) => walk(va, vb, tol, &join(path, k), out),
+                    None => out.push(Mismatch {
+                        path: join(path, k),
+                        expected: va.to_line(),
+                        actual: "(missing)".to_string(),
+                    }),
+                }
+            }
+            for (k, vb) in b {
+                if !a.iter().any(|(ka, _)| ka == k) {
+                    out.push(Mismatch {
+                        path: join(path, k),
+                        expected: "(absent)".to_string(),
+                        actual: vb.to_line(),
+                    });
+                }
+            }
+        }
+        _ => push(out, path, expected, actual),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_documents_have_no_mismatches() {
+        let doc = Json::obj(vec![
+            ("count", Json::Num(3.0)),
+            ("rate", Json::Num(0.123456789)),
+            ("items", Json::Arr(vec![Json::Str("a".into()), Json::Null])),
+        ]);
+        assert!(diff(&doc, &doc.clone(), &Tolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn integral_numbers_compare_exactly() {
+        let tol = Tolerance::default();
+        assert!(!tol.num_eq(54.0, 55.0), "count drift is never tolerated");
+        assert!(tol.num_eq(54.0, 54.0));
+    }
+
+    #[test]
+    fn floats_get_relative_epsilon() {
+        let tol = Tolerance::default();
+        assert!(tol.num_eq(1.25, 1.25 * (1.0 + 1e-12)));
+        assert!(!tol.num_eq(1.25, 1.25 * (1.0 + 1e-6)));
+        assert!(tol.num_eq(0.0, 1e-13), "absolute slack near zero");
+    }
+
+    #[test]
+    fn mismatch_paths_name_the_metric() {
+        let expected = Json::obj(vec![(
+            "traces",
+            Json::Arr(vec![Json::obj(vec![("best_objective", Json::Num(3.0))])]),
+        )]);
+        let actual = Json::obj(vec![(
+            "traces",
+            Json::Arr(vec![Json::obj(vec![("best_objective", Json::Num(4.0))])]),
+        )]);
+        let d = diff(&expected, &actual, &Tolerance::default());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].path, "traces[0].best_objective");
+    }
+
+    #[test]
+    fn missing_and_extra_keys_are_reported() {
+        let expected = Json::obj(vec![("kept", Json::Num(1.0)), ("gone", Json::Num(2.0))]);
+        let actual = Json::obj(vec![("kept", Json::Num(1.0)), ("new", Json::Num(3.0))]);
+        let d = diff(&expected, &actual, &Tolerance::default());
+        let paths: Vec<&str> = d.iter().map(|m| m.path.as_str()).collect();
+        assert!(paths.contains(&"gone"));
+        assert!(paths.contains(&"new"));
+    }
+
+    #[test]
+    fn type_changes_are_mismatches() {
+        let d = diff(
+            &Json::Num(1.0),
+            &Json::Str("1".into()),
+            &Tolerance::default(),
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].path, "(root)");
+    }
+}

@@ -1,0 +1,161 @@
+//! Golden-fixture storage and checking.
+//!
+//! Fixtures live in `crates/conformance/golden/*.json`, pretty-printed so
+//! review diffs stay readable. [`check_golden`] compares a freshly
+//! generated document against its fixture with the default
+//! [`Tolerance`]; on drift it panics with every
+//! mismatch, each naming the JSON path of the metric that moved.
+//!
+//! Intentional behavior changes regenerate fixtures with
+//! `UPDATE_GOLDEN=1 cargo test -p conformance` — review the diff, then
+//! commit it. Regeneration is refused when `CI` is set: goldens must only
+//! change through a reviewed commit, never silently on a build machine.
+
+use crate::compare::{diff, Tolerance};
+use edse_telemetry::json::{self, Json};
+use std::path::PathBuf;
+
+/// The committed fixture directory (`crates/conformance/golden`).
+pub fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden")
+}
+
+/// Pretty-prints a JSON document (2-space indent, insertion order kept) —
+/// the on-disk fixture format.
+pub fn pretty(doc: &Json) -> String {
+    let mut out = String::new();
+    render(doc, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+fn render(doc: &Json, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth + 1);
+    match doc {
+        Json::Arr(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad);
+                render(item, depth + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&"  ".repeat(depth));
+            out.push(']');
+        }
+        Json::Obj(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str(&Json::Str(k.clone()).to_line());
+                out.push_str(": ");
+                render(v, depth + 1, out);
+                if i + 1 < entries.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&"  ".repeat(depth));
+            out.push('}');
+        }
+        other => out.push_str(&other.to_line()),
+    }
+}
+
+/// Compares `actual` against the committed fixture `golden/<name>.json`.
+///
+/// Reads the update/CI switches from the environment (`UPDATE_GOLDEN`,
+/// `CI`); see [`check_golden_with`] for the explicit-parameter form the
+/// tests of this crate use.
+///
+/// # Panics
+///
+/// Panics when the fixture is missing, unparseable, or does not match —
+/// and when regeneration is requested under CI.
+pub fn check_golden(name: &str, actual: &Json) {
+    check_golden_with(
+        name,
+        actual,
+        std::env::var("UPDATE_GOLDEN").is_ok_and(|v| !v.is_empty() && v != "0"),
+        std::env::var("CI").is_ok_and(|v| !v.is_empty() && v != "0"),
+    );
+}
+
+/// [`check_golden`] with the environment switches passed explicitly:
+/// `update` regenerates the fixture instead of comparing; `ci` marks a CI
+/// build, under which regeneration is refused.
+///
+/// # Panics
+///
+/// See [`check_golden`].
+pub fn check_golden_with(name: &str, actual: &Json, update: bool, ci: bool) {
+    let path = golden_dir().join(format!("{name}.json"));
+    if update {
+        assert!(
+            !ci,
+            "UPDATE_GOLDEN is set under CI: golden fixtures must only change \
+             through a reviewed commit; run the update locally instead"
+        );
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, pretty(actual)).expect("write golden fixture");
+        eprintln!("regenerated golden fixture {}", path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); every fixture is committed — if \
+             this is a new scenario, regenerate with \
+             `UPDATE_GOLDEN=1 cargo test -p conformance` and commit the file",
+            path.display()
+        )
+    });
+    let expected = json::parse(&text)
+        .unwrap_or_else(|e| panic!("golden fixture {} is not valid JSON: {e:?}", path.display()));
+    let mismatches = diff(&expected, actual, &Tolerance::default());
+    if !mismatches.is_empty() {
+        let listing: Vec<String> = mismatches.iter().map(|m| format!("  {m}")).collect();
+        panic!(
+            "golden fixture {name} drifted ({} mismatch(es)):\n{}\n\
+             If this change is intentional, regenerate with \
+             `UPDATE_GOLDEN=1 cargo test -p conformance` and commit the diff.",
+            mismatches.len(),
+            listing.join("\n")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_output_parses_back_identically() {
+        let doc = Json::obj(vec![
+            ("name", Json::Str("x".into())),
+            ("values", Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+            ("nested", Json::obj(vec![("ok", Json::Bool(true))])),
+        ]);
+        let text = pretty(&doc);
+        assert_eq!(json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn update_under_ci_is_refused() {
+        let doc = Json::Num(1.0);
+        let err = std::panic::catch_unwind(|| {
+            check_golden_with("never-written", &doc, true, true);
+        })
+        .expect_err("must refuse");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("UPDATE_GOLDEN is set under CI"), "{msg}");
+        assert!(!golden_dir().join("never-written.json").exists());
+    }
+}

@@ -1,0 +1,403 @@
+//! Differential oracles: pairs of code paths the codebase promises are
+//! equivalent, checked for bit-identical results.
+//!
+//! 1. Serial vs parallel [`EvalEngine`] batches (and whole searches).
+//! 2. Straight-through vs killed-and-resumed sessions — both
+//!    [`SearchSession`] and [`BaselineSession`].
+//! 3. The deprecated `ExplainableDse::run`/`run_dnn` and
+//!    `DseTechnique::run_traced` wrappers vs the session builders (the
+//!    deprecation-drift guard: the wrappers must keep producing identical
+//!    attempt logs until they are removed).
+//! 4. The evaluator's cached fast path vs the straight-line
+//!    [`NaiveReferenceEvaluator`].
+
+use accel_model::AcceleratorConfig;
+use baselines::{
+    BaselineSession, BayesianOpt, ConfuciuxRl, DseTechnique, GeneticAlgorithm, GridSearch,
+    HyperMapperLike, RandomSearch, SimulatedAnnealing,
+};
+use conformance::NaiveReferenceEvaluator;
+use edse_core::bottleneck::dnn::LayerCtx;
+use edse_core::bottleneck::dnn_latency_model;
+use edse_core::cost::{Constraint, Evaluation};
+use edse_core::dse::{DseConfig, DseResult, ExplainableDse};
+use edse_core::evaluate::{CacheSnapshot, CodesignEvaluator, EvalEngine, Evaluator};
+use edse_core::fault::EvalFault;
+use edse_core::space::{edge_space, DesignPoint, DesignSpace};
+use edse_core::SearchSession;
+use edse_telemetry::Collector;
+use mapper::FixedMapper;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use workloads::zoo;
+
+fn edge_evaluator(engine: EvalEngine) -> CodesignEvaluator<FixedMapper> {
+    CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper).with_engine(engine)
+}
+
+/// A deterministic spread of design points (splitmix-style walk over every
+/// parameter's cardinality) — diverse without depending on any search.
+fn spread_points(space: &DesignSpace, n: usize) -> Vec<DesignPoint> {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    (0..n)
+        .map(|_| {
+            DesignPoint::new(
+                space
+                    .params()
+                    .iter()
+                    .map(|p| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        ((state >> 33) as usize) % p.len()
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Every `DseResult` field except the wall clock.
+fn assert_results_identical(a: &DseResult, b: &DseResult) {
+    assert_eq!(a.trace.samples, b.trace.samples);
+    assert_eq!(a.attempts, b.attempts);
+    assert_eq!(a.best, b.best);
+    assert_eq!(a.converged_after, b.converged_after);
+    assert_eq!(a.termination, b.termination);
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 1: serial vs parallel evaluation engine.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn serial_and_parallel_batches_are_bit_identical() {
+    let serial = edge_evaluator(EvalEngine::serial());
+    let parallel = edge_evaluator(EvalEngine::with_threads(4));
+    let points = spread_points(serial.space(), 24);
+    let a: Vec<Evaluation> = serial.evaluate_batch(&points);
+    let b: Vec<Evaluation> = parallel.evaluate_batch(&points);
+    assert_eq!(a, b);
+    assert_eq!(serial.unique_evaluations(), parallel.unique_evaluations());
+}
+
+#[test]
+fn serial_and_parallel_searches_are_bit_identical() {
+    let config = DseConfig {
+        budget: 40,
+        seed: 11,
+        ..DseConfig::default()
+    };
+    let serial_ev = edge_evaluator(EvalEngine::serial());
+    let parallel_ev = edge_evaluator(EvalEngine::with_threads(4));
+    let initial = serial_ev.space().minimum_point();
+    let a = SearchSession::new(dnn_latency_model(), config.clone())
+        .evaluator(&serial_ev)
+        .run(initial.clone());
+    let b = SearchSession::new(dnn_latency_model(), config)
+        .evaluator(&parallel_ev)
+        .run(initial);
+    assert_results_identical(&a, &b);
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 2: straight-through vs killed-and-resumed sessions.
+// ---------------------------------------------------------------------------
+
+fn silence_expected_panics() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("simulated kill") {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn temp_snapshot_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "edse-conformance-{}-{tag}-{n}.json",
+        std::process::id()
+    ))
+}
+
+/// Wraps an evaluator and panics once `kill_after` evaluation requests
+/// have been spent — a SIGKILL landing mid-search, as seen from inside
+/// the process. All bookkeeping methods pass through.
+struct KillSwitch<E> {
+    inner: E,
+    remaining: AtomicUsize,
+}
+
+impl<E> KillSwitch<E> {
+    fn new(inner: E, kill_after: usize) -> Self {
+        KillSwitch {
+            inner,
+            remaining: AtomicUsize::new(kill_after),
+        }
+    }
+
+    fn spend(&self, n: usize) {
+        let left = self.remaining.load(Ordering::Relaxed);
+        if left < n {
+            panic!("simulated kill");
+        }
+        self.remaining.store(left - n, Ordering::Relaxed);
+    }
+}
+
+impl<E: Evaluator> Evaluator for KillSwitch<E> {
+    fn evaluate(&self, point: &DesignPoint) -> Evaluation {
+        self.spend(1);
+        self.inner.evaluate(point)
+    }
+
+    fn evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Evaluation> {
+        self.spend(points.len());
+        self.inner.evaluate_batch(points)
+    }
+
+    fn try_evaluate(&self, point: &DesignPoint) -> Result<Evaluation, EvalFault> {
+        self.spend(1);
+        self.inner.try_evaluate(point)
+    }
+
+    fn try_evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Result<Evaluation, EvalFault>> {
+        self.spend(points.len());
+        self.inner.try_evaluate_batch(points)
+    }
+
+    fn space(&self) -> &DesignSpace {
+        self.inner.space()
+    }
+
+    fn constraints(&self) -> &[Constraint] {
+        self.inner.constraints()
+    }
+
+    fn unique_evaluations(&self) -> usize {
+        self.inner.unique_evaluations()
+    }
+
+    fn decode(&self, point: &DesignPoint) -> AcceleratorConfig {
+        self.inner.decode(point)
+    }
+
+    fn cache_snapshot(&self) -> CacheSnapshot {
+        self.inner.cache_snapshot()
+    }
+
+    fn restore_caches(&self, snapshot: &CacheSnapshot) {
+        self.inner.restore_caches(snapshot)
+    }
+}
+
+#[test]
+fn killed_and_resumed_search_session_matches_straight_through() {
+    silence_expected_panics();
+    let config = DseConfig {
+        budget: 40,
+        seed: 2,
+        ..DseConfig::default()
+    };
+    let reference_ev = edge_evaluator(EvalEngine::serial());
+    let initial = reference_ev.space().minimum_point();
+    let reference = SearchSession::new(dnn_latency_model(), config.clone())
+        .evaluator(&reference_ev)
+        .run(initial.clone());
+
+    // Kill early, mid-run, and past the end (the latter degrades to
+    // resuming a completed snapshot).
+    for kill_after in [1usize, 9, 23, 10_000] {
+        let path = temp_snapshot_path("search-kill");
+        let killed_ev = KillSwitch::new(edge_evaluator(EvalEngine::serial()), kill_after);
+        let killed = catch_unwind(AssertUnwindSafe(|| {
+            SearchSession::new(dnn_latency_model(), config.clone())
+                .evaluator(&killed_ev)
+                .checkpoint(&path)
+                .checkpoint_every(1)
+                .run(initial.clone())
+        }));
+        let resumed_ev = edge_evaluator(EvalEngine::serial());
+        let resumed = SearchSession::new(dnn_latency_model(), config.clone())
+            .evaluator(&resumed_ev)
+            .checkpoint(&path)
+            .checkpoint_every(1)
+            .resume(true)
+            .run(initial.clone());
+        assert_results_identical(&resumed, &reference);
+        assert_eq!(
+            resumed_ev.unique_evaluations(),
+            reference_ev.unique_evaluations(),
+            "kill_after={kill_after}"
+        );
+        if let Ok(completed) = killed {
+            assert_results_identical(&completed, &reference);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn killed_and_resumed_baseline_session_matches_straight_through() {
+    silence_expected_panics();
+    let budget = 25;
+    let reference = {
+        let mut technique = RandomSearch::new(13);
+        BaselineSession::new(&mut technique).run(&edge_evaluator(EvalEngine::serial()), budget)
+    };
+
+    for kill_after in [3usize, 12, 10_000] {
+        let path = temp_snapshot_path("baseline-kill");
+        let killed_ev = KillSwitch::new(edge_evaluator(EvalEngine::serial()), kill_after);
+        let killed = catch_unwind(AssertUnwindSafe(|| {
+            let mut technique = RandomSearch::new(13);
+            BaselineSession::new(&mut technique)
+                .checkpoint(&path)
+                .checkpoint_every(1)
+                .run(&killed_ev, budget)
+        }));
+        let mut technique = RandomSearch::new(13);
+        let resumed = BaselineSession::new(&mut technique)
+            .checkpoint(&path)
+            .checkpoint_every(1)
+            .resume(true)
+            .run(&edge_evaluator(EvalEngine::serial()), budget);
+        assert_eq!(
+            resumed.samples, reference.samples,
+            "kill_after={kill_after}"
+        );
+        assert_eq!(resumed.technique, reference.technique);
+        if let Ok(completed) = killed {
+            assert_eq!(completed.samples, reference.samples);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 3: deprecated wrappers vs session builders (deprecation-drift
+// guard).
+// ---------------------------------------------------------------------------
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_run_dnn_matches_search_session() {
+    let config = DseConfig {
+        budget: 40,
+        seed: 5,
+        ..DseConfig::default()
+    };
+    let old_ev = edge_evaluator(EvalEngine::serial());
+    let initial = old_ev.space().minimum_point();
+    let old =
+        ExplainableDse::new(dnn_latency_model(), config.clone()).run_dnn(&old_ev, initial.clone());
+    let new_ev = edge_evaluator(EvalEngine::serial());
+    let new = SearchSession::new(dnn_latency_model(), config)
+        .evaluator(&new_ev)
+        .run(initial);
+    assert_results_identical(&old, &new);
+    assert_eq!(old_ev.unique_evaluations(), new_ev.unique_evaluations());
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_generic_run_matches_run_with() {
+    // The generic entry point, driven with the same context closure the
+    // DNN path uses, must match `SearchSession::run_with`.
+    fn ctx<E: Evaluator>(
+    ) -> impl Fn(&E, &DesignPoint, &edse_core::cost::LayerEval) -> Option<LayerCtx> {
+        |ev, point, layer| {
+            layer.profile.map(|profile| LayerCtx {
+                cfg: ev.decode(point),
+                profile,
+            })
+        }
+    }
+    let config = DseConfig {
+        budget: 30,
+        seed: 5,
+        ..DseConfig::default()
+    };
+    let old_ev = edge_evaluator(EvalEngine::serial());
+    let initial = old_ev.space().minimum_point();
+    let old = ExplainableDse::new(dnn_latency_model(), config.clone()).run(
+        &old_ev,
+        initial.clone(),
+        ctx(),
+    );
+    let new_ev = edge_evaluator(EvalEngine::serial());
+    let new = SearchSession::new(dnn_latency_model(), config)
+        .evaluator(&new_ev)
+        .run_with(initial, ctx());
+    assert_results_identical(&old, &new);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_run_traced_matches_baseline_session_for_every_technique() {
+    type TechniqueFactory = fn(u64) -> Box<dyn DseTechnique>;
+    let budget = 10;
+    let factories: Vec<(&str, TechniqueFactory)> = vec![
+        ("grid", |_| Box::new(GridSearch)),
+        ("random", |s| Box::new(RandomSearch::new(s))),
+        ("annealing", |s| Box::new(SimulatedAnnealing::new(s))),
+        ("genetic", |s| Box::new(GeneticAlgorithm::new(8, s))),
+        ("bayesian", |s| Box::new(BayesianOpt::new(s))),
+        ("hypermapper", |s| Box::new(HyperMapperLike::new(s))),
+        ("rl", |s| Box::new(ConfuciuxRl::new(s))),
+    ];
+    for (name, make) in factories {
+        let collector = Collector::noop();
+        let old = make(7).run_traced(&edge_evaluator(EvalEngine::serial()), budget, &collector);
+        let mut technique = make(7);
+        let new = BaselineSession::new(technique.as_mut())
+            .run(&edge_evaluator(EvalEngine::serial()), budget);
+        assert_eq!(old.samples, new.samples, "technique {name} drifted");
+        assert_eq!(old.technique, new.technique, "technique {name} drifted");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 4: cached fast path vs the straight-line reference evaluator.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fast_path_matches_naive_reference_bit_for_bit() {
+    let fast = edge_evaluator(EvalEngine::serial());
+    let reference = NaiveReferenceEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+    for point in spread_points(fast.space(), 16) {
+        let expected = reference.evaluate(&point);
+        let cold = fast.evaluate(&point);
+        let warm = fast.evaluate(&point); // memoized path
+        assert_eq!(cold, expected, "cold evaluation diverged at {point:?}");
+        assert_eq!(warm, expected, "cache hit diverged at {point:?}");
+    }
+}
+
+#[test]
+fn batched_fast_path_matches_naive_reference() {
+    let fast = edge_evaluator(EvalEngine::with_threads(4));
+    let reference = NaiveReferenceEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+    let points = spread_points(fast.space(), 12);
+    let batched = fast.evaluate_batch(&points);
+    for (point, got) in points.iter().zip(&batched) {
+        assert_eq!(
+            got,
+            &reference.evaluate(point),
+            "batch diverged at {point:?}"
+        );
+    }
+}

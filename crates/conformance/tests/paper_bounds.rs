@@ -1,0 +1,104 @@
+//! Directional claims of the paper that must hold at reproduction scale.
+//!
+//! These are not golden pins — they assert *relationships* the paper's
+//! Fig. 4 and Fig. 11 report, so they survive intentional retuning that
+//! would legitimately move a golden fixture:
+//!
+//! * on the toy walkthrough setting (ResNet CONV5_2 at 40 FPS),
+//!   Explainable-DSE reaches the throughput target within the budget and
+//!   its final incumbent is at least as good as every baseline's;
+//! * on the full edge space (Fig. 11's setting, where black-box sampling
+//!   can no longer get lucky — the toy space has only 42 points, so
+//!   random sampling trivially stumbles onto the optimum there), the
+//!   bottleneck-guided search reaches a demanding latency target in fewer
+//!   evaluations than every black-box baseline *on average across seeds*,
+//!   matching the paper's averaged convergence curves.
+
+use bench::TechniqueKind;
+use conformance::scenarios::{
+    iterations_to_target, run_toy, run_with, SCENARIO_SEED, TOY_BUDGET, TOY_TARGET_MS,
+};
+use edse_core::evaluate::{CodesignEvaluator, EvalEngine};
+use edse_core::space::edge_space;
+use mapper::FixedMapper;
+use workloads::zoo;
+
+const BLACK_BOX: [TechniqueKind; 7] = [
+    TechniqueKind::Grid,
+    TechniqueKind::Random,
+    TechniqueKind::Annealing,
+    TechniqueKind::Genetic,
+    TechniqueKind::Bayesian,
+    TechniqueKind::HyperMapper,
+    TechniqueKind::Rl,
+];
+
+#[test]
+fn explainable_reaches_the_toy_target_within_budget() {
+    let trace = run_toy(TechniqueKind::Explainable, TOY_BUDGET, SCENARIO_SEED);
+    let hit = iterations_to_target(&trace, TOY_TARGET_MS);
+    assert!(
+        hit.is_some(),
+        "Explainable-DSE never reached {TOY_TARGET_MS} ms in {TOY_BUDGET} evaluations"
+    );
+}
+
+/// Fig. 4 (quality at equal budget): the incumbent Explainable-DSE holds
+/// after the toy budget is at least as good as every baseline's.
+#[test]
+fn explainable_toy_incumbent_is_at_least_as_good_at_equal_budget() {
+    let trace = run_toy(TechniqueKind::Explainable, TOY_BUDGET, SCENARIO_SEED);
+    let best = trace
+        .best_feasible()
+        .expect("Explainable-DSE must find a feasible toy design")
+        .objective;
+    for kind in BLACK_BOX {
+        let b = run_toy(kind, TOY_BUDGET, SCENARIO_SEED);
+        if let Some(sample) = b.best_feasible() {
+            assert!(
+                best <= sample.objective,
+                "{kind:?} found a better incumbent ({} ms) than Explainable-DSE ({best} ms)",
+                sample.objective
+            );
+        }
+    }
+}
+
+/// Fig. 11 (agility): on the full edge space against ResNet-18, the mean
+/// number of evaluations to reach a demanding 4.6 ms latency target —
+/// averaged across seeds, a run that never reaches it counting as
+/// `budget + 1` — is strictly smaller for Explainable-DSE than for every
+/// black-box baseline. The bottleneck-guided walk is seed-independent
+/// here, so its mean is a single deterministic count.
+#[test]
+fn explainable_beats_every_baseline_in_mean_iterations_to_target() {
+    const BUDGET: usize = 120;
+    const TARGET_MS: f64 = 4.6;
+    const SEEDS: std::ops::Range<u64> = 0..6;
+
+    let mean_itt = |kind: TechniqueKind| -> f64 {
+        let mut total = 0usize;
+        for seed in SEEDS {
+            let ev = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper)
+                .with_engine(EvalEngine::serial());
+            let trace = run_with(kind, &ev, BUDGET, seed);
+            total += iterations_to_target(&trace, TARGET_MS).unwrap_or(BUDGET + 1);
+        }
+        total as f64 / (SEEDS.end - SEEDS.start) as f64
+    };
+
+    let explainable = mean_itt(TechniqueKind::Explainable);
+    assert!(
+        explainable <= BUDGET as f64,
+        "Explainable-DSE never reached {TARGET_MS} ms within {BUDGET} evaluations"
+    );
+    for kind in BLACK_BOX {
+        let baseline = mean_itt(kind);
+        assert!(
+            explainable < baseline,
+            "{kind:?} reached {TARGET_MS} ms in {baseline:.1} mean evaluations, \
+             Explainable-DSE took {explainable:.1} — the paper's agility claim \
+             no longer holds"
+        );
+    }
+}

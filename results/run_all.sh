@@ -1,7 +1,10 @@
 #!/bin/bash
 cd /root/repo
 R=results
-run() { name=$1; shift; echo "### $name : $(date)" ; timeout 5400 ./target/release/$name "$@" ; echo; }
+mkdir -p $R/json
+# Every run also writes its machine-readable report (bench::report schema
+# edse-bench-report/v1) to results/json/<name>.json.
+run() { name=$1; shift; echo "### $name : $(date)" ; timeout 5400 ./target/release/$name "$@" --json $R/json/$name.json ; echo; }
 {
 run fig08_bottleneck_graph                                   > $R/fig08.txt 2>&1
 run fig04_toy_trace --iters 25                               > $R/fig04.txt 2>&1

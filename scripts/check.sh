@@ -10,6 +10,23 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> conformance: golden fixtures, differential oracles, paper bounds"
+# The harness must stay fast enough to gate every change; the timeout is
+# the budget, not an estimate (the suite runs in well under a minute).
+timeout 120 cargo test -q -p conformance
+
+echo "==> proptest regression files are committed"
+# A failing property run appends its counterexample seed under
+# proptest-regressions/; landing a change without committing that seed
+# would lose the counterexample.
+dirty="$(git status --porcelain -- 'crates/*/proptest-regressions')"
+if [ -n "$dirty" ]; then
+    echo "uncommitted proptest regression entries:" >&2
+    echo "$dirty" >&2
+    echo "commit the recorded counterexample seeds (or fix and remove them)" >&2
+    exit 1
+fi
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

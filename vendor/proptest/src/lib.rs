@@ -7,9 +7,16 @@
 //! `proptest!`/`prop_assert!`/`prop_assert_eq!` macros.
 //!
 //! Differences from upstream: inputs are sampled from a deterministic
-//! per-test stream (seeded from the test's module path and name), there is
-//! **no shrinking** on failure, and no regression-file persistence. A
-//! failing case panics with the assertion message like a normal test.
+//! per-test stream (seeded from the test's module path and name) and there
+//! is **no shrinking** on failure. A failing case panics with the
+//! assertion message like a normal test.
+//!
+//! Failure persistence follows the upstream convention: when a case
+//! fails, its RNG seed is appended to
+//! `<crate>/proptest-regressions/<source file stem>.txt` as a
+//! `cc <seed> # <test>` line, and every committed seed for a test is
+//! replayed before any fresh cases are generated — so a once-found
+//! counterexample is re-checked forever (see [`persistence`]).
 
 pub mod strategy {
     use crate::test_runner::TestRng;
@@ -119,7 +126,10 @@ pub mod strategy {
 
     impl<T> Union<T> {
         pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
-            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            assert!(
+                !options.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
             Union { options }
         }
     }
@@ -299,7 +309,20 @@ pub mod test_runner {
                 h ^= u64::from(b);
                 h = h.wrapping_mul(0x0000_0100_0000_01B3);
             }
-            TestRng { state: h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+            TestRng {
+                state: h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            }
+        }
+
+        /// Rebuild the RNG for a persisted regression seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// The seed that reproduces this RNG's stream from its current
+        /// state (record it *before* sampling).
+        pub fn seed(&self) -> u64 {
+            self.state
         }
 
         pub fn next(&mut self) -> u64 {
@@ -341,6 +364,93 @@ pub mod test_runner {
     }
 }
 
+pub mod persistence {
+    //! Regression-file persistence (upstream's `proptest-regressions/`).
+    //!
+    //! File format, one entry per previously failing case:
+    //!
+    //! ```text
+    //! cc 9e3779b97f4a7c15 # crate::tests::some_property
+    //! ```
+    //!
+    //! `cc` marks a counterexample seed (hex `u64` feeding
+    //! [`TestRng::from_seed`](crate::test_runner::TestRng::from_seed));
+    //! the trailing comment names the test the seed belongs to, so several
+    //! tests in one source file share one regression file. Lines starting
+    //! with `#` and blank lines are ignored.
+
+    use std::path::{Path, PathBuf};
+
+    const HEADER: &str = "\
+# Seeds for failure cases proptest has generated in the past. It is
+# automatically read and these particular cases re-run before any novel
+# cases are generated. Commit this file alongside the change that
+# introduced (or fixed) the failure so the counterexample is re-checked
+# forever.
+";
+
+    /// Where the regression file for `source_file` (a `file!()` path)
+    /// lives: `<manifest_dir>/proptest-regressions/<file stem>.txt`.
+    pub fn regression_path(manifest_dir: &str, source_file: &str) -> PathBuf {
+        let stem = Path::new(source_file)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("unknown");
+        Path::new(manifest_dir)
+            .join("proptest-regressions")
+            .join(format!("{stem}.txt"))
+    }
+
+    /// The committed counterexample seeds for `test` (a
+    /// `module_path!()::name` string), in file order. A missing file
+    /// means no regressions.
+    pub fn load_seeds(path: &Path, test: &str) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| {
+                let line = line.trim();
+                let rest = line.strip_prefix("cc ")?;
+                let (seed_hex, owner) = rest.split_once('#')?;
+                if owner.trim() != test {
+                    return None;
+                }
+                u64::from_str_radix(seed_hex.trim(), 16).ok()
+            })
+            .collect()
+    }
+
+    /// Records a failing case's seed for `test`, creating the file (with
+    /// its explanatory header) on first use. Already-recorded seeds are
+    /// not duplicated. Best-effort: persistence failures are reported on
+    /// stderr but never mask the test failure itself.
+    pub fn record_failure(path: &Path, test: &str, seed: u64) {
+        if load_seeds(path, test).contains(&seed) {
+            return;
+        }
+        let entry = format!("cc {seed:016x} # {test}\n");
+        let write = || -> std::io::Result<()> {
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir)?;
+            }
+            let mut text = std::fs::read_to_string(path).unwrap_or_else(|_| HEADER.to_string());
+            text.push_str(&entry);
+            std::fs::write(path, text)
+        };
+        match write() {
+            Ok(()) => eprintln!(
+                "proptest: persisted regression seed {seed:016x} for {test} in {}",
+                path.display()
+            ),
+            Err(e) => eprintln!(
+                "proptest: cannot persist regression seed for {test} in {}: {e}",
+                path.display()
+            ),
+        }
+    }
+}
+
 pub mod prelude {
     pub use crate::collection;
     pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
@@ -375,13 +485,29 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let __cfg: $crate::test_runner::ProptestConfig = $cfg;
-            for __case in 0..__cfg.cases {
-                let mut __rng = $crate::test_runner::TestRng::for_case(
-                    concat!(module_path!(), "::", stringify!($name)),
-                    __case,
-                );
-                $(let $binding = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+            let __test = concat!(module_path!(), "::", stringify!($name));
+            let __path =
+                $crate::persistence::regression_path(env!("CARGO_MANIFEST_DIR"), file!());
+            let mut __run = |__rng: &mut $crate::test_runner::TestRng| {
+                $(let $binding = $crate::strategy::Strategy::sample(&($strat), __rng);)+
                 $body
+            };
+            // Replay persisted counterexamples before generating novel
+            // cases (a replay failure panics like any test failure).
+            for __seed in $crate::persistence::load_seeds(&__path, __test) {
+                let mut __rng = $crate::test_runner::TestRng::from_seed(__seed);
+                __run(&mut __rng);
+            }
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(__test, __case);
+                let __seed = __rng.seed();
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| __run(&mut __rng)),
+                );
+                if let ::std::result::Result::Err(__panic) = __outcome {
+                    $crate::persistence::record_failure(&__path, __test, __seed);
+                    ::std::panic::resume_unwind(__panic);
+                }
             }
         }
         $crate::__proptest_impl! { ($cfg) $($rest)* }
@@ -450,6 +576,31 @@ mod tests {
             prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
             let _ = b;
         }
+    }
+
+    #[test]
+    fn persistence_round_trips_and_filters_by_test() {
+        let dir = std::env::temp_dir().join(format!("proptest-stub-{}", std::process::id()));
+        let path = crate::persistence::regression_path(dir.to_str().unwrap(), "tests/props.rs");
+        assert!(path.ends_with("proptest-regressions/props.txt"));
+        assert!(crate::persistence::load_seeds(&path, "a::b").is_empty());
+        crate::persistence::record_failure(&path, "a::b", 0x1234);
+        crate::persistence::record_failure(&path, "a::b", 0x1234); // deduped
+        crate::persistence::record_failure(&path, "a::c", 0xBEEF);
+        assert_eq!(crate::persistence::load_seeds(&path, "a::b"), vec![0x1234]);
+        assert_eq!(crate::persistence::load_seeds(&path, "a::c"), vec![0xBEEF]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("# Seeds for failure cases"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replayed_seed_reproduces_the_case_stream() {
+        let mut original = TestRng::for_case("some::test", 5);
+        let seed = original.seed();
+        let mut replayed = TestRng::from_seed(seed);
+        let strat = (0u64..1000, 0.0f64..1.0);
+        assert_eq!(strat.sample(&mut original), strat.sample(&mut replayed));
     }
 
     #[test]
