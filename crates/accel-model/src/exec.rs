@@ -3,7 +3,7 @@
 use crate::arch::AcceleratorConfig;
 use crate::mapping::{rf_bytes, spm_bytes, tile_volume, Level, Mapping, Stationarity, Tiling};
 use crate::profile::{ExecutionProfile, OperandStats};
-use energy_area::Tech;
+use energy_area::{EnergyTable, Tech};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use workloads::layer::Dim;
@@ -241,6 +241,208 @@ fn contiguous_run_elems(layer: &LayerShape, t: &Tiling, op: Tensor) -> f64 {
     run.max(1.0)
 }
 
+/// Position of a stationarity class in [`Stationarity::ALL`] — the row
+/// index of [`TilingEval`]'s precomputed reuse tables.
+#[inline]
+fn st_index(order: Stationarity) -> usize {
+    match order {
+        Stationarity::InputStationary => 0,
+        Stationarity::WeightStationary => 1,
+        Stationarity::OutputStationary => 2,
+    }
+}
+
+/// Ordering-invariant per-operand quantities, precomputed once per tiling.
+#[derive(Debug, Clone, Copy, Default)]
+struct OperandPre {
+    /// SPM tile volume in elements.
+    spm_tile: f64,
+    /// `rf_tile * elem` (also the NoC bytes per PE group).
+    rf_tile_bytes: f64,
+    spm_tile_bytes: f64,
+    noc_groups: u64,
+    noc_rounds: u64,
+    /// `groups * rf_tile * elem` — NoC bytes per SPM-to-PEs delivery.
+    transmitted_per_delivery: f64,
+    /// `noc_rounds * ceil(rf_tile * elem / noc_bpc)` — NoC cycles per delivery.
+    cycles_per_delivery: f64,
+    /// Total reuse available at the SPM level (`irrelevant_iters`).
+    irr_l2: f64,
+    /// Total reuse available at the DRAM level.
+    irr_dram: f64,
+    /// Contiguous DRAM burst length in bytes.
+    run_bytes: f64,
+}
+
+/// The ordering-invariant half of [`AcceleratorConfig::execute`].
+///
+/// [`AcceleratorConfig::prepare_tiling`] performs, once per
+/// `(layer, tiling)`, everything that does not depend on the loop-order
+/// classes: the resource validity checks, tile steps and volumes, MAC
+/// counts, NoC group/round geometry, available-reuse products, DMA burst
+/// lengths, and the energy-per-access table. [`TilingEval::complete`] then
+/// finishes the evaluation for one `(spm_order, dram_order)` pair — only
+/// the reuse/visit counts, traffic volumes, latency, and energy totals —
+/// so sweeping all 9 orderings of a tiling costs one precomputation plus
+/// nine cheap completions instead of nine full evaluations.
+///
+/// Every arithmetic expression is evaluated in exactly the order of the
+/// straight-line reference ([`AcceleratorConfig::execute_reference`]);
+/// precomputation only hoists whole sub-expressions, so the factored
+/// result is bit-identical, which property tests enforce.
+#[derive(Debug, Clone)]
+pub struct TilingEval {
+    validity: Validity,
+    pes_used: u64,
+    macs: f64,
+    t_comp: f64,
+    elem: f64,
+    dram_steps: f64,
+    l2_steps: f64,
+    bw_bpc: f64,
+    dma_burst_cycles: f64,
+    /// `reuse_at(Dram, order, op)` indexed `[st_index(order)][op.index()]`.
+    reuse_dram: [[f64; 4]; 3],
+    /// `reuse_at(Spm, order, op)` indexed `[st_index(order)][op.index()]`.
+    reuse_spm: [[f64; 4]; 3],
+    ops: [OperandPre; 4],
+    /// `(groups, capacity)` for operands whose NoC demand exceeds capacity;
+    /// resolved per ordering in [`Self::complete`] (all `None` when the
+    /// check was relaxed).
+    noc_fail: [Option<(u64, u64)>; 4],
+    energy: EnergyTable,
+    /// `macs * rf_accesses_per_mac * elem` — the MAC-side RF traffic term.
+    rf_mac_bytes: f64,
+}
+
+impl TilingEval {
+    /// Utilization summary from the ordering-invariant validity checks.
+    pub fn validity(&self) -> Validity {
+        self.validity
+    }
+
+    /// Finishes the evaluation for one loop ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::NocInfeasible`] when an operand this ordering
+    /// actually uses needs more PE groups than its NoC can serve (never
+    /// errs when prepared with the check relaxed).
+    pub fn complete(
+        &self,
+        spm_order: Stationarity,
+        dram_order: Stationarity,
+    ) -> Result<ExecutionProfile, ExecError> {
+        let si = st_index(spm_order);
+        let di = st_index(dram_order);
+        let outw = Tensor::OutputWrite.index();
+
+        // Raw (un-clamped) output visit counts decide whether partial sums
+        // are ever evicted and re-read — the `output_reads_back` predicate
+        // that gates the psum-read NoC admission check.
+        let raw_visits_dram = self.ops[outw].irr_dram / self.reuse_dram[di][outw];
+        let raw_visits_l2 = self.ops[outw].irr_l2 / self.reuse_spm[si][outw];
+        let reads_back = raw_visits_dram * raw_visits_l2 > 1.0;
+        for op in Tensor::ALL {
+            if op == Tensor::OutputRead && !reads_back {
+                continue;
+            }
+            if let Some((groups, capacity)) = self.noc_fail[op.index()] {
+                return Err(ExecError::NocInfeasible {
+                    operand: op,
+                    groups,
+                    capacity,
+                });
+            }
+        }
+
+        let visits_dram = raw_visits_dram.max(1.0);
+        let visits_l2 = raw_visits_l2.max(1.0);
+        let total_out_visits = (visits_dram * visits_l2).max(1.0);
+
+        let mut operands = [OperandStats::default(); 4];
+        for op in Tensor::ALL {
+            let pre = &self.ops[op.index()];
+            let stats = &mut operands[op.index()];
+            stats.rf_tile_bytes = pre.rf_tile_bytes;
+            stats.spm_tile_bytes = pre.spm_tile_bytes;
+
+            // --- off-chip traffic.
+            let reuse_dram = self.reuse_dram[di][op.index()];
+            let base_offchip = pre.spm_tile * self.dram_steps / reuse_dram;
+            stats.offchip_bytes = match op {
+                Tensor::OutputRead => {
+                    // First visit of each tile needs no partial-sum fetch.
+                    base_offchip * self.elem * (visits_dram - 1.0) / visits_dram
+                }
+                _ => base_offchip * self.elem,
+            };
+
+            // --- NoC traffic and time.
+            stats.noc_groups = pre.noc_groups;
+            stats.bytes_per_group = pre.rf_tile_bytes;
+            stats.noc_rounds = pre.noc_rounds;
+
+            let reuse_l2 = self.reuse_spm[si][op.index()];
+            let deliveries_per_step = self.l2_steps / reuse_l2;
+            let mut deliveries = deliveries_per_step * self.dram_steps;
+            if op == Tensor::OutputRead {
+                // The very first visit of every output element skips the
+                // read-back of partial sums.
+                deliveries *= (total_out_visits - 1.0) / total_out_visits;
+            }
+            stats.noc_bytes = deliveries * pre.transmitted_per_delivery;
+            stats.t_noc = deliveries * pre.cycles_per_delivery;
+
+            // --- remaining (unexploited) reuse, for bottleneck mitigation.
+            stats.reuse_remaining_spm = (pre.irr_dram / reuse_dram).max(1.0);
+            stats.reuse_remaining_rf =
+                ((pre.irr_l2 / reuse_l2) * stats.reuse_remaining_spm).max(1.0);
+        }
+
+        // ----------------------------------------------------- DMA time
+        let mut t_dma = 0.0;
+        for op in Tensor::ALL {
+            let bytes = operands[op.index()].offchip_bytes;
+            if bytes <= 0.0 {
+                continue;
+            }
+            let bursts = (bytes / self.ops[op.index()].run_bytes).ceil();
+            t_dma += bytes / self.bw_bpc + bursts * self.dma_burst_cycles;
+        }
+
+        let t_noc_max = operands.iter().map(|o| o.t_noc).fold(0.0, f64::max);
+        let latency_cycles = self.t_comp.max(t_noc_max).max(t_dma);
+
+        // ------------------------------------------------------- energy
+        let e = &self.energy;
+        let rf_traffic_bytes =
+            self.rf_mac_bytes + operands.iter().map(|o| o.noc_bytes).sum::<f64>();
+        let noc_total: f64 = operands.iter().map(|o| o.noc_bytes).sum();
+        let offchip_total: f64 = operands.iter().map(|o| o.offchip_bytes).sum();
+        let spm_traffic = noc_total + offchip_total;
+        let energy_pj = self.macs * e.mac_pj
+            + rf_traffic_bytes * e.rf_pj_per_byte
+            + noc_total * e.noc_pj_per_byte
+            + spm_traffic * e.spm_pj_per_byte
+            + offchip_total * e.dram_pj_per_byte;
+
+        Ok(ExecutionProfile {
+            t_comp: self.t_comp,
+            t_dma,
+            t_noc_max,
+            latency_cycles,
+            energy_pj,
+            macs: self.macs,
+            pes_used: self.pes_used,
+            pe_utilization: self.validity.pe_utilization,
+            rf_utilization: self.validity.rf_utilization,
+            spm_utilization: self.validity.spm_utilization,
+            operands,
+        })
+    }
+}
+
 impl AcceleratorConfig {
     /// Evaluates one layer/mapping on this configuration.
     ///
@@ -282,6 +484,183 @@ impl AcceleratorConfig {
     }
 
     fn execute_inner(
+        &self,
+        layer: &LayerShape,
+        mapping: &Mapping,
+        tech: &Tech,
+        relax_noc: bool,
+    ) -> Result<ExecutionProfile, ExecError> {
+        self.prepare_tiling_with(layer, &mapping.tiling, tech, relax_noc)?
+            .complete(mapping.spm_order, mapping.dram_order)
+    }
+
+    /// Precomputes the ordering-invariant half of [`Self::execute`] for one
+    /// tiling (see [`TilingEval`]); call [`TilingEval::complete`] per loop
+    /// ordering. `execute(layer, m)` is exactly
+    /// `prepare_tiling(layer, &m.tiling, tech)?.complete(m.spm_order, m.dram_order)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the ordering-invariant infeasibilities — invalid tiling, PE,
+    /// RF, or SPM overflow. NoC infeasibility depends on the ordering (the
+    /// psum-read NoC is only needed when the ordering evicts partial sums),
+    /// so it surfaces from [`TilingEval::complete`] instead.
+    pub fn prepare_tiling(
+        &self,
+        layer: &LayerShape,
+        tiling: &Tiling,
+        tech: &Tech,
+    ) -> Result<TilingEval, ExecError> {
+        self.prepare_tiling_with(layer, tiling, tech, false)
+    }
+
+    /// [`Self::prepare_tiling`] with the NoC-capacity check optionally
+    /// relaxed (see [`Validity::check_with`]); relaxed evaluations never
+    /// report [`ExecError::NocInfeasible`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::prepare_tiling`].
+    pub fn prepare_tiling_with(
+        &self,
+        layer: &LayerShape,
+        tiling: &Tiling,
+        tech: &Tech,
+        relax_noc: bool,
+    ) -> Result<TilingEval, ExecError> {
+        let t = tiling;
+        Tiling::from_factors(layer, *t.factors()).map_err(ExecError::InvalidTiling)?;
+
+        let used = t.pes_used();
+        if used > self.pes {
+            return Err(ExecError::PesExceeded {
+                used,
+                available: self.pes,
+            });
+        }
+        let rf = rf_bytes(layer, t, self.elem_bytes);
+        if rf > self.l1_bytes {
+            return Err(ExecError::RfOverflow {
+                needed: rf,
+                available: self.l1_bytes,
+            });
+        }
+        let spm = spm_bytes(layer, t, self.elem_bytes);
+        if spm > self.l2_bytes {
+            return Err(ExecError::SpmOverflow {
+                needed: spm,
+                available: self.l2_bytes,
+            });
+        }
+        // NoC capacity is checked per ordering (psum read-back is
+        // ordering-dependent): record each operand's shortfall here and let
+        // `complete` resolve which one, if any, surfaces.
+        let mut noc_fail = [None; 4];
+        if !relax_noc {
+            for op in Tensor::ALL {
+                let groups = noc_groups(layer, t, op);
+                let capacity = self.noc_phys_links[op.index()] * self.noc_virt_links[op.index()];
+                if groups > capacity {
+                    noc_fail[op.index()] = Some((groups, capacity));
+                }
+            }
+        }
+        let validity = Validity {
+            pe_utilization: used as f64 / self.pes as f64,
+            rf_utilization: rf as f64 / self.l1_bytes as f64,
+            spm_utilization: spm as f64 / self.l2_bytes as f64,
+        };
+
+        let elem = self.elem_bytes as f64;
+        let dram_steps = t.steps(Level::Dram) as f64;
+        let l2_steps = t.steps(Level::Spm) as f64;
+        let macs = layer.macs() as f64;
+        let noc_bpc = self.noc_bytes_per_cycle();
+
+        let mut reuse_dram = [[0.0; 4]; 3];
+        let mut reuse_spm = [[0.0; 4]; 3];
+        for (si, st) in Stationarity::ALL.iter().enumerate() {
+            for op in Tensor::ALL {
+                reuse_dram[si][op.index()] = reuse_at(layer, t, Level::Dram, *st, op);
+                reuse_spm[si][op.index()] = reuse_at(layer, t, Level::Spm, *st, op);
+            }
+        }
+
+        let mut ops = [OperandPre::default(); 4];
+        for op in Tensor::ALL {
+            let rf_tile = tile_volume(layer, |d| t.tile_extent(d, Level::Rf), op) as f64;
+            let spm_tile = tile_volume(layer, |d| t.tile_extent(d, Level::Spm), op) as f64;
+            let groups = noc_groups(layer, t, op);
+            let links = self.noc_phys_links[op.index()].max(1);
+            let noc_rounds = groups.div_ceil(links);
+            ops[op.index()] = OperandPre {
+                spm_tile,
+                rf_tile_bytes: rf_tile * elem,
+                spm_tile_bytes: spm_tile * elem,
+                noc_groups: groups,
+                noc_rounds,
+                transmitted_per_delivery: (groups as f64) * rf_tile * elem,
+                cycles_per_delivery: noc_rounds as f64 * (rf_tile * elem / noc_bpc).ceil(),
+                irr_l2: irrelevant_iters(layer, t, Level::Spm, op),
+                irr_dram: irrelevant_iters(layer, t, Level::Dram, op),
+                run_bytes: contiguous_run_elems(layer, t, op) * elem,
+            };
+        }
+
+        Ok(TilingEval {
+            validity,
+            pes_used: used,
+            macs,
+            t_comp: macs / used as f64,
+            elem,
+            dram_steps,
+            l2_steps,
+            bw_bpc: self.offchip_bytes_per_cycle(),
+            dma_burst_cycles: self.dma_burst_overhead_cycles as f64,
+            reuse_dram,
+            reuse_spm,
+            ops,
+            noc_fail,
+            energy: tech.energy_table(&self.resources()),
+            rf_mac_bytes: macs * tech.rf_accesses_per_mac * elem,
+        })
+    }
+
+    /// Straight-line reference implementation of [`Self::execute`],
+    /// retained verbatim as the oracle for the factored fast path
+    /// ([`Self::prepare_tiling`] + [`TilingEval::complete`]). Property
+    /// tests assert the two agree bit-for-bit; production code should call
+    /// [`Self::execute`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::execute`].
+    pub fn execute_reference(
+        &self,
+        layer: &LayerShape,
+        mapping: &Mapping,
+    ) -> Result<ExecutionProfile, ExecError> {
+        self.execute_reference_inner(layer, mapping, &Tech::n45(), false)
+    }
+
+    /// [`Self::execute_reference`] with explicit technology and
+    /// NoC-relaxation controls (mirrors [`Self::execute_with_tech`] and
+    /// [`Self::execute_relaxed`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::execute`].
+    pub fn execute_reference_with(
+        &self,
+        layer: &LayerShape,
+        mapping: &Mapping,
+        tech: &Tech,
+        relax_noc: bool,
+    ) -> Result<ExecutionProfile, ExecError> {
+        self.execute_reference_inner(layer, mapping, tech, relax_noc)
+    }
+
+    fn execute_reference_inner(
         &self,
         layer: &LayerShape,
         mapping: &Mapping,
@@ -536,6 +915,56 @@ mod tests {
         let m = Mapping::fixed_output_stationary(&d, &cfg);
         let p = cfg.execute(&d, &m).expect("dwconv feasible");
         assert!(p.latency_cycles > 0.0);
+    }
+
+    #[test]
+    fn factored_execute_matches_reference_for_all_orderings() {
+        let l = layer();
+        let cfg = AcceleratorConfig::edge_baseline();
+        let base = Mapping::fixed_output_stationary(&l, &cfg);
+        let eval = cfg
+            .prepare_tiling(&l, &base.tiling, &Tech::n45())
+            .expect("tiling feasible");
+        for spm in Stationarity::ALL {
+            for dram in Stationarity::ALL {
+                let m = Mapping::new(base.tiling, spm, dram);
+                assert_eq!(eval.complete(spm, dram), cfg.execute_reference(&l, &m));
+                assert_eq!(cfg.execute(&l, &m), cfg.execute_reference(&l, &m));
+            }
+        }
+    }
+
+    #[test]
+    fn factored_execute_matches_reference_on_noc_starved_hardware() {
+        // Same shape as `noc_infeasibility_detected`, but sweeping all 9
+        // orderings: the factored path must reproduce the reference's
+        // error-vs-profile decision (psum NoC admission is per ordering)
+        // and the exact starved operand.
+        let l = layer();
+        let cfg = AcceleratorConfig {
+            noc_phys_links: [1, 1, 1, 1],
+            noc_virt_links: [1, 1, 1, 1],
+            ..AcceleratorConfig::edge_baseline()
+        };
+        let mut f = [[1u64; 4]; 7];
+        f[Dim::M.index()] = [1, 64, 1, 1];
+        f[Dim::C.index()] = [1, 1, 1, 64];
+        f[Dim::Oy.index()] = [1, 1, 1, 56];
+        f[Dim::Ox.index()] = [1, 1, 1, 56];
+        f[Dim::Fy.index()] = [1, 1, 1, 3];
+        f[Dim::Fx.index()] = [1, 1, 1, 3];
+        f[Dim::N.index()] = [1, 1, 1, 1];
+        let tiling = Tiling::from_factors(&l, f).unwrap();
+        for spm in Stationarity::ALL {
+            for dram in Stationarity::ALL {
+                let m = Mapping::new(tiling, spm, dram);
+                assert_eq!(cfg.execute(&l, &m), cfg.execute_reference(&l, &m));
+                assert_eq!(
+                    cfg.execute_relaxed(&l, &m),
+                    cfg.execute_reference_with(&l, &m, &Tech::n45(), true)
+                );
+            }
+        }
     }
 
     #[test]

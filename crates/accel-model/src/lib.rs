@@ -42,7 +42,7 @@ pub mod profile;
 pub mod sim;
 
 pub use arch::AcceleratorConfig;
-pub use exec::{ExecError, Validity};
+pub use exec::{ExecError, TilingEval, Validity};
 pub use mapping::{Level, Mapping, Stationarity, Tiling};
 pub use profile::{ExecutionProfile, OperandStats};
 pub use sim::{simulate, SimError, SimReport};

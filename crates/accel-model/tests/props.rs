@@ -67,6 +67,16 @@ fn roomy_config() -> AcceleratorConfig {
     }
 }
 
+/// A deliberately link-starved config: NoC feasibility (including its
+/// ordering-dependent psum-read arm) actually rejects mappings here.
+fn starved_config() -> AcceleratorConfig {
+    AcceleratorConfig {
+        noc_phys_links: [1; 4],
+        noc_virt_links: [2; 4],
+        ..AcceleratorConfig::edge_baseline()
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -210,6 +220,42 @@ proptest! {
     fn tile_extent_telescopes((layer, mapping) in arb_mapping()) {
         for d in Dim::ALL {
             prop_assert_eq!(mapping.tiling.tile_extent(d, Level::Dram), layer.dim(d));
+        }
+    }
+
+    /// The factored fast path (`prepare_tiling` once + `complete` per
+    /// ordering) is bit-identical — values AND errors — to the retained
+    /// straight-line reference for all nine orderings, on roomy, baseline
+    /// and link-starved hardware, both strict and NoC-relaxed.
+    #[test]
+    fn factored_execute_is_bit_identical_to_reference(
+        (layer, tiling) in arb_layer().prop_flat_map(arb_tiling)
+    ) {
+        use energy_area::Tech;
+        for cfg in [roomy_config(), AcceleratorConfig::edge_baseline(), starved_config()] {
+            for relax in [false, true] {
+                let prepared = cfg.prepare_tiling_with(&layer, &tiling, &Tech::n45(), relax);
+                for spm in Stationarity::ALL {
+                    for dram in Stationarity::ALL {
+                        let mapping = Mapping::new(tiling, spm, dram);
+                        let reference =
+                            cfg.execute_reference_with(&layer, &mapping, &Tech::n45(), relax);
+                        let factored = match &prepared {
+                            Ok(eval) => eval.complete(spm, dram),
+                            Err(e) => Err(e.clone()),
+                        };
+                        prop_assert_eq!(&factored, &reference);
+                        // The public entry points route through the same
+                        // factored path.
+                        let public = if relax {
+                            cfg.execute_relaxed(&layer, &mapping)
+                        } else {
+                            cfg.execute(&layer, &mapping)
+                        };
+                        prop_assert_eq!(&public, &reference);
+                    }
+                }
+            }
         }
     }
 }

@@ -36,6 +36,19 @@ fn bench_mapping_space(c: &mut Criterion) {
         let m = LinearMapper::new(50);
         b.iter(|| black_box(m.optimize(&l, &cfg)))
     });
+    // The evaluation fast path's headline single-thread number: one full
+    // linear mapping of one layer (space build + 9 orderings per tiling).
+    c.bench_function("mapper/linear_layer", |b| {
+        let m = LinearMapper::new(100);
+        b.iter(|| black_box(m.optimize(&l, &cfg)))
+    });
+    // Space construction on hardware too small to meet the aggressive
+    // thresholds: the auto-adjustment relaxes several rounds, so this
+    // series measures the threshold-relaxation cost specifically.
+    c.bench_function("mapper/space_build", |b| {
+        let tiny = AcceleratorConfig::edge_minimum();
+        b.iter(|| black_box(MappingSpace::build(&l, &tiny, SpaceBudget::paper_default())))
+    });
 }
 
 fn bench_bottleneck(c: &mut Criterion) {
@@ -109,6 +122,19 @@ fn bench_batch_engine(c: &mut Criterion) {
         b.iter(|| {
             let ev = make();
             black_box(ev.evaluate_batch(&points))
+        })
+    });
+    // The work-stealing prong's target shape: ONE candidate, many unique
+    // layers. Explainable-DSE proposes a handful of candidates per
+    // iteration (often one per predicted parameter value), so per-layer
+    // mapping jobs — not per-candidate ones — are what must spread across
+    // threads. Serial and threaded runs are bit-identical; the speedup
+    // shows only on multi-core hosts (the CI container has 1 CPU).
+    c.bench_function("engine/batch1_multilayer", |b| {
+        let single = [space.minimum_point().with_index(edge::PES, 2)];
+        b.iter(|| {
+            let ev = make();
+            black_box(ev.evaluate_batch(&single))
         })
     });
     // Telemetry overhead check: same batch with a live collector attached

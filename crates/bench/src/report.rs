@@ -241,4 +241,35 @@ mod tests {
         let args = BenchArgs::parse_from(&[] as &[&str], 10);
         BenchReport::new("x", &args).write_if_requested(&args);
     }
+
+    /// The checked-in mapper fast-path bench record stays schema-valid and
+    /// keeps documenting a >= 1.5x single-thread `mapper/linear_layer`
+    /// speedup (the optimization's acceptance bar).
+    #[test]
+    fn recorded_mapper_bench_report_parses_and_holds_the_bar() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/json/bench_mapper.json"
+        );
+        let line = std::fs::read_to_string(path).expect("results/json/bench_mapper.json");
+        let doc = edse_telemetry::json::parse(line.trim()).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(REPORT_SCHEMA)
+        );
+        let metric = |name: &str| {
+            doc.get("metrics")
+                .and_then(|m| m.get(name))
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("missing metric {name}"))
+        };
+        let speedup = metric("mapper/linear_layer/speedup");
+        assert!(speedup >= 1.5, "recorded speedup {speedup} below the bar");
+        let before = metric("mapper/linear_layer/before_ns");
+        let after = metric("mapper/linear_layer/after_ns");
+        assert!(
+            (before / after - speedup).abs() < 0.01,
+            "speedup ratio drifted"
+        );
+    }
 }

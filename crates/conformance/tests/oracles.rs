@@ -83,6 +83,43 @@ fn serial_and_parallel_batches_are_bit_identical() {
     assert_eq!(serial.unique_evaluations(), parallel.unique_evaluations());
 }
 
+/// A 1-candidate batch over a many-layer workload: the engine's fan-out
+/// unit is the layer mapping, so the parallel engine must both (a) return
+/// results bit-identical to serial and (b) observably distribute the
+/// per-layer jobs across its workers (per-thread pull counts in the
+/// `engine/mapping` batch record sum to the unique layer count).
+#[test]
+fn single_candidate_multi_layer_batch_is_bit_identical_and_distributed() {
+    use edse_telemetry::{Event, MemorySink};
+    let serial = edge_evaluator(EvalEngine::serial());
+    let sink = MemorySink::new();
+    let collector = Collector::builder().sink(sink.clone()).build();
+    let parallel = edge_evaluator(EvalEngine::with_threads(4)).with_telemetry(collector);
+    let batch = vec![serial.space().minimum_point()];
+    let a: Vec<Evaluation> = serial.evaluate_batch(&batch);
+    let b: Vec<Evaluation> = parallel.evaluate_batch(&batch);
+    assert_eq!(a, b);
+    assert_eq!(serial.unique_evaluations(), parallel.unique_evaluations());
+
+    let layers = zoo::resnet18().unique_shape_count() as u64;
+    let mapping_records: Vec<_> = sink
+        .events()
+        .into_iter()
+        .filter_map(|e| match e {
+            Event::Batch { record, .. } if record.stage == "engine/mapping" => Some(record),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(mapping_records.len(), 1, "one mapping fan-out phase");
+    assert_eq!(mapping_records[0].items, layers);
+    assert_eq!(
+        mapping_records[0].per_thread.iter().sum::<u64>(),
+        layers,
+        "every layer job pulled exactly once"
+    );
+    assert_eq!(mapping_records[0].per_thread.len(), 4.min(layers as usize));
+}
+
 #[test]
 fn serial_and_parallel_searches_are_bit_identical() {
     let config = DseConfig {

@@ -698,6 +698,22 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
         }
         tasks
     }
+
+    /// The serial batch path: points evaluated in order on the calling
+    /// thread, reported as one `engine/serial` batch record.
+    fn serial_batch(&self, points: &[DesignPoint]) -> Vec<Result<Evaluation, EvalFault>> {
+        let evals: Vec<Result<Evaluation, EvalFault>> =
+            points.iter().map(|p| self.try_evaluate(p)).collect();
+        if self.telemetry.active() && !points.is_empty() {
+            self.telemetry.batch(BatchRecord {
+                stage: "engine/serial".to_string(),
+                items: points.len() as u64,
+                threads: 1,
+                per_thread: vec![points.len() as u64],
+            });
+        }
+        evals
+    }
 }
 
 /// Fan `work(i)` for `i in 0..n` out over `threads` scoped workers pulling
@@ -784,29 +800,36 @@ impl<M: MappingOptimizer> Evaluator for CodesignEvaluator<M> {
     /// the per-point cost assembly. Results are position-aligned with
     /// `points` and bit-for-bit identical to the serial path.
     ///
+    /// The fan-out unit is a *layer mapping*, not a point: a batch with a
+    /// single candidate but many uncached layers still spreads its mapping
+    /// work across all workers. The serial path is taken only when there
+    /// is genuinely nothing to distribute — one worker thread, or at most
+    /// one point needing at most one mapping.
+    ///
     /// Worker panics cannot escape: every mapper call runs under the fault
     /// boundary's panic guard, so a faulted candidate yields `Err` in its
     /// slot while the rest of the batch completes normally.
     ///
     /// With telemetry attached, each phase emits a [`BatchRecord`] with
     /// per-worker pull counts (stages `engine/mapping` and
-    /// `engine/points`; the single-threaded path emits `engine/serial`).
+    /// `engine/points`; the single-threaded path emits `engine/serial`),
+    /// plus `engine/layer_jobs` and `engine/point_jobs` counters totalling
+    /// the work items the engine distributed.
     fn try_evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Result<Evaluation, EvalFault>> {
         let threads = self.engine.resolved_threads();
-        if threads <= 1 || points.len() <= 1 {
-            let evals: Vec<Result<Evaluation, EvalFault>> =
-                points.iter().map(|p| self.try_evaluate(p)).collect();
-            if self.telemetry.active() && !points.is_empty() {
-                self.telemetry.batch(BatchRecord {
-                    stage: "engine/serial".to_string(),
-                    items: points.len() as u64,
-                    threads: 1,
-                    per_thread: vec![points.len() as u64],
-                });
-            }
-            return evals;
+        if threads <= 1 {
+            return self.serial_batch(points);
         }
         let tasks = self.pending_layer_tasks(points);
+        if points.len() <= 1 && tasks.len() <= 1 {
+            return self.serial_batch(points);
+        }
+        if self.telemetry.active() {
+            self.telemetry
+                .counter("engine/layer_jobs", tasks.len() as u64);
+            self.telemetry
+                .counter("engine/point_jobs", points.len() as u64);
+        }
         let per_thread = fan_out(tasks.len(), threads, |i| {
             let (shape, cfg) = &tasks[i];
             let _ = self.map_layer(shape, cfg);
@@ -1202,6 +1225,54 @@ mod tests {
             })
             .collect();
         assert_eq!(stages, vec!["engine/mapping", "engine/points"]);
+    }
+
+    #[test]
+    fn single_point_batch_distributes_layer_mapping_jobs() {
+        use edse_telemetry::{Event, MemorySink};
+        let sink = MemorySink::new();
+        let collector = Collector::builder().sink(sink.clone()).build();
+        let ev = evaluator()
+            .with_engine(EvalEngine::with_threads(4))
+            .with_telemetry(collector.clone());
+        let p = ev.space().minimum_point();
+        // One candidate, many uncached layers: the engine must fan the
+        // per-layer mapping jobs out instead of degrading to serial.
+        let batch = ev.evaluate_batch(std::slice::from_ref(&p));
+        assert_eq!(batch, vec![evaluator().evaluate(&p)]);
+        assert_eq!(ev.unique_evaluations(), 1);
+
+        let layers = zoo::resnet18().unique_shape_count() as u64;
+        assert_eq!(collector.counter_value("engine/layer_jobs"), layers);
+        assert_eq!(collector.counter_value("engine/point_jobs"), 1);
+        let records: Vec<BatchRecord> = sink
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Batch { record, .. } => Some(record),
+                _ => None,
+            })
+            .collect();
+        let stages: Vec<&str> = records.iter().map(|r| r.stage.as_str()).collect();
+        assert_eq!(stages, vec!["engine/mapping", "engine/points"]);
+        // Every layer job was pulled by exactly one of the 4 workers.
+        assert_eq!(records[0].items, layers);
+        assert_eq!(records[0].threads, 4);
+        assert_eq!(records[0].per_thread.len(), 4.min(layers as usize));
+        assert_eq!(records[0].per_thread.iter().sum::<u64>(), layers);
+        assert_eq!(records[1].items, 1);
+
+        // A fully cached repeat has nothing to distribute: serial path.
+        ev.evaluate_batch(std::slice::from_ref(&p));
+        let last_stage = sink
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Batch { record, .. } => Some(record.stage),
+                _ => None,
+            })
+            .next_back();
+        assert_eq!(last_stage.as_deref(), Some("engine/serial"));
     }
 
     #[test]

@@ -107,6 +107,16 @@ impl BatchRecord {
         let mean = self.items as f64 / self.per_thread.len().max(1) as f64;
         mean / max as f64
     }
+
+    /// Engine workers that contributed nothing to this batch: threads that
+    /// pulled zero items plus threads the engine never spawned because the
+    /// batch had fewer items than workers. Zero means every resolved
+    /// thread did useful work.
+    pub fn idle_workers(&self) -> u64 {
+        let starved = self.per_thread.iter().filter(|&&n| n == 0).count() as u64;
+        let unspawned = self.threads.saturating_sub(self.per_thread.len() as u64);
+        starved + unspawned
+    }
 }
 
 /// Aggregated distribution summary for one histogram.
@@ -549,6 +559,7 @@ mod tests {
             per_thread: vec![2, 2, 2, 2],
         };
         assert!((even.balance() - 1.0).abs() < 1e-12);
+        assert_eq!(even.idle_workers(), 0);
         let skewed = BatchRecord {
             per_thread: vec![8, 0],
             items: 8,
@@ -556,6 +567,16 @@ mod tests {
             stage: "engine/points".into(),
         };
         assert!(skewed.balance() < 0.6);
+        // One spawned-but-starved worker.
+        assert_eq!(skewed.idle_workers(), 1);
+        // Two items over four threads: two workers never spawned.
+        let small = BatchRecord {
+            per_thread: vec![1, 1],
+            items: 2,
+            threads: 4,
+            stage: "engine/mapping".into(),
+        };
+        assert_eq!(small.idle_workers(), 2);
     }
 
     #[test]

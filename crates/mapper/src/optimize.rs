@@ -15,10 +15,13 @@ use crate::space::{MappingSpace, SpaceBudget};
 use accel_model::mapping::prime_factors;
 use accel_model::{AcceleratorConfig, ExecutionProfile, Mapping, Stationarity, Tiling};
 use edse_telemetry::Collector;
+use energy_area::Tech;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::rc::Rc;
 use std::sync::Mutex;
 use workloads::layer::Dim;
 use workloads::LayerShape;
@@ -105,7 +108,11 @@ impl<M: MappingOptimizer> MappingOptimizer for &M {
 pub struct InstrumentedMapper<M> {
     inner: M,
     telemetry: Collector,
-    prefix: String,
+    // Metric names are fixed at construction, so the per-call path
+    // allocates nothing.
+    timer_metric: String,
+    feasible_metric: String,
+    infeasible_metric: String,
 }
 
 impl<M: MappingOptimizer> InstrumentedMapper<M> {
@@ -113,9 +120,11 @@ impl<M: MappingOptimizer> InstrumentedMapper<M> {
     pub fn new(inner: M, telemetry: Collector) -> Self {
         let prefix = format!("mapper/{}", inner.name());
         InstrumentedMapper {
+            timer_metric: format!("{prefix}/optimize_us"),
+            feasible_metric: format!("{prefix}/feasible"),
+            infeasible_metric: format!("{prefix}/infeasible"),
             inner,
             telemetry,
-            prefix,
         }
     }
 
@@ -131,16 +140,15 @@ impl<M: MappingOptimizer> MappingOptimizer for InstrumentedMapper<M> {
             return self.inner.optimize(layer, cfg);
         }
         let result = {
-            let _timer = self.telemetry.time(&format!("{}/optimize_us", self.prefix));
+            let _timer = self.telemetry.time(&self.timer_metric);
             self.inner.optimize(layer, cfg)
         };
         let outcome = if result.is_some() {
-            "feasible"
+            &self.feasible_metric
         } else {
-            "infeasible"
+            &self.infeasible_metric
         };
-        self.telemetry
-            .counter(&format!("{}/{outcome}", self.prefix), 1);
+        self.telemetry.counter(outcome, 1);
         result
     }
 
@@ -267,14 +275,17 @@ pub fn best_ordering(
     cfg: &AcceleratorConfig,
     tiling: &Tiling,
 ) -> Option<MappedLayer> {
+    // The ordering-invariant work (validity, tile volumes, NoC geometry,
+    // available reuse) runs once per tiling; each of the nine orderings is
+    // then a cheap completion, bit-identical to a full `cfg.execute`.
+    let eval = cfg.prepare_tiling(layer, tiling, &Tech::n45()).ok()?;
     let mut best: Option<MappedLayer> = None;
     for spm in Stationarity::ALL {
         for dram in Stationarity::ALL {
-            let m = Mapping::new(*tiling, spm, dram);
-            if let Ok(profile) = cfg.execute(layer, &m) {
+            if let Ok(profile) = eval.complete(spm, dram) {
                 if best.is_none_or(|b| profile.latency_cycles < b.profile.latency_cycles) {
                     best = Some(MappedLayer {
-                        mapping: m,
+                        mapping: Mapping::new(*tiling, spm, dram),
                         profile,
                     });
                 }
@@ -391,12 +402,31 @@ impl MappingOptimizer for InterstellarMapper {
     }
 }
 
+thread_local! {
+    /// Per-thread memo for [`prime_factors`]: the stochastic mappers factor
+    /// the same few dozen dimension extents and factor products on every
+    /// sample/move, so the factorization is worth caching. Thread-local
+    /// keeps the optimizers shared-state free (no cross-thread locking).
+    static PRIME_FACTORS: RefCell<HashMap<u64, Rc<[u64]>>> = RefCell::new(HashMap::new());
+}
+
+/// Memoized [`prime_factors`].
+fn cached_prime_factors(n: u64) -> Rc<[u64]> {
+    PRIME_FACTORS.with(|cache| {
+        cache
+            .borrow_mut()
+            .entry(n)
+            .or_insert_with(|| prime_factors(n).into())
+            .clone()
+    })
+}
+
 /// Samples a uniformly random *valid factorization* tiling: every prime
 /// factor of every dimension is assigned to a uniformly random level.
 pub fn random_tiling(layer: &LayerShape, rng: &mut StdRng) -> Tiling {
     let mut factors = [[1u64; 4]; 7];
     for d in Dim::ALL {
-        for p in prime_factors(layer.dim(d)) {
+        for &p in cached_prime_factors(layer.dim(d)).iter() {
             let level = rng.gen_range(0..4usize);
             factors[d.index()][level] *= p;
         }
@@ -421,7 +451,7 @@ fn neighbor_tiling(layer: &LayerShape, t: &Tiling, rng: &mut StdRng) -> Tiling {
         return *t;
     }
     let from = from_candidates[rng.gen_range(0..from_candidates.len())];
-    let primes = prime_factors(factors[i][from]);
+    let primes = cached_prime_factors(factors[i][from]);
     let p = primes[rng.gen_range(0..primes.len())];
     let mut to = rng.gen_range(0..4usize);
     if to == from {
@@ -492,10 +522,13 @@ impl MappingOptimizer for AnnealingMapper {
     fn optimize(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<MappedLayer> {
         let mut rng = derived_rng(self.seed, layer, cfg);
         let mut current = random_tiling(layer, &mut rng);
-        let mut current_cost = best_ordering(layer, cfg, &current)
+        // One evaluation serves both the cost of the initial state and the
+        // incumbent (`best_ordering` consumes no randomness, so this
+        // changes nothing downstream).
+        let mut best: Option<MappedLayer> = best_ordering(layer, cfg, &current);
+        let mut current_cost = best
             .map(|c| c.profile.latency_cycles)
             .unwrap_or(f64::INFINITY);
-        let mut best: Option<MappedLayer> = best_ordering(layer, cfg, &current);
         for step in 0..self.trials {
             let temp = self.initial_temp * (1.0 - step as f64 / self.trials as f64).max(1e-3);
             let cand = neighbor_tiling(layer, &current, &mut rng);

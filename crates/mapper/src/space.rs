@@ -11,6 +11,9 @@
 
 use accel_model::{AcceleratorConfig, Level, Mapping, Stationarity, Tiling};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
 use workloads::layer::Dim;
 use workloads::{LayerShape, Tensor};
 
@@ -93,7 +96,44 @@ impl MappingSpace {
     /// Always returns at least one tiling when the layer fits the hardware
     /// at all (the all-DRAM tiling with one PE is valid whenever the unit
     /// working set fits the register file).
+    ///
+    /// The staged DFS enumeration runs at most once per stage input: the
+    /// threshold auto-adjustment re-runs only the cheap filter/assembly
+    /// over memoized per-stage choice lists (`StagedEnumerator`),
+    /// settling on exactly the tilings and thresholds the original
+    /// relax-and-re-enumerate loop would ([`Self::build_reference`], the
+    /// retained oracle a property test compares against).
     pub fn build(layer: &LayerShape, cfg: &AcceleratorConfig, budget: SpaceBudget) -> Self {
+        let mut enumerator = StagedEnumerator::new(layer, cfg, budget);
+        let mut thresholds = Thresholds::aggressive();
+        let mut tilings = enumerator.select(thresholds);
+        let mut rounds = 0;
+        while tilings.len() < budget.n_min && rounds < 5 {
+            thresholds = thresholds.relaxed();
+            tilings = enumerator.select(thresholds);
+            rounds += 1;
+        }
+        if tilings.is_empty() {
+            // Last resort: serial execution on one PE if it validates.
+            let t = fallback_serial(layer, cfg);
+            tilings.extend(t);
+        }
+        Self {
+            tilings,
+            thresholds,
+        }
+    }
+
+    /// The original relax-and-re-enumerate construction, which re-runs the
+    /// full staged DFS on every threshold adjustment. Retained verbatim as
+    /// the differential oracle for the single-pass [`Self::build`]; the two
+    /// must agree exactly (same tilings, same order, same settled
+    /// thresholds) on every input.
+    pub fn build_reference(
+        layer: &LayerShape,
+        cfg: &AcceleratorConfig,
+        budget: SpaceBudget,
+    ) -> Self {
         let mut thresholds = Thresholds::aggressive();
         let mut tilings = enumerate(layer, cfg, thresholds, budget);
         let mut rounds = 0;
@@ -103,7 +143,6 @@ impl MappingSpace {
             rounds += 1;
         }
         if tilings.is_empty() {
-            // Last resort: serial execution on one PE if it validates.
             let t = fallback_serial(layer, cfg);
             tilings.extend(t);
         }
@@ -191,6 +230,36 @@ fn divisors(n: u64) -> Vec<u64> {
     out
 }
 
+thread_local! {
+    /// Per-thread memo for [`divisors`]: the staged DFS requests the same
+    /// few quota values (dimension extents and their quotients) at every
+    /// tree node, so factoring them once per thread removes the dominant
+    /// allocation/sort cost of enumeration. Thread-local keeps space
+    /// construction lock-free across engine threads.
+    static DIVISORS: RefCell<HashMap<u64, Rc<[u64]>>> = RefCell::new(HashMap::new());
+}
+
+/// Memoized [`divisors`].
+fn cached_divisors(n: u64) -> Rc<[u64]> {
+    DIVISORS.with(|cache| {
+        cache
+            .borrow_mut()
+            .entry(n)
+            .or_insert_with(|| divisors(n).into())
+            .clone()
+    })
+}
+
+/// Per-dimension divisor lists, indexed by [`Dim::index`]. A DFS stage's
+/// quotas are fixed for the whole run, so the lists are fetched once up
+/// front and the recursion itself touches no cache.
+type DimDivisors = [Rc<[u64]>; 7];
+
+fn quota_divisors<Q: Fn(Dim) -> u64>(quota: Q) -> DimDivisors {
+    // `Dim::ALL[i].index() == i`, so this array is indexed by `Dim::index`.
+    Dim::ALL.map(|d| cached_divisors(quota(d)))
+}
+
 /// Stage caps keep each stage's fan-out bounded; they scale with the
 /// requested space size.
 fn stage_caps(budget: SpaceBudget) -> (usize, usize, usize) {
@@ -216,12 +285,16 @@ fn enumerate(
     let spatial_dims = [Dim::M, Dim::C, Dim::Oy, Dim::Ox];
     let mut spatial_choices: Vec<(Extents, f64)> = Vec::new();
     let mut sp = [1u64; 7];
+    let spatial_divs = quota_divisors(|d| layer.dim(d));
     dfs_spatial(
         layer,
         cfg,
         &spatial_dims,
+        &spatial_divs,
         0,
         &mut sp,
+        1,
+        [1; 4],
         &mut spatial_choices,
         4096,
     );
@@ -252,15 +325,16 @@ fn enumerate(
         let rf_dims = [Dim::C, Dim::Fy, Dim::Fx, Dim::Ox];
         let mut rf_choices: Vec<(Extents, f64)> = Vec::new();
         let mut rf = [1u64; 7];
+        let rf_divs = quota_divisors(|d| layer.dim(d) / sp[d.index()]);
         dfs_fill(
             layer,
             &rf_dims,
+            &rf_divs,
             0,
             &mut rf,
-            &|d| layer.dim(d) / sp[d.index()],
-            &|ext| working_set_bytes(layer, ext, elem) <= cfg.l1_bytes,
+            &|ext: &Extents| working_set_bytes(layer, ext, elem),
+            cfg.l1_bytes,
             &mut rf_choices,
-            &|ext| working_set_bytes(layer, ext, elem) as f64 / cfg.l1_bytes as f64,
             1024,
         );
         rf_choices.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
@@ -292,15 +366,16 @@ fn enumerate(
                 }
                 e
             };
+            let l2_divs = quota_divisors(|d| layer.dim(d) / (sp[d.index()] * rf[d.index()]));
             dfs_fill(
                 layer,
                 &l2_dims,
+                &l2_divs,
                 0,
                 &mut l2,
-                &|d| layer.dim(d) / (sp[d.index()] * rf[d.index()]),
-                &|ext| working_set_bytes(layer, &spm_ext(ext), elem) <= cfg.l2_bytes,
+                &|ext: &Extents| working_set_bytes(layer, &spm_ext(ext), elem),
+                cfg.l2_bytes,
                 &mut l2_choices,
-                &|ext| working_set_bytes(layer, &spm_ext(ext), elem) as f64 / cfg.l2_bytes as f64,
                 512,
             );
             l2_choices.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
@@ -349,34 +424,229 @@ fn enumerate(
     result.into_iter().map(|(t, _)| t).collect()
 }
 
+/// Single-pass space enumeration: each DFS stage (spatial, per-spatial
+/// register-file, per-(spatial, rf) scratchpad) runs at most once per
+/// distinct input and its sorted choice list is memoized, because none of
+/// the stages depend on the pruning thresholds — only the filter/assembly
+/// over their outputs does. [`StagedEnumerator::select`] re-runs just that
+/// cheap selection per threshold level, so the auto-adjustment loop in
+/// [`MappingSpace::build`] costs one enumeration instead of up to six.
+///
+/// `select(th)` reproduces `enumerate(layer, cfg, th, budget)` exactly:
+/// identical tilings in identical order, including the keep-the-best-few
+/// fallbacks taken when a threshold filters a stage to nothing.
+struct StagedEnumerator<'a> {
+    layer: &'a LayerShape,
+    cfg: &'a AcceleratorConfig,
+    budget: SpaceBudget,
+    /// Spatial-stage choices, PE utilization, sorted highest first.
+    spatial: Vec<(Extents, f64)>,
+    /// Per-spatial-choice sorted RF-stage choice lists.
+    rf: HashMap<Extents, Vec<(Extents, f64)>>,
+    /// Per-(spatial, rf) sorted scratchpad-stage choice lists.
+    l2: HashMap<(Extents, Extents), Vec<(Extents, f64)>>,
+}
+
+impl<'a> StagedEnumerator<'a> {
+    fn new(layer: &'a LayerShape, cfg: &'a AcceleratorConfig, budget: SpaceBudget) -> Self {
+        // The spatial stage has a single input; enumerate it eagerly.
+        let spatial_dims = [Dim::M, Dim::C, Dim::Oy, Dim::Ox];
+        let mut spatial: Vec<(Extents, f64)> = Vec::new();
+        let mut sp = [1u64; 7];
+        let spatial_divs = quota_divisors(|d| layer.dim(d));
+        dfs_spatial(
+            layer,
+            cfg,
+            &spatial_dims,
+            &spatial_divs,
+            0,
+            &mut sp,
+            1,
+            [1; 4],
+            &mut spatial,
+            4096,
+        );
+        spatial.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        Self {
+            layer,
+            cfg,
+            budget,
+            spatial,
+            rf: HashMap::new(),
+            l2: HashMap::new(),
+        }
+    }
+
+    /// One threshold level's space: filter each memoized stage list and
+    /// assemble tilings, mirroring `enumerate` step for step.
+    fn select(&mut self, th: Thresholds) -> Vec<Tiling> {
+        let StagedEnumerator {
+            layer,
+            cfg,
+            budget,
+            spatial,
+            rf,
+            l2,
+        } = self;
+        let (layer, cfg, budget) = (*layer, *cfg, *budget);
+        let (spatial_cap, rf_cap, l2_cap) = stage_caps(budget);
+        let elem = cfg.elem_bytes;
+
+        let mut kept_spatial: Vec<Extents> = spatial
+            .iter()
+            .filter(|(_, u)| *u >= th.pe)
+            .map(|(e, _)| *e)
+            .take(spatial_cap)
+            .collect();
+        if kept_spatial.is_empty() {
+            kept_spatial = spatial
+                .iter()
+                .map(|(e, _)| *e)
+                .take(4.min(spatial_cap))
+                .collect();
+        }
+
+        let mut result: Vec<(Tiling, f64)> = Vec::new();
+
+        for sp in &kept_spatial {
+            let rf_choices = rf.entry(*sp).or_insert_with(|| {
+                let rf_dims = [Dim::C, Dim::Fy, Dim::Fx, Dim::Ox];
+                let mut choices: Vec<(Extents, f64)> = Vec::new();
+                let mut rfe = [1u64; 7];
+                let rf_divs = quota_divisors(|d| layer.dim(d) / sp[d.index()]);
+                dfs_fill(
+                    layer,
+                    &rf_dims,
+                    &rf_divs,
+                    0,
+                    &mut rfe,
+                    &|ext: &Extents| working_set_bytes(layer, ext, elem),
+                    cfg.l1_bytes,
+                    &mut choices,
+                    1024,
+                );
+                choices.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+                choices
+            });
+            let mut kept_rf: Vec<Extents> = rf_choices
+                .iter()
+                .filter(|(_, u)| *u >= th.rf)
+                .map(|(e, _)| *e)
+                .take(rf_cap)
+                .collect();
+            if kept_rf.is_empty() {
+                kept_rf = rf_choices
+                    .iter()
+                    .map(|(e, _)| *e)
+                    .take(2.min(rf_cap))
+                    .collect();
+            }
+
+            for rfe in &kept_rf {
+                let l2_choices = l2.entry((*sp, *rfe)).or_insert_with(|| {
+                    let l2_dims = Dim::ALL;
+                    let mut choices: Vec<(Extents, f64)> = Vec::new();
+                    let mut l2e = [1u64; 7];
+                    let spm_ext = |inner: &Extents| {
+                        let mut e = [1u64; 7];
+                        for d in Dim::ALL {
+                            let i = d.index();
+                            e[i] = rfe[i] * sp[i] * inner[i];
+                        }
+                        e
+                    };
+                    let l2_divs =
+                        quota_divisors(|d| layer.dim(d) / (sp[d.index()] * rfe[d.index()]));
+                    dfs_fill(
+                        layer,
+                        &l2_dims,
+                        &l2_divs,
+                        0,
+                        &mut l2e,
+                        &|ext: &Extents| working_set_bytes(layer, &spm_ext(ext), elem),
+                        cfg.l2_bytes,
+                        &mut choices,
+                        512,
+                    );
+                    choices.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+                    choices
+                });
+                let mut kept_l2: Vec<(Extents, f64)> = l2_choices
+                    .iter()
+                    .filter(|(_, u)| *u >= th.spm)
+                    .take(l2_cap)
+                    .cloned()
+                    .collect();
+                if kept_l2.is_empty() {
+                    kept_l2 = l2_choices.iter().take(2.min(l2_cap)).cloned().collect();
+                }
+
+                let pe_util = sp.iter().product::<u64>() as f64 / cfg.pes as f64;
+                for (l2e, spm_util) in kept_l2 {
+                    let mut factors = [[1u64; 4]; 7];
+                    let mut ok = true;
+                    for d in Dim::ALL {
+                        let i = d.index();
+                        let product = rfe[i] * sp[i] * l2e[i];
+                        if !layer.dim(d).is_multiple_of(product) {
+                            ok = false;
+                            break;
+                        }
+                        factors[i][Level::Rf.index()] = rfe[i];
+                        factors[i][Level::Spatial.index()] = sp[i];
+                        factors[i][Level::Spm.index()] = l2e[i];
+                        factors[i][Level::Dram.index()] = layer.dim(d) / product;
+                    }
+                    if !ok {
+                        continue;
+                    }
+                    if let Ok(t) = Tiling::from_factors(layer, factors) {
+                        result.push((t, pe_util * (1.0 + spm_util)));
+                    }
+                }
+            }
+            if result.len() >= budget.n_max * 2 {
+                break;
+            }
+        }
+
+        result.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        result.dedup_by(|a, b| a.0 == b.0);
+        result.truncate(budget.n_max);
+        result.into_iter().map(|(t, _)| t).collect()
+    }
+}
+
 /// DFS over spatial factor choices with PE-budget and NoC-capacity pruning.
 /// Divisors are visited in descending order and enumeration stops at
 /// `max_leaves`, so the highest-parallelism choices are collected first.
+///
+/// `pes_used` and per-operand NoC `groups` are carried down the recursion
+/// incrementally (dims at depth ≥ `i` are still 1, so the running products
+/// equal the full products the checks need).
+#[allow(clippy::too_many_arguments)]
 fn dfs_spatial(
     layer: &LayerShape,
     cfg: &AcceleratorConfig,
     dims: &[Dim],
+    divs: &DimDivisors,
     i: usize,
     sp: &mut Extents,
+    pes_used: u64,
+    groups: [u64; 4],
     out: &mut Vec<(Extents, f64)>,
     max_leaves: usize,
 ) {
     if out.len() >= max_leaves {
         return;
     }
-    let pes_used: u64 = sp.iter().product();
     if pes_used > cfg.pes {
         return;
     }
     // NoC capacity: groups per operand only grow with more spatial factors.
     for op in Tensor::ALL {
-        let groups: u64 = Dim::ALL
-            .iter()
-            .filter(|d| layer.relevant(op, **d))
-            .map(|d| sp[d.index()])
-            .product();
         let cap = cfg.noc_phys_links[op.index()] * cfg.noc_virt_links[op.index()];
-        if groups > cap {
+        if groups[op.index()] > cap {
             return;
         }
     }
@@ -385,38 +655,74 @@ fn dfs_spatial(
         return;
     }
     let d = dims[i];
-    for f in divisors(layer.dim(d)).into_iter().rev() {
+    for &f in divs[d.index()].iter().rev() {
         sp[d.index()] = f;
-        dfs_spatial(layer, cfg, dims, i + 1, sp, out, max_leaves);
+        let mut g = groups;
+        for op in Tensor::ALL {
+            if layer.relevant(op, d) {
+                g[op.index()] *= f;
+            }
+        }
+        dfs_spatial(
+            layer,
+            cfg,
+            dims,
+            divs,
+            i + 1,
+            sp,
+            pes_used * f,
+            g,
+            out,
+            max_leaves,
+        );
     }
     sp[d.index()] = 1;
 }
 
-/// Generic DFS over per-dimension divisor choices with a monotone capacity
-/// predicate; every feasible leaf is recorded with its utilization score.
-#[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
-fn dfs_fill(
+/// Generic DFS over per-dimension divisor choices pruned by a monotone
+/// working-set capacity: a node is cut when `working_set(ext) > cap_bytes`,
+/// and every surviving leaf is recorded with its utilization score
+/// `working_set / cap_bytes` — one working-set evaluation per node serves
+/// both the feasibility check and the score.
+#[allow(clippy::only_used_in_recursion, clippy::too_many_arguments)]
+fn dfs_fill<W>(
     layer: &LayerShape,
     dims: &[Dim],
+    divs: &DimDivisors,
     i: usize,
     ext: &mut Extents,
-    quota: &dyn Fn(Dim) -> u64,
-    fits: &dyn Fn(&Extents) -> bool,
+    working_set: &W,
+    cap_bytes: u64,
     out: &mut Vec<(Extents, f64)>,
-    score: &dyn Fn(&Extents) -> f64,
     max_leaves: usize,
-) {
-    if out.len() >= max_leaves || !fits(ext) {
+) where
+    W: Fn(&Extents) -> u64,
+{
+    if out.len() >= max_leaves {
+        return;
+    }
+    let ws = working_set(ext);
+    if ws > cap_bytes {
         return;
     }
     if i == dims.len() {
-        out.push((*ext, score(ext)));
+        out.push((*ext, ws as f64 / cap_bytes as f64));
         return;
     }
     let d = dims[i];
-    for f in divisors(quota(d)).into_iter().rev() {
+    for &f in divs[d.index()].iter().rev() {
         ext[d.index()] = f;
-        dfs_fill(layer, dims, i + 1, ext, quota, fits, out, score, max_leaves);
+        dfs_fill(
+            layer,
+            dims,
+            divs,
+            i + 1,
+            ext,
+            working_set,
+            cap_bytes,
+            out,
+            max_leaves,
+        );
     }
     ext[d.index()] = 1;
 }

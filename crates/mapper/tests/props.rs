@@ -113,6 +113,27 @@ proptest! {
         prop_assert_eq!(a.map(|x| x.mapping), b.map(|x| x.mapping));
     }
 
+    /// The single-pass staged enumeration behind `MappingSpace::build`
+    /// settles on exactly the spaces the multi-pass reference builds: same
+    /// tilings, same order, for every budget/hardware combination.
+    #[test]
+    fn staged_space_build_matches_reference(layer in arb_layer()) {
+        for cfg in [AcceleratorConfig::edge_baseline(), AcceleratorConfig::edge_minimum()] {
+            for budget in [SpaceBudget::top(32), SpaceBudget::paper_default()] {
+                let staged = MappingSpace::build(&layer, &cfg, budget);
+                let reference = MappingSpace::build_reference(&layer, &cfg, budget);
+                prop_assert_eq!(
+                    staged.tilings().len(),
+                    reference.tilings().len(),
+                    "space size diverged"
+                );
+                for (a, b) in staged.tilings().iter().zip(reference.tilings()) {
+                    prop_assert_eq!(a.factors(), b.factors(), "tiling order diverged");
+                }
+            }
+        }
+    }
+
     /// The closed-form ordered-factorization count is multiplicative over
     /// coprime arguments.
     #[test]

@@ -36,6 +36,12 @@ cargo fmt --check
 echo "==> cargo doc --workspace --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+echo "==> micro-bench smoke: every bench body runs once (--test mode)"
+# Criterion's --test mode executes each registered bench exactly once with
+# no measurement loop, so a broken bench fails the gate in seconds instead
+# of surfacing at the next perf run.
+timeout 300 cargo bench -q -p bench -- --test > /dev/null
+
 echo "==> telemetry smoke: fig04_toy_trace --trace-out + trace_report"
 trace_tmp="$(mktemp -d)"
 trap 'rm -rf "$trace_tmp"' EXIT

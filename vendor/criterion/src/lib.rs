@@ -6,6 +6,10 @@
 //! `criterion_main!` macros. Measurement is a plain wall-clock loop — a
 //! short warm-up, then batches until a time budget is spent — reporting
 //! mean ns/iteration. No statistics, plots, or baselines.
+//!
+//! Like upstream criterion, `--test` runs every benchmark body exactly
+//! once without timing it — the smoke mode CI uses to keep bench binaries
+//! from rotting without paying for a measurement.
 
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};
@@ -19,6 +23,8 @@ pub struct Criterion {
     /// Substring filters from the CLI (non-flag args); empty = run all.
     filters: Vec<String>,
     measurement_time: Duration,
+    /// `--test`: run each body once, untimed (upstream's smoke mode).
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -27,7 +33,8 @@ impl Default for Criterion {
             .skip(1)
             .filter(|a| !a.starts_with('-'))
             .collect();
-        Criterion { filters, measurement_time: Duration::from_millis(600) }
+        let test_mode = std::env::args().skip(1).any(|a| a == "--test");
+        Criterion { filters, measurement_time: Duration::from_millis(600), test_mode }
     }
 }
 
@@ -46,7 +53,23 @@ impl Criterion {
         {
             return self;
         }
-        let mut b = Bencher { total: Duration::ZERO, iters: 0, budget: self.measurement_time };
+        if self.test_mode {
+            let mut b = Bencher {
+                total: Duration::ZERO,
+                iters: 0,
+                budget: Duration::ZERO,
+                test_mode: true,
+            };
+            f(&mut b);
+            println!("Testing {name} ... ok");
+            return self;
+        }
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+            budget: self.measurement_time,
+            test_mode: false,
+        };
         f(&mut b);
         let mean_ns = if b.iters == 0 {
             0.0
@@ -74,10 +97,16 @@ pub struct Bencher {
     total: Duration,
     iters: u64,
     budget: Duration,
+    test_mode: bool,
 }
 
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std_black_box(f());
+            self.iters = 1;
+            return;
+        }
         // Warm-up and batch-size calibration: grow the batch until one
         // batch takes ~1/10 of the budget.
         let mut batch: u64 = 1;
