@@ -53,31 +53,11 @@ pub trait DseTechnique {
     /// (initial designs, whole non-adaptive sweeps) go through
     /// [`Evaluator::evaluate_batch`], so a parallel evaluator speeds them
     /// up without changing any result.
+    ///
+    /// For telemetry (a `baseline/<name>` span plus per-sample iteration
+    /// records) and checkpoint/resume, run the technique through
+    /// [`BaselineSession`] instead of calling this directly.
     fn run(&mut self, evaluator: &dyn Evaluator, budget: usize) -> Trace;
-
-    /// Runs the exploration with telemetry: wraps [`Self::run`] in a
-    /// `baseline/<name>` span and emits one iteration record per
-    /// evaluated sample (post hoc, via
-    /// [`Trace::emit_iteration_records`]), so black-box baselines produce
-    /// traces comparable line-for-line with the explainable DSE's live
-    /// records. Results are identical to [`Self::run`].
-    #[deprecated(
-        since = "0.4.0",
-        note = "use baselines::BaselineSession, which adds checkpoint/resume"
-    )]
-    fn run_traced(
-        &mut self,
-        evaluator: &dyn Evaluator,
-        budget: usize,
-        telemetry: &Collector,
-    ) -> Trace {
-        let trace = {
-            let _span = telemetry.span(&format!("baseline/{}", self.name()));
-            self.run(evaluator, budget)
-        };
-        trace.emit_iteration_records(telemetry, budget);
-        trace
-    }
 }
 
 /// Builder and runner for one baseline exploration: telemetry plus
@@ -127,8 +107,7 @@ impl<'t> BaselineSession<'t> {
     }
 
     /// Attaches a telemetry collector: the run gets a `baseline/<name>`
-    /// span and per-sample iteration records, exactly as the deprecated
-    /// `DseTechnique::run_traced` produced.
+    /// span and per-sample iteration records.
     pub fn telemetry(mut self, telemetry: Collector) -> Self {
         self.telemetry = telemetry;
         self
@@ -319,7 +298,7 @@ mod tests {
     }
 
     #[test]
-    fn run_traced_matches_run_and_emits_comparable_records() {
+    fn traced_session_matches_run_and_emits_comparable_records() {
         use edse_telemetry::{Event, MemorySink};
         let budget = 12;
         let plain = RandomSearch::new(3).run(&evaluator(), budget);
@@ -341,7 +320,7 @@ mod tests {
             events
                 .iter()
                 .any(|e| matches!(e, Event::SpanEnter { name, .. } if name == "baseline/random")),
-            "run_traced must open a technique span"
+            "the traced session must open a technique span"
         );
         let records: Vec<_> = events
             .into_iter()
@@ -363,17 +342,33 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_run_traced_matches_the_session_api() {
+    fn baseline_warm_starts_from_a_shared_disk_cache() {
+        use edse_core::DiskCache;
+        use std::sync::Arc;
+        let dir = std::env::temp_dir().join(format!(
+            "edse-baseline-diskcache-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
         let budget = 10;
-        let collector = Collector::noop();
-        #[allow(deprecated)]
-        let old = RandomSearch::new(5).run_traced(&evaluator(), budget, &collector);
+        let cold = {
+            let disk = Arc::new(DiskCache::open(&dir).unwrap());
+            let ev = evaluator().with_disk_cache(disk);
+            let mut technique = RandomSearch::new(5);
+            BaselineSession::new(&mut technique).run(&ev, budget)
+        };
+        // Same technique in a fresh process: identical trace, all layer
+        // mappings answered from disk.
+        let disk = Arc::new(DiskCache::open(&dir).unwrap());
+        let ev = evaluator().with_disk_cache(disk);
         let mut technique = RandomSearch::new(5);
-        let new = BaselineSession::new(&mut technique)
-            .telemetry(collector)
-            .run(&evaluator(), budget);
-        assert_eq!(old.samples, new.samples);
-        assert_eq!(old.technique, new.technique);
+        let warm = BaselineSession::new(&mut technique).run(&ev, budget);
+        assert_eq!(cold.samples, warm.samples, "warm must be bit-identical");
+        let disk_stats = ev.cache_stats().disk.unwrap();
+        assert!(disk_stats.hits > 0);
+        assert_eq!(disk_stats.misses, 0);
+        drop(ev);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //!
 //! Usage: `ablation_dse [--iters N] [--models a,b] [--seed N] [--json PATH]`
 
-use bench::{print_table, BenchArgs, BenchReport};
+use bench::{print_table, BenchArgs, BenchReport, SessionOpts};
 use edse_core::bottleneck::dnn_latency_model;
 use edse_core::cost::Trace;
 use edse_core::dse::{Aggregation, DseConfig};
@@ -27,9 +27,13 @@ fn run<M: MappingOptimizer>(
     mapper: M,
     config: DseConfig,
     telemetry: &Collector,
+    session: &SessionOpts,
 ) -> (String, String, String, Trace) {
-    let ev = CodesignEvaluator::new(edge_space(), vec![model.clone()], mapper)
+    let mut ev = CodesignEvaluator::new(edge_space(), vec![model.clone()], mapper)
         .with_telemetry(telemetry.clone());
+    if let Some(disk) = &session.disk {
+        ev = ev.with_disk_cache(disk.clone());
+    }
     let session = SearchSession::new(dnn_latency_model(), config)
         .evaluator(&ev)
         .telemetry(telemetry.clone());
@@ -53,6 +57,7 @@ fn main() {
     // Convergence comparisons need room even in quick mode.
     args.iters = args.iters.max(150);
     let telemetry = args.telemetry();
+    let session = args.session_opts(&telemetry);
     let models = args.models_or(&telemetry, vec![zoo::resnet18(), zoo::efficientnet_b0()]);
     let base = DseConfig {
         budget: args.iters,
@@ -114,9 +119,10 @@ fn main() {
                     LinearMapper::new(args.map_trials),
                     config,
                     &telemetry,
+                    &session,
                 )
             } else {
-                run(model, FixedMapper, config, &telemetry)
+                run(model, FixedMapper, config, &telemetry, &session)
             };
             telemetry.flush();
             report.push_trace(&format!("{name}/{}", model.name()), &trace);

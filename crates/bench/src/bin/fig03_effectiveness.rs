@@ -14,6 +14,7 @@ use workloads::zoo;
 fn main() {
     let args = BenchArgs::parse(2500);
     let telemetry = args.telemetry();
+    let session = args.session_opts(&telemetry);
     let model = zoo::efficientnet_b0();
     let constraints = constraints_for(std::slice::from_ref(&model));
     println!(
@@ -32,7 +33,7 @@ fn main() {
             args.iters,
             args.seed,
             &telemetry,
-            &args.session_opts(),
+            &session,
         );
         report.push_trace(kind.label(), &trace);
         report.metric(

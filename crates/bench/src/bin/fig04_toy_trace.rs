@@ -112,13 +112,16 @@ fn result_json(hm: &Trace, result: &DseResult, unique_evaluations: usize) -> Jso
 fn main() {
     let args = BenchArgs::parse(25);
     let telemetry = args.telemetry();
-    let opts = args.session_opts();
+    let opts = args.session_opts(&telemetry);
     let space = toy_space();
     let model = single_layer_model();
 
     // HyperMapper-2.0-style exploration (Fig. 4a).
-    let ev = CodesignEvaluator::new(space.clone(), vec![model.clone()], mapper::FixedMapper)
+    let mut ev = CodesignEvaluator::new(space.clone(), vec![model.clone()], mapper::FixedMapper)
         .with_telemetry(telemetry.clone());
+    if let Some(disk) = &opts.disk {
+        ev = ev.with_disk_cache(disk.clone());
+    }
     let mut technique = HyperMapperLike::new(args.seed);
     let mut hm_session = BaselineSession::new(&mut technique).telemetry(telemetry.clone());
     if let Some(path) = opts.path_for("hypermapper") {
@@ -132,8 +135,11 @@ fn main() {
     print_trace("HyperMapper 2.0 (black-box)", &space, &hm);
 
     // Explainable-DSE (Fig. 4b).
-    let ev = CodesignEvaluator::new(space.clone(), vec![model], mapper::FixedMapper)
+    let mut ev = CodesignEvaluator::new(space.clone(), vec![model], mapper::FixedMapper)
         .with_telemetry(telemetry.clone());
+    if let Some(disk) = &opts.disk {
+        ev = ev.with_disk_cache(disk.clone());
+    }
     let mut session = SearchSession::new(
         dnn_latency_model(),
         DseConfig {

@@ -17,6 +17,7 @@ use workloads::zoo;
 fn main() {
     let args = BenchArgs::parse(2500);
     let telemetry = args.telemetry();
+    let session = args.session_opts(&telemetry);
     let models = args.models_or(&telemetry, zoo::all_models());
     println!(
         "Fig. 9: best feasible latency (ms) after {} evaluations ({} mapping trials\n\
@@ -67,7 +68,7 @@ fn main() {
                 args.iters,
                 args.seed,
                 &telemetry,
-                &args.session_opts(),
+                &session,
             );
             report.push_trace(&format!("{label}/{}", model.name()), &trace);
             row.push(latency_cell(&trace, &constraints));

@@ -17,6 +17,7 @@ use workloads::zoo;
 fn main() {
     let args = BenchArgs::parse(2500);
     let telemetry = args.telemetry();
+    let session = args.session_opts(&telemetry);
     let default = vec![zoo::resnet18(), zoo::efficientnet_b0(), zoo::transformer()];
     let models = args.models_or(&telemetry, default);
 
@@ -56,7 +57,7 @@ fn main() {
                     args.iters,
                     args.seed,
                     &telemetry,
-                    &args.session_opts(),
+                    &session,
                 )
             } else {
                 let t = run_technique(
@@ -66,7 +67,7 @@ fn main() {
                     args.iters,
                     args.seed,
                     &telemetry,
-                    &args.session_opts(),
+                    &session,
                 );
                 (t, vec![])
             };

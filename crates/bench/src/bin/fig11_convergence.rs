@@ -19,6 +19,7 @@ fn fmt(v: f64) -> String {
 fn main() {
     let args = BenchArgs::parse(2500);
     let telemetry = args.telemetry();
+    let session = args.session_opts(&telemetry);
     let models = args.models_or(&telemetry, vec![zoo::efficientnet_b0(), zoo::transformer()]);
 
     let settings = [
@@ -46,7 +47,7 @@ fn main() {
                     args.iters,
                     args.seed,
                     &telemetry,
-                    &args.session_opts(),
+                    &session,
                 );
                 (format!("{}{}", kind.label(), mapper.suffix()), t)
             })

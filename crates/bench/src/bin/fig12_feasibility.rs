@@ -14,6 +14,7 @@ use workloads::zoo;
 fn main() {
     let args = BenchArgs::parse(2500);
     let telemetry = args.telemetry();
+    let session = args.session_opts(&telemetry);
     let default = vec![zoo::resnet18(), zoo::mobilenet_v2(), zoo::bert_base()];
     let models = args.models_or(&telemetry, default);
     println!(
@@ -55,7 +56,7 @@ fn main() {
                 args.iters,
                 args.seed,
                 &telemetry,
-                &args.session_opts(),
+                &session,
             );
             report.push_trace(&format!("{label}/{}", model.name()), &trace);
             area_power += trace.feasibility_rate_first(2, &constraints);

@@ -61,6 +61,7 @@ fn references() -> Vec<Reference> {
 fn main() {
     let args = BenchArgs::parse(400);
     let telemetry = args.telemetry();
+    let session = args.session_opts(&telemetry);
     println!("Fig. 14: DSE codesigns vs published edge accelerators\n");
 
     let mut report = BenchReport::new("fig14_casestudy", &args);
@@ -76,7 +77,7 @@ fn main() {
             args.iters,
             args.seed,
             &telemetry,
-            &args.session_opts(),
+            &session,
         );
         report.push_trace(&format!("explainable-codesign/{}", r.model), &trace);
         let Some(best) = trace.best_feasible() else {
@@ -91,11 +92,14 @@ fn main() {
             continue;
         };
         // Re-evaluate the best point for area/power/energy.
-        let ev = CodesignEvaluator::new(
+        let mut ev = CodesignEvaluator::new(
             edge_space(),
             vec![model.clone()],
             LinearMapper::new(args.map_trials),
         );
+        if let Some(disk) = &session.disk {
+            ev = ev.with_disk_cache(disk.clone());
+        }
         let eval = ev.evaluate(&best.point);
         let fps = 1000.0 / best.objective;
         let fps_per_mm2 = fps / eval.area_mm2;

@@ -70,12 +70,15 @@ fn main() {
         println!("  {:>14} x{:<3} {}", u.name, u.count, u.shape.describe());
     }
 
-    let evaluator = CodesignEvaluator::new(
+    let mut evaluator = CodesignEvaluator::new(
         edge_space(),
         vec![model],
         LinearMapper::new(args.map_trials),
     )
     .with_telemetry(telemetry.clone());
+    if let Some(disk) = &args.session_opts(&telemetry).disk {
+        evaluator = evaluator.with_disk_cache(disk.clone());
+    }
     let mut session = SearchSession::new(
         dnn_latency_model(),
         DseConfig {

@@ -18,6 +18,7 @@ fn main() {
         args.iters = 100; // Table 2's budget *is* the dynamic budget.
     }
     let telemetry = args.telemetry();
+    let session = args.session_opts(&telemetry);
     let models = args.models_or(&telemetry, zoo::all_models());
     println!(
         "Table 2: best feasible latency (ms) within {} iterations\n",
@@ -69,7 +70,7 @@ fn main() {
                 args.iters,
                 args.seed,
                 &telemetry,
-                &args.session_opts(),
+                &session,
             );
             report.push_trace(&format!("{label}/{}", model.name()), &trace);
             if *kind == TechniqueKind::Explainable {

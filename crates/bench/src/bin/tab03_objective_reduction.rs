@@ -19,6 +19,7 @@ fn cell(g: Option<f64>) -> String {
 fn main() {
     let args = BenchArgs::parse(2500);
     let telemetry = args.telemetry();
+    let session = args.session_opts(&telemetry);
     let default = vec![zoo::resnet18(), zoo::efficientnet_b0(), zoo::bert_base()];
     let models = args.models_or(&telemetry, default);
     println!(
@@ -62,7 +63,7 @@ fn main() {
                 args.iters,
                 args.seed,
                 &telemetry,
-                &args.session_opts(),
+                &session,
             );
             report.push_trace(&format!("{label}/{}", model.name()), &trace);
             report.metric(

@@ -182,7 +182,7 @@ fn main() {
     }
     if !totals.is_empty() {
         println!("## Evaluator caches\n");
-        for cache in ["point_cache/", "layer_cache/"] {
+        for cache in ["point_cache/", "layer_cache/", "disk_cache/"] {
             if let Some((rate, total)) = hit_rate(&totals, cache) {
                 report.metric(
                     &format!("{}hit_rate", cache),
@@ -198,9 +198,16 @@ fn main() {
                 );
             }
         }
+        // Everything not folded into a hit rate above; the disk tier's
+        // maintenance counters (appends, recovery) stay visible here.
         let other: Vec<(&String, &u64)> = totals
             .iter()
-            .filter(|(k, _)| !k.starts_with("point_cache/") && !k.starts_with("layer_cache/"))
+            .filter(|(k, _)| {
+                !k.starts_with("point_cache/")
+                    && !k.starts_with("layer_cache/")
+                    && k.as_str() != "disk_cache/hit"
+                    && k.as_str() != "disk_cache/miss"
+            })
             .collect();
         for (name, v) in other {
             println!("- {name}: {v}");

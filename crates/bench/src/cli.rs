@@ -7,8 +7,10 @@
 //! `--resume`, `--checkpoint-every`) are hosted, feeding
 //! [`SessionOpts`] into the technique runners.
 
+use edse_core::DiskCache;
 use edse_telemetry::{Collector, JsonlSink, Level, StderrSink};
 use std::path::PathBuf;
+use std::sync::Arc;
 use workloads::{zoo, DnnModel};
 
 /// Common experiment options parsed from the command line.
@@ -46,13 +48,23 @@ pub struct BenchArgs {
     /// Structured [`crate::report::BenchReport`] destination
     /// (`--json <path>`); every figure/table binary supports it.
     pub json: Option<String>,
+    /// Persistent evaluation-cache directory (`--cache-dir <path>`):
+    /// layer mappings are warm-started from (and appended to) an
+    /// [`edse_core::DiskCache`] there, shared across binaries and runs.
+    /// `None` keeps the disk tier off.
+    pub cache_dir: Option<String>,
+    /// Whether `--no-disk-cache` opts this run out of `--cache-dir`
+    /// (useful when a wrapper script passes the directory
+    /// unconditionally).
+    pub no_disk_cache: bool,
     /// Diagnostics accumulated while parsing (unknown flags, missing
     /// values, conflicting paths); surfaced as `Warn` logs once
     /// [`BenchArgs::telemetry`] builds the collector.
     pub warnings: Vec<String>,
 }
 
-/// Checkpoint/resume options carried from the CLI into a technique run.
+/// Checkpoint/resume and persistent-cache options carried from the CLI
+/// into a technique run.
 #[derive(Debug, Clone, Default)]
 pub struct SessionOpts {
     /// Checkpoint file base path; `None` disables checkpointing.
@@ -61,6 +73,10 @@ pub struct SessionOpts {
     pub resume: bool,
     /// Snapshot cadence (clamped to at least 1 at use sites).
     pub every: usize,
+    /// The open persistent evaluation cache (`--cache-dir`), shared by
+    /// every evaluator the run builds; `None` keeps evaluation purely
+    /// in-memory.
+    pub disk: Option<Arc<DiskCache>>,
 }
 
 impl SessionOpts {
@@ -85,8 +101,9 @@ impl SessionOpts {
 impl BenchArgs {
     /// Parses `--iters N --trials N --seed N --models a,b --quick --full
     /// --trace-out PATH --verbose --checkpoint PATH --resume
-    /// --checkpoint-every K --out PATH --json PATH` from an argument slice
-    /// (without the program name).
+    /// --checkpoint-every K --out PATH --json PATH --cache-dir PATH
+    /// --no-disk-cache` from an argument slice (without the program
+    /// name).
     ///
     /// `default_iters` applies to the full setting; `--quick` divides the
     /// budgets so every experiment finishes in minutes on a laptop. Quick
@@ -111,6 +128,8 @@ impl BenchArgs {
             checkpoint_every: 10,
             out: None,
             json: None,
+            cache_dir: None,
+            no_disk_cache: false,
             warnings: Vec::new(),
         };
         // Reads the value of the flag at `argv[i]`; warns when the
@@ -173,6 +192,11 @@ impl BenchArgs {
                     args.json = take(argv, i, &mut args.warnings);
                     i += 1;
                 }
+                "--cache-dir" => {
+                    args.cache_dir = take(argv, i, &mut args.warnings);
+                    i += 1;
+                }
+                "--no-disk-cache" => args.no_disk_cache = true,
                 "--resume" => args.resume = true,
                 "--verbose" => args.verbose = true,
                 "--full" => args.quick = false,
@@ -197,6 +221,10 @@ impl BenchArgs {
             args.warnings
                 .push("--resume has no effect without --checkpoint".into());
         }
+        if args.no_disk_cache && args.cache_dir.is_none() {
+            args.warnings
+                .push("--no-disk-cache has no effect without --cache-dir".into());
+        }
         for (flag, other) in [("--out", &args.out), ("--trace-out", &args.trace_out)] {
             if args.json.is_some() && args.json == *other {
                 args.warnings.push(format!(
@@ -213,12 +241,31 @@ impl BenchArgs {
         Self::parse_from(&argv, default_iters)
     }
 
-    /// The checkpoint/resume options for this run's technique sessions.
-    pub fn session_opts(&self) -> SessionOpts {
+    /// The checkpoint/resume and persistent-cache options for this run's
+    /// technique sessions. Opens the `--cache-dir` store (once — call
+    /// this once per process and share the result, not once per
+    /// technique), wiring its telemetry through `telemetry`; a directory
+    /// that cannot be opened degrades to no disk tier with a `Warn` log
+    /// rather than failing the run.
+    pub fn session_opts(&self, telemetry: &Collector) -> SessionOpts {
+        let disk = match (&self.cache_dir, self.no_disk_cache) {
+            (Some(dir), false) => match DiskCache::open_with(dir, telemetry.clone()) {
+                Ok(cache) => Some(Arc::new(cache)),
+                Err(e) => {
+                    telemetry.log(
+                        Level::Warn,
+                        &format!("cannot open cache dir {dir}: {e}; running without a disk cache"),
+                    );
+                    None
+                }
+            },
+            _ => None,
+        };
         SessionOpts {
             checkpoint: self.checkpoint.as_ref().map(PathBuf::from),
             resume: self.resume,
             every: self.checkpoint_every,
+            disk,
         }
     }
 
@@ -333,14 +380,55 @@ mod tests {
         assert_eq!(a.checkpoint_every, 3);
         assert_eq!(a.out.as_deref(), Some("result.json"));
 
-        let opts = a.session_opts();
+        let opts = a.session_opts(&Collector::noop());
         assert_eq!(
             opts.path_for("explainable-fixdf"),
             Some(PathBuf::from("/tmp/run.ckpt.explainable-fixdf"))
         );
         assert!(opts.resume);
         assert_eq!(opts.every, 3);
+        assert!(opts.disk.is_none(), "no --cache-dir, no disk tier");
         assert_eq!(SessionOpts::none().path_for("x"), None);
+    }
+
+    #[test]
+    fn cache_dir_opens_a_shared_disk_tier() {
+        let dir = std::env::temp_dir().join(format!("edse-cli-cache-{}", std::process::id()));
+        let dir_s = dir.to_str().unwrap().to_string();
+        let a = BenchArgs::parse_from(&["--cache-dir", &dir_s], 100);
+        assert_eq!(a.cache_dir.as_deref(), Some(dir_s.as_str()));
+        assert!(a.warnings.is_empty(), "{:?}", a.warnings);
+        let opts = a.session_opts(&Collector::noop());
+        assert!(opts.disk.is_some());
+
+        // --no-disk-cache wins over --cache-dir without warning (wrapper
+        // scripts pass the directory unconditionally).
+        let a = BenchArgs::parse_from(&["--cache-dir", &dir_s, "--no-disk-cache"], 100);
+        assert!(a.warnings.is_empty(), "{:?}", a.warnings);
+        assert!(a.session_opts(&Collector::noop()).disk.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_disk_cache_without_cache_dir_warns() {
+        let a = BenchArgs::parse_from(&["--no-disk-cache"], 100);
+        assert_eq!(a.warnings.len(), 1);
+        assert!(
+            a.warnings[0].contains("--no-disk-cache has no effect without --cache-dir"),
+            "{:?}",
+            a.warnings
+        );
+    }
+
+    #[test]
+    fn unopenable_cache_dir_degrades_to_no_disk_tier() {
+        // A file (not a directory) at the path makes open fail.
+        let path = std::env::temp_dir().join(format!("edse-cli-notadir-{}", std::process::id()));
+        std::fs::write(&path, b"occupied").unwrap();
+        let a = BenchArgs::parse_from(&["--cache-dir", path.to_str().unwrap()], 100);
+        let opts = a.session_opts(&Collector::noop());
+        assert!(opts.disk.is_none(), "open failure must degrade, not panic");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -374,6 +462,7 @@ mod tests {
             "--checkpoint",
             "--out",
             "--json",
+            "--cache-dir",
         ] {
             let a = BenchArgs::parse_from(&[flag], 100);
             assert!(

@@ -27,10 +27,6 @@ pub mod toy;
 pub use cli::{BenchArgs, SessionOpts};
 pub use report::{BenchReport, TraceSummary};
 
-/// The pre-extraction name of [`cli::BenchArgs`].
-#[deprecated(since = "0.4.0", note = "use bench::BenchArgs (bench::cli)")]
-pub type Args = cli::BenchArgs;
-
 /// How mappings are obtained during hardware exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MapperKind {
@@ -126,8 +122,11 @@ pub fn run_explainable_detailed(
     telemetry: &Collector,
     session: &SessionOpts,
 ) -> (Trace, Vec<usize>) {
-    let evaluator = CodesignEvaluator::new(edge_space(), models, mapper.build(seed))
+    let mut evaluator = CodesignEvaluator::new(edge_space(), models, mapper.build(seed))
         .with_telemetry(telemetry.clone());
+    if let Some(disk) = &session.disk {
+        evaluator = evaluator.with_disk_cache(disk.clone());
+    }
     let mut search = SearchSession::new(
         dnn_latency_model(),
         DseConfig {
@@ -159,7 +158,9 @@ pub fn run_explainable_detailed(
 /// records post hoc. Either way the evaluator reports cache and stage
 /// metrics, and the run ends with a counter/histogram flush. When
 /// `session` enables checkpointing, each technique snapshots to its own
-/// `<base>.<technique><suffix>` file (see [`SessionOpts::path_for`]).
+/// `<base>.<technique><suffix>` file (see [`SessionOpts::path_for`]);
+/// when it carries a disk cache (`--cache-dir`), the evaluator
+/// warm-starts layer mappings from it and persists new ones.
 pub fn run_technique(
     kind: TechniqueKind,
     mapper: MapperKind,
@@ -169,8 +170,11 @@ pub fn run_technique(
     telemetry: &Collector,
     session: &SessionOpts,
 ) -> Trace {
-    let evaluator = CodesignEvaluator::new(edge_space(), models, mapper.build(seed))
+    let mut evaluator = CodesignEvaluator::new(edge_space(), models, mapper.build(seed))
         .with_telemetry(telemetry.clone());
+    if let Some(disk) = &session.disk {
+        evaluator = evaluator.with_disk_cache(disk.clone());
+    }
     let mut trace = match kind {
         TechniqueKind::Explainable => {
             let mut search = SearchSession::new(

@@ -13,10 +13,10 @@
 //! * **Differential oracles** (`tests/oracles.rs`) — pairs of code paths
 //!   the codebase promises are equivalent: serial vs parallel
 //!   [`edse_core::EvalEngine`] batches, straight-through vs
-//!   killed-and-resumed [`edse_core::SearchSession`] runs, the deprecated
-//!   `ExplainableDse::run`/`run_dnn`/`DseTechnique::run_traced` wrappers vs
-//!   the session builders, and the evaluator's cached fast path vs the
-//!   straight-line [`reference::NaiveReferenceEvaluator`].
+//!   killed-and-resumed [`edse_core::SearchSession`] runs, cold vs warm
+//!   runs over a persistent [`edse_core::DiskCache`] (bit-identical, with
+//!   a ≥ 99% disk hit rate when warm), and the evaluator's cached fast
+//!   path vs the straight-line [`reference::NaiveReferenceEvaluator`].
 //! * **Paper-bound assertions** (`tests/paper_bounds.rs`) — directional
 //!   claims of the paper that must hold at toy scale: Explainable-DSE
 //!   reaches the throughput target in fewer iterations than every

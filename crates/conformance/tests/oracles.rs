@@ -4,10 +4,10 @@
 //! 1. Serial vs parallel [`EvalEngine`] batches (and whole searches).
 //! 2. Straight-through vs killed-and-resumed sessions — both
 //!    [`SearchSession`] and [`BaselineSession`].
-//! 3. The deprecated `ExplainableDse::run`/`run_dnn` and
-//!    `DseTechnique::run_traced` wrappers vs the session builders (the
-//!    deprecation-drift guard: the wrappers must keep producing identical
-//!    attempt logs until they are removed).
+//! 3. Cold vs warm runs over a persistent [`DiskCache`] — the identical
+//!    search (explainable and every baseline technique) replayed against a
+//!    warmed cache directory must be bit-identical to the cold run and
+//!    answered almost entirely (≥ 99%) from disk.
 //! 4. The evaluator's cached fast path vs the straight-line
 //!    [`NaiveReferenceEvaluator`].
 
@@ -17,20 +17,19 @@ use baselines::{
     HyperMapperLike, RandomSearch, SimulatedAnnealing,
 };
 use conformance::NaiveReferenceEvaluator;
-use edse_core::bottleneck::dnn::LayerCtx;
 use edse_core::bottleneck::dnn_latency_model;
 use edse_core::cost::{Constraint, Evaluation};
-use edse_core::dse::{DseConfig, DseResult, ExplainableDse};
+use edse_core::dse::{DseConfig, DseResult};
 use edse_core::evaluate::{CacheSnapshot, CodesignEvaluator, EvalEngine, Evaluator};
 use edse_core::fault::EvalFault;
 use edse_core::space::{edge_space, DesignPoint, DesignSpace};
-use edse_core::SearchSession;
+use edse_core::{DiskCache, SearchSession};
 use edse_telemetry::Collector;
 use mapper::FixedMapper;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use workloads::zoo;
 
 fn edge_evaluator(engine: EvalEngine) -> CodesignEvaluator<FixedMapper> {
@@ -239,6 +238,10 @@ impl<E: Evaluator> Evaluator for KillSwitch<E> {
     fn restore_caches(&self, snapshot: &CacheSnapshot) {
         self.inner.restore_caches(snapshot)
     }
+
+    fn cache_stats(&self) -> edse_core::evaluate::CacheStats {
+        self.inner.cache_stats()
+    }
 }
 
 #[test]
@@ -325,66 +328,76 @@ fn killed_and_resumed_baseline_session_matches_straight_through() {
 }
 
 // ---------------------------------------------------------------------------
-// Oracle 3: deprecated wrappers vs session builders (deprecation-drift
-// guard).
+// Oracle 3: cold vs warm runs over a persistent disk cache.
 // ---------------------------------------------------------------------------
 
+fn temp_cache_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "edse-conformance-cache-{}-{tag}-{n}",
+        std::process::id()
+    ))
+}
+
+/// The warm run's disk tier must have answered (almost) every layer-mapping
+/// lookup; a single stray miss on a 100+-lookup run still passes, a cold
+/// tier does not.
+fn assert_warm(ev: &impl Evaluator, what: &str) {
+    let disk = ev
+        .cache_stats()
+        .disk
+        .unwrap_or_else(|| panic!("{what}: no disk tier attached"));
+    let lookups = disk.hits + disk.misses;
+    assert!(
+        lookups > 0,
+        "{what}: warm run never consulted the disk tier"
+    );
+    let rate = disk.hits as f64 / lookups as f64;
+    assert!(
+        rate >= 0.99,
+        "{what}: warm disk hit rate {rate:.4} ({}/{lookups}) below 0.99",
+        disk.hits
+    );
+}
+
+/// An explainable search replayed against the cache directory its cold run
+/// populated: bit-identical trace, and the mapper never runs again (the
+/// disk tier answers ≥ 99% of layer lookups).
 #[test]
-#[allow(deprecated)]
-fn deprecated_run_dnn_matches_search_session() {
+fn warm_search_session_matches_the_cold_run_from_disk() {
     let config = DseConfig {
         budget: 40,
         seed: 5,
         ..DseConfig::default()
     };
-    let old_ev = edge_evaluator(EvalEngine::serial());
-    let initial = old_ev.space().minimum_point();
-    let old =
-        ExplainableDse::new(dnn_latency_model(), config.clone()).run_dnn(&old_ev, initial.clone());
-    let new_ev = edge_evaluator(EvalEngine::serial());
-    let new = SearchSession::new(dnn_latency_model(), config)
-        .evaluator(&new_ev)
+    let dir = temp_cache_dir("search");
+    let cold_ev = edge_evaluator(EvalEngine::serial())
+        .with_disk_cache(Arc::new(DiskCache::open(&dir).expect("open cache")));
+    let initial = cold_ev.space().minimum_point();
+    let cold = SearchSession::new(dnn_latency_model(), config.clone())
+        .evaluator(&cold_ev)
+        .run(initial.clone());
+
+    // A fresh process would reopen the directory: drop the cold evaluator
+    // (flushing the index) and recover the store from disk alone.
+    drop(cold_ev);
+    let warm_ev = edge_evaluator(EvalEngine::serial())
+        .with_disk_cache(Arc::new(DiskCache::open(&dir).expect("reopen cache")));
+    let warm = SearchSession::new(dnn_latency_model(), config)
+        .evaluator(&warm_ev)
         .run(initial);
-    assert_results_identical(&old, &new);
-    assert_eq!(old_ev.unique_evaluations(), new_ev.unique_evaluations());
+    assert_results_identical(&cold, &warm);
+    assert_warm(&warm_ev, "search session");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Every baseline technique, cold then warm, all sharing one cache
+/// directory: each warm replay is bit-identical and served from disk. The
+/// techniques overlap heavily in the configs they visit, so the shared
+/// store also exercises cross-technique reuse.
 #[test]
-#[allow(deprecated)]
-fn deprecated_generic_run_matches_run_with() {
-    // The generic entry point, driven with the same context closure the
-    // DNN path uses, must match `SearchSession::run_with`.
-    fn ctx<E: Evaluator>(
-    ) -> impl Fn(&E, &DesignPoint, &edse_core::cost::LayerEval) -> Option<LayerCtx> {
-        |ev, point, layer| {
-            layer.profile.map(|profile| LayerCtx {
-                cfg: ev.decode(point),
-                profile,
-            })
-        }
-    }
-    let config = DseConfig {
-        budget: 30,
-        seed: 5,
-        ..DseConfig::default()
-    };
-    let old_ev = edge_evaluator(EvalEngine::serial());
-    let initial = old_ev.space().minimum_point();
-    let old = ExplainableDse::new(dnn_latency_model(), config.clone()).run(
-        &old_ev,
-        initial.clone(),
-        ctx(),
-    );
-    let new_ev = edge_evaluator(EvalEngine::serial());
-    let new = SearchSession::new(dnn_latency_model(), config)
-        .evaluator(&new_ev)
-        .run_with(initial, ctx());
-    assert_results_identical(&old, &new);
-}
-
-#[test]
-#[allow(deprecated)]
-fn deprecated_run_traced_matches_baseline_session_for_every_technique() {
+fn warm_baseline_sessions_match_their_cold_runs_from_disk() {
     type TechniqueFactory = fn(u64) -> Box<dyn DseTechnique>;
     let budget = 10;
     let factories: Vec<(&str, TechniqueFactory)> = vec![
@@ -396,15 +409,24 @@ fn deprecated_run_traced_matches_baseline_session_for_every_technique() {
         ("hypermapper", |s| Box::new(HyperMapperLike::new(s))),
         ("rl", |s| Box::new(ConfuciuxRl::new(s))),
     ];
-    for (name, make) in factories {
-        let collector = Collector::noop();
-        let old = make(7).run_traced(&edge_evaluator(EvalEngine::serial()), budget, &collector);
+    let dir = temp_cache_dir("baselines");
+    let mut cold_samples = Vec::new();
+    for (name, make) in &factories {
+        let ev = edge_evaluator(EvalEngine::serial())
+            .with_disk_cache(Arc::new(DiskCache::open(&dir).expect("open cache")));
         let mut technique = make(7);
-        let new = BaselineSession::new(technique.as_mut())
-            .run(&edge_evaluator(EvalEngine::serial()), budget);
-        assert_eq!(old.samples, new.samples, "technique {name} drifted");
-        assert_eq!(old.technique, new.technique, "technique {name} drifted");
+        let trace = BaselineSession::new(technique.as_mut()).run(&ev, budget);
+        cold_samples.push((*name, trace.samples));
     }
+    for ((name, make), (_, cold)) in factories.iter().zip(&cold_samples) {
+        let ev = edge_evaluator(EvalEngine::serial())
+            .with_disk_cache(Arc::new(DiskCache::open(&dir).expect("reopen cache")));
+        let mut technique = make(7);
+        let warm = BaselineSession::new(technique.as_mut()).run(&ev, budget);
+        assert_eq!(&warm.samples, cold, "technique {name} drifted when warm");
+        assert_warm(&ev, name);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 // ---------------------------------------------------------------------------

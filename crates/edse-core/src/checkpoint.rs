@@ -498,11 +498,37 @@ fn caches_to_json(c: &CacheSnapshot) -> Result<Json, String> {
                     .collect::<Result<_, String>>()?,
             ),
         ),
+        (
+            // References into the persistent disk cache (already sorted by
+            // the snapshot capture). Hex strings: record hashes are u64
+            // and must round-trip exactly, which f64 JSON numbers cannot.
+            "disk_layers",
+            Json::Arr(
+                c.disk_layers
+                    .iter()
+                    .map(|h| Json::Str(format!("{h:016x}")))
+                    .collect(),
+            ),
+        ),
     ]))
 }
 
 fn caches_from_json(j: &Json) -> Result<CacheSnapshot, String> {
+    // Absent in snapshots written before the disk tier existed; same
+    // format version — old snapshots load with no references.
+    let disk_layers = match j.get("disk_layers") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(v) => arr(v)?
+            .iter()
+            .map(|h| {
+                h.as_str()
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .ok_or_else(|| "disk_layers entries must be hex strings".to_string())
+            })
+            .collect::<Result<_, String>>()?,
+    };
     Ok(CacheSnapshot {
+        disk_layers,
         unique_evaluations: usize_field(j, "unique_evaluations")?,
         points: arr(field(j, "points")?)?
             .iter()
@@ -836,6 +862,10 @@ impl<E: Evaluator> Evaluator for CheckpointingEvaluator<E> {
     fn restore_caches(&self, snapshot: &CacheSnapshot) {
         self.inner.restore_caches(snapshot)
     }
+
+    fn cache_stats(&self) -> crate::evaluate::CacheStats {
+        self.inner.cache_stats()
+    }
 }
 
 #[cfg(test)]
@@ -908,6 +938,7 @@ mod tests {
                     },
                 )],
                 layers: vec![],
+                disk_layers: vec![3, u64::MAX],
             },
         };
         let path = temp_path("baseline");

@@ -309,26 +309,6 @@ impl<C> ExplainableDse<C> {
         self
     }
 
-    /// Runs the exploration.
-    ///
-    /// `ctx_fn` builds the bottleneck-analysis context for one sub-function
-    /// of an evaluated point; it receives the point and the sub-function's
-    /// [`crate::cost::LayerEval`] and returns `None` when the sub-function
-    /// cannot be analyzed (e.g. no feasible mapping).
-    ///
-    /// Each attempt's candidate set is evaluated through
-    /// [`Evaluator::evaluate_batch`], so a parallel evaluator overlaps the
-    /// per-candidate mapping work; results are identical to serial
-    /// evaluation regardless of thread count.
-    #[deprecated(note = "use `SearchSession::new(model, config).evaluator(&e).run_with(...)`")]
-    pub fn run<E, F>(&self, evaluator: &E, initial: DesignPoint, ctx_fn: F) -> DseResult
-    where
-        E: Evaluator,
-        F: Fn(&E, &DesignPoint, &crate::cost::LayerEval) -> Option<C>,
-    {
-        self.drive(evaluator, SearchState::new(initial), ctx_fn, None)
-    }
-
     /// Drives a search state to completion: steps until termination,
     /// optionally snapshotting every `every` steps (and once more at
     /// completion) to `path`.
@@ -1064,16 +1044,6 @@ fn describe_move(param: Option<ParamId>) -> String {
     }
 }
 
-impl ExplainableDse<crate::bottleneck::dnn::LayerCtx> {
-    /// Convenience runner for the standard DNN-accelerator latency model:
-    /// the context of each sub-function is its execution profile on the
-    /// decoded hardware configuration.
-    #[deprecated(note = "use `SearchSession::new(model, config).evaluator(&e).run(initial)`")]
-    pub fn run_dnn<E: Evaluator>(&self, evaluator: &E, initial: DesignPoint) -> DseResult {
-        self.drive(evaluator, SearchState::new(initial), dnn_ctx(), None)
-    }
-}
-
 #[cfg(test)]
 mod update_rule_tests {
     use super::*;
@@ -1359,25 +1329,47 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_runners_match_the_session_api() {
-        let evaluator = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
+    fn warm_disk_cached_search_matches_the_cold_run() {
+        use crate::{DiskCache, Evaluator};
+        use std::sync::Arc;
+        let dir = std::env::temp_dir().join(format!(
+            "edse-dse-diskcache-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
         let config = DseConfig {
             budget: 60,
             ..DseConfig::default()
         };
+        let cold = {
+            let disk = Arc::new(DiskCache::open(&dir).unwrap());
+            let evaluator =
+                CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper)
+                    .with_disk_cache(disk);
+            let initial = evaluator.space().minimum_point();
+            SearchSession::new(dnn_latency_model(), config.clone())
+                .evaluator(&evaluator)
+                .run(initial)
+        };
+        // A fresh session sharing only the cache directory must reproduce
+        // the search bit-for-bit without a single mapping search.
+        let disk = Arc::new(DiskCache::open(&dir).unwrap());
+        let evaluator = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper)
+            .with_disk_cache(disk);
         let initial = evaluator.space().minimum_point();
-        let old = ExplainableDse::new(dnn_latency_model(), config.clone())
-            .run_dnn(&evaluator, initial.clone());
-        let fresh = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
-        let new = SearchSession::new(dnn_latency_model(), config)
-            .evaluator(&fresh)
+        let warm = SearchSession::new(dnn_latency_model(), config)
+            .evaluator(&evaluator)
             .run(initial);
-        assert_eq!(old.trace.samples, new.trace.samples);
-        assert_eq!(old.attempts, new.attempts);
-        assert_eq!(old.best, new.best);
-        assert_eq!(old.converged_after, new.converged_after);
-        assert_eq!(old.termination, new.termination);
+        assert_eq!(cold.trace.samples, warm.trace.samples);
+        assert_eq!(cold.attempts, warm.attempts);
+        assert_eq!(cold.best, warm.best);
+        assert_eq!(cold.converged_after, warm.converged_after);
+        assert_eq!(cold.termination, warm.termination);
+        let disk_stats = evaluator.cache_stats().disk.unwrap();
+        assert_eq!(disk_stats.misses, 0, "every mapping answered from disk");
+        assert!(disk_stats.hits > 0);
+        drop(evaluator);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! [`Evaluator::try_evaluate_batch`] — instead of tearing down the search.
 
 use crate::cost::{Constraint, Evaluation, LayerEval};
+use crate::diskcache::{self, DiskCache, DiskCacheStats, StoredLayer};
 use crate::fault::{self, EvalFault, FaultPolicy};
 use crate::space::{decode_edge_point, DesignPoint, DesignSpace};
 use accel_model::{AcceleratorConfig, ExecutionProfile};
@@ -25,7 +26,7 @@ use energy_area::Tech;
 use mapper::{MappedLayer, MappingOptimizer};
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 use workloads::{DnnModel, LayerShape};
@@ -44,6 +45,13 @@ pub struct CacheSnapshot {
     pub points: Vec<(DesignPoint, Evaluation)>,
     /// Completed per-layer mapping outcomes.
     pub layers: Vec<LayerEntry>,
+    /// Layer outcomes resident in the attached persistent cache,
+    /// referenced by record hash instead of duplicated into the snapshot
+    /// (see [`crate::diskcache::key_hash`]). Empty without a disk tier.
+    /// A reference that no longer resolves at restore time is silently
+    /// recomputed — results never depend on it (point evaluations are
+    /// always captured in full).
+    pub disk_layers: Vec<u64>,
 }
 
 /// One `(layer, config)` mapping-cache entry of a [`CacheSnapshot`].
@@ -57,6 +65,39 @@ pub struct LayerEntry {
     pub mapped: Option<MappedLayer>,
     /// The diagnostic relaxed-NoC profile for infeasible pairs.
     pub diagnostic: Option<ExecutionProfile>,
+}
+
+/// Traffic counters for one in-memory cache tier, as reported by
+/// [`Evaluator::cache_stats`]. Counters are cumulative since the
+/// evaluator was built: builder methods that invalidate a cache clear its
+/// *entries*, never its traffic history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Completed entries currently resident.
+    pub entries: usize,
+    /// Accesses answered by an already-completed entry.
+    pub hits: u64,
+    /// Accesses that ran the computation.
+    pub misses: u64,
+    /// Accesses that blocked on another thread computing the same key
+    /// (parallel batches only; `hits + inflight_waits` here equals plain
+    /// `hits` of the equivalent serial run).
+    pub inflight_waits: u64,
+}
+
+/// One uniform snapshot of every cache tier an evaluator maintains —
+/// the consolidated replacement for reading `unique_evaluations()`,
+/// per-shard telemetry counters, and disk-cache state separately.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CacheStats {
+    /// Unique successful point evaluations (== [`Evaluator::unique_evaluations`]).
+    pub unique_evaluations: usize,
+    /// The point-evaluation memo table.
+    pub point: TierStats,
+    /// The `(layer, config)` mapping memo table.
+    pub layer: TierStats,
+    /// The persistent disk tier, when one is attached.
+    pub disk: Option<DiskCacheStats>,
 }
 
 /// Evaluates design points to full [`Evaluation`]s. Implementations cache,
@@ -122,6 +163,17 @@ pub trait Evaluator {
     fn restore_caches(&self, snapshot: &CacheSnapshot) {
         let _ = snapshot;
     }
+
+    /// One uniform snapshot of every cache tier this evaluator maintains.
+    /// The default (for cacheless or decorator evaluators that have
+    /// nothing further to report) carries only the unique-evaluation
+    /// count.
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            unique_evaluations: self.unique_evaluations(),
+            ..CacheStats::default()
+        }
+    }
 }
 
 /// What the DSE minimizes (constraints are unaffected: latency ceilings,
@@ -186,6 +238,10 @@ impl<T: Evaluator + ?Sized> Evaluator for &T {
     fn restore_caches(&self, snapshot: &CacheSnapshot) {
         (**self).restore_caches(snapshot)
     }
+
+    fn cache_stats(&self) -> CacheStats {
+        (**self).cache_stats()
+    }
 }
 
 /// Parallelism and fault policy for [`Evaluator::evaluate_batch`].
@@ -245,12 +301,18 @@ const CACHE_SHARDS: usize = 16;
 /// map lookup, never during computation.
 struct ShardedCache<K, V> {
     shards: [Mutex<HashMap<K, Arc<OnceLock<V>>>>; CACHE_SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inflight_waits: AtomicU64,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
     fn new() -> Self {
         ShardedCache {
             shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inflight_waits: AtomicU64::new(0),
         }
     }
 
@@ -302,6 +364,45 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
         let _ = slot.set(value);
     }
 
+    /// Records one access's classification (see
+    /// [`CodesignEvaluator::classify`] for the taxonomy). Always on — the
+    /// counters back [`Evaluator::cache_stats`], unlike the per-shard
+    /// telemetry counters which exist only when a collector is attached.
+    fn note(&self, already: bool, computed: bool) {
+        let counter = if already {
+            &self.hits
+        } else if computed {
+            &self.misses
+        } else {
+            &self.inflight_waits
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Completed-entry count plus cumulative traffic counters. Clearing
+    /// the cache (builder invalidation) empties `entries` but keeps the
+    /// traffic history.
+    fn stats(&self) -> TierStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .lock()
+                    .expect("cache shard poisoned")
+                    .values()
+                    .filter(|slot| slot.get().is_some())
+                    .count()
+            })
+            .sum();
+        TierStats {
+            entries,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inflight_waits: self.inflight_waits.load(Ordering::Relaxed),
+        }
+    }
+
     fn clear(&mut self) {
         for shard in &mut self.shards {
             shard.get_mut().expect("cache shard poisoned").clear();
@@ -331,10 +432,12 @@ pub struct CodesignEvaluator<M> {
     tech: Tech,
     objective: Objective,
     mapper: M,
+    mapper_fingerprint: String,
     engine: EvalEngine,
     telemetry: Collector,
     point_cache: ShardedCache<DesignPoint, Result<Evaluation, EvalFault>>,
     layer_cache: ShardedCache<(LayerShape, AcceleratorConfig), Result<MapOutcome, EvalFault>>,
+    disk_cache: Option<Arc<DiskCache>>,
     unique_evals: AtomicUsize,
 }
 
@@ -366,6 +469,7 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
                 m.target().latency_ceiling_ms(),
             ));
         }
+        let mapper_fingerprint = mapper.fingerprint();
         Self {
             space,
             constraints,
@@ -373,12 +477,33 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
             tech: Tech::n45(),
             objective: Objective::Latency,
             mapper,
+            mapper_fingerprint,
             engine: EvalEngine::default(),
             telemetry: Collector::noop(),
             point_cache: ShardedCache::new(),
             layer_cache: ShardedCache::new(),
+            disk_cache: None,
             unique_evals: AtomicUsize::new(0),
         }
+    }
+
+    /// Attaches a persistent disk tier below the in-memory caches: layer
+    /// mappings found on disk populate memory without running the mapper,
+    /// and freshly computed mappings are appended. Keys are
+    /// content-addressed over `(mapper fingerprint, layer, config)` —
+    /// sharing one cache directory across runs, techniques, objectives,
+    /// and processes is safe because anything that could change a layer
+    /// outcome changes the key. Share one [`DiskCache`] handle across
+    /// evaluators via [`Arc`].
+    ///
+    /// Invalidates nothing, and never changes results: a warm run is
+    /// bit-identical to a cold one (the disk stores exactly what the
+    /// mapper would recompute). Permanently faulted mappings are *not*
+    /// persisted — like the snapshot path, failures are re-attempted by
+    /// later runs.
+    pub fn with_disk_cache(mut self, cache: Arc<DiskCache>) -> Self {
+        self.disk_cache = Some(cache);
+        self
     }
 
     /// Selects the batch-evaluation engine (default: all available
@@ -535,54 +660,84 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
         let mut computed = false;
         slot.get_or_init(|| {
             computed = true;
-            let _mapper_timer = self.telemetry.time("stage/mapper_us");
-            let policy = self.engine.fault;
-            let mut retries = 0u32;
-            loop {
-                let started = Instant::now();
-                let attempt = fault::guard(|| {
-                    let mapped = self.mapper.optimize(shape, cfg);
-                    let diagnostic = if mapped.is_none() {
-                        self.mapper.diagnose(shape, cfg)
-                    } else {
-                        None
-                    };
-                    MapOutcome { mapped, diagnostic }
-                })
-                .and_then(|outcome| match policy.timeout {
-                    Some(limit) if started.elapsed() > limit => Err(format!(
-                        "mapping exceeded its {limit:?} deadline ({:?} elapsed)",
-                        started.elapsed()
-                    )),
-                    _ => Ok(outcome),
-                });
-                match attempt {
-                    Ok(outcome) => break Ok(outcome),
-                    Err(_) if retries < policy.max_retries => {
-                        self.telemetry.counter("fault/retries", 1);
-                        let backoff = policy.backoff_before(retries);
-                        if !backoff.is_zero() {
-                            std::thread::sleep(backoff);
-                        }
-                        retries += 1;
-                    }
-                    Err(error) => {
-                        self.telemetry.counter("fault/layer_failures", 1);
-                        if self.telemetry.active() {
-                            self.telemetry.log(
-                                Level::Warn,
-                                &format!(
-                                    "layer mapping failed permanently after {retries} retries \
-                                     ({} PEs): {error}",
-                                    cfg.pes
-                                ),
-                            );
-                        }
-                        break Err(EvalFault { error, retries });
-                    }
+            // Disk tier first: a hit fills this slot without running the
+            // mapper (and without a `stage/mapper_us` sample — no mapping
+            // search happened). Faults never reach disk, so a disk entry
+            // is always `Ok`.
+            let disk_key = self.disk_cache.as_deref().and_then(|disk| {
+                diskcache::layer_key(&self.mapper_fingerprint, shape, cfg)
+                    .ok()
+                    .map(|k| (disk, k))
+            });
+            if let Some((disk, k)) = &disk_key {
+                if let Some(stored) = disk.get_outcome(k) {
+                    return Ok(MapOutcome {
+                        mapped: stored.mapped,
+                        diagnostic: stored.diagnostic,
+                    });
                 }
             }
+            let result = {
+                let _mapper_timer = self.telemetry.time("stage/mapper_us");
+                let policy = self.engine.fault;
+                let mut retries = 0u32;
+                loop {
+                    let started = Instant::now();
+                    let attempt = fault::guard(|| {
+                        let mapped = self.mapper.optimize(shape, cfg);
+                        let diagnostic = if mapped.is_none() {
+                            self.mapper.diagnose(shape, cfg)
+                        } else {
+                            None
+                        };
+                        MapOutcome { mapped, diagnostic }
+                    })
+                    .and_then(|outcome| match policy.timeout {
+                        Some(limit) if started.elapsed() > limit => Err(format!(
+                            "mapping exceeded its {limit:?} deadline ({:?} elapsed)",
+                            started.elapsed()
+                        )),
+                        _ => Ok(outcome),
+                    });
+                    match attempt {
+                        Ok(outcome) => break Ok(outcome),
+                        Err(_) if retries < policy.max_retries => {
+                            self.telemetry.counter("fault/retries", 1);
+                            let backoff = policy.backoff_before(retries);
+                            if !backoff.is_zero() {
+                                std::thread::sleep(backoff);
+                            }
+                            retries += 1;
+                        }
+                        Err(error) => {
+                            self.telemetry.counter("fault/layer_failures", 1);
+                            if self.telemetry.active() {
+                                self.telemetry.log(
+                                    Level::Warn,
+                                    &format!(
+                                        "layer mapping failed permanently after {retries} retries \
+                                         ({} PEs): {error}",
+                                        cfg.pes
+                                    ),
+                                );
+                            }
+                            break Err(EvalFault { error, retries });
+                        }
+                    }
+                }
+            };
+            if let (Some((disk, k)), Ok(outcome)) = (&disk_key, &result) {
+                disk.put_outcome(
+                    k,
+                    &StoredLayer {
+                        mapped: outcome.mapped,
+                        diagnostic: outcome.diagnostic,
+                    },
+                );
+            }
+            result
         });
+        self.layer_cache.note(already, computed);
         if self.telemetry.active() {
             self.cache_counter(
                 "layer_cache",
@@ -773,6 +928,7 @@ impl<M: MappingOptimizer> Evaluator for CodesignEvaluator<M> {
             }
             result
         });
+        self.point_cache.note(already, computed);
         if self.telemetry.active() {
             self.cache_counter(
                 "point_cache",
@@ -886,23 +1042,36 @@ impl<M: MappingOptimizer> Evaluator for CodesignEvaluator<M> {
             .into_iter()
             .filter_map(|(k, v)| v.ok().map(|e| (k, e)))
             .collect();
-        let layers = self
-            .layer_cache
-            .completed()
-            .into_iter()
-            .filter_map(|((shape, cfg), v)| {
-                v.ok().map(|o| LayerEntry {
+        // With a disk tier attached, layer entries that are resident on
+        // disk are referenced by record hash instead of duplicated into
+        // the snapshot; only disk-absent entries (e.g. computed while an
+        // append failed) are captured in full.
+        let mut layers = Vec::new();
+        let mut disk_layers = Vec::new();
+        for ((shape, cfg), v) in self.layer_cache.completed() {
+            let Ok(o) = v else { continue };
+            let hash = self.disk_cache.as_ref().and_then(|disk| {
+                diskcache::layer_key(&self.mapper_fingerprint, &shape, &cfg)
+                    .ok()
+                    .map(|k| diskcache::key_hash(k.as_bytes()))
+                    .filter(|&h| disk.contains_hash(h))
+            });
+            match hash {
+                Some(h) => disk_layers.push(h),
+                None => layers.push(LayerEntry {
                     shape,
                     cfg,
                     mapped: o.mapped,
                     diagnostic: o.diagnostic,
-                })
-            })
-            .collect();
+                }),
+            }
+        }
+        disk_layers.sort_unstable();
         CacheSnapshot {
             unique_evaluations: self.unique_evaluations(),
             points,
             layers,
+            disk_layers,
         }
     }
 
@@ -919,8 +1088,38 @@ impl<M: MappingOptimizer> Evaluator for CodesignEvaluator<M> {
                 }),
             );
         }
+        // Disk references: resolve against the attached cache, accepting
+        // only records our own mapper would have produced. Unresolvable
+        // references (cache compacted away, different mapper, no disk
+        // attached) are recomputed on demand — results are unaffected
+        // because point evaluations are restored in full above.
+        if let Some(disk) = &self.disk_cache {
+            for &hash in &snapshot.disk_layers {
+                let Some((mapper, shape, cfg, stored)) = disk.resolve_hash(hash) else {
+                    continue;
+                };
+                if mapper == self.mapper_fingerprint {
+                    self.layer_cache.insert(
+                        (shape, cfg),
+                        Ok(MapOutcome {
+                            mapped: stored.mapped,
+                            diagnostic: stored.diagnostic,
+                        }),
+                    );
+                }
+            }
+        }
         self.unique_evals
             .store(snapshot.unique_evaluations, Ordering::Relaxed);
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            unique_evaluations: self.unique_evaluations(),
+            point: self.point_cache.stats(),
+            layer: self.layer_cache.stats(),
+            disk: self.disk_cache.as_ref().map(|d| d.stats()),
+        }
     }
 }
 
@@ -1352,6 +1551,159 @@ mod tests {
         let layers = zoo::resnet18().unique_shape_count() as u64;
         assert_eq!(collector.counter_value("fault/retries"), 2 * layers);
         assert_eq!(collector.counter_value("fault/layer_failures"), 0);
+    }
+
+    fn temp_cache_dir(tag: &str) -> std::path::PathBuf {
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("edse-evaltier-{}-{tag}-{n}", std::process::id()))
+    }
+
+    /// A mapper that counts optimize calls (used to observe whether the
+    /// disk tier short-circuits the mapping search).
+    struct TallyMapper(Arc<AtomicUsize>);
+    impl MappingOptimizer for TallyMapper {
+        fn optimize(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<MappedLayer> {
+            self.0.fetch_add(1, Ordering::Relaxed);
+            FixedMapper.optimize(layer, cfg)
+        }
+        fn name(&self) -> String {
+            "tally".into()
+        }
+    }
+
+    #[test]
+    fn disk_tier_warm_starts_a_fresh_evaluator_without_the_mapper() {
+        let dir = temp_cache_dir("warm");
+        let p = evaluator().space().minimum_point();
+
+        let cold_calls = Arc::new(AtomicUsize::new(0));
+        let cold_eval = {
+            let disk = Arc::new(DiskCache::open(&dir).unwrap());
+            let ev = CodesignEvaluator::new(
+                edge_space(),
+                vec![zoo::resnet18()],
+                TallyMapper(cold_calls.clone()),
+            )
+            .with_disk_cache(disk.clone());
+            let e = ev.evaluate(&p);
+            let stats = ev.cache_stats();
+            let disk_stats = stats.disk.expect("disk tier attached");
+            assert_eq!(disk_stats.hits, 0);
+            assert_eq!(disk_stats.appends as usize, stats.layer.entries);
+            e
+        };
+        assert!(cold_calls.load(Ordering::Relaxed) > 0);
+
+        // A fresh process (fresh evaluator + reopened cache): every layer
+        // mapping is a disk hit, the mapper never runs, and the result is
+        // bit-identical.
+        let warm_calls = Arc::new(AtomicUsize::new(0));
+        let disk = Arc::new(DiskCache::open(&dir).unwrap());
+        let ev = CodesignEvaluator::new(
+            edge_space(),
+            vec![zoo::resnet18()],
+            TallyMapper(warm_calls.clone()),
+        )
+        .with_disk_cache(disk);
+        let warm_eval = ev.evaluate(&p);
+        assert_eq!(warm_eval, cold_eval);
+        assert_eq!(warm_calls.load(Ordering::Relaxed), 0, "all hits from disk");
+        let disk_stats = ev.cache_stats().disk.unwrap();
+        assert_eq!(
+            disk_stats.hits as usize,
+            zoo::resnet18().unique_shape_count()
+        );
+        assert_eq!(disk_stats.misses, 0);
+        assert_eq!(disk_stats.hit_rate(), 1.0);
+
+        drop(ev);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_keyed_by_mapper_fingerprint_not_shared_across_mappers() {
+        let dir = temp_cache_dir("fingerprint");
+        let p = evaluator().space().minimum_point();
+        {
+            let disk = Arc::new(DiskCache::open(&dir).unwrap());
+            let ev = evaluator().with_disk_cache(disk);
+            ev.evaluate(&p);
+        }
+        // A different mapper must not see fixed-os entries.
+        let disk = Arc::new(DiskCache::open(&dir).unwrap());
+        let ev = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], LinearMapper::new(10))
+            .with_disk_cache(disk);
+        ev.evaluate(&p);
+        let stats = ev.cache_stats().disk.unwrap();
+        assert_eq!(stats.hits, 0, "fixed-os entries are not linear's");
+        assert!(stats.appends > 0);
+        drop(ev);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_stats_reports_every_tier_uniformly() {
+        let ev = evaluator();
+        let p = ev.space().minimum_point();
+        let baseline = ev.cache_stats();
+        assert_eq!(baseline, CacheStats::default());
+        ev.evaluate(&p);
+        ev.evaluate(&p);
+        let stats = ev.cache_stats();
+        assert_eq!(stats.unique_evaluations, 1);
+        assert_eq!(stats.point.entries, 1);
+        assert_eq!(stats.point.misses, 1);
+        assert_eq!(stats.point.hits, 1);
+        assert_eq!(stats.point.inflight_waits, 0);
+        let layers = zoo::resnet18().unique_shape_count();
+        assert_eq!(stats.layer.entries, layers);
+        assert_eq!(stats.layer.misses as usize, layers);
+        assert_eq!(stats.disk, None, "no disk tier attached");
+        // The blanket &T forwarding reports the same snapshot.
+        assert_eq!(Evaluator::cache_stats(&&ev), stats);
+    }
+
+    #[test]
+    fn snapshot_references_disk_entries_instead_of_duplicating() {
+        let dir = temp_cache_dir("snapref");
+        let p = evaluator().space().minimum_point();
+        let disk = Arc::new(DiskCache::open(&dir).unwrap());
+        let ev = evaluator().with_disk_cache(disk.clone());
+        let before = ev.evaluate(&p);
+        let snap = ev.cache_snapshot();
+        assert!(snap.layers.is_empty(), "all layer outcomes live on disk");
+        assert_eq!(snap.disk_layers.len(), zoo::resnet18().unique_shape_count());
+        assert!(snap.disk_layers.windows(2).all(|w| w[0] < w[1]), "sorted");
+
+        // Restore into a fresh evaluator sharing the disk: the mapper is
+        // never consulted, not even through the disk-probe path (the
+        // layer cache is pre-filled by reference resolution).
+        let calls = Arc::new(AtomicUsize::new(0));
+        let fresh = CodesignEvaluator::new(
+            edge_space(),
+            vec![zoo::resnet18()],
+            TallyMapper(calls.clone()),
+        )
+        .with_disk_cache(disk.clone());
+        // TallyMapper's fingerprint differs from fixed-os, so references
+        // must be rejected for it...
+        fresh.restore_caches(&snap);
+        assert_eq!(
+            fresh.cache_stats().layer.entries,
+            0,
+            "foreign refs rejected"
+        );
+        // ...while the matching evaluator accepts them all.
+        let fresh = evaluator().with_disk_cache(disk);
+        fresh.restore_caches(&snap);
+        assert_eq!(
+            fresh.cache_stats().layer.entries,
+            zoo::resnet18().unique_shape_count()
+        );
+        assert_eq!(fresh.evaluate(&p), before);
+        drop(fresh);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! * [`bottleneck`] — the bottleneck-model API (tree + parameter
 //!   dictionary + mitigation subroutines) and the concrete DNN-accelerator
 //!   latency model;
+//! * [`diskcache`] — the persistent, content-addressed evaluation cache
+//!   that warm-starts repeated runs across processes;
 //! * [`dse`] — the constraints-aware, bottleneck-guided exploration loop;
 //! * [`session`] — the [`SearchSession`] front door: builder-style
 //!   configuration of evaluator, telemetry, and checkpoint/resume;
@@ -44,6 +46,7 @@
 pub mod bottleneck;
 pub mod checkpoint;
 pub mod cost;
+pub mod diskcache;
 pub mod dse;
 pub mod evaluate;
 pub mod explain;
@@ -54,8 +57,11 @@ pub mod space;
 pub use bottleneck::{dnn_latency_model, BottleneckModel, BottleneckTree, LayerCtx, TreeBuilder};
 pub use checkpoint::{load_baseline, save_baseline, BaselineSnapshot, CheckpointingEvaluator};
 pub use cost::{Constraint, Evaluation, LayerEval, Sample, Trace};
+pub use diskcache::{DiskCache, DiskCacheStats, StoredLayer};
 pub use dse::{Attempt, DseConfig, DseResult, ExplainableDse};
-pub use evaluate::{CacheSnapshot, CodesignEvaluator, EvalEngine, Evaluator, LayerEntry};
+pub use evaluate::{
+    CacheSnapshot, CacheStats, CodesignEvaluator, EvalEngine, Evaluator, LayerEntry, TierStats,
+};
 pub use fault::{EvalFault, FaultPolicy};
 pub use session::SearchSession;
 pub use space::{

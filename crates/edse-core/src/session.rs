@@ -1,8 +1,7 @@
 //! [`SearchSession`]: the one front door to running an explainable search —
 //! builder-style configuration of the model, evaluator, telemetry, and
-//! checkpoint/resume policy, replacing the older
-//! `ExplainableDse::run`/`run_dnn` entry points (now thin deprecated
-//! wrappers).
+//! checkpoint/resume policy (the older `ExplainableDse::run`/`run_dnn`
+//! entry points have been removed in its favor).
 //!
 //! ```
 //! use edse_core::bottleneck::dnn_latency_model;
@@ -29,6 +28,13 @@
 //! snapshot, bit-for-bit identically to the uninterrupted run. See
 //! `DESIGN.md` ("Snapshot format") and the README's "Resuming an
 //! interrupted run".
+//!
+//! For *cross-run* (rather than crash-recovery) reuse, attach a persistent
+//! disk cache to the evaluator before handing it to the session
+//! ([`crate::CodesignEvaluator::with_disk_cache`]): layer mappings are then
+//! warm-started from disk across processes, checkpoints reference the
+//! disk-resident entries instead of duplicating them, and a warm run stays
+//! bit-identical to a cold one. See the README's "Warm-starting runs".
 
 use crate::bottleneck::dnn::LayerCtx;
 use crate::bottleneck::model::BottleneckModel;
@@ -117,8 +123,11 @@ impl<C, E> SearchSession<C, E> {
 }
 
 impl<C, E: Evaluator> SearchSession<C, E> {
-    /// Runs the search with a custom bottleneck-context closure (see
-    /// `ExplainableDse`'s deprecated `run` for the closure contract).
+    /// Runs the search with a custom bottleneck-context closure: `ctx_fn`
+    /// builds the bottleneck-analysis context for one sub-function of an
+    /// evaluated point — it receives the evaluator, the point, and the
+    /// sub-function's [`LayerEval`], and returns `None` when the
+    /// sub-function cannot be analyzed (e.g. no feasible mapping).
     ///
     /// On a resumed run, `initial` is ignored: the snapshot carries the
     /// in-flight phase's state. The evaluator's caches are restored from

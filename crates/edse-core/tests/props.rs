@@ -11,14 +11,14 @@ use edse_core::dse::{Attempt, DseConfig, DseResult};
 use edse_core::evaluate::{CacheSnapshot, CodesignEvaluator, EvalEngine, Evaluator};
 use edse_core::fault::{EvalFault, FaultPolicy};
 use edse_core::space::{edge_space, DesignPoint, DesignSpace, ParamDef};
-use edse_core::SearchSession;
+use edse_core::{DiskCache, DiskCacheStats, SearchSession};
 use edse_telemetry::{Collector, MemorySink};
 use mapper::{FaultInjector, FixedMapper};
 use proptest::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use workloads::zoo;
 
 /// A random three-level tree: root max over sums of leaves.
@@ -289,6 +289,10 @@ impl<E: Evaluator> Evaluator for KillSwitch<E> {
     fn restore_caches(&self, snapshot: &CacheSnapshot) {
         self.inner.restore_caches(snapshot)
     }
+
+    fn cache_stats(&self) -> edse_core::evaluate::CacheStats {
+        self.inner.cache_stats()
+    }
 }
 
 fn fresh_evaluator(parallel: bool) -> CodesignEvaluator<FixedMapper> {
@@ -433,5 +437,149 @@ proptest! {
                 "an exhausted layer mapping implies a full retry round"
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Disk-cache corruption recovery: whatever happens to the cache directory
+// between runs, a warm-started search returns results bit-identical to the
+// cold run — the damaged parts are just recomputed.
+// ---------------------------------------------------------------------------
+
+fn temp_cache_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("edse-props-cache-{}-{tag}-{n}", std::process::id()))
+}
+
+/// One serial search over the given cache directory; returns the result
+/// and the disk tier's statistics at the end of the run.
+fn disk_cached_search(dir: &std::path::Path, seed: u64) -> (DseResult, DiskCacheStats) {
+    let ev = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper)
+        .with_engine(EvalEngine::serial())
+        .with_disk_cache(Arc::new(DiskCache::open(dir).expect("open cache dir")));
+    let initial = ev.space().minimum_point();
+    let result = SearchSession::new(
+        dnn_latency_model(),
+        DseConfig {
+            budget: 20,
+            seed,
+            ..DseConfig::default()
+        },
+    )
+    .evaluator(&ev)
+    .run(initial);
+    let disk = ev.cache_stats().disk.expect("disk tier attached");
+    (result, disk)
+}
+
+/// The cache's segment files, sorted by name (creation order).
+fn segment_files(dir: &std::path::Path) -> Vec<PathBuf> {
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "edc"))
+        .collect();
+    segs.sort();
+    segs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// A torn segment tail (the crash-mid-append case): cutting an
+    /// arbitrary number of bytes off the end of the last segment loses at
+    /// most the torn records. The reopened cache falls back to the
+    /// surviving prefix and the warm search is bit-identical to the cold
+    /// one.
+    #[test]
+    fn torn_segment_tail_never_changes_results(
+        cut in 1u64..4096,
+        seed in 0u64..3,
+    ) {
+        let dir = temp_cache_dir("torn");
+        let (cold, cold_disk) = disk_cached_search(&dir, seed);
+        prop_assert!(cold_disk.appends > 0, "cold run must populate the cache");
+
+        let last = segment_files(&dir).pop().expect("at least one segment");
+        let len = std::fs::metadata(&last).unwrap().len();
+        let file = std::fs::OpenOptions::new().write(true).open(&last).unwrap();
+        file.set_len(len.saturating_sub(cut)).unwrap();
+        drop(file);
+
+        let (warm, warm_disk) = disk_cached_search(&dir, seed);
+        assert_results_identical(&warm, &cold);
+        // Whatever survived must all be readable; the torn part shows up
+        // as misses that were recomputed and re-appended.
+        prop_assert!(warm_disk.entries >= cold_disk.entries.saturating_sub(cold_disk.appends as usize));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A corrupt (or truncated, or garbage) index file is only ever an
+    /// accelerator: the reopened cache rebuilds it by scanning the
+    /// segments, recovers every record, and the warm run is bit-identical
+    /// with a fully hot disk tier.
+    #[test]
+    fn corrupt_index_is_rebuilt_by_scan(
+        junk_seed in any::<u64>(),
+        junk_len in 0usize..96,
+        seed in 0u64..3,
+    ) {
+        // A splitmix walk stands in for arbitrary bytes (the vendored
+        // proptest shim has no u8 strategy).
+        let mut state = junk_seed;
+        let junk: Vec<u8> = (0..junk_len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect();
+        let dir = temp_cache_dir("badindex");
+        let (cold, cold_disk) = disk_cached_search(&dir, seed);
+        std::fs::write(dir.join("index.json"), &junk).unwrap();
+
+        let (warm, warm_disk) = disk_cached_search(&dir, seed);
+        assert_results_identical(&warm, &cold);
+        prop_assert!(warm_disk.index_rebuilds > 0, "the junk index must be discarded");
+        prop_assert!(
+            warm_disk.recovered_records as usize >= cold_disk.entries,
+            "every record must be recovered by scan: {} < {}",
+            warm_disk.recovered_records,
+            cold_disk.entries
+        );
+        prop_assert_eq!(warm_disk.misses, 0, "a rebuilt index must serve every lookup");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A segment stamped with an unknown format version (a future writer,
+    /// or header rot) is skipped whole — never misread — and the warm run
+    /// recomputes its contents, bit-identically.
+    #[test]
+    fn unknown_segment_version_is_skipped_whole(
+        version in 2u32..u32::MAX,
+        seed in 0u64..3,
+    ) {
+        let dir = temp_cache_dir("version");
+        let (cold, _) = disk_cached_search(&dir, seed);
+
+        // The version field sits after the 8-byte magic (see the module
+        // docs in `edse_core::diskcache`).
+        let seg = segment_files(&dir).pop().expect("at least one segment");
+        let mut bytes = std::fs::read(&seg).unwrap();
+        bytes[8..12].copy_from_slice(&version.to_le_bytes());
+        std::fs::write(&seg, &bytes).unwrap();
+        // The stale index would mask the bad header; drop it so open has
+        // to look at the segment itself (rot plus a lost index is also
+        // exactly what a half-synced copy of the directory looks like).
+        let _ = std::fs::remove_file(dir.join("index.json"));
+
+        let (warm, warm_disk) = disk_cached_search(&dir, seed);
+        assert_results_identical(&warm, &cold);
+        prop_assert!(warm_disk.skipped_segments > 0, "the alien segment must be skipped");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -56,6 +56,20 @@ pub trait MappingOptimizer: Send + Sync {
     /// Short name for reports, e.g. `"linear"` or `"random-10000"`.
     fn name(&self) -> String;
 
+    /// A stable identity for *persistent* (cross-process) cache keys: must
+    /// capture every knob that can change this optimizer's results,
+    /// including seeds and parameters [`Self::name`] omits for display.
+    /// Two optimizers with equal fingerprints must produce identical
+    /// outcomes for every `(layer, config)` pair.
+    ///
+    /// The default is [`Self::name`] — correct only for optimizers whose
+    /// name already encodes their full configuration (e.g. the
+    /// parameterless fixed-dataflow mapper); every stochastic or
+    /// multi-knob optimizer must override this.
+    fn fingerprint(&self) -> String {
+        self.name()
+    }
+
     /// Diagnostic fallback for designs where [`Self::optimize`] finds no
     /// feasible mapping: the greedy fixed-dataflow mapping executed with
     /// the NoC-capacity check relaxed. The profile reflects the time-shared
@@ -77,6 +91,10 @@ impl MappingOptimizer for Box<dyn MappingOptimizer> {
         (**self).name()
     }
 
+    fn fingerprint(&self) -> String {
+        (**self).fingerprint()
+    }
+
     fn diagnose(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<ExecutionProfile> {
         (**self).diagnose(layer, cfg)
     }
@@ -89,6 +107,10 @@ impl<M: MappingOptimizer> MappingOptimizer for &M {
 
     fn name(&self) -> String {
         (**self).name()
+    }
+
+    fn fingerprint(&self) -> String {
+        (**self).fingerprint()
     }
 
     fn diagnose(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<ExecutionProfile> {
@@ -154,6 +176,12 @@ impl<M: MappingOptimizer> MappingOptimizer for InstrumentedMapper<M> {
 
     fn name(&self) -> String {
         self.inner.name()
+    }
+
+    fn fingerprint(&self) -> String {
+        // Observation never changes results: instrumented and bare
+        // mappers share persistent cache entries.
+        self.inner.fingerprint()
     }
 
     fn diagnose(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<ExecutionProfile> {
@@ -245,6 +273,16 @@ impl<M: MappingOptimizer> MappingOptimizer for FaultInjector<M> {
 
     fn name(&self) -> String {
         format!("faulty-{}", self.inner.name())
+    }
+
+    fn fingerprint(&self) -> String {
+        format!(
+            "faulty-{}-seed{}-rate{}-recover{}",
+            self.inner.fingerprint(),
+            self.seed,
+            self.rate,
+            self.transient_failures
+        )
     }
 
     fn diagnose(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<ExecutionProfile> {
@@ -355,6 +393,10 @@ impl MappingOptimizer for LinearMapper {
     fn name(&self) -> String {
         format!("linear-{}", self.budget.n_max)
     }
+
+    fn fingerprint(&self) -> String {
+        format!("linear-{:?}", self.budget)
+    }
 }
 
 /// Interstellar-style mapper (the paper's Table-6 comparison point):
@@ -399,6 +441,13 @@ impl MappingOptimizer for InterstellarMapper {
 
     fn name(&self) -> String {
         format!("interstellar-{}", self.budget.n_max)
+    }
+
+    fn fingerprint(&self) -> String {
+        format!(
+            "interstellar-{:?}-spm{:?}-dram{:?}",
+            self.budget, self.spm_order, self.dram_order
+        )
     }
 }
 
@@ -495,6 +544,10 @@ impl MappingOptimizer for RandomMapper {
     fn name(&self) -> String {
         format!("random-{}", self.trials)
     }
+
+    fn fingerprint(&self) -> String {
+        format!("random-{}-seed{}", self.trials, self.seed)
+    }
 }
 
 /// Simulated-annealing mapper (SciPy-style Metropolis schedule): the state
@@ -559,6 +612,13 @@ impl MappingOptimizer for AnnealingMapper {
 
     fn name(&self) -> String {
         format!("annealing-{}", self.trials)
+    }
+
+    fn fingerprint(&self) -> String {
+        format!(
+            "annealing-{}-temp{}-seed{}",
+            self.trials, self.initial_temp, self.seed
+        )
     }
 }
 
@@ -646,6 +706,13 @@ impl MappingOptimizer for GeneticMapper {
 
     fn name(&self) -> String {
         format!("genetic-{}x{}", self.population, self.generations)
+    }
+
+    fn fingerprint(&self) -> String {
+        format!(
+            "genetic-{}x{}-seed{}",
+            self.population, self.generations, self.seed
+        )
     }
 }
 

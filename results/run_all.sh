@@ -2,9 +2,15 @@
 cd /root/repo
 R=results
 mkdir -p $R/json
+# One persistent evaluation cache shared by every binary: later runs
+# warm-start from layer mappings the earlier ones already computed (see
+# DESIGN.md "Persistent evaluation cache"). Delete the directory, or pass
+# --no-disk-cache, for fully cold runs.
+CACHE=$R/cache
+mkdir -p $CACHE
 # Every run also writes its machine-readable report (bench::report schema
 # edse-bench-report/v1) to results/json/<name>.json.
-run() { name=$1; shift; echo "### $name : $(date)" ; timeout 5400 ./target/release/$name "$@" --json $R/json/$name.json ; echo; }
+run() { name=$1; shift; echo "### $name : $(date)" ; timeout 5400 ./target/release/$name "$@" --cache-dir $CACHE --json $R/json/$name.json ; echo; }
 {
 run fig08_bottleneck_graph                                   > $R/fig08.txt 2>&1
 run fig04_toy_trace --iters 25                               > $R/fig04.txt 2>&1

@@ -10,6 +10,11 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q -p edse-core --features validation (checked disk-cache reads)"
+# The CheckedArchive idiom: reads are trusting by default; CI exercises
+# the checksum/key-verifying read path behind the validation feature.
+cargo test -q -p edse-core --features validation
+
 echo "==> conformance: golden fixtures, differential oracles, paper bounds"
 # The harness must stay fast enough to gate every change; the timeout is
 # the budget, not an estimate (the suite runs in well under a minute).
@@ -51,9 +56,13 @@ test -s "$trace_tmp/toy.jsonl" || {
     echo "trace file is empty" >&2
     exit 1
 }
-# trace_report exits non-zero on any unparseable JSONL line.
+# trace_report exits non-zero on any unparseable JSONL line. Capture to a
+# file rather than piping into grep -q: grep closing the pipe early would
+# turn the report's remaining output into a broken-pipe failure under
+# pipefail.
 cargo run --release -q -p bench --bin trace_report -- "$trace_tmp/toy.jsonl" \
-    | grep -q "Search narrative" || {
+    > "$trace_tmp/toy.report"
+grep -q "Search narrative" "$trace_tmp/toy.report" || {
     echo "trace report missing the search narrative" >&2
     exit 1
 }
@@ -79,6 +88,22 @@ wait "$fig04_pid" 2>/dev/null || true
     --out "$trace_tmp/b.json" > /dev/null
 diff "$trace_tmp/a.json" "$trace_tmp/b.json" || {
     echo "resumed run diverged from the uninterrupted run" >&2
+    exit 1
+}
+
+echo "==> warm-start smoke: run fig04_toy_trace twice with --cache-dir, diff"
+cache="$trace_tmp/cache"
+# Cold run populates the cache; the warm rerun must be answered from disk
+# (disk_cache/hit counters in the trace) and stay byte-identical.
+"$fig04" --iters 25 --cache-dir "$cache" --out "$trace_tmp/cold.json" > /dev/null
+"$fig04" --iters 25 --cache-dir "$cache" --out "$trace_tmp/warm.json" \
+    --trace-out "$trace_tmp/warm.jsonl" > /dev/null
+diff "$trace_tmp/cold.json" "$trace_tmp/warm.json" || {
+    echo "warm-cached run diverged from the cold run" >&2
+    exit 1
+}
+grep -q '"disk_cache/hit"' "$trace_tmp/warm.jsonl" || {
+    echo "warm run recorded no disk-cache hits" >&2
     exit 1
 }
 
