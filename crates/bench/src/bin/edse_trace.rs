@@ -1,0 +1,386 @@
+//! `edse-trace`: offline forensics over a `--trace-out` JSONL trace.
+//!
+//! Subcommands:
+//!
+//! - `summary <trace>` — per-phase self-time table (from the causal span
+//!   tree) and the candidate funnel (proposed → deduped → evaluated,
+//!   cache hit rates);
+//! - `why <trace> [best|i,j,...]` — the provenance chain for a candidate
+//!   as the paper's bottleneck narrative: which incumbent it was derived
+//!   from, which dominant bottleneck factor and scaling action proposed
+//!   it, and whether it became the incumbent. Deterministic: identical
+//!   runs render byte-identical output;
+//! - `flamegraph <trace>` — collapsed-stack text (`path self_µs` lines)
+//!   for flamegraph.pl / speedscope / inferno;
+//! - `chrome <trace>` — Chrome trace-event JSON (`chrome://tracing`,
+//!   Perfetto), self-validated before printing;
+//! - `diff <a> <b>` — side-by-side span self-time and counter totals of
+//!   two traces.
+//!
+//! Exits 2 on usage errors, 1 on unreadable/malformed/empty traces or
+//! when the requested analysis is impossible (e.g. `why` on a trace with
+//! no provenance ledger).
+
+use edse_telemetry::{export, json, trace, Event};
+use std::collections::BTreeMap;
+
+const USAGE: &str = "usage: edse-trace <command> <trace.jsonl> [...]
+
+commands:
+  summary    <trace>              per-phase self-time table and candidate funnel
+  why        <trace> [best|i,j,…] provenance chain for a candidate (default: best)
+  flamegraph <trace>              collapsed-stack text for flamegraph tools
+  chrome     <trace>              Chrome trace-event JSON (self-validated)
+  diff       <a> <b>              compare span self-times and counters of two traces";
+
+fn usage_exit() -> ! {
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Vec<Event> {
+    match bench::load_events(path) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Parses a `why` target: `best` (or nothing) means the final
+/// incumbent; otherwise a design point as comma-separated indices,
+/// with optional surrounding brackets (`3,1,2` or `[3, 1, 2]`).
+fn parse_target(arg: Option<&str>) -> Result<Option<Vec<usize>>, String> {
+    let arg = match arg {
+        None => return Ok(None),
+        Some("best") => return Ok(None),
+        Some(a) => a,
+    };
+    let trimmed = arg.trim().trim_start_matches('[').trim_end_matches(']');
+    let point: Result<Vec<usize>, _> = trimmed
+        .split(',')
+        .map(|s| s.trim().parse::<usize>())
+        .collect();
+    match point {
+        Ok(p) if !p.is_empty() => Ok(Some(p)),
+        _ => Err(format!(
+            "cannot parse candidate {arg:?}: expected `best` or comma-separated indices like 3,1,2"
+        )),
+    }
+}
+
+fn fmt_ms(us: u64) -> String {
+    format!("{:.3}", us as f64 / 1e3)
+}
+
+/// The `summary` report: schema line, per-span-name table sorted by
+/// self-time (descending; name-tiebreak keeps it deterministic), then
+/// the candidate funnel from the provenance ledger and cache counters.
+fn summary_text(events: &[Event]) -> String {
+    let mut out = String::new();
+    let schema = events.iter().find_map(|e| match e {
+        Event::Meta { schema, .. } => Some(schema.as_str()),
+        _ => None,
+    });
+    out.push_str(&format!(
+        "{} events, schema {}\n\n",
+        events.len(),
+        schema.unwrap_or("unknown (pre-v2 trace)")
+    ));
+
+    let tree = trace::SpanTree::build(events);
+    let mut stats = tree.aggregate();
+    stats.sort_by(|a, b| b.self_us.cmp(&a.self_us).then(a.name.cmp(&b.name)));
+    if !stats.is_empty() {
+        out.push_str("# Spans (self time, descending)\n");
+        out.push_str(&format!(
+            "{:<28} {:>6} {:>12} {:>12}\n",
+            "name", "count", "total_ms", "self_ms"
+        ));
+        for s in &stats {
+            out.push_str(&format!(
+                "{:<28} {:>6} {:>12} {:>12}\n",
+                s.name,
+                s.count,
+                fmt_ms(s.total_us),
+                fmt_ms(s.self_us)
+            ));
+        }
+        out.push('\n');
+    }
+
+    let records = trace::provenance_records(events);
+    if !records.is_empty() {
+        let count = |outcome: &str| records.iter().filter(|r| r.outcome == outcome).count();
+        let new_best = records.iter().filter(|r| r.new_best).count();
+        out.push_str("# Candidate funnel\n");
+        out.push_str(&format!(
+            "{} proposals: {} evaluated, {} deduped, {} skipped (budget), {} failed; \
+             {} became the incumbent\n\n",
+            records.len(),
+            count("evaluated"),
+            count("deduped"),
+            count("skipped"),
+            count("failed"),
+            new_best
+        ));
+    }
+
+    let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+    for e in events {
+        if let Event::Counters { deltas, .. } = e {
+            for (name, v) in deltas {
+                *totals.entry(name).or_insert(0) += v;
+            }
+        }
+    }
+    let caches: Vec<String> = ["point_cache/", "layer_cache/", "disk_cache/"]
+        .iter()
+        .filter_map(|cache| {
+            let sum = |kind: &str| -> u64 {
+                totals
+                    .iter()
+                    .filter(|(k, _)| k.starts_with(cache) && k.ends_with(kind))
+                    .map(|(_, v)| *v)
+                    .sum()
+            };
+            let hits = sum("/hit");
+            let total = hits + sum("/miss") + sum("/inflight_wait");
+            (total > 0).then(|| {
+                format!(
+                    "{} {:.1}% of {total}",
+                    cache.trim_end_matches('/'),
+                    100.0 * hits as f64 / total as f64
+                )
+            })
+        })
+        .collect();
+    if !caches.is_empty() {
+        out.push_str("# Cache hit rates\n");
+        out.push_str(&caches.join("; "));
+        out.push('\n');
+    }
+    out
+}
+
+/// The `diff` report: union of span names with self-times from both
+/// traces, then counter totals that differ.
+fn diff_text(a: &[Event], b: &[Event]) -> String {
+    let mut out = String::new();
+    let agg = |events: &[Event]| -> BTreeMap<String, u64> {
+        trace::SpanTree::build(events)
+            .aggregate()
+            .into_iter()
+            .map(|s| (s.name, s.self_us))
+            .collect()
+    };
+    let (sa, sb) = (agg(a), agg(b));
+    let names: std::collections::BTreeSet<&String> = sa.keys().chain(sb.keys()).collect();
+    if !names.is_empty() {
+        out.push_str("# Span self-time (ms)\n");
+        out.push_str(&format!(
+            "{:<28} {:>12} {:>12} {:>12}\n",
+            "name", "a", "b", "b-a"
+        ));
+        for name in names {
+            let (va, vb) = (
+                sa.get(name).copied().unwrap_or(0),
+                sb.get(name).copied().unwrap_or(0),
+            );
+            out.push_str(&format!(
+                "{:<28} {:>12} {:>12} {:>12}\n",
+                name,
+                fmt_ms(va),
+                fmt_ms(vb),
+                format!("{:+.3}", (vb as f64 - va as f64) / 1e3)
+            ));
+        }
+        out.push('\n');
+    }
+    let counters = |events: &[Event]| -> BTreeMap<String, u64> {
+        let mut totals = BTreeMap::new();
+        for e in events {
+            if let Event::Counters { deltas, .. } = e {
+                for (name, v) in deltas {
+                    *totals.entry(name.clone()).or_insert(0) += v;
+                }
+            }
+        }
+        totals
+    };
+    let (ca, cb) = (counters(a), counters(b));
+    let changed: Vec<String> = ca
+        .keys()
+        .chain(cb.keys())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .filter_map(|name| {
+            let (va, vb) = (
+                ca.get(name).copied().unwrap_or(0),
+                cb.get(name).copied().unwrap_or(0),
+            );
+            (va != vb).then(|| format!("{name}: {va} -> {vb}"))
+        })
+        .collect();
+    if !changed.is_empty() {
+        out.push_str("# Counters that differ\n");
+        for line in changed {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let command = argv
+        .first()
+        .map(String::as_str)
+        .unwrap_or_else(|| usage_exit());
+    match command {
+        "summary" => {
+            let path = argv.get(1).unwrap_or_else(|| usage_exit());
+            print!("{}", summary_text(&load(path)));
+        }
+        "why" => {
+            let path = argv.get(1).unwrap_or_else(|| usage_exit());
+            let target = match parse_target(argv.get(2).map(String::as_str)) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            };
+            let events = load(path);
+            let records = trace::provenance_records(&events);
+            match trace::why_chain(&records, target.as_deref()) {
+                Ok(chain) => print!("{}", trace::render_why(&chain)),
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "flamegraph" => {
+            let path = argv.get(1).unwrap_or_else(|| usage_exit());
+            print!("{}", export::flamegraph(&load(path)));
+        }
+        "chrome" => {
+            let path = argv.get(1).unwrap_or_else(|| usage_exit());
+            let text = export::chrome_trace(&load(path));
+            // Self-validate: a malformed export must never reach a
+            // viewer (and CI leans on this check).
+            if let Err(e) = json::parse(&text) {
+                eprintln!(
+                    "{path}: internal error: chrome export is not valid JSON: {}",
+                    e.message
+                );
+                std::process::exit(1);
+            }
+            println!("{text}");
+        }
+        "diff" => {
+            let (a, b) = match (argv.get(1), argv.get(2)) {
+                (Some(a), Some(b)) => (a, b),
+                _ => usage_exit(),
+            };
+            print!("{}", diff_text(&load(a), &load(b)));
+        }
+        _ => usage_exit(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edse_telemetry::ProvenanceRecord;
+
+    #[test]
+    fn targets_parse_as_best_or_points() {
+        assert_eq!(parse_target(None).unwrap(), None);
+        assert_eq!(parse_target(Some("best")).unwrap(), None);
+        assert_eq!(parse_target(Some("3,1,2")).unwrap(), Some(vec![3, 1, 2]));
+        assert_eq!(
+            parse_target(Some("[3, 1, 2]")).unwrap(),
+            Some(vec![3, 1, 2])
+        );
+        assert!(parse_target(Some("worst")).is_err());
+        assert!(parse_target(Some("")).is_err());
+    }
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Meta {
+                t_us: 0,
+                schema: "edse-trace/v2".into(),
+            },
+            Event::SpanEnter {
+                name: "dse/run".into(),
+                t_us: 0,
+                id: 1,
+                parent: 0,
+            },
+            Event::SpanEnter {
+                name: "eval/batch".into(),
+                t_us: 10,
+                id: 2,
+                parent: 1,
+            },
+            Event::SpanExit {
+                name: "eval/batch".into(),
+                t_us: 40,
+                id: 2,
+                elapsed_us: 30,
+            },
+            Event::Provenance {
+                t_us: 45,
+                record: ProvenanceRecord {
+                    technique: "explainable".into(),
+                    point: vec![1, 2],
+                    outcome: "evaluated".into(),
+                    new_best: true,
+                    ..ProvenanceRecord::default()
+                },
+            },
+            Event::Counters {
+                t_us: 50,
+                deltas: vec![
+                    ("point_cache/s0/hit".into(), 3),
+                    ("point_cache/s0/miss".into(), 1),
+                ],
+            },
+            Event::SpanExit {
+                name: "dse/run".into(),
+                t_us: 100,
+                id: 1,
+                elapsed_us: 100,
+            },
+        ]
+    }
+
+    #[test]
+    fn summary_reports_spans_funnel_and_caches() {
+        let text = summary_text(&sample_events());
+        assert!(text.contains("schema edse-trace/v2"), "{text}");
+        assert!(text.contains("dse/run"), "{text}");
+        assert!(text.contains("1 proposals: 1 evaluated"), "{text}");
+        assert!(text.contains("1 became the incumbent"), "{text}");
+        assert!(text.contains("point_cache 75.0% of 4"), "{text}");
+    }
+
+    #[test]
+    fn diff_shows_span_and_counter_deltas() {
+        let a = sample_events();
+        let mut b = sample_events();
+        if let Event::Counters { deltas, .. } = &mut b[5] {
+            deltas[0].1 = 5;
+        }
+        let text = diff_text(&a, &b);
+        assert!(text.contains("point_cache/s0/hit: 3 -> 5"), "{text}");
+        assert!(text.contains("dse/run"), "{text}");
+        // Identical traces diff to no counter section.
+        assert!(!diff_text(&a, &a).contains("Counters that differ"));
+    }
+}

@@ -1,5 +1,5 @@
 //! Renders a `--trace-out` JSONL telemetry trace as a human-readable
-//! search narrative: the span timeline, one line per DSE iteration (with
+//! search narrative: the causal span tree, one line per DSE iteration (with
 //! the dominant bottleneck and the proposed/deduped/evaluated funnel),
 //! evaluator cache hit rates, batch-engine thread utilization, and stage
 //! timing summaries.
@@ -11,7 +11,7 @@
 
 use bench::{BenchArgs, BenchReport};
 use edse_telemetry::json::Json;
-use edse_telemetry::{json, Event, Level};
+use edse_telemetry::{trace, Event, Level};
 use std::collections::BTreeMap;
 
 fn fmt_ms(objective: f64) -> String {
@@ -19,21 +19,6 @@ fn fmt_ms(objective: f64) -> String {
         format!("{objective:.3} ms")
     } else {
         "unmappable".into()
-    }
-}
-
-/// Pinpoints why a trace line failed to parse: the 1-based column and the
-/// most precise message available.
-///
-/// [`Event::parse_json_line`] reports event-level problems (unknown kind,
-/// missing field) without a position, so the line is re-parsed as plain
-/// JSON: a syntax failure there carries the byte offset of the defect
-/// (column = byte + 1); a line that *is* valid JSON but not a valid event
-/// gets column 1 with the event-level message.
-fn locate_failure(line: &str, error: &str) -> (usize, String) {
-    match json::parse(line) {
-        Err(e) => (e.byte + 1, e.message),
-        Ok(_) => (1, error.to_string()),
     }
 }
 
@@ -64,33 +49,13 @@ fn main() {
     // The first positional argument is the trace path, not an unknown flag.
     args.warnings
         .retain(|w| !w.ends_with(&format!("argument {path}")));
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
+    let events = match bench::load_events(&path) {
+        Ok(events) => events,
         Err(e) => {
-            eprintln!("cannot read {path}: {e}");
+            eprintln!("{e}");
             std::process::exit(1);
         }
     };
-
-    let mut events = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        match Event::parse_json_line(line) {
-            Ok(event) => events.push(event),
-            Err(e) => {
-                let (col, message) = locate_failure(line, &e);
-                eprintln!("{path}:{}:{col}: unparseable trace line: {message}", i + 1);
-                eprintln!("  offending record: {line}");
-                std::process::exit(1);
-            }
-        }
-    }
-    if events.is_empty() {
-        eprintln!("{path}: empty trace");
-        std::process::exit(1);
-    }
     let span_s = events.iter().map(Event::t_us).max().unwrap_or(0) as f64 / 1e6;
     println!("# Trace report: {path}\n");
     println!("{} events over {span_s:.2} s\n", events.len());
@@ -99,26 +64,27 @@ fn main() {
     let mut report = BenchReport::new("trace_report", &args);
     report.metric("events", Json::Num(events.len() as f64));
 
-    // -- Span timeline ----------------------------------------------------
-    let spans: Vec<(&String, u64, u64)> = events
-        .iter()
-        .filter_map(|e| match e {
-            Event::SpanExit {
-                name,
-                t_us,
-                elapsed_us,
-            } => Some((name, t_us.saturating_sub(*elapsed_us), *elapsed_us)),
-            _ => None,
-        })
-        .collect();
-    if !spans.is_empty() {
+    // -- Span tree ---------------------------------------------------------
+    let tree = trace::SpanTree::build(&events);
+    if !tree.nodes.is_empty() {
         println!("## Spans\n");
-        for (name, start_us, elapsed_us) in spans {
+        // Depth-first walk so children render indented under their
+        // parent — the causal structure, not just a flat timeline.
+        let mut stack: Vec<(usize, usize)> = tree.roots.iter().rev().map(|&i| (i, 0)).collect();
+        while let Some((idx, depth)) = stack.pop() {
+            let node = &tree.nodes[idx];
             println!(
-                "- {name}: {:.3} s (from t+{:.3} s)",
-                elapsed_us as f64 / 1e6,
-                start_us as f64 / 1e6
+                "- {:indent$}{}: {:.3} s (self {:.3} s, from t+{:.3} s)",
+                "",
+                node.name,
+                node.elapsed_us as f64 / 1e6,
+                tree.self_us(idx) as f64 / 1e6,
+                node.start_us as f64 / 1e6,
+                indent = depth * 2
             );
+            for &child in node.children.iter().rev() {
+                stack.push((child, depth + 1));
+            }
         }
         println!();
     }
@@ -281,36 +247,5 @@ fn main() {
     report.write_if_requested(&args);
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn syntax_errors_carry_the_defects_column() {
-        // Broken mid-object: the value after "t_us": is missing, so the
-        // parser gives up on the `}` at byte 21 — column 22.
-        let line = r#"{"kind":"log","t_us":}"#;
-        let err = Event::parse_json_line(line).unwrap_err();
-        let (col, message) = locate_failure(line, &err);
-        assert_eq!(col, 22, "column must point at the defect, got {message}");
-        assert!(!message.is_empty());
-    }
-
-    #[test]
-    fn valid_json_invalid_event_points_at_column_one() {
-        let line = r#"{"kind":"no-such-event"}"#;
-        let err = Event::parse_json_line(line).unwrap_err();
-        let (col, message) = locate_failure(line, &err);
-        assert_eq!(col, 1);
-        // The event-level message survives verbatim.
-        assert_eq!(message, err);
-    }
-
-    #[test]
-    fn trailing_garbage_is_located_after_the_document() {
-        let line = r#"{"kind":"log"} extra"#;
-        let err = Event::parse_json_line(line).unwrap_err();
-        let (col, _) = locate_failure(line, &err);
-        assert_eq!(col, 16, "column of the first trailing character");
-    }
-}
+// Trace-loading edge cases (malformed lines, empty traces, diagnostic
+// columns) are covered by the unit tests in `bench::tracefile`.

@@ -8,7 +8,7 @@
 //! [`SessionOpts`] into the technique runners.
 
 use edse_core::DiskCache;
-use edse_telemetry::{Collector, JsonlSink, Level, StderrSink};
+use edse_telemetry::{Collector, JsonlSink, Level, PrometheusSink, StderrSink};
 use std::path::PathBuf;
 use std::sync::Arc;
 use workloads::{zoo, DnnModel};
@@ -30,6 +30,11 @@ pub struct BenchArgs {
     /// JSONL trace destination (`--trace-out <path>`); `None` keeps
     /// telemetry metrics off entirely.
     pub trace_out: Option<String>,
+    /// Prometheus text-format metrics snapshot destination
+    /// (`--metrics-out <path>`), rewritten at every collector flush —
+    /// the scrape surface for dashboards. Activates metric collection
+    /// like `--trace-out` does.
+    pub metrics_out: Option<String>,
     /// Whether `--verbose` lowers the stderr log threshold to `Info`
     /// (progress chatter); the default shows only warnings and errors.
     pub verbose: bool,
@@ -122,6 +127,7 @@ impl BenchArgs {
             models: Vec::new(),
             quick: true,
             trace_out: None,
+            metrics_out: None,
             verbose: false,
             checkpoint: None,
             resume: false,
@@ -172,6 +178,10 @@ impl BenchArgs {
                 }
                 "--trace-out" => {
                     args.trace_out = take(argv, i, &mut args.warnings);
+                    i += 1;
+                }
+                "--metrics-out" => {
+                    args.metrics_out = take(argv, i, &mut args.warnings);
                     i += 1;
                 }
                 "--checkpoint" => {
@@ -270,10 +280,12 @@ impl BenchArgs {
     }
 
     /// Builds the run's telemetry collector from the parsed flags:
-    /// a [`JsonlSink`] when `--trace-out` was given (activating metrics),
-    /// plus a [`StderrSink`] at `Warn` (or `Info` with `--verbose`) so
-    /// warnings stay visible while progress chatter is opt-in. Exits with
-    /// an error when the trace file cannot be created.
+    /// a [`JsonlSink`] when `--trace-out` was given and a
+    /// [`PrometheusSink`] when `--metrics-out` was given (either
+    /// activates metrics), plus a [`StderrSink`] at `Warn` (or `Info`
+    /// with `--verbose`) so warnings stay visible while progress chatter
+    /// is opt-in. Exits with an error when the trace file cannot be
+    /// created.
     pub fn telemetry(&self) -> Collector {
         let mut builder = Collector::builder();
         if let Some(path) = &self.trace_out {
@@ -284,6 +296,9 @@ impl BenchArgs {
                     std::process::exit(1);
                 }
             }
+        }
+        if let Some(path) = &self.metrics_out {
+            builder = builder.sink(PrometheusSink::new(std::path::Path::new(path)));
         }
         let level = if self.verbose {
             Level::Info
@@ -459,6 +474,7 @@ mod tests {
             "--trials",
             "--models",
             "--trace-out",
+            "--metrics-out",
             "--checkpoint",
             "--out",
             "--json",
@@ -479,6 +495,30 @@ mod tests {
         assert_eq!(a.json.as_deref(), Some("report.json"));
         assert!(a.warnings.is_empty());
         assert!(BenchArgs::parse_from(&[] as &[&str], 100).json.is_none());
+    }
+
+    #[test]
+    fn metrics_out_flag_parses_and_activates_metrics() {
+        let a = BenchArgs::parse_from(&["--metrics-out", "run.prom"], 100);
+        assert_eq!(a.metrics_out.as_deref(), Some("run.prom"));
+        assert!(a.warnings.is_empty());
+        assert!(BenchArgs::parse_from(&[] as &[&str], 100)
+            .metrics_out
+            .is_none());
+
+        // --metrics-out alone (no --trace-out) must switch metric
+        // collection on: the Prometheus snapshot is the point.
+        let dir = std::env::temp_dir().join(format!("edse-cli-metrics-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.prom");
+        let a = BenchArgs::parse_from(&["--metrics-out", path.to_str().unwrap()], 100);
+        let t = a.telemetry();
+        assert!(t.active());
+        t.counter("probe", 1);
+        t.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("edse_probe 1"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

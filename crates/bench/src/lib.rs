@@ -24,8 +24,10 @@ use workloads::DnnModel;
 pub mod cli;
 pub mod report;
 pub mod toy;
+pub mod tracefile;
 pub use cli::{BenchArgs, SessionOpts};
 pub use report::{BenchReport, TraceSummary};
+pub use tracefile::{load_events, TraceError};
 
 /// How mappings are obtained during hardware exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

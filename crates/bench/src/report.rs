@@ -273,6 +273,41 @@ mod tests {
         );
     }
 
+    /// The checked-in telemetry-overhead record stays schema-valid and
+    /// keeps documenting the acceptance bar: a live collector (metrics +
+    /// span tree + flush) costs at most 25% over the no-op path on the
+    /// `engine/batch16` workload.
+    #[test]
+    fn recorded_telemetry_bench_report_parses_and_holds_the_bar() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/json/bench_telemetry.json"
+        );
+        let line = std::fs::read_to_string(path).expect("results/json/bench_telemetry.json");
+        let doc = edse_telemetry::json::parse(line.trim()).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(REPORT_SCHEMA)
+        );
+        let metric = |name: &str| {
+            doc.get("metrics")
+                .and_then(|m| m.get(name))
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("missing metric {name}"))
+        };
+        let ratio = metric("engine/batch16_traced_ratio");
+        assert!(
+            ratio <= 1.25,
+            "recorded traced/untraced ratio {ratio} above the 1.25 bar"
+        );
+        let untraced = metric("engine/batch16_untraced_ns");
+        let traced = metric("engine/batch16_traced_ns");
+        assert!(
+            (traced / untraced - ratio).abs() < 0.01,
+            "overhead ratio drifted from the recorded timings"
+        );
+    }
+
     /// The checked-in disk-cache warm-start record stays schema-valid and
     /// keeps documenting the acceptance bar: a repeated identical run over
     /// the same `--cache-dir` hits the disk tier >= 99% of the time and is

@@ -1,0 +1,142 @@
+//! Search-forensics conformance: the trace alone must reconstruct the
+//! full "why" chain of the final design, deterministically, and every
+//! exporter's output must load cleanly.
+//!
+//! 1. `edse-trace why best` semantics: two identical runs render
+//!    byte-identical provenance narratives, and the chain runs from the
+//!    parentless first incumbent to the run's actual best point with a
+//!    bottleneck factor + scaling action (or restart) at every hop.
+//! 2. The Chrome trace-event export parses as JSON with well-formed
+//!    complete events; the flamegraph export is line-wise
+//!    `path self_µs` with self-times that sum to no more than the root
+//!    spans' total.
+
+use edse_core::bottleneck::dnn_latency_model;
+use edse_core::dse::DseConfig;
+use edse_core::evaluate::{CodesignEvaluator, Evaluator};
+use edse_core::space::edge_space;
+use edse_core::SearchSession;
+use edse_telemetry::json::Json;
+use edse_telemetry::{export, json, trace, Collector, Event, MemorySink};
+use mapper::FixedMapper;
+use workloads::zoo;
+
+/// One fully-instrumented toy search (the fig04 shape): explainable DSE
+/// on the edge space, budget 40, every event captured in memory.
+fn traced_run() -> (Vec<Event>, Vec<usize>) {
+    let sink = MemorySink::new();
+    let collector = Collector::builder().sink(sink.clone()).build();
+    let evaluator = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper)
+        .with_telemetry(collector.clone());
+    let result = SearchSession::new(
+        dnn_latency_model(),
+        DseConfig {
+            budget: 40,
+            ..DseConfig::default()
+        },
+    )
+    .evaluator(&evaluator)
+    .telemetry(collector.clone())
+    .run(evaluator.space().minimum_point());
+    collector.flush();
+    let best = result
+        .best
+        .expect("toy search finds a feasible design")
+        .0
+        .indices()
+        .to_vec();
+    (sink.events(), best)
+}
+
+#[test]
+fn why_best_is_byte_stable_and_reaches_the_final_design() {
+    let (events_a, best_a) = traced_run();
+    let (events_b, best_b) = traced_run();
+    assert_eq!(
+        best_a, best_b,
+        "the toy search itself must be deterministic"
+    );
+
+    let render = |events: &[Event]| {
+        let records = trace::provenance_records(events);
+        trace::render_why(&trace::why_chain(&records, None).expect("chain for best"))
+    };
+    let (text_a, text_b) = (render(&events_a), render(&events_b));
+    assert_eq!(
+        text_a, text_b,
+        "identical runs must render byte-identical why-best narratives"
+    );
+
+    // The chain itself: parentless root, the actual best design at the
+    // end, and a causal explanation at every intermediate hop.
+    let records = trace::provenance_records(&events_a);
+    let chain = trace::why_chain(&records, None).unwrap();
+    assert_eq!(chain.first().unwrap().parent, None);
+    assert_eq!(chain.last().unwrap().point, best_a);
+    assert!(chain.last().unwrap().new_best);
+    for hop in &chain[1..] {
+        assert!(hop.parent.is_some(), "non-root hop without a parent");
+        let explained = hop.bottleneck.is_some() || hop.action.contains("perturbation");
+        assert!(
+            explained,
+            "hop lacks a bottleneck or restart action: {hop:?}"
+        );
+        if hop.bottleneck.is_some() {
+            assert!(
+                hop.scaling.is_some(),
+                "bottleneck hop without its scaling factor: {hop:?}"
+            );
+        }
+    }
+    // The rendering carries those facts (the narrative the CLI prints).
+    assert!(text_a.contains("phase-start point (no parent incumbent)"));
+    assert!(text_a.contains("new incumbent"));
+    assert!(
+        text_a.lines().filter(|l| l.contains("action: ")).count() == chain.len(),
+        "every hop renders its action"
+    );
+}
+
+#[test]
+fn chrome_export_loads_as_wellformed_trace_events() {
+    let (events, _) = traced_run();
+    let text = export::chrome_trace(&events);
+    let doc = json::parse(&text).expect("chrome export must be valid JSON");
+    let trace_events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!trace_events.is_empty());
+    for ev in trace_events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("phase");
+        assert!(ph == "X" || ph == "i", "unexpected phase {ph}");
+        assert!(ev.get("name").and_then(Json::as_str).is_some());
+        assert!(ev.get("ts").and_then(Json::as_f64).is_some());
+        if ph == "X" {
+            assert!(ev.get("dur").and_then(Json::as_f64).is_some());
+        }
+    }
+    // The span instants include the search's decision points.
+    assert!(text.contains("provenance evaluated"));
+}
+
+#[test]
+fn flamegraph_export_is_wellformed_collapsed_stacks() {
+    let (events, _) = traced_run();
+    let text = export::flamegraph(&events);
+    assert!(!text.is_empty());
+    let mut total_self = 0u64;
+    for line in text.lines() {
+        let (path, value) = line.rsplit_once(' ').expect("`path self_us` shape");
+        assert!(!path.is_empty());
+        total_self += value.parse::<u64>().expect("numeric self time");
+    }
+    // Self-times partition wall-clock: they can never exceed the total
+    // elapsed of the root spans.
+    let tree = trace::SpanTree::build(&events);
+    let root_total: u64 = tree.roots.iter().map(|&i| tree.nodes[i].elapsed_us).sum();
+    assert!(
+        total_self <= root_total,
+        "flamegraph self-times {total_self} exceed root elapsed {root_total}"
+    );
+}

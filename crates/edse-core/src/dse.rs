@@ -21,7 +21,7 @@ use crate::bottleneck::model::BottleneckModel;
 use crate::cost::{Evaluation, Sample, Trace};
 use crate::evaluate::Evaluator;
 use crate::space::{DesignPoint, ParamId};
-use edse_telemetry::{Collector, IterationRecord};
+use edse_telemetry::{Collector, IterationRecord, ProvenanceRecord};
 use std::collections::HashSet;
 use std::path::Path;
 use std::time::Instant;
@@ -388,7 +388,15 @@ impl<C> ExplainableDse<C> {
             // Phase start: evaluate the phase's initial point. A faulted
             // evaluation yields the evaluator's infeasible sentinel, which
             // the update rule then moves away from.
+            let _span = self.telemetry.span("dse/phase_start");
             let current = st.phase_start.clone();
+            // Provenance: a restart phase's start point was perturbed from
+            // the best-so-far incumbent (§C); the very first point of the
+            // search has no parent. Captured before the best-update below
+            // so the parent is the incumbent this point was derived from.
+            let parent = (st.phase > 0)
+                .then(|| st.best.as_ref().map(|(p, _)| p.indices().to_vec()))
+                .flatten();
             let current_eval = evaluator.evaluate(&current);
             st.trace.samples.push(Sample {
                 point: current.clone(),
@@ -396,6 +404,7 @@ impl<C> ExplainableDse<C> {
                 constraint_values: current_eval.constraint_values.clone(),
                 feasible: current_eval.feasible(constraints),
             });
+            let mut new_best = false;
             if current_eval.feasible(constraints)
                 && st
                     .best
@@ -403,6 +412,27 @@ impl<C> ExplainableDse<C> {
                     .is_none_or(|(_, b)| current_eval.objective < b.objective)
             {
                 st.best = Some((current.clone(), current_eval.clone()));
+                new_best = true;
+            }
+            if self.telemetry.active() {
+                self.telemetry.provenance(ProvenanceRecord {
+                    technique: st.trace.technique.clone(),
+                    iteration: st.attempts.len() as u64,
+                    point: current.indices().to_vec(),
+                    parent,
+                    bottleneck: None,
+                    scaling: None,
+                    action: if st.phase == 0 {
+                        "initial point".to_string()
+                    } else {
+                        format!("restart perturbation (phase {})", st.phase)
+                    },
+                    outcome: "evaluated".to_string(),
+                    objective: current_eval.objective,
+                    feasible: current_eval.feasible(constraints),
+                    accepted: true,
+                    new_best,
+                });
             }
             st.seen.insert(current.clone());
             st.phase_state = Some(PhaseState {
@@ -474,6 +504,7 @@ impl<C> ExplainableDse<C> {
         E: Evaluator,
         F: Fn(&E, &DesignPoint, &crate::cost::LayerEval) -> Option<C>,
     {
+        let _span = self.telemetry.span("dse/attempt");
         let constraints = evaluator.constraints();
         let SearchState {
             trace,
@@ -483,6 +514,8 @@ impl<C> ExplainableDse<C> {
             phase_state,
             ..
         } = st;
+        let iter0 = attempts.len() as u64;
+        let technique = trace.technique.clone();
         let ps = phase_state.as_mut().expect("attempt_step needs a phase");
         let PhaseState {
             current,
@@ -490,6 +523,10 @@ impl<C> ExplainableDse<C> {
             frozen,
             stalls,
         } = ps;
+        // The provenance parent of every candidate this attempt proposes:
+        // the incumbent the bottleneck analysis ran against (captured
+        // before `update_solution` can move it).
+        let parent_point = current.indices().to_vec();
 
         let record = |trace: &mut Trace, point: &DesignPoint, eval: &Evaluation| {
             trace.samples.push(Sample {
@@ -515,6 +552,31 @@ impl<C> ExplainableDse<C> {
         };
         let (predictions, analyses, summary) =
             self.analyze_subfunctions(evaluator, current, current_eval, factors, ctx_fn);
+
+        // Provenance-record factory for this attempt's candidates. All
+        // string building is gated on `active` so the no-op path stays a
+        // single branch per call site.
+        let active = self.telemetry.active();
+        let make_prov = |action: String,
+                         cand: &DesignPoint,
+                         outcome: &str,
+                         objective: f64,
+                         feasible: bool,
+                         accepted: bool,
+                         new_best: bool| ProvenanceRecord {
+            technique: technique.clone(),
+            iteration: iter0,
+            point: cand.indices().to_vec(),
+            parent: Some(parent_point.clone()),
+            bottleneck: summary.bottleneck.clone(),
+            scaling: summary.scaling,
+            action,
+            outcome: outcome.to_string(),
+            objective,
+            feasible,
+            accepted,
+            new_best,
+        };
 
         // ---- (3): acquisition — one candidate per aggregated value,
         // plus one combined candidate applying every prediction at once
@@ -553,14 +615,39 @@ impl<C> ExplainableDse<C> {
 
         // `proposed` counts every candidate the acquisition step
         // generates, *before* the seen-set filter; the difference to
-        // `acquisitions.len()` is what deduplication saved.
+        // `acquisitions.len()` is what deduplication saved. Deduplicated
+        // candidates still leave a provenance record — the ledger's
+        // "why was this never re-evaluated" answer. `actions` stays
+        // index-aligned with `acquisitions` (empty strings when
+        // telemetry is off).
         let mut proposed = 0usize;
         let mut acquisitions: Vec<(Option<ParamId>, DesignPoint)> = Vec::new();
+        let mut actions: Vec<String> = Vec::new();
         for (param, idx) in moves.iter().take(self.config.max_candidates) {
             let cand = current.with_index(*param, *idx);
             proposed += 1;
+            let action = if active {
+                format!(
+                    "raise {} to {}",
+                    space.param(*param).name(),
+                    space.param(*param).values()[*idx]
+                )
+            } else {
+                String::new()
+            };
             if !seen.contains(&cand) {
                 acquisitions.push((Some(*param), cand));
+                actions.push(action);
+            } else if active {
+                self.telemetry.provenance(make_prov(
+                    action,
+                    &cand,
+                    "deduped",
+                    f64::INFINITY,
+                    false,
+                    false,
+                    false,
+                ));
             }
         }
         if moves.len() > 1 {
@@ -569,8 +656,24 @@ impl<C> ExplainableDse<C> {
                 combo = combo.with_index(*param, *idx);
             }
             proposed += 1;
+            let action = if active {
+                "apply combined prediction".to_string()
+            } else {
+                String::new()
+            };
             if !seen.contains(&combo) {
                 acquisitions.push((None, combo));
+                actions.push(action);
+            } else if active {
+                self.telemetry.provenance(make_prov(
+                    action,
+                    &combo,
+                    "deduped",
+                    f64::INFINITY,
+                    false,
+                    false,
+                    false,
+                ));
             }
         }
 
@@ -583,8 +686,28 @@ impl<C> ExplainableDse<C> {
                 if cur_idx > 0 && !frozen.contains(&param) {
                     let cand = current.with_index(param, cur_idx - 1);
                     proposed += 1;
+                    let action = if active {
+                        format!(
+                            "lower {} to {} (constraint escape)",
+                            space.param(param).name(),
+                            space.param(param).values()[cur_idx - 1]
+                        )
+                    } else {
+                        String::new()
+                    };
                     if !seen.contains(&cand) {
                         acquisitions.push((Some(param), cand));
+                        actions.push(action);
+                    } else if active {
+                        self.telemetry.provenance(make_prov(
+                            action,
+                            &cand,
+                            "deduped",
+                            f64::INFINITY,
+                            false,
+                            false,
+                            false,
+                        ));
                     }
                 }
                 if acquisitions.len() >= self.config.max_candidates {
@@ -631,7 +754,12 @@ impl<C> ExplainableDse<C> {
         // permanently failed candidate becomes an `Attempt::Failed`
         // entry (with its own iteration record) instead of aborting.
         let mut candidates: Vec<(DesignPoint, Evaluation, Option<ParamId>)> = Vec::new();
+        // `(action, became-best)` per entry of `candidates`, for the
+        // provenance records emitted after the update rule settles
+        // acceptance. Only populated while telemetry is active.
+        let mut evaluated_meta: Vec<(String, bool)> = Vec::new();
         let mut failed = 0usize;
+        let mut next_idx = 0usize;
         let mut pending = acquisitions.as_slice();
         while !pending.is_empty() {
             let remaining = self
@@ -646,21 +774,39 @@ impl<C> ExplainableDse<C> {
             let points: Vec<DesignPoint> = chunk.iter().map(|(_, cand)| cand.clone()).collect();
             let results = evaluator.try_evaluate_batch(&points);
             for ((param, cand), result) in chunk.iter().zip(results) {
+                let idx = next_idx;
+                next_idx += 1;
                 seen.insert(cand.clone());
                 match result {
                     Ok(eval) => {
                         record(trace, cand, &eval);
+                        let mut new_best = false;
                         if eval.feasible(constraints)
                             && best
                                 .as_ref()
                                 .is_none_or(|(_, b)| eval.objective < b.objective)
                         {
                             *best = Some((cand.clone(), eval.clone()));
+                            new_best = true;
+                        }
+                        if active {
+                            evaluated_meta.push((actions[idx].clone(), new_best));
                         }
                         candidates.push((cand.clone(), eval, *param));
                     }
                     Err(fault) => {
                         failed += 1;
+                        if active {
+                            self.telemetry.provenance(make_prov(
+                                actions[idx].clone(),
+                                cand,
+                                "failed",
+                                f64::INFINITY,
+                                false,
+                                false,
+                                false,
+                            ));
+                        }
                         let index = attempts.len();
                         let decision = format!("candidate evaluation failed: {}", fault.error);
                         self.emit_iteration(
@@ -682,6 +828,21 @@ impl<C> ExplainableDse<C> {
                         });
                     }
                 }
+            }
+        }
+        // Candidates the budget boundary cut off: never evaluated, but
+        // still part of the ledger.
+        if active {
+            for (i, (_, cand)) in pending.iter().enumerate() {
+                self.telemetry.provenance(make_prov(
+                    actions[next_idx + i].clone(),
+                    cand,
+                    "skipped",
+                    f64::INFINITY,
+                    false,
+                    false,
+                    false,
+                ));
             }
         }
         if candidates.is_empty() {
@@ -754,6 +915,21 @@ impl<C> ExplainableDse<C> {
             frozen,
             stalls,
         );
+        // The ledger entry for each evaluated candidate, now that the
+        // update rule has decided which one (if any) became the incumbent.
+        if active {
+            for ((cand, eval, _), (action, new_best)) in candidates.iter().zip(&evaluated_meta) {
+                self.telemetry.provenance(make_prov(
+                    action.clone(),
+                    cand,
+                    "evaluated",
+                    eval.objective,
+                    eval.feasible(constraints),
+                    cand == &*current,
+                    *new_best,
+                ));
+            }
+        }
         let index = attempts.len();
         self.emit_iteration(
             evaluator,
@@ -1456,6 +1632,53 @@ mod tests {
         for (rec, attempt) in records.iter().zip(&r.attempts) {
             assert_eq!(rec.iteration as usize, attempt.index());
             assert_eq!(rec.decision, attempt.decision());
+        }
+    }
+
+    #[test]
+    fn provenance_ledger_reconstructs_the_best_design_chain() {
+        use edse_telemetry::{trace, MemorySink};
+        let sink = MemorySink::new();
+        let collector = Collector::builder().sink(sink.clone()).build();
+        let evaluator = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper)
+            .with_telemetry(collector.clone());
+        let r = SearchSession::new(
+            dnn_latency_model(),
+            DseConfig {
+                budget: 60,
+                ..DseConfig::default()
+            },
+        )
+        .evaluator(&evaluator)
+        .telemetry(collector.clone())
+        .run(evaluator.space().minimum_point());
+
+        let events = sink.events();
+        let records = trace::provenance_records(&events);
+        // Every trace sample left exactly one "evaluated" ledger entry.
+        let evaluated = records.iter().filter(|p| p.outcome == "evaluated").count();
+        assert_eq!(evaluated, r.trace.samples.len());
+        // The chain of the best design runs from the parentless initial
+        // point to the final incumbent, with each hop's parent recorded
+        // as an earlier evaluated point.
+        let best_point = r.best.as_ref().expect("feasible best").0.indices().to_vec();
+        let chain = trace::why_chain(&records, None).expect("chain for best");
+        assert_eq!(chain.first().unwrap().parent, None);
+        assert_eq!(chain.last().unwrap().point, best_point);
+        assert!(chain.last().unwrap().new_best);
+        for hop in &chain[1..] {
+            assert!(hop.parent.is_some());
+            assert!(
+                hop.bottleneck.is_some() || hop.action.contains("perturbation"),
+                "non-root hops are bottleneck-driven or restarts: {hop:?}"
+            );
+        }
+        // Acquisition attempts record the incumbent they analyzed.
+        for p in &records {
+            if p.outcome == "deduped" || p.outcome == "skipped" {
+                assert!(p.objective.is_infinite());
+                assert!(!p.accepted && !p.new_best);
+            }
         }
     }
 

@@ -972,6 +972,7 @@ impl<M: MappingOptimizer> Evaluator for CodesignEvaluator<M> {
     /// plus `engine/layer_jobs` and `engine/point_jobs` counters totalling
     /// the work items the engine distributed.
     fn try_evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Result<Evaluation, EvalFault>> {
+        let _batch_span = self.telemetry.span("eval/batch");
         let threads = self.engine.resolved_threads();
         if threads <= 1 {
             return self.serial_batch(points);
@@ -986,10 +987,13 @@ impl<M: MappingOptimizer> Evaluator for CodesignEvaluator<M> {
             self.telemetry
                 .counter("engine/point_jobs", points.len() as u64);
         }
-        let per_thread = fan_out(tasks.len(), threads, |i| {
-            let (shape, cfg) = &tasks[i];
-            let _ = self.map_layer(shape, cfg);
-        });
+        let per_thread = {
+            let _mapping_span = self.telemetry.span("eval/mapping");
+            fan_out(tasks.len(), threads, |i| {
+                let (shape, cfg) = &tasks[i];
+                let _ = self.map_layer(shape, cfg);
+            })
+        };
         if self.telemetry.active() && !tasks.is_empty() {
             self.telemetry.batch(BatchRecord {
                 stage: "engine/mapping".to_string(),
@@ -1000,11 +1004,14 @@ impl<M: MappingOptimizer> Evaluator for CodesignEvaluator<M> {
         }
         let results: Vec<OnceLock<Result<Evaluation, EvalFault>>> =
             points.iter().map(|_| OnceLock::new()).collect();
-        let per_thread = fan_out(points.len(), threads, |i| {
-            results[i]
-                .set(self.try_evaluate(&points[i]))
-                .expect("each index visited once");
-        });
+        let per_thread = {
+            let _points_span = self.telemetry.span("eval/points");
+            fan_out(points.len(), threads, |i| {
+                results[i]
+                    .set(self.try_evaluate(&points[i]))
+                    .expect("each index visited once");
+            })
+        };
         if self.telemetry.active() {
             self.telemetry.batch(BatchRecord {
                 stage: "engine/points".to_string(),

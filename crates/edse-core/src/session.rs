@@ -147,6 +147,7 @@ impl<C, E: Evaluator> SearchSession<C, E> {
     {
         let state = match (&self.checkpoint, self.resume) {
             (Some(path), true) if path.exists() => {
+                let _span = self.dse.telemetry.span("session/load_checkpoint");
                 let (state, caches) = checkpoint::load_search(path, &self.dse.config)
                     .unwrap_or_else(|e| panic!("cannot resume search: {e}"));
                 self.evaluator.restore_caches(&caches);

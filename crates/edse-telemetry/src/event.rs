@@ -8,6 +8,13 @@
 
 use crate::json::{parse, Json};
 
+/// Version tag of the JSONL trace schema, stamped as the first line of
+/// every [`crate::JsonlSink`] trace via [`Event::Meta`] (the same
+/// versioning discipline as the `edse-snapshot` checkpoint envelope).
+/// v1 traces (flat spans, no provenance, no meta line) still parse: the
+/// added members default when absent.
+pub const TRACE_SCHEMA: &str = "edse-trace/v2";
+
 /// Severity of a [`Event::Log`] message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Level {
@@ -119,6 +126,44 @@ impl BatchRecord {
     }
 }
 
+/// One causal record per candidate the explainable DSE touched: which
+/// incumbent proposed it, which bottleneck/scaling motivated the move,
+/// what the move was, and how the candidate fared — the provenance
+/// ledger. The `why` chain of the final design is walked through the
+/// `parent` links (see `crate::trace::why_chain`). Every field is
+/// deterministic (no wall-clock), so renderings of the ledger are
+/// byte-comparable across identical runs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProvenanceRecord {
+    /// Technique name (`"explainable"`).
+    pub technique: String,
+    /// 0-based acquisition-attempt index the candidate belongs to.
+    pub iteration: u64,
+    /// The candidate design point (one value index per parameter).
+    pub point: Vec<usize>,
+    /// The incumbent the candidate was derived from; `None` for the very
+    /// first point of a search.
+    pub parent: Option<Vec<usize>>,
+    /// Dominant bottleneck factor that motivated the proposal.
+    pub bottleneck: Option<String>,
+    /// Required scaling `s` of the dominant factor.
+    pub scaling: Option<f64>,
+    /// Human-readable description of the move (`"pes: 2 -> 8"`,
+    /// `"initial point"`, ...).
+    pub action: String,
+    /// What happened to the candidate: `"evaluated"`, `"deduped"`,
+    /// `"failed"`, or `"skipped"` (budget ran out before evaluation).
+    pub outcome: String,
+    /// Evaluated objective; infinity when unknown or infeasible.
+    pub objective: f64,
+    /// Whether the candidate met every constraint.
+    pub feasible: bool,
+    /// Whether the §4.6 update made this candidate the new incumbent.
+    pub accepted: bool,
+    /// Whether this candidate became the best feasible design so far.
+    pub new_best: bool,
+}
+
 /// Aggregated distribution summary for one histogram.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct HistogramSummary {
@@ -132,6 +177,26 @@ pub struct HistogramSummary {
     pub min: f64,
     /// Largest observation (0 when empty).
     pub max: f64,
+    /// Sparse power-of-two buckets as `(exponent, count)` pairs,
+    /// exponent-sorted: bucket `e` counts observations in
+    /// `[2^e, 2^(e+1))`; exponent -65 collects non-positive values.
+    /// Empty for histograms parsed from v1 traces.
+    pub buckets: Vec<(i32, u64)>,
+}
+
+/// Bucket exponent for one observation (see
+/// [`HistogramSummary::buckets`]).
+pub(crate) fn bucket_exp(value: f64) -> i32 {
+    if value > 0.0 {
+        if value.is_infinite() {
+            63
+        } else {
+            (value.log2().floor() as i64).clamp(-64, 63) as i32
+        }
+    } else {
+        // Zero, negative, NaN: below every positive bucket.
+        -65
+    }
 }
 
 impl HistogramSummary {
@@ -143,18 +208,68 @@ impl HistogramSummary {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) of the observed
+    /// distribution, from the power-of-two buckets: the estimate is the
+    /// midpoint of the bucket holding the target rank, clamped to
+    /// `[min, max]`, so it is exact for empty (0), single-sample
+    /// (the sample), and constant distributions, and within a factor of 2
+    /// otherwise. Without buckets (v1 traces) the estimate degrades to
+    /// linear interpolation between `min` and `max`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        if self.buckets.is_empty() {
+            return self.min + q * (self.max - self.min);
+        }
+        // 1-based rank of the target observation.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for &(exp, n) in &self.buckets {
+            cumulative += n;
+            if cumulative >= target {
+                let mid = if exp <= -65 {
+                    0.0
+                } else {
+                    // Midpoint of [2^exp, 2^(exp+1)).
+                    1.5 * (exp as f64).exp2()
+                };
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
 }
 
 /// A telemetry event. `t_us` fields are microseconds since the collector
 /// was created (monotonic), giving every JSONL line a relative timestamp.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
+    /// Trace header: the schema version of every following line. Written
+    /// first by [`crate::JsonlSink`]; absent from v1 traces.
+    Meta {
+        /// Timestamp, µs since collector creation.
+        t_us: u64,
+        /// Schema tag, e.g. [`TRACE_SCHEMA`].
+        schema: String,
+    },
     /// A span began.
     SpanEnter {
         /// Span name.
         name: String,
         /// Timestamp, µs since collector creation.
         t_us: u64,
+        /// Process-unique span id (0 in v1 traces).
+        id: u64,
+        /// Id of the enclosing span on the same thread; 0 for roots.
+        parent: u64,
     },
     /// A span ended.
     SpanExit {
@@ -162,8 +277,17 @@ pub enum Event {
         name: String,
         /// Timestamp, µs since collector creation.
         t_us: u64,
+        /// Id matching the span's [`Event::SpanEnter`] (0 in v1 traces).
+        id: u64,
         /// Wall-clock duration of the span, µs.
         elapsed_us: u64,
+    },
+    /// One candidate's causal record in the provenance ledger.
+    Provenance {
+        /// Timestamp, µs since collector creation.
+        t_us: u64,
+        /// The record.
+        record: ProvenanceRecord,
     },
     /// Aggregated counter deltas since the previous snapshot.
     Counters {
@@ -208,8 +332,10 @@ impl Event {
     /// The event's timestamp (µs since collector creation).
     pub fn t_us(&self) -> u64 {
         match self {
-            Event::SpanEnter { t_us, .. }
+            Event::Meta { t_us, .. }
+            | Event::SpanEnter { t_us, .. }
             | Event::SpanExit { t_us, .. }
+            | Event::Provenance { t_us, .. }
             | Event::Counters { t_us, .. }
             | Event::Histograms { t_us, .. }
             | Event::Iteration { t_us, .. }
@@ -225,21 +351,63 @@ impl Event {
         let s = |v: &str| Json::Str(v.to_string());
         let opt_f = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
         let json = match self {
-            Event::SpanEnter { name, t_us } => Json::obj(vec![
+            Event::Meta { t_us, schema } => Json::obj(vec![
+                ("ev", s("meta")),
+                ("t_us", n(*t_us)),
+                ("schema", s(schema)),
+            ]),
+            Event::SpanEnter {
+                name,
+                t_us,
+                id,
+                parent,
+            } => Json::obj(vec![
                 ("ev", s("span_enter")),
                 ("t_us", n(*t_us)),
                 ("name", s(name)),
+                ("id", n(*id)),
+                ("parent", n(*parent)),
             ]),
             Event::SpanExit {
                 name,
                 t_us,
+                id,
                 elapsed_us,
             } => Json::obj(vec![
                 ("ev", s("span_exit")),
                 ("t_us", n(*t_us)),
                 ("name", s(name)),
+                ("id", n(*id)),
                 ("elapsed_us", n(*elapsed_us)),
             ]),
+            Event::Provenance { t_us, record: r } => {
+                let point = |p: &[usize]| Json::Arr(p.iter().map(|&i| n(i as u64)).collect());
+                Json::obj(vec![
+                    ("ev", s("provenance")),
+                    ("t_us", n(*t_us)),
+                    ("technique", s(&r.technique)),
+                    ("iteration", n(r.iteration)),
+                    ("point", point(&r.point)),
+                    (
+                        "parent",
+                        r.parent.as_deref().map(point).unwrap_or(Json::Null),
+                    ),
+                    (
+                        "bottleneck",
+                        r.bottleneck
+                            .as_ref()
+                            .map(|b| Json::Str(b.clone()))
+                            .unwrap_or(Json::Null),
+                    ),
+                    ("scaling", opt_f(r.scaling)),
+                    ("action", s(&r.action)),
+                    ("outcome", s(&r.outcome)),
+                    ("objective", f(r.objective)),
+                    ("feasible", Json::Bool(r.feasible)),
+                    ("accepted", Json::Bool(r.accepted)),
+                    ("new_best", Json::Bool(r.new_best)),
+                ])
+            }
             Event::Counters { t_us, deltas } => Json::obj(vec![
                 ("ev", s("counters")),
                 ("t_us", n(*t_us)),
@@ -263,6 +431,17 @@ impl Event {
                                     ("sum", f(h.sum)),
                                     ("min", f(h.min)),
                                     ("max", f(h.max)),
+                                    (
+                                        "buckets",
+                                        Json::Arr(
+                                            h.buckets
+                                                .iter()
+                                                .map(|&(exp, c)| {
+                                                    Json::Arr(vec![Json::Num(exp as f64), n(c)])
+                                                })
+                                                .collect(),
+                                        ),
+                                    ),
                                 ])
                             })
                             .collect(),
@@ -347,15 +526,53 @@ impl Event {
                 .ok_or(format!("missing number `{key}`"))
         };
         let opt_num = |key: &str| v.get(key).and_then(Json::as_f64);
+        // Span ids/parents default to 0 so v1 traces keep parsing.
+        let num_or_zero = |key: &str| v.get(key).and_then(Json::as_u64).unwrap_or(0);
+        let point_field = |key: &str| -> Option<Vec<usize>> {
+            Some(
+                v.get(key)?
+                    .as_arr()?
+                    .iter()
+                    .filter_map(|i| i.as_u64().map(|u| u as usize))
+                    .collect(),
+            )
+        };
         match v.get("ev").and_then(Json::as_str) {
+            Some("meta") => Ok(Event::Meta {
+                t_us,
+                schema: str_field("schema")?,
+            }),
             Some("span_enter") => Ok(Event::SpanEnter {
                 name: str_field("name")?,
                 t_us,
+                id: num_or_zero("id"),
+                parent: num_or_zero("parent"),
             }),
             Some("span_exit") => Ok(Event::SpanExit {
                 name: str_field("name")?,
                 t_us,
+                id: num_or_zero("id"),
                 elapsed_us: num_field("elapsed_us")?,
+            }),
+            Some("provenance") => Ok(Event::Provenance {
+                t_us,
+                record: ProvenanceRecord {
+                    technique: str_field("technique")?,
+                    iteration: num_field("iteration")?,
+                    point: point_field("point").ok_or("missing `point` array")?,
+                    parent: point_field("parent"),
+                    bottleneck: v
+                        .get("bottleneck")
+                        .and_then(Json::as_str)
+                        .map(str::to_string),
+                    scaling: opt_num("scaling"),
+                    action: str_field("action")?,
+                    outcome: str_field("outcome")?,
+                    objective: opt_num("objective").unwrap_or(f64::INFINITY),
+                    feasible: v.get("feasible").and_then(Json::as_bool).unwrap_or(false),
+                    accepted: v.get("accepted").and_then(Json::as_bool).unwrap_or(false),
+                    new_best: v.get("new_best").and_then(Json::as_bool).unwrap_or(false),
+                },
             }),
             Some("counters") => {
                 let deltas = match v.get("deltas") {
@@ -388,6 +605,18 @@ impl Event {
                             sum: h.get("sum").and_then(Json::as_f64).unwrap_or(0.0),
                             min: h.get("min").and_then(Json::as_f64).unwrap_or(0.0),
                             max: h.get("max").and_then(Json::as_f64).unwrap_or(0.0),
+                            // Absent in v1 traces; quantiles then degrade
+                            // to min/max interpolation.
+                            buckets: h
+                                .get("buckets")
+                                .and_then(Json::as_arr)
+                                .unwrap_or(&[])
+                                .iter()
+                                .filter_map(|pair| {
+                                    let items = pair.as_arr()?;
+                                    Some((items.first()?.as_f64()? as i32, items.get(1)?.as_u64()?))
+                                })
+                                .collect(),
                         })
                     })
                     .collect::<Result<Vec<_>, String>>()?;
@@ -461,14 +690,38 @@ mod tests {
 
     fn examples() -> Vec<Event> {
         vec![
+            Event::Meta {
+                t_us: 0,
+                schema: TRACE_SCHEMA.into(),
+            },
             Event::SpanEnter {
                 name: "dse/run".into(),
                 t_us: 12,
+                id: 3,
+                parent: 1,
             },
             Event::SpanExit {
                 name: "dse/run".into(),
                 t_us: 90,
+                id: 3,
                 elapsed_us: 78,
+            },
+            Event::Provenance {
+                t_us: 11,
+                record: ProvenanceRecord {
+                    technique: "explainable".into(),
+                    iteration: 2,
+                    point: vec![1, 0, 4],
+                    parent: Some(vec![0, 0, 4]),
+                    bottleneck: Some("t_dma:wt".into()),
+                    scaling: Some(2.5),
+                    action: "pes: 2 -> 8".into(),
+                    outcome: "evaluated".into(),
+                    objective: 12.75,
+                    feasible: true,
+                    accepted: true,
+                    new_best: true,
+                },
             },
             Event::Counters {
                 t_us: 5,
@@ -482,6 +735,7 @@ mod tests {
                     sum: 12.5,
                     min: 1.0,
                     max: 9.25,
+                    buckets: vec![(0, 1), (1, 1), (3, 1)],
                 }],
             },
             Event::Iteration {
@@ -584,5 +838,126 @@ mod tests {
         assert!(Event::parse_json_line("not json").is_err());
         assert!(Event::parse_json_line("{\"ev\":\"nope\",\"t_us\":0}").is_err());
         assert!(Event::parse_json_line("{\"t_us\":0}").is_err());
+    }
+
+    #[test]
+    fn v1_span_lines_parse_with_zero_ids() {
+        // A pre-forensics trace line: no id/parent members.
+        let enter = r#"{"ev":"span_enter","t_us":12,"name":"dse/run"}"#;
+        match Event::parse_json_line(enter).unwrap() {
+            Event::SpanEnter { id, parent, .. } => assert_eq!((id, parent), (0, 0)),
+            other => panic!("wrong variant {other:?}"),
+        }
+        let exit = r#"{"ev":"span_exit","t_us":90,"name":"dse/run","elapsed_us":78}"#;
+        match Event::parse_json_line(exit).unwrap() {
+            Event::SpanExit { id, .. } => assert_eq!(id, 0),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn root_provenance_record_round_trips_null_parent() {
+        let ev = Event::Provenance {
+            t_us: 0,
+            record: ProvenanceRecord {
+                technique: "explainable".into(),
+                point: vec![0, 0],
+                parent: None,
+                action: "initial point".into(),
+                outcome: "evaluated".into(),
+                objective: f64::INFINITY,
+                ..ProvenanceRecord::default()
+            },
+        };
+        let back = Event::parse_json_line(&ev.to_json_line()).unwrap();
+        match back {
+            Event::Provenance { record, .. } => {
+                assert_eq!(record.parent, None);
+                assert!(record.objective.is_infinite());
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantiles_on_empty_histogram_are_zero() {
+        let h = HistogramSummary::default();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantiles_on_single_sample_return_the_sample() {
+        let h = HistogramSummary {
+            name: "x".into(),
+            count: 1,
+            sum: 37.0,
+            min: 37.0,
+            max: 37.0,
+            buckets: vec![(bucket_exp(37.0), 1)],
+        };
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 37.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantiles_on_skewed_distribution_separate_head_and_tail() {
+        // 50 fast observations (~1µs) and 50 slow ones (~900µs): the
+        // median sits in the fast bucket, p95/p99 in the slow one. The
+        // bucket estimate is exact to within its power-of-two width.
+        let mut buckets = std::collections::BTreeMap::new();
+        for _ in 0..50 {
+            *buckets.entry(bucket_exp(1.0)).or_insert(0u64) += 1;
+            *buckets.entry(bucket_exp(900.0)).or_insert(0u64) += 1;
+        }
+        let h = HistogramSummary {
+            name: "stage/mapper_us".into(),
+            count: 100,
+            sum: 50.0 * 1.0 + 50.0 * 900.0,
+            min: 1.0,
+            max: 900.0,
+            buckets: buckets.into_iter().collect(),
+        };
+        let p50 = h.quantile(0.5);
+        assert!((1.0..2.0).contains(&p50), "p50 in the fast bucket: {p50}");
+        for q in [0.95, 0.99] {
+            let v = h.quantile(q);
+            assert!(
+                (512.0..=900.0).contains(&v),
+                "q={q} must land in the slow bucket, got {v}"
+            );
+        }
+        assert_eq!(h.quantile(1.0), 900.0);
+    }
+
+    #[test]
+    fn quantiles_without_buckets_interpolate_min_max() {
+        // v1 traces carry no buckets; the estimate degrades gracefully
+        // instead of panicking or returning 0.
+        let h = HistogramSummary {
+            name: "x".into(),
+            count: 10,
+            sum: 100.0,
+            min: 0.0,
+            max: 20.0,
+            buckets: vec![],
+        };
+        assert_eq!(h.quantile(0.5), 10.0);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 20.0);
+    }
+
+    #[test]
+    fn bucket_exponents_cover_edge_values() {
+        assert_eq!(bucket_exp(0.0), -65);
+        assert_eq!(bucket_exp(-3.0), -65);
+        assert_eq!(bucket_exp(f64::NAN), -65);
+        assert_eq!(bucket_exp(1.0), 0);
+        assert_eq!(bucket_exp(1.5), 0);
+        assert_eq!(bucket_exp(2.0), 1);
+        assert_eq!(bucket_exp(f64::INFINITY), 63);
+        assert_eq!(bucket_exp(f64::MIN_POSITIVE), -64);
     }
 }

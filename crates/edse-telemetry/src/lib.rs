@@ -45,24 +45,34 @@
 
 #![warn(missing_docs)]
 
+pub mod export;
 pub mod json;
+pub mod trace;
 
 mod event;
 mod sink;
 
-pub use event::{BatchRecord, Event, HistogramSummary, IterationRecord, Level};
-pub use sink::{JsonlSink, MemorySink, Sink, StderrSink};
+pub use event::{
+    BatchRecord, Event, HistogramSummary, IterationRecord, Level, ProvenanceRecord, TRACE_SCHEMA,
+};
+pub use sink::{JsonlSink, MemorySink, PrometheusSink, Sink, StderrSink};
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 struct Histo {
     count: u64,
     sum: f64,
     min: f64,
     max: f64,
+    /// Sparse power-of-two buckets: `exp -> count` of observations with
+    /// `floor(log2 v) == exp` (see [`event::bucket_exp`]). Feeds the
+    /// [`HistogramSummary::quantile`] estimator.
+    buckets: BTreeMap<i32, u64>,
 }
 
 impl Histo {
@@ -76,7 +86,28 @@ impl Histo {
         }
         self.count += 1;
         self.sum += value;
+        *self.buckets.entry(event::bucket_exp(value)).or_insert(0) += 1;
     }
+
+    fn summary(&self, name: &str) -> HistogramSummary {
+        HistogramSummary {
+            name: name.to_string(),
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            buckets: self.buckets.iter().map(|(&e, &c)| (e, c)).collect(),
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread stack of open spans, keyed by collector instance so two
+    /// live collectors in one process never cross-parent. Worker threads
+    /// start with an empty stack, so spans opened there are roots
+    /// (`parent == 0`) — causality across a thread fan-out is carried by
+    /// the surrounding [`BatchRecord`], not by span links.
+    static SPAN_STACK: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
 }
 
 #[derive(Default)]
@@ -97,6 +128,8 @@ struct Inner {
     /// collector still routes logs but skips all metric bookkeeping.
     metrics_active: bool,
     metrics: Mutex<Metrics>,
+    /// Next span id; 0 is reserved as the "no parent" sentinel.
+    next_span_id: AtomicU64,
 }
 
 impl Inner {
@@ -165,6 +198,11 @@ impl Collector {
         match metrics.counters.get_mut(name) {
             Some(value) => *value += delta,
             None => {
+                assert!(
+                    !metrics.histograms.contains_key(name),
+                    "telemetry name collision: {name:?} is already a histogram \
+                     and cannot also be a counter"
+                );
                 metrics.counters.insert(name.to_string(), delta);
             }
         }
@@ -222,6 +260,11 @@ impl Collector {
         match metrics.histograms.get_mut(name) {
             Some(h) => h.observe(value),
             None => {
+                assert!(
+                    !metrics.counters.contains_key(name),
+                    "telemetry name collision: {name:?} is already a counter \
+                     and cannot also be a histogram"
+                );
                 let mut h = Histo::default();
                 h.observe(value);
                 metrics.histograms.insert(name.to_string(), h);
@@ -233,35 +276,70 @@ impl Collector {
     pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
         let inner = self.metric_inner()?;
         let metrics = inner.metrics.lock().expect("collector poisoned");
-        metrics.histograms.get(name).map(|h| HistogramSummary {
-            name: name.to_string(),
-            count: h.count,
-            sum: h.sum,
-            min: h.min,
-            max: h.max,
+        metrics.histograms.get(name).map(|h| h.summary(name))
+    }
+
+    /// Snapshot of all histogram summaries, sorted by name.
+    pub fn histograms(&self) -> Vec<HistogramSummary> {
+        self.metric_inner().map_or_else(Vec::new, |inner| {
+            inner
+                .metrics
+                .lock()
+                .expect("collector poisoned")
+                .histograms
+                .iter()
+                .map(|(name, h)| h.summary(name))
+                .collect()
         })
+    }
+
+    /// Renders the current counters and histograms as a Prometheus
+    /// text-format snapshot — the scrape surface `--metrics-out` writes.
+    pub fn prometheus_text(&self) -> String {
+        export::prometheus_text(&self.counters(), &self.histograms())
     }
 
     /// Opens a wall-clock span: emits [`Event::SpanEnter`] now and
     /// [`Event::SpanExit`] (with elapsed µs) when the guard drops.
     /// Inert (no clock read) on a no-op collector.
+    ///
+    /// Spans form a tree: each gets a fresh nonzero id, and its parent is
+    /// the innermost span still open *on the same thread* for the same
+    /// collector (0 when none). The `trace` module rebuilds the tree and
+    /// attributes self-time vs. child-time from these links.
     pub fn span(&self, name: &str) -> Span {
         match self.metric_inner() {
             None => Span {
                 inner: None,
                 name: String::new(),
                 entered: None,
+                id: 0,
             },
             Some(inner) => {
                 let entered = Instant::now();
+                let id = inner.next_span_id.fetch_add(1, Ordering::Relaxed);
+                let key = Arc::as_ptr(inner) as usize;
+                let parent = SPAN_STACK.with(|stack| {
+                    let mut stack = stack.borrow_mut();
+                    let parent = stack
+                        .iter()
+                        .rev()
+                        .find(|(k, _)| *k == key)
+                        .map_or(0, |&(_, open)| open);
+                    stack.push((key, id));
+                    parent
+                });
                 inner.emit_metric(&Event::SpanEnter {
                     name: name.to_string(),
                     t_us: inner.t_us(),
+                    id,
+                    parent,
                 });
                 Span {
                     inner: Some(Arc::clone(inner)),
                     name: name.to_string(),
                     entered: Some(entered),
+                    id,
                 }
             }
         }
@@ -323,6 +401,18 @@ impl Collector {
         }
     }
 
+    /// Appends one entry to the provenance ledger: the causal record of a
+    /// single candidate's journey (proposed-by-which-bottleneck, deduped,
+    /// evaluated, accepted). The `edse-trace why` query replays these.
+    pub fn provenance(&self, record: ProvenanceRecord) {
+        if let Some(inner) = self.metric_inner() {
+            inner.emit_metric(&Event::Provenance {
+                t_us: inner.t_us(),
+                record,
+            });
+        }
+    }
+
     /// Snapshots aggregated metrics into the event stream — one
     /// [`Event::Counters`] with the deltas since the previous flush and
     /// one [`Event::Histograms`] with cumulative summaries — then flushes
@@ -346,13 +436,7 @@ impl Collector {
                 let summaries: Vec<HistogramSummary> = metrics
                     .histograms
                     .iter()
-                    .map(|(name, h)| HistogramSummary {
-                        name: name.clone(),
-                        count: h.count,
-                        sum: h.sum,
-                        min: h.min,
-                        max: h.max,
-                    })
+                    .map(|(name, h)| h.summary(name))
                     .collect();
                 (deltas, summaries)
             };
@@ -399,6 +483,7 @@ impl CollectorBuilder {
                 sinks: self.sinks,
                 metrics_active,
                 metrics: Mutex::new(Metrics::default()),
+                next_span_id: AtomicU64::new(1),
             })),
         }
     }
@@ -410,14 +495,23 @@ pub struct Span {
     inner: Option<Arc<Inner>>,
     name: String,
     entered: Option<Instant>,
+    id: u64,
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         if let (Some(inner), Some(entered)) = (self.inner.take(), self.entered) {
+            let key = Arc::as_ptr(&inner) as usize;
+            SPAN_STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                if let Some(pos) = stack.iter().rposition(|&(k, id)| k == key && id == self.id) {
+                    stack.remove(pos);
+                }
+            });
             inner.emit_metric(&Event::SpanExit {
                 name: std::mem::take(&mut self.name),
                 t_us: inner.t_us(),
+                id: self.id,
                 elapsed_us: entered.elapsed().as_micros() as u64,
             });
         }
@@ -440,6 +534,12 @@ impl Drop for Timer {
             match metrics.histograms.get_mut(&self.name) {
                 Some(h) => h.observe(elapsed_us),
                 None => {
+                    assert!(
+                        !metrics.counters.contains_key(&self.name),
+                        "telemetry name collision: {:?} is already a counter \
+                         and cannot also be a histogram",
+                        self.name
+                    );
                     let mut h = Histo::default();
                     h.observe(elapsed_us);
                     metrics.histograms.insert(std::mem::take(&mut self.name), h);
@@ -540,6 +640,120 @@ mod tests {
             }
             other => panic!("expected exit, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn spans_carry_ids_and_same_thread_parents() {
+        let sink = MemorySink::new();
+        let c = Collector::builder().sink(sink.clone()).build();
+        {
+            let _outer = c.span("dse/run");
+            {
+                let _inner = c.span("eval/batch");
+            }
+            let _sibling = c.span("eval/batch");
+        }
+        let ids: Vec<(String, u64, u64)> = sink
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::SpanEnter {
+                    name, id, parent, ..
+                } => Some((name, id, parent)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids[0], ("dse/run".into(), 1, 0));
+        assert_eq!(ids[1], ("eval/batch".into(), 2, 1));
+        // The sibling opens after the first child closed: same parent.
+        assert_eq!(ids[2], ("eval/batch".into(), 3, 1));
+        // Every exit echoes its span's id.
+        let exits: Vec<u64> = sink
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::SpanExit { id, .. } => Some(id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(exits, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn spans_on_other_threads_are_roots() {
+        let sink = MemorySink::new();
+        let c = Collector::builder().sink(sink.clone()).build();
+        let _outer = c.span("dse/run");
+        std::thread::scope(|scope| {
+            let c = c.clone();
+            scope.spawn(move || {
+                let _worker = c.span("eval/worker");
+            });
+        });
+        let worker_parent = sink.events().into_iter().find_map(|e| match e {
+            Event::SpanEnter { name, parent, .. } if name == "eval/worker" => Some(parent),
+            _ => None,
+        });
+        assert_eq!(worker_parent, Some(0));
+    }
+
+    #[test]
+    fn two_collectors_do_not_cross_parent() {
+        let sa = MemorySink::new();
+        let sb = MemorySink::new();
+        let a = Collector::builder().sink(sa.clone()).build();
+        let b = Collector::builder().sink(sb.clone()).build();
+        let _outer_a = a.span("a/outer");
+        let _inner_b = b.span("b/inner");
+        let b_parent = sb.events().into_iter().find_map(|e| match e {
+            Event::SpanEnter { parent, .. } => Some(parent),
+            _ => None,
+        });
+        assert_eq!(b_parent, Some(0), "b's span must not parent under a's");
+    }
+
+    #[test]
+    #[should_panic(expected = "telemetry name collision")]
+    fn counter_name_cannot_shadow_a_histogram() {
+        let c = Collector::builder().sink(MemorySink::new()).build();
+        c.observe("stage/mapper_us", 1.0);
+        c.counter("stage/mapper_us", 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "telemetry name collision")]
+    fn histogram_name_cannot_shadow_a_counter() {
+        let c = Collector::builder().sink(MemorySink::new()).build();
+        c.counter("point_cache/hit", 1);
+        c.observe("point_cache/hit", 1.0);
+    }
+
+    #[test]
+    fn histogram_buckets_survive_flush() {
+        let c = Collector::builder().sink(MemorySink::new()).build();
+        for v in [1.0, 3.0, 900.0] {
+            c.observe("stage/mapper_us", v);
+        }
+        let h = c.histogram("stage/mapper_us").unwrap();
+        assert_eq!(h.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 3);
+        let p100 = h.quantile(1.0);
+        assert_eq!(p100, 900.0);
+    }
+
+    #[test]
+    fn provenance_records_reach_sinks() {
+        let sink = MemorySink::new();
+        let c = Collector::builder().sink(sink.clone()).build();
+        c.provenance(ProvenanceRecord {
+            technique: "explainable".into(),
+            point: vec![1, 2],
+            outcome: "evaluated".into(),
+            ..ProvenanceRecord::default()
+        });
+        assert!(matches!(
+            &sink.events()[0],
+            Event::Provenance { record, .. } if record.point == vec![1, 2]
+        ));
     }
 
     #[test]

@@ -119,9 +119,11 @@ impl<M: MappingOptimizer> MappingOptimizer for &M {
 }
 
 /// Wraps any mapping optimizer with telemetry, leaving results untouched:
-/// every [`MappingOptimizer::optimize`] call increments
-/// `mapper/<name>/{feasible,infeasible}` by outcome and observes its
-/// wall-clock duration into the `mapper/<name>/optimize_us` histogram.
+/// every [`MappingOptimizer::optimize`] call opens a `mapper/<name>` span
+/// (parented under whatever evaluator span is live on the calling
+/// thread), increments `mapper/<name>/{feasible,infeasible}` by outcome,
+/// and observes its wall-clock duration into the
+/// `mapper/<name>/optimize_us` histogram.
 ///
 /// Useful for mapper-focused studies (Fig. 15): attach one collector to
 /// several instrumented mappers and compare call counts, failure rates,
@@ -131,7 +133,8 @@ pub struct InstrumentedMapper<M> {
     inner: M,
     telemetry: Collector,
     // Metric names are fixed at construction, so the per-call path
-    // allocates nothing.
+    // allocates nothing beyond the span events themselves.
+    span_name: String,
     timer_metric: String,
     feasible_metric: String,
     infeasible_metric: String,
@@ -145,6 +148,7 @@ impl<M: MappingOptimizer> InstrumentedMapper<M> {
             timer_metric: format!("{prefix}/optimize_us"),
             feasible_metric: format!("{prefix}/feasible"),
             infeasible_metric: format!("{prefix}/infeasible"),
+            span_name: prefix,
             inner,
             telemetry,
         }
@@ -162,6 +166,7 @@ impl<M: MappingOptimizer> MappingOptimizer for InstrumentedMapper<M> {
             return self.inner.optimize(layer, cfg);
         }
         let result = {
+            let _span = self.telemetry.span(&self.span_name);
             let _timer = self.telemetry.time(&self.timer_metric);
             self.inner.optimize(layer, cfg)
         };

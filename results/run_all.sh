@@ -9,8 +9,10 @@ mkdir -p $R/json
 CACHE=$R/cache
 mkdir -p $CACHE
 # Every run also writes its machine-readable report (bench::report schema
-# edse-bench-report/v1) to results/json/<name>.json.
-run() { name=$1; shift; echo "### $name : $(date)" ; timeout 5400 ./target/release/$name "$@" --cache-dir $CACHE --json $R/json/$name.json ; echo; }
+# edse-bench-report/v1) to results/json/<name>.json, plus a Prometheus
+# text-format metrics snapshot (counters + stage-timing quantiles) next
+# to it for dashboard scraping.
+run() { name=$1; shift; echo "### $name : $(date)" ; timeout 5400 ./target/release/$name "$@" --cache-dir $CACHE --json $R/json/$name.json --metrics-out $R/json/$name.prom ; echo; }
 {
 run fig08_bottleneck_graph                                   > $R/fig08.txt 2>&1
 run fig04_toy_trace --iters 25                               > $R/fig04.txt 2>&1

@@ -67,6 +67,37 @@ grep -q "Search narrative" "$trace_tmp/toy.report" || {
     exit 1
 }
 
+echo "==> forensics smoke: edse-trace summary / why / flamegraph / chrome"
+edse_trace=target/release/edse-trace
+"$edse_trace" summary "$trace_tmp/toy.jsonl" > "$trace_tmp/toy.summary"
+grep -q "Candidate funnel" "$trace_tmp/toy.summary" || {
+    echo "edse-trace summary missing the candidate funnel" >&2
+    exit 1
+}
+"$edse_trace" why "$trace_tmp/toy.jsonl" best > "$trace_tmp/toy.why"
+grep -q "new incumbent" "$trace_tmp/toy.why" || {
+    echo "edse-trace why best missing the incumbent chain" >&2
+    exit 1
+}
+"$edse_trace" flamegraph "$trace_tmp/toy.jsonl" > "$trace_tmp/toy.folded"
+test -s "$trace_tmp/toy.folded" || {
+    echo "flamegraph export is empty" >&2
+    exit 1
+}
+# The chrome subcommand self-validates its JSON before printing, and the
+# empty-trace guard must hold: an empty file is a hard failure, not an
+# empty report.
+"$edse_trace" chrome "$trace_tmp/toy.jsonl" > "$trace_tmp/toy.chrome.json"
+grep -q '"traceEvents"' "$trace_tmp/toy.chrome.json" || {
+    echo "chrome export missing traceEvents" >&2
+    exit 1
+}
+: > "$trace_tmp/empty.jsonl"
+if "$edse_trace" summary "$trace_tmp/empty.jsonl" 2> /dev/null; then
+    echo "edse-trace accepted an empty trace" >&2
+    exit 1
+fi
+
 echo "==> checkpoint smoke: SIGKILL fig04_toy_trace mid-search, resume, diff"
 fig04=target/release/fig04_toy_trace
 ck="$trace_tmp/fig04.ckpt"
