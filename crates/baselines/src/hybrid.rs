@@ -122,7 +122,7 @@ impl DseTechnique for ExplainableTechnique {
         )
         .evaluator(evaluator);
         let initial: DesignPoint = evaluator.space().minimum_point();
-        session.run(initial).trace
+        session.run(initial).into_trace()
     }
 }
 

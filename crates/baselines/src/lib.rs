@@ -37,10 +37,14 @@ pub use sensitivity::SensitivityGuided;
 pub use simple::{GeneticAlgorithm, GridSearch, RandomSearch, SimulatedAnnealing};
 
 use edse_core::checkpoint::{load_baseline, CheckpointingEvaluator};
-use edse_core::cost::{Sample, Trace};
-use edse_core::evaluate::Evaluator;
-use edse_core::space::DesignPoint;
+use edse_core::cost::{Constraint, Evaluation, Sample, Trace};
+use edse_core::evaluate::{CacheSnapshot, CacheStats, Evaluator};
+use edse_core::fault::EvalFault;
+use edse_core::space::{DesignPoint, DesignSpace};
+use edse_core::{CancelToken, JobSpec, StepOutcome};
 use edse_telemetry::{Collector, Level};
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 
 /// A DSE technique: explores for `budget` unique evaluations and returns
@@ -113,8 +117,18 @@ impl<'t> BaselineSession<'t> {
         self
     }
 
-    /// Enables checkpointing of the evaluator caches to `path`
-    /// (atomically, write-then-rename).
+    /// Applies the session-relevant subset of a [`JobSpec`]: checkpoint
+    /// path, snapshot cadence, and resume policy — the same configuration
+    /// surface `edse_core::SearchSession::spec` consumes.
+    pub fn spec(mut self, spec: &JobSpec) -> Self {
+        self.checkpoint = spec.checkpoint.clone();
+        self.checkpoint_every = spec.checkpoint_every.max(1);
+        self.resume = spec.resume;
+        self
+    }
+
+    /// Enables checkpointing of the evaluator caches to `path`.
+    #[deprecated(since = "0.8.0", note = "set `JobSpec::checkpoint` and use `spec()`")]
     pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
         self.checkpoint = Some(path.into());
         self
@@ -122,14 +136,19 @@ impl<'t> BaselineSession<'t> {
 
     /// Snapshot cadence in unique evaluations (default 10; clamped to at
     /// least 1).
+    #[deprecated(
+        since = "0.8.0",
+        note = "set `JobSpec::checkpoint_every` and use `spec()`"
+    )]
     pub fn checkpoint_every(mut self, every: usize) -> Self {
         self.checkpoint_every = every.max(1);
         self
     }
 
-    /// When enabled (with [`BaselineSession::checkpoint`]), restores the
-    /// snapshot's evaluator caches before running, if the snapshot file
-    /// exists; starts fresh when it does not.
+    /// When enabled (with a checkpoint path), restores the snapshot's
+    /// evaluator caches before running, if the snapshot file exists;
+    /// starts fresh when it does not.
+    #[deprecated(since = "0.8.0", note = "set `JobSpec::resume` and use `spec()`")]
     pub fn resume(mut self, resume: bool) -> Self {
         self.resume = resume;
         self
@@ -195,6 +214,371 @@ impl<'t> BaselineSession<'t> {
         };
         trace.emit_iteration_records(&self.telemetry, budget);
         trace
+    }
+}
+
+/// An owned, stepwise, cancellable baseline exploration — the baseline
+/// counterpart of `edse_core::SearchDriver`, speaking the same
+/// [`StepOutcome`]/[`CancelToken`] protocol so a scheduler can interleave
+/// explainable and baseline jobs uniformly.
+///
+/// Baselines are black boxes with no mid-search state to hand back, so the
+/// driver steps by *replay chunks*: each [`BaselineDriver::step`] builds a
+/// fresh technique from a deterministic factory and re-runs it against the
+/// **full** budget — several techniques plan from the budget (grid strides,
+/// cooling schedules, generation counts), so handing them a partial budget
+/// would change their decisions — but the replay is stopped, by unwinding
+/// out of the evaluator, once it has performed one chunk of *new*
+/// evaluations. Every evaluation completed by earlier steps is answered
+/// from the evaluator's caches, so a replay costs cache lookups plus one
+/// chunk of new evaluations, and the final trace is bit-for-bit identical
+/// to an uninterrupted [`BaselineSession::run`] (the same property behind
+/// replay-resume, enforced by the conformance driver oracle
+/// `driver_stepping_matches_blocking_run`). Iteration records stream
+/// incrementally: each step emits only the samples it appended.
+pub struct BaselineDriver<E, F> {
+    factory: F,
+    evaluator: E,
+    budget: usize,
+    chunk: usize,
+    telemetry: Collector,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: usize,
+    cancel: CancelToken,
+    trace: Trace,
+    emitted: usize,
+    outcome: Option<StepOutcome>,
+    name: String,
+}
+
+impl<E, F> BaselineDriver<E, F>
+where
+    E: Evaluator,
+    F: Fn() -> Box<dyn DseTechnique>,
+{
+    /// Starts a driver around a deterministic technique factory: every
+    /// call to `factory` must produce an identically-configured technique
+    /// (same kind, same seed), because each step replays the search from
+    /// scratch against the warm caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`JobSpec::resume`] is set and the snapshot file exists
+    /// but cannot be loaded, or records a different technique or budget —
+    /// the same loud mismatch policy as [`BaselineSession::run`].
+    pub fn new(factory: F, evaluator: E, budget: usize, spec: &JobSpec) -> Self {
+        let name = factory().name();
+        let telemetry = Collector::noop();
+        let driver = BaselineDriver {
+            factory,
+            evaluator,
+            budget,
+            chunk: 10,
+            telemetry,
+            checkpoint: spec.checkpoint.clone(),
+            checkpoint_every: spec.checkpoint_every.max(1),
+            cancel: CancelToken::new(),
+            trace: Trace::new(name.clone()),
+            emitted: 0,
+            outcome: None,
+            name,
+        };
+        if spec.resume {
+            if let Some(path) = &driver.checkpoint {
+                if path.exists() {
+                    let snapshot = load_baseline(path)
+                        .unwrap_or_else(|e| panic!("cannot resume baseline: {e}"));
+                    assert_eq!(
+                        snapshot.technique, driver.name,
+                        "cannot resume baseline: snapshot records technique {:?}, this run is {:?}",
+                        snapshot.technique, driver.name
+                    );
+                    assert_eq!(
+                        snapshot.budget, budget,
+                        "cannot resume baseline: snapshot records budget {}, this run has {}",
+                        snapshot.budget, budget
+                    );
+                    driver.evaluator.restore_caches(&snapshot.caches);
+                }
+            }
+        }
+        driver
+    }
+
+    /// Attaches a telemetry collector: each step then streams the
+    /// iteration records of the samples it appended.
+    pub fn telemetry(mut self, telemetry: Collector) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Replay-chunk size: how many *new* samples one [`BaselineDriver::step`]
+    /// targets (default 10; clamped to at least 1). Smaller chunks react
+    /// to cancellation faster at the price of more replay overhead.
+    pub fn chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk.max(1);
+        self
+    }
+
+    /// Uses `token` as the driver's cancellation token instead of a fresh
+    /// one.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// A clone of the driver's cancellation token.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Advances the exploration by one replay chunk. Checks the
+    /// [`CancelToken`] first: when it has fired, no chunk runs, the
+    /// evaluator caches are snapshotted if checkpointing is configured,
+    /// and [`StepOutcome::Cancelled`] is returned. After termination (or a
+    /// cancel) further calls are no-ops returning the same outcome.
+    pub fn step(&mut self) -> StepOutcome {
+        if let Some(outcome) = self.outcome {
+            return outcome;
+        }
+        if self.cancel.is_cancelled() {
+            self.snapshot();
+            self.outcome = Some(StepOutcome::Cancelled);
+            return StepOutcome::Cancelled;
+        }
+        let mut technique = (self.factory)();
+        let (trace, done) = match &self.checkpoint {
+            Some(path) => {
+                let guarded = CheckpointingEvaluator::new(
+                    &self.evaluator,
+                    path.clone(),
+                    self.checkpoint_every,
+                    self.name.clone(),
+                    self.budget,
+                    self.telemetry.clone(),
+                );
+                let limited = ChunkLimited::new(&guarded, self.chunk);
+                let run = {
+                    let _span = self.telemetry.span(&format!("baseline/{}", self.name));
+                    catch_unwind(AssertUnwindSafe(|| technique.run(&limited, self.budget)))
+                };
+                guarded.save();
+                Self::replay_outcome(run, limited, &self.name)
+            }
+            None => {
+                let limited = ChunkLimited::new(&self.evaluator, self.chunk);
+                let run = {
+                    let _span = self.telemetry.span(&format!("baseline/{}", self.name));
+                    catch_unwind(AssertUnwindSafe(|| technique.run(&limited, self.budget)))
+                };
+                Self::replay_outcome(run, limited, &self.name)
+            }
+        };
+        self.trace = trace;
+        self.trace
+            .emit_iteration_records_from(&self.telemetry, self.budget, self.emitted);
+        self.emitted = self.trace.samples.len();
+        if done {
+            self.outcome = Some(StepOutcome::Done);
+            StepOutcome::Done
+        } else {
+            StepOutcome::Pending
+        }
+    }
+
+    /// Interprets one replay: a normal return is the complete run (the
+    /// technique hit its own termination against the full budget); a
+    /// [`ChunkDone`] unwind yields the prefix trace the adapter recorded;
+    /// any other panic is a real failure and is re-raised.
+    fn replay_outcome<I: Evaluator>(
+        run: std::thread::Result<Trace>,
+        limited: ChunkLimited<'_, I>,
+        name: &str,
+    ) -> (Trace, bool) {
+        match run {
+            Ok(trace) => (trace, true),
+            Err(payload) => {
+                if payload.downcast_ref::<ChunkDone>().is_none() {
+                    resume_unwind(payload);
+                }
+                (limited.into_trace(name), false)
+            }
+        }
+    }
+
+    /// Steps until the exploration terminates or the token fires, then
+    /// returns the trace.
+    pub fn run_to_completion(mut self) -> Trace {
+        while self.step() == StepOutcome::Pending {}
+        self.finish()
+    }
+
+    /// Writes an evaluator-cache snapshot now when checkpointing is
+    /// configured; a no-op otherwise. Returns whether a save was attempted.
+    pub fn snapshot(&mut self) -> bool {
+        let Some(path) = self.checkpoint.clone() else {
+            return false;
+        };
+        let guarded = CheckpointingEvaluator::new(
+            &self.evaluator,
+            path,
+            self.checkpoint_every,
+            self.name.clone(),
+            self.budget,
+            self.telemetry.clone(),
+        );
+        guarded.save();
+        true
+    }
+
+    /// Whether the exploration has terminated or been cancelled.
+    pub fn is_done(&self) -> bool {
+        self.outcome.is_some()
+    }
+
+    /// Unique evaluations recorded so far.
+    pub fn evaluations(&self) -> usize {
+        self.trace.evaluations()
+    }
+
+    /// Objective of the best feasible sample so far, if any.
+    pub fn best_objective(&self) -> Option<f64> {
+        self.trace.best_feasible().map(|s| s.objective)
+    }
+
+    /// Best feasible sample so far, if any.
+    pub fn best(&self) -> Option<&Sample> {
+        self.trace.best_feasible()
+    }
+
+    /// The evaluator the driver owns.
+    pub fn evaluator(&self) -> &E {
+        &self.evaluator
+    }
+
+    /// Consumes the driver, yielding the trace explored so far.
+    pub fn finish(self) -> Trace {
+        self.trace
+    }
+}
+
+/// Unwind payload used by [`ChunkLimited`] to stop a replay once its chunk
+/// of new evaluations is complete. Never escapes [`BaselineDriver::step`].
+struct ChunkDone;
+
+/// Evaluator adapter behind [`BaselineDriver::step`]: forwards to `inner`,
+/// records every evaluated sample (so an aborted replay still yields the
+/// trace prefix the technique had built), and unwinds with [`ChunkDone`]
+/// once `inner` has performed `limit` *new* evaluations since the adapter
+/// was built. The check runs before each call, never mid-batch, so batch
+/// results — and therefore the eventual full trace — are untouched.
+struct ChunkLimited<'e, E> {
+    inner: &'e E,
+    base: usize,
+    limit: usize,
+    log: RefCell<Vec<Sample>>,
+}
+
+impl<'e, E: Evaluator> ChunkLimited<'e, E> {
+    fn new(inner: &'e E, limit: usize) -> Self {
+        ChunkLimited {
+            inner,
+            base: inner.unique_evaluations(),
+            limit: limit.max(1),
+            log: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Unwinds out of the replay when the chunk is spent. Uses
+    /// `resume_unwind` (not a panic) so the per-step abort is silent —
+    /// it must not trip the panic hook once per scheduler step.
+    fn check(&self) {
+        if self.inner.unique_evaluations() - self.base >= self.limit {
+            resume_unwind(Box::new(ChunkDone));
+        }
+    }
+
+    fn record(&self, point: &DesignPoint, eval: &Evaluation) {
+        let feasible = eval.feasible(self.inner.constraints());
+        self.log.borrow_mut().push(Sample {
+            point: point.clone(),
+            objective: eval.objective,
+            constraint_values: eval.constraint_values.clone(),
+            feasible,
+        });
+    }
+
+    /// The prefix trace of the aborted replay, in evaluation order.
+    fn into_trace(self, name: &str) -> Trace {
+        let mut trace = Trace::new(name);
+        trace.samples = self.log.into_inner();
+        trace
+    }
+}
+
+impl<E: Evaluator> Evaluator for ChunkLimited<'_, E> {
+    fn evaluate(&self, point: &DesignPoint) -> Evaluation {
+        self.check();
+        let eval = self.inner.evaluate(point);
+        self.record(point, &eval);
+        eval
+    }
+
+    fn evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Evaluation> {
+        self.check();
+        let evals = self.inner.evaluate_batch(points);
+        for (point, eval) in points.iter().zip(&evals) {
+            self.record(point, eval);
+        }
+        evals
+    }
+
+    fn try_evaluate(&self, point: &DesignPoint) -> Result<Evaluation, EvalFault> {
+        self.check();
+        let result = self.inner.try_evaluate(point);
+        if let Ok(eval) = &result {
+            self.record(point, eval);
+        }
+        result
+    }
+
+    fn try_evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Result<Evaluation, EvalFault>> {
+        self.check();
+        let results = self.inner.try_evaluate_batch(points);
+        for (point, result) in points.iter().zip(&results) {
+            if let Ok(eval) = result {
+                self.record(point, eval);
+            }
+        }
+        results
+    }
+
+    fn space(&self) -> &DesignSpace {
+        self.inner.space()
+    }
+
+    fn constraints(&self) -> &[Constraint] {
+        self.inner.constraints()
+    }
+
+    fn unique_evaluations(&self) -> usize {
+        self.inner.unique_evaluations()
+    }
+
+    fn decode(&self, point: &DesignPoint) -> accel_model::AcceleratorConfig {
+        self.inner.decode(point)
+    }
+
+    fn cache_snapshot(&self) -> CacheSnapshot {
+        self.inner.cache_snapshot()
+    }
+
+    fn restore_caches(&self, snapshot: &CacheSnapshot) {
+        self.inner.restore_caches(snapshot)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.inner.cache_stats()
     }
 }
 
@@ -408,8 +792,11 @@ mod tests {
         let ev = evaluator();
         let mut technique = RandomSearch::new(9);
         let resumed = BaselineSession::new(&mut technique)
-            .checkpoint(&path)
-            .resume(true)
+            .spec(&JobSpec {
+                checkpoint: Some(path.clone()),
+                resume: true,
+                ..JobSpec::default()
+            })
             .run(&ev, budget);
         assert_eq!(
             uninterrupted.samples, resumed.samples,
@@ -421,8 +808,11 @@ mod tests {
         let mut technique = RandomSearch::new(9);
         let refused = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             BaselineSession::new(&mut technique)
-                .checkpoint(&path)
-                .resume(true)
+                .spec(&JobSpec {
+                    checkpoint: Some(path.clone()),
+                    resume: true,
+                    ..JobSpec::default()
+                })
                 .run(&evaluator(), budget + 1)
         }));
         assert!(refused.is_err(), "budget drift must be rejected");

@@ -181,14 +181,14 @@ proptest! {
         let (parallel, parallel_uniques) = run(EvalEngine::with_threads(4));
 
         prop_assert_eq!(serial_uniques, parallel_uniques);
-        prop_assert_eq!(serial.trace.samples.len(), parallel.trace.samples.len());
-        for (a, b) in serial.trace.samples.iter().zip(&parallel.trace.samples) {
+        prop_assert_eq!(serial.trace().samples.len(), parallel.trace().samples.len());
+        for (a, b) in serial.trace().samples.iter().zip(&parallel.trace().samples) {
             prop_assert_eq!(&a.point, &b.point);
             prop_assert_eq!(a.objective, b.objective);
             prop_assert_eq!(&a.constraint_values, &b.constraint_values);
             prop_assert_eq!(a.feasible, b.feasible);
         }
-        match (&serial.best, &parallel.best) {
+        match (serial.best(), parallel.best()) {
             (Some((pa, ea)), Some((pb, eb))) => {
                 prop_assert_eq!(pa, pb);
                 prop_assert_eq!(ea, eb);

@@ -40,27 +40,26 @@ fn run<M: MappingOptimizer>(
     let initial = ev.space().minimum_point();
     let r = session.run(initial);
     let best = r
-        .best
-        .as_ref()
+        .best()
         .map(|(_, e)| format!("{:.2}", e.objective))
         .unwrap_or_else(|| "-".into());
     let budget = r
-        .best
-        .as_ref()
+        .best()
         .map(|(_, e)| format!("{:.2}", e.constraint_budget(ev.constraints())))
         .unwrap_or_else(|| "-".into());
-    (best, r.trace.evaluations().to_string(), budget, r.trace)
+    let evaluations = r.trace().evaluations().to_string();
+    (best, evaluations, budget, r.into_trace())
 }
 
 fn main() {
     let mut args = BenchArgs::parse(250);
     // Convergence comparisons need room even in quick mode.
-    args.iters = args.iters.max(150);
+    args.spec.budget = args.spec.budget.max(150);
     let telemetry = args.telemetry();
     let session = args.session_opts(&telemetry);
     let models = args.models_or(&telemetry, vec![zoo::resnet18(), zoo::efficientnet_b0()]);
     let base = DseConfig {
-        budget: args.iters,
+        budget: args.spec.budget,
         ..DseConfig::default()
     };
 
@@ -69,7 +68,7 @@ fn main() {
         println!(
             "== ablations for {} (budget {}) ==",
             model.name(),
-            args.iters
+            args.spec.budget
         );
         let variants: Vec<(&str, DseConfig, bool)> = vec![
             (
@@ -116,7 +115,7 @@ fn main() {
             let (best, evals, budget, trace) = if codesign {
                 run(
                     model,
-                    LinearMapper::new(args.map_trials),
+                    LinearMapper::new(args.spec.map_trials),
                     config,
                     &telemetry,
                     &session,

@@ -20,7 +20,7 @@ fn main() {
     println!(
         "Fig. 3: DSE effectiveness for {} ({} iterations budget)\n",
         model.name(),
-        args.iters
+        args.spec.budget
     );
 
     let mut report = BenchReport::new("fig03_effectiveness", &args);
@@ -30,8 +30,8 @@ fn main() {
             kind,
             MapperKind::FixedDataflow,
             vec![model.clone()],
-            args.iters,
-            args.seed,
+            args.spec.budget,
+            args.spec.seed,
             &telemetry,
             &session,
         );

@@ -18,6 +18,7 @@ use bench::{BenchArgs, BenchReport};
 use edse_core::dse::DseConfig;
 use edse_core::evaluate::{CodesignEvaluator, Evaluator};
 use edse_core::space::{edge, DesignSpace};
+use edse_core::JobSpec;
 use edse_core::{bottleneck::dnn_latency_model, DseResult, SearchSession, Trace};
 use edse_telemetry::json::Json;
 
@@ -92,19 +93,19 @@ fn trace_json(trace: &Trace) -> Json {
 fn result_json(hm: &Trace, result: &DseResult, unique_evaluations: usize) -> Json {
     Json::obj(vec![
         ("hypermapper", trace_json(hm)),
-        ("explainable", trace_json(&result.trace)),
-        ("attempts", Json::Num(result.attempts.len() as f64)),
+        ("explainable", trace_json(result.trace())),
+        ("attempts", Json::Num(result.attempts().len() as f64)),
         (
             "converged_after",
             Json::Arr(
                 result
-                    .converged_after
+                    .converged_after()
                     .iter()
                     .map(|&n| Json::Num(n as f64))
                     .collect(),
             ),
         ),
-        ("termination", Json::Str(result.termination.clone())),
+        ("termination", Json::Str(result.termination().to_string())),
         ("unique_evaluations", Json::Num(unique_evaluations as f64)),
     ])
 }
@@ -122,15 +123,17 @@ fn main() {
     if let Some(disk) = &opts.disk {
         ev = ev.with_disk_cache(disk.clone());
     }
-    let mut technique = HyperMapperLike::new(args.seed);
+    let mut technique = HyperMapperLike::new(args.spec.seed);
     let mut hm_session = BaselineSession::new(&mut technique).telemetry(telemetry.clone());
     if let Some(path) = opts.path_for("hypermapper") {
-        hm_session = hm_session
-            .checkpoint(path)
-            .checkpoint_every(opts.every)
-            .resume(opts.resume);
+        hm_session = hm_session.spec(&JobSpec {
+            checkpoint: Some(path),
+            checkpoint_every: opts.every,
+            resume: opts.resume,
+            ..JobSpec::default()
+        });
     }
-    let hm = hm_session.run(&ev, args.iters);
+    let hm = hm_session.run(&ev, args.spec.budget);
     telemetry.flush();
     print_trace("HyperMapper 2.0 (black-box)", &space, &hm);
 
@@ -143,24 +146,30 @@ fn main() {
     let mut session = SearchSession::new(
         dnn_latency_model(),
         DseConfig {
-            budget: args.iters,
+            budget: args.spec.budget,
             ..DseConfig::default()
         },
     )
     .evaluator(&ev)
     .telemetry(telemetry.clone());
     if let Some(path) = opts.path_for("explainable") {
-        session = session
-            .checkpoint(path)
-            .checkpoint_every(opts.every)
-            .resume(opts.resume);
+        session = session.spec(&JobSpec {
+            checkpoint: Some(path),
+            checkpoint_every: opts.every,
+            resume: opts.resume,
+            ..JobSpec::default()
+        });
     }
     let initial = ev.space().minimum_point();
     let result = session.run(initial);
     telemetry.flush();
-    print_trace("Explainable-DSE (bottleneck-guided)", &space, &result.trace);
+    print_trace(
+        "Explainable-DSE (bottleneck-guided)",
+        &space,
+        result.trace(),
+    );
     println!("\nexplanations:");
-    for a in result.attempts.iter().take(6) {
+    for a in result.attempts().iter().take(6) {
         println!("  attempt {}: {}", a.index(), a.decision());
         if let Some(line) = a.analyses().first() {
             let short: String = line.chars().take(120).collect();
@@ -180,18 +189,18 @@ fn main() {
 
     let mut report = BenchReport::new("fig04_toy_trace", &args);
     report.push_trace("hypermapper-toy", &hm);
-    report.push_trace("explainable-toy", &result.trace);
-    report.metric("attempts", Json::Num(result.attempts.len() as f64));
+    report.push_trace("explainable-toy", result.trace());
+    report.metric("attempts", Json::Num(result.attempts().len() as f64));
     report.metric(
         "converged_after",
         Json::Arr(
             result
-                .converged_after
+                .converged_after()
                 .iter()
                 .map(|&n| Json::Num(n as f64))
                 .collect(),
         ),
     );
-    report.metric("termination", Json::Str(result.termination.clone()));
+    report.metric("termination", Json::Str(result.termination().to_string()));
     report.write_if_requested(&args);
 }

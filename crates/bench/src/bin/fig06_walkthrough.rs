@@ -27,19 +27,14 @@ fn main() {
     let mut session = SearchSession::new(
         dnn_latency_model(),
         DseConfig {
-            budget: args.iters.max(60),
+            budget: args.spec.budget.max(60),
             restarts: 0,
             ..DseConfig::default()
         },
     )
     .evaluator(&evaluator)
     .telemetry(telemetry.clone());
-    if let Some(path) = &args.checkpoint {
-        session = session
-            .checkpoint(path)
-            .checkpoint_every(args.checkpoint_every)
-            .resume(args.resume);
-    }
+    session = session.spec(&args.spec);
     let initial = evaluator.space().minimum_point();
     let result = session.run(initial);
     telemetry.flush();
@@ -49,8 +44,8 @@ fn main() {
     );
 
     let mut report = BenchReport::new("fig06_walkthrough", &args);
-    report.push_trace("explainable-walkthrough", &result.trace);
-    report.metric("attempts", Json::Num(result.attempts.len() as f64));
-    report.metric("termination", Json::Str(result.termination.clone()));
+    report.push_trace("explainable-walkthrough", result.trace());
+    report.metric("attempts", Json::Num(result.attempts().len() as f64));
+    report.metric("termination", Json::Str(result.termination().to_string()));
     report.write_if_requested(&args);
 }

@@ -22,7 +22,7 @@ fn main() {
     println!(
         "Fig. 9: best feasible latency (ms) after {} evaluations ({} mapping trials\n\
          per layer for black-box codesign)\n",
-        args.iters, args.map_trials
+        args.spec.budget, args.spec.map_trials
     );
 
     let settings: Vec<(TechniqueKind, MapperKind, String)> = {
@@ -39,13 +39,13 @@ fn main() {
         for k in [TechniqueKind::Random, TechniqueKind::HyperMapper] {
             v.push((
                 k,
-                MapperKind::Random(args.map_trials),
+                MapperKind::Random(args.spec.map_trials),
                 format!("{}-Codesign", k.label()),
             ));
         }
         v.push((
             TechniqueKind::Explainable,
-            MapperKind::Linear(args.map_trials),
+            MapperKind::Linear(args.spec.map_trials),
             "Explainable-DSE-Codesign".into(),
         ));
         v
@@ -65,8 +65,8 @@ fn main() {
                 *kind,
                 *mapper,
                 vec![model.clone()],
-                args.iters,
-                args.seed,
+                args.spec.budget,
+                args.spec.seed,
                 &telemetry,
                 &session,
             );

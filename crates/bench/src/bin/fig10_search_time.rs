@@ -23,7 +23,7 @@ fn main() {
 
     println!(
         "Fig. 10: exploration cost per technique (budget {} evaluations)\n",
-        args.iters
+        args.spec.budget
     );
 
     let settings = [
@@ -32,14 +32,17 @@ fn main() {
         (TechniqueKind::HyperMapper, MapperKind::FixedDataflow),
         (TechniqueKind::Rl, MapperKind::FixedDataflow),
         (TechniqueKind::Explainable, MapperKind::FixedDataflow),
-        (TechniqueKind::Random, MapperKind::Random(args.map_trials)),
+        (
+            TechniqueKind::Random,
+            MapperKind::Random(args.spec.map_trials),
+        ),
         (
             TechniqueKind::HyperMapper,
-            MapperKind::Random(args.map_trials),
+            MapperKind::Random(args.spec.map_trials),
         ),
         (
             TechniqueKind::Explainable,
-            MapperKind::Linear(args.map_trials),
+            MapperKind::Linear(args.spec.map_trials),
         ),
     ];
 
@@ -54,8 +57,8 @@ fn main() {
                 run_explainable_detailed(
                     mapper,
                     vec![model.clone()],
-                    args.iters,
-                    args.seed,
+                    args.spec.budget,
+                    args.spec.seed,
                     &telemetry,
                     &session,
                 )
@@ -64,8 +67,8 @@ fn main() {
                     kind,
                     mapper,
                     vec![model.clone()],
-                    args.iters,
-                    args.seed,
+                    args.spec.budget,
+                    args.spec.seed,
                     &telemetry,
                     &session,
                 );

@@ -27,10 +27,13 @@ fn main() {
         (TechniqueKind::HyperMapper, MapperKind::FixedDataflow),
         (TechniqueKind::Rl, MapperKind::FixedDataflow),
         (TechniqueKind::Explainable, MapperKind::FixedDataflow),
-        (TechniqueKind::Random, MapperKind::Random(args.map_trials)),
+        (
+            TechniqueKind::Random,
+            MapperKind::Random(args.spec.map_trials),
+        ),
         (
             TechniqueKind::Explainable,
-            MapperKind::Linear(args.map_trials),
+            MapperKind::Linear(args.spec.map_trials),
         ),
     ];
 
@@ -44,8 +47,8 @@ fn main() {
                     *kind,
                     *mapper,
                     vec![model.clone()],
-                    args.iters,
-                    args.seed,
+                    args.spec.budget,
+                    args.spec.seed,
                     &telemetry,
                     &session,
                 );

@@ -19,7 +19,7 @@ fn main() {
     let models = args.models_or(&telemetry, default);
     println!(
         "Fig. 12: feasibility of explored solutions ({} evaluations, mean over {} models)\n",
-        args.iters,
+        args.spec.budget,
         models.len()
     );
 
@@ -30,14 +30,17 @@ fn main() {
         (TechniqueKind::HyperMapper, MapperKind::FixedDataflow),
         (TechniqueKind::Rl, MapperKind::FixedDataflow),
         (TechniqueKind::Explainable, MapperKind::FixedDataflow),
-        (TechniqueKind::Random, MapperKind::Random(args.map_trials)),
+        (
+            TechniqueKind::Random,
+            MapperKind::Random(args.spec.map_trials),
+        ),
         (
             TechniqueKind::HyperMapper,
-            MapperKind::Random(args.map_trials),
+            MapperKind::Random(args.spec.map_trials),
         ),
         (
             TechniqueKind::Explainable,
-            MapperKind::Linear(args.map_trials),
+            MapperKind::Linear(args.spec.map_trials),
         ),
     ];
 
@@ -53,8 +56,8 @@ fn main() {
                 kind,
                 mapper,
                 vec![model.clone()],
-                args.iters,
-                args.seed,
+                args.spec.budget,
+                args.spec.seed,
                 &telemetry,
                 &session,
             );

@@ -72,10 +72,10 @@ fn main() {
         };
         let trace = run_technique(
             TechniqueKind::Explainable,
-            MapperKind::Linear(args.map_trials),
+            MapperKind::Linear(args.spec.map_trials),
             vec![model.clone()],
-            args.iters,
-            args.seed,
+            args.spec.budget,
+            args.spec.seed,
             &telemetry,
             &session,
         );
@@ -95,7 +95,7 @@ fn main() {
         let mut ev = CodesignEvaluator::new(
             edge_space(),
             vec![model.clone()],
-            LinearMapper::new(args.map_trials),
+            LinearMapper::new(args.spec.map_trials),
         );
         if let Some(disk) = &session.disk {
             ev = ev.with_disk_cache(disk.clone());

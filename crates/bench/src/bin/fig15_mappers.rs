@@ -18,7 +18,7 @@ use workloads::zoo;
 fn main() {
     let args = BenchArgs::parse(2500);
     let telemetry = args.telemetry();
-    let trials = args.map_trials;
+    let trials = args.spec.map_trials;
     // Enough links and register-file bytes that mappings are limited by
     // tiling quality, not bare compatibility (the study isolates mapper
     // effectiveness; the paper's dMazeRunner register files follow the
@@ -41,9 +41,9 @@ fn main() {
     // `mapper/<name>/optimize_us` histogram plus feasible/infeasible
     // counters; a no-op collector makes the wrappers transparent.
     let raw: Vec<Box<dyn MappingOptimizer>> = vec![
-        Box::new(RandomMapper::new(trials, args.seed)),
-        Box::new(AnnealingMapper::new(trials, args.seed)),
-        Box::new(GeneticMapper::new(16, trials / 16, args.seed)),
+        Box::new(RandomMapper::new(trials, args.spec.seed)),
+        Box::new(AnnealingMapper::new(trials, args.spec.seed)),
+        Box::new(GeneticMapper::new(16, trials / 16, args.spec.seed)),
         Box::new(LinearMapper::new(trials)),
     ];
     let mut mappers: Vec<Box<dyn MappingOptimizer>> = raw

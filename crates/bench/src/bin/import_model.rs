@@ -73,7 +73,7 @@ fn main() {
     let mut evaluator = CodesignEvaluator::new(
         edge_space(),
         vec![model],
-        LinearMapper::new(args.map_trials),
+        LinearMapper::new(args.spec.map_trials),
     )
     .with_telemetry(telemetry.clone());
     if let Some(disk) = &args.session_opts(&telemetry).disk {
@@ -82,29 +82,24 @@ fn main() {
     let mut session = SearchSession::new(
         dnn_latency_model(),
         DseConfig {
-            budget: args.iters,
+            budget: args.spec.budget,
             ..DseConfig::default()
         },
     )
     .evaluator(&evaluator)
     .telemetry(telemetry.clone());
-    if let Some(path) = &args.checkpoint {
-        session = session
-            .checkpoint(path)
-            .checkpoint_every(args.checkpoint_every)
-            .resume(args.resume);
-    }
+    session = session.spec(&args.spec);
     let initial = evaluator.space().minimum_point();
     let result = session.run(initial);
     telemetry.flush();
-    report.push_trace("explainable-import", &result.trace);
-    report.metric("termination", Json::Str(result.termination.to_string()));
+    report.push_trace("explainable-import", result.trace());
+    report.metric("termination", Json::Str(result.termination().to_string()));
     println!(
         "\nexplored {} designs ({})",
-        result.trace.evaluations(),
-        result.termination
+        result.trace().evaluations(),
+        result.termination()
     );
-    match &result.best {
+    match &result.best() {
         Some((point, eval)) => {
             let cfg = evaluator.decode(point);
             report.metric(

@@ -15,14 +15,14 @@ use workloads::zoo;
 fn main() {
     let mut args = BenchArgs::parse(100);
     if args.quick {
-        args.iters = 100; // Table 2's budget *is* the dynamic budget.
+        args.spec.budget = 100; // Table 2's budget *is* the dynamic budget.
     }
     let telemetry = args.telemetry();
     let session = args.session_opts(&telemetry);
     let models = args.models_or(&telemetry, zoo::all_models());
     println!(
         "Table 2: best feasible latency (ms) within {} iterations\n",
-        args.iters
+        args.spec.budget
     );
 
     let settings: Vec<(TechniqueKind, MapperKind, String)> = {
@@ -40,13 +40,13 @@ fn main() {
         for k in [TechniqueKind::Random, TechniqueKind::HyperMapper] {
             v.push((
                 k,
-                MapperKind::Random(args.map_trials),
+                MapperKind::Random(args.spec.map_trials),
                 format!("{}-Codesign", k.label()),
             ));
         }
         v.push((
             TechniqueKind::Explainable,
-            MapperKind::Linear(args.map_trials),
+            MapperKind::Linear(args.spec.map_trials),
             "ExplainableDSE-Codesign".into(),
         ));
         v
@@ -67,8 +67,8 @@ fn main() {
                 *kind,
                 *mapper,
                 vec![model.clone()],
-                args.iters,
-                args.seed,
+                args.spec.budget,
+                args.spec.seed,
                 &telemetry,
                 &session,
             );

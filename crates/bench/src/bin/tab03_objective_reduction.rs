@@ -25,7 +25,7 @@ fn main() {
     println!(
         "Table 3: geometric-mean objective reduction per acquisition\n\
          ({} evaluations budget)\n",
-        args.iters
+        args.spec.budget
     );
 
     let settings: Vec<(TechniqueKind, MapperKind, String)> = {
@@ -41,7 +41,7 @@ fn main() {
             .collect();
         v.push((
             TechniqueKind::Explainable,
-            MapperKind::Linear(args.map_trials),
+            MapperKind::Linear(args.spec.map_trials),
             "ExplainableDSE-Codesign".into(),
         ));
         v
@@ -60,8 +60,8 @@ fn main() {
                 *kind,
                 *mapper,
                 vec![model.clone()],
-                args.iters,
-                args.seed,
+                args.spec.budget,
+                args.spec.seed,
                 &telemetry,
                 &session,
             );

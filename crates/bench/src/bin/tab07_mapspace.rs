@@ -46,7 +46,7 @@ fn pow(v: f64) -> String {
 fn main() {
     let args = BenchArgs::parse(2000);
     let _telemetry = args.telemetry();
-    let samples = args.map_trials.max(200);
+    let samples = args.spec.map_trials.max(200);
     let reference = AcceleratorConfig::edge_minimum();
     println!(
         "Table 7: mapping-space sizes (column C: Monte-Carlo with {samples} samples\n\
@@ -56,7 +56,7 @@ fn main() {
     let mut report = BenchReport::new("tab07_mapspace", &args);
     let mut rows = Vec::new();
     for (name, shape) in table7_layers() {
-        let s = layer_space_size(&shape, &reference, samples, args.seed);
+        let s = layer_space_size(&shape, &reference, samples, args.spec.seed);
         report.metric(
             &format!("mapspace/{name}"),
             Json::obj(vec![

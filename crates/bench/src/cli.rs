@@ -7,24 +7,25 @@
 //! `--resume`, `--checkpoint-every`) are hosted, feeding
 //! [`SessionOpts`] into the technique runners.
 
-use edse_core::DiskCache;
+use edse_core::{DiskCache, JobSpec};
 use edse_telemetry::{Collector, JsonlSink, Level, PrometheusSink, StderrSink};
 use std::path::PathBuf;
 use std::sync::Arc;
 use workloads::{zoo, DnnModel};
 
 /// Common experiment options parsed from the command line.
+///
+/// The job-shaped options — budget (`--iters`), mapping trials, seed,
+/// models, checkpoint/resume policy, and cache directory — live in the
+/// embedded [`JobSpec`] (the same struct the `edse-serve` `POST /jobs`
+/// body deserializes into); the remaining fields are harness concerns
+/// (output destinations, verbosity, presets).
 #[derive(Debug, Clone)]
 pub struct BenchArgs {
-    /// Hardware-DSE evaluation budget (paper: 2500 static / 100 dynamic).
-    pub iters: usize,
-    /// Mapping trials per layer for black-box codesign mappers
-    /// (paper: 10000).
-    pub map_trials: usize,
-    /// Random seed.
-    pub seed: u64,
-    /// Selected model names (empty = the experiment's default set).
-    pub models: Vec<String>,
+    /// The consolidated job description: evaluation budget, mapping
+    /// trials, seed, model names, checkpoint/resume policy, and cache
+    /// directory.
+    pub spec: JobSpec,
     /// Whether the `--quick` preset was chosen.
     pub quick: bool,
     /// JSONL trace destination (`--trace-out <path>`); `None` keeps
@@ -38,26 +39,12 @@ pub struct BenchArgs {
     /// Whether `--verbose` lowers the stderr log threshold to `Info`
     /// (progress chatter); the default shows only warnings and errors.
     pub verbose: bool,
-    /// Checkpoint file base path (`--checkpoint <path>`); each technique
-    /// run snapshots to `<path>.<technique>` (see
-    /// [`SessionOpts::path_for`]).
-    pub checkpoint: Option<String>,
-    /// Whether `--resume` continues from existing checkpoint files.
-    pub resume: bool,
-    /// Snapshot cadence in search steps / unique evaluations
-    /// (`--checkpoint-every <k>`, default 10).
-    pub checkpoint_every: usize,
     /// Machine-readable result destination (`--out <path>`), used by the
     /// binaries that support it (e.g. `fig04_toy_trace`).
     pub out: Option<String>,
     /// Structured [`crate::report::BenchReport`] destination
     /// (`--json <path>`); every figure/table binary supports it.
     pub json: Option<String>,
-    /// Persistent evaluation-cache directory (`--cache-dir <path>`):
-    /// layer mappings are warm-started from (and appended to) an
-    /// [`edse_core::DiskCache`] there, shared across binaries and runs.
-    /// `None` keeps the disk tier off.
-    pub cache_dir: Option<String>,
     /// Whether `--no-disk-cache` opts this run out of `--cache-dir`
     /// (useful when a wrapper script passes the directory
     /// unconditionally).
@@ -82,6 +69,11 @@ pub struct SessionOpts {
     /// every evaluator the run builds; `None` keeps evaluation purely
     /// in-memory.
     pub disk: Option<Arc<DiskCache>>,
+    /// Why the disk tier is off although `--cache-dir` was requested
+    /// (the directory could not be opened). Carried into every
+    /// evaluator's [`edse_core::CacheStats::disk_error`] so the
+    /// degradation stays visible beyond the startup warning.
+    pub disk_error: Option<String>,
 }
 
 impl SessionOpts {
@@ -121,20 +113,18 @@ impl BenchArgs {
     /// [`BenchArgs::telemetry`]) while the run proceeds on defaults.
     pub fn parse_from<S: AsRef<str>>(argv: &[S], default_iters: usize) -> Self {
         let mut args = Self {
-            iters: default_iters,
-            map_trials: 10_000,
-            seed: 1,
-            models: Vec::new(),
+            spec: JobSpec {
+                budget: default_iters,
+                map_trials: 10_000,
+                seed: 1,
+                ..JobSpec::default()
+            },
             quick: true,
             trace_out: None,
             metrics_out: None,
             verbose: false,
-            checkpoint: None,
-            resume: false,
-            checkpoint_every: 10,
             out: None,
             json: None,
-            cache_dir: None,
             no_disk_cache: false,
             warnings: Vec::new(),
         };
@@ -165,13 +155,13 @@ impl BenchArgs {
                     i += 1;
                 }
                 "--seed" => {
-                    args.seed = take(argv, i, &mut args.warnings)
+                    args.spec.seed = take(argv, i, &mut args.warnings)
                         .and_then(|v| v.parse().ok())
                         .unwrap_or(1);
                     i += 1;
                 }
                 "--models" => {
-                    args.models = take(argv, i, &mut args.warnings)
+                    args.spec.models = take(argv, i, &mut args.warnings)
                         .map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
                         .unwrap_or_default();
                     i += 1;
@@ -185,11 +175,11 @@ impl BenchArgs {
                     i += 1;
                 }
                 "--checkpoint" => {
-                    args.checkpoint = take(argv, i, &mut args.warnings);
+                    args.spec.checkpoint = take(argv, i, &mut args.warnings).map(PathBuf::from);
                     i += 1;
                 }
                 "--checkpoint-every" => {
-                    args.checkpoint_every = take(argv, i, &mut args.warnings)
+                    args.spec.checkpoint_every = take(argv, i, &mut args.warnings)
                         .and_then(|v| v.parse().ok())
                         .unwrap_or(10);
                     i += 1;
@@ -203,11 +193,11 @@ impl BenchArgs {
                     i += 1;
                 }
                 "--cache-dir" => {
-                    args.cache_dir = take(argv, i, &mut args.warnings);
+                    args.spec.cache_dir = take(argv, i, &mut args.warnings).map(PathBuf::from);
                     i += 1;
                 }
                 "--no-disk-cache" => args.no_disk_cache = true,
-                "--resume" => args.resume = true,
+                "--resume" => args.spec.resume = true,
                 "--verbose" => args.verbose = true,
                 "--full" => args.quick = false,
                 "--quick" => args.quick = true,
@@ -218,20 +208,20 @@ impl BenchArgs {
             i += 1;
         }
         if args.quick {
-            args.iters = default_iters.div_ceil(10).max(30);
-            args.map_trials = 300;
+            args.spec.budget = default_iters.div_ceil(10).max(30);
+            args.spec.map_trials = 300;
         }
         if let Some(v) = explicit_iters {
-            args.iters = v;
+            args.spec.budget = v;
         }
         if let Some(v) = explicit_trials {
-            args.map_trials = v;
+            args.spec.map_trials = v;
         }
-        if args.resume && args.checkpoint.is_none() {
+        if args.spec.resume && args.spec.checkpoint.is_none() {
             args.warnings
                 .push("--resume has no effect without --checkpoint".into());
         }
-        if args.no_disk_cache && args.cache_dir.is_none() {
+        if args.no_disk_cache && args.spec.cache_dir.is_none() {
             args.warnings
                 .push("--no-disk-cache has no effect without --cache-dir".into());
         }
@@ -258,24 +248,26 @@ impl BenchArgs {
     /// that cannot be opened degrades to no disk tier with a `Warn` log
     /// rather than failing the run.
     pub fn session_opts(&self, telemetry: &Collector) -> SessionOpts {
-        let disk = match (&self.cache_dir, self.no_disk_cache) {
+        let (disk, disk_error) = match (&self.spec.cache_dir, self.no_disk_cache) {
             (Some(dir), false) => match DiskCache::open_with(dir, telemetry.clone()) {
-                Ok(cache) => Some(Arc::new(cache)),
+                Ok(cache) => (Some(Arc::new(cache)), None),
                 Err(e) => {
-                    telemetry.log(
-                        Level::Warn,
-                        &format!("cannot open cache dir {dir}: {e}; running without a disk cache"),
+                    let msg = format!(
+                        "cannot open cache dir {}: {e}; running without a disk cache",
+                        dir.display()
                     );
-                    None
+                    telemetry.log(Level::Warn, &msg);
+                    (None, Some(msg))
                 }
             },
-            _ => None,
+            _ => (None, None),
         };
         SessionOpts {
-            checkpoint: self.checkpoint.as_ref().map(PathBuf::from),
-            resume: self.resume,
-            every: self.checkpoint_every,
+            checkpoint: self.spec.checkpoint.clone(),
+            resume: self.spec.resume,
+            every: self.spec.checkpoint_every,
             disk,
+            disk_error,
         }
     }
 
@@ -315,10 +307,11 @@ impl BenchArgs {
     /// The models this run targets: `--models` if given, else `fallback`.
     /// Unknown names are skipped with a `Warn` log.
     pub fn models_or(&self, telemetry: &Collector, fallback: Vec<DnnModel>) -> Vec<DnnModel> {
-        if self.models.is_empty() {
+        if self.spec.models.is_empty() {
             return fallback;
         }
-        self.models
+        self.spec
+            .models
             .iter()
             .filter_map(|name| {
                 let m = zoo::by_name(name);
@@ -334,46 +327,47 @@ impl BenchArgs {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::Path;
 
     #[test]
     fn defaults_apply_the_quick_preset() {
         let a = BenchArgs::parse_from(&[] as &[&str], 2500);
         assert!(a.quick);
-        assert_eq!(a.iters, 250);
-        assert_eq!(a.map_trials, 300);
-        assert_eq!(a.seed, 1);
-        assert!(a.checkpoint.is_none() && !a.resume);
-        assert_eq!(a.checkpoint_every, 10);
+        assert_eq!(a.spec.budget, 250);
+        assert_eq!(a.spec.map_trials, 300);
+        assert_eq!(a.spec.seed, 1);
+        assert!(a.spec.checkpoint.is_none() && !a.spec.resume);
+        assert_eq!(a.spec.checkpoint_every, 10);
         assert!(a.warnings.is_empty());
     }
 
     #[test]
     fn quick_floor_keeps_tiny_experiments_meaningful() {
-        assert_eq!(BenchArgs::parse_from(&[] as &[&str], 80).iters, 30);
+        assert_eq!(BenchArgs::parse_from(&[] as &[&str], 80).spec.budget, 30);
     }
 
     #[test]
     fn full_restores_paper_scale_budgets() {
         let a = BenchArgs::parse_from(&["--full"], 2500);
         assert!(!a.quick);
-        assert_eq!(a.iters, 2500);
-        assert_eq!(a.map_trials, 10_000);
+        assert_eq!(a.spec.budget, 2500);
+        assert_eq!(a.spec.map_trials, 10_000);
     }
 
     #[test]
     fn explicit_values_override_the_preset() {
         let a = BenchArgs::parse_from(&["--iters", "42", "--trials", "7", "--seed", "9"], 2500);
-        assert_eq!((a.iters, a.map_trials, a.seed), (42, 7, 9));
+        assert_eq!((a.spec.budget, a.spec.map_trials, a.spec.seed), (42, 7, 9));
         // Order should not matter: preset flags after the explicit value
         // must not clobber it.
         let a = BenchArgs::parse_from(&["--iters", "42", "--quick"], 2500);
-        assert_eq!(a.iters, 42);
+        assert_eq!(a.spec.budget, 42);
     }
 
     #[test]
     fn models_split_on_commas_and_trim() {
         let a = BenchArgs::parse_from(&["--models", "resnet18, mobilenet_v2"], 100);
-        assert_eq!(a.models, vec!["resnet18", "mobilenet_v2"]);
+        assert_eq!(a.spec.models, vec!["resnet18", "mobilenet_v2"]);
     }
 
     #[test]
@@ -390,9 +384,12 @@ mod tests {
             ],
             100,
         );
-        assert_eq!(a.checkpoint.as_deref(), Some("/tmp/run.ckpt"));
-        assert!(a.resume);
-        assert_eq!(a.checkpoint_every, 3);
+        assert_eq!(
+            a.spec.checkpoint.as_deref(),
+            Some(Path::new("/tmp/run.ckpt"))
+        );
+        assert!(a.spec.resume);
+        assert_eq!(a.spec.checkpoint_every, 3);
         assert_eq!(a.out.as_deref(), Some("result.json"));
 
         let opts = a.session_opts(&Collector::noop());
@@ -411,7 +408,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("edse-cli-cache-{}", std::process::id()));
         let dir_s = dir.to_str().unwrap().to_string();
         let a = BenchArgs::parse_from(&["--cache-dir", &dir_s], 100);
-        assert_eq!(a.cache_dir.as_deref(), Some(dir_s.as_str()));
+        assert_eq!(a.spec.cache_dir.as_deref(), Some(Path::new(&dir_s)));
         assert!(a.warnings.is_empty(), "{:?}", a.warnings);
         let opts = a.session_opts(&Collector::noop());
         assert!(opts.disk.is_some());
@@ -443,13 +440,17 @@ mod tests {
         let a = BenchArgs::parse_from(&["--cache-dir", path.to_str().unwrap()], 100);
         let opts = a.session_opts(&Collector::noop());
         assert!(opts.disk.is_none(), "open failure must degrade, not panic");
+        // The degradation is not silent: the reason rides along so every
+        // evaluator built from these options reports it in cache_stats().
+        let err = opts.disk_error.as_deref().expect("disk_error recorded");
+        assert!(err.contains("cannot open cache dir"), "{err}");
         let _ = std::fs::remove_file(&path);
     }
 
     #[test]
     fn unknown_flags_are_collected_not_fatal() {
         let a = BenchArgs::parse_from(&["--bogus", "--iters", "10"], 100);
-        assert_eq!(a.iters, 10);
+        assert_eq!(a.spec.budget, 10);
         assert_eq!(a.warnings.len(), 1);
         assert!(a.warnings[0].contains("--bogus"));
     }
@@ -457,7 +458,7 @@ mod tests {
     #[test]
     fn missing_value_falls_back_to_defaults_with_a_warning() {
         let a = BenchArgs::parse_from(&["--seed"], 100);
-        assert_eq!(a.seed, 1);
+        assert_eq!(a.spec.seed, 1);
         assert_eq!(a.warnings.len(), 1);
         assert!(
             a.warnings[0].contains("--seed needs a value"),
@@ -466,7 +467,7 @@ mod tests {
         );
 
         let a = BenchArgs::parse_from(&["--checkpoint-every"], 100);
-        assert_eq!(a.checkpoint_every, 10);
+        assert_eq!(a.spec.checkpoint_every, 10);
         assert!(a.warnings[0].contains("--checkpoint-every needs a value"));
 
         for flag in [
@@ -524,7 +525,7 @@ mod tests {
     #[test]
     fn resume_without_checkpoint_warns() {
         let a = BenchArgs::parse_from(&["--resume"], 100);
-        assert!(a.resume && a.checkpoint.is_none());
+        assert!(a.spec.resume && a.spec.checkpoint.is_none());
         assert_eq!(a.warnings.len(), 1);
         assert!(
             a.warnings[0].contains("--resume has no effect without --checkpoint"),

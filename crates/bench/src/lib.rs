@@ -16,7 +16,7 @@ use edse_core::cost::Trace;
 use edse_core::dse::DseConfig;
 use edse_core::evaluate::{CodesignEvaluator, Evaluator};
 use edse_core::space::edge_space;
-use edse_core::SearchSession;
+use edse_core::{JobSpec, SearchSession};
 use edse_telemetry::Collector;
 use mapper::{FixedMapper, LinearMapper, MappingOptimizer, RandomMapper};
 use workloads::DnnModel;
@@ -128,6 +128,8 @@ pub fn run_explainable_detailed(
         .with_telemetry(telemetry.clone());
     if let Some(disk) = &session.disk {
         evaluator = evaluator.with_disk_cache(disk.clone());
+    } else if let Some(err) = &session.disk_error {
+        evaluator = evaluator.with_disk_cache_error(err.clone());
     }
     let mut search = SearchSession::new(
         dnn_latency_model(),
@@ -140,17 +142,20 @@ pub fn run_explainable_detailed(
     .evaluator(&evaluator)
     .telemetry(telemetry.clone());
     if let Some(path) = session.path_for(&format!("explainable{}", mapper.suffix())) {
-        search = search
-            .checkpoint(path)
-            .checkpoint_every(session.every)
-            .resume(session.resume);
+        search = search.spec(&JobSpec {
+            checkpoint: Some(path),
+            checkpoint_every: session.every,
+            resume: session.resume,
+            ..JobSpec::default()
+        });
     }
     let initial = evaluator.space().minimum_point();
     let result = search.run(initial);
     telemetry.flush();
-    let mut trace = result.trace;
+    let converged = result.converged_after().to_vec();
+    let mut trace = result.into_trace();
     trace.technique = format!("{}{}", trace.technique, mapper.suffix());
-    (trace, result.converged_after)
+    (trace, converged)
 }
 
 /// Runs one technique on one workload set and returns the trace.
@@ -176,6 +181,8 @@ pub fn run_technique(
         .with_telemetry(telemetry.clone());
     if let Some(disk) = &session.disk {
         evaluator = evaluator.with_disk_cache(disk.clone());
+    } else if let Some(err) = &session.disk_error {
+        evaluator = evaluator.with_disk_cache_error(err.clone());
     }
     let mut trace = match kind {
         TechniqueKind::Explainable => {
@@ -190,13 +197,15 @@ pub fn run_technique(
             .evaluator(&evaluator)
             .telemetry(telemetry.clone());
             if let Some(path) = session.path_for(&format!("explainable{}", mapper.suffix())) {
-                search = search
-                    .checkpoint(path)
-                    .checkpoint_every(session.every)
-                    .resume(session.resume);
+                search = search.spec(&JobSpec {
+                    checkpoint: Some(path),
+                    checkpoint_every: session.every,
+                    resume: session.resume,
+                    ..JobSpec::default()
+                });
             }
             let initial = evaluator.space().minimum_point();
-            search.run(initial).trace
+            search.run(initial).into_trace()
         }
         other => {
             let mut technique: Box<dyn DseTechnique> = match other {
@@ -212,10 +221,12 @@ pub fn run_technique(
             let label = format!("{}{}", technique.name(), mapper.suffix());
             let mut run = BaselineSession::new(technique.as_mut()).telemetry(telemetry.clone());
             if let Some(path) = session.path_for(&label) {
-                run = run
-                    .checkpoint(path)
-                    .checkpoint_every(session.every)
-                    .resume(session.resume);
+                run = run.spec(&JobSpec {
+                    checkpoint: Some(path),
+                    checkpoint_every: session.every,
+                    resume: session.resume,
+                    ..JobSpec::default()
+                });
             }
             run.run(&evaluator, budget)
         }

@@ -71,13 +71,19 @@ impl BenchReport {
         BenchReport {
             experiment: experiment.to_string(),
             config: Json::obj(vec![
-                ("iters", Json::Num(args.iters as f64)),
-                ("map_trials", Json::Num(args.map_trials as f64)),
-                ("seed", Json::Num(args.seed as f64)),
+                ("iters", Json::Num(args.spec.budget as f64)),
+                ("map_trials", Json::Num(args.spec.map_trials as f64)),
+                ("seed", Json::Num(args.spec.seed as f64)),
                 ("quick", Json::Bool(args.quick)),
                 (
                     "models",
-                    Json::Arr(args.models.iter().map(|m| Json::Str(m.clone())).collect()),
+                    Json::Arr(
+                        args.spec
+                            .models
+                            .iter()
+                            .map(|m| Json::Str(m.clone()))
+                            .collect(),
+                    ),
                 ),
             ]),
             traces: Vec::new(),

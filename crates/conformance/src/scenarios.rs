@@ -63,19 +63,17 @@ pub fn run_with<E: Evaluator>(
     seed: u64,
 ) -> Trace {
     match kind {
-        TechniqueKind::Explainable => {
-            SearchSession::new(
-                dnn_latency_model(),
-                DseConfig {
-                    budget,
-                    seed,
-                    ..DseConfig::default()
-                },
-            )
-            .evaluator(&evaluator)
-            .run(evaluator.space().minimum_point())
-            .trace
-        }
+        TechniqueKind::Explainable => SearchSession::new(
+            dnn_latency_model(),
+            DseConfig {
+                budget,
+                seed,
+                ..DseConfig::default()
+            },
+        )
+        .evaluator(&evaluator)
+        .run(evaluator.space().minimum_point())
+        .into_trace(),
         other => {
             let mut technique: Box<dyn DseTechnique> = match other {
                 TechniqueKind::Grid => Box::new(GridSearch),
@@ -133,7 +131,7 @@ fn scenario_args(budget: usize) -> BenchArgs {
 fn toy_report(name: &str, kind: TechniqueKind) -> Json {
     let args = scenario_args(TOY_BUDGET);
     let mut report = BenchReport::new(name, &args);
-    let trace = run_toy(kind, args.iters, args.seed);
+    let trace = run_toy(kind, args.spec.budget, args.spec.seed);
     report.push_trace("toy", &trace);
     report.metric(
         "iterations_to_target",
@@ -153,7 +151,7 @@ fn edge_report(name: &str, kind: TechniqueKind) -> Json {
     let mut report = BenchReport::new(name, &args);
     let evaluator = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper)
         .with_engine(EvalEngine::serial());
-    let trace = run_with(kind, &evaluator, args.iters, args.seed);
+    let trace = run_with(kind, &evaluator, args.spec.budget, args.spec.seed);
     report.push_trace("resnet18", &trace);
     report.metric(
         "unique_evaluations",

@@ -40,7 +40,7 @@ fn traced_run() -> (Vec<Event>, Vec<usize>) {
     .run(evaluator.space().minimum_point());
     collector.flush();
     let best = result
-        .best
+        .best()
         .expect("toy search finds a feasible design")
         .0
         .indices()

@@ -23,7 +23,7 @@ use edse_core::dse::{DseConfig, DseResult};
 use edse_core::evaluate::{CacheSnapshot, CodesignEvaluator, EvalEngine, Evaluator};
 use edse_core::fault::EvalFault;
 use edse_core::space::{edge_space, DesignPoint, DesignSpace};
-use edse_core::{DiskCache, SearchSession};
+use edse_core::{DiskCache, JobSpec, SearchSession};
 use edse_telemetry::Collector;
 use mapper::FixedMapper;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -60,11 +60,11 @@ fn spread_points(space: &DesignSpace, n: usize) -> Vec<DesignPoint> {
 
 /// Every `DseResult` field except the wall clock.
 fn assert_results_identical(a: &DseResult, b: &DseResult) {
-    assert_eq!(a.trace.samples, b.trace.samples);
-    assert_eq!(a.attempts, b.attempts);
-    assert_eq!(a.best, b.best);
-    assert_eq!(a.converged_after, b.converged_after);
-    assert_eq!(a.termination, b.termination);
+    assert_eq!(a.trace().samples, b.trace().samples);
+    assert_eq!(a.attempts(), b.attempts());
+    assert_eq!(a.best(), b.best());
+    assert_eq!(a.converged_after(), b.converged_after());
+    assert_eq!(a.termination(), b.termination());
 }
 
 // ---------------------------------------------------------------------------
@@ -266,16 +266,22 @@ fn killed_and_resumed_search_session_matches_straight_through() {
         let killed = catch_unwind(AssertUnwindSafe(|| {
             SearchSession::new(dnn_latency_model(), config.clone())
                 .evaluator(&killed_ev)
-                .checkpoint(&path)
-                .checkpoint_every(1)
+                .spec(&JobSpec {
+                    checkpoint: Some(path.clone()),
+                    checkpoint_every: 1,
+                    ..JobSpec::default()
+                })
                 .run(initial.clone())
         }));
         let resumed_ev = edge_evaluator(EvalEngine::serial());
         let resumed = SearchSession::new(dnn_latency_model(), config.clone())
             .evaluator(&resumed_ev)
-            .checkpoint(&path)
-            .checkpoint_every(1)
-            .resume(true)
+            .spec(&JobSpec {
+                checkpoint: Some(path.clone()),
+                checkpoint_every: 1,
+                resume: true,
+                ..JobSpec::default()
+            })
             .run(initial.clone());
         assert_results_identical(&resumed, &reference);
         assert_eq!(
@@ -305,15 +311,21 @@ fn killed_and_resumed_baseline_session_matches_straight_through() {
         let killed = catch_unwind(AssertUnwindSafe(|| {
             let mut technique = RandomSearch::new(13);
             BaselineSession::new(&mut technique)
-                .checkpoint(&path)
-                .checkpoint_every(1)
+                .spec(&JobSpec {
+                    checkpoint: Some(path.clone()),
+                    checkpoint_every: 1,
+                    ..JobSpec::default()
+                })
                 .run(&killed_ev, budget)
         }));
         let mut technique = RandomSearch::new(13);
         let resumed = BaselineSession::new(&mut technique)
-            .checkpoint(&path)
-            .checkpoint_every(1)
-            .resume(true)
+            .spec(&JobSpec {
+                checkpoint: Some(path.clone()),
+                checkpoint_every: 1,
+                resume: true,
+                ..JobSpec::default()
+            })
             .run(&edge_evaluator(EvalEngine::serial()), budget);
         assert_eq!(
             resumed.samples, reference.samples,
@@ -458,5 +470,103 @@ fn batched_fast_path_matches_naive_reference() {
             &reference.evaluate(point),
             "batch diverged at {point:?}"
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 6: stepwise drivers vs blocking runs.
+// ---------------------------------------------------------------------------
+
+/// The Fig. 4 toy evaluator (all eight techniques finish it in well under
+/// a second), parameterized over the evaluation engine so the oracle also
+/// covers the parallel batch path.
+fn toy_evaluator(engine: EvalEngine) -> CodesignEvaluator<FixedMapper> {
+    CodesignEvaluator::new(
+        bench::toy::toy_space(),
+        vec![bench::toy::single_layer_model()],
+        FixedMapper,
+    )
+    .with_engine(engine)
+}
+
+/// A deterministic baseline-technique factory for the driver oracle,
+/// mirroring `bench::run_technique`'s registry.
+fn toy_technique(kind: bench::TechniqueKind, seed: u64) -> Box<dyn DseTechnique> {
+    use bench::TechniqueKind;
+    match kind {
+        TechniqueKind::Grid => Box::new(GridSearch),
+        TechniqueKind::Random => Box::new(RandomSearch::new(seed)),
+        TechniqueKind::Annealing => Box::new(SimulatedAnnealing::new(seed)),
+        TechniqueKind::Genetic => Box::new(GeneticAlgorithm::new(8, seed)),
+        TechniqueKind::Bayesian => Box::new(BayesianOpt::new(seed)),
+        TechniqueKind::HyperMapper => Box::new(HyperMapperLike::new(seed)),
+        TechniqueKind::Rl => Box::new(ConfuciuxRl::new(seed)),
+        TechniqueKind::Explainable => unreachable!("explainable is not a baseline"),
+    }
+}
+
+/// `SearchSession::run` / `BaselineSession::run` must be bit-identical to
+/// stepping the corresponding driver by hand, for every technique, on both
+/// the serial and the parallel engine — the API-redesign contract that lets
+/// `edse-serve` interleave jobs without changing any result.
+#[test]
+fn driver_stepping_matches_blocking_run() {
+    let budget = 24;
+    let seed = 7;
+    for engine in [EvalEngine::serial(), EvalEngine::with_threads(2)] {
+        for kind in bench::TechniqueKind::ALL {
+            if kind == bench::TechniqueKind::Explainable {
+                let blocking_ev = toy_evaluator(engine);
+                let config = DseConfig {
+                    budget,
+                    seed,
+                    ..DseConfig::default()
+                };
+                let initial = blocking_ev.space().minimum_point();
+                let blocking = SearchSession::new(dnn_latency_model(), config.clone())
+                    .evaluator(&blocking_ev)
+                    .run(initial.clone());
+
+                let stepped_ev = toy_evaluator(engine);
+                let mut driver = SearchSession::new(dnn_latency_model(), config)
+                    .evaluator(&stepped_ev)
+                    .driver(initial);
+                let mut steps = 0usize;
+                while driver.step() == edse_core::StepOutcome::Pending {
+                    steps += 1;
+                    assert!(steps < 10_000, "driver failed to terminate");
+                }
+                let stepped = driver.finish();
+                assert_results_identical(&stepped, &blocking);
+                assert_eq!(
+                    stepped_ev.unique_evaluations(),
+                    blocking_ev.unique_evaluations(),
+                    "explainable driver re-evaluated points ({engine:?})"
+                );
+            } else {
+                let blocking_ev = toy_evaluator(engine);
+                let mut technique = toy_technique(kind, seed);
+                let blocking = BaselineSession::new(technique.as_mut()).run(&blocking_ev, budget);
+
+                let stepped_ev = toy_evaluator(engine);
+                let mut driver = baselines::BaselineDriver::new(
+                    move || toy_technique(kind, seed),
+                    &stepped_ev,
+                    budget,
+                    &edse_core::JobSpec::default(),
+                );
+                let mut steps = 0usize;
+                while driver.step() == edse_core::StepOutcome::Pending {
+                    steps += 1;
+                    assert!(steps < 10_000, "baseline driver failed to terminate");
+                }
+                let stepped = driver.finish();
+                assert_eq!(
+                    stepped.samples, blocking.samples,
+                    "{kind:?} driver diverged ({engine:?})"
+                );
+                assert_eq!(stepped.technique, blocking.technique);
+            }
+        }
     }
 }

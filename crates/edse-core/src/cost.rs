@@ -174,6 +174,14 @@ impl Trace {
     /// has no explanation to offer, which is precisely the contrast a
     /// trace comparison should show.
     pub fn emit_iteration_records(&self, collector: &Collector, budget: usize) {
+        self.emit_iteration_records_from(collector, budget, 0);
+    }
+
+    /// Like [`Trace::emit_iteration_records`], but only emits records for
+    /// samples at index `start` and later (the incumbent tracking still
+    /// scans the full prefix). Stepwise drivers use this to stream records
+    /// incrementally without duplicating the already-emitted prefix.
+    pub fn emit_iteration_records_from(&self, collector: &Collector, budget: usize, start: usize) {
         if !collector.active() {
             return;
         }
@@ -182,6 +190,9 @@ impl Trace {
             let improved = s.feasible && s.objective < best;
             if improved {
                 best = s.objective;
+            }
+            if i < start {
+                continue;
             }
             collector.iteration(IterationRecord {
                 technique: self.technique.clone(),

@@ -24,7 +24,6 @@ use crate::space::{DesignPoint, ParamId};
 use edse_telemetry::{Collector, IterationRecord, ProvenanceRecord};
 use std::collections::HashSet;
 use std::path::Path;
-use std::time::Instant;
 
 /// How multiple per-sub-function predictions for the same parameter are
 /// aggregated (§4.4): the paper argues for the minimum — the maximum
@@ -183,19 +182,69 @@ pub(crate) struct AnalysisSummary {
 type SubfunctionAnalysis = (Vec<(ParamId, Option<f64>)>, Vec<String>, AnalysisSummary);
 
 /// The result of a DSE run.
+///
+/// All state is behind accessors (mirroring [`Attempt`]'s accessor-only
+/// surface): [`DseResult::trace`], [`DseResult::best`],
+/// [`DseResult::best_objective`], [`DseResult::iterations`],
+/// [`DseResult::attempts`], [`DseResult::converged_after`], and
+/// [`DseResult::termination`].
 #[derive(Debug, Clone)]
 pub struct DseResult {
+    trace: Trace,
+    best: Option<(DesignPoint, Evaluation)>,
+    attempts: Vec<Attempt>,
+    converged_after: Vec<usize>,
+    termination: String,
+}
+
+impl DseResult {
     /// Every evaluated sample in order.
-    pub trace: Trace,
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the result, yielding the owned sample trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
     /// Best feasible point and its evaluation, if any was found.
-    pub best: Option<(DesignPoint, Evaluation)>,
+    pub fn best(&self) -> Option<&(DesignPoint, Evaluation)> {
+        self.best.as_ref()
+    }
+
+    /// Objective value of the best feasible point, if any was found.
+    pub fn best_objective(&self) -> Option<f64> {
+        self.best.as_ref().map(|(_, eval)| eval.objective)
+    }
+
+    /// Number of unique evaluations recorded in the trace.
+    pub fn iterations(&self) -> usize {
+        self.trace.evaluations()
+    }
+
     /// Per-attempt explanations.
-    pub attempts: Vec<Attempt>,
+    pub fn attempts(&self) -> &[Attempt] {
+        &self.attempts
+    }
+
     /// Evaluation counts at which each exploration phase converged or
     /// terminated; the first entry is the paper's "iterations to converge".
-    pub converged_after: Vec<usize>,
+    pub fn converged_after(&self) -> &[usize] {
+        &self.converged_after
+    }
+
     /// Why the exploration ended.
-    pub termination: String,
+    pub fn termination(&self) -> &str {
+        &self.termination
+    }
+
+    /// Overrides the termination label (used by the driver to mark a
+    /// cancelled partial result).
+    pub(crate) fn with_termination(mut self, termination: &str) -> DseResult {
+        self.termination = termination.to_string();
+        self
+    }
 }
 
 /// Per-phase exploration state: the incumbent, its evaluation, the frozen
@@ -251,7 +300,7 @@ impl SearchState {
         }
     }
 
-    fn into_result(self, wall_seconds: f64) -> DseResult {
+    pub(crate) fn into_result(self, wall_seconds: f64) -> DseResult {
         let mut trace = self.trace;
         trace.wall_seconds = wall_seconds;
         DseResult {
@@ -266,10 +315,9 @@ impl SearchState {
 
 /// The context closure for the standard DNN-accelerator models: each
 /// sub-function's context is its execution profile on the decoded hardware
-/// configuration.
-pub(crate) fn dnn_ctx<E: Evaluator>(
-) -> impl Fn(&E, &DesignPoint, &crate::cost::LayerEval) -> Option<crate::bottleneck::dnn::LayerCtx>
-{
+/// configuration. Returned as a plain `fn` pointer so
+/// [`crate::session::SearchSession::driver`] has a nameable return type.
+pub(crate) fn dnn_ctx<E: Evaluator>() -> crate::session::DnnCtxFn<E> {
     |ev, point, layer| {
         layer
             .profile
@@ -309,45 +357,10 @@ impl<C> ExplainableDse<C> {
         self
     }
 
-    /// Drives a search state to completion: steps until termination,
-    /// optionally snapshotting every `every` steps (and once more at
-    /// completion) to `path`.
-    pub(crate) fn drive<E, F>(
-        &self,
-        evaluator: &E,
-        mut state: SearchState,
-        ctx_fn: F,
-        checkpoint: Option<(&Path, usize)>,
-    ) -> DseResult
-    where
-        E: Evaluator,
-        F: Fn(&E, &DesignPoint, &crate::cost::LayerEval) -> Option<C>,
-    {
-        let start = Instant::now();
-        let _run_span = self.telemetry.span("dse/run");
-        let mut steps_since_save = 0usize;
-        loop {
-            let done = self.step(evaluator, &ctx_fn, &mut state);
-            if let Some((path, every)) = checkpoint {
-                steps_since_save += 1;
-                if done || steps_since_save >= every.max(1) {
-                    steps_since_save = 0;
-                    let wall = state.prior_wall_seconds + start.elapsed().as_secs_f64();
-                    self.save_checkpoint(path, &mut state, evaluator, wall);
-                }
-            }
-            if done {
-                break;
-            }
-        }
-        let wall = state.prior_wall_seconds + start.elapsed().as_secs_f64();
-        state.into_result(wall)
-    }
-
     /// Snapshots `state` + evaluator caches to `path`. Failures are
     /// reported via telemetry (`checkpoint/save_failures` + warning), never
     /// panicked on: losing a checkpoint must not kill the run it protects.
-    fn save_checkpoint<E: Evaluator>(
+    pub(crate) fn save_checkpoint<E: Evaluator>(
         &self,
         path: &Path,
         state: &mut SearchState,
@@ -1563,8 +1576,11 @@ mod tests {
         let initial = evaluator.space().minimum_point();
         let first = SearchSession::new(dnn_latency_model(), config.clone())
             .evaluator(&evaluator)
-            .checkpoint(&path)
-            .checkpoint_every(5)
+            .spec(&crate::job::JobSpec {
+                checkpoint: Some(path.clone()),
+                checkpoint_every: 5,
+                ..crate::job::JobSpec::default()
+            })
             .run(initial.clone());
         assert!(path.exists(), "a final snapshot must be written");
         // Resuming a *finished* run re-reports the identical result from a
@@ -1572,14 +1588,17 @@ mod tests {
         let fresh = CodesignEvaluator::new(edge_space(), vec![zoo::resnet18()], FixedMapper);
         let resumed = SearchSession::new(dnn_latency_model(), config)
             .evaluator(&fresh)
-            .checkpoint(&path)
-            .resume(true)
+            .spec(&crate::job::JobSpec {
+                checkpoint: Some(path.clone()),
+                resume: true,
+                ..crate::job::JobSpec::default()
+            })
             .run(initial);
-        assert_eq!(first.trace.samples, resumed.trace.samples);
-        assert_eq!(first.attempts, resumed.attempts);
-        assert_eq!(first.best, resumed.best);
-        assert_eq!(first.converged_after, resumed.converged_after);
-        assert_eq!(first.termination, resumed.termination);
+        assert_eq!(first.trace().samples, resumed.trace().samples);
+        assert_eq!(first.attempts(), resumed.attempts());
+        assert_eq!(first.best(), resumed.best());
+        assert_eq!(first.converged_after(), resumed.converged_after());
+        assert_eq!(first.termination(), resumed.termination());
         std::fs::remove_file(&path).unwrap();
     }
 

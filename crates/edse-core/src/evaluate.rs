@@ -88,7 +88,7 @@ pub struct TierStats {
 /// One uniform snapshot of every cache tier an evaluator maintains —
 /// the consolidated replacement for reading `unique_evaluations()`,
 /// per-shard telemetry counters, and disk-cache state separately.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CacheStats {
     /// Unique successful point evaluations (== [`Evaluator::unique_evaluations`]).
     pub unique_evaluations: usize,
@@ -98,6 +98,12 @@ pub struct CacheStats {
     pub layer: TierStats,
     /// The persistent disk tier, when one is attached.
     pub disk: Option<DiskCacheStats>,
+    /// Why the disk tier is absent when one was *requested* but could not
+    /// be opened (e.g. an unwritable `--cache-dir`). `None` when the disk
+    /// tier is attached or was never requested. Surfacing this here (and
+    /// in the service's job status) keeps a degraded-to-cacheless run
+    /// visible instead of a one-line startup warning.
+    pub disk_error: Option<String>,
 }
 
 /// Evaluates design points to full [`Evaluation`]s. Implementations cache,
@@ -438,6 +444,7 @@ pub struct CodesignEvaluator<M> {
     point_cache: ShardedCache<DesignPoint, Result<Evaluation, EvalFault>>,
     layer_cache: ShardedCache<(LayerShape, AcceleratorConfig), Result<MapOutcome, EvalFault>>,
     disk_cache: Option<Arc<DiskCache>>,
+    disk_error: Option<String>,
     unique_evals: AtomicUsize,
 }
 
@@ -483,6 +490,7 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
             point_cache: ShardedCache::new(),
             layer_cache: ShardedCache::new(),
             disk_cache: None,
+            disk_error: None,
             unique_evals: AtomicUsize::new(0),
         }
     }
@@ -503,6 +511,20 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
     /// later runs.
     pub fn with_disk_cache(mut self, cache: Arc<DiskCache>) -> Self {
         self.disk_cache = Some(cache);
+        self.disk_error = None;
+        self
+    }
+
+    /// Records that a disk tier was requested but could not be attached
+    /// (e.g. the cache directory failed to open). The evaluator runs
+    /// cacheless exactly as if no tier were requested, but
+    /// [`Evaluator::cache_stats`] then reports the reason in
+    /// [`CacheStats::disk_error`] so the degradation stays visible to
+    /// operators instead of scrolling away as a startup warning.
+    pub fn with_disk_cache_error(mut self, error: impl Into<String>) -> Self {
+        if self.disk_cache.is_none() {
+            self.disk_error = Some(error.into());
+        }
         self
     }
 
@@ -1126,6 +1148,7 @@ impl<M: MappingOptimizer> Evaluator for CodesignEvaluator<M> {
             point: self.point_cache.stats(),
             layer: self.layer_cache.stats(),
             disk: self.disk_cache.as_ref().map(|d| d.stats()),
+            disk_error: self.disk_error.clone(),
         }
     }
 }

@@ -19,12 +19,12 @@ impl DseResult {
         let _ = writeln!(
             out,
             "- evaluations: {} (converged after {:?})",
-            self.trace.evaluations(),
-            self.converged_after
+            self.trace().evaluations(),
+            self.converged_after()
         );
-        let _ = writeln!(out, "- wall time: {:.2} s", self.trace.wall_seconds);
-        let _ = writeln!(out, "- termination: {}", self.termination);
-        match &self.best {
+        let _ = writeln!(out, "- wall time: {:.2} s", self.trace().wall_seconds);
+        let _ = writeln!(out, "- termination: {}", self.termination());
+        match self.best() {
             Some((point, eval)) => {
                 let _ = writeln!(out, "\n## Best feasible design\n");
                 let _ = writeln!(out, "- objective: {:.4}", eval.objective);
@@ -51,7 +51,7 @@ impl DseResult {
         }
 
         let _ = writeln!(out, "\n## Acquisition attempts\n");
-        for a in &self.attempts {
+        for a in self.attempts() {
             let _ = writeln!(out, "### Attempt {}\n", a.index());
             for line in a.analyses() {
                 let _ = writeln!(out, "- {line}");
@@ -169,7 +169,7 @@ mod tests {
         assert!(report.contains("Acquisition attempts"));
         assert!(report.contains("pes"), "parameter table expected");
         assert!(report.contains("decision:"));
-        if result.best.is_some() {
+        if result.best().is_some() {
             assert!(report.contains("Best feasible design"));
             assert!(report.contains("area_mm2"));
         }

@@ -17,8 +17,11 @@
 //! * [`diskcache`] — the persistent, content-addressed evaluation cache
 //!   that warm-starts repeated runs across processes;
 //! * [`dse`] — the constraints-aware, bottleneck-guided exploration loop;
-//! * [`session`] — the [`SearchSession`] front door: builder-style
-//!   configuration of evaluator, telemetry, and checkpoint/resume;
+//! * [`session`] — the [`SearchSession`] front door (builder-style
+//!   configuration of evaluator, telemetry, and checkpoint/resume) and the
+//!   stepwise, cancellable [`SearchDriver`] behind it;
+//! * [`job`] — the [`JobSpec`] declarative job description shared by the
+//!   session builder, the bench harness, and the `edse-serve` service;
 //! * [`fault`] / [`checkpoint`] — the evaluation fault boundary and the
 //!   versioned snapshot format behind checkpoint/resume.
 //!
@@ -40,7 +43,7 @@
 //! )
 //! .evaluator(&evaluator)
 //! .run(initial);
-//! assert!(result.trace.evaluations() <= 40);
+//! assert!(result.trace().evaluations() <= 40);
 //! ```
 
 pub mod bottleneck;
@@ -51,6 +54,7 @@ pub mod dse;
 pub mod evaluate;
 pub mod explain;
 pub mod fault;
+pub mod job;
 pub mod session;
 pub mod space;
 
@@ -63,8 +67,21 @@ pub use evaluate::{
     CacheSnapshot, CacheStats, CodesignEvaluator, EvalEngine, Evaluator, LayerEntry, TierStats,
 };
 pub use fault::{EvalFault, FaultPolicy};
-pub use session::SearchSession;
+pub use job::JobSpec;
+pub use session::{CancelToken, SearchDriver, SearchSession, StepOutcome};
 pub use space::{
     datacenter_space, decode_edge_point, edge, edge_space, space_from_json, DesignPoint,
     DesignSpace, ParamDef, ParamId,
 };
+
+/// One-stop import for the public session/driver/job surface:
+/// `use edse_core::prelude::*;` brings in everything needed to configure,
+/// run, step, cancel, and inspect a search.
+pub mod prelude {
+    pub use crate::cost::{Constraint, Evaluation, Trace};
+    pub use crate::dse::{Attempt, DseConfig, DseResult};
+    pub use crate::evaluate::{CacheStats, CodesignEvaluator, EvalEngine, Evaluator};
+    pub use crate::job::JobSpec;
+    pub use crate::session::{CancelToken, SearchDriver, SearchSession, StepOutcome};
+    pub use crate::space::{DesignPoint, DesignSpace};
+}

@@ -11,7 +11,7 @@ use edse_core::dse::{Attempt, DseConfig, DseResult};
 use edse_core::evaluate::{CacheSnapshot, CodesignEvaluator, EvalEngine, Evaluator};
 use edse_core::fault::{EvalFault, FaultPolicy};
 use edse_core::space::{edge_space, DesignPoint, DesignSpace, ParamDef};
-use edse_core::{DiskCache, DiskCacheStats, SearchSession};
+use edse_core::{DiskCache, DiskCacheStats, JobSpec, SearchSession};
 use edse_telemetry::{Collector, MemorySink};
 use mapper::{FaultInjector, FixedMapper};
 use proptest::prelude::*;
@@ -306,11 +306,11 @@ fn fresh_evaluator(parallel: bool) -> CodesignEvaluator<FixedMapper> {
 
 /// Asserts every `DseResult` field except the wall clock is identical.
 fn assert_results_identical(a: &DseResult, b: &DseResult) {
-    assert_eq!(a.trace.samples, b.trace.samples);
-    assert_eq!(a.attempts, b.attempts);
-    assert_eq!(a.best, b.best);
-    assert_eq!(a.converged_after, b.converged_after);
-    assert_eq!(a.termination, b.termination);
+    assert_eq!(a.trace().samples, b.trace().samples);
+    assert_eq!(a.attempts(), b.attempts());
+    assert_eq!(a.best(), b.best());
+    assert_eq!(a.converged_after(), b.converged_after());
+    assert_eq!(a.termination(), b.termination());
 }
 
 proptest! {
@@ -346,8 +346,11 @@ proptest! {
         let killed = catch_unwind(AssertUnwindSafe(|| {
             SearchSession::new(dnn_latency_model(), config.clone())
                 .evaluator(&killed_ev)
-                .checkpoint(&path)
-                .checkpoint_every(1)
+                .spec(&JobSpec {
+                    checkpoint: Some(path.clone()),
+                    checkpoint_every: 1,
+                    ..JobSpec::default()
+                })
                 .run(initial.clone())
         }));
 
@@ -357,9 +360,12 @@ proptest! {
         let resumed_ev = fresh_evaluator(parallel);
         let resumed = SearchSession::new(dnn_latency_model(), config.clone())
             .evaluator(&resumed_ev)
-            .checkpoint(&path)
-            .checkpoint_every(1)
-            .resume(true)
+            .spec(&JobSpec {
+                checkpoint: Some(path.clone()),
+                checkpoint_every: 1,
+                resume: true,
+                ..JobSpec::default()
+            })
             .run(initial);
 
         assert_results_identical(&resumed, &reference);
@@ -411,13 +417,13 @@ proptest! {
         .run(initial);
 
         // The search completed despite the faults.
-        prop_assert!(!result.termination.is_empty());
-        prop_assert!(result.trace.evaluations() <= 30);
+        prop_assert!(!result.termination().is_empty());
+        prop_assert!(result.trace().evaluations() <= 30);
 
         // Every failed candidate went through the full retry budget, and
         // the telemetry counters account for at least those failures.
-        let failed = result.attempts.iter().filter(|a| a.is_failed()).count();
-        for a in &result.attempts {
+        let failed = result.attempts().iter().filter(|a| a.is_failed()).count();
+        for a in result.attempts() {
             if let Attempt::Failed { retries, .. } = a {
                 prop_assert_eq!(*retries, policy.max_retries);
             }

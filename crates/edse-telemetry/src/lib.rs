@@ -130,11 +130,25 @@ struct Inner {
     metrics: Mutex<Metrics>,
     /// Next span id; 0 is reserved as the "no parent" sentinel.
     next_span_id: AtomicU64,
+    /// Namespace prepended to every counter, histogram, and span name —
+    /// empty for the usual single-tenant collector. A job-scoped
+    /// collector in `edse-serve` uses `job<id>/` so merged scrape output
+    /// keeps tenants apart.
+    prefix: String,
 }
 
 impl Inner {
     fn t_us(&self) -> u64 {
         self.start.elapsed().as_micros() as u64
+    }
+
+    /// Applies the namespace prefix without allocating when there is none.
+    fn scoped<'a>(&self, name: &'a str) -> std::borrow::Cow<'a, str> {
+        if self.prefix.is_empty() {
+            std::borrow::Cow::Borrowed(name)
+        } else {
+            std::borrow::Cow::Owned(format!("{}{name}", self.prefix))
+        }
     }
 
     /// Dispatches a metric event to the sinks that opted in.
@@ -177,7 +191,10 @@ impl Collector {
 
     /// Starts building a live collector.
     pub fn builder() -> CollectorBuilder {
-        CollectorBuilder { sinks: Vec::new() }
+        CollectorBuilder {
+            sinks: Vec::new(),
+            prefix: String::new(),
+        }
     }
 
     /// Whether metric instrumentation is live. Hot paths that would do
@@ -194,16 +211,17 @@ impl Collector {
         let Some(inner) = self.metric_inner() else {
             return;
         };
+        let name = inner.scoped(name);
         let mut metrics = inner.metrics.lock().expect("collector poisoned");
-        match metrics.counters.get_mut(name) {
+        match metrics.counters.get_mut(name.as_ref()) {
             Some(value) => *value += delta,
             None => {
                 assert!(
-                    !metrics.histograms.contains_key(name),
+                    !metrics.histograms.contains_key(name.as_ref()),
                     "telemetry name collision: {name:?} is already a histogram \
                      and cannot also be a counter"
                 );
-                metrics.counters.insert(name.to_string(), delta);
+                metrics.counters.insert(name.into_owned(), delta);
             }
         }
     }
@@ -216,7 +234,7 @@ impl Collector {
                 .lock()
                 .expect("collector poisoned")
                 .counters
-                .get(name)
+                .get(inner.scoped(name).as_ref())
                 .copied()
                 .unwrap_or(0)
         })
@@ -256,18 +274,19 @@ impl Collector {
         let Some(inner) = self.metric_inner() else {
             return;
         };
+        let name = inner.scoped(name);
         let mut metrics = inner.metrics.lock().expect("collector poisoned");
-        match metrics.histograms.get_mut(name) {
+        match metrics.histograms.get_mut(name.as_ref()) {
             Some(h) => h.observe(value),
             None => {
                 assert!(
-                    !metrics.counters.contains_key(name),
+                    !metrics.counters.contains_key(name.as_ref()),
                     "telemetry name collision: {name:?} is already a counter \
                      and cannot also be a histogram"
                 );
                 let mut h = Histo::default();
                 h.observe(value);
-                metrics.histograms.insert(name.to_string(), h);
+                metrics.histograms.insert(name.into_owned(), h);
             }
         }
     }
@@ -275,8 +294,12 @@ impl Collector {
     /// Current summary of a histogram, if it has any observations.
     pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
         let inner = self.metric_inner()?;
+        let name = inner.scoped(name);
         let metrics = inner.metrics.lock().expect("collector poisoned");
-        metrics.histograms.get(name).map(|h| h.summary(name))
+        metrics
+            .histograms
+            .get(name.as_ref())
+            .map(|h| h.summary(name.as_ref()))
     }
 
     /// Snapshot of all histogram summaries, sorted by name.
@@ -316,6 +339,7 @@ impl Collector {
                 id: 0,
             },
             Some(inner) => {
+                let name = inner.scoped(name);
                 let entered = Instant::now();
                 let id = inner.next_span_id.fetch_add(1, Ordering::Relaxed);
                 let key = Arc::as_ptr(inner) as usize;
@@ -357,8 +381,8 @@ impl Collector {
                 started: None,
             },
             Some(inner) => Timer {
+                name: inner.scoped(name).into_owned(),
                 inner: Some(Arc::clone(inner)),
-                name: name.to_string(),
                 started: Some(Instant::now()),
             },
         }
@@ -461,12 +485,23 @@ impl Collector {
 /// Configures a live [`Collector`].
 pub struct CollectorBuilder {
     sinks: Vec<Box<dyn Sink>>,
+    prefix: String,
 }
 
 impl CollectorBuilder {
     /// Attaches a sink.
     pub fn sink(mut self, sink: impl Sink + 'static) -> CollectorBuilder {
         self.sinks.push(Box::new(sink));
+        self
+    }
+
+    /// Namespaces every counter, histogram, and span name under
+    /// `prefix` (e.g. `"job3/"`). Scoped collectors from different
+    /// tenants can then be merged into one scrape without collisions;
+    /// reads (`counter_value`, `histogram`) apply the same prefix, so
+    /// callers keep using unscoped names.
+    pub fn prefix(mut self, prefix: impl Into<String>) -> CollectorBuilder {
+        self.prefix = prefix.into();
         self
     }
 
@@ -484,6 +519,7 @@ impl CollectorBuilder {
                 metrics_active,
                 metrics: Mutex::new(Metrics::default()),
                 next_span_id: AtomicU64::new(1),
+                prefix: self.prefix,
             })),
         }
     }

@@ -393,7 +393,7 @@ mod tests {
 
     #[test]
     fn why_chain_walks_parents_to_the_root() {
-        let records = vec![
+        let records = [
             rec(0, vec![0, 0], None, true),
             rec(1, vec![1, 0], Some(vec![0, 0]), true),
             rec(1, vec![0, 1], Some(vec![0, 0]), false),

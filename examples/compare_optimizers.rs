@@ -66,5 +66,5 @@ fn main() {
     .evaluator(&evaluator);
     let initial = evaluator.space().minimum_point();
     let result = session.run(initial);
-    run(result.trace);
+    run(result.into_trace());
 }

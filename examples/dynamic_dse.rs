@@ -46,13 +46,13 @@ fn main() {
             trace.feasibility_rate() * 100.0
         ),
     };
-    describe("explainable", &explainable.trace);
+    describe("explainable", explainable.trace());
     describe("random", &random);
 
     // Convergence sketch: running best every 20 evaluations.
     println!("\nrunning best feasible latency (ms) over the budget:");
     println!("{:>6} {:>14} {:>14}", "iter", "explainable", "random");
-    let e_curve = explainable.trace.convergence_curve();
+    let e_curve = explainable.trace().convergence_curve();
     let r_curve = random.convergence_curve();
     for i in (19..budget).step_by(20) {
         let fmt = |c: &Vec<f64>| {

@@ -27,7 +27,7 @@ fn run(objective: Objective, model: DnnModel) -> (String, Option<(f64, f64)>) {
     let initial = evaluator.space().minimum_point();
     let result = session.run(initial);
     let name = format!("{objective:?}");
-    let summary = result.best.as_ref().map(|(point, eval)| {
+    let summary = result.best().as_ref().map(|(point, eval)| {
         // Latency is always the third constraint; energy is tracked in the
         // evaluation regardless of the objective.
         let latency = eval.constraint_values[2];

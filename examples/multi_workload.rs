@@ -36,10 +36,10 @@ fn main() {
 
     println!(
         "explored {} designs ({})",
-        result.trace.evaluations(),
-        result.termination
+        result.trace().evaluations(),
+        result.termination()
     );
-    let Some((point, eval)) = &result.best else {
+    let Some((point, eval)) = &result.best() else {
         println!("no design satisfied both workloads' constraints in this budget");
         return;
     };

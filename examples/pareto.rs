@@ -37,7 +37,7 @@ fn main() {
         .evaluator(&evaluator);
         let initial = evaluator.space().minimum_point();
         let result = session.run(initial);
-        match &result.best {
+        match &result.best() {
             Some((_, eval)) => {
                 let latency = eval.constraint_values[2];
                 println!(

@@ -38,11 +38,11 @@ fn main() {
     // 4) Report: best codesign, convergence, and per-attempt explanations.
     println!(
         "\nexplored {} designs in {:.1} s ({})",
-        result.trace.evaluations(),
-        result.trace.wall_seconds,
-        result.termination
+        result.trace().evaluations(),
+        result.trace().wall_seconds,
+        result.termination()
     );
-    match &result.best {
+    match &result.best() {
         Some((point, eval)) => {
             let cfg = evaluator.decode(point);
             println!(
@@ -62,7 +62,7 @@ fn main() {
     }
 
     println!("\n--- why the DSE did what it did (first three attempts) ---");
-    for attempt in result.attempts.iter().take(3) {
+    for attempt in result.attempts().iter().take(3) {
         println!("attempt {}: {}", attempt.index(), attempt.decision());
         for line in attempt.analyses().iter().take(2) {
             println!("  {line}");

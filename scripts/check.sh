@@ -138,4 +138,14 @@ grep -q '"disk_cache/hit"' "$trace_tmp/warm.jsonl" || {
     exit 1
 }
 
+echo "==> service smoke: edse-serve --self-check (in-process e2e over HTTP)"
+# Boots the full server on an ephemeral port, runs two concurrent toy
+# jobs over the shared disk cache, streams events, pauses/resumes/
+# cancels a third job (asserting the resumable snapshot), and scrapes
+# the merged /metrics — all in one process, no curl needed.
+# (`cargo build --release` above builds the root package only; the
+# server binary needs its own build invocation.)
+cargo build --release -q -p edse-serve
+timeout 60 target/release/edse-serve --self-check
+
 echo "All checks passed."

@@ -26,17 +26,17 @@ fn explainable_dse_converges_in_tens_of_evaluations() {
     // The paper's headline agility: the first exploration phase converges
     // after ~tens of designs instead of 2500 (later §C restart phases may
     // spend more of the budget refining).
-    let first_phase = *result.converged_after.first().expect("phases recorded");
+    let first_phase = *result.converged_after().first().expect("phases recorded");
     assert!(
         first_phase < 200,
         "first phase took {first_phase} evaluations"
     );
     assert!(
-        result.trace.evaluations() < 1000,
+        result.trace().evaluations() < 1000,
         "restart phases ran away: {}",
-        result.trace.evaluations()
+        result.trace().evaluations()
     );
-    let (_, best) = result.best.expect("finds a feasible codesign");
+    let (_, best) = result.best().expect("finds a feasible codesign");
     assert!(best.objective.is_finite());
     // 40 FPS floor.
     assert!(best.objective <= 25.0, "latency {} ms", best.objective);
@@ -50,7 +50,7 @@ fn explainable_matches_or_beats_random_at_equal_budget() {
     let random = RandomSearch::new(11).run(&ev, budget);
 
     let ours = result
-        .best
+        .best()
         .as_ref()
         .map(|(_, e)| e.objective)
         .unwrap_or(f64::INFINITY);
@@ -64,7 +64,7 @@ fn explainable_matches_or_beats_random_at_equal_budget() {
         ours <= theirs * 1.5,
         "explainable {ours} ms vs random {theirs} ms"
     );
-    assert!(result.trace.evaluations() <= budget);
+    assert!(result.trace().evaluations() <= budget);
 }
 
 #[test]
@@ -74,7 +74,7 @@ fn feasible_region_is_never_left_once_entered() {
     // solution." We verify via the trace: after the first feasible sample
     // selected as incumbent, the best-so-far never regresses.
     let (result, _) = explainable_run(zoo::mobilenet_v2(), 300);
-    let curve = result.trace.convergence_curve();
+    let curve = result.trace().convergence_curve();
     let mut best = f64::INFINITY;
     for v in curve {
         assert!(v <= best + 1e-9);
@@ -85,8 +85,8 @@ fn feasible_region_is_never_left_once_entered() {
 #[test]
 fn every_attempt_records_decision_and_analysis() {
     let (result, _) = explainable_run(zoo::resnet18(), 120);
-    assert!(!result.attempts.is_empty());
-    for a in &result.attempts {
+    assert!(!result.attempts().is_empty());
+    for a in result.attempts() {
         assert!(
             !a.decision().is_empty(),
             "attempt {} lacks a decision",
@@ -95,11 +95,11 @@ fn every_attempt_records_decision_and_analysis() {
     }
     // Most attempts analyze at least one sub-function.
     let analyzed = result
-        .attempts
+        .attempts()
         .iter()
         .filter(|a| !a.analyses().is_empty())
         .count();
-    assert!(analyzed * 2 >= result.attempts.len());
+    assert!(analyzed * 2 >= result.attempts().len());
 }
 
 #[test]
@@ -122,12 +122,12 @@ fn codesign_beats_fixed_dataflow() {
     let codesign = session.run(initial);
 
     let f = fixed
-        .best
+        .best()
         .as_ref()
         .map(|(_, e)| e.objective)
         .unwrap_or(f64::INFINITY);
     let c = codesign
-        .best
+        .best()
         .as_ref()
         .map(|(_, e)| e.objective)
         .unwrap_or(f64::INFINITY);
@@ -137,7 +137,7 @@ fn codesign_beats_fixed_dataflow() {
 #[test]
 fn best_design_respects_all_constraints() {
     let (result, constraints) = explainable_run(zoo::resnet18(), 200);
-    let (_, best) = result.best.expect("feasible");
+    let (_, best) = result.best().expect("feasible");
     assert!(best.feasible(&constraints));
     assert!(best.area_mm2 <= 75.0);
     assert!(best.power_w <= 4.0);
@@ -146,7 +146,7 @@ fn best_design_respects_all_constraints() {
 #[test]
 fn traces_serialize_for_the_harness() {
     let (result, _) = explainable_run(zoo::resnet18(), 60);
-    let json = serde_json::to_string(&result.trace).expect("serialize");
+    let json = serde_json::to_string(&result.trace()).expect("serialize");
     let back: Trace = serde_json::from_str(&json).expect("deserialize");
-    assert_eq!(back.evaluations(), result.trace.evaluations());
+    assert_eq!(back.evaluations(), result.trace().evaluations());
 }
