@@ -244,7 +244,7 @@ fn contiguous_run_elems(layer: &LayerShape, t: &Tiling, op: Tensor) -> f64 {
 /// Position of a stationarity class in [`Stationarity::ALL`] — the row
 /// index of [`TilingEval`]'s precomputed reuse tables.
 #[inline]
-fn st_index(order: Stationarity) -> usize {
+pub(crate) fn st_index(order: Stationarity) -> usize {
     match order {
         Stationarity::InputStationary => 0,
         Stationarity::WeightStationary => 1,
@@ -253,25 +253,27 @@ fn st_index(order: Stationarity) -> usize {
 }
 
 /// Ordering-invariant per-operand quantities, precomputed once per tiling.
+/// Fields are crate-visible so [`crate::batch::TilingBatch`] can scatter
+/// them into its struct-of-arrays scratch.
 #[derive(Debug, Clone, Copy, Default)]
-struct OperandPre {
+pub(crate) struct OperandPre {
     /// SPM tile volume in elements.
-    spm_tile: f64,
+    pub(crate) spm_tile: f64,
     /// `rf_tile * elem` (also the NoC bytes per PE group).
-    rf_tile_bytes: f64,
-    spm_tile_bytes: f64,
-    noc_groups: u64,
-    noc_rounds: u64,
+    pub(crate) rf_tile_bytes: f64,
+    pub(crate) spm_tile_bytes: f64,
+    pub(crate) noc_groups: u64,
+    pub(crate) noc_rounds: u64,
     /// `groups * rf_tile * elem` — NoC bytes per SPM-to-PEs delivery.
-    transmitted_per_delivery: f64,
+    pub(crate) transmitted_per_delivery: f64,
     /// `noc_rounds * ceil(rf_tile * elem / noc_bpc)` — NoC cycles per delivery.
-    cycles_per_delivery: f64,
+    pub(crate) cycles_per_delivery: f64,
     /// Total reuse available at the SPM level (`irrelevant_iters`).
-    irr_l2: f64,
+    pub(crate) irr_l2: f64,
     /// Total reuse available at the DRAM level.
-    irr_dram: f64,
+    pub(crate) irr_dram: f64,
     /// Contiguous DRAM burst length in bytes.
-    run_bytes: f64,
+    pub(crate) run_bytes: f64,
 }
 
 /// The ordering-invariant half of [`AcceleratorConfig::execute`].
@@ -295,21 +297,21 @@ pub struct TilingEval {
     validity: Validity,
     pes_used: u64,
     macs: f64,
-    t_comp: f64,
-    elem: f64,
-    dram_steps: f64,
-    l2_steps: f64,
-    bw_bpc: f64,
-    dma_burst_cycles: f64,
+    pub(crate) t_comp: f64,
+    pub(crate) elem: f64,
+    pub(crate) dram_steps: f64,
+    pub(crate) l2_steps: f64,
+    pub(crate) bw_bpc: f64,
+    pub(crate) dma_burst_cycles: f64,
     /// `reuse_at(Dram, order, op)` indexed `[st_index(order)][op.index()]`.
-    reuse_dram: [[f64; 4]; 3],
+    pub(crate) reuse_dram: [[f64; 4]; 3],
     /// `reuse_at(Spm, order, op)` indexed `[st_index(order)][op.index()]`.
-    reuse_spm: [[f64; 4]; 3],
-    ops: [OperandPre; 4],
+    pub(crate) reuse_spm: [[f64; 4]; 3],
+    pub(crate) ops: [OperandPre; 4],
     /// `(groups, capacity)` for operands whose NoC demand exceeds capacity;
     /// resolved per ordering in [`Self::complete`] (all `None` when the
     /// check was relaxed).
-    noc_fail: [Option<(u64, u64)>; 4],
+    pub(crate) noc_fail: [Option<(u64, u64)>; 4],
     energy: EnergyTable,
     /// `macs * rf_accesses_per_mac * elem` — the MAC-side RF traffic term.
     rf_mac_bytes: f64,

@@ -36,12 +36,14 @@
 //! ```
 
 pub mod arch;
+pub mod batch;
 pub mod exec;
 pub mod mapping;
 pub mod profile;
 pub mod sim;
 
 pub use arch::AcceleratorConfig;
+pub use batch::TilingBatch;
 pub use exec::{ExecError, TilingEval, Validity};
 pub use mapping::{Level, Mapping, Stationarity, Tiling};
 pub use profile::{ExecutionProfile, OperandStats};

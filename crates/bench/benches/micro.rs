@@ -42,6 +42,13 @@ fn bench_mapping_space(c: &mut Criterion) {
         let m = LinearMapper::new(100);
         b.iter(|| black_box(m.optimize(&l, &cfg)))
     });
+    // The same batch-1 query with a 2-way intra-layer worker budget, so
+    // recorded speedups stay attributable to a thread count (results are
+    // bit-identical to the serial variant; only wall-clock differs).
+    c.bench_function("mapper/linear_layer_t2", |b| {
+        let m = LinearMapper::new(100);
+        b.iter(|| black_box(m.optimize_threaded(&l, &cfg, 2)))
+    });
     // Space construction on hardware too small to meet the aggressive
     // thresholds: the auto-adjustment relaxes several rounds, so this
     // series measures the threshold-relaxation cost specifically.

@@ -288,11 +288,33 @@ impl EvalEngine {
     }
 
     /// The concrete worker count this engine resolves to on this host.
+    ///
+    /// `threads: None` resolves to the host's available parallelism unless
+    /// the `EDSE_TEST_THREADS` environment variable overrides it (read once
+    /// and cached for the process). An explicit `threads: Some(n)` always
+    /// wins.
     pub fn resolved_threads(&self) -> usize {
-        self.threads
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
-            .max(1)
+        self.threads.unwrap_or_else(default_threads).max(1)
     }
+}
+
+/// The worker count `threads: None` resolves to: the `EDSE_TEST_THREADS`
+/// environment variable when set to a positive integer, otherwise the
+/// host's available parallelism.
+///
+/// The override exists so serial-vs-parallel differential oracles can
+/// exercise the multi-worker code paths on single-CPU CI containers, where
+/// available parallelism would resolve to 1 and silently test nothing.
+/// Read once and cached for the process lifetime.
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("EDSE_TEST_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
 }
 
 /// Number of lock shards per cache: enough to make contention negligible at
@@ -671,10 +693,17 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
     /// under a panic guard (plus the optional post-hoc deadline) and is
     /// retried per [`EvalEngine::fault`] with exponential backoff before
     /// the failure is cached as a permanent [`EvalFault`].
+    ///
+    /// `intra` is the worker budget the mapper may spend *inside* this one
+    /// layer's tiling sweep ([`MappingOptimizer::optimize_threaded`]).
+    /// Mapper results are bit-identical for every budget, so `intra` is
+    /// deliberately absent from both cache keys — a mapping computed with
+    /// any budget serves all future requests for this `(shape, cfg)`.
     fn map_layer(
         &self,
         shape: &LayerShape,
         cfg: &AcceleratorConfig,
+        intra: usize,
     ) -> Result<MapOutcome, EvalFault> {
         let key = (*shape, *cfg);
         let slot = self.layer_cache.slot(&key);
@@ -706,7 +735,7 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
                 loop {
                     let started = Instant::now();
                     let attempt = fault::guard(|| {
-                        let mapped = self.mapper.optimize(shape, cfg);
+                        let mapped = self.mapper.optimize_threaded(shape, cfg, intra);
                         let diagnostic = if mapped.is_none() {
                             self.mapper.diagnose(shape, cfg)
                         } else {
@@ -784,7 +813,7 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
         for model in &self.models {
             let mut model_latency = 0.0f64;
             for u in model.unique_shapes() {
-                let outcome = self.map_layer(&u.shape, &cfg)?;
+                let outcome = self.map_layer(&u.shape, &cfg, 1)?;
                 mappable &= outcome.mapped.is_some();
                 // Unmappable layers contribute their diagnostic latency —
                 // a finite surrogate that keeps a search gradient toward
@@ -1001,6 +1030,14 @@ impl<M: MappingOptimizer> Evaluator for CodesignEvaluator<M> {
         }
         let tasks = self.pending_layer_tasks(points);
         if points.len() <= 1 && tasks.len() <= 1 {
+            // Batch-1 interactive query: there is nothing to fan out
+            // *across*, so spend the whole worker budget *inside* the one
+            // mapping sweep instead (intra-layer parallelism), then let
+            // the serial path assemble the point from the warm cache.
+            if let Some((shape, cfg)) = tasks.first() {
+                let _mapping_span = self.telemetry.span("eval/mapping");
+                let _ = self.map_layer(shape, cfg, threads);
+            }
             return self.serial_batch(points);
         }
         if self.telemetry.active() {
@@ -1009,11 +1046,15 @@ impl<M: MappingOptimizer> Evaluator for CodesignEvaluator<M> {
             self.telemetry
                 .counter("engine/point_jobs", points.len() as u64);
         }
+        // Leftover worker budget once every task has a worker goes into
+        // the sweeps themselves: 8 workers over 2 tasks → 4-way
+        // intra-layer parallelism per mapping.
+        let intra = (threads / tasks.len().max(1)).max(1);
         let per_thread = {
             let _mapping_span = self.telemetry.span("eval/mapping");
             fan_out(tasks.len(), threads, |i| {
                 let (shape, cfg) = &tasks[i];
-                let _ = self.map_layer(shape, cfg);
+                let _ = self.map_layer(shape, cfg, intra);
             })
         };
         if self.telemetry.active() && !tasks.is_empty() {

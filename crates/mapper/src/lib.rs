@@ -33,6 +33,7 @@
 pub mod optimize;
 pub mod size;
 pub mod space;
+pub mod sweep;
 
 pub use optimize::{
     AnnealingMapper, FaultInjector, FixedMapper, GeneticMapper, InstrumentedMapper,
@@ -40,3 +41,4 @@ pub use optimize::{
 };
 pub use size::{layer_space_size, SpaceSize};
 pub use space::{MappingSpace, SpaceBudget, Thresholds};
+pub use sweep::SweepConf;

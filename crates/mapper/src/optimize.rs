@@ -12,6 +12,7 @@
 //! rests on.
 
 use crate::space::{MappingSpace, SpaceBudget};
+use crate::sweep::{self, SweepConf, ALL_ORDERINGS};
 use accel_model::mapping::prime_factors;
 use accel_model::{AcceleratorConfig, ExecutionProfile, Mapping, Stationarity, Tiling};
 use edse_telemetry::Collector;
@@ -53,6 +54,22 @@ pub trait MappingOptimizer: Send + Sync {
     /// optimizer's budget.
     fn optimize(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<MappedLayer>;
 
+    /// [`Self::optimize`] with a thread-budget hint for *intra-layer*
+    /// parallelism: an implementation may split this one call's tiling
+    /// sweep across up to `threads` worker threads, but its result MUST be
+    /// bit-identical to [`Self::optimize`] for every thread count — the
+    /// evaluation engine's "parallel equals serial" guarantee extends
+    /// inside a layer. The default ignores the hint.
+    fn optimize_threaded(
+        &self,
+        layer: &LayerShape,
+        cfg: &AcceleratorConfig,
+        threads: usize,
+    ) -> Option<MappedLayer> {
+        let _ = threads;
+        self.optimize(layer, cfg)
+    }
+
     /// Short name for reports, e.g. `"linear"` or `"random-10000"`.
     fn name(&self) -> String;
 
@@ -87,6 +104,15 @@ impl MappingOptimizer for Box<dyn MappingOptimizer> {
         (**self).optimize(layer, cfg)
     }
 
+    fn optimize_threaded(
+        &self,
+        layer: &LayerShape,
+        cfg: &AcceleratorConfig,
+        threads: usize,
+    ) -> Option<MappedLayer> {
+        (**self).optimize_threaded(layer, cfg, threads)
+    }
+
     fn name(&self) -> String {
         (**self).name()
     }
@@ -103,6 +129,15 @@ impl MappingOptimizer for Box<dyn MappingOptimizer> {
 impl<M: MappingOptimizer> MappingOptimizer for &M {
     fn optimize(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<MappedLayer> {
         (**self).optimize(layer, cfg)
+    }
+
+    fn optimize_threaded(
+        &self,
+        layer: &LayerShape,
+        cfg: &AcceleratorConfig,
+        threads: usize,
+    ) -> Option<MappedLayer> {
+        (**self).optimize_threaded(layer, cfg, threads)
     }
 
     fn name(&self) -> String {
@@ -160,15 +195,16 @@ impl<M: MappingOptimizer> InstrumentedMapper<M> {
     }
 }
 
-impl<M: MappingOptimizer> MappingOptimizer for InstrumentedMapper<M> {
-    fn optimize(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<MappedLayer> {
+impl<M: MappingOptimizer> InstrumentedMapper<M> {
+    /// Shared instrumentation for both optimize entry points.
+    fn observe(&self, run: impl FnOnce(&M) -> Option<MappedLayer>) -> Option<MappedLayer> {
         if !self.telemetry.active() {
-            return self.inner.optimize(layer, cfg);
+            return run(&self.inner);
         }
         let result = {
             let _span = self.telemetry.span(&self.span_name);
             let _timer = self.telemetry.time(&self.timer_metric);
-            self.inner.optimize(layer, cfg)
+            run(&self.inner)
         };
         let outcome = if result.is_some() {
             &self.feasible_metric
@@ -177,6 +213,21 @@ impl<M: MappingOptimizer> MappingOptimizer for InstrumentedMapper<M> {
         };
         self.telemetry.counter(outcome, 1);
         result
+    }
+}
+
+impl<M: MappingOptimizer> MappingOptimizer for InstrumentedMapper<M> {
+    fn optimize(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<MappedLayer> {
+        self.observe(|inner| inner.optimize(layer, cfg))
+    }
+
+    fn optimize_threaded(
+        &self,
+        layer: &LayerShape,
+        cfg: &AcceleratorConfig,
+        threads: usize,
+    ) -> Option<MappedLayer> {
+        self.observe(|inner| inner.optimize_threaded(layer, cfg, threads))
     }
 
     fn name(&self) -> String {
@@ -256,8 +307,11 @@ impl<M: MappingOptimizer> FaultInjector<M> {
     }
 }
 
-impl<M: MappingOptimizer> MappingOptimizer for FaultInjector<M> {
-    fn optimize(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<MappedLayer> {
+impl<M: MappingOptimizer> FaultInjector<M> {
+    /// Panics when this `(layer, cfg)` pair is scheduled to fault on this
+    /// attempt — shared by both optimize entry points so thread-budgeted
+    /// calls see the identical fault pattern.
+    fn maybe_fault(&self, layer: &LayerShape, cfg: &AcceleratorConfig) {
         if self.is_faulty(layer, cfg) {
             let key = self.key(layer, cfg);
             let attempt = {
@@ -273,7 +327,23 @@ impl<M: MappingOptimizer> MappingOptimizer for FaultInjector<M> {
                 );
             }
         }
+    }
+}
+
+impl<M: MappingOptimizer> MappingOptimizer for FaultInjector<M> {
+    fn optimize(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<MappedLayer> {
+        self.maybe_fault(layer, cfg);
         self.inner.optimize(layer, cfg)
+    }
+
+    fn optimize_threaded(
+        &self,
+        layer: &LayerShape,
+        cfg: &AcceleratorConfig,
+        threads: usize,
+    ) -> Option<MappedLayer> {
+        self.maybe_fault(layer, cfg);
+        self.inner.optimize_threaded(layer, cfg, threads)
     }
 
     fn name(&self) -> String {
@@ -361,10 +431,13 @@ impl MappingOptimizer for FixedMapper {
 }
 
 /// Linear exploration of the pruned top-`N` space (dMazeRunner style):
-/// every tiling in the space is evaluated under all nine orderings.
+/// every tiling in the space is evaluated under all nine orderings,
+/// through the batched SoA kernel ([`accel_model::TilingBatch`] via
+/// [`crate::sweep`]).
 #[derive(Debug, Clone, Copy)]
 pub struct LinearMapper {
     budget: SpaceBudget,
+    sweep: SweepConf,
 }
 
 impl LinearMapper {
@@ -372,27 +445,47 @@ impl LinearMapper {
     pub fn new(n: usize) -> Self {
         Self {
             budget: SpaceBudget::top(n),
+            sweep: SweepConf::serial(),
         }
     }
 
     /// A linear mapper with an explicit budget.
     pub fn with_budget(budget: SpaceBudget) -> Self {
-        Self { budget }
+        Self {
+            budget,
+            sweep: SweepConf::serial(),
+        }
+    }
+
+    /// Replaces the intra-layer sweep configuration (thread budget + chunk
+    /// size). Results are invariant to it, so it is deliberately absent
+    /// from [`MappingOptimizer::fingerprint`].
+    pub fn with_sweep(mut self, sweep: SweepConf) -> Self {
+        self.sweep = sweep;
+        self
     }
 }
 
 impl MappingOptimizer for LinearMapper {
     fn optimize(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<MappedLayer> {
         let space = MappingSpace::build(layer, cfg, self.budget);
-        let mut best: Option<MappedLayer> = None;
-        for t in space.tilings() {
-            if let Some(c) = best_ordering(layer, cfg, t) {
-                if best.is_none_or(|b| c.profile.latency_cycles < b.profile.latency_cycles) {
-                    best = Some(c);
-                }
-            }
-        }
-        best
+        sweep::sweep_best(layer, cfg, space.tilings(), &ALL_ORDERINGS, self.sweep)
+    }
+
+    fn optimize_threaded(
+        &self,
+        layer: &LayerShape,
+        cfg: &AcceleratorConfig,
+        threads: usize,
+    ) -> Option<MappedLayer> {
+        let space = MappingSpace::build(layer, cfg, self.budget);
+        sweep::sweep_best(
+            layer,
+            cfg,
+            space.tilings(),
+            &ALL_ORDERINGS,
+            self.sweep.thread_budget(threads),
+        )
     }
 
     fn name(&self) -> String {
@@ -413,6 +506,7 @@ pub struct InterstellarMapper {
     budget: SpaceBudget,
     spm_order: Stationarity,
     dram_order: Stationarity,
+    sweep: SweepConf,
 }
 
 impl InterstellarMapper {
@@ -422,26 +516,37 @@ impl InterstellarMapper {
             budget: SpaceBudget::top(n),
             spm_order,
             dram_order,
+            sweep: SweepConf::serial(),
         }
+    }
+
+    /// Replaces the intra-layer sweep configuration (results-invariant).
+    pub fn with_sweep(mut self, sweep: SweepConf) -> Self {
+        self.sweep = sweep;
+        self
     }
 }
 
 impl MappingOptimizer for InterstellarMapper {
     fn optimize(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<MappedLayer> {
+        self.optimize_threaded(layer, cfg, self.sweep.threads)
+    }
+
+    fn optimize_threaded(
+        &self,
+        layer: &LayerShape,
+        cfg: &AcceleratorConfig,
+        threads: usize,
+    ) -> Option<MappedLayer> {
         let space = MappingSpace::build(layer, cfg, self.budget);
-        let mut best: Option<MappedLayer> = None;
-        for t in space.tilings() {
-            let m = Mapping::new(*t, self.spm_order, self.dram_order);
-            if let Ok(profile) = cfg.execute(layer, &m) {
-                if best.is_none_or(|b| profile.latency_cycles < b.profile.latency_cycles) {
-                    best = Some(MappedLayer {
-                        mapping: m,
-                        profile,
-                    });
-                }
-            }
-        }
-        best
+        // The single fixed ordering is just a one-element ordering grid.
+        sweep::sweep_best(
+            layer,
+            cfg,
+            space.tilings(),
+            &[(self.spm_order, self.dram_order)],
+            self.sweep.thread_budget(threads),
+        )
     }
 
     fn name(&self) -> String {
@@ -522,28 +627,52 @@ fn neighbor_tiling(layer: &LayerShape, t: &Tiling, rng: &mut StdRng) -> Tiling {
 pub struct RandomMapper {
     trials: usize,
     seed: u64,
+    sweep: SweepConf,
 }
 
 impl RandomMapper {
     /// A random mapper with the given trial budget and seed.
     pub fn new(trials: usize, seed: u64) -> Self {
-        Self { trials, seed }
+        Self {
+            trials,
+            seed,
+            sweep: SweepConf::serial(),
+        }
+    }
+
+    /// Replaces the intra-layer sweep configuration (results-invariant).
+    pub fn with_sweep(mut self, sweep: SweepConf) -> Self {
+        self.sweep = sweep;
+        self
     }
 }
 
 impl MappingOptimizer for RandomMapper {
     fn optimize(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<MappedLayer> {
+        self.optimize_threaded(layer, cfg, self.sweep.threads)
+    }
+
+    fn optimize_threaded(
+        &self,
+        layer: &LayerShape,
+        cfg: &AcceleratorConfig,
+        threads: usize,
+    ) -> Option<MappedLayer> {
+        // Evaluation consumes no randomness, so sampling every trial up
+        // front sees the exact RNG stream the sample-then-evaluate loop
+        // did — and the batch sweep preserves the trial-order strict-less
+        // incumbent rule, so results are unchanged.
         let mut rng = derived_rng(self.seed, layer, cfg);
-        let mut best: Option<MappedLayer> = None;
-        for _ in 0..self.trials {
-            let t = random_tiling(layer, &mut rng);
-            if let Some(c) = best_ordering(layer, cfg, &t) {
-                if best.is_none_or(|b| c.profile.latency_cycles < b.profile.latency_cycles) {
-                    best = Some(c);
-                }
-            }
-        }
-        best
+        let tilings: Vec<Tiling> = (0..self.trials)
+            .map(|_| random_tiling(layer, &mut rng))
+            .collect();
+        sweep::sweep_best(
+            layer,
+            cfg,
+            &tilings,
+            &ALL_ORDERINGS,
+            self.sweep.thread_budget(threads),
+        )
     }
 
     fn name(&self) -> String {
@@ -634,6 +763,7 @@ pub struct GeneticMapper {
     population: usize,
     generations: usize,
     seed: u64,
+    sweep: SweepConf,
 }
 
 impl GeneticMapper {
@@ -643,7 +773,14 @@ impl GeneticMapper {
             population: population.max(4),
             generations,
             seed,
+            sweep: SweepConf::serial(),
         }
+    }
+
+    /// Replaces the intra-layer sweep configuration (results-invariant).
+    pub fn with_sweep(mut self, sweep: SweepConf) -> Self {
+        self.sweep = sweep;
+        self
     }
 
     fn crossover(layer: &LayerShape, a: &Tiling, b: &Tiling, rng: &mut StdRng) -> Tiling {
@@ -659,29 +796,39 @@ impl GeneticMapper {
 
 impl MappingOptimizer for GeneticMapper {
     fn optimize(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<MappedLayer> {
+        self.optimize_threaded(layer, cfg, self.sweep.threads)
+    }
+
+    fn optimize_threaded(
+        &self,
+        layer: &LayerShape,
+        cfg: &AcceleratorConfig,
+        threads: usize,
+    ) -> Option<MappedLayer> {
         let mut rng = derived_rng(self.seed, layer, cfg);
         let mut pop: Vec<Tiling> = (0..self.population)
             .map(|_| random_tiling(layer, &mut rng))
             .collect();
         let mut best: Option<MappedLayer> = None;
         for _ in 0..self.generations {
-            let scored: Vec<(Tiling, f64)> = pop
-                .iter()
-                .map(|t| {
-                    let eval = best_ordering(layer, cfg, t);
-                    if let Some(c) = eval {
-                        if best.is_none_or(|b| c.profile.latency_cycles < b.profile.latency_cycles)
-                        {
-                            best = Some(c);
-                        }
+            // One batched sweep scores the generation; per-individual costs
+            // and the generation winner reproduce the sequential
+            // score-then-update loop exactly (evaluation consumes no
+            // randomness, and the sweep preserves the population-order
+            // strict-less incumbent rule).
+            let (costs, gen_best) =
+                sweep::sweep_scores(layer, cfg, &pop, self.sweep.thread_budget(threads));
+            if let Some((lat, idx, oi)) = gen_best {
+                if best.is_none_or(|b| lat < b.profile.latency_cycles) {
+                    if let Some(winner) =
+                        sweep::materialize(layer, cfg, &pop[idx], ALL_ORDERINGS[oi])
+                    {
+                        best = Some(winner);
                     }
-                    (
-                        *t,
-                        eval.map(|c| c.profile.latency_cycles)
-                            .unwrap_or(f64::INFINITY),
-                    )
-                })
-                .collect();
+                }
+            }
+            let scored: Vec<(Tiling, f64)> =
+                pop.iter().zip(&costs).map(|(t, &c)| (*t, c)).collect();
             // Tournament selection + variation.
             let mut next = Vec::with_capacity(self.population);
             while next.len() < self.population {

@@ -510,23 +510,17 @@ impl<'a> StagedEnumerator<'a> {
 
         for sp in &kept_spatial {
             let rf_choices = rf.entry(*sp).or_insert_with(|| {
-                let rf_dims = [Dim::C, Dim::Fy, Dim::Fx, Dim::Ox];
-                let mut choices: Vec<(Extents, f64)> = Vec::new();
-                let mut rfe = [1u64; 7];
                 let rf_divs = quota_divisors(|d| layer.dim(d) / sp[d.index()]);
-                dfs_fill(
+                fill_choices(
                     layer,
-                    &rf_dims,
+                    &[Dim::C, Dim::Fy, Dim::Fx, Dim::Ox],
                     &rf_divs,
-                    0,
-                    &mut rfe,
-                    &|ext: &Extents| working_set_bytes(layer, ext, elem),
+                    &[1u64; 7],
+                    elem,
                     cfg.l1_bytes,
-                    &mut choices,
                     1024,
-                );
-                choices.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-                choices
+                    rf_cap,
+                )
             });
             let mut kept_rf: Vec<Extents> = rf_choices
                 .iter()
@@ -544,32 +538,25 @@ impl<'a> StagedEnumerator<'a> {
 
             for rfe in &kept_rf {
                 let l2_choices = l2.entry((*sp, *rfe)).or_insert_with(|| {
-                    let l2_dims = Dim::ALL;
-                    let mut choices: Vec<(Extents, f64)> = Vec::new();
-                    let mut l2e = [1u64; 7];
-                    let spm_ext = |inner: &Extents| {
-                        let mut e = [1u64; 7];
-                        for d in Dim::ALL {
-                            let i = d.index();
-                            e[i] = rfe[i] * sp[i] * inner[i];
-                        }
-                        e
-                    };
+                    // The SPM tile's extent for dim `i` is `sp * rf * l2`:
+                    // the outer stages contribute a fixed per-dim base.
+                    let mut base = [1u64; 7];
+                    for d in Dim::ALL {
+                        let i = d.index();
+                        base[i] = rfe[i] * sp[i];
+                    }
                     let l2_divs =
                         quota_divisors(|d| layer.dim(d) / (sp[d.index()] * rfe[d.index()]));
-                    dfs_fill(
+                    fill_choices(
                         layer,
-                        &l2_dims,
+                        &Dim::ALL,
                         &l2_divs,
-                        0,
-                        &mut l2e,
-                        &|ext: &Extents| working_set_bytes(layer, &spm_ext(ext), elem),
+                        &base,
+                        elem,
                         cfg.l2_bytes,
-                        &mut choices,
                         512,
-                    );
-                    choices.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-                    choices
+                        l2_cap,
+                    )
                 });
                 let mut kept_l2: Vec<(Extents, f64)> = l2_choices
                     .iter()
@@ -615,6 +602,306 @@ impl<'a> StagedEnumerator<'a> {
         result.truncate(budget.n_max);
         result.into_iter().map(|(t, _)| t).collect()
     }
+}
+
+/// Fixed per-run parameters of [`dfs_fill_fast`].
+struct WsParams {
+    stride: u64,
+    /// Depthwise layers draw input channels from `M` instead of `C`.
+    dw: bool,
+    elem: u64,
+    cap_bytes: u64,
+}
+
+/// Incrementally maintained per-tensor volume products over the *full*
+/// extents `e[i] = base[i] * ext[i]` of one [`dfs_fill_fast`] node. Every
+/// field is a plain `u64` product of extent factors, so multiplying the
+/// changed dimension's factor in at each recursion step yields *exactly*
+/// the integer [`working_set_bytes`] would compute from scratch —
+/// `u64` multiplication is exact and order-independent, unlike `f64`.
+#[derive(Clone, Copy)]
+struct WsState {
+    /// `e[N] * channels` — the input volume without its `iy * ix` plane.
+    nch: u64,
+    /// Weight volume `e[M] * e[C] * e[Fy] * e[Fx]`.
+    w: u64,
+    /// Output volume `e[N] * e[M] * e[Oy] * e[Ox]`.
+    o: u64,
+    /// Full extents of the four dims the input plane couples non-multiplicatively.
+    oy: u64,
+    fy: u64,
+    ox: u64,
+    fx: u64,
+}
+
+impl WsState {
+    /// State of the DFS root, where every `ext[i]` is still 1 so the full
+    /// extents equal `base`.
+    fn root(base: &Extents, p: &WsParams) -> Self {
+        let get = |d: Dim| base[d.index()];
+        let ch = if p.dw { get(Dim::M) } else { get(Dim::C) };
+        WsState {
+            nch: get(Dim::N) * ch,
+            w: get(Dim::M) * get(Dim::C) * get(Dim::Fy) * get(Dim::Fx),
+            o: get(Dim::N) * get(Dim::M) * get(Dim::Oy) * get(Dim::Ox),
+            oy: get(Dim::Oy),
+            fy: get(Dim::Fy),
+            ox: get(Dim::Ox),
+            fx: get(Dim::Fx),
+        }
+    }
+
+    /// The working set in bytes: identical to
+    /// `working_set_bytes(layer, &e, elem)` over the full extents `e`.
+    fn bytes(&self, p: &WsParams) -> u64 {
+        let iy = (self.oy - 1) * p.stride + self.fy;
+        let ix = (self.ox - 1) * p.stride + self.fx;
+        (self.nch * iy * ix + self.w + self.o) * p.elem
+    }
+
+    /// The state after growing dim `d`'s extent by factor `f` from its base
+    /// value (the parent always holds `ext[d] == 1`, i.e. `e[d] == base[d]`).
+    fn scaled(mut self, d: Dim, f: u64, base_d: u64, dw: bool) -> Self {
+        match d {
+            Dim::N => {
+                self.nch *= f;
+                self.o *= f;
+            }
+            Dim::M => {
+                self.w *= f;
+                self.o *= f;
+                if dw {
+                    self.nch *= f;
+                }
+            }
+            Dim::C => {
+                self.w *= f;
+                if !dw {
+                    self.nch *= f;
+                }
+            }
+            Dim::Fy => {
+                self.w *= f;
+                self.fy = base_d * f;
+            }
+            Dim::Fx => {
+                self.w *= f;
+                self.fx = base_d * f;
+            }
+            Dim::Oy => {
+                self.o *= f;
+                self.oy = base_d * f;
+            }
+            Dim::Ox => {
+                self.o *= f;
+                self.ox = base_d * f;
+            }
+        }
+        self
+    }
+}
+
+/// The dims from `dims` that actually have a choice to make: a dim whose
+/// divisor list is just `[1]` pins `ext[d] = 1` at every leaf, so walking
+/// it only adds a single-child chain of nodes. Skipping such dims changes
+/// neither the leaves nor their order — `ext[d]` stays at its initial 1.
+fn active_dims(dims: &[Dim], divs: &DimDivisors) -> Vec<Dim> {
+    dims.iter()
+        .copied()
+        .filter(|d| divs[d.index()].len() > 1)
+        .collect()
+}
+
+/// The autovectorizer-era rewrite of [`dfs_fill`] used by the staged
+/// enumerator's hot path: same tree, same pruning decisions, same leaves in
+/// the same order, but the working set is maintained incrementally in
+/// [`WsState`] (a couple of `u64` multiplies per node instead of three
+/// from-scratch volume computations) and quota-1 dims are skipped via
+/// [`active_dims`]. `base[i]` is the fixed multiplier the outer stages
+/// contribute to dim `i`'s full extent (all ones for the register-file
+/// stage, `spatial * rf` for the scratchpad stage), replacing the
+/// `working_set(spm_ext(ext))` closure composition. A property test pins
+/// this path to the closure-based oracle retained in
+/// [`MappingSpace::build_reference`].
+#[allow(clippy::too_many_arguments)]
+fn dfs_fill_fast(
+    dims: &[Dim],
+    divs: &DimDivisors,
+    base: &Extents,
+    i: usize,
+    ext: &mut Extents,
+    st: WsState,
+    p: &WsParams,
+    out: &mut Vec<(Extents, f64)>,
+    max_leaves: usize,
+) {
+    if out.len() >= max_leaves {
+        return;
+    }
+    let ws = st.bytes(p);
+    if ws > p.cap_bytes {
+        return;
+    }
+    if i == dims.len() {
+        out.push((*ext, ws as f64 / p.cap_bytes as f64));
+        return;
+    }
+    let d = dims[i];
+    let base_d = base[d.index()];
+    for &f in divs[d.index()].iter().rev() {
+        ext[d.index()] = f;
+        dfs_fill_fast(
+            dims,
+            divs,
+            base,
+            i + 1,
+            ext,
+            st.scaled(d, f, base_d, p.dw),
+            p,
+            out,
+            max_leaves,
+        );
+    }
+    ext[d.index()] = 1;
+}
+
+/// Exact top-`k` variant of [`dfs_fill_fast`]: maintains `best` as the
+/// descending-sorted top-`k` feasible leaves (DFS order breaking score
+/// ties, as a stable sort of the full leaf list would) and prunes any
+/// subtree whose working-set *upper bound* — every remaining dim at its
+/// largest divisor, clamped to the capacity — cannot beat the current
+/// `k`-th score. Pruning on `bound <= k-th` is safe even at equality:
+/// everything already in `best` was visited earlier in DFS order, so an
+/// equal-scoring later leaf would sort after it and never enter the top-k.
+#[allow(clippy::too_many_arguments)]
+fn dfs_topk(
+    dims: &[Dim],
+    divs: &DimDivisors,
+    base: &Extents,
+    max_div: &[u64],
+    i: usize,
+    ext: &mut Extents,
+    st: WsState,
+    p: &WsParams,
+    best: &mut Vec<(Extents, f64)>,
+    k: usize,
+) {
+    let ws = st.bytes(p);
+    if ws > p.cap_bytes {
+        return;
+    }
+    if i == dims.len() {
+        let score = ws as f64 / p.cap_bytes as f64;
+        let pos = best.partition_point(|&(_, s)| s >= score);
+        if pos < k {
+            best.insert(pos, (*ext, score));
+            best.truncate(k);
+        }
+        return;
+    }
+    if best.len() == k {
+        let mut b = st;
+        for j in i..dims.len() {
+            b = b.scaled(dims[j], max_div[j], base[dims[j].index()], p.dw);
+        }
+        let bound = b.bytes(p).min(p.cap_bytes) as f64 / p.cap_bytes as f64;
+        if bound <= best[k - 1].1 {
+            return;
+        }
+    }
+    let d = dims[i];
+    let base_d = base[d.index()];
+    for &f in divs[d.index()].iter().rev() {
+        ext[d.index()] = f;
+        dfs_topk(
+            dims,
+            divs,
+            base,
+            max_div,
+            i + 1,
+            ext,
+            st.scaled(d, f, base_d, p.dw),
+            p,
+            best,
+            k,
+        );
+    }
+    ext[d.index()] = 1;
+}
+
+/// Runs the incremental DFS over `dims` with outer-stage multipliers
+/// `base` and returns the choice list sorted highest-utilization-first,
+/// truncated to the top `k` — exactly the prefix the closure-based stages
+/// in [`enumerate`] would go on to consume: every use filters to a
+/// threshold (which keeps a *prefix* of the descending-sorted list) and
+/// then takes at most `k`, so entries past the `k`-th can never be
+/// observed, at this or any relaxed threshold.
+///
+/// When the full leaf count provably fits under `max_leaves` (product of
+/// divisor-list lengths over the active dims), the top-k is found with the
+/// branch-and-bound [`dfs_topk`]; otherwise the leaf cap could bind, its
+/// first-`max_leaves`-in-DFS-order semantics matter, and the full
+/// enumeration of [`dfs_fill_fast`] is used so the result stays identical
+/// to the oracle.
+#[allow(clippy::too_many_arguments)]
+fn fill_choices(
+    layer: &LayerShape,
+    dims: &[Dim],
+    divs: &DimDivisors,
+    base: &Extents,
+    elem: u64,
+    cap_bytes: u64,
+    max_leaves: usize,
+    k: usize,
+) -> Vec<(Extents, f64)> {
+    let p = WsParams {
+        stride: layer.stride(),
+        dw: layer.kind() == workloads::OpKind::DepthwiseConv,
+        elem,
+        cap_bytes,
+    };
+    let active = active_dims(dims, divs);
+    let mut ext = [1u64; 7];
+    let possible: usize = active
+        .iter()
+        .map(|d| divs[d.index()].len())
+        .try_fold(1usize, |acc, n| acc.checked_mul(n))
+        .unwrap_or(usize::MAX);
+    if possible <= max_leaves && k > 0 {
+        let max_div: Vec<u64> = active
+            .iter()
+            .map(|d| *divs[d.index()].last().expect("divisor lists are nonempty"))
+            .collect();
+        let mut best = Vec::with_capacity(k + 1);
+        dfs_topk(
+            &active,
+            divs,
+            base,
+            &max_div,
+            0,
+            &mut ext,
+            WsState::root(base, &p),
+            &p,
+            &mut best,
+            k,
+        );
+        return best;
+    }
+    let mut choices = Vec::new();
+    dfs_fill_fast(
+        &active,
+        divs,
+        base,
+        0,
+        &mut ext,
+        WsState::root(base, &p),
+        &p,
+        &mut choices,
+        max_leaves,
+    );
+    choices.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    choices.truncate(k);
+    choices
 }
 
 /// DFS over spatial factor choices with PE-budget and NoC-capacity pruning.

@@ -1,14 +1,28 @@
 //! Property-based tests for mapping-space construction and the mapping
 //! optimizers.
 
-use accel_model::{AcceleratorConfig, Mapping, Stationarity, Validity};
+use accel_model::{AcceleratorConfig, Mapping, Stationarity, TilingBatch, Validity};
+use energy_area::Tech;
 use mapper::optimize::{best_ordering, random_tiling};
 use mapper::size::ordered_factorizations_4;
-use mapper::{LinearMapper, MappingOptimizer, MappingSpace, RandomMapper, SpaceBudget};
+use mapper::sweep::{self, ALL_ORDERINGS};
+use mapper::{LinearMapper, MappingOptimizer, MappingSpace, RandomMapper, SpaceBudget, SweepConf};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use workloads::LayerShape;
+
+/// A configuration whose operand NoCs are starved down to a single
+/// physical, non-time-shared link each: most spatially-parallel tilings
+/// become NoC-infeasible, exercising the infeasibility paths of the
+/// batched kernel and the sweep.
+fn starved_cfg() -> AcceleratorConfig {
+    AcceleratorConfig {
+        noc_phys_links: [1; 4],
+        noc_virt_links: [1; 4],
+        ..AcceleratorConfig::edge_baseline()
+    }
+}
 
 fn arb_layer() -> impl Strategy<Value = LayerShape> {
     (
@@ -129,6 +143,128 @@ proptest! {
                 );
                 for (a, b) in staged.tilings().iter().zip(reference.tilings()) {
                     prop_assert_eq!(a.factors(), b.factors(), "tiling order diverged");
+                }
+            }
+        }
+    }
+
+    /// `TilingBatch::complete_batch` agrees bit-for-bit with the
+    /// straight-line `execute_reference` oracle over random shapes, both
+    /// NoC-relaxation modes, and all nine orderings: identical latencies
+    /// for feasible pairs, identical infeasibility verdicts for the rest,
+    /// and tilings the prepare pass drops must fail the oracle outright.
+    #[test]
+    fn tiling_batch_matches_execute_reference(
+        layer in arb_layer(),
+        seed in 0u64..50,
+        relax in any::<bool>(),
+    ) {
+        let tech = Tech::n45();
+        for cfg in [starved_cfg(), AcceleratorConfig::edge_baseline()] {
+            let space = MappingSpace::build(&layer, &cfg, SpaceBudget::top(8));
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Space tilings plus raw random ones: the latter may overflow
+            // the register file or the NoCs, covering dropped slots and
+            // per-ordering infeasibility.
+            let mut tilings = space.tilings().to_vec();
+            tilings.push(random_tiling(&layer, &mut rng));
+            tilings.push(random_tiling(&layer, &mut rng));
+
+            let mut batch = TilingBatch::new();
+            batch.prepare(&cfg, &layer, &tilings, &tech, relax);
+            let slot_of: std::collections::HashMap<usize, usize> = batch
+                .kept()
+                .iter()
+                .enumerate()
+                .map(|(slot, &idx)| (idx, slot))
+                .collect();
+            for (oi, &(spm, dram)) in ALL_ORDERINGS.iter().enumerate() {
+                let (lat, ok) = batch.complete_batch(spm, dram);
+                let (lat, ok) = (lat.to_vec(), ok.to_vec());
+                for (idx, t) in tilings.iter().enumerate() {
+                    let reference = cfg.execute_reference_with(
+                        &layer,
+                        &Mapping::new(*t, spm, dram),
+                        &tech,
+                        relax,
+                    );
+                    match slot_of.get(&idx) {
+                        None => prop_assert!(
+                            reference.is_err(),
+                            "tiling {idx} dropped by prepare but oracle executes (ordering {oi})"
+                        ),
+                        Some(&slot) if ok[slot] => {
+                            let p = reference.expect("batch-feasible pair must execute");
+                            prop_assert_eq!(
+                                lat[slot].to_bits(),
+                                p.latency_cycles.to_bits(),
+                                "latency diverged for tiling {} ordering {}",
+                                idx,
+                                oi
+                            );
+                        }
+                        Some(_) => prop_assert!(
+                            reference.is_err(),
+                            "tiling {idx} batch-infeasible but oracle executes (ordering {oi})"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    /// The chunked/threaded sweep is bit-identical to the serial scan for
+    /// every thread count and chunk size, over random shapes and the
+    /// degenerate spaces (single tiling, empty, all-infeasible).
+    #[test]
+    fn sweep_matches_serial_for_random_shapes(layer in arb_layer(), seed in 0u64..50) {
+        let confs = [
+            SweepConf::with_threads(2).chunked(3),
+            SweepConf::with_threads(3).chunked(1),
+            SweepConf::with_threads(2).chunked(1000),
+        ];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let randoms: Vec<_> = (0..3).map(|_| random_tiling(&layer, &mut rng)).collect();
+        for cfg in [AcceleratorConfig::edge_baseline(), starved_cfg()] {
+            let space = MappingSpace::build(&layer, &cfg, SpaceBudget::top(16));
+            let single = space.tilings().len().min(1);
+            let subsets: [&[accel_model::Tiling]; 4] = [
+                space.tilings(),
+                &space.tilings()[..single],
+                &[],
+                // Raw random tilings on the starved config are typically
+                // infeasible under every ordering.
+                &randoms,
+            ];
+            for subset in subsets {
+                let serial =
+                    sweep::sweep_best(&layer, &cfg, subset, &ALL_ORDERINGS, SweepConf::serial());
+                for conf in confs {
+                    let par = sweep::sweep_best(&layer, &cfg, subset, &ALL_ORDERINGS, conf);
+                    match (&serial, &par) {
+                        (None, None) => {}
+                        (Some(a), Some(b)) => {
+                            prop_assert_eq!(a.mapping, b.mapping);
+                            prop_assert_eq!(
+                                a.profile.latency_cycles.to_bits(),
+                                b.profile.latency_cycles.to_bits()
+                            );
+                        }
+                        _ => prop_assert!(false, "feasibility diverged from serial"),
+                    }
+                }
+                let (s_costs, s_best) =
+                    sweep::sweep_scores(&layer, &cfg, subset, SweepConf::serial());
+                for conf in confs {
+                    let (costs, best) = sweep::sweep_scores(&layer, &cfg, subset, conf);
+                    prop_assert_eq!(costs.len(), s_costs.len());
+                    for (a, b) in costs.iter().zip(&s_costs) {
+                        prop_assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                    prop_assert_eq!(
+                        best.map(|(l, i, o)| (l.to_bits(), i, o)),
+                        s_best.map(|(l, i, o)| (l.to_bits(), i, o))
+                    );
                 }
             }
         }

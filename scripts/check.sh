@@ -4,6 +4,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Serial-vs-parallel differential oracles resolve the host-default
+# ("all cores") evaluation engine through this override, so the parallel
+# engine and intra-layer sweep paths are genuinely exercised even on a
+# 1-CPU CI container, where available parallelism would resolve to one
+# worker and the parallel columns of the conformance matrices would
+# silently collapse into the serial ones. Results are contractually
+# bit-identical for every worker count, so this changes nothing else.
+export EDSE_TEST_THREADS=2
+
 echo "==> cargo build --release"
 cargo build --release
 
