@@ -144,6 +144,26 @@ fn bench_batch_engine(c: &mut Criterion) {
             black_box(ev.evaluate_batch(&single))
         })
     });
+    // The same one-candidate batch with an explicit 2-thread engine, so
+    // recorded executor speedups stay attributable to a thread count
+    // (results are bit-identical to the serial variant; only wall-clock
+    // differs — and on the 1-CPU CI container only spawn overhead does).
+    c.bench_function("engine/batch1_multilayer_t2", |b| {
+        let single = [space.minimum_point().with_index(edge::PES, 2)];
+        b.iter(|| {
+            let ev = make().with_engine(EvalEngine::with_threads(2));
+            black_box(ev.evaluate_batch(&single))
+        })
+    });
+    // Pure per-batch orchestration cost: a fully cached batch under a
+    // 2-thread engine does no mapping or point work, so this round-trip
+    // isolates what a batch pays just to distribute itself (scoped thread
+    // spawns before the shared executor; a pool handoff after).
+    c.bench_function("engine/spawn_overhead", |b| {
+        let ev = make().with_engine(EvalEngine::with_threads(2));
+        let _ = ev.evaluate_batch(&points);
+        b.iter(|| black_box(ev.evaluate_batch(&points)))
+    });
     // Telemetry overhead check: same batch with a live collector attached
     // (memory sink, metrics on — counters, histograms, and the v2 span
     // tree with id/parent bookkeeping all flow). The serial/parallel

@@ -171,12 +171,40 @@ fn main() {
             .filter(|(k, _)| {
                 !k.starts_with("point_cache/")
                     && !k.starts_with("layer_cache/")
+                    && !k.starts_with("executor/")
                     && k.as_str() != "disk_cache/hit"
                     && k.as_str() != "disk_cache/miss"
             })
             .collect();
         for (name, v) in other {
             println!("- {name}: {v}");
+        }
+        println!();
+    }
+
+    // -- Shared executor pool ---------------------------------------------
+    let executor: Vec<(&String, &u64)> = totals
+        .iter()
+        .filter(|(k, _)| k.starts_with("executor/"))
+        .collect();
+    if !executor.is_empty() {
+        println!("## Executor pool\n");
+        for (name, v) in &executor {
+            let short = name.trim_start_matches("executor/");
+            report.metric(name, Json::Num(**v as f64));
+            match short {
+                "spawn_avoided" => {
+                    println!("- spawn_avoided: {v} (threads the scoped implementation would have spawned)")
+                }
+                "steals" => {
+                    println!("- steals: {v} (tasks executed by a pool worker, not the submitter)")
+                }
+                "queue_depth" => {
+                    println!("- queue_depth: {v} (scopes already live at submit, summed)")
+                }
+                "idle_ns" => println!("- idle_ns: {v} (pool workers parked waiting for work)"),
+                _ => println!("- {short}: {v}"),
+            }
         }
         println!();
     }

@@ -384,4 +384,65 @@ mod tests {
             "speedup ratio drifted"
         );
     }
+
+    /// The checked-in shared-executor record stays schema-valid and keeps
+    /// documenting the acceptance bar: `engine/batch1_multilayer` against
+    /// the pinned PR-9 baseline (before_ns = 1420000, the spawn-per-batch
+    /// scoped engine) is >= 1.5x faster on the warm shared pool + shared
+    /// `MappingSpace` memo, and every variant attributes its engine
+    /// worker budget.
+    #[test]
+    fn recorded_executor_bench_report_parses_and_holds_the_bar() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/json/bench_executor.json"
+        );
+        let line = std::fs::read_to_string(path).expect("results/json/bench_executor.json");
+        let doc = edse_telemetry::json::parse(line.trim()).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(REPORT_SCHEMA)
+        );
+        let metric = |name: &str| {
+            doc.get("metrics")
+                .and_then(|m| m.get(name))
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("missing metric {name}"))
+        };
+        let before = metric("engine/batch1_multilayer/before_ns");
+        assert_eq!(
+            before, 1_420_000.0,
+            "baseline must stay the PR-9 scoped-engine median"
+        );
+        let speedup = metric("engine/batch1_multilayer/speedup");
+        assert!(
+            speedup >= 1.5,
+            "recorded speedup {speedup} below the 1.5x bar"
+        );
+        let after = metric("engine/batch1_multilayer/after_ns");
+        assert!(
+            (before / after - speedup).abs() < 0.01,
+            "speedup ratio drifted"
+        );
+        // Every recorded variant attributes its worker budget, and each
+        // ratio stays consistent with its own before/after pair.
+        for (variant, threads) in [
+            ("engine/batch1_multilayer", 1.0),
+            ("engine/batch1_multilayer_t2", 2.0),
+            ("engine/spawn_overhead", 2.0),
+        ] {
+            assert_eq!(
+                metric(&format!("{variant}/threads")),
+                threads,
+                "{variant} thread attribution"
+            );
+            let (b, a, s) = (
+                metric(&format!("{variant}/before_ns")),
+                metric(&format!("{variant}/after_ns")),
+                metric(&format!("{variant}/speedup")),
+            );
+            assert!(s >= 1.0, "{variant} must not regress");
+            assert!((b / a - s).abs() < 0.01, "{variant} speedup ratio drifted");
+        }
+    }
 }

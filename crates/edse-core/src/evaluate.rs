@@ -305,16 +305,10 @@ impl EvalEngine {
 /// The override exists so serial-vs-parallel differential oracles can
 /// exercise the multi-worker code paths on single-CPU CI containers, where
 /// available parallelism would resolve to 1 and silently test nothing.
-/// Read once and cached for the process lifetime.
+/// Delegates to the executor crate so the same resolution also sizes the
+/// shared worker pool — one knob bounds every parallel path.
 fn default_threads() -> usize {
-    static DEFAULT: OnceLock<usize> = OnceLock::new();
-    *DEFAULT.get_or_init(|| {
-        std::env::var("EDSE_TEST_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
-    })
+    edse_executor::default_parallelism()
 }
 
 /// Number of lock shards per cache: enough to make contention negligible at
@@ -922,34 +916,16 @@ impl<M: MappingOptimizer> CodesignEvaluator<M> {
     }
 }
 
-/// Fan `work(i)` for `i in 0..n` out over `threads` scoped workers pulling
-/// from a shared atomic index. Returns how many items each worker pulled
-/// (length `min(threads, n)`) — the raw material for batch-utilization
-/// telemetry.
+/// Fan `work(i)` for `i in 0..n` out over the shared executor pool with a
+/// concurrency budget of `threads` (submitter included). Returns how many
+/// items each participant slot pulled (length `min(threads, n)`, matching
+/// the worker count the old scoped-spawn implementation used) — the raw
+/// material for batch-utilization telemetry. No threads are spawned: after
+/// pool warm-up every batch is a queue handoff.
 fn fan_out<F: Fn(usize) + Sync>(n: usize, threads: usize, work: F) -> Vec<u64> {
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        let workers: Vec<_> = (0..threads.min(n))
-            .map(|_| {
-                s.spawn(|| {
-                    let mut pulled = 0u64;
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        work(i);
-                        pulled += 1;
-                    }
-                    pulled
-                })
-            })
-            .collect();
-        workers
-            .into_iter()
-            .map(|w| w.join().expect("worker panicked"))
-            .collect()
-    })
+    edse_executor::Executor::global()
+        .run(n, threads, &work)
+        .per_worker
 }
 
 impl<M: MappingOptimizer> Evaluator for CodesignEvaluator<M> {
@@ -1000,12 +976,13 @@ impl<M: MappingOptimizer> Evaluator for CodesignEvaluator<M> {
             .collect()
     }
 
-    /// Parallel batch evaluation. Two fan-out phases over
-    /// [`EvalEngine::resolved_threads`] scoped workers: first the unique
-    /// uncached `(layer, config)` mapping tasks (the expensive part,
-    /// deduplicated so no two workers ever optimize the same pair), then
-    /// the per-point cost assembly. Results are position-aligned with
-    /// `points` and bit-for-bit identical to the serial path.
+    /// Parallel batch evaluation. Two fan-out phases on the shared
+    /// executor pool with a budget of [`EvalEngine::resolved_threads`]
+    /// participants: first the unique uncached `(layer, config)` mapping
+    /// tasks (the expensive part, deduplicated so no two workers ever
+    /// optimize the same pair), then the per-point cost assembly. Results
+    /// are position-aligned with `points` and bit-for-bit identical to the
+    /// serial path.
     ///
     /// The fan-out unit is a *layer mapping*, not a point: a batch with a
     /// single candidate but many uncached layers still spreads its mapping
@@ -1046,6 +1023,10 @@ impl<M: MappingOptimizer> Evaluator for CodesignEvaluator<M> {
             self.telemetry
                 .counter("engine/point_jobs", points.len() as u64);
         }
+        let pool_before = self
+            .telemetry
+            .active()
+            .then(|| edse_executor::Executor::global().counters());
         // Leftover worker budget once every task has a worker goes into
         // the sweeps themselves: 8 workers over 2 tasks → 4-way
         // intra-layer parallelism per mapping.
@@ -1082,6 +1063,24 @@ impl<M: MappingOptimizer> Evaluator for CodesignEvaluator<M> {
                 threads: threads as u64,
                 per_thread,
             });
+        }
+        if let Some(before) = pool_before {
+            // Shared-pool deltas over this batch's window. Under concurrent
+            // tenants these include siblings' traffic — which is exactly
+            // the sharing the counters exist to expose.
+            let after = edse_executor::Executor::global().counters();
+            self.telemetry
+                .counter("executor/steals", after.steals - before.steals);
+            self.telemetry.counter(
+                "executor/spawn_avoided",
+                after.spawn_avoided - before.spawn_avoided,
+            );
+            self.telemetry.counter(
+                "executor/queue_depth",
+                after.queue_depth - before.queue_depth,
+            );
+            self.telemetry
+                .counter("executor/idle_ns", after.idle_ns - before.idle_ns);
         }
         results
             .into_iter()
@@ -1439,6 +1438,44 @@ mod tests {
         let b = parallel.evaluate_batch(&points);
         assert_eq!(a, b);
         assert_eq!(serial.unique_evaluations(), parallel.unique_evaluations());
+    }
+
+    #[test]
+    fn pooled_batches_spawn_no_threads_after_warm_up() {
+        use edse_telemetry::MemorySink;
+        let space = edge_space();
+        let points: Vec<DesignPoint> = (0..6)
+            .map(|i| {
+                space
+                    .minimum_point()
+                    .with_index(crate::space::edge::PES, i % 4)
+            })
+            .collect();
+        // Warm-up: the first pooled batch may lazily spawn the global
+        // pool's workers.
+        CodesignEvaluator::new(space.clone(), vec![zoo::resnet18()], FixedMapper)
+            .with_engine(EvalEngine::with_threads(4))
+            .evaluate_batch(&points);
+        let warm = edse_executor::Executor::global().counters();
+
+        // Steady state: every later batch reuses the pool — the lifetime
+        // spawn count stays flat while each batch's `spawn_avoided` delta
+        // records the threads the scoped implementation would have started.
+        let collector = Collector::builder().sink(MemorySink::new()).build();
+        let ev = CodesignEvaluator::new(space, vec![zoo::resnet18()], FixedMapper)
+            .with_engine(EvalEngine::with_threads(4))
+            .with_telemetry(collector.clone());
+        ev.evaluate_batch(&points);
+        let after = edse_executor::Executor::global().counters();
+        assert_eq!(
+            after.workers_spawned, warm.workers_spawned,
+            "a warm pool must not spawn threads per batch"
+        );
+        let avoided = collector.counter_sum("executor/spawn_avoided");
+        assert!(
+            avoided >= 4,
+            "batch should record the scoped spawns it avoided, got {avoided}"
+        );
     }
 
     #[test]

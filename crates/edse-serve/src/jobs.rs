@@ -372,7 +372,9 @@ impl Registry {
 
     /// Merged Prometheus exposition: the server collector plus every
     /// job's `job<id>/`-prefixed collector (terminal jobs included — a
-    /// scrape after completion still sees the run's totals).
+    /// scrape after completion still sees the run's totals), plus the
+    /// process-wide executor pool's cumulative counters (the pool is
+    /// shared by all tenants, so these are server-level series).
     pub fn prometheus_text(&self) -> String {
         let mut counters = self.server_telemetry.counters();
         let mut histograms: Vec<HistogramSummary> = self.server_telemetry.histograms();
@@ -381,6 +383,14 @@ impl Registry {
             counters.extend(job.collector.counters());
             histograms.extend(job.collector.histograms());
         }
+        drop(inner);
+        let pool = edse_executor::Executor::global().counters();
+        counters.insert("executor/steals".to_string(), pool.steals);
+        counters.insert("executor/spawn_avoided".to_string(), pool.spawn_avoided);
+        counters.insert("executor/queue_depth".to_string(), pool.queue_depth);
+        counters.insert("executor/idle_ns".to_string(), pool.idle_ns);
+        counters.insert("executor/tasks".to_string(), pool.tasks);
+        counters.insert("executor/workers_spawned".to_string(), pool.workers_spawned);
         export::prometheus_text(&counters, &histograms)
     }
 

@@ -73,10 +73,13 @@ fn parse_args() -> Result<Args, String> {
                      USAGE: edse-serve [--port N] [--threads N] [--http-threads N]\n\
                             [--eval-threads N] [--cache-dir DIR] [--self-check]\n\n\
                      --port N          listen port (default 8080; 0 = ephemeral)\n\
-                     --threads N       scheduler worker threads (default 2)\n\
+                     --threads N       scheduler worker threads leasing job steps\n\
+                     \u{20}                 (default 2); evaluation itself runs on the\n\
+                     \u{20}                 process-wide executor pool shared by all tenants\n\
                      --http-threads N  HTTP handler threads (default 4)\n\
-                     --eval-threads N  shared evaluation engine threads (0 = all cores;\n\
-                                       default: serial)\n\
+                     --eval-threads N  per-step evaluation-engine budget on the shared\n\
+                     \u{20}                 pool (default: all cores, bounded by\n\
+                     \u{20}                 EDSE_TEST_THREADS; 1 = serial)\n\
                      --cache-dir DIR   shared persistent evaluation cache\n\
                      --self-check      run the end-to-end smoke in-process and exit"
                 );
@@ -92,8 +95,12 @@ fn parse_args() -> Result<Args, String> {
 /// server. An unopenable `--cache-dir` degrades to cacheless with the
 /// error surfaced in every job's status, not a fatal exit.
 fn start(args: &Args, addr: &str) -> std::io::Result<Server> {
+    // The default engine rides the process-wide executor pool (its budget
+    // resolves to available parallelism, bounded by EDSE_TEST_THREADS like
+    // the pool itself), so concurrent tenants' batches interleave at chunk
+    // granularity instead of serializing whole steps.
     let engine = match args.eval_threads {
-        None => EvalEngine::serial(),
+        None => EvalEngine::default(),
         Some(n) => EvalEngine::with_threads(n),
     };
     let telemetry = Collector::builder().sink(MetricsOnlySink).build();
@@ -239,7 +246,12 @@ fn self_check(args: &Args) -> Result<(), String> {
         port: 0,
         cache_dir: Some(scratch.join("cache")),
         self_check: false,
-        threads: args.threads.max(2),
+        // Default the worker budget from EDSE_TEST_THREADS so the smoke
+        // exercises the same parallelism CI pins for the shared pool even
+        // on a 1-CPU container.
+        threads: args
+            .threads
+            .max(edse_executor::env_thread_override().unwrap_or(2)),
         http_threads: args.http_threads,
         eval_threads: args.eval_threads,
     };

@@ -171,6 +171,57 @@ fn cancel_stops_within_one_batch_and_leaves_resumable_snapshot() {
 }
 
 #[test]
+fn short_tenant_completes_while_long_sweep_tenant_runs() {
+    // Two tenants on one registry sharing the process-wide executor pool:
+    // a long job whose every step runs real linear-mapper sweeps over the
+    // edge space, and a short toy job. Fairness is enforced at chunk
+    // granularity — pool workers re-pick scopes round-robin per task — so
+    // the short tenant must finish while the long sweep is still running,
+    // instead of queueing behind it.
+    let registry = Registry::new(EvalEngine::with_threads(2), None, None, Collector::noop());
+    let workers = registry.spawn_workers(2);
+    // Annealing evaluates point by point, so its replay chunks give the
+    // scheduler real step boundaries while every evaluation still runs
+    // linear-mapper sweeps over the edge space through the shared pool.
+    let long = registry
+        .submit(JobSpec {
+            technique: "annealing".to_string(),
+            budget: 200,
+            map_trials: 150,
+            seed: 11,
+            space: "edge".to_string(),
+            mapper: "linear".to_string(),
+            ..JobSpec::default()
+        })
+        .expect("submit long");
+    let short = registry
+        .submit(toy_spec("explainable", 6, 3))
+        .expect("submit short");
+    assert_eq!(registry.wait_terminal(short), Some(JobState::Completed));
+    assert_eq!(
+        registry.is_terminal(long),
+        Some(false),
+        "long sweep tenant should still be running when the short one finishes"
+    );
+    // The shared pool's counters are server-level series in /metrics.
+    let metrics = registry.prometheus_text();
+    for needle in [
+        "executor_spawn_avoided",
+        "executor_steals",
+        "executor_idle_ns",
+    ] {
+        assert!(metrics.contains(needle), "missing {needle} in:\n{metrics}");
+    }
+    registry.cancel(long).expect("cancel long");
+    let state = registry.wait_terminal(long).expect("long exists");
+    assert!(matches!(state, JobState::Cancelled | JobState::Completed));
+    registry.shutdown();
+    for w in workers {
+        w.join().expect("worker join");
+    }
+}
+
+#[test]
 fn scheduler_survives_random_control_storm() {
     let registry = Registry::new(EvalEngine::serial(), None, None, Collector::noop());
     let workers = registry.spawn_workers(3);

@@ -40,5 +40,5 @@ pub use optimize::{
     InterstellarMapper, LinearMapper, MappedLayer, MappingOptimizer, RandomMapper,
 };
 pub use size::{layer_space_size, SpaceSize};
-pub use space::{MappingSpace, SpaceBudget, Thresholds};
+pub use space::{space_cache_stats, MappingSpace, SpaceBudget, SpaceCacheStats, Thresholds};
 pub use sweep::SweepConf;

@@ -468,7 +468,9 @@ impl LinearMapper {
 
 impl MappingOptimizer for LinearMapper {
     fn optimize(&self, layer: &LayerShape, cfg: &AcceleratorConfig) -> Option<MappedLayer> {
-        let space = MappingSpace::build(layer, cfg, self.budget);
+        // The shared memo is safe here because construction is a pure
+        // function of the key; a hit returns exactly what `build` would.
+        let space = MappingSpace::build_shared(layer, cfg, self.budget);
         sweep::sweep_best(layer, cfg, space.tilings(), &ALL_ORDERINGS, self.sweep)
     }
 
@@ -478,7 +480,7 @@ impl MappingOptimizer for LinearMapper {
         cfg: &AcceleratorConfig,
         threads: usize,
     ) -> Option<MappedLayer> {
-        let space = MappingSpace::build(layer, cfg, self.budget);
+        let space = MappingSpace::build_shared(layer, cfg, self.budget);
         sweep::sweep_best(
             layer,
             cfg,
@@ -538,7 +540,7 @@ impl MappingOptimizer for InterstellarMapper {
         cfg: &AcceleratorConfig,
         threads: usize,
     ) -> Option<MappedLayer> {
-        let space = MappingSpace::build(layer, cfg, self.budget);
+        let space = MappingSpace::build_shared(layer, cfg, self.budget);
         // The single fixed ordering is just a one-element ordering grid.
         sweep::sweep_best(
             layer,

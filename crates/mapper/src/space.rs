@@ -14,6 +14,8 @@ use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex};
 use workloads::layer::Dim;
 use workloads::{LayerShape, Tensor};
 
@@ -49,7 +51,7 @@ impl Thresholds {
 }
 
 /// Size limits for the constructed space.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SpaceBudget {
     /// Lower bound on the space size before thresholds are relaxed.
     pub n_min: usize,
@@ -124,6 +126,27 @@ impl MappingSpace {
         }
     }
 
+    /// [`Self::build`] through a process-wide bounded memo.
+    ///
+    /// Space construction is a pure function of `(layer, cfg, budget)`, so
+    /// the returned `Arc` always holds exactly what a fresh `build` would
+    /// produce — callers get bit-identical spaces whether the memo hit or
+    /// missed. The memo is the warm process state that complements the
+    /// shared executor pool: repeated batches over the same layers (DSE
+    /// iterations, `edse-serve` tenants on the same workload, warm
+    /// restarts) skip the dominant enumeration cost and go straight to the
+    /// sweep. Concurrent requests for the same key deduplicate in flight
+    /// (both wait on one build); the memo is bounded by approximate byte
+    /// size and evicts whole shards on overflow, which only costs future
+    /// rebuilds, never correctness.
+    pub fn build_shared(
+        layer: &LayerShape,
+        cfg: &AcceleratorConfig,
+        budget: SpaceBudget,
+    ) -> Arc<Self> {
+        shared_space_cache().get_or_build(layer, cfg, budget)
+    }
+
     /// The original relax-and-re-enumerate construction, which re-runs the
     /// full staged DFS on every threshold adjustment. Retained verbatim as
     /// the differential oracle for the single-pass [`Self::build`]; the two
@@ -183,6 +206,113 @@ impl MappingSpace {
             })
         })
     }
+}
+
+/// Hit/miss/in-flight-wait totals for the process-wide space memo.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpaceCacheStats {
+    /// Lookups served by an already-built space.
+    pub hits: u64,
+    /// Lookups that had to build (first request for a key, or post-evict).
+    pub misses: u64,
+    /// Lookups that found another thread mid-build and waited on its slot.
+    pub inflight_waits: u64,
+    /// Shard evictions: how many times a full shard was dropped to stay
+    /// under the byte bound.
+    pub evictions: u64,
+}
+
+type SpaceKey = (LayerShape, AcceleratorConfig, SpaceBudget);
+type SpaceSlot = Arc<std::sync::OnceLock<Arc<MappingSpace>>>;
+
+/// Process-wide memo behind [`MappingSpace::build_shared`]: sharded maps of
+/// `OnceLock` slots (so concurrent builders of one key deduplicate in
+/// flight), bounded by approximate tiling bytes per shard. Eviction drops a
+/// whole shard — coarse, but spaces are pure so the only cost is a rebuild.
+struct SharedSpaceCache {
+    shards: [Mutex<HashMap<SpaceKey, SpaceSlot>>; SPACE_SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inflight_waits: AtomicU64,
+    evictions: AtomicU64,
+}
+
+const SPACE_SHARDS: usize = 16;
+/// Per-shard bound on memoized tiling payload (~4 MiB of `Tiling`s per
+/// shard, 64 MiB worst case process-wide).
+const SPACE_SHARD_BYTE_CAP: usize = 4 << 20;
+
+impl SharedSpaceCache {
+    fn new() -> Self {
+        SharedSpaceCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inflight_waits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &SpaceKey) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % SPACE_SHARDS
+    }
+
+    fn get_or_build(
+        &self,
+        layer: &LayerShape,
+        cfg: &AcceleratorConfig,
+        budget: SpaceBudget,
+    ) -> Arc<MappingSpace> {
+        let key: SpaceKey = (*layer, *cfg, budget);
+        let slot = {
+            let mut shard = self.shards[self.shard_of(&key)].lock().unwrap();
+            if let Some(slot) = shard.get(&key) {
+                if slot.get().is_some() {
+                    self.hits.fetch_add(1, AtomicOrdering::Relaxed);
+                } else {
+                    self.inflight_waits.fetch_add(1, AtomicOrdering::Relaxed);
+                }
+                Arc::clone(slot)
+            } else {
+                let bytes: usize = shard
+                    .values()
+                    .filter_map(|s| s.get())
+                    .map(|space| space.tilings.len() * std::mem::size_of::<Tiling>())
+                    .sum();
+                if bytes > SPACE_SHARD_BYTE_CAP {
+                    shard.clear();
+                    self.evictions.fetch_add(1, AtomicOrdering::Relaxed);
+                }
+                self.misses.fetch_add(1, AtomicOrdering::Relaxed);
+                let slot: SpaceSlot = Arc::new(std::sync::OnceLock::new());
+                shard.insert(key, Arc::clone(&slot));
+                slot
+            }
+        };
+        Arc::clone(slot.get_or_init(|| Arc::new(MappingSpace::build(layer, cfg, budget))))
+    }
+
+    fn stats(&self) -> SpaceCacheStats {
+        SpaceCacheStats {
+            hits: self.hits.load(AtomicOrdering::Relaxed),
+            misses: self.misses.load(AtomicOrdering::Relaxed),
+            inflight_waits: self.inflight_waits.load(AtomicOrdering::Relaxed),
+            evictions: self.evictions.load(AtomicOrdering::Relaxed),
+        }
+    }
+}
+
+fn shared_space_cache() -> &'static SharedSpaceCache {
+    static CACHE: std::sync::OnceLock<SharedSpaceCache> = std::sync::OnceLock::new();
+    CACHE.get_or_init(SharedSpaceCache::new)
+}
+
+/// Cumulative statistics of the process-wide space memo.
+pub fn space_cache_stats() -> SpaceCacheStats {
+    shared_space_cache().stats()
 }
 
 /// Extents chosen so far at one level, indexed by `Dim::index`.
@@ -1098,5 +1228,22 @@ mod tests {
         assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
         assert_eq!(divisors(1), vec![1]);
         assert_eq!(divisors(7), vec![1, 7]);
+    }
+
+    #[test]
+    fn shared_memo_is_bit_identical_to_a_fresh_build_and_then_hits() {
+        let cfg = AcceleratorConfig::edge_baseline();
+        let budget = SpaceBudget::top(37);
+        let fresh = MappingSpace::build(&layer(), &cfg, budget);
+        let shared = MappingSpace::build_shared(&layer(), &cfg, budget);
+        assert_eq!(shared.tilings(), fresh.tilings());
+        assert_eq!(shared.thresholds(), fresh.thresholds());
+        // A second call must be a memo hit handing back the same space.
+        let before = space_cache_stats();
+        let again = MappingSpace::build_shared(&layer(), &cfg, budget);
+        let after = space_cache_stats();
+        assert!(Arc::ptr_eq(&shared, &again));
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.misses, before.misses);
     }
 }

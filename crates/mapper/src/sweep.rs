@@ -3,8 +3,9 @@
 //! One layer's mapping search evaluates an `orderings × tilings` grid
 //! (~10,000 candidates for a top-1000 space). [`sweep_best`] runs that grid
 //! through [`accel_model::TilingBatch`] in fixed-size chunks and — when
-//! given a thread budget — splits the chunks across scoped worker threads,
-//! so a *single* interactive "map this layer now" query uses all cores.
+//! given a thread budget — submits the chunks to the shared
+//! [`edse_executor`] pool, so a *single* interactive "map this layer now"
+//! query uses all cores without spawning threads per sweep.
 //!
 //! # Determinism
 //!
@@ -19,15 +20,16 @@
 //!
 //! # Scratch arena
 //!
-//! Each worker thread owns one thread-local [`TilingBatch`] plus fold
-//! buffers, allocated on its first chunk and reused for every later chunk,
-//! relaxation round, and layer mapped on that thread.
+//! Each participating thread (the submitter and any pool worker) owns one
+//! thread-local [`TilingBatch`] plus fold buffers, allocated on its first
+//! chunk and reused for every later chunk, relaxation round, and layer
+//! mapped on that thread — pool persistence makes the arenas warm across
+//! batches, not just within one.
 
 use crate::optimize::MappedLayer;
 use accel_model::{AcceleratorConfig, Mapping, Stationarity, Tiling, TilingBatch};
 use energy_area::Tech;
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use workloads::LayerShape;
 
@@ -231,37 +233,28 @@ fn scan_all(
                 .collect()
         })
     } else {
-        // Workers pull chunk indices from a shared counter; each fills its
-        // chunk's dedicated slot, so the merge below sees results in chunk
-        // order regardless of which worker computed which chunk.
+        // Chunk indices become tasks on the shared executor pool; each
+        // participant fills its chunk's dedicated slot, so the merge below
+        // sees results in chunk order regardless of which worker computed
+        // which chunk — and an idle pool worker finishing another tenant's
+        // layer job can steal chunks from this sweep.
         let slots: Vec<OnceLock<ChunkOut>> = (0..n_chunks).map(|_| OnceLock::new()).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| {
-                    SCRATCH.with(|sc| {
-                        let mut sc = sc.borrow_mut();
-                        loop {
-                            let c = next.fetch_add(1, Ordering::Relaxed);
-                            if c >= n_chunks {
-                                break;
-                            }
-                            let lo = c * chunk;
-                            let hi = (lo + chunk).min(tilings.len());
-                            let out = scan_chunk(
-                                &mut sc,
-                                layer,
-                                cfg,
-                                &tilings[lo..hi],
-                                lo,
-                                orderings,
-                                want_costs,
-                            );
-                            slots[c].set(out).ok().expect("each chunk scanned once");
-                        }
-                    });
-                });
-            }
+        edse_executor::Executor::global().run(n_chunks, workers, &|c| {
+            SCRATCH.with(|sc| {
+                let mut sc = sc.borrow_mut();
+                let lo = c * chunk;
+                let hi = (lo + chunk).min(tilings.len());
+                let out = scan_chunk(
+                    &mut sc,
+                    layer,
+                    cfg,
+                    &tilings[lo..hi],
+                    lo,
+                    orderings,
+                    want_costs,
+                );
+                slots[c].set(out).ok().expect("each chunk scanned once");
+            });
         });
         slots
             .into_iter()

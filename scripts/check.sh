@@ -29,6 +29,14 @@ echo "==> conformance: golden fixtures, differential oracles, paper bounds"
 # the budget, not an estimate (the suite runs in well under a minute).
 timeout 120 cargo test -q -p conformance
 
+echo "==> executor stress: concurrent tenants on the shared pool (bounded)"
+# `#[ignore]`d in the normal suite: several tenant threads run the full
+# threads x chunk x technique matrix concurrently against the one shared
+# work-stealing pool, and every tenant must see bit-identical results
+# with zero thread spawns after warm-up. EDSE_TEST_THREADS=2 (exported
+# above) bounds the pool; the timeout bounds the step.
+timeout 120 cargo test --release -q -p conformance --test executor_stress -- --ignored
+
 echo "==> proptest regression files are committed"
 # A failing property run appends its counterexample seed under
 # proptest-regressions/; landing a change without committing that seed
